@@ -1,0 +1,49 @@
+//! Criterion benchmarks for the shard store: record encode/decode and
+//! layer-grouped reads from a real on-disk store.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use sti_quant::{Bitwidth, QuantConfig, QuantizedBlob};
+use sti_storage::{format, ShardStore};
+use sti_transformer::synthetic::synthetic_shard;
+use sti_transformer::{Model, ModelConfig};
+
+fn bench_record_codec(c: &mut Criterion) {
+    let weights = synthetic_shard(&ModelConfig::scaled_bert(), 5, 1.0).flatten();
+    let blob = QuantizedBlob::quantize(&weights, Bitwidth::B6, &QuantConfig::default());
+    let encoded = format::encode_blob(&blob);
+    let mut group = c.benchmark_group("record_codec");
+    group.throughput(Throughput::Bytes(encoded.len() as u64));
+    group.bench_function("encode", |b| b.iter(|| format::encode_blob(&blob)));
+    group.bench_function("decode", |b| {
+        b.iter(|| format::decode_blob(&encoded).expect("valid record"))
+    });
+    group.finish();
+}
+
+fn bench_layer_read(c: &mut Criterion) {
+    let cfg = ModelConfig::scaled_bert();
+    let model = Model::synthetic(9, cfg.clone());
+    let dir = std::env::temp_dir().join(format!("sti-bench-store-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = ShardStore::create(
+        &dir,
+        &model,
+        &[Bitwidth::B2, Bitwidth::B6],
+        &QuantConfig::default(),
+    )
+    .expect("create store");
+    let request: Vec<(u16, Bitwidth)> =
+        (0..cfg.heads as u16).map(|s| (s, Bitwidth::B6)).collect();
+    c.bench_function("read_layer_12_shards", |b| {
+        b.iter(|| store.read_layer(0, &request).expect("layer reads"))
+    });
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_record_codec, bench_layer_read
+}
+criterion_main!(benches);

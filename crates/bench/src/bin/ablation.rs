@@ -1,0 +1,5 @@
+//! Regenerates the `ablation` report. See `sti_bench::experiments::ablation`.
+
+fn main() {
+    sti_bench::harness::emit("ablation", &sti_bench::experiments::ablation::run());
+}

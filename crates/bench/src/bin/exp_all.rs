@@ -1,0 +1,29 @@
+//! Regenerates every table and figure in one pass (shares the importance
+//! cache and task contexts across experiments via the on-disk cache).
+
+use sti_bench::{experiments as e, harness};
+
+fn main() {
+    let all: [(&str, fn() -> String); 15] = [
+        ("tab2", e::tab2::run),
+        ("tab3", e::tab3::run),
+        ("tab4", e::tab4::run),
+        ("fig6", e::fig6::run),
+        ("motivation", e::motivation::run),
+        ("storage_overhead", e::storage_overhead::run),
+        ("fig5", e::fig5::run),
+        ("fig1", e::fig1::run),
+        ("fig7", e::fig7::run),
+        ("fig8", e::fig8::run),
+        ("tab6", e::tab6::run),
+        ("tab5", e::tab5::run),
+        ("tab7", e::tab7::run),
+        ("sensitivity", e::sensitivity::run),
+        ("ablation", e::ablation::run),
+    ];
+    for (name, run) in all {
+        eprintln!("[exp_all] running {name} ...");
+        harness::emit(name, &run());
+    }
+    eprintln!("[exp_all] done; reports in {}", harness::results_dir().display());
+}

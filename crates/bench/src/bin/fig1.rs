@@ -1,0 +1,5 @@
+//! Regenerates the `fig1` report. See `sti_bench::experiments::fig1`.
+
+fn main() {
+    sti_bench::harness::emit("fig1", &sti_bench::experiments::fig1::run());
+}

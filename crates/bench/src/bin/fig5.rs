@@ -1,0 +1,5 @@
+//! Regenerates the `fig5` report. See `sti_bench::experiments::fig5`.
+
+fn main() {
+    sti_bench::harness::emit("fig5", &sti_bench::experiments::fig5::run());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the `fig6` report. See `sti_bench::experiments::fig6`.
+
+fn main() {
+    sti_bench::harness::emit("fig6", &sti_bench::experiments::fig6::run());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the `fig7` report. See `sti_bench::experiments::fig7`.
+
+fn main() {
+    sti_bench::harness::emit("fig7", &sti_bench::experiments::fig7::run());
+}

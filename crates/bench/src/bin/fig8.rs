@@ -1,0 +1,5 @@
+//! Regenerates the `fig8` report. See `sti_bench::experiments::fig8`.
+
+fn main() {
+    sti_bench::harness::emit("fig8", &sti_bench::experiments::fig8::run());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the `motivation` report. See `sti_bench::experiments::motivation`.
+
+fn main() {
+    sti_bench::harness::emit("motivation", &sti_bench::experiments::motivation::run());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the `sensitivity` report. See `sti_bench::experiments::sensitivity`.
+
+fn main() {
+    sti_bench::harness::emit("sensitivity", &sti_bench::experiments::sensitivity::run());
+}

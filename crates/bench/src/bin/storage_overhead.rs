@@ -1,0 +1,5 @@
+//! Regenerates the storage-overhead report (§7.2).
+
+fn main() {
+    sti_bench::harness::emit("storage_overhead", &sti_bench::experiments::storage_overhead::run());
+}

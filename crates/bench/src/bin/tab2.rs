@@ -1,0 +1,5 @@
+//! Regenerates the `tab2` report. See `sti_bench::experiments::tab2`.
+
+fn main() {
+    sti_bench::harness::emit("tab2", &sti_bench::experiments::tab2::run());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the `tab3` report. See `sti_bench::experiments::tab3`.
+
+fn main() {
+    sti_bench::harness::emit("tab3", &sti_bench::experiments::tab3::run());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the `tab4` report. See `sti_bench::experiments::tab4`.
+
+fn main() {
+    sti_bench::harness::emit("tab4", &sti_bench::experiments::tab4::run());
+}

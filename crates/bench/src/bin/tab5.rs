@@ -1,0 +1,5 @@
+//! Regenerates the `tab5` report. See `sti_bench::experiments::tab5`.
+
+fn main() {
+    sti_bench::harness::emit("tab5", &sti_bench::experiments::tab5::run());
+}

@@ -1,0 +1,5 @@
+//! Regenerates the `tab6` report. See `sti_bench::experiments::tab6`.
+
+fn main() {
+    sti_bench::harness::emit("tab6", &sti_bench::experiments::tab6::run());
+}

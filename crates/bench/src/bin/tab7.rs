@@ -1,0 +1,5 @@
+//! Regenerates the `tab7` report. See `sti_bench::experiments::tab7`.
+
+fn main() {
+    sti_bench::harness::emit("tab7", &sti_bench::experiments::tab7::run());
+}

@@ -1,0 +1,69 @@
+//! Figure 1: comparison of model-execution methods — timelines and the
+//! accuracy/memory trade-off.
+
+use sti::prelude::*;
+use sti::{run_experiment, Experiment};
+use sti_pipeline::trace::render_gantt;
+
+use crate::harness;
+use crate::report::{human_bytes, pct, TextTable};
+
+/// Regenerates Figure 1: (a) hold in memory, (b) load before execute,
+/// (c) standard pipeline, (d) STI — pipeline timelines plus the
+/// accuracy-vs-memory summary. SST-2 on Odroid, T = 400 ms.
+pub fn run() -> String {
+    let ctx = harness::context(TaskKind::Sst2);
+    let device = DeviceProfile::odroid_n2();
+    let target = SimTime::from_ms(400);
+    let budget = harness::preload_budget_for(&device);
+
+    let methods: [(&str, Baseline); 4] = [
+        ("(a) Hold in memory (Preload-full)", Baseline::PreloadModel(Bitwidth::Full)),
+        ("(b) Load before exec (Load&Exec)", Baseline::LoadAndExec),
+        ("(c) Standard pipeline (StdPL-full)", Baseline::StdPipeline(Bitwidth::Full)),
+        ("(d) STI (ours)", Baseline::Sti),
+    ];
+
+    let mut out = String::from(
+        "Figure 1: comparison of model execution methods, SST-2 on Odroid, T = 400 ms.\n\
+         '#' = IO, '=' = compute; STI keeps both busy where (b)/(c) starve compute.\n\n",
+    );
+    let power = PowerModel::mobile_soc();
+    let mut summary =
+        TextTable::new(["Method", "param mem", "accuracy (%)", "makespan", "bubbles", "energy"]);
+    for (label, baseline) in methods {
+        let r = run_experiment(
+            &ctx,
+            &Experiment { baseline, device: device.clone(), target, preload_bytes: budget },
+        );
+        out.push_str(&format!("{label}  [submodel {}]\n", r.plan.shape));
+        out.push_str(&render_gantt(&r.plan.predicted, 64));
+        out.push('\n');
+        let mem = if baseline.holds_whole_model() || baseline == Baseline::Sti {
+            r.persistent_param_bytes
+        } else {
+            r.peak_param_bytes
+        };
+        let energy = power.energy_mj(
+            r.plan.predicted.makespan,
+            r.plan.predicted.compute_time(),
+            r.plan.predicted.io_time(),
+        );
+        summary.row([
+            label.to_string(),
+            human_bytes(mem),
+            pct(r.accuracy),
+            r.makespan.to_string(),
+            format!("{:.0}%", r.plan.predicted.bubble_fraction() * 100.0),
+            format!("{:.0}mJ", energy),
+        ]);
+    }
+    out.push_str(&summary.render());
+    out.push_str(
+        "\nSTI matches hold-in-memory accuracy at orders-of-magnitude lower memory, and beats\n\
+         the load-on-demand methods because its elastic pipeline starves neither IO nor compute.\n\
+         Energy follows the paper's §7.2 expectation: STI costs more than the low-accuracy\n\
+         methods (it executes more FLOPs) but only moderately more than Preload-full.\n",
+    );
+    out
+}

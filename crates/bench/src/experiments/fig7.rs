@@ -1,0 +1,66 @@
+//! Figure 7: accuracy vs parameter memory at T = 200 ms (log-scale memory).
+
+use sti::prelude::*;
+use sti::{run_experiment, Experiment};
+
+use crate::harness;
+use crate::report::{human_bytes, pct, TextTable};
+
+/// Regenerates Figure 7's scatter data: SST-2 and QQP on both platforms at
+/// T = 200 ms, reporting each system's parameter memory and accuracy. STI
+/// should sit at Preload-level accuracy with orders-of-magnitude less
+/// memory.
+pub fn run() -> String {
+    let tasks = [TaskKind::Sst2, TaskKind::Qqp];
+    let target = SimTime::from_ms(200);
+    let mut out = String::from(
+        "Figure 7: accuracy vs parameter memory, T = 200 ms (memory on a log axis in the\n\
+         paper). `mem` = persistent parameter memory for preload-class systems, peak\n\
+         transient for load-on-demand systems.\n\n",
+    );
+    for device in DeviceProfile::evaluation_platforms() {
+        let budget = harness::preload_budget_for(&device);
+        for kind in tasks {
+            let ctx = harness::context(kind);
+            let mut t = TextTable::new(["System", "mem", "accuracy (%)"]);
+            let mut sti_mem = 0u64;
+            let mut sti_acc = 0.0;
+            let mut preload_full: Option<(u64, f64)> = None;
+            let mut preload_6: Option<(u64, f64)> = None;
+            for baseline in Baseline::table5_lineup() {
+                let r = run_experiment(
+                    &ctx,
+                    &Experiment { baseline, device: device.clone(), target, preload_bytes: budget },
+                );
+                let mem = if baseline.holds_whole_model() || baseline == Baseline::Sti {
+                    r.persistent_param_bytes
+                } else {
+                    r.peak_param_bytes
+                };
+                match baseline {
+                    Baseline::Sti => {
+                        sti_mem = mem.max(1);
+                        sti_acc = r.accuracy;
+                    }
+                    Baseline::PreloadModel(Bitwidth::Full) => preload_full = Some((mem, r.accuracy)),
+                    Baseline::PreloadModel(Bitwidth::B6) => preload_6 = Some((mem, r.accuracy)),
+                    _ => {}
+                }
+                t.row([baseline.name(), human_bytes(mem), pct(r.accuracy)]);
+            }
+            let (pf_mem, pf_acc) = preload_full.expect("lineup includes Preload-full");
+            let (p6_mem, _) = preload_6.expect("lineup includes Preload-6bit");
+            out.push_str(&format!(
+                "({} / {})\n\n{}\nOurs uses {:.0}x less memory than Preload-full \
+                 (accuracy delta {:+.2} pp) and {:.0}x less than Preload-6bit.\n\n",
+                device.name,
+                kind.name(),
+                t.render(),
+                pf_mem as f64 / sti_mem as f64,
+                (sti_acc - pf_acc) * 100.0,
+                p6_mem as f64 / sti_mem as f64,
+            ));
+        }
+    }
+    out
+}

@@ -1,0 +1,121 @@
+//! Table 5: model execution accuracies under target latencies, per platform.
+
+use sti::prelude::*;
+use sti::{run_experiment, Experiment, RunResult, TaskContext};
+
+use crate::harness::{self, TARGETS_MS};
+use crate::report::{human_bytes, pct, TextTable};
+
+struct DeviceResults {
+    device: DeviceProfile,
+    budget: u64,
+    /// `results[baseline_idx][task_idx][target_idx]`
+    results: Vec<Vec<Vec<RunResult>>>,
+}
+
+fn collect(device: DeviceProfile, contexts: &[(TaskKind, TaskContext)]) -> DeviceResults {
+    let budget = harness::preload_budget_for(&device);
+    let results = Baseline::table5_lineup()
+        .into_iter()
+        .map(|baseline| {
+            contexts
+                .iter()
+                .map(|(_, ctx)| {
+                    TARGETS_MS
+                        .iter()
+                        .map(|&target| {
+                            run_experiment(
+                                ctx,
+                                &Experiment {
+                                    baseline,
+                                    device: device.clone(),
+                                    target: SimTime::from_ms(target),
+                                    preload_bytes: budget,
+                                },
+                            )
+                        })
+                        .collect()
+                })
+                .collect()
+        })
+        .collect();
+    DeviceResults { device, budget, results }
+}
+
+fn render(dr: &DeviceResults, contexts: &[(TaskKind, TaskContext)]) -> String {
+    let mut t = TextTable::new({
+        let mut h = vec!["Baseline".to_string()];
+        for (kind, _) in contexts {
+            for target in TARGETS_MS {
+                h.push(format!("{} T={target}", kind.name()));
+            }
+        }
+        h
+    });
+
+    let mut gold_row = vec!["Gold (full model)".to_string()];
+    for (_, ctx) in contexts {
+        let (acc, _) = gold_accuracy(ctx.task());
+        for _ in TARGETS_MS {
+            gold_row.push(pct(acc));
+        }
+    }
+    t.row(gold_row);
+
+    let lineup = Baseline::table5_lineup();
+    for (bi, baseline) in lineup.iter().enumerate() {
+        let mut row = vec![baseline.name()];
+        for ti in 0..contexts.len() {
+            for gi in 0..TARGETS_MS.len() {
+                row.push(pct(dr.results[bi][ti][gi].accuracy));
+            }
+        }
+        t.row(row);
+    }
+
+    // Summary: STI's mean gain over each baseline (paper §7.2 analogues).
+    let mean_of = |bi: usize| -> f64 {
+        let mut xs = Vec::new();
+        for ti in 0..contexts.len() {
+            for gi in 0..TARGETS_MS.len() {
+                xs.push(dr.results[bi][ti][gi].accuracy);
+            }
+        }
+        xs.iter().sum::<f64>() / xs.len() as f64
+    };
+    let sti_idx = lineup.iter().position(|b| *b == Baseline::Sti).expect("lineup has Ours");
+    let ours_mean = mean_of(sti_idx);
+    let mut summary = format!("mean STI accuracy {}\n", pct(ours_mean));
+    for (bi, baseline) in lineup.iter().enumerate() {
+        if bi == sti_idx {
+            continue;
+        }
+        summary.push_str(&format!(
+            "  Ours vs {:<14} {:+.2} pp\n",
+            baseline.name(),
+            (ours_mean - mean_of(bi)) * 100.0
+        ));
+    }
+
+    format!(
+        "({}) |S| = {} (scaled from the paper's 1MB/5MB)\n\n{}\n{}\n",
+        dr.device.name,
+        human_bytes(dr.budget),
+        t.render(),
+        summary
+    )
+}
+
+/// Regenerates Table 5 for both platforms.
+pub fn run() -> String {
+    let contexts = harness::all_contexts();
+    let mut out = String::from(
+        "Table 5: model execution accuracies (%); given target latencies, Ours should be the\n\
+         best or the closest to the best.\n\n",
+    );
+    for device in DeviceProfile::evaluation_platforms() {
+        let dr = collect(device, &contexts);
+        out.push_str(&render(&dr, &contexts));
+    }
+    out
+}

@@ -1,0 +1,48 @@
+//! Table 6: submodel sizes (depth × width) selected under different target
+//! latencies.
+
+use sti::prelude::*;
+use sti::Baseline;
+
+use crate::harness::{self, TARGETS_MS};
+use crate::report::TextTable;
+
+/// Regenerates Table 6: the `(n × m)` shapes each system selects per target
+/// latency on each platform. A larger submodel executes more FLOPs and
+/// suggests higher accuracy; STI should run the largest, and Jetson (GPU)
+/// shapes should be wider/shallower than Odroid (CPU) ones.
+pub fn run() -> String {
+    // Shapes depend on the device profile and (for STI) the importance grid;
+    // they are task-independent in this reproduction, so profile one task.
+    let ctx = harness::context(TaskKind::Sst2);
+    let importance = ctx.importance();
+    let cfg = ctx.task().model().config().clone();
+
+    let mut out = String::from(
+        "Table 6: sizes (depth x width) of submodels selected under different target\n\
+         latencies. STI runs the largest; GPU shapes are wider/shallower than CPU ones.\n\n",
+    );
+    for device in DeviceProfile::evaluation_platforms() {
+        let hw = HwProfile::measure(&device, &cfg, ctx.quant());
+        let budget = harness::preload_budget_for(&device);
+        let mut t = TextTable::new({
+            let mut h = vec!["Baseline".to_string()];
+            h.extend(TARGETS_MS.iter().map(|t| format!("T={t}ms")));
+            h.push("shards @T=400".to_string());
+            h
+        });
+        for baseline in Baseline::table5_lineup() {
+            let mut row = vec![baseline.name()];
+            let mut last_count = 0;
+            for target in TARGETS_MS {
+                let plan = baseline.plan(&hw, importance, SimTime::from_ms(target), budget);
+                row.push(plan.shape.to_string());
+                last_count = plan.shape.shard_count();
+            }
+            row.push(last_count.to_string());
+            t.row(row);
+        }
+        out.push_str(&format!("({})\n\n{}\n", device.name, t.render()));
+    }
+    out
+}

@@ -1,0 +1,21 @@
+//! # sti-bench
+//!
+//! The experiment harness of the reproduction. Every table and figure of the
+//! paper's evaluation has a binary that regenerates it (see DESIGN.md §3):
+//!
+//! ```text
+//! cargo run --release -p sti-bench --bin tab5      # Table 5
+//! cargo run --release -p sti-bench --bin fig7      # Figure 7
+//! cargo run --release -p sti-bench --bin exp_all   # everything
+//! ```
+//!
+//! Criterion micro-benchmarks (`cargo bench -p sti-bench`) cover the hot
+//! kernels: quantization, bit packing, matmul, planning, pipeline execution,
+//! and the shard store.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod harness;
+pub mod report;

@@ -1,0 +1,229 @@
+//! Subcommand implementations.
+
+use std::sync::Arc;
+
+use sti::prelude::*;
+
+use crate::args::{ArgError, Args};
+
+/// Usage text.
+pub fn usage() -> String {
+    "usage: sti <command> [--flag value ...]\n\
+     \n\
+     commands:\n\
+     \x20 preprocess  --task <sst2|rte|qnli|qqp> --out <dir>         shard + quantize to disk\n\
+     \x20 profile     [--device <odroid|jetson|accelerated>]         print capability tables\n\
+     \x20 importance  --task <...>                                   print the Fig-5 heatmap\n\
+     \x20 plan        --task <...> [--device d] [--target-ms 200]\n\
+     \x20             [--preload-kb 16]                              print the execution plan\n\
+     \x20 infer       --task <...> --text \"...\" [--store <dir>]\n\
+     \x20             [--device d] [--target-ms 200] [--preload-kb 16]\n\
+     \x20 generate    --task <...> --text \"...\" [--steps 5] [...]    decoder extension\n"
+        .to_string()
+}
+
+fn task_kind(name: &str) -> Result<TaskKind, ArgError> {
+    match name.to_lowercase().as_str() {
+        "sst2" | "sst-2" => Ok(TaskKind::Sst2),
+        "rte" => Ok(TaskKind::Rte),
+        "qnli" => Ok(TaskKind::Qnli),
+        "qqp" => Ok(TaskKind::Qqp),
+        other => Err(ArgError(format!("unknown task '{other}' (sst2|rte|qnli|qqp)"))),
+    }
+}
+
+fn device(name: &str) -> Result<DeviceProfile, ArgError> {
+    match name.to_lowercase().as_str() {
+        "odroid" | "odroid-n2+" => Ok(DeviceProfile::odroid_n2()),
+        "jetson" | "jetson-nano" => Ok(DeviceProfile::jetson_nano()),
+        "accelerated" => Ok(DeviceProfile::accelerated()),
+        other => Err(ArgError(format!("unknown device '{other}' (odroid|jetson|accelerated)"))),
+    }
+}
+
+fn build_task(args: &Args) -> Result<Task, ArgError> {
+    let kind = task_kind(args.require("task")?)?;
+    Ok(Task::build_default(kind, ModelConfig::scaled_bert()))
+}
+
+fn build_engine(args: &Args, task: &Task) -> Result<StiEngine, ArgError> {
+    let dev = device(args.get_or("device", "odroid"))?;
+    let cfg = task.model().config().clone();
+    let hw = HwProfile::measure(&dev, &cfg, &QuantConfig::default());
+    let source: Arc<dyn ShardSource> = match args.get("store") {
+        Some(dir) => Arc::new(
+            ShardStore::open(dir).map_err(|e| ArgError(format!("open store: {e}")))?,
+        ),
+        None => Arc::new(MemStore::build(task.model(), &Bitwidth::ALL, &QuantConfig::default())),
+    };
+    eprintln!("profiling shard importance (one-time per model)...");
+    let importance = profile_importance(task.model(), task.dev(), &QuantConfig::default());
+    StiEngine::builder(task.model().clone(), source, hw, dev.flash, importance)
+        .target(SimTime::from_ms(args.get_u64("target-ms", 200)?))
+        .preload_budget(args.get_u64("preload-kb", 16)? << 10)
+        .build()
+        .map_err(|e| ArgError(format!("engine build: {e}")))
+}
+
+fn cmd_preprocess(args: &Args) -> Result<String, ArgError> {
+    let task = build_task(args)?;
+    let out = args.require("out")?;
+    let store = ShardStore::create(out, task.model(), &Bitwidth::ALL, &QuantConfig::default())
+        .map_err(|e| ArgError(format!("create store: {e}")))?;
+    let mut report = format!(
+        "preprocessed {} into {}\n",
+        task.kind().name(),
+        store.dir().display()
+    );
+    for (bw, bytes) in store.stored_bytes_by_bitwidth() {
+        report.push_str(&format!("  {bw:<5} {bytes} bytes\n"));
+    }
+    report.push_str(&format!("  total {} bytes\n", store.total_bytes()));
+    Ok(report)
+}
+
+fn cmd_profile(args: &Args) -> Result<String, ArgError> {
+    let dev = device(args.get_or("device", "odroid"))?;
+    let cfg = ModelConfig::scaled_bert();
+    let hw = HwProfile::measure(&dev, &cfg, &QuantConfig::default());
+    let mut report = format!(
+        "device {} — flash {} B/s (+{} per request)\n\nT_io per shard:\n",
+        hw.device_name, hw.bandwidth_bytes_per_sec, hw.request_latency
+    );
+    for bw in Bitwidth::ALL {
+        report.push_str(&format!(
+            "  {bw:<5} {:>8} ({} bytes)\n",
+            hw.t_io_shard(bw).to_string(),
+            hw.shard_bytes(bw)
+        ));
+    }
+    report.push_str("\nT_comp per layer (incl. decompression):\n");
+    for m in [3usize, 6, 9, 12] {
+        report.push_str(&format!("  m={m:<2} {}\n", hw.t_comp(m)));
+    }
+    Ok(report)
+}
+
+fn cmd_importance(args: &Args) -> Result<String, ArgError> {
+    let task = build_task(args)?;
+    eprintln!("profiling (N*M+1 dev evaluations)...");
+    let profile = profile_importance(task.model(), task.dev(), &QuantConfig::default());
+    Ok(format!(
+        "{} shard importance (9 = most important):\n{}",
+        task.kind().name(),
+        profile.heatmap_string()
+    ))
+}
+
+fn cmd_plan(args: &Args) -> Result<String, ArgError> {
+    let task = build_task(args)?;
+    let engine = build_engine(args, &task)?;
+    let plan = engine.plan();
+    Ok(format!(
+        "plan for {} @ T={} |S|={}B:\n  submodel {} ({} shards), predicted makespan {}, \
+         preload {} shards\n  bitwidth grid ('*' = preloaded):\n{}",
+        task.kind().name(),
+        plan.target,
+        plan.preload_budget_bytes,
+        plan.shape,
+        plan.shape.shard_count(),
+        plan.predicted.makespan,
+        plan.preload.len(),
+        plan.grid_string()
+    ))
+}
+
+fn cmd_infer(args: &Args) -> Result<String, ArgError> {
+    let task = build_task(args)?;
+    let text = args.require("text")?.to_string();
+    let engine = build_engine(args, &task)?;
+    let tokens = HashingTokenizer::new(task.model().config().vocab).tokenize(&text);
+    let inf = engine.infer(&tokens).map_err(|e| ArgError(format!("inference: {e}")))?;
+    Ok(format!(
+        "\"{text}\" -> class {} (p = {:.3})\n  submodel {}, streamed {} bytes, makespan {}\n",
+        inf.class,
+        inf.probabilities[inf.class],
+        inf.submodel,
+        inf.outcome.loaded_bytes,
+        inf.outcome.timeline.makespan
+    ))
+}
+
+fn cmd_generate(args: &Args) -> Result<String, ArgError> {
+    let task = build_task(args)?;
+    let text = args.require("text")?.to_string();
+    let steps = args.get_u64("steps", 5)? as usize;
+    let engine = build_engine(args, &task)?;
+    let tokens = HashingTokenizer::new(task.model().config().vocab).tokenize(&text);
+    let g = engine.generate(&tokens, steps).map_err(|e| ArgError(format!("generate: {e}")))?;
+    Ok(format!(
+        "\"{text}\" -> {} generated token ids: {:?}\n  first step {}, each further step {}\n",
+        g.generated,
+        &g.tokens[tokens.len().min(g.tokens.len())..],
+        g.first_step,
+        g.per_step
+    ))
+}
+
+/// Routes a parsed command line to its implementation.
+pub fn dispatch(args: &Args) -> Result<String, ArgError> {
+    match args.command.as_str() {
+        "preprocess" => cmd_preprocess(args),
+        "profile" => cmd_profile(args),
+        "importance" => cmd_importance(args),
+        "plan" => cmd_plan(args),
+        "infer" => cmd_infer(args),
+        "generate" => cmd_generate(args),
+        other => Err(ArgError(format!("unknown command '{other}'"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_runs_for_every_device() {
+        for dev in ["odroid", "jetson", "accelerated"] {
+            let args = Args::parse(["profile", "--device", dev]).unwrap();
+            let report = dispatch(&args).unwrap();
+            assert!(report.contains("T_comp"), "{dev} report incomplete");
+        }
+    }
+
+    #[test]
+    fn unknown_inputs_error_cleanly() {
+        let args = Args::parse(["frobnicate"]).unwrap();
+        assert!(dispatch(&args).is_err());
+        let args = Args::parse(["profile", "--device", "pixel"]).unwrap();
+        assert!(dispatch(&args).is_err());
+        let args = Args::parse(["plan", "--task", "imagenet"]).unwrap();
+        assert!(dispatch(&args).is_err());
+    }
+
+    #[test]
+    fn preprocess_writes_a_store() {
+        let dir = std::env::temp_dir().join(format!("sti-cli-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let args = Args::parse([
+            "preprocess",
+            "--task",
+            "sst2",
+            "--out",
+            dir.to_str().unwrap(),
+        ])
+        .unwrap();
+        let report = dispatch(&args).unwrap();
+        assert!(report.contains("total"));
+        assert!(ShardStore::open(&dir).is_ok());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn usage_mentions_every_command() {
+        let u = usage();
+        for cmd in ["preprocess", "profile", "importance", "plan", "infer", "generate"] {
+            assert!(u.contains(cmd), "usage missing {cmd}");
+        }
+    }
+}

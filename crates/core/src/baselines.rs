@@ -1,0 +1,365 @@
+//! The comparison systems of paper Table 4.
+//!
+//! All baselines are built on the same DynaBERT-style elastic substrate so
+//! the comparison isolates STI's contributions (sharded fidelity versions +
+//! AIB planning + preload buffer):
+//!
+//! | Baseline | Preload? | Sharding fidelity | IO & compute |
+//! |---|---|---|---|
+//! | `LoadAndExec` | no | 32-bit | sequential |
+//! | `StdPipeline(X)` | no | one bitwidth X | pipelined |
+//! | `PreloadModel(X)` | whole model | one bitwidth X | compute only |
+//! | `Sti` | small buffer | per-shard bitwidths | pipelined |
+//! | `StiNoPreload` | none | per-shard bitwidths | pipelined |
+
+use sti_device::{HwProfile, SimTime};
+use sti_planner::compute_plan::dynabert_widths_for;
+use sti_planner::schedule::{sequential_makespan, simulate_pipeline, LayerTiming};
+use sti_planner::{
+    plan_compute, ExecutionPlan, ImportanceProfile, PlannedLayer, SubmodelShape,
+};
+use sti_quant::Bitwidth;
+
+/// A model-execution strategy under comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Baseline {
+    /// Load the (32-bit) submodel fully, then execute — the default of
+    /// popular ML frameworks (§2.2).
+    LoadAndExec,
+    /// Layerwise IO/compute pipeline with one uniform bitwidth for every
+    /// shard.
+    StdPipeline(Bitwidth),
+    /// Whole model already in memory (at one bitwidth); no IO at all.
+    PreloadModel(Bitwidth),
+    /// STI with its preload buffer.
+    Sti,
+    /// STI cold-starting with no preload buffer (`Ours-0MB` in Table 5).
+    StiNoPreload,
+}
+
+impl Baseline {
+    /// Every baseline column of Table 5, in the paper's order.
+    pub fn table5_lineup() -> Vec<Baseline> {
+        vec![
+            Baseline::LoadAndExec,
+            Baseline::StdPipeline(Bitwidth::Full),
+            Baseline::StdPipeline(Bitwidth::B2),
+            Baseline::StdPipeline(Bitwidth::B6),
+            Baseline::PreloadModel(Bitwidth::Full),
+            Baseline::PreloadModel(Bitwidth::B6),
+            Baseline::StiNoPreload,
+            Baseline::Sti,
+        ]
+    }
+
+    /// Display name matching the paper's tables.
+    pub fn name(&self) -> String {
+        match self {
+            Baseline::LoadAndExec => "Load&Exec".to_string(),
+            Baseline::StdPipeline(bw) if bw.is_full() => "StdPL-full".to_string(),
+            Baseline::StdPipeline(bw) => format!("StdPL-{}", bw),
+            Baseline::PreloadModel(bw) if bw.is_full() => "Preload-full".to_string(),
+            Baseline::PreloadModel(bw) => format!("Preload-{}", bw),
+            Baseline::Sti => "Ours".to_string(),
+            Baseline::StiNoPreload => "Ours-0MB".to_string(),
+        }
+    }
+
+    /// Whether this baseline keeps the whole model resident.
+    pub fn holds_whole_model(&self) -> bool {
+        matches!(self, Baseline::PreloadModel(_))
+    }
+
+    /// Builds the baseline's execution plan for a target latency.
+    ///
+    /// STI variants run the full two-stage planner; the others pick their
+    /// best submodel under their own cost models (sequential, pipelined
+    /// uniform-bitwidth, or compute-only) with importance-*oblivious* slice
+    /// selection (the first `m` slices), per Table 4.
+    pub fn plan(
+        &self,
+        hw: &HwProfile,
+        importance: &ImportanceProfile,
+        target: SimTime,
+        preload_bytes: u64,
+    ) -> ExecutionPlan {
+        let max_layers = importance.layers();
+        let widths = dynabert_widths_for(importance.heads());
+        match self {
+            Baseline::Sti => sti_planner::plan_two_stage(
+                hw,
+                importance,
+                target,
+                preload_bytes,
+                &widths,
+                &Bitwidth::ALL,
+            ),
+            Baseline::StiNoPreload => sti_planner::plan_two_stage(
+                hw,
+                importance,
+                target,
+                0,
+                &widths,
+                &Bitwidth::ALL,
+            ),
+            Baseline::PreloadModel(bw) => {
+                // Compute-only: same stage-1 search as STI, no IO at all.
+                let choice = plan_compute(hw, max_layers, target, &widths);
+                let shape = choice.shape;
+                let layers = uniform_layers(shape, *bw);
+                // Everything is already in memory: model the whole submodel
+                // as preloaded.
+                let preload = layers
+                    .iter()
+                    .flat_map(|pl| {
+                        pl.items().map(move |(s, b)| {
+                            (sti_transformer::ShardId::new(pl.layer, s), b)
+                        })
+                    })
+                    .collect();
+                let timings: Vec<LayerTiming> = (0..shape.depth)
+                    .map(|_| LayerTiming { io: SimTime::ZERO, comp: hw.t_comp(shape.width) })
+                    .collect();
+                ExecutionPlan {
+                    shape,
+                    layers,
+                    preload,
+                    target,
+                    preload_budget_bytes: 0,
+                    aib_satisfied: true,
+                    predicted: simulate_pipeline(&timings, SimTime::ZERO),
+                }
+            }
+            Baseline::StdPipeline(bw) => {
+                let shape = best_shape(hw, &widths, max_layers, target, |n, m| {
+                    let timing = LayerTiming {
+                        io: hw.layer_io_delay(&vec![*bw; m]),
+                        comp: hw.t_comp(m),
+                    };
+                    simulate_pipeline(&vec![timing; n], SimTime::ZERO).makespan
+                });
+                let layers = uniform_layers(shape, *bw);
+                let timing = LayerTiming {
+                    io: hw.layer_io_delay(&vec![*bw; shape.width]),
+                    comp: hw.t_comp(shape.width),
+                };
+                ExecutionPlan {
+                    shape,
+                    layers,
+                    preload: vec![],
+                    target,
+                    preload_budget_bytes: 0,
+                    aib_satisfied: true,
+                    predicted: simulate_pipeline(&vec![timing; shape.depth], SimTime::ZERO),
+                }
+            }
+            Baseline::LoadAndExec => {
+                let shape = best_shape(hw, &widths, max_layers, target, |n, m| {
+                    let timing = LayerTiming {
+                        io: hw.layer_io_delay(&vec![Bitwidth::Full; m]),
+                        comp: hw.t_comp(m),
+                    };
+                    sequential_makespan(&vec![timing; n])
+                });
+                let layers = uniform_layers(shape, Bitwidth::Full);
+                let timing = LayerTiming {
+                    io: hw.layer_io_delay(&vec![Bitwidth::Full; shape.width]),
+                    comp: hw.t_comp(shape.width),
+                };
+                // Sequential execution: represent the timeline as one IO
+                // stage followed by one compute stage.
+                let agg = LayerTiming {
+                    io: timing.io * shape.depth as u64,
+                    comp: timing.comp * shape.depth as u64,
+                };
+                ExecutionPlan {
+                    shape,
+                    layers,
+                    preload: vec![],
+                    target,
+                    preload_budget_bytes: 0,
+                    aib_satisfied: true,
+                    predicted: simulate_pipeline(&[agg], SimTime::ZERO),
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Baseline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name())
+    }
+}
+
+/// Importance-oblivious layers: first `m` slices at a uniform bitwidth.
+fn uniform_layers(shape: SubmodelShape, bw: Bitwidth) -> Vec<PlannedLayer> {
+    (0..shape.depth as u16)
+        .map(|layer| PlannedLayer {
+            layer,
+            slices: (0..shape.width as u16).collect(),
+            bitwidths: vec![bw; shape.width],
+        })
+        .collect()
+}
+
+/// Largest-then-deepest submodel whose `makespan(n, m)` fits the target.
+/// Falls back to `1 × min-width` when nothing fits (all systems degrade at
+/// very low targets, §7.1).
+fn best_shape(
+    hw: &HwProfile,
+    widths: &[usize],
+    max_layers: usize,
+    target: SimTime,
+    makespan: impl Fn(usize, usize) -> SimTime,
+) -> SubmodelShape {
+    let mut best: Option<SubmodelShape> = None;
+    for &m in widths {
+        if m > hw.heads {
+            continue;
+        }
+        for n in 1..=max_layers {
+            if makespan(n, m) > target {
+                break;
+            }
+            let cand = SubmodelShape::new(n, m);
+            let better = match &best {
+                None => true,
+                Some(b) => {
+                    cand.shard_count() > b.shard_count()
+                        || (cand.shard_count() == b.shard_count() && cand.depth > b.depth)
+                }
+            };
+            if better {
+                best = Some(cand);
+            }
+        }
+    }
+    best.unwrap_or_else(|| SubmodelShape::new(1, widths[0]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sti_device::DeviceProfile;
+    use sti_quant::QuantConfig;
+    use sti_tensor::Rng;
+    use sti_transformer::ModelConfig;
+
+    fn hw() -> HwProfile {
+        HwProfile::measure(
+            &DeviceProfile::odroid_n2(),
+            &ModelConfig::scaled_bert(),
+            &QuantConfig::default(),
+        )
+    }
+
+    fn importance() -> ImportanceProfile {
+        let mut rng = Rng::new(7);
+        ImportanceProfile::from_scores(
+            12,
+            12,
+            (0..144).map(|_| 0.5 + 0.2 * rng.next_f32() as f64).collect(),
+            0.45,
+        )
+    }
+
+    #[test]
+    fn names_match_the_paper() {
+        assert_eq!(Baseline::LoadAndExec.name(), "Load&Exec");
+        assert_eq!(Baseline::StdPipeline(Bitwidth::B6).name(), "StdPL-6bit");
+        assert_eq!(Baseline::StdPipeline(Bitwidth::Full).name(), "StdPL-full");
+        assert_eq!(Baseline::PreloadModel(Bitwidth::Full).name(), "Preload-full");
+        assert_eq!(Baseline::Sti.name(), "Ours");
+        assert_eq!(Baseline::StiNoPreload.name(), "Ours-0MB");
+    }
+
+    #[test]
+    fn load_and_exec_is_crippled_by_io() {
+        let hw = hw();
+        let imp = importance();
+        let t = SimTime::from_ms(400);
+        let le = Baseline::LoadAndExec.plan(&hw, &imp, t, 0);
+        let sti = Baseline::Sti.plan(&hw, &imp, t, 1 << 20);
+        assert!(
+            sti.shape.shard_count() > 3 * le.shape.shard_count(),
+            "STI should run several times more FLOPs: {} vs {}",
+            sti.shape,
+            le.shape
+        );
+    }
+
+    #[test]
+    fn stdpl_full_stalls_and_shrinks() {
+        let hw = hw();
+        let imp = importance();
+        let t = SimTime::from_ms(400);
+        let full = Baseline::StdPipeline(Bitwidth::Full).plan(&hw, &imp, t, 0);
+        let b6 = Baseline::StdPipeline(Bitwidth::B6).plan(&hw, &imp, t, 0);
+        assert!(
+            b6.shape.shard_count() > full.shape.shard_count(),
+            "6-bit pipeline must fit a larger submodel ({} vs {})",
+            b6.shape,
+            full.shape
+        );
+    }
+
+    #[test]
+    fn preload_model_matches_sti_flops() {
+        // PreloadModel has no IO constraint; STI should reach (close to) the
+        // same FLOPs thanks to its elastic pipeline (paper §7.3).
+        let hw = hw();
+        let imp = importance();
+        for t_ms in [150u64, 200, 400] {
+            let t = SimTime::from_ms(t_ms);
+            let pm = Baseline::PreloadModel(Bitwidth::Full).plan(&hw, &imp, t, 0);
+            let sti = Baseline::Sti.plan(&hw, &imp, t, 1 << 20);
+            assert_eq!(
+                sti.shape.shard_count(),
+                pm.shape.shard_count(),
+                "T={t_ms}: STI {} vs PreloadModel {}",
+                sti.shape,
+                pm.shape
+            );
+        }
+    }
+
+    #[test]
+    fn all_plans_fit_their_targets() {
+        let hw = hw();
+        let imp = importance();
+        for baseline in Baseline::table5_lineup() {
+            let plan = baseline.plan(&hw, &imp, SimTime::from_ms(400), 1 << 20);
+            let minimum_fallback = plan.shape.shard_count() <= 3;
+            assert!(
+                plan.predicted.makespan <= SimTime::from_ms(400) || minimum_fallback,
+                "{baseline} makespan {} exceeds target with non-minimal submodel {}",
+                plan.predicted.makespan,
+                plan.shape
+            );
+        }
+    }
+
+    #[test]
+    fn preload_model_has_zero_io_in_timeline(){
+        let hw = hw();
+        let imp = importance();
+        let plan = Baseline::PreloadModel(Bitwidth::B6).plan(&hw, &imp, SimTime::from_ms(200), 0);
+        assert_eq!(plan.predicted.total_stall, SimTime::ZERO);
+        assert!(plan.layers.iter().all(|pl| pl
+            .items()
+            .all(|(s, _)| plan.is_preloaded(sti_transformer::ShardId::new(pl.layer, s)))));
+    }
+
+    #[test]
+    fn sti_outfits_stdpl_at_equal_bitwidth_budget() {
+        // Fig 8's story: with the same device and target, STI runs a larger
+        // or equal submodel than StdPL-6bit.
+        let hw = hw();
+        let imp = importance();
+        let t = SimTime::from_ms(200);
+        let std6 = Baseline::StdPipeline(Bitwidth::B6).plan(&hw, &imp, t, 0);
+        let sti = Baseline::Sti.plan(&hw, &imp, t, 1 << 20);
+        assert!(sti.shape.shard_count() >= std6.shape.shard_count());
+    }
+}

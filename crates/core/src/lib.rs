@@ -1,0 +1,77 @@
+//! # STI: Speedy Transformer Inference
+//!
+//! A from-scratch Rust reproduction of *STI: Turbocharge NLP Inference at
+//! the Edge via Elastic Pipelining* (Guo, Choe & Lin, ASPLOS '23).
+//!
+//! STI reconciles the latency/memory tension of on-device transformer
+//! inference with two techniques:
+//!
+//! 1. **Elastic model sharding** — every layer is split into `M` vertical
+//!    slices (one attention head + `1/M` of the FFN), each stored on flash
+//!    in `K` quantized fidelity versions; any `n × m` subset at any mix of
+//!    fidelities is a runnable submodel.
+//! 2. **Elastic pipeline planning** — a two-stage planner picks the
+//!    max-FLOPs submodel that computes within the target latency, then
+//!    allocates per-shard bitwidths under layerwise *Accumulated IO
+//!    Budgets* so IO never stalls the compute pipeline, spending a small
+//!    *preload buffer* to warm the first layers.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use std::sync::Arc;
+//! use sti::prelude::*;
+//!
+//! // A synthetic "fine-tuned model" + task (offline stand-in for GLUE).
+//! let cfg = ModelConfig::tiny();
+//! let task = Task::build(TaskKind::Sst2, cfg.clone(), 4, 4);
+//!
+//! // Device + store + importance profile (one-time, per model/device).
+//! let device = DeviceProfile::odroid_n2();
+//! let hw = HwProfile::measure(&device, &cfg, &QuantConfig::default());
+//! let store = Arc::new(MemStore::build(task.model(), &Bitwidth::ALL, &QuantConfig::default()));
+//! let importance = profile_importance(task.model(), task.dev(), &QuantConfig::default());
+//!
+//! // Plan once, infer repeatedly.
+//! let engine = StiEngine::builder(task.model().clone(), store, hw, device.flash, importance)
+//!     .target(SimTime::from_ms(300))
+//!     .preload_budget(64 << 10)
+//!     .widths(&[2, 4])
+//!     .build()?;
+//! let inference = engine.infer(&[1, 2, 3])?;
+//! assert!(inference.class < 2);
+//! # Ok::<(), sti_pipeline::PipelineError>(())
+//! ```
+//!
+//! The [`baselines`] module implements the comparison systems of the
+//! paper's Table 4 and [`runner`] evaluates any of them on any task /
+//! device / latency — the machinery behind every experiment binary in
+//! `sti-bench`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod gold;
+pub mod runner;
+
+pub use baselines::Baseline;
+pub use runner::{run_experiment, Experiment, RunResult, TaskContext};
+
+/// One-stop imports for applications and experiments.
+pub mod prelude {
+    pub use crate::baselines::Baseline;
+    pub use crate::gold::gold_accuracy;
+    pub use crate::runner::{run_experiment, Experiment, RunResult, TaskContext};
+    pub use sti_device::{ComputeModel, DeviceProfile, FlashModel, HwProfile, PowerModel, SimTime};
+    pub use sti_nlp::{Dataset, HashingTokenizer, Task, TaskKind};
+    pub use sti_pipeline::{Inference, PipelineError, PipelineExecutor, PreloadBuffer, StiEngine};
+    pub use sti_planner::compute_plan::DYNABERT_WIDTHS;
+    pub use sti_planner::{
+        plan_compute, plan_io, plan_two_stage, profile_importance, ExecutionPlan,
+        ImportanceProfile, SubmodelShape,
+    };
+    pub use sti_quant::{Bitwidth, QuantConfig, QuantizedBlob};
+    pub use sti_storage::{MemStore, ShardKey, ShardSource, ShardStore};
+    pub use sti_transformer::{Model, ModelConfig, ShardId};
+}

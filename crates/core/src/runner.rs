@@ -1,0 +1,282 @@
+//! The experiment runner: evaluate any baseline on any task, device, target
+//! latency, and preload budget — the machinery behind every table and
+//! figure binary in `sti-bench`.
+
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+use parking_lot::Mutex;
+use sti_device::{DeviceProfile, HwProfile, SimTime};
+use sti_nlp::{Task, TaskKind};
+use sti_planner::{profile_importance, ExecutionPlan, ImportanceProfile};
+use sti_quant::{Bitwidth, QuantConfig, QuantizedBlob};
+use sti_transformer::{AssembledSubmodel, ModelConfig, ShardId, ShardWeights};
+
+use crate::baselines::Baseline;
+
+/// A materialized task plus the per-model caches every experiment shares:
+/// the shard-importance profile (expensive: `N·M + 1` dev evaluations) and
+/// dequantized shard weights per fidelity.
+pub struct TaskContext {
+    task: Task,
+    quant: QuantConfig,
+    importance: OnceLock<ImportanceProfile>,
+    dequant_cache: Mutex<HashMap<(ShardId, Bitwidth), ShardWeights>>,
+}
+
+impl TaskContext {
+    /// Builds the context for a task at the default experiment scale.
+    pub fn new(kind: TaskKind) -> Self {
+        Self::with_config(kind, ModelConfig::scaled_bert())
+    }
+
+    /// Builds the context with a custom model configuration (tests use
+    /// [`ModelConfig::tiny`]).
+    pub fn with_config(kind: TaskKind, cfg: ModelConfig) -> Self {
+        let task = Task::build_default(kind, cfg);
+        Self {
+            task,
+            quant: QuantConfig::default(),
+            importance: OnceLock::new(),
+            dequant_cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The underlying task.
+    pub fn task(&self) -> &Task {
+        &self.task
+    }
+
+    /// The quantization configuration in effect.
+    pub fn quant(&self) -> &QuantConfig {
+        &self.quant
+    }
+
+    /// The shard-importance profile, computed on first use (§5.2's offline
+    /// profiling pass).
+    pub fn importance(&self) -> &ImportanceProfile {
+        self.importance
+            .get_or_init(|| profile_importance(self.task.model(), self.task.dev(), &self.quant))
+    }
+
+    /// Injects a previously computed importance profile (the bench harness
+    /// caches profiles on disk to avoid re-probing across binaries).
+    ///
+    /// Returns `false` if a profile was already resident.
+    pub fn set_importance(&self, profile: ImportanceProfile) -> bool {
+        self.importance.set(profile).is_ok()
+    }
+
+    /// Dequantized weights of one shard at one fidelity, cached.
+    fn dequantized(&self, id: ShardId, bw: Bitwidth) -> ShardWeights {
+        if let Some(w) = self.dequant_cache.lock().get(&(id, bw)) {
+            return w.clone();
+        }
+        let cfg = self.task.model().config();
+        let flat = self.task.model().shard(id).flatten();
+        let blob = QuantizedBlob::quantize(&flat, bw, &self.quant);
+        let weights = ShardWeights::from_flat(&blob.dequantize(), cfg);
+        self.dequant_cache.lock().insert((id, bw), weights.clone());
+        weights
+    }
+
+    /// Materializes a plan's submodel at its planned fidelities.
+    pub fn assemble_plan(&self, plan: &ExecutionPlan) -> AssembledSubmodel {
+        let mut sub = AssembledSubmodel::new();
+        for pl in &plan.layers {
+            let shards: Vec<ShardWeights> = pl
+                .items()
+                .map(|(slice, bw)| self.dequantized(ShardId::new(pl.layer, slice), bw))
+                .collect();
+            sub.push_layer(pl.slices.iter().map(|&s| s as usize).collect(), shards);
+        }
+        sub
+    }
+
+    /// Measures a plan's accuracy (and binary F1) on the task's test split —
+    /// real forward passes over the dequantized submodel.
+    pub fn evaluate_plan(&self, plan: &ExecutionPlan) -> (f64, f64) {
+        let sub = self.assemble_plan(plan);
+        let preds: Vec<usize> = self
+            .task
+            .test()
+            .iter()
+            .map(|e| self.task.model().predict_assembled(&e.tokens, &sub).0)
+            .collect();
+        (self.task.test_accuracy(&preds), self.task.test_f1(&preds))
+    }
+}
+
+/// One experiment point: a baseline on a device under a latency target and
+/// preload budget.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    /// The system under test.
+    pub baseline: Baseline,
+    /// The device model.
+    pub device: DeviceProfile,
+    /// Target latency `T`.
+    pub target: SimTime,
+    /// Preload-buffer budget `|S|` (ignored by non-STI baselines).
+    pub preload_bytes: u64,
+}
+
+/// The measured outcome of one experiment point.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// The system under test.
+    pub baseline: Baseline,
+    /// The plan it produced.
+    pub plan: ExecutionPlan,
+    /// Test-split accuracy.
+    pub accuracy: f64,
+    /// Test-split binary F1 (class 1 positive).
+    pub f1: f64,
+    /// Predicted end-to-end latency.
+    pub makespan: SimTime,
+    /// Whether the makespan fits the target.
+    pub within_target: bool,
+    /// Parameter memory held *persistently* (preload buffer / whole model).
+    pub persistent_param_bytes: u64,
+    /// Peak parameter memory during execution (persistent + in-flight
+    /// compressed layers + decompressed working set).
+    pub peak_param_bytes: u64,
+}
+
+impl RunResult {
+    /// Submodel shape shorthand.
+    pub fn shape(&self) -> sti_planner::SubmodelShape {
+        self.plan.shape
+    }
+}
+
+/// Runs one experiment point.
+pub fn run_experiment(ctx: &TaskContext, exp: &Experiment) -> RunResult {
+    let cfg = ctx.task().model().config().clone();
+    let hw = HwProfile::measure(&exp.device, &cfg, ctx.quant());
+    let importance = ctx.importance();
+    let plan = exp.baseline.plan(&hw, importance, exp.target, exp.preload_bytes);
+    let (accuracy, f1) = ctx.evaluate_plan(&plan);
+    let makespan = plan.predicted.makespan;
+
+    let working_bytes = plan.shape.width as u64 * cfg.shard_fp32_bytes() as u64;
+    let layer_bytes = |pl: &sti_planner::PlannedLayer| -> u64 {
+        pl.bitwidths.iter().map(|&bw| hw.shard_bytes(bw)).sum()
+    };
+    let max_layer_bytes = plan.layers.iter().map(&layer_bytes).max().unwrap_or(0);
+    let preload_bytes: u64 =
+        plan.preload.iter().map(|&(_, bw)| hw.shard_bytes(bw)).sum();
+
+    let (persistent, peak) = match exp.baseline {
+        Baseline::PreloadModel(bw) => {
+            // Holds the *whole* N×M model resident, not just the submodel
+            // (§7.2: "the PreloadModel baselines hold the whole 12x12 model
+            // in memory").
+            let whole = cfg.total_shards() as u64 * hw.shard_bytes(bw);
+            (whole, whole + working_bytes)
+        }
+        Baseline::LoadAndExec => {
+            let submodel: u64 = plan.layers.iter().map(&layer_bytes).sum();
+            (0, submodel + working_bytes)
+        }
+        Baseline::StdPipeline(_) => (0, 2 * max_layer_bytes + working_bytes),
+        Baseline::StiNoPreload => (0, 2 * max_layer_bytes + working_bytes),
+        Baseline::Sti => {
+            (preload_bytes, preload_bytes + 2 * max_layer_bytes + working_bytes)
+        }
+    };
+
+    RunResult {
+        baseline: exp.baseline,
+        within_target: makespan <= exp.target,
+        plan,
+        accuracy,
+        f1,
+        makespan,
+        persistent_param_bytes: persistent,
+        peak_param_bytes: peak,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> TaskContext {
+        TaskContext::with_config(TaskKind::Sst2, ModelConfig::tiny())
+    }
+
+    fn exp(baseline: Baseline, t_ms: u64) -> Experiment {
+        Experiment {
+            baseline,
+            device: DeviceProfile::odroid_n2(),
+            target: SimTime::from_ms(t_ms),
+            preload_bytes: 4 << 10,
+        }
+    }
+
+    #[test]
+    fn importance_is_computed_once_and_cached() {
+        let c = ctx();
+        let a = c.importance() as *const _;
+        let b = c.importance() as *const _;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn set_importance_preempts_profiling() {
+        let c = ctx();
+        let cfg = c.task().model().config();
+        let fake = ImportanceProfile::from_scores(
+            cfg.layers,
+            cfg.heads,
+            vec![0.5; cfg.total_shards()],
+            0.4,
+        );
+        assert!(c.set_importance(fake.clone()));
+        assert_eq!(c.importance(), &fake);
+        assert!(!c.set_importance(fake));
+    }
+
+    #[test]
+    fn run_produces_sane_numbers() {
+        let c = ctx();
+        let r = run_experiment(&c, &exp(Baseline::Sti, 400));
+        assert!((0.0..=1.0).contains(&r.accuracy));
+        assert!((0.0..=1.0).contains(&r.f1));
+        assert!(r.makespan > SimTime::ZERO);
+        assert!(r.peak_param_bytes >= r.persistent_param_bytes);
+    }
+
+    #[test]
+    fn preload_model_dominates_memory() {
+        let c = ctx();
+        let pm = run_experiment(&c, &exp(Baseline::PreloadModel(Bitwidth::Full), 400));
+        let sti = run_experiment(&c, &exp(Baseline::Sti, 400));
+        assert!(
+            pm.persistent_param_bytes > 10 * sti.persistent_param_bytes.max(1),
+            "whole-model preload must dwarf STI's buffer: {} vs {}",
+            pm.persistent_param_bytes,
+            sti.persistent_param_bytes
+        );
+    }
+
+    #[test]
+    fn evaluate_plan_is_deterministic() {
+        let c = ctx();
+        let r1 = run_experiment(&c, &exp(Baseline::StdPipeline(Bitwidth::B6), 400));
+        let r2 = run_experiment(&c, &exp(Baseline::StdPipeline(Bitwidth::B6), 400));
+        assert_eq!(r1.accuracy, r2.accuracy);
+        assert_eq!(r1.plan, r2.plan);
+    }
+
+    #[test]
+    fn dequant_cache_accelerates_reuse() {
+        let c = ctx();
+        let _ = run_experiment(&c, &exp(Baseline::Sti, 300));
+        let cached = c.dequant_cache.lock().len();
+        assert!(cached > 0, "cache should be warm after a run");
+        let _ = run_experiment(&c, &exp(Baseline::Sti, 300));
+        assert_eq!(c.dequant_cache.lock().len(), cached, "second run adds nothing new");
+    }
+}

@@ -1,0 +1,37 @@
+//! # sti-device
+//!
+//! The hardware-capability substrate of the reproduction. The paper runs on
+//! two commodity SoCs (Odroid-N2+ CPU and Jetson Nano GPU, Table 2); offline
+//! we model them as *delay functions* over simulated time:
+//!
+//! - [`FlashModel`] — storage IO delay as bandwidth + per-request latency,
+//!   calibrated so a full-fidelity layer load takes ≈339 ms (Odroid), the
+//!   skew the paper measures in §2.2;
+//! - [`ComputeModel`] — per-layer computation delay as a function of width
+//!   `m`, sequence length, and DVFS level, including the GPU's
+//!   non-proportionality (§7.3: a 12-shard layer is only ~0.7% slower than a
+//!   3-shard layer on Jetson);
+//! - [`profiler`] — the installation-time measurement pass of paper §5.2,
+//!   producing the `T_io(k)` / `T_comp(l, m, freq)` tables the planner
+//!   consumes.
+//!
+//! The planner and pipeline interact with hardware *only* through the
+//! profiled [`profiler::HwProfile`], exactly as in the paper — so swapping
+//! the simulation for real measurements is a local change.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod compute;
+pub mod energy;
+pub mod flash;
+pub mod profile;
+pub mod profiler;
+
+pub use clock::SimTime;
+pub use compute::ComputeModel;
+pub use energy::PowerModel;
+pub use flash::FlashModel;
+pub use profile::DeviceProfile;
+pub use profiler::HwProfile;

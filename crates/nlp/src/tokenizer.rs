@@ -1,0 +1,100 @@
+//! Deterministic hashing tokenizer.
+//!
+//! The paper treats tokenization/embedding as an app component orthogonal to
+//! the engine (§3.1). For the runnable examples we still want text in, so
+//! this module hashes whitespace-separated words into a fixed vocabulary
+//! (FNV-1a), which is deterministic and dependency-free.
+
+/// A stateless word-hashing tokenizer over a fixed vocabulary.
+///
+/// ```
+/// use sti_nlp::HashingTokenizer;
+///
+/// let tok = HashingTokenizer::new(512);
+/// let ids = tok.tokenize("i like this movie");
+/// assert_eq!(ids.len(), 4);
+/// assert!(ids.iter().all(|&t| (t as usize) < 512));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HashingTokenizer {
+    vocab: usize,
+}
+
+impl HashingTokenizer {
+    /// Creates a tokenizer mapping into `[0, vocab)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vocab < 2` (id 0 is reserved for padding).
+    pub fn new(vocab: usize) -> Self {
+        assert!(vocab >= 2, "vocabulary must have at least two entries");
+        Self { vocab }
+    }
+
+    /// The vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    /// Hashes one word to a token id in `[1, vocab)` (0 is padding).
+    pub fn token_id(&self, word: &str) -> u32 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+        let mut hash = FNV_OFFSET;
+        for b in word.as_bytes() {
+            hash ^= *b as u64;
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+        1 + (hash % (self.vocab as u64 - 1)) as u32
+    }
+
+    /// Tokenizes text by lowercasing and splitting on whitespace and
+    /// punctuation.
+    pub fn tokenize(&self, text: &str) -> Vec<u32> {
+        text.split(|c: char| c.is_whitespace() || c.is_ascii_punctuation())
+            .filter(|w| !w.is_empty())
+            .map(|w| self.token_id(&w.to_lowercase()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_word_same_id() {
+        let t = HashingTokenizer::new(128);
+        assert_eq!(t.token_id("hello"), t.token_id("hello"));
+    }
+
+    #[test]
+    fn ids_stay_in_vocab_and_avoid_padding() {
+        let t = HashingTokenizer::new(64);
+        for word in ["a", "bb", "ccc", "the", "transformer", "µ-unicode"] {
+            let id = t.token_id(word);
+            assert!((1..64).contains(&(id as usize)), "{word} -> {id}");
+        }
+    }
+
+    #[test]
+    fn tokenize_splits_punctuation_and_case() {
+        let t = HashingTokenizer::new(256);
+        let a = t.tokenize("I like this!");
+        let b = t.tokenize("i LIKE this");
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn empty_text_gives_no_tokens() {
+        let t = HashingTokenizer::new(64);
+        assert!(t.tokenize("  ... !?").is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn rejects_tiny_vocab() {
+        let _ = HashingTokenizer::new(1);
+    }
+}

@@ -1,0 +1,68 @@
+//! Pipeline error type.
+
+use std::fmt;
+
+use sti_storage::StorageError;
+
+/// Errors surfaced while executing a pipeline.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum PipelineError {
+    /// A shard load failed.
+    Storage(StorageError),
+    /// The plan references weights inconsistent with the model.
+    PlanMismatch(String),
+    /// The preload buffer cannot hold a shard it was asked to admit.
+    PreloadOverflow {
+        /// Bytes the shard needs.
+        needed: u64,
+        /// Bytes still free.
+        available: u64,
+    },
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Storage(e) => write!(f, "pipeline storage failure: {e}"),
+            PipelineError::PlanMismatch(why) => write!(f, "plan/model mismatch: {why}"),
+            PipelineError::PreloadOverflow { needed, available } => {
+                write!(f, "preload buffer overflow: need {needed} bytes, {available} free")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PipelineError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for PipelineError {
+    fn from(e: StorageError) -> Self {
+        PipelineError::Storage(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = PipelineError::PreloadOverflow { needed: 10, available: 5 };
+        assert!(e.to_string().contains("overflow"));
+        let e = PipelineError::PlanMismatch("depth".into());
+        assert!(e.to_string().contains("depth"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PipelineError>();
+    }
+}

@@ -1,0 +1,32 @@
+//! # sti-pipeline
+//!
+//! STI's execution engine (paper §3, §5.5): a layerwise IO/compute pipeline
+//! that loads each layer's selected shard versions as one IO job on a
+//! dedicated thread, decompresses them into a reusable working buffer, and
+//! computes the layer while the next layer's IO is in flight. A small
+//! *preload buffer* of bottom-layer shards warms the pipeline so early
+//! layers do not stall.
+//!
+//! - [`buffers`] — the preload buffer (persistent, capacity-bounded,
+//!   evicting top layers first) and the working buffer (one layer's worth of
+//!   decompressed weights, reused across layers);
+//! - [`executor`] — the pipeline executor: real threads, real storage reads,
+//!   real forward passes, with the simulated-time timeline accounted per
+//!   layer;
+//! - [`engine`] — the app-facing facade: plan once, execute repeatedly,
+//!   replan on target/budget changes (§3.2), cache shards between
+//!   back-to-back executions (§3.3).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod buffers;
+pub mod engine;
+pub mod error;
+pub mod executor;
+pub mod trace;
+
+pub use buffers::{PreloadBuffer, WorkingBuffer};
+pub use engine::{Inference, StiEngine, StiEngineBuilder};
+pub use error::PipelineError;
+pub use executor::{ExecutionOutcome, PipelineExecutor};

@@ -1,0 +1,221 @@
+//! Stage 1: compute planning (paper §5.3).
+//!
+//! Propose the submodel `n × m` with maximum FLOPs whose *computation alone*
+//! fits the target latency (IO is meant to overlap; stage 2 ensures it can).
+//! Ties on shard count prefer the deeper candidate, because attention heads
+//! within a layer are redundant while extra depth adds distinct features
+//! (§5.3, citing \[38\]).
+
+use sti_device::{HwProfile, SimTime};
+
+use crate::plan::SubmodelShape;
+
+/// The outcome of compute planning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ComputeChoice {
+    /// The proposed submodel shape.
+    pub shape: SubmodelShape,
+    /// Predicted total computation time (`n · T_comp(m)`).
+    pub compute_time: SimTime,
+    /// Whether the proposal fits the target (false only when even the
+    /// smallest candidate exceeds it; the engine then runs the minimum and
+    /// accepts the overshoot).
+    pub within_target: bool,
+}
+
+impl ComputeChoice {
+    /// Slack left under the target: `T − n·T_comp(m)` (zero if over target).
+    pub fn slack(&self, target: SimTime) -> SimTime {
+        target.saturating_sub(self.compute_time)
+    }
+}
+
+/// The submodel widths a DynaBERT-style dynamic transformer supports: width
+/// multipliers 0.25/0.5/0.75/1.0 of the 12-head layer (paper §7.1 builds on
+/// DynaBERT \[26\]).
+pub const DYNABERT_WIDTHS: [usize; 4] = [3, 6, 9, 12];
+
+/// The DynaBERT width multipliers (0.25/0.5/0.75/1.0) applied to an
+/// arbitrary head count — equals [`DYNABERT_WIDTHS`] for the 12-head grid.
+pub fn dynabert_widths_for(heads: usize) -> Vec<usize> {
+    let mut widths: Vec<usize> =
+        (1..=4).map(|q| (heads * q) / 4).filter(|&w| w >= 1).collect();
+    widths.dedup();
+    if widths.is_empty() {
+        widths.push(heads.max(1));
+    }
+    widths
+}
+
+/// Enumerates all `(n, m)` pairs (`n ≤ max_layers`, `m ∈ widths`) and picks
+/// the largest-then-deepest submodel whose compute fits `target`.
+///
+/// The enumeration is at most 144 pairs for the 12×12 grid — constant and
+/// cheap, as the paper notes.
+///
+/// # Panics
+///
+/// Panics if `max_layers == 0` or `widths` is empty/out of range for the
+/// profile.
+pub fn plan_compute(
+    hw: &HwProfile,
+    max_layers: usize,
+    target: SimTime,
+    widths: &[usize],
+) -> ComputeChoice {
+    assert!(max_layers > 0, "model must have at least one layer");
+    assert!(!widths.is_empty(), "width set must not be empty");
+    let mut widths: Vec<usize> = widths.to_vec();
+    widths.sort_unstable();
+    widths.dedup();
+    let lo = widths[0];
+    let hi = *widths.last().expect("non-empty");
+    assert!(lo >= 1 && hi <= hw.heads, "width range {lo}..={hi} invalid");
+
+    let mut best: Option<(SubmodelShape, SimTime)> = None;
+    for &m in &widths {
+        let per_layer = hw.t_comp(m);
+        for n in 1..=max_layers {
+            let total = per_layer * n as u64;
+            if total > target {
+                break;
+            }
+            let cand = SubmodelShape::new(n, m);
+            let better = match &best {
+                None => true,
+                Some((b, _)) => {
+                    cand.shard_count() > b.shard_count()
+                        || (cand.shard_count() == b.shard_count() && cand.depth > b.depth)
+                }
+            };
+            if better {
+                best = Some((cand, total));
+            }
+        }
+    }
+
+    match best {
+        Some((shape, compute_time)) => ComputeChoice { shape, compute_time, within_target: true },
+        None => {
+            // Even 1 layer at minimum width misses the target: run it anyway
+            // (the paper observes all systems degrade below ~100 ms targets).
+            let shape = SubmodelShape::new(1, lo);
+            ComputeChoice { shape, compute_time: hw.t_comp(lo), within_target: false }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sti_device::DeviceProfile;
+    use sti_quant::QuantConfig;
+    use sti_transformer::ModelConfig;
+
+    fn odroid_profile() -> HwProfile {
+        HwProfile::measure(
+            &DeviceProfile::odroid_n2(),
+            &ModelConfig::scaled_bert(),
+            &QuantConfig::default(),
+        )
+    }
+
+    fn jetson_profile() -> HwProfile {
+        HwProfile::measure(
+            &DeviceProfile::jetson_nano(),
+            &ModelConfig::scaled_bert(),
+            &QuantConfig::default(),
+        )
+    }
+
+    #[test]
+    fn larger_targets_allow_larger_submodels() {
+        let hw = odroid_profile();
+        let mut prev = 0;
+        for t in [150u64, 200, 400, 800] {
+            let choice = plan_compute(&hw, 12, SimTime::from_ms(t), &DYNABERT_WIDTHS);
+            assert!(choice.within_target);
+            assert!(choice.shape.shard_count() >= prev, "shards shrank at T={t}");
+            prev = choice.shape.shard_count();
+        }
+    }
+
+    #[test]
+    fn compute_fits_target() {
+        let hw = odroid_profile();
+        for t in [150u64, 200, 400] {
+            let target = SimTime::from_ms(t);
+            let choice = plan_compute(&hw, 12, target, &DYNABERT_WIDTHS);
+            assert!(choice.compute_time <= target);
+            // Maximality: one more layer would overflow.
+            let shape = choice.shape;
+            let extra = hw.t_comp(shape.width) * (shape.depth as u64 + 1);
+            assert!(extra > target, "planner left a whole layer of slack at T={t}");
+        }
+    }
+
+    #[test]
+    fn cpu_prefers_deeper_narrower_submodels() {
+        // On the width-proportional CPU, depth trades against width; the
+        // planner should not pick maximum width at short targets.
+        let hw = odroid_profile();
+        let choice = plan_compute(&hw, 12, SimTime::from_ms(200), &DYNABERT_WIDTHS);
+        assert!(
+            choice.shape.depth > choice.shape.width,
+            "expected deep/narrow on CPU, got {}",
+            choice.shape
+        );
+    }
+
+    #[test]
+    fn gpu_prefers_wide_submodels() {
+        // On the width-insensitive GPU, width is nearly free.
+        let hw = jetson_profile();
+        let choice = plan_compute(&hw, 12, SimTime::from_ms(200), &DYNABERT_WIDTHS);
+        assert_eq!(choice.shape.width, 12, "GPU should max out width, got {}", choice.shape);
+    }
+
+    #[test]
+    fn impossible_target_falls_back_to_minimum() {
+        let hw = odroid_profile();
+        let choice = plan_compute(&hw, 12, SimTime::from_ms(1), &DYNABERT_WIDTHS);
+        assert!(!choice.within_target);
+        assert_eq!(choice.shape, SubmodelShape::new(1, 3));
+    }
+
+    #[test]
+    fn tie_break_prefers_depth() {
+        // Construct a profile where 2x6 and 4x3 both fit exactly: t_comp
+        // linear in m with zero fixed cost would make all equal-shard shapes
+        // cost the same; the deeper one must win.
+        let dev = DeviceProfile {
+            compute: sti_device::ComputeModel {
+                fixed_layer: SimTime::ZERO,
+                per_shard: SimTime::from_ms(10),
+                reference_seq: 12,
+                decompress_per_shard: SimTime::ZERO,
+            },
+            ..DeviceProfile::odroid_n2()
+        };
+        let hw = HwProfile::measure(&dev, &ModelConfig::scaled_bert(), &QuantConfig::default());
+        let choice = plan_compute(&hw, 4, SimTime::from_ms(120), &DYNABERT_WIDTHS);
+        // Budget fits 12 shard-units of compute: candidates 1x12, 2x6, 4x3.
+        assert_eq!(choice.shape.shard_count(), 12);
+        assert_eq!(choice.shape.depth, 4, "deeper candidate must win ties: {}", choice.shape);
+    }
+
+    #[test]
+    fn slack_is_target_minus_compute() {
+        let hw = odroid_profile();
+        let target = SimTime::from_ms(400);
+        let choice = plan_compute(&hw, 12, target, &DYNABERT_WIDTHS);
+        assert_eq!(choice.slack(target), target - choice.compute_time);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid")]
+    fn rejects_bad_width_range() {
+        let hw = odroid_profile();
+        let _ = plan_compute(&hw, 12, SimTime::from_ms(100), &[0, 12]);
+    }
+}

@@ -1,0 +1,291 @@
+//! Shard-importance profiling (paper §5.2).
+//!
+//! A shard is more important if giving *it* high fidelity (while everything
+//! else stays at the 2-bit floor) raises dev-set accuracy more. The paper
+//! enumerates all `N × M` shards, raising each to 32-bit in turn, and ranks
+//! shards by the resulting dev accuracy. We measure *soft* accuracy (mean
+//! probability assigned to the gold label) so that small dev sets still
+//! produce a total order instead of massive ties.
+
+use serde::{Deserialize, Serialize};
+use sti_nlp::metrics::soft_accuracy;
+use sti_nlp::Dataset;
+use sti_quant::{Bitwidth, QuantConfig, QuantizedBlob};
+use sti_tensor::parallel::parallel_map;
+use sti_transformer::{AssembledSubmodel, Model, ShardId, ShardWeights};
+
+/// The profiled importance of every shard in the grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ImportanceProfile {
+    layers: usize,
+    heads: usize,
+    /// Soft dev accuracy with shard `layer·M + slice` at full fidelity and
+    /// the rest at 2-bit.
+    scores: Vec<f64>,
+    /// Soft dev accuracy of the all-2-bit grid.
+    baseline: f64,
+}
+
+impl ImportanceProfile {
+    /// Builds a profile from precomputed scores (tests and serialization).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scores.len() != layers * heads`.
+    pub fn from_scores(layers: usize, heads: usize, scores: Vec<f64>, baseline: f64) -> Self {
+        assert_eq!(scores.len(), layers * heads, "score grid shape mismatch");
+        Self { layers, heads, scores, baseline }
+    }
+
+    /// Grid depth `N`.
+    pub fn layers(&self) -> usize {
+        self.layers
+    }
+
+    /// Grid width `M`.
+    pub fn heads(&self) -> usize {
+        self.heads
+    }
+
+    /// The all-2-bit baseline soft accuracy.
+    pub fn baseline(&self) -> f64 {
+        self.baseline
+    }
+
+    /// The probe score of one shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is outside the grid.
+    pub fn score(&self, id: ShardId) -> f64 {
+        assert!((id.layer as usize) < self.layers && (id.slice as usize) < self.heads);
+        self.scores[id.layer as usize * self.heads + id.slice as usize]
+    }
+
+    /// Importance gain of a shard over the 2-bit baseline.
+    pub fn gain(&self, id: ShardId) -> f64 {
+        self.score(id) - self.baseline
+    }
+
+    /// All shards ranked by descending importance (ties broken by id for
+    /// determinism).
+    pub fn ranking(&self) -> Vec<ShardId> {
+        let mut ids: Vec<ShardId> = (0..self.layers as u16)
+            .flat_map(|l| (0..self.heads as u16).map(move |s| ShardId::new(l, s)))
+            .collect();
+        ids.sort_by(|a, b| {
+            self.score(*b)
+                .partial_cmp(&self.score(*a))
+                .expect("scores are finite")
+                .then(a.cmp(b))
+        });
+        ids
+    }
+
+    /// For each of the first `depth` layers, the `m` most important slices
+    /// of that layer in ascending slice order — how the planner picks which
+    /// slices constitute an `n × m` submodel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m > heads` or `depth > layers`.
+    pub fn top_slices_per_layer(&self, depth: usize, m: usize) -> Vec<Vec<u16>> {
+        assert!(m >= 1 && m <= self.heads, "width {m} out of range");
+        assert!(depth <= self.layers, "depth {depth} out of range");
+        (0..depth as u16)
+            .map(|l| {
+                let mut slices: Vec<u16> = (0..self.heads as u16).collect();
+                slices.sort_by(|a, b| {
+                    self.score(ShardId::new(l, *b))
+                        .partial_cmp(&self.score(ShardId::new(l, *a)))
+                        .expect("scores are finite")
+                        .then(a.cmp(b))
+                });
+                let mut top = into_top(m, slices);
+                top.sort_unstable();
+                top
+            })
+            .collect()
+    }
+
+    /// Renders the grid as the heatmap of paper Figure 5: one row per layer
+    /// (layer 0 at the top), digits 0–9 scaled between the minimum and
+    /// maximum gain (9 = most important).
+    pub fn heatmap_string(&self) -> String {
+        let min = self.scores.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = self.scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let span = (max - min).max(1e-12);
+        let mut out = String::new();
+        for l in 0..self.layers {
+            for s in 0..self.heads {
+                let v = self.scores[l * self.heads + s];
+                let digit = ((v - min) / span * 9.0).round() as u32;
+                out.push_str(&format!("{digit} "));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Mean gain per layer — summarizes where importance concentrates
+    /// (bottom-heavy for RTE-like tasks, spread out for SST-2-like ones).
+    pub fn layer_mean_gains(&self) -> Vec<f64> {
+        (0..self.layers)
+            .map(|l| {
+                let row = &self.scores[l * self.heads..(l + 1) * self.heads];
+                row.iter().map(|s| s - self.baseline).sum::<f64>() / self.heads as f64
+            })
+            .collect()
+    }
+}
+
+fn into_top(m: usize, slices: Vec<u16>) -> Vec<u16> {
+    slices.into_iter().take(m).collect()
+}
+
+/// Runs the §5.2 profiling procedure: dequantize the whole grid at 2-bit,
+/// then for each shard swap in its full-fidelity weights and measure soft
+/// dev accuracy.
+///
+/// The cost is `(N·M + 1)` dev-set evaluations of the full grid; probes run
+/// in parallel across available cores.
+pub fn profile_importance(model: &Model, dev: &Dataset, quant: &QuantConfig) -> ImportanceProfile {
+    let cfg = model.config().clone();
+    assert!(!dev.is_empty(), "importance profiling needs a non-empty dev set");
+
+    // Decompressed 2-bit weights of the entire grid, computed once.
+    let floor: Vec<Vec<ShardWeights>> = (0..cfg.layers as u16)
+        .map(|l| {
+            (0..cfg.heads as u16)
+                .map(|s| {
+                    let flat = model.shard(ShardId::new(l, s)).flatten();
+                    let blob = QuantizedBlob::quantize(&flat, Bitwidth::B2, quant);
+                    ShardWeights::from_flat(&blob.dequantize(), &cfg)
+                })
+                .collect()
+        })
+        .collect();
+
+    let labels: Vec<usize> = dev.iter().map(|e| e.label).collect();
+    let total = cfg.total_shards();
+
+    let evaluate = |upgraded: Option<(usize, usize)>| -> f64 {
+        let mut sub = AssembledSubmodel::new();
+        for l in 0..cfg.layers {
+            let shards: Vec<ShardWeights> = (0..cfg.heads)
+                .map(|s| {
+                    if upgraded == Some((l, s)) {
+                        model.shard(ShardId::new(l as u16, s as u16)).clone()
+                    } else {
+                        floor[l][s].clone()
+                    }
+                })
+                .collect();
+            sub.push_layer((0..cfg.heads).collect(), shards);
+        }
+        let probs: Vec<Vec<f32>> =
+            dev.iter().map(|e| model.predict_assembled(&e.tokens, &sub).1).collect();
+        soft_accuracy(&probs, &labels)
+    };
+
+    // Probe index total = the all-2-bit baseline; 0..total = one-shard
+    // upgrades.
+    let results = parallel_map(total + 1, |i| {
+        if i == total {
+            evaluate(None)
+        } else {
+            evaluate(Some((i / cfg.heads, i % cfg.heads)))
+        }
+    });
+    let baseline = results[total];
+    ImportanceProfile::from_scores(cfg.layers, cfg.heads, results[..total].to_vec(), baseline)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sti_nlp::{Task, TaskKind};
+    use sti_transformer::ModelConfig;
+
+    fn synthetic_profile() -> ImportanceProfile {
+        // 2 layers x 3 heads with a known ordering.
+        ImportanceProfile::from_scores(
+            2,
+            3,
+            vec![0.50, 0.80, 0.60, 0.70, 0.55, 0.65],
+            0.45,
+        )
+    }
+
+    #[test]
+    fn ranking_is_descending() {
+        let p = synthetic_profile();
+        let r = p.ranking();
+        assert_eq!(r[0], ShardId::new(0, 1)); // 0.80
+        assert_eq!(r[1], ShardId::new(1, 0)); // 0.70
+        assert_eq!(r.last().copied(), Some(ShardId::new(0, 0))); // 0.50
+        for pair in r.windows(2) {
+            assert!(p.score(pair[0]) >= p.score(pair[1]));
+        }
+    }
+
+    #[test]
+    fn top_slices_pick_per_layer_maxima() {
+        let p = synthetic_profile();
+        let top = p.top_slices_per_layer(2, 2);
+        assert_eq!(top[0], vec![1, 2]); // scores 0.80, 0.60
+        assert_eq!(top[1], vec![0, 2]); // scores 0.70, 0.65
+    }
+
+    #[test]
+    fn gains_subtract_baseline() {
+        let p = synthetic_profile();
+        assert!((p.gain(ShardId::new(0, 1)) - 0.35).abs() < 1e-12);
+    }
+
+    #[test]
+    fn heatmap_has_grid_shape_and_extremes() {
+        let p = synthetic_profile();
+        let map = p.heatmap_string();
+        assert_eq!(map.lines().count(), 2);
+        assert!(map.contains('9'));
+        assert!(map.contains('0'));
+    }
+
+    #[test]
+    fn layer_mean_gains_reflect_structure() {
+        let p = ImportanceProfile::from_scores(2, 2, vec![0.9, 0.9, 0.5, 0.5], 0.4);
+        let gains = p.layer_mean_gains();
+        assert!(gains[0] > gains[1]);
+    }
+
+    #[test]
+    fn profiling_runs_on_a_tiny_task() {
+        let task = Task::build(TaskKind::Sst2, ModelConfig::tiny(), 6, 4);
+        let profile =
+            profile_importance(task.model(), task.dev(), &QuantConfig::default());
+        assert_eq!(profile.layers(), 2);
+        assert_eq!(profile.heads(), 4);
+        assert!(profile.baseline() > 0.0 && profile.baseline() < 1.0);
+        // Upgrading a shard should never catastrophically change the probe
+        // score scale.
+        for id in task.model().config().shard_ids() {
+            let s = profile.score(id);
+            assert!(s.is_finite() && (0.0..=1.0).contains(&s));
+        }
+    }
+
+    #[test]
+    fn profiling_is_deterministic() {
+        let task = Task::build(TaskKind::Rte, ModelConfig::tiny(), 4, 4);
+        let a = profile_importance(task.model(), task.dev(), &QuantConfig::default());
+        let b = profile_importance(task.model(), task.dev(), &QuantConfig::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn from_scores_validates_shape() {
+        let _ = ImportanceProfile::from_scores(2, 3, vec![0.0; 5], 0.0);
+    }
+}

@@ -1,0 +1,39 @@
+//! # sti-planner
+//!
+//! STI's two-stage pipeline planner (paper §5). Given a target latency `T`,
+//! a preload-buffer budget `|S|`, the device's profiled capability tables,
+//! and the model's shard-importance profile, the planner emits an
+//! [`ExecutionPlan`]: which `n × m` submodel to run, which fidelity version
+//! of each shard to load, and which shards to hold preloaded.
+//!
+//! The two stages:
+//!
+//! 1. **Compute planning** ([`compute_plan`]) — pick the submodel shape with
+//!    maximum FLOPs whose computation fits in `T`, preferring depth on ties
+//!    (§5.3).
+//! 2. **IO planning** ([`io_plan`]) — track per-layer *Accumulated IO
+//!    Budgets* ([`aib`], §5.4.2) and allocate shard bitwidths in two passes:
+//!    a uniform raise for all shards, then importance-guided upgrades until
+//!    budgets are exhausted (§5.4.3).
+//!
+//! Shard importance itself is profiled by [`importance`] exactly as §5.2
+//! describes: fix the grid at 2-bit, raise one shard to full fidelity, and
+//! measure dev-set accuracy.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aib;
+pub mod compute_plan;
+pub mod importance;
+pub mod io_plan;
+pub mod plan;
+pub mod preload;
+pub mod schedule;
+
+pub use aib::AibLedger;
+pub use compute_plan::{plan_compute, ComputeChoice};
+pub use importance::{profile_importance, ImportanceProfile};
+pub use io_plan::{plan_io, plan_io_greedy_only, plan_two_stage, IoPlanInputs};
+pub use plan::{ExecutionPlan, PlannedLayer, SubmodelShape};
+pub use schedule::{simulate_pipeline, LayerTiming, SchedulePrediction};

@@ -1,0 +1,117 @@
+//! Preload-buffer content selection (paper §5.4 / §5.5).
+//!
+//! The engine preloads the first `k` shards in (layer, slice) order — bottom
+//! layers first, since they are needed earliest and preserving them avoids
+//! compulsory pipeline stalls at the start — maximizing usage of the buffer
+//! without exceeding it. Shards are held in their *planned* (compressed)
+//! form, so buffer accounting uses serialized bytes.
+
+use sti_device::HwProfile;
+use sti_quant::Bitwidth;
+use sti_transformer::ShardId;
+
+use crate::plan::PlannedLayer;
+
+/// Selects the preload set: the maximal prefix of planned shards (in layer
+/// order, at their planned bitwidths) whose serialized bytes fit
+/// `budget_bytes`.
+pub fn select_preload(
+    layers: &[PlannedLayer],
+    hw: &HwProfile,
+    budget_bytes: u64,
+) -> Vec<(ShardId, Bitwidth)> {
+    let mut used = 0u64;
+    let mut out = Vec::new();
+    'outer: for pl in layers {
+        for (slice, bw) in pl.items() {
+            let bytes = hw.shard_bytes(bw);
+            if used + bytes > budget_bytes {
+                break 'outer;
+            }
+            used += bytes;
+            out.push((ShardId::new(pl.layer, slice), bw));
+        }
+    }
+    out
+}
+
+/// Serialized bytes the preload set occupies.
+pub fn preload_bytes(preload: &[(ShardId, Bitwidth)], hw: &HwProfile) -> u64 {
+    preload.iter().map(|&(_, bw)| hw.shard_bytes(bw)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sti_device::DeviceProfile;
+    use sti_quant::QuantConfig;
+    use sti_transformer::ModelConfig;
+
+    fn hw() -> HwProfile {
+        HwProfile::measure(
+            &DeviceProfile::odroid_n2(),
+            &ModelConfig::scaled_bert(),
+            &QuantConfig::default(),
+        )
+    }
+
+    fn planned(n: usize, m: usize, bw: Bitwidth) -> Vec<PlannedLayer> {
+        (0..n as u16)
+            .map(|layer| PlannedLayer {
+                layer,
+                slices: (0..m as u16).collect(),
+                bitwidths: vec![bw; m],
+            })
+            .collect()
+    }
+
+    #[test]
+    fn zero_budget_selects_nothing() {
+        let hw = hw();
+        let layers = planned(2, 3, Bitwidth::B2);
+        assert!(select_preload(&layers, &hw, 0).is_empty());
+    }
+
+    #[test]
+    fn selection_is_a_layer_order_prefix() {
+        let hw = hw();
+        let layers = planned(3, 4, Bitwidth::B2);
+        let bytes_each = hw.shard_bytes(Bitwidth::B2);
+        let picked = select_preload(&layers, &hw, bytes_each * 6 + 1);
+        assert_eq!(picked.len(), 6);
+        // First full layer (4 shards) then 2 shards of layer 1.
+        assert!(picked[..4].iter().all(|(id, _)| id.layer == 0));
+        assert_eq!(picked[4].0, ShardId::new(1, 0));
+        assert_eq!(picked[5].0, ShardId::new(1, 1));
+    }
+
+    #[test]
+    fn budget_is_never_exceeded() {
+        let hw = hw();
+        let layers = planned(12, 12, Bitwidth::B6);
+        for budget in [0u64, 1_000, 10_000, 100_000, 1 << 20] {
+            let picked = select_preload(&layers, &hw, budget);
+            assert!(preload_bytes(&picked, &hw) <= budget);
+        }
+    }
+
+    #[test]
+    fn usage_is_maximal_for_uniform_shards() {
+        let hw = hw();
+        let layers = planned(4, 4, Bitwidth::B4);
+        let each = hw.shard_bytes(Bitwidth::B4);
+        let picked = select_preload(&layers, &hw, each * 5 + each / 2);
+        assert_eq!(picked.len(), 5, "should fit exactly five shards");
+    }
+
+    #[test]
+    fn mixed_bitwidths_use_planned_sizes() {
+        let hw = hw();
+        let mut layers = planned(1, 3, Bitwidth::B2);
+        layers[0].bitwidths = vec![Bitwidth::Full, Bitwidth::B2, Bitwidth::B2];
+        let full = hw.shard_bytes(Bitwidth::Full);
+        let picked = select_preload(&layers, &hw, full + hw.shard_bytes(Bitwidth::B2));
+        assert_eq!(picked.len(), 2);
+        assert_eq!(picked[0].1, Bitwidth::Full);
+    }
+}

@@ -1,0 +1,356 @@
+//! Quantized weight groups (shards).
+
+use crate::bitpack;
+use crate::bitwidth::Bitwidth;
+use crate::centroid::CentroidDictionary;
+use crate::error::QuantError;
+use crate::gaussian::GaussianFit;
+
+/// Parameters of the quantization process.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantConfig {
+    /// Log-likelihood threshold below which a weight is an outlier and kept
+    /// in FP32. The paper uses `-4.0` following GOBO.
+    pub outlier_log_likelihood: f32,
+}
+
+impl Default for QuantConfig {
+    fn default() -> Self {
+        Self { outlier_log_likelihood: -4.0 }
+    }
+}
+
+/// A weight group compressed with Gaussian outlier-aware dictionary
+/// quantization — the on-disk and in-preload-buffer representation of one
+/// shard fidelity version.
+///
+/// For [`Bitwidth::Full`] the group is stored as raw little-endian `f32`
+/// bytes with no dictionary; for compressed bitwidths it stores packed
+/// `k`-bit centroid indexes, the `2^k` FP32 centroids, and the FP32 outlier
+/// table `(offset, value)`.
+///
+/// ```
+/// use sti_quant::{Bitwidth, QuantConfig, QuantizedBlob};
+///
+/// let weights: Vec<f32> = (0..128).map(|i| ((i * 37) % 97) as f32 / 97.0 - 0.5).collect();
+/// let blob = QuantizedBlob::quantize(&weights, Bitwidth::B6, &QuantConfig::default());
+/// assert!(blob.byte_size() < weights.len() * 4);
+/// assert_eq!(blob.dequantize().len(), weights.len());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedBlob {
+    bitwidth: Bitwidth,
+    len: u32,
+    /// Packed k-bit indexes, or raw f32 LE bytes for full fidelity.
+    packed: Vec<u8>,
+    /// FP32 centroid dictionary (empty for full fidelity).
+    centroids: Vec<f32>,
+    /// `(offset, original value)` for outliers (empty for full fidelity).
+    outliers: Vec<(u32, f32)>,
+}
+
+impl QuantizedBlob {
+    /// Quantizes `weights` to the requested bitwidth.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty.
+    pub fn quantize(weights: &[f32], bitwidth: Bitwidth, config: &QuantConfig) -> Self {
+        assert!(!weights.is_empty(), "cannot quantize an empty weight group");
+        if bitwidth.is_full() {
+            let mut packed = Vec::with_capacity(weights.len() * 4);
+            for w in weights {
+                packed.extend_from_slice(&w.to_le_bytes());
+            }
+            return Self {
+                bitwidth,
+                len: weights.len() as u32,
+                packed,
+                centroids: Vec::new(),
+                outliers: Vec::new(),
+            };
+        }
+
+        let fit = GaussianFit::fit(weights);
+        let outlier_idx = fit.outlier_indexes(weights, config.outlier_log_likelihood);
+        let outlier_set: std::collections::HashSet<u32> = outlier_idx.iter().copied().collect();
+
+        let inliers: Vec<f32> = weights
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !outlier_set.contains(&(*i as u32)))
+            .map(|(_, &w)| w)
+            .collect();
+        // If everything is an outlier (degenerate), fall back to using all
+        // weights as the dictionary population.
+        let population: &[f32] = if inliers.is_empty() { weights } else { &inliers };
+        let dict = CentroidDictionary::build(population, bitwidth.centroid_count());
+
+        // Outliers are stored as index 0 in the packed array (for bit
+        // alignment, as in the paper) and patched from the table on
+        // decompression.
+        let indexes: Vec<u16> = weights
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| {
+                if outlier_set.contains(&(i as u32)) {
+                    0
+                } else {
+                    dict.assign(w)
+                }
+            })
+            .collect();
+        let packed = bitpack::pack(&indexes, bitwidth.bits());
+        let outliers = outlier_idx.iter().map(|&i| (i, weights[i as usize])).collect();
+
+        Self {
+            bitwidth,
+            len: weights.len() as u32,
+            packed,
+            centroids: dict.centroids().to_vec(),
+            outliers,
+        }
+    }
+
+    /// Reassembles a blob from stored parts (used by the on-disk decoder).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the parts are inconsistent (bad lengths, outlier
+    /// offsets out of range).
+    pub fn from_parts(
+        bitwidth: Bitwidth,
+        len: u32,
+        packed: Vec<u8>,
+        centroids: Vec<f32>,
+        outliers: Vec<(u32, f32)>,
+    ) -> Result<Self, QuantError> {
+        if len == 0 {
+            return Err(QuantError::EmptyInput);
+        }
+        if bitwidth.is_full() {
+            if packed.len() != len as usize * 4 {
+                return Err(QuantError::IndexOutOfRange {
+                    index: packed.len(),
+                    dictionary: len as usize * 4,
+                });
+            }
+        } else {
+            let needed = bitwidth.payload_bytes(len as usize);
+            if packed.len() < needed {
+                return Err(QuantError::IndexOutOfRange { index: packed.len(), dictionary: needed });
+            }
+            if centroids.len() != bitwidth.centroid_count() {
+                return Err(QuantError::IndexOutOfRange {
+                    index: centroids.len(),
+                    dictionary: bitwidth.centroid_count(),
+                });
+            }
+        }
+        for &(offset, _) in &outliers {
+            if offset >= len {
+                return Err(QuantError::OutlierOffsetOutOfRange {
+                    offset: offset as usize,
+                    len: len as usize,
+                });
+            }
+        }
+        Ok(Self { bitwidth, len, packed, centroids, outliers })
+    }
+
+    /// Decompresses into a freshly allocated vector.
+    pub fn dequantize(&self) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.len as usize];
+        self.dequantize_into(&mut out);
+        out
+    }
+
+    /// Decompresses into a caller-provided buffer — the working-buffer hot
+    /// path: substitute dictionary indexes with centroids, then patch
+    /// outliers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != self.len()`.
+    pub fn dequantize_into(&self, out: &mut [f32]) {
+        assert_eq!(out.len(), self.len as usize, "dequantize buffer length mismatch");
+        if self.bitwidth.is_full() {
+            for (slot, chunk) in out.iter_mut().zip(self.packed.chunks_exact(4)) {
+                *slot = f32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+            }
+            return;
+        }
+        let mut indexes = vec![0u16; self.len as usize];
+        bitpack::unpack_into(&self.packed, self.bitwidth.bits(), &mut indexes);
+        for (slot, &idx) in out.iter_mut().zip(&indexes) {
+            *slot = self.centroids[idx as usize];
+        }
+        for &(offset, value) in &self.outliers {
+            out[offset as usize] = value;
+        }
+    }
+
+    /// The blob's bitwidth.
+    pub fn bitwidth(&self) -> Bitwidth {
+        self.bitwidth
+    }
+
+    /// Number of weights in the group.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the group is empty (never true for valid blobs).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Serialized payload size in bytes: packed indexes + centroid dictionary
+    /// + outlier table. This is the quantity the flash model charges IO for
+    /// and the preload buffer counts against its capacity.
+    pub fn byte_size(&self) -> usize {
+        self.packed.len() + self.centroids.len() * 4 + self.outliers.len() * 8
+    }
+
+    /// Fraction of weights preserved as outliers.
+    pub fn outlier_fraction(&self) -> f64 {
+        self.outliers.len() as f64 / self.len as f64
+    }
+
+    /// Packed index bytes (raw f32 bytes for full fidelity).
+    pub fn packed(&self) -> &[u8] {
+        &self.packed
+    }
+
+    /// Centroid dictionary (empty for full fidelity).
+    pub fn centroids(&self) -> &[f32] {
+        &self.centroids
+    }
+
+    /// Outlier table.
+    pub fn outliers(&self) -> &[(u32, f32)] {
+        &self.outliers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sti_tensor::{stats, Rng};
+
+    fn gaussian_weights(seed: u64, n: usize) -> Vec<f32> {
+        let mut rng = Rng::new(seed);
+        let mut xs = vec![0.0f32; n];
+        rng.fill_gaussian(&mut xs, 0.0, 0.12);
+        // Plant a few outliers like real transformer weight matrices have.
+        xs[n / 3] = 1.4;
+        xs[n / 2] = -1.2;
+        xs
+    }
+
+    #[test]
+    fn full_fidelity_round_trips_exactly() {
+        let weights = gaussian_weights(1, 512);
+        let blob = QuantizedBlob::quantize(&weights, Bitwidth::Full, &QuantConfig::default());
+        assert_eq!(blob.dequantize(), weights);
+        assert_eq!(blob.byte_size(), 512 * 4);
+    }
+
+    #[test]
+    fn outliers_preserved_exactly_at_any_bitwidth() {
+        let weights = gaussian_weights(2, 900);
+        for bw in Bitwidth::COMPRESSED {
+            let blob = QuantizedBlob::quantize(&weights, bw, &QuantConfig::default());
+            let restored = blob.dequantize();
+            assert_eq!(restored[300], 1.4, "outlier lost at {bw}");
+            assert_eq!(restored[450], -1.2, "outlier lost at {bw}");
+        }
+    }
+
+    #[test]
+    fn reconstruction_error_decreases_with_bitwidth() {
+        let weights = gaussian_weights(3, 4096);
+        let mut prev = f32::INFINITY;
+        for bw in Bitwidth::ALL {
+            let blob = QuantizedBlob::quantize(&weights, bw, &QuantConfig::default());
+            let err = stats::mse(&weights, &blob.dequantize());
+            assert!(err <= prev, "mse grew from {prev} to {err} at {bw}");
+            prev = err;
+        }
+        assert_eq!(prev, 0.0, "full fidelity must be lossless");
+    }
+
+    #[test]
+    fn compressed_size_shrinks_with_fewer_bits() {
+        let weights = gaussian_weights(4, 4096);
+        let mut prev = usize::MAX;
+        for bw in [Bitwidth::B6, Bitwidth::B5, Bitwidth::B4, Bitwidth::B3, Bitwidth::B2] {
+            let blob = QuantizedBlob::quantize(&weights, bw, &QuantConfig::default());
+            assert!(blob.byte_size() < prev, "size did not shrink at {bw}");
+            prev = blob.byte_size();
+        }
+        // 2-bit should be roughly 16x smaller than fp32 (modulo dictionary
+        // and outlier overhead).
+        assert!(prev < 4096 * 4 / 10, "2-bit blob too large: {prev}");
+    }
+
+    #[test]
+    fn outlier_fraction_is_small_on_gaussian_weights() {
+        let weights = gaussian_weights(5, 8192);
+        let blob = QuantizedBlob::quantize(&weights, Bitwidth::B3, &QuantConfig::default());
+        assert!(blob.outlier_fraction() < 0.02, "fraction {}", blob.outlier_fraction());
+        assert!(blob.outlier_fraction() > 0.0, "planted outliers should be detected");
+    }
+
+    #[test]
+    fn mean_is_approximately_preserved() {
+        // Lossy compression must preserve the weight distribution (paper
+        // argues this is why mixed-bitwidth shards compose).
+        let weights = gaussian_weights(6, 8192);
+        let blob = QuantizedBlob::quantize(&weights, Bitwidth::B2, &QuantConfig::default());
+        let restored = blob.dequantize();
+        assert!((stats::mean(&weights) - stats::mean(&restored)).abs() < 5e-3);
+        assert!((stats::std_dev(&weights) - stats::std_dev(&restored)).abs() < 2e-2);
+    }
+
+    #[test]
+    fn from_parts_validates_consistency() {
+        let weights = gaussian_weights(7, 64);
+        let blob = QuantizedBlob::quantize(&weights, Bitwidth::B4, &QuantConfig::default());
+        let ok = QuantizedBlob::from_parts(
+            blob.bitwidth(),
+            blob.len() as u32,
+            blob.packed().to_vec(),
+            blob.centroids().to_vec(),
+            blob.outliers().to_vec(),
+        );
+        assert_eq!(ok.unwrap(), blob);
+
+        assert!(QuantizedBlob::from_parts(Bitwidth::B4, 0, vec![], vec![], vec![]).is_err());
+        assert!(QuantizedBlob::from_parts(Bitwidth::B4, 64, vec![0; 2], vec![0.0; 16], vec![])
+            .is_err());
+        assert!(QuantizedBlob::from_parts(
+            Bitwidth::B4,
+            64,
+            blob.packed().to_vec(),
+            blob.centroids().to_vec(),
+            vec![(64, 1.0)],
+        )
+        .is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn quantize_rejects_empty_input() {
+        let _ = QuantizedBlob::quantize(&[], Bitwidth::B2, &QuantConfig::default());
+    }
+
+    #[test]
+    fn dequantize_into_matches_dequantize() {
+        let weights = gaussian_weights(8, 300);
+        let blob = QuantizedBlob::quantize(&weights, Bitwidth::B5, &QuantConfig::default());
+        let mut buf = vec![0.0f32; 300];
+        blob.dequantize_into(&mut buf);
+        assert_eq!(buf, blob.dequantize());
+    }
+}

@@ -1,0 +1,106 @@
+//! Storage error type.
+
+use std::fmt;
+
+use sti_quant::QuantError;
+use sti_transformer::ShardId;
+
+/// Errors from creating, opening, or reading a shard store.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum StorageError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// A record failed its magic/version/checksum validation.
+    Corrupt {
+        /// What was being decoded.
+        context: String,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// The manifest does not contain the requested shard version.
+    MissingShard {
+        /// The requested shard.
+        id: ShardId,
+        /// The requested bitwidth in bits.
+        bits: u8,
+    },
+    /// A decoded blob was internally inconsistent.
+    Quant(QuantError),
+    /// The store directory already contains a store.
+    AlreadyExists(std::path::PathBuf),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "storage io error: {e}"),
+            StorageError::Corrupt { context, reason } => {
+                write!(f, "corrupt {context}: {reason}")
+            }
+            StorageError::MissingShard { id, bits } => {
+                write!(f, "shard {id} at {bits} bits is not in the store")
+            }
+            StorageError::Quant(e) => write!(f, "invalid shard payload: {e}"),
+            StorageError::AlreadyExists(p) => {
+                write!(f, "shard store already exists at {}", p.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            StorageError::Quant(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+impl From<QuantError> for StorageError {
+    fn from(e: QuantError) -> Self {
+        StorageError::Quant(e)
+    }
+}
+
+impl StorageError {
+    /// Convenience constructor for corruption errors.
+    pub fn corrupt(context: impl Into<String>, reason: impl Into<String>) -> Self {
+        StorageError::Corrupt { context: context.into(), reason: reason.into() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = StorageError::corrupt("manifest", "bad magic");
+        assert!(e.to_string().contains("manifest"));
+        let e = StorageError::MissingShard { id: ShardId::new(1, 2), bits: 4 };
+        assert!(e.to_string().contains("L1S2"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StorageError>();
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: StorageError = io.into();
+        assert!(matches!(e, StorageError::Io(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

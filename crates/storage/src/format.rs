@@ -1,0 +1,190 @@
+//! Binary record encoding for quantized shards.
+//!
+//! Record layout (all integers little-endian):
+//!
+//! ```text
+//! magic   u32   "STIS"
+//! version u8
+//! bits    u8    bitwidth (2..6 or 32)
+//! len     u32   weight count
+//! plen    u32   packed payload bytes
+//! ccount  u16   centroid count
+//! ocount  u32   outlier count
+//! packed  [u8; plen]
+//! centroids [f32; ccount]
+//! outliers  [(u32, f32); ocount]
+//! check   u64   FNV-1a of everything above
+//! ```
+
+use bytes::{Buf, BufMut, BytesMut};
+use sti_quant::{Bitwidth, QuantizedBlob};
+
+use crate::error::StorageError;
+
+const MAGIC: u32 = u32::from_le_bytes(*b"STIS");
+const VERSION: u8 = 1;
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Encodes a blob into a self-contained checksummed record.
+pub fn encode_blob(blob: &QuantizedBlob) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(blob.byte_size() + 32);
+    buf.put_u32_le(MAGIC);
+    buf.put_u8(VERSION);
+    buf.put_u8(blob.bitwidth().bits());
+    buf.put_u32_le(blob.len() as u32);
+    buf.put_u32_le(blob.packed().len() as u32);
+    buf.put_u16_le(blob.centroids().len() as u16);
+    buf.put_u32_le(blob.outliers().len() as u32);
+    buf.put_slice(blob.packed());
+    for &c in blob.centroids() {
+        buf.put_f32_le(c);
+    }
+    for &(off, val) in blob.outliers() {
+        buf.put_u32_le(off);
+        buf.put_f32_le(val);
+    }
+    let check = fnv1a(&buf);
+    buf.put_u64_le(check);
+    buf.to_vec()
+}
+
+/// Decodes one record from the front of `bytes`, returning the blob and the
+/// number of bytes consumed.
+///
+/// # Errors
+///
+/// Returns [`StorageError::Corrupt`] on bad magic, version, truncation, or
+/// checksum mismatch, and [`StorageError::Quant`] if the payload is
+/// internally inconsistent.
+pub fn decode_blob(bytes: &[u8]) -> Result<(QuantizedBlob, usize), StorageError> {
+    const HEADER: usize = 4 + 1 + 1 + 4 + 4 + 2 + 4;
+    if bytes.len() < HEADER {
+        return Err(StorageError::corrupt("shard record", "truncated header"));
+    }
+    let mut cur = bytes;
+    let magic = cur.get_u32_le();
+    if magic != MAGIC {
+        return Err(StorageError::corrupt("shard record", format!("bad magic {magic:#x}")));
+    }
+    let version = cur.get_u8();
+    if version != VERSION {
+        return Err(StorageError::corrupt("shard record", format!("unsupported version {version}")));
+    }
+    let bits = cur.get_u8();
+    let bitwidth = Bitwidth::try_from(bits)
+        .map_err(|e| StorageError::corrupt("shard record", e.to_string()))?;
+    let len = cur.get_u32_le();
+    let plen = cur.get_u32_le() as usize;
+    let ccount = cur.get_u16_le() as usize;
+    let ocount = cur.get_u32_le() as usize;
+
+    let body = plen + ccount * 4 + ocount * 8;
+    let total = HEADER + body + 8;
+    if bytes.len() < total {
+        return Err(StorageError::corrupt(
+            "shard record",
+            format!("truncated body: have {}, need {total}", bytes.len()),
+        ));
+    }
+    let expected = fnv1a(&bytes[..HEADER + body]);
+    let stored = u64::from_le_bytes(
+        bytes[HEADER + body..total].try_into().expect("checksum slice is 8 bytes"),
+    );
+    if expected != stored {
+        return Err(StorageError::corrupt(
+            "shard record",
+            format!("checksum mismatch: stored {stored:#x}, computed {expected:#x}"),
+        ));
+    }
+
+    let packed = cur.copy_to_bytes(plen).to_vec();
+    let centroids: Vec<f32> = (0..ccount).map(|_| cur.get_f32_le()).collect();
+    let outliers: Vec<(u32, f32)> =
+        (0..ocount).map(|_| (cur.get_u32_le(), cur.get_f32_le())).collect();
+
+    let blob = QuantizedBlob::from_parts(bitwidth, len, packed, centroids, outliers)?;
+    Ok((blob, total))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sti_quant::QuantConfig;
+    use sti_tensor::Rng;
+
+    fn sample_blob(bw: Bitwidth) -> QuantizedBlob {
+        let mut rng = Rng::new(9);
+        let mut w = vec![0.0f32; 600];
+        rng.fill_gaussian(&mut w, 0.0, 0.1);
+        w[5] = 2.0;
+        QuantizedBlob::quantize(&w, bw, &QuantConfig::default())
+    }
+
+    #[test]
+    fn round_trip_all_bitwidths() {
+        for bw in Bitwidth::ALL {
+            let blob = sample_blob(bw);
+            let encoded = encode_blob(&blob);
+            let (decoded, consumed) = decode_blob(&encoded).unwrap();
+            assert_eq!(decoded, blob, "round trip failed at {bw}");
+            assert_eq!(consumed, encoded.len());
+        }
+    }
+
+    #[test]
+    fn concatenated_records_decode_sequentially() {
+        let a = sample_blob(Bitwidth::B2);
+        let b = sample_blob(Bitwidth::B6);
+        let mut stream = encode_blob(&a);
+        stream.extend_from_slice(&encode_blob(&b));
+        let (da, used) = decode_blob(&stream).unwrap();
+        let (db, _) = decode_blob(&stream[used..]).unwrap();
+        assert_eq!(da, a);
+        assert_eq!(db, b);
+    }
+
+    #[test]
+    fn detects_bit_flips() {
+        let blob = sample_blob(Bitwidth::B4);
+        let mut encoded = encode_blob(&blob);
+        let mid = encoded.len() / 2;
+        encoded[mid] ^= 0x40;
+        let err = decode_blob(&encoded).unwrap_err();
+        assert!(err.to_string().contains("checksum") || err.to_string().contains("corrupt"));
+    }
+
+    #[test]
+    fn detects_truncation() {
+        let blob = sample_blob(Bitwidth::B3);
+        let encoded = encode_blob(&blob);
+        for cut in [3usize, 10, encoded.len() - 1] {
+            assert!(decode_blob(&encoded[..cut]).is_err(), "cut at {cut} not detected");
+        }
+    }
+
+    #[test]
+    fn detects_bad_magic_and_version() {
+        let blob = sample_blob(Bitwidth::B2);
+        let mut encoded = encode_blob(&blob);
+        encoded[0] = b'X';
+        assert!(decode_blob(&encoded).is_err());
+
+        let mut encoded = encode_blob(&blob);
+        encoded[4] = 99; // version
+        assert!(decode_blob(&encoded).is_err());
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a(b"a"), 0xaf63dc4c8601ec8c);
+    }
+}

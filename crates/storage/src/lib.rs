@@ -1,0 +1,33 @@
+//! # sti-storage
+//!
+//! The `N × M × K` shard store (paper §4.2 "storing shards per version"):
+//! every shard of every bitwidth lives on disk as a checksummed binary
+//! record; records of the same layer and bitwidth are co-located in one file
+//! so a layer loads as a single sequential IO job (§6: *"we co-locate disk
+//! blocks of shards from the same layer for access locality"*).
+//!
+//! Components:
+//!
+//! - [`format`](mod@format) — the binary record encoding (magic, version, checksum);
+//! - [`manifest`] — the store index mapping `(layer, slice, bitwidth)` to
+//!   file offsets;
+//! - [`store::ShardStore`] — create/open a store directory, read shards and
+//!   layer groups;
+//! - [`memstore::MemStore`] — an in-memory [`ShardSource`] for tests;
+//! - [`loader::IoWorker`] — the asynchronous IO thread that services
+//!   layer-granular load requests and accounts simulated flash delay.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod format;
+pub mod loader;
+pub mod manifest;
+pub mod memstore;
+pub mod store;
+
+pub use error::StorageError;
+pub use loader::{IoWorker, LayerRequest, LoadedLayer};
+pub use memstore::MemStore;
+pub use store::{ShardKey, ShardSource, ShardStore};

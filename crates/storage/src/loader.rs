@@ -1,0 +1,214 @@
+//! Asynchronous layer-granular IO worker.
+//!
+//! STI loads one layer (its selected shard versions) as a single IO job that
+//! overlaps with the previous layer's computation (paper §3.1). This module
+//! provides that IO side: a dedicated thread consuming [`LayerRequest`]s in
+//! order and producing [`LoadedLayer`]s, accounting the simulated flash delay
+//! of each grouped request (and optionally sleeping it away for wall-clock
+//! demonstrations).
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use sti_device::{FlashModel, SimTime};
+use sti_quant::{Bitwidth, QuantizedBlob};
+use sti_transformer::ShardId;
+
+use crate::error::StorageError;
+use crate::store::{ShardKey, ShardSource};
+
+/// A request to load some shard versions of one layer as one IO job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerRequest {
+    /// The layer to load.
+    pub layer: u16,
+    /// `(slice, bitwidth)` pairs to fetch, in slice order.
+    pub items: Vec<(u16, Bitwidth)>,
+}
+
+/// The result of one layer load.
+#[derive(Debug, Clone)]
+pub struct LoadedLayer {
+    /// The layer that was loaded.
+    pub layer: u16,
+    /// `(slice, blob)` pairs in request order.
+    pub blobs: Vec<(u16, QuantizedBlob)>,
+    /// Total serialized bytes fetched.
+    pub bytes: u64,
+    /// Simulated flash delay of the grouped request.
+    pub io_delay: SimTime,
+}
+
+/// A dedicated IO thread servicing layer requests in FIFO order.
+///
+/// `throttle_scale` maps simulated flash delay onto wall-clock sleeping:
+/// `0.0` (the default for experiments) completes requests at host speed
+/// while still *reporting* simulated delay; `1.0` emulates the device in
+/// real time for demonstrations.
+#[derive(Debug)]
+pub struct IoWorker {
+    tx: Option<Sender<LayerRequest>>,
+    rx: Receiver<Result<LoadedLayer, StorageError>>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl IoWorker {
+    /// Spawns the worker thread over a shard source and flash model.
+    pub fn spawn(source: Arc<dyn ShardSource>, flash: FlashModel, throttle_scale: f64) -> Self {
+        assert!(
+            (0.0..=10.0).contains(&throttle_scale),
+            "throttle scale must be within [0, 10]"
+        );
+        let (req_tx, req_rx) = bounded::<LayerRequest>(64);
+        let (res_tx, res_rx) = bounded::<Result<LoadedLayer, StorageError>>(64);
+        let handle = std::thread::Builder::new()
+            .name("sti-io-worker".to_string())
+            .spawn(move || {
+                while let Ok(req) = req_rx.recv() {
+                    let result = service(&*source, &flash, &req);
+                    if let Ok(loaded) = &result {
+                        if throttle_scale > 0.0 {
+                            std::thread::sleep(
+                                loaded.io_delay.scale(throttle_scale).to_duration(),
+                            );
+                        }
+                    }
+                    if res_tx.send(result).is_err() {
+                        break;
+                    }
+                }
+            })
+            .expect("failed to spawn IO worker thread");
+        Self { tx: Some(req_tx), rx: res_rx, handle: Some(handle) }
+    }
+
+    /// Submits a layer request. Requests are serviced in submission order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the worker has been shut down.
+    pub fn request(&self, req: LayerRequest) {
+        self.tx
+            .as_ref()
+            .expect("worker already shut down")
+            .send(req)
+            .expect("IO worker thread died");
+    }
+
+    /// Blocks until the next completed load.
+    ///
+    /// # Errors
+    ///
+    /// Returns the storage error if the load failed. Panics if the worker
+    /// thread died without responding.
+    pub fn recv(&self) -> Result<LoadedLayer, StorageError> {
+        self.rx.recv().expect("IO worker thread died")
+    }
+
+    /// Shuts the worker down and joins its thread.
+    pub fn shutdown(mut self) {
+        self.tx.take();
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for IoWorker {
+    fn drop(&mut self) {
+        self.tx.take();
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn service(
+    source: &dyn ShardSource,
+    flash: &FlashModel,
+    req: &LayerRequest,
+) -> Result<LoadedLayer, StorageError> {
+    let mut blobs = Vec::with_capacity(req.items.len());
+    let mut bytes = 0u64;
+    for &(slice, bw) in &req.items {
+        let key = ShardKey::new(ShardId::new(req.layer, slice), bw);
+        bytes += source.size_bytes(key)?;
+        blobs.push((slice, source.load(key)?));
+    }
+    let io_delay =
+        if req.items.is_empty() { SimTime::ZERO } else { flash.request_delay(bytes) };
+    Ok(LoadedLayer { layer: req.layer, blobs, bytes, io_delay })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memstore::MemStore;
+    use sti_quant::QuantConfig;
+    use sti_transformer::{Model, ModelConfig};
+
+    fn worker() -> (IoWorker, Arc<MemStore>) {
+        let model = Model::synthetic(2, ModelConfig::tiny());
+        let store = Arc::new(MemStore::build(
+            &model,
+            &[Bitwidth::B2, Bitwidth::B6],
+            &QuantConfig::default(),
+        ));
+        let flash = FlashModel::new(1_000_000, SimTime::from_ms(1));
+        (IoWorker::spawn(store.clone(), flash, 0.0), store)
+    }
+
+    #[test]
+    fn loads_a_layer_in_request_order() {
+        let (w, _) = worker();
+        w.request(LayerRequest {
+            layer: 0,
+            items: vec![(0, Bitwidth::B2), (1, Bitwidth::B6), (2, Bitwidth::B2)],
+        });
+        let loaded = w.recv().unwrap();
+        assert_eq!(loaded.layer, 0);
+        assert_eq!(loaded.blobs.len(), 3);
+        assert_eq!(loaded.blobs[1].0, 1);
+        assert_eq!(loaded.blobs[1].1.bitwidth(), Bitwidth::B6);
+        assert!(loaded.bytes > 0);
+        assert!(loaded.io_delay > SimTime::ZERO);
+        w.shutdown();
+    }
+
+    #[test]
+    fn pipelines_multiple_requests_fifo() {
+        let (w, _) = worker();
+        for layer in 0..2u16 {
+            w.request(LayerRequest { layer, items: vec![(0, Bitwidth::B2)] });
+        }
+        assert_eq!(w.recv().unwrap().layer, 0);
+        assert_eq!(w.recv().unwrap().layer, 1);
+        w.shutdown();
+    }
+
+    #[test]
+    fn missing_shard_surfaces_as_error() {
+        let (w, store) = worker();
+        store.remove(ShardKey::new(ShardId::new(1, 0), Bitwidth::B2));
+        w.request(LayerRequest { layer: 1, items: vec![(0, Bitwidth::B2)] });
+        assert!(w.recv().is_err());
+        w.shutdown();
+    }
+
+    #[test]
+    fn empty_request_costs_nothing() {
+        let (w, _) = worker();
+        w.request(LayerRequest { layer: 0, items: vec![] });
+        let loaded = w.recv().unwrap();
+        assert_eq!(loaded.bytes, 0);
+        assert_eq!(loaded.io_delay, SimTime::ZERO);
+        w.shutdown();
+    }
+
+    #[test]
+    fn drop_joins_cleanly() {
+        let (w, _) = worker();
+        drop(w);
+    }
+}

@@ -1,0 +1,267 @@
+//! The store index: which file and offset holds each shard version.
+
+use std::collections::HashMap;
+
+use bytes::{Buf, BufMut, BytesMut};
+use sti_quant::Bitwidth;
+use sti_transformer::{ModelConfig, ShardId};
+
+use crate::error::StorageError;
+
+const MAGIC: u32 = u32::from_le_bytes(*b"STIM");
+const VERSION: u8 = 1;
+
+/// Location of one shard record inside its layer file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecordLoc {
+    /// Byte offset of the record within the layer file.
+    pub offset: u64,
+    /// Record length in bytes.
+    pub len: u32,
+}
+
+/// The manifest of a shard store: model shape, stored bitwidths, and record
+/// locations. Records of one `(layer, bitwidth)` pair live consecutively in
+/// one file, in slice order — the co-location that lets a layer load as one
+/// sequential IO job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Manifest {
+    /// The model configuration the store was built for.
+    pub config: ModelConfig,
+    /// The fidelity versions stored (ascending).
+    pub bitwidths: Vec<Bitwidth>,
+    entries: HashMap<(u16, u8), Vec<RecordLoc>>,
+}
+
+impl Manifest {
+    /// Creates an empty manifest.
+    pub fn new(config: ModelConfig, mut bitwidths: Vec<Bitwidth>) -> Self {
+        bitwidths.sort();
+        bitwidths.dedup();
+        Self { config, bitwidths, entries: HashMap::new() }
+    }
+
+    /// The file holding all of `layer`'s shards at `bw`.
+    pub fn layer_file_name(layer: u16, bw: Bitwidth) -> String {
+        format!("layer_{layer:02}_{:02}bit.stis", bw.bits())
+    }
+
+    /// Registers the record locations of one layer file (slice order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of locations differs from the configured `M`.
+    pub fn insert_layer(&mut self, layer: u16, bw: Bitwidth, locs: Vec<RecordLoc>) {
+        assert_eq!(locs.len(), self.config.heads, "layer must register all M slice records");
+        self.entries.insert((layer, bw.bits()), locs);
+    }
+
+    /// Looks up one shard version.
+    pub fn locate(&self, id: ShardId, bw: Bitwidth) -> Option<RecordLoc> {
+        self.entries
+            .get(&(id.layer, bw.bits()))
+            .and_then(|locs| locs.get(id.slice as usize))
+            .copied()
+    }
+
+    /// Whether the manifest holds every `(layer, slice, bitwidth)` record it
+    /// promises.
+    pub fn is_complete(&self) -> bool {
+        (0..self.config.layers as u16).all(|l| {
+            self.bitwidths
+                .iter()
+                .all(|&bw| self.entries.contains_key(&(l, bw.bits())))
+        })
+    }
+
+    /// Sum of record bytes at one bitwidth.
+    pub fn bytes_at(&self, bw: Bitwidth) -> u64 {
+        self.entries
+            .iter()
+            .filter(|((_, bits), _)| *bits == bw.bits())
+            .flat_map(|(_, locs)| locs.iter())
+            .map(|loc| loc.len as u64)
+            .sum()
+    }
+
+    /// Sum of all record bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.bitwidths.iter().map(|&bw| self.bytes_at(bw)).sum()
+    }
+
+    /// Serializes the manifest.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(MAGIC);
+        buf.put_u8(VERSION);
+        let c = &self.config;
+        buf.put_u16_le(c.layers as u16);
+        buf.put_u16_le(c.heads as u16);
+        buf.put_u32_le(c.hidden as u32);
+        buf.put_u32_le(c.ffn as u32);
+        buf.put_u32_le(c.vocab as u32);
+        buf.put_u32_le(c.seq_len as u32);
+        buf.put_u16_le(c.classes as u16);
+        buf.put_u8(self.bitwidths.len() as u8);
+        for bw in &self.bitwidths {
+            buf.put_u8(bw.bits());
+        }
+        let mut keys: Vec<(u16, u8)> = self.entries.keys().copied().collect();
+        keys.sort_unstable();
+        buf.put_u32_le(keys.len() as u32);
+        for (layer, bits) in keys {
+            buf.put_u16_le(layer);
+            buf.put_u8(bits);
+            for loc in &self.entries[&(layer, bits)] {
+                buf.put_u64_le(loc.offset);
+                buf.put_u32_le(loc.len);
+            }
+        }
+        buf.to_vec()
+    }
+
+    /// Deserializes a manifest.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StorageError::Corrupt`] on any structural inconsistency.
+    pub fn decode(bytes: &[u8]) -> Result<Self, StorageError> {
+        let mut cur = bytes;
+        let need = |cur: &[u8], n: usize, what: &str| {
+            if cur.len() < n {
+                Err(StorageError::corrupt("manifest", format!("truncated at {what}")))
+            } else {
+                Ok(())
+            }
+        };
+        need(cur, 5, "header")?;
+        if cur.get_u32_le() != MAGIC {
+            return Err(StorageError::corrupt("manifest", "bad magic"));
+        }
+        if cur.get_u8() != VERSION {
+            return Err(StorageError::corrupt("manifest", "unsupported version"));
+        }
+        need(cur, 22, "config")?;
+        let config = ModelConfig {
+            layers: cur.get_u16_le() as usize,
+            heads: cur.get_u16_le() as usize,
+            hidden: cur.get_u32_le() as usize,
+            ffn: cur.get_u32_le() as usize,
+            vocab: cur.get_u32_le() as usize,
+            seq_len: cur.get_u32_le() as usize,
+            classes: cur.get_u16_le() as usize,
+        };
+        if config.layers == 0
+            || config.heads == 0
+            || config.hidden == 0
+            || config.hidden % config.heads != 0
+            || config.ffn % config.heads != 0
+        {
+            return Err(StorageError::corrupt("manifest", "invalid model config"));
+        }
+        need(cur, 1, "bitwidth count")?;
+        let nbw = cur.get_u8() as usize;
+        need(cur, nbw, "bitwidths")?;
+        let mut bitwidths = Vec::with_capacity(nbw);
+        for _ in 0..nbw {
+            let bits = cur.get_u8();
+            bitwidths.push(
+                Bitwidth::try_from(bits)
+                    .map_err(|e| StorageError::corrupt("manifest", e.to_string()))?,
+            );
+        }
+        need(cur, 4, "entry count")?;
+        let nentries = cur.get_u32_le() as usize;
+        let per_entry = 3 + config.heads * 12;
+        need(cur, nentries * per_entry, "entries")?;
+        let mut entries = HashMap::with_capacity(nentries);
+        for _ in 0..nentries {
+            let layer = cur.get_u16_le();
+            let bits = cur.get_u8();
+            let locs: Vec<RecordLoc> = (0..config.heads)
+                .map(|_| RecordLoc { offset: cur.get_u64_le(), len: cur.get_u32_le() })
+                .collect();
+            if layer as usize >= config.layers {
+                return Err(StorageError::corrupt("manifest", "entry layer out of range"));
+            }
+            entries.insert((layer, bits), locs);
+        }
+        Ok(Self { config, bitwidths, entries })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Manifest {
+        let cfg = ModelConfig::tiny();
+        let mut m = Manifest::new(cfg.clone(), vec![Bitwidth::B6, Bitwidth::B2, Bitwidth::B2]);
+        for l in 0..cfg.layers as u16 {
+            for bw in [Bitwidth::B2, Bitwidth::B6] {
+                let locs = (0..cfg.heads)
+                    .map(|s| RecordLoc { offset: s as u64 * 100, len: 100 })
+                    .collect();
+                m.insert_layer(l, bw, locs);
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn bitwidths_are_sorted_and_deduped() {
+        let m = sample();
+        assert_eq!(m.bitwidths, vec![Bitwidth::B2, Bitwidth::B6]);
+    }
+
+    #[test]
+    fn locate_finds_registered_records() {
+        let m = sample();
+        let loc = m.locate(ShardId::new(1, 2), Bitwidth::B6).unwrap();
+        assert_eq!(loc, RecordLoc { offset: 200, len: 100 });
+        assert!(m.locate(ShardId::new(0, 0), Bitwidth::B4).is_none());
+        assert!(m.locate(ShardId::new(9, 0), Bitwidth::B2).is_none());
+    }
+
+    #[test]
+    fn completeness_detects_gaps() {
+        let m = sample();
+        assert!(m.is_complete());
+        let cfg = ModelConfig::tiny();
+        let partial = Manifest::new(cfg, vec![Bitwidth::B2]);
+        assert!(!partial.is_complete());
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let m = sample();
+        let decoded = Manifest::decode(&m.encode()).unwrap();
+        assert_eq!(decoded, m);
+    }
+
+    #[test]
+    fn decode_rejects_corruption() {
+        let m = sample();
+        let mut bytes = m.encode();
+        bytes[0] = 0;
+        assert!(Manifest::decode(&bytes).is_err());
+
+        let bytes = m.encode();
+        assert!(Manifest::decode(&bytes[..10]).is_err());
+    }
+
+    #[test]
+    fn byte_accounting_sums_records() {
+        let m = sample();
+        let cfg = ModelConfig::tiny();
+        let per_bw = (cfg.layers * cfg.heads * 100) as u64;
+        assert_eq!(m.bytes_at(Bitwidth::B2), per_bw);
+        assert_eq!(m.total_bytes(), per_bw * 2);
+    }
+
+    #[test]
+    fn file_names_are_deterministic() {
+        assert_eq!(Manifest::layer_file_name(3, Bitwidth::B2), "layer_03_02bit.stis");
+        assert_eq!(Manifest::layer_file_name(11, Bitwidth::Full), "layer_11_32bit.stis");
+    }
+}

@@ -1,0 +1,122 @@
+//! In-memory shard source for tests and examples.
+
+use std::collections::HashMap;
+
+use parking_lot::RwLock;
+use sti_quant::{Bitwidth, QuantConfig, QuantizedBlob};
+use sti_transformer::Model;
+
+use crate::error::StorageError;
+use crate::store::{ShardKey, ShardSource};
+
+/// A [`ShardSource`] that quantizes a model's shards up front and serves
+/// them from memory — no filesystem, same interface and failure modes as the
+/// disk store (missing versions still error).
+#[derive(Debug, Default)]
+pub struct MemStore {
+    blobs: RwLock<HashMap<ShardKey, QuantizedBlob>>,
+}
+
+impl MemStore {
+    /// Builds a store holding every shard of `model` at each of `bitwidths`.
+    pub fn build(model: &Model, bitwidths: &[Bitwidth], quant: &QuantConfig) -> Self {
+        let cfg = model.config();
+        let mut blobs = HashMap::new();
+        for id in cfg.shard_ids() {
+            let flat = model.shard(id).flatten();
+            for &bw in bitwidths {
+                blobs.insert(ShardKey::new(id, bw), QuantizedBlob::quantize(&flat, bw, quant));
+            }
+        }
+        Self { blobs: RwLock::new(blobs) }
+    }
+
+    /// Inserts or replaces a single blob (for failure-injection tests).
+    pub fn insert(&self, key: ShardKey, blob: QuantizedBlob) {
+        self.blobs.write().insert(key, blob);
+    }
+
+    /// Removes a blob, simulating a missing version.
+    pub fn remove(&self, key: ShardKey) -> Option<QuantizedBlob> {
+        self.blobs.write().remove(&key)
+    }
+
+    /// Number of stored blobs.
+    pub fn len(&self) -> usize {
+        self.blobs.read().len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.blobs.read().is_empty()
+    }
+}
+
+impl ShardSource for MemStore {
+    fn load(&self, key: ShardKey) -> Result<QuantizedBlob, StorageError> {
+        self.blobs
+            .read()
+            .get(&key)
+            .cloned()
+            .ok_or(StorageError::MissingShard { id: key.id, bits: key.bitwidth.bits() })
+    }
+
+    fn size_bytes(&self, key: ShardKey) -> Result<u64, StorageError> {
+        self.blobs
+            .read()
+            .get(&key)
+            .map(|b| b.byte_size() as u64)
+            .ok_or(StorageError::MissingShard { id: key.id, bits: key.bitwidth.bits() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sti_transformer::{ModelConfig, ShardId};
+
+    fn store() -> (MemStore, Model) {
+        let model = Model::synthetic(5, ModelConfig::tiny());
+        let s = MemStore::build(&model, &[Bitwidth::B2, Bitwidth::Full], &QuantConfig::default());
+        (s, model)
+    }
+
+    #[test]
+    fn build_covers_the_grid() {
+        let (s, model) = store();
+        let cfg = model.config();
+        assert_eq!(s.len(), cfg.total_shards() * 2);
+    }
+
+    #[test]
+    fn load_full_fidelity_round_trips() {
+        let (s, model) = store();
+        let id = ShardId::new(0, 1);
+        let blob = s.load(ShardKey::new(id, Bitwidth::Full)).unwrap();
+        assert_eq!(blob.dequantize(), model.shard(id).flatten());
+    }
+
+    #[test]
+    fn missing_version_errors() {
+        let (s, _) = store();
+        let err = s.load(ShardKey::new(ShardId::new(0, 0), Bitwidth::B5)).unwrap_err();
+        assert!(matches!(err, StorageError::MissingShard { .. }));
+    }
+
+    #[test]
+    fn remove_injects_missing_shard_failures() {
+        let (s, _) = store();
+        let key = ShardKey::new(ShardId::new(1, 1), Bitwidth::B2);
+        assert!(s.load(key).is_ok());
+        s.remove(key);
+        assert!(s.load(key).is_err());
+    }
+
+    #[test]
+    fn size_bytes_agrees_with_blob() {
+        let (s, _) = store();
+        let key = ShardKey::new(ShardId::new(0, 2), Bitwidth::B2);
+        let blob = s.load(key).unwrap();
+        assert_eq!(s.size_bytes(key).unwrap(), blob.byte_size() as u64);
+    }
+}

@@ -1,0 +1,90 @@
+//! Layer normalization.
+
+use crate::Matrix;
+
+/// Learnable layer-norm parameters (`gamma` scale, `beta` shift).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerNormParams {
+    /// Per-feature scale.
+    pub gamma: Vec<f32>,
+    /// Per-feature shift.
+    pub beta: Vec<f32>,
+}
+
+impl LayerNormParams {
+    /// Identity parameters (`gamma = 1`, `beta = 0`) for `dim` features.
+    pub fn identity(dim: usize) -> Self {
+        Self { gamma: vec![1.0; dim], beta: vec![0.0; dim] }
+    }
+
+    /// Number of features normalized.
+    pub fn dim(&self) -> usize {
+        self.gamma.len()
+    }
+
+    /// Parameter bytes held resident in memory (paper §6 keeps layer-norm
+    /// parameters in full fidelity because they are tiny).
+    pub fn byte_size(&self) -> usize {
+        (self.gamma.len() + self.beta.len()) * std::mem::size_of::<f32>()
+    }
+}
+
+/// Normalizes every row of `m` to zero mean / unit variance, then applies
+/// `gamma`/`beta`, in place.
+///
+/// # Panics
+///
+/// Panics if `params.dim() != m.cols()`.
+pub fn layernorm_inplace(m: &mut Matrix, params: &LayerNormParams, eps: f32) {
+    assert_eq!(params.dim(), m.cols(), "layernorm dimension mismatch");
+    let cols = m.cols();
+    for row in m.as_mut_slice().chunks_exact_mut(cols) {
+        let mean = row.iter().sum::<f32>() / cols as f32;
+        let var = row.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / cols as f32;
+        let inv = 1.0 / (var + eps).sqrt();
+        for (x, (g, b)) in row.iter_mut().zip(params.gamma.iter().zip(&params.beta)) {
+            *x = (*x - mean) * inv * g + b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_params_standardize_rows() {
+        let mut m = Matrix::from_rows(&[&[1.0, 2.0, 3.0, 4.0]]);
+        layernorm_inplace(&mut m, &LayerNormParams::identity(4), 1e-6);
+        let mean: f32 = m.row(0).iter().sum::<f32>() / 4.0;
+        let var: f32 = m.row(0).iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-5);
+        assert!((var - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn gamma_beta_are_applied() {
+        let mut m = Matrix::from_rows(&[&[0.0, 2.0]]);
+        let params = LayerNormParams { gamma: vec![2.0, 2.0], beta: vec![1.0, 1.0] };
+        layernorm_inplace(&mut m, &params, 1e-6);
+        // Standardized row is [-1, 1]; scaled by 2 and shifted by 1 -> [-1, 3].
+        assert!((m[(0, 0)] + 1.0).abs() < 1e-3);
+        assert!((m[(0, 1)] - 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn constant_row_maps_to_beta() {
+        let mut m = Matrix::filled(1, 3, 5.0);
+        let params = LayerNormParams { gamma: vec![3.0; 3], beta: vec![0.25; 3] };
+        layernorm_inplace(&mut m, &params, 1e-6);
+        for &x in m.row(0) {
+            assert!((x - 0.25).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn byte_size_counts_both_vectors() {
+        let p = LayerNormParams::identity(16);
+        assert_eq!(p.byte_size(), 2 * 16 * 4);
+    }
+}

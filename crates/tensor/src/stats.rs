@@ -1,0 +1,92 @@
+//! Small statistics helpers shared by the quantizer and the profiler.
+
+/// Arithmetic mean. Returns `0.0` for empty input.
+pub fn mean(xs: &[f32]) -> f32 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().map(|&x| x as f64).sum::<f64>() as f32 / xs.len() as f32
+}
+
+/// Population standard deviation. Returns `0.0` for inputs shorter than 2.
+pub fn std_dev(xs: &[f32]) -> f32 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs) as f64;
+    let var = xs.iter().map(|&x| (x as f64 - m) * (x as f64 - m)).sum::<f64>() / xs.len() as f64;
+    var.sqrt() as f32
+}
+
+/// Mean squared error between two equally long slices.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+pub fn mse(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "mse length mismatch");
+    if a.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = a
+        .iter()
+        .zip(b)
+        .map(|(&x, &y)| {
+            let d = (x - y) as f64;
+            d * d
+        })
+        .sum();
+    (sum / a.len() as f64) as f32
+}
+
+/// Index of the maximum element (first one on ties). Returns `None` if empty.
+pub fn argmax(xs: &[f32]) -> Option<usize> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut best = 0;
+    for (i, &x) in xs.iter().enumerate().skip(1) {
+        if x > xs[best] {
+            best = i;
+        }
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std_of_known_data() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-6);
+        assert!((std_dev(&xs) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_and_singleton_edge_cases() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[]), 0.0);
+        assert_eq!(std_dev(&[3.0]), 0.0);
+        assert_eq!(argmax(&[]), None);
+    }
+
+    #[test]
+    fn mse_of_identical_slices_is_zero() {
+        let xs = [1.0, -2.0, 3.5];
+        assert_eq!(mse(&xs, &xs), 0.0);
+    }
+
+    #[test]
+    fn mse_of_shifted_slices() {
+        let a = [0.0, 0.0];
+        let b = [1.0, 1.0];
+        assert!((mse(&a, &b) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn argmax_returns_first_max_on_ties() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0, 2.0]), Some(1));
+    }
+}

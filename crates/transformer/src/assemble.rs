@@ -1,0 +1,136 @@
+//! Submodels assembled from externally supplied (e.g. dequantized) shards.
+
+use crate::config::ModelConfig;
+use crate::weights::ShardWeights;
+
+/// One layer of an assembled submodel: the selected slice indexes and their
+/// (possibly lossy) weights, in matching order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AssembledLayer {
+    /// Which vertical slices of the original layer these weights belong to.
+    pub slice_idxs: Vec<usize>,
+    /// The slice weights (dequantized from whatever fidelity was loaded).
+    pub shards: Vec<ShardWeights>,
+}
+
+/// An `n × m` submodel materialized in the working buffer: the output of
+/// decompressing the shards an execution plan selected.
+///
+/// The transformer architecture requires every layer to have the same width
+/// `m` (§4.2 of the paper); [`AssembledSubmodel::push_layer`] enforces this.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AssembledSubmodel {
+    layers: Vec<AssembledLayer>,
+}
+
+impl AssembledSubmodel {
+    /// Creates an empty submodel.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slice_idxs` and `shards` differ in length, are empty, or
+    /// the width differs from previously pushed layers.
+    pub fn push_layer(&mut self, slice_idxs: Vec<usize>, shards: Vec<ShardWeights>) {
+        assert_eq!(slice_idxs.len(), shards.len(), "slice/shard count mismatch");
+        assert!(!shards.is_empty(), "a submodel layer needs at least one shard");
+        if let Some(first) = self.layers.first() {
+            assert_eq!(
+                first.slice_idxs.len(),
+                slice_idxs.len(),
+                "all submodel layers must share the same width m"
+            );
+        }
+        self.layers.push(AssembledLayer { slice_idxs, shards });
+    }
+
+    /// Number of layers `n`.
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Width `m` (0 if empty).
+    pub fn width(&self) -> usize {
+        self.layers.first().map_or(0, |l| l.shards.len())
+    }
+
+    /// The assembled layers in execution order.
+    pub fn layers(&self) -> &[AssembledLayer] {
+        &self.layers
+    }
+
+    /// Builds the full-fidelity submodel directly from a model's own weights
+    /// — used by the teacher and by baselines that skip quantization.
+    ///
+    /// `slices_per_layer[l]` lists the selected slice indexes of layer `l`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any slice index is out of range for `cfg`.
+    pub fn from_model_slices(
+        model_layers: &[crate::weights::LayerWeights],
+        slices_per_layer: &[Vec<usize>],
+        cfg: &ModelConfig,
+    ) -> Self {
+        let mut out = Self::new();
+        for (l, slices) in slices_per_layer.iter().enumerate() {
+            let shards: Vec<ShardWeights> = slices
+                .iter()
+                .map(|&s| {
+                    assert!(s < cfg.heads, "slice {s} out of range");
+                    model_layers[l].shards[s].clone()
+                })
+                .collect();
+            out.push_layer(slices.clone(), shards);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{synthetic_layer, GainPattern};
+    use sti_tensor::Rng;
+
+    fn layers(cfg: &ModelConfig, n: usize) -> Vec<crate::weights::LayerWeights> {
+        let mut rng = Rng::new(1);
+        (0..n).map(|l| synthetic_layer(cfg, &mut rng, l, GainPattern::Uniform)).collect()
+    }
+
+    #[test]
+    fn depth_and_width_reflect_pushes() {
+        let cfg = ModelConfig::tiny();
+        let ls = layers(&cfg, 2);
+        let sub = AssembledSubmodel::from_model_slices(&ls, &[vec![0, 1], vec![2, 3]], &cfg);
+        assert_eq!(sub.depth(), 2);
+        assert_eq!(sub.width(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "same width")]
+    fn rejects_ragged_widths() {
+        let cfg = ModelConfig::tiny();
+        let ls = layers(&cfg, 2);
+        let _ = AssembledSubmodel::from_model_slices(&ls, &[vec![0, 1], vec![2]], &cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_slice_index() {
+        let cfg = ModelConfig::tiny();
+        let ls = layers(&cfg, 1);
+        let _ = AssembledSubmodel::from_model_slices(&ls, &[vec![99]], &cfg);
+    }
+
+    #[test]
+    fn empty_submodel_reports_zero() {
+        let sub = AssembledSubmodel::new();
+        assert_eq!(sub.depth(), 0);
+        assert_eq!(sub.width(), 0);
+    }
+}

@@ -1,0 +1,96 @@
+//! One transformer encoder layer over a subset of slices.
+
+use sti_tensor::norm::layernorm_inplace;
+use sti_tensor::{ops, Matrix};
+
+use crate::attention::attention;
+use crate::config::ModelConfig;
+use crate::ffn::ffn;
+use crate::weights::{LayerResident, ShardWeights};
+
+/// Executes one encoder layer (post-norm, BERT-style) with the given slices:
+/// `x ← LN(x + Attn(x))`, then `x ← LN(x + FFN(x))`.
+///
+/// `shards[i]` must be the weights of vertical slice `slice_idxs[i]`; the
+/// indexes select the matching resident FFN bias segments.
+///
+/// # Panics
+///
+/// Panics if `shards` is empty or lengths mismatch.
+pub fn layer_forward(
+    x: &Matrix,
+    shards: &[&ShardWeights],
+    slice_idxs: &[usize],
+    resident: &LayerResident,
+    cfg: &ModelConfig,
+) -> Matrix {
+    let mut attn_out = attention(x, shards, cfg);
+    ops::add_bias(&mut attn_out, &resident.bias_attn);
+    ops::add_inplace(&mut attn_out, x);
+    layernorm_inplace(&mut attn_out, &resident.ln_attn, 1e-6);
+
+    let mut ffn_out = ffn(&attn_out, shards, slice_idxs, &resident.bias_ffn1, cfg);
+    ops::add_bias(&mut ffn_out, &resident.bias_ffn2);
+    ops::add_inplace(&mut ffn_out, &attn_out);
+    layernorm_inplace(&mut ffn_out, &resident.ln_ffn, 1e-6);
+    ffn_out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{synthetic_layer, GainPattern};
+    use sti_tensor::Rng;
+
+    fn setup() -> (ModelConfig, crate::weights::LayerWeights, Matrix) {
+        let cfg = ModelConfig::tiny();
+        let mut rng = Rng::new(11);
+        let layer = synthetic_layer(&cfg, &mut rng, 0, GainPattern::Uniform);
+        let mut x = Matrix::zeros(cfg.seq_len, cfg.hidden);
+        rng.fill_gaussian(x.as_mut_slice(), 0.0, 1.0);
+        (cfg, layer, x)
+    }
+
+    #[test]
+    fn preserves_shape() {
+        let (cfg, layer, x) = setup();
+        let refs: Vec<&ShardWeights> = layer.shards.iter().collect();
+        let idxs: Vec<usize> = (0..cfg.heads).collect();
+        let out = layer_forward(&x, &refs, &idxs, &layer.resident, &cfg);
+        assert_eq!(out.shape(), x.shape());
+    }
+
+    #[test]
+    fn output_is_normalized() {
+        let (cfg, layer, x) = setup();
+        let refs: Vec<&ShardWeights> = layer.shards.iter().collect();
+        let idxs: Vec<usize> = (0..cfg.heads).collect();
+        let out = layer_forward(&x, &refs, &idxs, &layer.resident, &cfg);
+        // Post-layernorm rows have bounded magnitude regardless of input.
+        for r in 0..out.rows() {
+            let max = out.row(r).iter().fold(0.0f32, |a, &b| a.max(b.abs()));
+            assert!(max < 20.0, "row {r} exploded: {max}");
+        }
+    }
+
+    #[test]
+    fn partial_width_runs_and_differs() {
+        let (cfg, layer, x) = setup();
+        let all: Vec<&ShardWeights> = layer.shards.iter().collect();
+        let idxs: Vec<usize> = (0..cfg.heads).collect();
+        let full = layer_forward(&x, &all, &idxs, &layer.resident, &cfg);
+        let partial = layer_forward(&x, &all[..2], &idxs[..2], &layer.resident, &cfg);
+        assert_eq!(partial.shape(), full.shape());
+        assert!(partial.max_abs_diff(&full) > 1e-4);
+    }
+
+    #[test]
+    fn deterministic() {
+        let (cfg, layer, x) = setup();
+        let refs: Vec<&ShardWeights> = layer.shards.iter().collect();
+        let idxs: Vec<usize> = (0..cfg.heads).collect();
+        let a = layer_forward(&x, &refs, &idxs, &layer.resident, &cfg);
+        let b = layer_forward(&x, &refs, &idxs, &layer.resident, &cfg);
+        assert_eq!(a, b);
+    }
+}

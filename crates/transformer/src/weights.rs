@@ -1,0 +1,191 @@
+//! Sharded parameter layout (paper Table 1).
+
+use sti_tensor::norm::LayerNormParams;
+use sti_tensor::Matrix;
+
+use crate::config::ModelConfig;
+
+/// The weights of one vertical slice of a transformer layer.
+///
+/// Per Table 1 of the paper, slice `i` owns attention head `i` — the
+/// `d × d/M` Q/K/V projections and the `d/M × d` output projection — plus
+/// `1/M` of the FFN neurons. Matrices are stored in the orientation the
+/// row-major kernels consume:
+///
+/// - `q`, `k`, `v`: `d × d/M` (input-major), so `x(l×d) · q` yields `l × d/M`;
+/// - `o`: `d/M × d`, so the head output `(l × d/M) · o` yields `l × d`;
+/// - `ffn1`: `d × d_ff/M`, so `x · ffn1` yields the slice's hidden
+///   activations;
+/// - `ffn2`: `d_ff/M × d`, projecting them back.
+///
+/// (The paper lists the PyTorch `out × in` convention; the parameter *sets*
+/// are identical, only the storage orientation differs.)
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardWeights {
+    /// Query projection, `d × d/M`.
+    pub q: Matrix,
+    /// Key projection, `d × d/M`.
+    pub k: Matrix,
+    /// Value projection, `d × d/M`.
+    pub v: Matrix,
+    /// Output projection, `d/M × d`.
+    pub o: Matrix,
+    /// First FFN slice, `d × d_ff/M`.
+    pub ffn1: Matrix,
+    /// Second FFN slice, `d_ff/M × d`.
+    pub ffn2: Matrix,
+}
+
+impl ShardWeights {
+    /// Flattens the shard into a single 1-D weight group — the unit the
+    /// quantizer compresses (§6: *"gathers all weights ... into a large flat
+    /// 1D array"*, applied at shard granularity).
+    ///
+    /// Order: `q`, `k`, `v`, `o`, `ffn1`, `ffn2`, each row-major.
+    pub fn flatten(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.param_count());
+        for m in [&self.q, &self.k, &self.v, &self.o, &self.ffn1, &self.ffn2] {
+            out.extend_from_slice(m.as_slice());
+        }
+        out
+    }
+
+    /// Rebuilds a shard from a flat weight group produced by [`flatten`]
+    /// (after a round trip through quantization and storage).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flat.len()` does not equal the shard parameter count for
+    /// `cfg`.
+    ///
+    /// [`flatten`]: ShardWeights::flatten
+    pub fn from_flat(flat: &[f32], cfg: &ModelConfig) -> Self {
+        assert_eq!(
+            flat.len(),
+            cfg.shard_param_count(),
+            "flat weight group has wrong length for this config"
+        );
+        let d = cfg.hidden;
+        let hd = cfg.head_dim();
+        let f = cfg.ffn_per_shard();
+        let mut pos = 0usize;
+        let mut take = |rows: usize, cols: usize| {
+            let m = Matrix::from_vec(rows, cols, flat[pos..pos + rows * cols].to_vec());
+            pos += rows * cols;
+            m
+        };
+        let q = take(d, hd);
+        let k = take(d, hd);
+        let v = take(d, hd);
+        let o = take(hd, d);
+        let ffn1 = take(d, f);
+        let ffn2 = take(f, d);
+        Self { q, k, v, o, ffn1, ffn2 }
+    }
+
+    /// Number of parameters in the shard.
+    pub fn param_count(&self) -> usize {
+        self.q.len() + self.k.len() + self.v.len() + self.o.len() + self.ffn1.len()
+            + self.ffn2.len()
+    }
+}
+
+/// Per-layer parameters that are *not* sharded and stay resident in memory in
+/// full fidelity (paper §6: layer-norm and biases are tens of KB per layer).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerResident {
+    /// Post-attention layer norm.
+    pub ln_attn: LayerNormParams,
+    /// Post-FFN layer norm.
+    pub ln_ffn: LayerNormParams,
+    /// Attention output bias (`d`).
+    pub bias_attn: Vec<f32>,
+    /// FFN1 bias (`d_ff`), sliced per shard at execution time.
+    pub bias_ffn1: Vec<f32>,
+    /// FFN2 bias (`d`).
+    pub bias_ffn2: Vec<f32>,
+}
+
+impl LayerResident {
+    /// Identity-initialized resident parameters for `cfg`.
+    pub fn identity(cfg: &ModelConfig) -> Self {
+        Self {
+            ln_attn: LayerNormParams::identity(cfg.hidden),
+            ln_ffn: LayerNormParams::identity(cfg.hidden),
+            bias_attn: vec![0.0; cfg.hidden],
+            bias_ffn1: vec![0.0; cfg.ffn],
+            bias_ffn2: vec![0.0; cfg.hidden],
+        }
+    }
+
+    /// Bytes held resident for this layer.
+    pub fn byte_size(&self) -> usize {
+        self.ln_attn.byte_size()
+            + self.ln_ffn.byte_size()
+            + (self.bias_attn.len() + self.bias_ffn1.len() + self.bias_ffn2.len()) * 4
+    }
+}
+
+/// All parameters of one transformer layer: `M` shards plus the resident
+/// (non-streamed) remainder.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerWeights {
+    /// The `M` vertical slices.
+    pub shards: Vec<ShardWeights>,
+    /// Layer norms and biases, kept resident.
+    pub resident: LayerResident,
+}
+
+impl LayerWeights {
+    /// Total sharded parameter count of this layer.
+    pub fn sharded_param_count(&self) -> usize {
+        self.shards.iter().map(ShardWeights::param_count).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic;
+
+    #[test]
+    fn flatten_round_trips() {
+        let cfg = ModelConfig::tiny();
+        let shard = synthetic::synthetic_shard(&cfg, 42, 1.0);
+        let flat = shard.flatten();
+        assert_eq!(flat.len(), cfg.shard_param_count());
+        let rebuilt = ShardWeights::from_flat(&flat, &cfg);
+        assert_eq!(rebuilt, shard);
+    }
+
+    #[test]
+    fn flatten_order_is_q_first() {
+        let cfg = ModelConfig::tiny();
+        let shard = synthetic::synthetic_shard(&cfg, 7, 1.0);
+        let flat = shard.flatten();
+        assert_eq!(&flat[..shard.q.len()], shard.q.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong length")]
+    fn from_flat_rejects_bad_length() {
+        let cfg = ModelConfig::tiny();
+        let _ = ShardWeights::from_flat(&[0.0; 3], &cfg);
+    }
+
+    #[test]
+    fn resident_bytes_are_small() {
+        let cfg = ModelConfig::scaled_bert();
+        let resident = LayerResident::identity(&cfg);
+        // Paper: tens of KB per layer at full scale; scaled model is smaller
+        // still — and crucially far smaller than the sharded weights.
+        assert!(resident.byte_size() < cfg.layer_fp32_bytes() / 10);
+    }
+
+    #[test]
+    fn shard_param_count_matches_config() {
+        let cfg = ModelConfig::tiny();
+        let shard = synthetic::synthetic_shard(&cfg, 1, 1.0);
+        assert_eq!(shard.param_count(), cfg.shard_param_count());
+    }
+}

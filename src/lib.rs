@@ -1,0 +1,8 @@
+//! Workspace-level facade for the STI reproduction.
+//!
+//! This crate exists so that cross-crate integration tests (`tests/`) and the
+//! runnable examples (`examples/`) can live at the repository root as plain
+//! Cargo targets. All functionality is provided by the member crates and
+//! re-exported through [`sti`].
+
+pub use sti::*;

@@ -1,0 +1,176 @@
+//! End-to-end integration: cloud preprocessing → disk store → profiling →
+//! planning → pipelined execution, across crates.
+
+use std::sync::Arc;
+
+use sti::prelude::*;
+
+fn tiny_setup() -> (Task, DeviceProfile, HwProfile, ImportanceProfile) {
+    let cfg = ModelConfig::tiny();
+    let task = Task::build(TaskKind::Sst2, cfg.clone(), 6, 8);
+    let device = DeviceProfile::odroid_n2();
+    let hw = HwProfile::measure(&device, &cfg, &QuantConfig::default());
+    let importance = profile_importance(task.model(), task.dev(), &QuantConfig::default());
+    (task, device, hw, importance)
+}
+
+#[test]
+fn full_lifecycle_on_disk_store() {
+    let (task, device, hw, importance) = tiny_setup();
+    let dir = std::env::temp_dir().join(format!("sti-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Cloud preprocessing.
+    let created =
+        ShardStore::create(&dir, task.model(), &Bitwidth::ALL, &QuantConfig::default()).unwrap();
+    assert!(created.total_bytes() > 0);
+    drop(created);
+
+    // Device-side open + engine.
+    let store = Arc::new(ShardStore::open(&dir).unwrap());
+    let engine = StiEngine::builder(
+        task.model().clone(),
+        store,
+        hw,
+        device.flash,
+        importance,
+    )
+    .target(SimTime::from_ms(400))
+    .preload_budget(16 << 10)
+    .widths(&[2, 4])
+    .build()
+    .unwrap();
+
+    let inf = engine.infer(&[1, 2, 3, 4]).unwrap();
+    assert!(inf.class < 2);
+    assert!(inf.outcome.timeline.makespan <= SimTime::from_ms(400));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn engine_accuracy_tracks_runner_accuracy() {
+    // The engine's pipelined execution and the runner's direct evaluation
+    // must agree: same plan, same dequantized weights, same predictions.
+    let cfg = ModelConfig::tiny();
+    let ctx = sti::TaskContext::with_config(TaskKind::Rte, cfg.clone());
+    let device = DeviceProfile::odroid_n2();
+    let exp = sti::Experiment {
+        baseline: Baseline::Sti,
+        device: device.clone(),
+        target: SimTime::from_ms(300),
+        preload_bytes: 4 << 10,
+    };
+    let result = sti::run_experiment(&ctx, &exp);
+
+    let hw = HwProfile::measure(&device, &cfg, ctx.quant());
+    let store =
+        Arc::new(MemStore::build(ctx.task().model(), &Bitwidth::ALL, &QuantConfig::default()));
+    let engine = StiEngine::builder(
+        ctx.task().model().clone(),
+        store,
+        hw,
+        device.flash,
+        ctx.importance().clone(),
+    )
+    .target(SimTime::from_ms(300))
+    .preload_budget(4 << 10)
+    .build()
+    .unwrap();
+
+    assert_eq!(engine.plan().shape, result.plan.shape);
+    let preds: Vec<usize> = ctx
+        .task()
+        .test()
+        .iter()
+        .map(|e| engine.infer(&e.tokens).unwrap().class)
+        .collect();
+    let engine_acc = ctx.task().test_accuracy(&preds);
+    assert!(
+        (engine_acc - result.accuracy).abs() < 1e-9,
+        "engine accuracy {engine_acc} != runner accuracy {}",
+        result.accuracy
+    );
+}
+
+#[test]
+fn baseline_ordering_holds_on_tiny_grid() {
+    // The paper's headline ordering at a tight target: STI >= StdPL-2bit and
+    // STI >= Load&Exec (more FLOPs or better fidelity allocation).
+    let ctx = sti::TaskContext::with_config(TaskKind::Sst2, ModelConfig::tiny());
+    let device = DeviceProfile::odroid_n2();
+    let run = |baseline| {
+        sti::run_experiment(
+            &ctx,
+            &sti::Experiment {
+                baseline,
+                device: device.clone(),
+                target: SimTime::from_ms(150),
+                preload_bytes: 4 << 10,
+            },
+        )
+    };
+    let ours = run(Baseline::Sti);
+    let le = run(Baseline::LoadAndExec);
+    let std_full = run(Baseline::StdPipeline(Bitwidth::Full));
+    assert!(
+        ours.plan.shape.shard_count() >= le.plan.shape.shard_count(),
+        "STI must execute at least as many shards as Load&Exec"
+    );
+    assert!(
+        ours.plan.shape.shard_count() >= std_full.plan.shape.shard_count(),
+        "STI must execute at least as many shards as StdPL-full"
+    );
+}
+
+#[test]
+fn replanning_is_only_triggered_by_parameter_changes() {
+    let (task, device, hw, importance) = tiny_setup();
+    let store =
+        Arc::new(MemStore::build(task.model(), &Bitwidth::ALL, &QuantConfig::default()));
+    let mut engine = StiEngine::builder(task.model().clone(), store, hw, device.flash, importance)
+        .target(SimTime::from_ms(250))
+        .preload_budget(4 << 10)
+        .widths(&[2, 4])
+        .build()
+        .unwrap();
+    let plan_before = engine.plan().clone();
+    for seed in 0..3u32 {
+        engine.infer(&[seed, seed + 1]).unwrap();
+    }
+    assert_eq!(&plan_before, engine.plan());
+    engine.set_target(SimTime::from_ms(800)).unwrap();
+    assert_ne!(plan_before.target, engine.plan().target);
+}
+
+#[test]
+fn preload_budget_bounds_memory_and_improves_warmup() {
+    let (task, device, hw, importance) = tiny_setup();
+    let store =
+        Arc::new(MemStore::build(task.model(), &Bitwidth::ALL, &QuantConfig::default()));
+    let build = |budget: u64| {
+        StiEngine::builder(
+            task.model().clone(),
+            store.clone(),
+            hw.clone(),
+            device.flash,
+            importance.clone(),
+        )
+        .target(SimTime::from_ms(300))
+        .preload_budget(budget)
+        .widths(&[2, 4])
+        .build()
+        .unwrap()
+    };
+    let cold = build(0);
+    let warm = build(32 << 10);
+    assert_eq!(cold.preload_used(), 0);
+    assert!(warm.preload_used() > 0);
+    assert!(warm.preload_used() <= 32 << 10);
+
+    let cold_run = cold.infer(&[7, 7]).unwrap();
+    let warm_run = warm.infer(&[7, 7]).unwrap();
+    assert!(warm_run.outcome.loaded_bytes < cold_run.outcome.loaded_bytes);
+    assert!(
+        warm_run.outcome.timeline.layers[0].stall <= cold_run.outcome.timeline.layers[0].stall
+    );
+}

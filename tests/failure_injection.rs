@@ -1,0 +1,141 @@
+//! Failure injection across the storage/pipeline boundary: corrupt stores,
+//! missing versions, truncated files, and shrinking memory must all surface
+//! as typed errors (never hangs, panics, or silent wrong results).
+
+use std::sync::Arc;
+
+use sti::prelude::*;
+use sti_pipeline::{PipelineExecutor, PreloadBuffer};
+use sti_planner::{plan_two_stage, ImportanceProfile};
+use sti_storage::manifest::Manifest;
+use sti_storage::StorageError;
+
+fn setup() -> (Task, DeviceProfile, HwProfile, ImportanceProfile) {
+    let cfg = ModelConfig::tiny();
+    let task = Task::build(TaskKind::Qnli, cfg.clone(), 4, 4);
+    let device = DeviceProfile::odroid_n2();
+    let hw = HwProfile::measure(&device, &cfg, &QuantConfig::default());
+    let importance = ImportanceProfile::from_scores(
+        cfg.layers,
+        cfg.heads,
+        (0..cfg.total_shards()).map(|i| 0.5 + (i % 4) as f64 * 0.02).collect(),
+        0.42,
+    );
+    (task, device, hw, importance)
+}
+
+fn plan_for(hw: &HwProfile, importance: &ImportanceProfile) -> ExecutionPlan {
+    plan_two_stage(hw, importance, SimTime::from_ms(400), 0, &[2, 4], &Bitwidth::ALL)
+}
+
+#[test]
+fn missing_version_fails_with_missing_shard() {
+    let (task, device, hw, importance) = setup();
+    let store =
+        Arc::new(MemStore::build(task.model(), &[Bitwidth::B2, Bitwidth::Full], &QuantConfig::default()));
+    // Planner believes all versions exist; B6 etc. are absent from the store.
+    let plan = plan_for(&hw, &importance);
+    let needs_missing = plan
+        .layers
+        .iter()
+        .flat_map(|l| l.bitwidths.iter())
+        .any(|bw| *bw != Bitwidth::B2 && *bw != Bitwidth::Full);
+    let exec = PipelineExecutor::new(task.model(), store, device.flash, &hw);
+    let result = exec.execute(&plan, &PreloadBuffer::new(0), &[1, 2]);
+    if needs_missing {
+        let err = result.unwrap_err();
+        assert!(
+            matches!(err, PipelineError::Storage(StorageError::MissingShard { .. })),
+            "unexpected error: {err}"
+        );
+    }
+}
+
+#[test]
+fn corrupt_disk_record_surfaces_as_corrupt_error() {
+    let (task, device, hw, importance) = setup();
+    let dir = std::env::temp_dir().join(format!("sti-failinj-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store =
+        ShardStore::create(&dir, task.model(), &Bitwidth::ALL, &QuantConfig::default()).unwrap();
+
+    let plan = plan_for(&hw, &importance);
+    // Corrupt every layer-0 file so whichever version the plan chose is hit.
+    for bw in Bitwidth::ALL {
+        let path = dir.join(Manifest::layer_file_name(0, bw));
+        let mut bytes = std::fs::read(&path).unwrap();
+        for b in bytes.iter_mut() {
+            *b ^= 0xA5;
+        }
+        std::fs::write(&path, bytes).unwrap();
+    }
+    let exec = PipelineExecutor::new(task.model(), Arc::new(store), device.flash, &hw);
+    let err = exec.execute(&plan, &PreloadBuffer::new(0), &[3]).unwrap_err();
+    assert!(matches!(err, PipelineError::Storage(_)), "unexpected error: {err}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn truncated_manifest_fails_to_open() {
+    let (task, _, _, _) = setup();
+    let dir = std::env::temp_dir().join(format!("sti-failinj-manifest-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store =
+        ShardStore::create(&dir, task.model(), &[Bitwidth::B2], &QuantConfig::default()).unwrap();
+    drop(store);
+    let manifest_path = dir.join(ShardStore::MANIFEST_FILE);
+    let bytes = std::fs::read(&manifest_path).unwrap();
+    std::fs::write(&manifest_path, &bytes[..bytes.len() / 2]).unwrap();
+    assert!(ShardStore::open(&dir).is_err());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn deleted_layer_file_fails_reads_not_open() {
+    let (task, _, _, _) = setup();
+    let dir = std::env::temp_dir().join(format!("sti-failinj-delete-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store =
+        ShardStore::create(&dir, task.model(), &[Bitwidth::B2], &QuantConfig::default()).unwrap();
+    drop(store);
+    std::fs::remove_file(dir.join(Manifest::layer_file_name(1, Bitwidth::B2))).unwrap();
+    let store = ShardStore::open(&dir).unwrap();
+    assert!(store.read_layer(0, &[(0, Bitwidth::B2)]).is_ok());
+    assert!(store.read_layer(1, &[(0, Bitwidth::B2)]).is_err());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn oversized_preload_request_is_rejected_not_truncated() {
+    let (task, _, _, _) = setup();
+    let store =
+        MemStore::build(task.model(), &[Bitwidth::Full], &QuantConfig::default());
+    let blob = sti_storage::ShardSource::load(
+        &store,
+        ShardKey::new(ShardId::new(0, 0), Bitwidth::Full),
+    )
+    .unwrap();
+    let mut buffer = PreloadBuffer::new(blob.byte_size() as u64 - 1);
+    let err = buffer.insert(ShardId::new(0, 0), blob).unwrap_err();
+    assert!(matches!(err, PipelineError::PreloadOverflow { .. }));
+    assert_eq!(buffer.len(), 0);
+}
+
+#[test]
+fn engine_survives_budget_shrink_to_zero() {
+    let (task, device, hw, importance) = setup();
+    let store =
+        Arc::new(MemStore::build(task.model(), &Bitwidth::ALL, &QuantConfig::default()));
+    let mut engine = StiEngine::builder(task.model().clone(), store, hw, device.flash, importance)
+        .target(SimTime::from_ms(400))
+        .preload_budget(16 << 10)
+        .widths(&[2, 4])
+        .build()
+        .unwrap();
+    assert!(engine.preload_used() > 0);
+    engine.set_preload_budget(0).unwrap();
+    assert_eq!(engine.preload_used(), 0);
+    // Cold-start inference still works.
+    let inf = engine.infer(&[9, 1]).unwrap();
+    assert!(inf.class < 2);
+}

@@ -1,0 +1,84 @@
+//! Property-based invariants of the quantization substrate over arbitrary
+//! weight distributions (not just the synthetic generator's).
+
+use proptest::prelude::*;
+use sti_quant::{Bitwidth, QuantConfig, QuantizedBlob};
+use sti_storage::format;
+use sti_tensor::stats;
+
+fn weights_strategy() -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-2.0f32..2.0, 16..600)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Quantize → dequantize preserves length and yields finite values.
+    #[test]
+    fn dequantized_weights_are_finite(weights in weights_strategy(), bits in 0usize..5) {
+        let bw = Bitwidth::COMPRESSED[bits];
+        let blob = QuantizedBlob::quantize(&weights, bw, &QuantConfig::default());
+        let restored = blob.dequantize();
+        prop_assert_eq!(restored.len(), weights.len());
+        prop_assert!(restored.iter().all(|x| x.is_finite()));
+    }
+
+    /// Reconstruction error is bounded by the weight range (equal-population
+    /// clustering cannot produce centroids outside the data span).
+    #[test]
+    fn reconstruction_stays_in_data_range(weights in weights_strategy()) {
+        let blob = QuantizedBlob::quantize(&weights, Bitwidth::B2, &QuantConfig::default());
+        let restored = blob.dequantize();
+        let lo = weights.iter().copied().fold(f32::INFINITY, f32::min);
+        let hi = weights.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        for x in restored {
+            prop_assert!(x >= lo - 1e-4 && x <= hi + 1e-4, "{x} outside [{lo}, {hi}]");
+        }
+    }
+
+    /// Higher bitwidths never reconstruct worse (MSE is non-increasing in k).
+    #[test]
+    fn error_is_monotone_in_bitwidth(weights in weights_strategy()) {
+        let cfg = QuantConfig::default();
+        let mut prev = f32::INFINITY;
+        for bw in Bitwidth::ALL {
+            let blob = QuantizedBlob::quantize(&weights, bw, &cfg);
+            let err = stats::mse(&weights, &blob.dequantize());
+            // Tiny tolerance: equal-population boundaries can tie.
+            prop_assert!(err <= prev + 1e-6, "mse rose from {prev} to {err} at {bw}");
+            prev = err;
+        }
+        prop_assert_eq!(prev, 0.0);
+    }
+
+    /// Serialized records round-trip bit-exactly through the storage format.
+    #[test]
+    fn storage_record_round_trips(weights in weights_strategy(), bits in 0usize..5) {
+        let bw = Bitwidth::COMPRESSED[bits];
+        let blob = QuantizedBlob::quantize(&weights, bw, &QuantConfig::default());
+        let encoded = format::encode_blob(&blob);
+        let (decoded, consumed) = format::decode_blob(&encoded).expect("valid record");
+        prop_assert_eq!(consumed, encoded.len());
+        prop_assert_eq!(decoded, blob);
+    }
+
+    /// Any single corrupted byte in a record is detected.
+    #[test]
+    fn corruption_is_always_detected(
+        weights in proptest::collection::vec(-1.0f32..1.0, 32..128),
+        corrupt_at in any::<prop::sample::Index>(),
+        flip in 1u8..=255,
+    ) {
+        let blob = QuantizedBlob::quantize(&weights, Bitwidth::B4, &QuantConfig::default());
+        let mut encoded = format::encode_blob(&blob);
+        let idx = corrupt_at.index(encoded.len());
+        encoded[idx] ^= flip;
+        match format::decode_blob(&encoded) {
+            Err(_) => {}
+            Ok((decoded, _)) => {
+                // A flip that decodes must not silently change the payload.
+                prop_assert_eq!(decoded, blob, "corruption at byte {} went unnoticed", idx);
+            }
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based invariants of the pipeline schedule model — the arithmetic
+//! every latency number in the reproduction rests on.
+
+use proptest::prelude::*;
+use sti_device::SimTime;
+use sti_planner::schedule::{sequential_makespan, simulate_pipeline, LayerTiming};
+
+fn timings_strategy() -> impl Strategy<Value = Vec<LayerTiming>> {
+    proptest::collection::vec((0u64..500, 1u64..500), 1..16).prop_map(|pairs| {
+        pairs
+            .into_iter()
+            .map(|(io, comp)| LayerTiming {
+                io: SimTime::from_ms(io),
+                comp: SimTime::from_ms(comp),
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The pipeline can never beat either resource's serial bound, and can
+    /// never lose to fully sequential execution.
+    #[test]
+    fn makespan_is_bounded_by_resource_bounds(timings in timings_strategy()) {
+        let p = simulate_pipeline(&timings, SimTime::ZERO);
+        let total_io: SimTime = timings.iter().map(|t| t.io).sum();
+        let total_comp: SimTime = timings.iter().map(|t| t.comp).sum();
+        prop_assert!(p.makespan >= total_io.max(total_comp).max(timings[0].io + timings[0].comp));
+        prop_assert!(p.makespan <= sequential_makespan(&timings));
+    }
+
+    /// Stall accounting identity: the compute channel is either busy or
+    /// stalled, so makespan = total compute + total stall.
+    #[test]
+    fn makespan_decomposes_into_compute_plus_stall(timings in timings_strategy()) {
+        let p = simulate_pipeline(&timings, SimTime::ZERO);
+        let total_comp: SimTime = timings.iter().map(|t| t.comp).sum();
+        prop_assert_eq!(p.makespan, total_comp + p.total_stall);
+    }
+
+    /// Per-layer schedules are causally ordered: IO ends before compute
+    /// starts, layers never overlap on either channel.
+    #[test]
+    fn schedules_are_causally_ordered(timings in timings_strategy()) {
+        let p = simulate_pipeline(&timings, SimTime::ZERO);
+        for (k, l) in p.layers.iter().enumerate() {
+            prop_assert!(l.io_start <= l.io_end);
+            prop_assert!(l.io_end <= l.comp_start, "layer {k} computes before its IO lands");
+            prop_assert!(l.comp_start <= l.comp_end);
+            if k > 0 {
+                prop_assert!(p.layers[k - 1].io_end <= l.io_start, "IO channel overlap at {k}");
+                prop_assert!(
+                    p.layers[k - 1].comp_end <= l.comp_start,
+                    "compute channel overlap at {k}"
+                );
+            }
+        }
+    }
+
+    /// Growing any single IO or compute duration never shrinks the makespan.
+    #[test]
+    fn makespan_is_monotone(
+        timings in timings_strategy(),
+        which in any::<prop::sample::Index>(),
+        extra_ms in 1u64..200,
+        io_side in any::<bool>(),
+    ) {
+        let base = simulate_pipeline(&timings, SimTime::ZERO).makespan;
+        let mut grown = timings.clone();
+        let idx = which.index(grown.len());
+        if io_side {
+            grown[idx].io += SimTime::from_ms(extra_ms);
+        } else {
+            grown[idx].comp += SimTime::from_ms(extra_ms);
+        }
+        let new = simulate_pipeline(&grown, SimTime::ZERO).makespan;
+        prop_assert!(new >= base);
+    }
+
+    /// Removing all IO yields the compute-only lower bound exactly — the
+    /// PreloadModel baseline's timeline.
+    #[test]
+    fn zero_io_hits_compute_bound(timings in timings_strategy()) {
+        let no_io: Vec<LayerTiming> = timings
+            .iter()
+            .map(|t| LayerTiming { io: SimTime::ZERO, comp: t.comp })
+            .collect();
+        let p = simulate_pipeline(&no_io, SimTime::ZERO);
+        let total_comp: SimTime = timings.iter().map(|t| t.comp).sum();
+        prop_assert_eq!(p.makespan, total_comp);
+        prop_assert_eq!(p.total_stall, SimTime::ZERO);
+    }
+}

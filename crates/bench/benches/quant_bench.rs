@@ -48,9 +48,7 @@ fn bench_bitpack(c: &mut Criterion) {
     group.bench_function("pack_6bit", |b| b.iter(|| bitpack::pack(&values, 6)));
     let packed = bitpack::pack(&values, 6);
     let mut out = vec![0u16; values.len()];
-    group.bench_function("unpack_6bit", |b| {
-        b.iter(|| bitpack::unpack_into(&packed, 6, &mut out))
-    });
+    group.bench_function("unpack_6bit", |b| b.iter(|| bitpack::unpack_into(&packed, 6, &mut out)));
     group.finish();
 }
 

@@ -25,15 +25,10 @@ fn bench_layer_read(c: &mut Criterion) {
     let model = Model::synthetic(9, cfg.clone());
     let dir = std::env::temp_dir().join(format!("sti-bench-store-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
-    let store = ShardStore::create(
-        &dir,
-        &model,
-        &[Bitwidth::B2, Bitwidth::B6],
-        &QuantConfig::default(),
-    )
-    .expect("create store");
-    let request: Vec<(u16, Bitwidth)> =
-        (0..cfg.heads as u16).map(|s| (s, Bitwidth::B6)).collect();
+    let store =
+        ShardStore::create(&dir, &model, &[Bitwidth::B2, Bitwidth::B6], &QuantConfig::default())
+            .expect("create store");
+    let request: Vec<(u16, Bitwidth)> = (0..cfg.heads as u16).map(|s| (s, Bitwidth::B6)).collect();
     c.bench_function("read_layer_12_shards", |b| {
         b.iter(|| store.read_layer(0, &request).expect("layer reads"))
     });

@@ -22,9 +22,10 @@ fn bench_matmul(c: &mut Criterion) {
     let b = random_matrix(&mut rng, cfg.hidden, cfg.ffn);
     let flops = 2 * cfg.seq_len * cfg.hidden * cfg.ffn;
     group.throughput(Throughput::Elements(flops as u64));
-    group.bench_function(BenchmarkId::new("ffn_up", format!("{}x{}x{}", cfg.seq_len, cfg.hidden, cfg.ffn)), |bch| {
-        bch.iter(|| ops::matmul(&a, &b))
-    });
+    group.bench_function(
+        BenchmarkId::new("ffn_up", format!("{}x{}x{}", cfg.seq_len, cfg.hidden, cfg.ffn)),
+        |bch| bch.iter(|| ops::matmul(&a, &b)),
+    );
     group.finish();
 }
 

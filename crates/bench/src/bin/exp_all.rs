@@ -3,8 +3,11 @@
 
 use sti_bench::{experiments as e, harness};
 
+/// One named experiment: a report name and the function regenerating it.
+type Experiment = (&'static str, fn() -> String);
+
 fn main() {
-    let all: [(&str, fn() -> String); 15] = [
+    let all: [Experiment; 15] = [
         ("tab2", e::tab2::run),
         ("tab3", e::tab3::run),
         ("tab4", e::tab4::run),

@@ -68,10 +68,7 @@ fn two_pass_ablation() -> String {
             format!("{:+.1}", (acc_two - acc_greedy) * 100.0),
         ]);
     }
-    format!(
-        "[2] Two-pass bitwidth allocation vs greedy-only (§5.4.3 key idea):\n\n{}",
-        t.render()
-    )
+    format!("[2] Two-pass bitwidth allocation vs greedy-only (§5.4.3 key idea):\n\n{}", t.render())
 }
 
 /// Ablation 3: layer-grain IO jobs vs shard-grain IO jobs (§3.1 claims
@@ -82,19 +79,17 @@ fn io_grain_ablation() -> String {
     let cfg = ctx.task().model().config().clone();
     let device = DeviceProfile::odroid_n2();
     let hw = HwProfile::measure(&device, &cfg, ctx.quant());
-    let mut t = TextTable::new(["width m", "layer-grain makespan", "shard-grain makespan", "penalty"]);
+    let mut t =
+        TextTable::new(["width m", "layer-grain makespan", "shard-grain makespan", "penalty"]);
     for m in [3usize, 6, 12] {
         let bws = vec![Bitwidth::B6; m];
         let layer_grain = LayerTiming { io: hw.layer_io_delay(&bws), comp: hw.t_comp(m) };
         let shard_grain = LayerTiming {
-            io: bws
-                .iter()
-                .map(|&bw| hw.request_latency + hw.t_io_shard(bw))
-                .sum(),
+            io: bws.iter().map(|&bw| hw.request_latency + hw.t_io_shard(bw)).sum(),
             comp: hw.t_comp(m),
         };
-        let a = simulate_pipeline(&vec![layer_grain; 6], SimTime::ZERO).makespan;
-        let b = simulate_pipeline(&vec![shard_grain; 6], SimTime::ZERO).makespan;
+        let a = simulate_pipeline(&[layer_grain; 6], SimTime::ZERO).makespan;
+        let b = simulate_pipeline(&[shard_grain; 6], SimTime::ZERO).makespan;
         t.row([
             m.to_string(),
             a.to_string(),
@@ -102,10 +97,7 @@ fn io_grain_ablation() -> String {
             format!("{:+.0}%", (b.as_ms() / a.as_ms() - 1.0) * 100.0),
         ]);
     }
-    format!(
-        "[3] Layer-grain vs shard-grain IO (6-layer pipeline, 6-bit shards):\n\n{}",
-        t.render()
-    )
+    format!("[3] Layer-grain vs shard-grain IO (6-layer pipeline, 6-bit shards):\n\n{}", t.render())
 }
 
 /// Ablation 4: the deeper-on-ties rule of compute planning (§5.3).
@@ -151,21 +143,14 @@ fn quantizer_ablation() -> String {
     let ctx = harness::context(TaskKind::Sst2);
     let model = ctx.task().model();
     let cfg = model.config().clone();
-    let mut t = TextTable::new([
-        "bitwidth",
-        "GOBO mse",
-        "uniform mse",
-        "GOBO acc",
-        "uniform acc",
-    ]);
+    let mut t = TextTable::new(["bitwidth", "GOBO mse", "uniform mse", "GOBO acc", "uniform acc"]);
     for bw in [Bitwidth::B2, Bitwidth::B3, Bitwidth::B4] {
         // Reconstruction error over a whole layer's shards.
         let mut gobo_mse = 0.0f64;
         let mut uni_mse = 0.0f64;
         for s in 0..cfg.heads as u16 {
             let flat = model.shard(ShardId::new(0, s)).flatten();
-            let gobo =
-                QuantizedBlob::quantize(&flat, bw, ctx.quant()).dequantize();
+            let gobo = QuantizedBlob::quantize(&flat, bw, ctx.quant()).dequantize();
             let uni = UniformBlob::quantize(&flat, bw).dequantize();
             gobo_mse += stats::mse(&flat, &gobo) as f64;
             uni_mse += stats::mse(&flat, &uni) as f64;
@@ -191,8 +176,7 @@ fn quantizer_ablation() -> String {
             ctx.task().test_accuracy(&preds)
         };
         let quant_cfg = *ctx.quant();
-        let gobo_acc =
-            eval(&|flat| QuantizedBlob::quantize(flat, bw, &quant_cfg).dequantize());
+        let gobo_acc = eval(&|flat| QuantizedBlob::quantize(flat, bw, &quant_cfg).dequantize());
         let uni_acc = eval(&|flat| UniformBlob::quantize(flat, bw).dequantize());
         t.row([
             bw.to_string(),

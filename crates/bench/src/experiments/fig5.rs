@@ -26,9 +26,8 @@ fn section(kind: TaskKind) -> String {
 /// SST-2's importance spreads across layers while RTE's concentrates in
 /// bottom layers.
 pub fn run() -> String {
-    let mut out = String::from(
-        "Figure 5: shard importance profiles; distinct distributions per task.\n\n",
-    );
+    let mut out =
+        String::from("Figure 5: shard importance profiles; distinct distributions per task.\n\n");
     out.push_str(&section(TaskKind::Sst2));
     out.push('\n');
     out.push_str(&section(TaskKind::Rte));

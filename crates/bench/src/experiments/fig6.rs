@@ -61,10 +61,7 @@ pub fn run() -> String {
     let cases = [("A", [2u8, 2, 2], true), ("B", [3, 3, 3], true), ("C", [5, 2, 4], false)];
     for (name, bits, expected_valid) in cases {
         let (line, valid) = check_candidate(name, bits);
-        assert_eq!(
-            valid, expected_valid,
-            "candidate {name} validity disagrees with the paper"
-        );
+        assert_eq!(valid, expected_valid, "candidate {name} validity disagrees with the paper");
         out.push_str(&line);
         out.push('\n');
     }

@@ -42,7 +42,9 @@ pub fn run() -> String {
                         sti_mem = mem.max(1);
                         sti_acc = r.accuracy;
                     }
-                    Baseline::PreloadModel(Bitwidth::Full) => preload_full = Some((mem, r.accuracy)),
+                    Baseline::PreloadModel(Bitwidth::Full) => {
+                        preload_full = Some((mem, r.accuracy))
+                    }
                     Baseline::PreloadModel(Bitwidth::B6) => preload_6 = Some((mem, r.accuracy)),
                     _ => {}
                 }

@@ -24,11 +24,7 @@ pub fn run() -> String {
     let mut t = TextTable::new(["Quantity", "Measured (scaled model)", "Paper (DistilBERT)"]);
     t.row(["per-layer parameter IO", &layer_io.to_string(), "339 ms"]);
     t.row(["per-layer computation", &layer_comp.to_string(), "95 ms"]);
-    t.row([
-        "IO/compute skew",
-        &format!("{:.1}x", layer_io.as_ms() / layer_comp.as_ms()),
-        "3.6x",
-    ]);
+    t.row(["IO/compute skew", &format!("{:.1}x", layer_io.as_ms() / layer_comp.as_ms()), "3.6x"]);
     t.row(["load-before-exec total", &sequential.to_string(), "3.6-3.7 s"]);
     t.row(["  of which IO", &(layer_io * cfg.layers as u64).to_string(), "3.1 s"]);
     t.row(["standard pipeline makespan", &pipeline.makespan.to_string(), "-"]);

@@ -6,14 +6,50 @@ use crate::report::TextTable;
 
 /// Renders the design-space table (paper Table 4).
 pub fn run() -> String {
-    let mut t = TextTable::new(["Baseline", "Preload?", "Sharding?", "IO & compute", "Quantization"]);
+    let mut t =
+        TextTable::new(["Baseline", "Preload?", "Sharding?", "IO & compute", "Quantization"]);
     let rows: [(&str, Baseline, &str, &str, &str, &str); 6] = [
         ("load on demand", Baseline::LoadAndExec, "N", "submodel", "sequential", "N (32-bit)"),
-        ("load on demand", Baseline::StdPipeline(Bitwidth::Full), "N", "submodel", "pipelined", "N (32-bit)"),
-        ("load on demand", Baseline::StdPipeline(Bitwidth::B6), "N", "submodel", "pipelined", "uniform X bits"),
-        ("load on demand", Baseline::Sti, "Y (small buf)", "per-shard versions", "pipelined", "per-shard bitwidths"),
-        ("hold in memory", Baseline::PreloadModel(Bitwidth::Full), "whole model", "submodel", "compute only", "N (32-bit)"),
-        ("hold in memory", Baseline::PreloadModel(Bitwidth::B6), "whole model", "submodel", "compute only", "uniform X bits"),
+        (
+            "load on demand",
+            Baseline::StdPipeline(Bitwidth::Full),
+            "N",
+            "submodel",
+            "pipelined",
+            "N (32-bit)",
+        ),
+        (
+            "load on demand",
+            Baseline::StdPipeline(Bitwidth::B6),
+            "N",
+            "submodel",
+            "pipelined",
+            "uniform X bits",
+        ),
+        (
+            "load on demand",
+            Baseline::Sti,
+            "Y (small buf)",
+            "per-shard versions",
+            "pipelined",
+            "per-shard bitwidths",
+        ),
+        (
+            "hold in memory",
+            Baseline::PreloadModel(Bitwidth::Full),
+            "whole model",
+            "submodel",
+            "compute only",
+            "N (32-bit)",
+        ),
+        (
+            "hold in memory",
+            Baseline::PreloadModel(Bitwidth::B6),
+            "whole model",
+            "submodel",
+            "compute only",
+            "uniform X bits",
+        ),
     ];
     for (family, baseline, preload, sharding, pipe, quant) in rows {
         t.row([

@@ -43,9 +43,7 @@ impl Args {
                 .strip_prefix("--")
                 .ok_or_else(|| ArgError(format!("expected --flag, got '{token}'")))?
                 .to_string();
-            let value = it
-                .next()
-                .ok_or_else(|| ArgError(format!("flag --{key} needs a value")))?;
+            let value = it.next().ok_or_else(|| ArgError(format!("flag --{key} needs a value")))?;
             flags.insert(key, value);
         }
         Ok(Args { command, flags })
@@ -78,9 +76,9 @@ impl Args {
     pub fn get_u64(&self, key: &str, default: u64) -> Result<u64, ArgError> {
         match self.get(key) {
             None => Ok(default),
-            Some(v) => v
-                .parse()
-                .map_err(|_| ArgError(format!("flag --{key} expects a number, got '{v}'"))),
+            Some(v) => {
+                v.parse().map_err(|_| ArgError(format!("flag --{key} expects a number, got '{v}'")))
+            }
         }
     }
 }

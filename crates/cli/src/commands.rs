@@ -18,7 +18,10 @@ pub fn usage() -> String {
      \x20             [--preload-kb 16]                              print the execution plan\n\
      \x20 infer       --task <...> --text \"...\" [--store <dir>]\n\
      \x20             [--device d] [--target-ms 200] [--preload-kb 16]\n\
-     \x20 generate    --task <...> --text \"...\" [--steps 5] [...]    decoder extension\n"
+     \x20 generate    --task <...> --text \"...\" [--steps 5] [...]    decoder extension\n\
+     \x20 serve       --task <...> [--sessions 8] [--engagements 4]\n\
+     \x20             [--device d] [--target-ms 200] [--preload-kb 16]\n\
+     \x20             [--io-workers 2] [--shard-cache-kb 4096]        replay a multi-client trace\n"
         .to_string()
 }
 
@@ -51,9 +54,9 @@ fn build_engine(args: &Args, task: &Task) -> Result<StiEngine, ArgError> {
     let cfg = task.model().config().clone();
     let hw = HwProfile::measure(&dev, &cfg, &QuantConfig::default());
     let source: Arc<dyn ShardSource> = match args.get("store") {
-        Some(dir) => Arc::new(
-            ShardStore::open(dir).map_err(|e| ArgError(format!("open store: {e}")))?,
-        ),
+        Some(dir) => {
+            Arc::new(ShardStore::open(dir).map_err(|e| ArgError(format!("open store: {e}")))?)
+        }
         None => Arc::new(MemStore::build(task.model(), &Bitwidth::ALL, &QuantConfig::default())),
     };
     eprintln!("profiling shard importance (one-time per model)...");
@@ -70,11 +73,8 @@ fn cmd_preprocess(args: &Args) -> Result<String, ArgError> {
     let out = args.require("out")?;
     let store = ShardStore::create(out, task.model(), &Bitwidth::ALL, &QuantConfig::default())
         .map_err(|e| ArgError(format!("create store: {e}")))?;
-    let mut report = format!(
-        "preprocessed {} into {}\n",
-        task.kind().name(),
-        store.dir().display()
-    );
+    let mut report =
+        format!("preprocessed {} into {}\n", task.kind().name(), store.dir().display());
     for (bw, bytes) in store.stored_bytes_by_bitwidth() {
         report.push_str(&format!("  {bw:<5} {bytes} bytes\n"));
     }
@@ -165,6 +165,63 @@ fn cmd_generate(args: &Args) -> Result<String, ArgError> {
     ))
 }
 
+fn cmd_serve(args: &Args) -> Result<String, ArgError> {
+    let kind = task_kind(args.require("task")?)?;
+    let sessions = args.get_u64("sessions", 8)? as usize;
+    let engagements = args.get_u64("engagements", 4)? as usize;
+    if sessions == 0 || engagements == 0 {
+        return Err(ArgError("--sessions and --engagements must be positive".into()));
+    }
+    let cfg = ServeConfig {
+        device: device(args.get_or("device", "odroid"))?,
+        target: SimTime::from_ms(args.get_u64("target-ms", 200)?),
+        preload_bytes: args.get_u64("preload-kb", 16)? << 10,
+        io_workers: args.get_u64("io-workers", 2)?.max(1) as usize,
+        shard_cache_bytes: args.get_u64("shard-cache-kb", 4096)? << 10,
+    };
+    let ctx = TaskContext::new(kind);
+    eprintln!("profiling shard importance (one-time per model)...");
+    ctx.importance();
+    let trace = ServingTrace::synthetic(&ctx, &cfg, sessions, engagements);
+
+    let concurrent = replay_concurrent(&build_server(&ctx, &cfg), &trace)
+        .map_err(|e| ArgError(format!("concurrent replay: {e}")))?;
+    let sequential = replay_sequential(&build_server(&ctx, &cfg), &trace)
+        .map_err(|e| ArgError(format!("sequential replay: {e}")))?;
+    let identical = concurrent.outcomes == sequential.outcomes;
+
+    let first = &concurrent.outcomes[0][0];
+    Ok(format!(
+        "served {} engagements over {} concurrent sessions ({} each)\n\
+         \x20 throughput    {:.1} engagements/s concurrent, {:.1} sequential ({:.2}x)\n\
+         \x20 per-engagement makespan {} | streamed {} bytes\n\
+         \x20 plan cache    {} hit / {} miss ({} distinct plans)\n\
+         \x20 shard cache   {} hit / {} miss ({:.0}% hit rate), {} evictions\n\
+         \x20 io scheduler  {} requests, {} bytes, flash busy {}, max queue depth {}\n\
+         \x20 determinism   concurrent outcomes {} sequential replay\n",
+        trace.total_engagements(),
+        sessions,
+        engagements,
+        concurrent.engagements_per_sec(),
+        sequential.engagements_per_sec(),
+        concurrent.engagements_per_sec() / sequential.engagements_per_sec().max(1e-9),
+        first.makespan,
+        first.loaded_bytes,
+        concurrent.plan_stats.hits,
+        concurrent.plan_stats.misses,
+        concurrent.distinct_plans,
+        concurrent.shard_stats.hits,
+        concurrent.shard_stats.misses,
+        concurrent.shard_stats.hit_rate() * 100.0,
+        concurrent.shard_stats.evictions,
+        concurrent.io_stats.requests,
+        concurrent.io_stats.bytes,
+        concurrent.io_stats.sim_flash_busy,
+        concurrent.io_stats.max_queue_depth,
+        if identical { "exactly reproduce the" } else { "DIVERGED from the" },
+    ))
+}
+
 /// Routes a parsed command line to its implementation.
 pub fn dispatch(args: &Args) -> Result<String, ArgError> {
     match args.command.as_str() {
@@ -174,6 +231,7 @@ pub fn dispatch(args: &Args) -> Result<String, ArgError> {
         "plan" => cmd_plan(args),
         "infer" => cmd_infer(args),
         "generate" => cmd_generate(args),
+        "serve" => cmd_serve(args),
         other => Err(ArgError(format!("unknown command '{other}'"))),
     }
 }
@@ -205,14 +263,8 @@ mod tests {
     fn preprocess_writes_a_store() {
         let dir = std::env::temp_dir().join(format!("sti-cli-test-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
-        let args = Args::parse([
-            "preprocess",
-            "--task",
-            "sst2",
-            "--out",
-            dir.to_str().unwrap(),
-        ])
-        .unwrap();
+        let args =
+            Args::parse(["preprocess", "--task", "sst2", "--out", dir.to_str().unwrap()]).unwrap();
         let report = dispatch(&args).unwrap();
         assert!(report.contains("total"));
         assert!(ShardStore::open(&dir).is_ok());
@@ -222,8 +274,14 @@ mod tests {
     #[test]
     fn usage_mentions_every_command() {
         let u = usage();
-        for cmd in ["preprocess", "profile", "importance", "plan", "infer", "generate"] {
+        for cmd in ["preprocess", "profile", "importance", "plan", "infer", "generate", "serve"] {
             assert!(u.contains(cmd), "usage missing {cmd}");
         }
+    }
+
+    #[test]
+    fn serve_rejects_degenerate_traces() {
+        let args = Args::parse(["serve", "--task", "sst2", "--sessions", "0"]).unwrap();
+        assert!(dispatch(&args).is_err());
     }
 }

@@ -6,6 +6,7 @@
 //! sti plan       --task sst2 --target-ms 200 --preload-kb 16
 //! sti infer      --task sst2 --store /tmp/store --text "i loved it"
 //! sti generate   --task sst2 --text "note to self" --steps 5
+//! sti serve      --task sst2 --sessions 8 --engagements 4  # multi-client serving trace
 //! ```
 
 mod args;

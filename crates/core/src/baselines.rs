@@ -15,9 +15,7 @@
 use sti_device::{HwProfile, SimTime};
 use sti_planner::compute_plan::dynabert_widths_for;
 use sti_planner::schedule::{sequential_makespan, simulate_pipeline, LayerTiming};
-use sti_planner::{
-    plan_compute, ExecutionPlan, ImportanceProfile, PlannedLayer, SubmodelShape,
-};
+use sti_planner::{plan_compute, ExecutionPlan, ImportanceProfile, PlannedLayer, SubmodelShape};
 use sti_quant::Bitwidth;
 
 /// A model-execution strategy under comparison.
@@ -94,14 +92,9 @@ impl Baseline {
                 &widths,
                 &Bitwidth::ALL,
             ),
-            Baseline::StiNoPreload => sti_planner::plan_two_stage(
-                hw,
-                importance,
-                target,
-                0,
-                &widths,
-                &Bitwidth::ALL,
-            ),
+            Baseline::StiNoPreload => {
+                sti_planner::plan_two_stage(hw, importance, target, 0, &widths, &Bitwidth::ALL)
+            }
             Baseline::PreloadModel(bw) => {
                 // Compute-only: same stage-1 search as STI, no IO at all.
                 let choice = plan_compute(hw, max_layers, target, &widths);
@@ -112,9 +105,8 @@ impl Baseline {
                 let preload = layers
                     .iter()
                     .flat_map(|pl| {
-                        pl.items().map(move |(s, b)| {
-                            (sti_transformer::ShardId::new(pl.layer, s), b)
-                        })
+                        pl.items()
+                            .map(move |(s, b)| (sti_transformer::ShardId::new(pl.layer, s), b))
                     })
                     .collect();
                 let timings: Vec<LayerTiming> = (0..shape.depth)
@@ -132,10 +124,8 @@ impl Baseline {
             }
             Baseline::StdPipeline(bw) => {
                 let shape = best_shape(hw, &widths, max_layers, target, |n, m| {
-                    let timing = LayerTiming {
-                        io: hw.layer_io_delay(&vec![*bw; m]),
-                        comp: hw.t_comp(m),
-                    };
+                    let timing =
+                        LayerTiming { io: hw.layer_io_delay(&vec![*bw; m]), comp: hw.t_comp(m) };
                     simulate_pipeline(&vec![timing; n], SimTime::ZERO).makespan
                 });
                 let layers = uniform_layers(shape, *bw);
@@ -341,7 +331,7 @@ mod tests {
     }
 
     #[test]
-    fn preload_model_has_zero_io_in_timeline(){
+    fn preload_model_has_zero_io_in_timeline() {
         let hw = hw();
         let imp = importance();
         let plan = Baseline::PreloadModel(Bitwidth::B6).plan(&hw, &imp, SimTime::from_ms(200), 0);

@@ -20,7 +20,7 @@
 //!
 //! ```
 //! use std::sync::Arc;
-//! use sti::prelude::*;
+//! use sti_core::prelude::*;
 //!
 //! // A synthetic "fine-tuned model" + task (offline stand-in for GLUE).
 //! let cfg = ModelConfig::tiny();
@@ -54,24 +54,37 @@
 pub mod baselines;
 pub mod gold;
 pub mod runner;
+pub mod serving;
 
 pub use baselines::Baseline;
 pub use runner::{run_experiment, Experiment, RunResult, TaskContext};
+pub use serving::{
+    build_server, replay_concurrent, replay_sequential, ClientTrace, EngagementOutcome,
+    ServeConfig, ServeReport, ServingTrace,
+};
 
 /// One-stop imports for applications and experiments.
 pub mod prelude {
     pub use crate::baselines::Baseline;
     pub use crate::gold::gold_accuracy;
     pub use crate::runner::{run_experiment, Experiment, RunResult, TaskContext};
+    pub use crate::serving::{
+        build_server, replay_concurrent, replay_sequential, ClientTrace, EngagementOutcome,
+        ServeConfig, ServeReport, ServingTrace,
+    };
     pub use sti_device::{ComputeModel, DeviceProfile, FlashModel, HwProfile, PowerModel, SimTime};
     pub use sti_nlp::{Dataset, HashingTokenizer, Task, TaskKind};
-    pub use sti_pipeline::{Inference, PipelineError, PipelineExecutor, PreloadBuffer, StiEngine};
+    pub use sti_pipeline::{
+        Inference, PipelineError, PipelineExecutor, PreloadBuffer, Session, StiEngine, StiServer,
+    };
     pub use sti_planner::compute_plan::DYNABERT_WIDTHS;
     pub use sti_planner::{
         plan_compute, plan_io, plan_two_stage, profile_importance, ExecutionPlan,
-        ImportanceProfile, SubmodelShape,
+        ImportanceProfile, PlanCache, PlanCacheStats, PlanKey, SubmodelShape,
     };
     pub use sti_quant::{Bitwidth, QuantConfig, QuantizedBlob};
-    pub use sti_storage::{MemStore, ShardKey, ShardSource, ShardStore};
+    pub use sti_storage::{
+        CachedSource, MemStore, ShardCache, ShardCacheStats, ShardKey, ShardSource, ShardStore,
+    };
     pub use sti_transformer::{Model, ModelConfig, ShardId};
 }

@@ -3,24 +3,27 @@
 //! figure binary in `sti-bench`.
 
 use std::collections::HashMap;
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 use parking_lot::Mutex;
 use sti_device::{DeviceProfile, HwProfile, SimTime};
 use sti_nlp::{Task, TaskKind};
 use sti_planner::{profile_importance, ExecutionPlan, ImportanceProfile};
 use sti_quant::{Bitwidth, QuantConfig, QuantizedBlob};
+use sti_storage::MemStore;
 use sti_transformer::{AssembledSubmodel, ModelConfig, ShardId, ShardWeights};
 
 use crate::baselines::Baseline;
 
 /// A materialized task plus the per-model caches every experiment shares:
-/// the shard-importance profile (expensive: `N·M + 1` dev evaluations) and
-/// dequantized shard weights per fidelity.
+/// the shard-importance profile (expensive: `N·M + 1` dev evaluations),
+/// dequantized shard weights per fidelity, and the quantized shard store
+/// that engines, servers, and executors stream from.
 pub struct TaskContext {
     task: Task,
     quant: QuantConfig,
     importance: OnceLock<ImportanceProfile>,
+    shard_source: OnceLock<Arc<MemStore>>,
     dequant_cache: Mutex<HashMap<(ShardId, Bitwidth), ShardWeights>>,
 }
 
@@ -38,6 +41,7 @@ impl TaskContext {
             task,
             quant: QuantConfig::default(),
             importance: OnceLock::new(),
+            shard_source: OnceLock::new(),
             dequant_cache: Mutex::new(HashMap::new()),
         }
     }
@@ -65,6 +69,17 @@ impl TaskContext {
     /// Returns `false` if a profile was already resident.
     pub fn set_importance(&self, profile: ImportanceProfile) -> bool {
         self.importance.set(profile).is_ok()
+    }
+
+    /// The task's quantized shard store (all bitwidths), built on first use
+    /// and shared — engines, serving runtimes, and executors created from
+    /// one context stream from the same store.
+    pub fn shard_source(&self) -> Arc<MemStore> {
+        self.shard_source
+            .get_or_init(|| {
+                Arc::new(MemStore::build(self.task.model(), &Bitwidth::ALL, &self.quant))
+            })
+            .clone()
     }
 
     /// Dequantized weights of one shard at one fidelity, cached.
@@ -164,8 +179,7 @@ pub fn run_experiment(ctx: &TaskContext, exp: &Experiment) -> RunResult {
         pl.bitwidths.iter().map(|&bw| hw.shard_bytes(bw)).sum()
     };
     let max_layer_bytes = plan.layers.iter().map(&layer_bytes).max().unwrap_or(0);
-    let preload_bytes: u64 =
-        plan.preload.iter().map(|&(_, bw)| hw.shard_bytes(bw)).sum();
+    let preload_bytes: u64 = plan.preload.iter().map(|&(_, bw)| hw.shard_bytes(bw)).sum();
 
     let (persistent, peak) = match exp.baseline {
         Baseline::PreloadModel(bw) => {
@@ -181,9 +195,7 @@ pub fn run_experiment(ctx: &TaskContext, exp: &Experiment) -> RunResult {
         }
         Baseline::StdPipeline(_) => (0, 2 * max_layer_bytes + working_bytes),
         Baseline::StiNoPreload => (0, 2 * max_layer_bytes + working_bytes),
-        Baseline::Sti => {
-            (preload_bytes, preload_bytes + 2 * max_layer_bytes + working_bytes)
-        }
+        Baseline::Sti => (preload_bytes, preload_bytes + 2 * max_layer_bytes + working_bytes),
     };
 
     RunResult {

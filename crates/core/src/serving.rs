@@ -1,0 +1,285 @@
+//! Multi-client serving traces over [`StiServer`].
+//!
+//! The experiment runner's single-engagement machinery answers "how good is
+//! one plan"; this module answers the serving questions: how many
+//! engagements per second does a device sustain as concurrent sessions
+//! grow, how effective are the shared caches, and — the correctness anchor
+//! — does concurrent execution reproduce sequential results exactly.
+//!
+//! A [`ServingTrace`] is a synthetic multi-client workload: each client has
+//! its own latency/memory knobs and a FIFO list of engagements (token
+//! sequences drawn deterministically from the task's test split).
+//! [`replay_concurrent`] drives every client from its own thread against
+//! one shared server; [`replay_sequential`] replays the same trace
+//! client-by-client, engagement-by-engagement. Both return per-engagement
+//! [`EngagementOutcome`]s in trace order, so equality between the two
+//! reports is exactly the determinism contract of
+//! [`sti_pipeline::server`].
+
+use std::time::Duration;
+
+use sti_device::{DeviceProfile, HwProfile, SimTime};
+use sti_pipeline::{PipelineError, StiServer};
+use sti_planner::PlanCacheStats;
+use sti_storage::{IoSchedulerStats, ShardCacheStats};
+
+use crate::runner::TaskContext;
+
+/// Server-level knobs for a serving experiment.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// The device model to serve on.
+    pub device: DeviceProfile,
+    /// Default target latency `T` for sessions.
+    pub target: SimTime,
+    /// Default preload budget `|S|` per knob set, in bytes.
+    pub preload_bytes: u64,
+    /// Host IO-worker threads in the scheduler pool.
+    pub io_workers: usize,
+    /// Byte budget of the shared compressed-shard cache.
+    pub shard_cache_bytes: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            device: DeviceProfile::odroid_n2(),
+            target: SimTime::from_ms(200),
+            preload_bytes: 16 << 10,
+            io_workers: 2,
+            shard_cache_bytes: 4 << 20,
+        }
+    }
+}
+
+/// One client's slice of a trace: its knobs and its engagements in order.
+#[derive(Debug, Clone)]
+pub struct ClientTrace {
+    /// The client's target latency.
+    pub target: SimTime,
+    /// The client's preload budget in bytes.
+    pub preload_bytes: u64,
+    /// Token sequences to classify, in submission order.
+    pub engagements: Vec<Vec<u32>>,
+}
+
+/// A multi-client workload.
+#[derive(Debug, Clone)]
+pub struct ServingTrace {
+    /// Per-client traces; index is the client id.
+    pub clients: Vec<ClientTrace>,
+}
+
+impl ServingTrace {
+    /// Builds a deterministic synthetic trace: `sessions` clients, each
+    /// with `engagements` token sequences drawn round-robin from the task's
+    /// test split, all sharing the config's default knobs.
+    pub fn synthetic(
+        ctx: &TaskContext,
+        cfg: &ServeConfig,
+        sessions: usize,
+        engagements: usize,
+    ) -> Self {
+        let examples = ctx.task().test().examples();
+        assert!(!examples.is_empty(), "task has no test examples to replay");
+        let clients = (0..sessions)
+            .map(|c| ClientTrace {
+                target: cfg.target,
+                preload_bytes: cfg.preload_bytes,
+                engagements: (0..engagements)
+                    .map(|e| examples[(c * engagements + e) % examples.len()].tokens.clone())
+                    .collect(),
+            })
+            .collect();
+        Self { clients }
+    }
+
+    /// Total engagements across every client.
+    pub fn total_engagements(&self) -> usize {
+        self.clients.iter().map(|c| c.engagements.len()).sum()
+    }
+}
+
+/// What one engagement produced — the fields the determinism contract
+/// compares across concurrent and sequential execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngagementOutcome {
+    /// Predicted class.
+    pub class: usize,
+    /// Softmax class probabilities.
+    pub probabilities: Vec<f32>,
+    /// Simulated end-to-end latency.
+    pub makespan: SimTime,
+    /// Bytes streamed from storage (simulated-device accounting).
+    pub loaded_bytes: u64,
+}
+
+/// The result of replaying a trace.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Outcomes per client, in engagement order.
+    pub outcomes: Vec<Vec<EngagementOutcome>>,
+    /// Host wall-clock time for the whole replay.
+    pub wall: Duration,
+    /// Plan-cache counters after the replay. Note: sessions racing to plan
+    /// the same knob set each count a miss (planning runs outside the cache
+    /// lock); `distinct_plans` is the deduplicated count.
+    pub plan_stats: PlanCacheStats,
+    /// Distinct knob combinations planned and cached.
+    pub distinct_plans: usize,
+    /// Shard-cache counters after the replay.
+    pub shard_stats: ShardCacheStats,
+    /// IO-scheduler counters after the replay.
+    pub io_stats: IoSchedulerStats,
+}
+
+impl ServeReport {
+    /// Engagements completed per wall-clock second.
+    pub fn engagements_per_sec(&self) -> f64 {
+        let n: usize = self.outcomes.iter().map(Vec::len).sum();
+        n as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Builds a server for the context's task on the config's device, sharing
+/// the context's shard store and importance profile.
+pub fn build_server(ctx: &TaskContext, cfg: &ServeConfig) -> StiServer {
+    let model = ctx.task().model().clone();
+    let model_cfg = model.config().clone();
+    let hw = HwProfile::measure(&cfg.device, &model_cfg, ctx.quant());
+    StiServer::builder(model, ctx.shard_source(), hw, cfg.device.flash, ctx.importance().clone())
+        .target(cfg.target)
+        .preload_budget(cfg.preload_bytes)
+        .io_workers(cfg.io_workers)
+        .shard_cache_bytes(cfg.shard_cache_bytes)
+        .build()
+}
+
+/// Replays a trace with one thread per client, all sharing `server`.
+///
+/// # Errors
+///
+/// Returns the first client error encountered (by client order).
+pub fn replay_concurrent(
+    server: &StiServer,
+    trace: &ServingTrace,
+) -> Result<ServeReport, PipelineError> {
+    let start = std::time::Instant::now();
+    let results: Vec<Result<Vec<EngagementOutcome>, PipelineError>> = std::thread::scope(|s| {
+        let handles: Vec<_> = trace
+            .clients
+            .iter()
+            .map(|client| s.spawn(move || run_client(server, client)))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread panicked")).collect()
+    });
+    let outcomes = results.into_iter().collect::<Result<Vec<_>, _>>()?;
+    Ok(report(server, outcomes, start.elapsed()))
+}
+
+/// Replays the same trace with no concurrency: clients in order, each
+/// engagement completing before the next starts.
+///
+/// # Errors
+///
+/// Returns the first client error encountered.
+pub fn replay_sequential(
+    server: &StiServer,
+    trace: &ServingTrace,
+) -> Result<ServeReport, PipelineError> {
+    let start = std::time::Instant::now();
+    let outcomes = trace
+        .clients
+        .iter()
+        .map(|client| run_client(server, client))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(report(server, outcomes, start.elapsed()))
+}
+
+fn run_client(
+    server: &StiServer,
+    client: &ClientTrace,
+) -> Result<Vec<EngagementOutcome>, PipelineError> {
+    let session = server.session_with(client.target, client.preload_bytes)?;
+    client
+        .engagements
+        .iter()
+        .map(|tokens| {
+            let inf = session.infer(tokens)?;
+            Ok(EngagementOutcome {
+                class: inf.class,
+                probabilities: inf.probabilities,
+                makespan: inf.outcome.timeline.makespan,
+                loaded_bytes: inf.outcome.loaded_bytes,
+            })
+        })
+        .collect()
+}
+
+fn report(
+    server: &StiServer,
+    outcomes: Vec<Vec<EngagementOutcome>>,
+    wall: Duration,
+) -> ServeReport {
+    ServeReport {
+        outcomes,
+        wall,
+        plan_stats: server.plan_stats(),
+        distinct_plans: server.cached_plans(),
+        shard_stats: server.shard_stats(),
+        io_stats: server.io_stats(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sti_nlp::TaskKind;
+    use sti_transformer::ModelConfig;
+
+    fn ctx() -> TaskContext {
+        TaskContext::with_config(TaskKind::Sst2, ModelConfig::tiny())
+    }
+
+    fn cfg() -> ServeConfig {
+        ServeConfig { target: SimTime::from_ms(300), preload_bytes: 8 << 10, ..Default::default() }
+    }
+
+    #[test]
+    fn synthetic_trace_is_deterministic_and_sized() {
+        let c = ctx();
+        let cfg = cfg();
+        let a = ServingTrace::synthetic(&c, &cfg, 3, 2);
+        let b = ServingTrace::synthetic(&c, &cfg, 3, 2);
+        assert_eq!(a.total_engagements(), 6);
+        for (ca, cb) in a.clients.iter().zip(&b.clients) {
+            assert_eq!(ca.engagements, cb.engagements);
+        }
+    }
+
+    #[test]
+    fn concurrent_replay_matches_sequential() {
+        let c = ctx();
+        let cfg = cfg();
+        let trace = ServingTrace::synthetic(&c, &cfg, 4, 2);
+        let concurrent = replay_concurrent(&build_server(&c, &cfg), &trace).unwrap();
+        let sequential = replay_sequential(&build_server(&c, &cfg), &trace).unwrap();
+        assert_eq!(concurrent.outcomes, sequential.outcomes);
+        assert!(concurrent.engagements_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn shared_server_plans_once_for_uniform_clients() {
+        let c = ctx();
+        let cfg = cfg();
+        let trace = ServingTrace::synthetic(&c, &cfg, 4, 1);
+        let server = build_server(&c, &cfg);
+        let report = replay_concurrent(&server, &trace).unwrap();
+        // Racing sessions may each count a miss before the first insert
+        // lands (planning runs outside the cache lock), but only one plan
+        // is ever cached and every lookup is accounted.
+        assert_eq!(report.distinct_plans, 1, "uniform knobs cache exactly one plan");
+        assert!(report.plan_stats.misses >= 1);
+        assert_eq!(report.plan_stats.hits + report.plan_stats.misses, 4);
+    }
+}

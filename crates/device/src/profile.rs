@@ -117,8 +117,9 @@ mod tests {
     fn accelerated_has_higher_skew_than_odroid() {
         let od = DeviceProfile::odroid_n2();
         let acc = DeviceProfile::accelerated();
-        let skew =
-            |d: &DeviceProfile| d.flash.transfer_delay(172_800).as_ms() / d.compute.layer_delay(12, 12, 1.0).as_ms();
+        let skew = |d: &DeviceProfile| {
+            d.flash.transfer_delay(172_800).as_ms() / d.compute.layer_delay(12, 12, 1.0).as_ms()
+        };
         assert!(skew(&acc) > 3.0 * skew(&od));
     }
 

@@ -180,10 +180,8 @@ mod tests {
         let hw = profile();
         let bws = vec![Bitwidth::B6; 12];
         let grouped = hw.layer_io_delay(&bws);
-        let individual: SimTime = bws
-            .iter()
-            .map(|&bw| hw.request_latency + hw.t_io_shard(bw))
-            .sum();
+        let individual: SimTime =
+            bws.iter().map(|&bw| hw.request_latency + hw.t_io_shard(bw)).sum();
         assert!(grouped < individual);
         assert_eq!(hw.layer_io_delay(&[]), SimTime::ZERO);
     }

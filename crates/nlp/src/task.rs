@@ -143,7 +143,7 @@ impl Task {
     /// them with the full-fidelity teacher, and applies label noise.
     pub fn build(kind: TaskKind, cfg: ModelConfig, dev_size: usize, test_size: usize) -> Self {
         let model = Model::synthetic_with_pattern(kind.model_seed(), cfg, kind.gain_pattern());
-        let mut rng = Rng::new(kind.model_seed() ^ 0xDA7A_5E7);
+        let mut rng = Rng::new(kind.model_seed() ^ 0x0DA7_A5E7);
         let dev = generate_split(&model, kind, &mut rng, dev_size);
         let test = generate_split(&model, kind, &mut rng, test_size);
         Self { kind, model, dev, test }

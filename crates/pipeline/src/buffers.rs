@@ -140,7 +140,10 @@ impl WorkingBuffer {
     ///
     /// Returns [`PipelineError::PlanMismatch`] if a blob's length disagrees
     /// with the configured shard size.
-    pub fn assemble(&mut self, blobs: &[&QuantizedBlob]) -> Result<Vec<ShardWeights>, PipelineError> {
+    pub fn assemble(
+        &mut self,
+        blobs: &[&QuantizedBlob],
+    ) -> Result<Vec<ShardWeights>, PipelineError> {
         let mut out = Vec::with_capacity(blobs.len());
         for blob in blobs {
             if blob.len() != self.cfg.shard_param_count() {

@@ -12,7 +12,7 @@ use sti_planner::compute_plan::dynabert_widths_for;
 use sti_planner::{plan_two_stage, ExecutionPlan, ImportanceProfile};
 use sti_quant::Bitwidth;
 use sti_storage::{ShardKey, ShardSource};
-use sti_transformer::{AssembledSubmodel, Model, ShardId, ShardWeights};
+use sti_transformer::Model;
 
 use crate::buffers::PreloadBuffer;
 use crate::error::PipelineError;
@@ -212,8 +212,9 @@ impl StiEngine {
     /// Fails on storage errors or plan/model mismatch.
     pub fn infer(&self, tokens: &[u32]) -> Result<Inference, PipelineError> {
         let plan = self.plan();
-        let executor = PipelineExecutor::new(&self.model, self.source.clone(), self.flash, &self.hw)
-            .with_throttle(self.throttle_scale);
+        let executor =
+            PipelineExecutor::new(&self.model, self.source.clone(), self.flash, &self.hw)
+                .with_throttle(self.throttle_scale);
         let outcome = executor.execute(plan, &self.preload, tokens)?;
         Ok(Inference {
             class: outcome.class,
@@ -240,28 +241,13 @@ impl StiEngine {
         steps: usize,
     ) -> Result<GenerationOutcome, PipelineError> {
         let plan = self.plan();
-        let cfg = self.model.config().clone();
-        let mut loaded_bytes = 0u64;
-        let mut submodel = AssembledSubmodel::new();
-        for pl in &plan.layers {
-            let mut shards = Vec::with_capacity(pl.slices.len());
-            for (slice, bw) in pl.items() {
-                let id = ShardId::new(pl.layer, slice);
-                let blob = match self.preload.get(id) {
-                    Some(blob) => blob.clone(),
-                    None => {
-                        let key = ShardKey::new(id, bw);
-                        loaded_bytes += self.source.size_bytes(key)?;
-                        self.source.load(key)?
-                    }
-                };
-                shards.push(ShardWeights::from_flat(&blob.dequantize(), &cfg));
-            }
-            submodel.push_layer(pl.slices.iter().map(|&s| s as usize).collect(), shards);
-        }
-
-        let generation =
-            sti_transformer::decoder::generate(&self.model, &submodel, prompt, steps);
+        let (submodel, loaded_bytes) = crate::executor::assemble_plan_submodel(
+            &self.model,
+            plan,
+            &self.preload,
+            &*self.source,
+        )?;
+        let generation = sti_transformer::decoder::generate(&self.model, &submodel, prompt, steps);
         let per_step = self.hw.t_comp(plan.shape.width) * plan.shape.depth as u64;
         Ok(GenerationOutcome {
             tokens: generation.tokens,
@@ -285,10 +271,9 @@ impl StiEngine {
         // Refill: drop shards no longer wanted, admit newly planned ones at
         // their planned fidelity.
         for id in self.preload.resident_ids() {
-            let still_wanted = plan
-                .preload
-                .iter()
-                .any(|&(pid, bw)| pid == id && self.preload.get(id).map(|b| b.bitwidth()) == Some(bw));
+            let still_wanted = plan.preload.iter().any(|&(pid, bw)| {
+                pid == id && self.preload.get(id).map(|b| b.bitwidth()) == Some(bw)
+            });
             if !still_wanted {
                 self.preload.remove(id);
             }
@@ -370,7 +355,7 @@ mod tests {
     }
 
     #[test]
-    fn growing_preload_budget_caches_more(){
+    fn growing_preload_budget_caches_more() {
         let mut e = engine();
         let before = e.preload_used();
         e.set_preload_budget(1 << 20).unwrap();

@@ -18,11 +18,11 @@ use sti_device::{FlashModel, HwProfile, SimTime};
 use sti_planner::schedule::{simulate_pipeline, LayerTiming, SchedulePrediction};
 use sti_planner::ExecutionPlan;
 use sti_quant::QuantizedBlob;
-use sti_storage::{IoWorker, LayerRequest, ShardSource};
+use sti_storage::{IoChannel, IoScheduler, LayerRequest, ShardKey, ShardSource};
 use sti_tensor::softmax::softmax_slice;
 use sti_tensor::stats::argmax;
 use sti_transformer::layer::layer_forward;
-use sti_transformer::{Model, ShardId, ShardWeights};
+use sti_transformer::{AssembledSubmodel, Model, ShardId, ShardWeights};
 
 use crate::buffers::{PreloadBuffer, WorkingBuffer};
 use crate::error::PipelineError;
@@ -77,7 +77,8 @@ impl<'a> PipelineExecutor<'a> {
         self
     }
 
-    /// Runs one inference over `plan`.
+    /// Runs one inference over `plan` with a private, single-engagement IO
+    /// lane (the seed behaviour: every execution owns its IO thread).
     ///
     /// # Errors
     ///
@@ -85,6 +86,33 @@ impl<'a> PipelineExecutor<'a> {
     /// from both the preload buffer and the store, or storage reads fail.
     pub fn execute(
         &self,
+        plan: &ExecutionPlan,
+        preload: &PreloadBuffer,
+        tokens: &[u32],
+    ) -> Result<ExecutionOutcome, PipelineError> {
+        let scheduler =
+            IoScheduler::spawn(self.source.clone(), self.flash, 1, self.throttle_scale, None);
+        let channel = scheduler.channel();
+        self.execute_on(&channel, plan, preload, tokens)
+    }
+
+    /// Runs one inference over `plan`, streaming shards through `channel` —
+    /// an IO lane borrowed from a shared [`IoScheduler`], so N concurrent
+    /// engagements multiplex one flash model and one shard cache instead of
+    /// each spawning private IO state.
+    ///
+    /// The simulated timeline and byte accounting depend only on the plan
+    /// and the device model, never on what the scheduler's other channels
+    /// are doing: outcomes are identical whether the engagement runs alone
+    /// or concurrently (see `sti_storage::scheduler` docs).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the plan does not match the model shape, a shard is missing
+    /// from both the preload buffer and the store, or storage reads fail.
+    pub fn execute_on(
+        &self,
+        channel: &IoChannel,
         plan: &ExecutionPlan,
         preload: &PreloadBuffer,
         tokens: &[u32],
@@ -98,11 +126,9 @@ impl<'a> PipelineExecutor<'a> {
             )));
         }
 
-        let worker = IoWorker::spawn(self.source.clone(), self.flash, self.throttle_scale);
-
-        // Kick off every layer's IO up front; the worker services them
-        // back-to-back, exactly like the single IO channel of the schedule
-        // model.
+        // Kick off every layer's IO up front; the channel services them
+        // back-to-back in FIFO order, exactly like the single IO channel of
+        // the schedule model.
         let mut has_request = Vec::with_capacity(plan.layers.len());
         for pl in &plan.layers {
             let pending: Vec<(u16, sti_quant::Bitwidth)> = pl
@@ -111,7 +137,7 @@ impl<'a> PipelineExecutor<'a> {
                 .collect();
             has_request.push(!pending.is_empty());
             if !pending.is_empty() {
-                worker.request(LayerRequest { layer: pl.layer, items: pending });
+                channel.request(LayerRequest { layer: pl.layer, items: pending });
             }
         }
 
@@ -122,7 +148,7 @@ impl<'a> PipelineExecutor<'a> {
 
         for (l, pl) in plan.layers.iter().enumerate() {
             let (owned, io_delay) = if has_request[l] {
-                let loaded = worker.recv()?;
+                let loaded = channel.recv()?;
                 debug_assert_eq!(loaded.layer, pl.layer, "IO completions must arrive in order");
                 loaded_bytes += loaded.bytes;
                 let map: HashMap<u16, QuantizedBlob> = loaded.blobs.into_iter().collect();
@@ -135,9 +161,7 @@ impl<'a> PipelineExecutor<'a> {
             for &slice in &pl.slices {
                 let id = ShardId::new(pl.layer, slice);
                 let blob = preload.get(id).or_else(|| owned.get(&slice)).ok_or_else(|| {
-                    PipelineError::PlanMismatch(format!(
-                        "shard {id} neither preloaded nor loaded"
-                    ))
+                    PipelineError::PlanMismatch(format!("shard {id} neither preloaded nor loaded"))
                 })?;
                 blob_refs.push(blob);
             }
@@ -150,7 +174,6 @@ impl<'a> PipelineExecutor<'a> {
 
             timings.push(LayerTiming { io: io_delay, comp: self.hw.t_comp(pl.slices.len()) });
         }
-        worker.shutdown();
 
         let logits = self.model.classifier().logits(&x);
         let mut probabilities = logits.clone();
@@ -170,12 +193,51 @@ impl<'a> PipelineExecutor<'a> {
     }
 }
 
+/// Materializes a plan's full submodel as dequantized weights, taking each
+/// shard from the preload buffer when resident and from `source` otherwise.
+///
+/// Returns the submodel plus the serialized bytes streamed from `source`
+/// (preloaded shards cost nothing — they were paid for at plan time). Both
+/// the single-app engine and server sessions use this for the generative
+/// path, where the submodel is streamed once and reused every step.
+///
+/// # Errors
+///
+/// Fails if any planned shard is missing from both the buffer and `source`.
+pub fn assemble_plan_submodel(
+    model: &Model,
+    plan: &ExecutionPlan,
+    preload: &PreloadBuffer,
+    source: &dyn ShardSource,
+) -> Result<(AssembledSubmodel, u64), PipelineError> {
+    let cfg = model.config().clone();
+    let mut loaded_bytes = 0u64;
+    let mut submodel = AssembledSubmodel::new();
+    for pl in &plan.layers {
+        let mut shards = Vec::with_capacity(pl.slices.len());
+        for (slice, bw) in pl.items() {
+            let id = ShardId::new(pl.layer, slice);
+            let blob = match preload.get(id) {
+                Some(blob) => blob.clone(),
+                None => {
+                    let key = ShardKey::new(id, bw);
+                    loaded_bytes += source.size_bytes(key)?;
+                    source.load(key)?
+                }
+            };
+            shards.push(ShardWeights::from_flat(&blob.dequantize(), &cfg));
+        }
+        submodel.push_layer(pl.slices.iter().map(|&s| s as usize).collect(), shards);
+    }
+    Ok((submodel, loaded_bytes))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use sti_device::DeviceProfile;
     use sti_nlp::{Task, TaskKind};
-    use sti_planner::{plan_io, plan_compute, ImportanceProfile, IoPlanInputs};
+    use sti_planner::{plan_compute, plan_io, ImportanceProfile, IoPlanInputs};
     use sti_quant::{Bitwidth, QuantConfig};
     use sti_storage::MemStore;
     use sti_transformer::ModelConfig;
@@ -193,11 +255,8 @@ mod tests {
         let task = Task::build(TaskKind::Sst2, cfg.clone(), 4, 4);
         let dev = DeviceProfile::odroid_n2();
         let hw = HwProfile::measure(&dev, &cfg, &QuantConfig::default());
-        let source = Arc::new(MemStore::build(
-            task.model(),
-            &Bitwidth::ALL,
-            &QuantConfig::default(),
-        ));
+        let source =
+            Arc::new(MemStore::build(task.model(), &Bitwidth::ALL, &QuantConfig::default()));
         // Synthetic flat importance (profiling is exercised elsewhere).
         let importance = ImportanceProfile::from_scores(
             cfg.layers,
@@ -209,7 +268,8 @@ mod tests {
     }
 
     fn make_plan(f: &Fixture, target_ms: u64, preload_bytes: u64) -> sti_planner::ExecutionPlan {
-        let choice = plan_compute(&f.hw, f.importance.layers(), SimTime::from_ms(target_ms), &[2, 4]);
+        let choice =
+            plan_compute(&f.hw, f.importance.layers(), SimTime::from_ms(target_ms), &[2, 4]);
         plan_io(&IoPlanInputs {
             hw: &f.hw,
             importance: &f.importance,
@@ -272,10 +332,7 @@ mod tests {
         let plan = make_plan(&f, 400, 0);
         // Remove one shard version the plan needs.
         let pl = &plan.layers[0];
-        let key = sti_storage::ShardKey::new(
-            ShardId::new(pl.layer, pl.slices[0]),
-            pl.bitwidths[0],
-        );
+        let key = sti_storage::ShardKey::new(ShardId::new(pl.layer, pl.slices[0]), pl.bitwidths[0]);
         f.source.remove(key);
         let exec = PipelineExecutor::new(f.task.model(), f.source.clone(), f.flash, &f.hw);
         let err = exec.execute(&plan, &PreloadBuffer::new(0), &[1]).unwrap_err();

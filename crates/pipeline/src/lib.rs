@@ -1,21 +1,34 @@
 //! # sti-pipeline
 //!
-//! STI's execution engine (paper §3, §5.5): a layerwise IO/compute pipeline
-//! that loads each layer's selected shard versions as one IO job on a
-//! dedicated thread, decompresses them into a reusable working buffer, and
-//! computes the layer while the next layer's IO is in flight. A small
-//! *preload buffer* of bottom-layer shards warms the pipeline so early
-//! layers do not stall.
+//! STI's execution runtime (paper §3, §5.5): a layerwise IO/compute
+//! pipeline that loads each layer's selected shard versions as one IO job,
+//! decompresses them into a reusable working buffer, and computes the layer
+//! while the next layer's IO is in flight. A small *preload buffer* of
+//! bottom-layer shards warms the pipeline so early layers do not stall.
+//!
+//! Two entry points sit on top of the executor:
+//!
+//! - [`engine::StiEngine`] — the paper's single-app facade: one engagement
+//!   at a time, plan once, execute repeatedly, replan on target/budget
+//!   changes (§3.2), cache shards between back-to-back executions (§3.3);
+//! - [`server::StiServer`] — the serving runtime: one server owns the
+//!   model, a shared plan cache, a shared compressed-shard cache, and the
+//!   IO scheduler; lightweight [`server::Session`] handles submit
+//!   concurrent engagements against it. Single-session results are
+//!   bit-identical to the engine's; N concurrent sessions reproduce N
+//!   sequential runs exactly (shared caches buy host throughput, not
+//!   simulated-time shortcuts).
+//!
+//! Layer by layer:
 //!
 //! - [`buffers`] — the preload buffer (persistent, capacity-bounded,
 //!   evicting top layers first) and the working buffer (one layer's worth of
 //!   decompressed weights, reused across layers);
 //! - [`executor`] — the pipeline executor: real threads, real storage reads,
 //!   real forward passes, with the simulated-time timeline accounted per
-//!   layer;
-//! - [`engine`] — the app-facing facade: plan once, execute repeatedly,
-//!   replan on target/budget changes (§3.2), cache shards between
-//!   back-to-back executions (§3.3).
+//!   layer; [`executor::PipelineExecutor::execute_on`] borrows an IO lane
+//!   from a shared scheduler instead of constructing per-run IO state;
+//! - [`engine`] / [`server`] — the facades above.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -24,9 +37,11 @@ pub mod buffers;
 pub mod engine;
 pub mod error;
 pub mod executor;
+pub mod server;
 pub mod trace;
 
 pub use buffers::{PreloadBuffer, WorkingBuffer};
-pub use engine::{Inference, StiEngine, StiEngineBuilder};
+pub use engine::{GenerationOutcome, Inference, StiEngine, StiEngineBuilder};
 pub use error::PipelineError;
 pub use executor::{ExecutionOutcome, PipelineExecutor};
+pub use server::{Session, StiServer, StiServerBuilder};

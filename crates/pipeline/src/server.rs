@@ -1,0 +1,607 @@
+//! The multi-session serving runtime (the production face of the engine).
+//!
+//! [`StiEngine`](crate::engine::StiEngine) reproduces the paper's contract
+//! for **one** app: plan once, execute repeatedly. A device serving heavy
+//! traffic runs **many** concurrent engagements of the same model, and
+//! almost everything they need is shareable:
+//!
+//! - the model's resident parameters (embedding, norms, classifier);
+//! - compressed shard blobs (a shared [`ShardCache`] over the store);
+//! - execution plans (a [`PlanCache`] keyed by the planning knobs —
+//!   replanning happens only on knob changes, §3.2);
+//! - preload-buffer contents (read-mostly once built, shared per knob set);
+//! - the flash device itself (an [`IoScheduler`] multiplexing layer
+//!   requests FIFO-per-engagement, round-robin across engagements).
+//!
+//! [`StiServer`] owns all of that; [`Session`] is a lightweight handle an
+//! app holds, carrying only its knobs and `Arc`s to the resolved plan and
+//! preload buffer. Sessions are cheap to open, independently retargetable,
+//! and safe to drive from concurrent threads.
+//!
+//! **Determinism contract:** an engagement's outcome (class, probabilities,
+//! simulated timeline, loaded bytes) depends only on the model, the plan,
+//! and the tokens — never on cache temperature or on what other sessions
+//! are doing. Concurrent serving reproduces sequential results bit-for-bit;
+//! the shared caches buy host wall-clock throughput, not simulated-time
+//! shortcuts. The serving integration tests pin this down.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+use sti_device::{FlashModel, HwProfile, SimTime};
+use sti_planner::compute_plan::dynabert_widths_for;
+use sti_planner::{
+    plan_two_stage, ExecutionPlan, ImportanceProfile, PlanCache, PlanCacheStats, PlanKey,
+};
+use sti_quant::Bitwidth;
+use sti_storage::{
+    CachedSource, IoScheduler, IoSchedulerStats, ShardCache, ShardCacheStats, ShardKey, ShardSource,
+};
+use sti_transformer::Model;
+
+use crate::buffers::PreloadBuffer;
+use crate::engine::{GenerationOutcome, Inference};
+use crate::error::PipelineError;
+use crate::executor::{assemble_plan_submodel, PipelineExecutor};
+
+/// Builder for [`StiServer`].
+pub struct StiServerBuilder {
+    model: Model,
+    source: Arc<dyn ShardSource>,
+    hw: HwProfile,
+    flash: FlashModel,
+    importance: ImportanceProfile,
+    default_target: SimTime,
+    default_preload_budget: u64,
+    bitwidths: Vec<Bitwidth>,
+    widths: Vec<usize>,
+    throttle_scale: f64,
+    io_workers: usize,
+    shard_cache_bytes: u64,
+}
+
+impl StiServerBuilder {
+    /// Default target latency `T` for sessions opened without knobs
+    /// (default 200 ms).
+    pub fn target(mut self, target: SimTime) -> Self {
+        self.default_target = target;
+        self
+    }
+
+    /// Default preload-buffer budget `|S|` in bytes (default 1 MiB).
+    pub fn preload_budget(mut self, bytes: u64) -> Self {
+        self.default_preload_budget = bytes;
+        self
+    }
+
+    /// Fidelity versions available in the store (default: all).
+    pub fn bitwidths(mut self, bitwidths: &[Bitwidth]) -> Self {
+        self.bitwidths = bitwidths.to_vec();
+        self
+    }
+
+    /// Allowed submodel widths (default: DynaBERT's {3, 6, 9, 12}).
+    pub fn widths(mut self, widths: &[usize]) -> Self {
+        self.widths = widths.to_vec();
+        self
+    }
+
+    /// Wall-clock throttling of simulated IO (demonstrations only).
+    pub fn throttle(mut self, scale: f64) -> Self {
+        self.throttle_scale = scale;
+        self
+    }
+
+    /// Host IO-worker threads in the scheduler pool (default 1; the
+    /// simulated device still has a single flash channel either way).
+    pub fn io_workers(mut self, workers: usize) -> Self {
+        self.io_workers = workers.max(1);
+        self
+    }
+
+    /// Byte budget of the shared compressed-shard cache (default 4 MiB;
+    /// zero disables cross-engagement blob reuse).
+    pub fn shard_cache_bytes(mut self, bytes: u64) -> Self {
+        self.shard_cache_bytes = bytes;
+        self
+    }
+
+    /// Starts the IO scheduler and returns the ready server. No planning
+    /// happens yet — plans and preload buffers materialize lazily, once per
+    /// knob combination, when sessions open.
+    pub fn build(self) -> StiServer {
+        let shard_cache = Arc::new(ShardCache::new(self.shard_cache_bytes));
+        let cached_source: Arc<dyn ShardSource> =
+            Arc::new(CachedSource::new(self.source.clone(), shard_cache.clone()));
+        let scheduler = IoScheduler::spawn(
+            self.source.clone(),
+            self.flash,
+            self.io_workers,
+            self.throttle_scale,
+            Some(shard_cache.clone()),
+        );
+        let cfg = self.model.config();
+        let fingerprint = format!(
+            "model-{}x{}-h{}-f{}-v{}",
+            cfg.layers, cfg.heads, cfg.hidden, cfg.ffn, cfg.vocab
+        );
+        StiServer {
+            inner: Arc::new(ServerInner {
+                model: self.model,
+                cached_source,
+                shard_cache,
+                scheduler,
+                hw: self.hw,
+                flash: self.flash,
+                importance: RwLock::new(self.importance),
+                bitwidths: self.bitwidths,
+                widths: self.widths,
+                throttle_scale: self.throttle_scale,
+                fingerprint,
+                generation: AtomicU64::new(0),
+                default_target: self.default_target,
+                default_preload_budget: self.default_preload_budget,
+                plan_cache: PlanCache::new(),
+                preloads: Mutex::new(HashMap::new()),
+            }),
+        }
+    }
+}
+
+struct ServerInner {
+    model: Model,
+    /// The store fronted by the shared shard cache; all session reads —
+    /// preload fills and generation streams — go through here.
+    cached_source: Arc<dyn ShardSource>,
+    shard_cache: Arc<ShardCache>,
+    scheduler: IoScheduler,
+    hw: HwProfile,
+    flash: FlashModel,
+    /// Behind a lock so a re-profiled table can be installed at runtime
+    /// ([`StiServer::set_importance`]); plans derived from the old table are
+    /// dropped at the same time.
+    importance: RwLock<ImportanceProfile>,
+    bitwidths: Vec<Bitwidth>,
+    widths: Vec<usize>,
+    throttle_scale: f64,
+    fingerprint: String,
+    /// Bumped by [`StiServer::invalidate_plans`] and folded into every
+    /// [`PlanKey`], so a session that raced an invalidation inserts its
+    /// stale plan (and preload buffer) under an unreachable key instead of
+    /// repopulating the cleared caches. Plans and preload buffers are keyed
+    /// identically, so a plan can never be paired with a buffer built for a
+    /// different generation.
+    generation: AtomicU64,
+    default_target: SimTime,
+    default_preload_budget: u64,
+    plan_cache: PlanCache,
+    /// One immutable, shared preload buffer per plan key (read-mostly state:
+    /// built once under the lock, then only read through `Arc`s).
+    preloads: Mutex<HashMap<PlanKey, Arc<PreloadBuffer>>>,
+}
+
+impl ServerInner {
+    fn plan_key(&self, target: SimTime, preload_budget: u64) -> PlanKey {
+        let model = format!("{}@g{}", self.fingerprint, self.generation.load(Ordering::SeqCst));
+        PlanKey::new(model, target, preload_budget, &self.widths, &self.bitwidths)
+    }
+
+    /// Resolves (plan, preload buffer) for a knob combination through both
+    /// caches, planning and filling at most once per combination.
+    fn resolve(
+        &self,
+        target: SimTime,
+        preload_budget: u64,
+    ) -> Result<(Arc<ExecutionPlan>, Arc<PreloadBuffer>), PipelineError> {
+        let key = self.plan_key(target, preload_budget);
+        let plan = self.plan_cache.get_or_plan(&key, || {
+            plan_two_stage(
+                &self.hw,
+                &self.importance.read(),
+                target,
+                preload_budget,
+                &self.widths,
+                &self.bitwidths,
+            )
+        });
+
+        if let Some(buffer) = self.preloads.lock().get(&key).cloned() {
+            return Ok((plan, buffer));
+        }
+        // Fill outside the map lock: preload fills read the (cached) store,
+        // and sessions resolving other knob sets must not wait behind that.
+        let mut buffer = PreloadBuffer::new(preload_budget);
+        for &(id, bw) in &plan.preload {
+            let blob = self.cached_source.load(ShardKey::new(id, bw))?;
+            buffer.insert(id, blob)?;
+        }
+        let buffer = Arc::new(buffer);
+        let mut preloads = self.preloads.lock();
+        // First fill wins a race; fills are deterministic, so both are equal.
+        let shared = preloads.entry(key).or_insert(buffer).clone();
+        Ok((plan, shared))
+    }
+}
+
+/// A multi-session serving runtime: owns the model and every shareable
+/// resource, hands out [`Session`]s.
+pub struct StiServer {
+    inner: Arc<ServerInner>,
+}
+
+impl StiServer {
+    /// Starts building a server for a model whose shards live in `source`,
+    /// on a device described by `hw`/`flash`, with shard importance already
+    /// profiled (one-time, per model, §3.2).
+    pub fn builder(
+        model: Model,
+        source: Arc<dyn ShardSource>,
+        hw: HwProfile,
+        flash: FlashModel,
+        importance: ImportanceProfile,
+    ) -> StiServerBuilder {
+        let widths = dynabert_widths_for(model.config().heads);
+        StiServerBuilder {
+            model,
+            source,
+            hw,
+            flash,
+            importance,
+            default_target: SimTime::from_ms(200),
+            default_preload_budget: 1 << 20,
+            bitwidths: Bitwidth::ALL.to_vec(),
+            widths,
+            throttle_scale: 0.0,
+            io_workers: 1,
+            shard_cache_bytes: 4 << 20,
+        }
+    }
+
+    /// Opens a session with the server's default knobs.
+    ///
+    /// # Errors
+    ///
+    /// Fails if preload shards cannot be loaded from the store.
+    pub fn session(&self) -> Result<Session, PipelineError> {
+        self.session_with(self.inner.default_target, self.inner.default_preload_budget)
+    }
+
+    /// Opens a session with explicit knobs. The plan and preload buffer are
+    /// resolved through the shared caches: the first session with a given
+    /// knob combination plans and fills, later ones attach for free.
+    ///
+    /// # Errors
+    ///
+    /// Fails if preload shards cannot be loaded from the store.
+    pub fn session_with(
+        &self,
+        target: SimTime,
+        preload_budget: u64,
+    ) -> Result<Session, PipelineError> {
+        let (plan, preload) = self.inner.resolve(target, preload_budget)?;
+        Ok(Session { inner: self.inner.clone(), target, preload_budget, plan, preload })
+    }
+
+    /// The model's resident parameters in bytes (shared across all
+    /// sessions, unlike per-engine copies).
+    pub fn resident_bytes(&self) -> usize {
+        self.inner.model.resident_byte_size()
+    }
+
+    /// Plan-cache effectiveness counters.
+    pub fn plan_stats(&self) -> PlanCacheStats {
+        self.inner.plan_cache.stats()
+    }
+
+    /// Shard-cache effectiveness counters.
+    pub fn shard_stats(&self) -> ShardCacheStats {
+        self.inner.shard_cache.stats()
+    }
+
+    /// IO-scheduler accounting (requests, bytes, simulated flash busy time,
+    /// observed queue depth).
+    pub fn io_stats(&self) -> IoSchedulerStats {
+        self.inner.scheduler.stats()
+    }
+
+    /// Number of distinct knob combinations currently planned.
+    pub fn cached_plans(&self) -> usize {
+        self.inner.plan_cache.len()
+    }
+
+    /// Installs a re-profiled importance table and drops every plan derived
+    /// from the old one (via [`StiServer::invalidate_plans`]). Sessions
+    /// already open keep their current plan until they change knobs.
+    pub fn set_importance(&self, importance: ImportanceProfile) {
+        *self.inner.importance.write() = importance;
+        self.invalidate_plans();
+    }
+
+    /// Drops every cached plan, preload buffer, and cached shard blob,
+    /// forcing the next session (or knob change) to replan and re-read.
+    /// Called by [`StiServer::set_importance`]; call it directly when the
+    /// backing store's blobs were regenerated out-of-band. Sessions already
+    /// open keep executing their old plan until they change knobs.
+    pub fn invalidate_plans(&self) {
+        // Bump the generation *first*: resolutions already in flight then
+        // land under a key no future lookup uses, rather than racing the
+        // clears below and resurrecting stale state.
+        self.inner.generation.fetch_add(1, Ordering::SeqCst);
+        self.inner.plan_cache.clear();
+        self.inner.preloads.lock().clear();
+        self.inner.shard_cache.clear();
+    }
+}
+
+impl std::fmt::Debug for StiServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StiServer")
+            .field("fingerprint", &self.inner.fingerprint)
+            .field("cached_plans", &self.cached_plans())
+            .finish()
+    }
+}
+
+/// One app's handle onto a [`StiServer`]: its latency/memory knobs plus
+/// shared references to the resolved plan and preload buffer.
+///
+/// Sessions are `Send + Sync`; `infer`/`generate` take `&self`, so one
+/// session can serve engagements from multiple threads, and many sessions
+/// can run concurrently against one server.
+pub struct Session {
+    inner: Arc<ServerInner>,
+    target: SimTime,
+    preload_budget: u64,
+    plan: Arc<ExecutionPlan>,
+    preload: Arc<PreloadBuffer>,
+}
+
+impl Session {
+    /// The session's execution plan.
+    pub fn plan(&self) -> &ExecutionPlan {
+        &self.plan
+    }
+
+    /// The session's target latency.
+    pub fn target(&self) -> SimTime {
+        self.target
+    }
+
+    /// Bytes held by the (shared) preload buffer this session executes
+    /// against.
+    pub fn preload_used(&self) -> u64 {
+        self.preload.used_bytes()
+    }
+
+    /// Retargets the session: resolves the plan for the new `T` through the
+    /// shared caches (replanning only if no session used these knobs
+    /// before, §3.2).
+    ///
+    /// # Errors
+    ///
+    /// Fails if new preload shards cannot be loaded.
+    pub fn set_target(&mut self, target: SimTime) -> Result<(), PipelineError> {
+        let (plan, preload) = self.inner.resolve(target, self.preload_budget)?;
+        self.target = target;
+        self.plan = plan;
+        self.preload = preload;
+        Ok(())
+    }
+
+    /// Changes the session's preload budget `|S|`, resolving through the
+    /// shared caches like [`Session::set_target`].
+    ///
+    /// # Errors
+    ///
+    /// Fails if new preload shards cannot be loaded.
+    pub fn set_preload_budget(&mut self, bytes: u64) -> Result<(), PipelineError> {
+        let (plan, preload) = self.inner.resolve(self.target, bytes)?;
+        self.preload_budget = bytes;
+        self.plan = plan;
+        self.preload = preload;
+        Ok(())
+    }
+
+    /// Executes one engagement over the planned pipeline, streaming through
+    /// the server's shared IO scheduler.
+    ///
+    /// # Errors
+    ///
+    /// Fails on storage errors or plan/model mismatch.
+    pub fn infer(&self, tokens: &[u32]) -> Result<Inference, PipelineError> {
+        let inner = &*self.inner;
+        let executor = PipelineExecutor::new(
+            &inner.model,
+            inner.cached_source.clone(),
+            inner.flash,
+            &inner.hw,
+        )
+        .with_throttle(inner.throttle_scale);
+        let channel = inner.scheduler.channel();
+        let outcome = executor.execute_on(&channel, &self.plan, &self.preload, tokens)?;
+        Ok(Inference {
+            class: outcome.class,
+            probabilities: outcome.probabilities.clone(),
+            submodel: self.plan.shape,
+            outcome,
+        })
+    }
+
+    /// Generative extension: greedily decodes `steps` tokens after
+    /// `prompt`, streaming the submodel once through the shared shard cache
+    /// and reusing it every step (same amortization as
+    /// [`StiEngine::generate`](crate::engine::StiEngine::generate)).
+    ///
+    /// # Errors
+    ///
+    /// Fails if any planned shard cannot be loaded.
+    pub fn generate(
+        &self,
+        prompt: &[u32],
+        steps: usize,
+    ) -> Result<GenerationOutcome, PipelineError> {
+        let inner = &*self.inner;
+        let (submodel, loaded_bytes) =
+            assemble_plan_submodel(&inner.model, &self.plan, &self.preload, &*inner.cached_source)?;
+        let generation = sti_transformer::decoder::generate(&inner.model, &submodel, prompt, steps);
+        let per_step = inner.hw.t_comp(self.plan.shape.width) * self.plan.shape.depth as u64;
+        Ok(GenerationOutcome {
+            tokens: generation.tokens,
+            generated: generation.generated,
+            first_step: self.plan.predicted.makespan,
+            per_step,
+            loaded_bytes,
+        })
+    }
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("target", &self.target)
+            .field("preload_budget", &self.preload_budget)
+            .field("shape", &self.plan.shape)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sti_device::DeviceProfile;
+    use sti_nlp::{Task, TaskKind};
+    use sti_quant::QuantConfig;
+    use sti_storage::MemStore;
+    use sti_transformer::ModelConfig;
+
+    fn server() -> StiServer {
+        let cfg = ModelConfig::tiny();
+        let task = Task::build(TaskKind::Sst2, cfg.clone(), 4, 4);
+        let dev = DeviceProfile::odroid_n2();
+        let hw = HwProfile::measure(&dev, &cfg, &QuantConfig::default());
+        let source =
+            Arc::new(MemStore::build(task.model(), &Bitwidth::ALL, &QuantConfig::default()));
+        let importance = ImportanceProfile::from_scores(
+            cfg.layers,
+            cfg.heads,
+            (0..cfg.total_shards()).map(|i| 0.5 + (i % 5) as f64 * 0.01).collect(),
+            0.45,
+        );
+        StiServer::builder(task.model().clone(), source, hw, dev.flash, importance)
+            .target(SimTime::from_ms(300))
+            .preload_budget(64 << 10)
+            .widths(&[2, 4])
+            .build()
+    }
+
+    #[test]
+    fn sessions_share_one_plan_per_knob_set() {
+        let srv = server();
+        let a = srv.session().unwrap();
+        let b = srv.session().unwrap();
+        assert!(Arc::ptr_eq(&a.plan, &b.plan), "same knobs must share the plan");
+        assert!(Arc::ptr_eq(&a.preload, &b.preload), "and the preload buffer");
+        let stats = srv.plan_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert_eq!(srv.cached_plans(), 1);
+    }
+
+    #[test]
+    fn distinct_knobs_get_distinct_plans() {
+        let srv = server();
+        let a = srv.session_with(SimTime::from_ms(300), 64 << 10).unwrap();
+        let b = srv.session_with(SimTime::from_ms(1_000), 64 << 10).unwrap();
+        assert!(!Arc::ptr_eq(&a.plan, &b.plan));
+        assert!(b.plan().shape.shard_count() >= a.plan().shape.shard_count());
+        assert_eq!(srv.cached_plans(), 2);
+    }
+
+    #[test]
+    fn infer_matches_session_plan() {
+        let srv = server();
+        let s = srv.session().unwrap();
+        let inf = s.infer(&[1, 2, 3]).unwrap();
+        assert_eq!(inf.probabilities.len(), 2);
+        assert!(inf.class < 2);
+        assert_eq!(inf.submodel, s.plan().shape);
+    }
+
+    #[test]
+    fn retargeting_reuses_cached_plans() {
+        let srv = server();
+        let mut s = srv.session().unwrap();
+        let original = s.plan.clone();
+        s.set_target(SimTime::from_ms(1_000)).unwrap();
+        s.set_target(SimTime::from_ms(300)).unwrap();
+        assert!(Arc::ptr_eq(&s.plan, &original), "returning to old knobs hits the cache");
+        // 300ms twice (miss + hit) and 1000ms once (miss).
+        assert_eq!(srv.plan_stats().misses, 2);
+    }
+
+    #[test]
+    fn set_importance_changes_subsequent_plans() {
+        let srv = server();
+        let before = srv.session().unwrap();
+        // A sharply skewed profile: later shards dominate, reversing the
+        // upgrade order the flat-ish default profile produced.
+        let cfg = ModelConfig::tiny();
+        let skewed = ImportanceProfile::from_scores(
+            cfg.layers,
+            cfg.heads,
+            (0..cfg.total_shards()).map(|i| 0.3 + i as f64 * 0.04).collect(),
+            0.45,
+        );
+        srv.set_importance(skewed);
+        let after = srv.session().unwrap();
+        assert!(!Arc::ptr_eq(&before.plan, &after.plan));
+        assert_eq!(srv.plan_stats().misses, 2, "new table must force a replan");
+    }
+
+    #[test]
+    fn invalidation_forces_replan_for_new_sessions() {
+        let srv = server();
+        let s1 = srv.session().unwrap();
+        srv.invalidate_plans();
+        let s2 = srv.session().unwrap();
+        assert!(!Arc::ptr_eq(&s1.plan, &s2.plan), "invalidation must drop the entry");
+        assert_eq!(s1.plan(), s2.plan(), "replanning is deterministic");
+        assert_eq!(srv.plan_stats().misses, 2);
+    }
+
+    #[test]
+    fn repeated_inference_warms_the_shard_cache() {
+        let srv = server();
+        // Zero preload: every engagement streams its full submodel.
+        let s = srv.session_with(SimTime::from_ms(300), 0).unwrap();
+        s.infer(&[1, 2]).unwrap();
+        let cold = srv.shard_stats();
+        s.infer(&[1, 2]).unwrap();
+        let warm = srv.shard_stats();
+        assert!(warm.hits > cold.hits, "second engagement must reuse blobs");
+    }
+
+    #[test]
+    fn generation_streams_once_and_is_deterministic() {
+        let srv = server();
+        let s = srv.session().unwrap();
+        let g = s.generate(&[1, 2], 5).unwrap();
+        assert_eq!(g.generated, 5);
+        assert_eq!(g.tokens.len(), 7);
+        assert!(g.per_step <= g.first_step);
+        assert_eq!(s.generate(&[1, 2], 5).unwrap().tokens, g.tokens);
+    }
+
+    #[test]
+    fn io_stats_track_scheduler_traffic() {
+        let srv = server();
+        // Zero preload: every engagement streams its full submodel.
+        let s = srv.session_with(SimTime::from_ms(300), 0).unwrap();
+        let inf = s.infer(&[7]).unwrap();
+        let stats = srv.io_stats();
+        assert_eq!(stats.requests, s.plan().layers.len() as u64);
+        assert_eq!(stats.bytes, inf.outcome.loaded_bytes);
+        assert!(stats.sim_flash_busy > SimTime::ZERO);
+    }
+}

@@ -36,9 +36,8 @@ impl AibLedger {
     /// Panics if `n == 0`.
     pub fn new(n: usize, t_comp: SimTime, bonus: SimTime) -> Self {
         assert!(n > 0, "a submodel has at least one layer");
-        let budgets = (0..n)
-            .map(|k| bonus.as_us() as i128 + k as i128 * t_comp.as_us() as i128)
-            .collect();
+        let budgets =
+            (0..n).map(|k| bonus.as_us() as i128 + k as i128 * t_comp.as_us() as i128).collect();
         Self { budgets }
     }
 

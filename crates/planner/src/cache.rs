@@ -1,0 +1,261 @@
+//! A shared cache of execution plans keyed by planning knobs.
+//!
+//! The paper's contract (§3.2) is *plan once, execute repeatedly*:
+//! replanning happens only when the app or OS changes the target latency
+//! `T` or the preload budget `|S|`. In a serving runtime, many sessions of
+//! the same model run under a handful of knob combinations, so the plan for
+//! each combination should be computed exactly once and shared.
+//!
+//! [`PlanCache`] memoizes [`ExecutionPlan`]s under a [`PlanKey`] — the
+//! model fingerprint, target `T`, preload budget `|S|`, the allowed
+//! submodel widths, and the bitwidth set available in the store. Plans are
+//! handed out as `Arc`s (they are immutable once planned), and
+//! [`PlanCache::invalidate`] / [`PlanCache::clear`] drop entries when
+//! something the key cannot see changes (e.g. a re-profiled importance
+//! table or a rebuilt store).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use sti_device::SimTime;
+use sti_quant::Bitwidth;
+
+use crate::plan::ExecutionPlan;
+
+/// Everything the two-stage planner's output depends on, in hashable form.
+///
+/// Anything *not* in the key (the importance profile, the device tables)
+/// must be constant for the cache's lifetime; owners that change those call
+/// [`PlanCache::clear`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    /// Identifies the model (and implicitly its importance profile).
+    pub model: String,
+    /// Target latency `T`.
+    pub target: SimTime,
+    /// Preload-buffer budget `|S|` in bytes.
+    pub preload_bytes: u64,
+    /// Allowed submodel widths, ascending.
+    pub widths: Vec<usize>,
+    /// Fidelity versions available in the shard store, ascending.
+    pub bitwidths: Vec<Bitwidth>,
+}
+
+impl PlanKey {
+    /// Builds a key, normalizing `widths`/`bitwidths` order so callers that
+    /// list the same sets differently share an entry.
+    pub fn new(
+        model: impl Into<String>,
+        target: SimTime,
+        preload_bytes: u64,
+        widths: &[usize],
+        bitwidths: &[Bitwidth],
+    ) -> Self {
+        let mut widths = widths.to_vec();
+        widths.sort_unstable();
+        widths.dedup();
+        let mut bitwidths = bitwidths.to_vec();
+        bitwidths.sort_unstable();
+        bitwidths.dedup();
+        Self { model: model.into(), target, preload_bytes, widths, bitwidths }
+    }
+}
+
+/// Hit/miss/invalidation counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that ran the planner.
+    pub misses: u64,
+    /// Entries dropped by `invalidate` or `clear`.
+    pub invalidations: u64,
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    plans: HashMap<PlanKey, Arc<ExecutionPlan>>,
+    stats: PlanCacheStats,
+}
+
+/// A thread-safe memo table of execution plans.
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    inner: Mutex<CacheInner>,
+}
+
+impl PlanCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.inner.lock().plans.len()
+    }
+
+    /// Whether the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().plans.is_empty()
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> PlanCacheStats {
+        self.inner.lock().stats
+    }
+
+    /// The cached plan for `key`, if present (refreshes nothing: plans have
+    /// no recency — knob combinations are few and plans are small).
+    pub fn get(&self, key: &PlanKey) -> Option<Arc<ExecutionPlan>> {
+        let mut inner = self.inner.lock();
+        match inner.plans.get(key).cloned() {
+            Some(plan) => {
+                inner.stats.hits += 1;
+                Some(plan)
+            }
+            None => {
+                inner.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Returns the plan for `key`, running `plan_fn` only on a miss.
+    ///
+    /// The planner runs outside the cache lock, so concurrent sessions are
+    /// never serialized behind a slow plan; if two race on the same key the
+    /// first inserted plan wins (both compute identical plans — planning is
+    /// deterministic).
+    pub fn get_or_plan(
+        &self,
+        key: &PlanKey,
+        plan_fn: impl FnOnce() -> ExecutionPlan,
+    ) -> Arc<ExecutionPlan> {
+        if let Some(plan) = self.get(key) {
+            return plan;
+        }
+        let planned = Arc::new(plan_fn());
+        let mut inner = self.inner.lock();
+        inner.plans.entry(key.clone()).or_insert(planned).clone()
+    }
+
+    /// Drops the entry for `key`, returning whether one was present. The
+    /// next lookup replans.
+    pub fn invalidate(&self, key: &PlanKey) -> bool {
+        let mut inner = self.inner.lock();
+        let removed = inner.plans.remove(key).is_some();
+        if removed {
+            inner.stats.invalidations += 1;
+        }
+        removed
+    }
+
+    /// Drops every entry (importance re-profiled, store rebuilt, device
+    /// re-measured — anything the key cannot express).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.stats.invalidations += inner.plans.len() as u64;
+        inner.plans.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::importance::ImportanceProfile;
+    use crate::io_plan::plan_two_stage;
+    use sti_device::{DeviceProfile, HwProfile};
+    use sti_quant::QuantConfig;
+    use sti_transformer::ModelConfig;
+
+    fn plan_for(target_ms: u64, preload: u64) -> ExecutionPlan {
+        let cfg = ModelConfig::tiny();
+        let hw = HwProfile::measure(&DeviceProfile::odroid_n2(), &cfg, &QuantConfig::default());
+        let importance = ImportanceProfile::from_scores(
+            cfg.layers,
+            cfg.heads,
+            (0..cfg.total_shards()).map(|i| 0.5 + (i % 3) as f64 * 0.02).collect(),
+            0.45,
+        );
+        plan_two_stage(
+            &hw,
+            &importance,
+            SimTime::from_ms(target_ms),
+            preload,
+            &[2, 4],
+            &Bitwidth::ALL,
+        )
+    }
+
+    fn key(target_ms: u64, preload: u64) -> PlanKey {
+        PlanKey::new("tiny", SimTime::from_ms(target_ms), preload, &[2, 4], &Bitwidth::ALL)
+    }
+
+    #[test]
+    fn same_knobs_plan_once() {
+        let cache = PlanCache::new();
+        let mut planned = 0;
+        for _ in 0..3 {
+            cache.get_or_plan(&key(300, 1 << 10), || {
+                planned += 1;
+                plan_for(300, 1 << 10)
+            });
+        }
+        assert_eq!(planned, 1);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (2, 1));
+    }
+
+    #[test]
+    fn knob_changes_miss() {
+        let cache = PlanCache::new();
+        cache.get_or_plan(&key(300, 1 << 10), || plan_for(300, 1 << 10));
+        cache.get_or_plan(&key(400, 1 << 10), || plan_for(400, 1 << 10));
+        cache.get_or_plan(&key(300, 2 << 10), || plan_for(300, 2 << 10));
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.stats().misses, 3);
+    }
+
+    #[test]
+    fn shared_plans_are_the_same_allocation() {
+        let cache = PlanCache::new();
+        let a = cache.get_or_plan(&key(300, 0), || plan_for(300, 0));
+        let b = cache.get_or_plan(&key(300, 0), || plan_for(300, 0));
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn invalidation_forces_replan() {
+        let cache = PlanCache::new();
+        let k = key(300, 0);
+        cache.get_or_plan(&k, || plan_for(300, 0));
+        assert!(cache.invalidate(&k));
+        assert!(!cache.invalidate(&k), "second invalidation is a no-op");
+        let mut replanned = false;
+        cache.get_or_plan(&k, || {
+            replanned = true;
+            plan_for(300, 0)
+        });
+        assert!(replanned);
+        assert_eq!(cache.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn clear_empties_and_counts() {
+        let cache = PlanCache::new();
+        cache.get_or_plan(&key(200, 0), || plan_for(200, 0));
+        cache.get_or_plan(&key(300, 0), || plan_for(300, 0));
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().invalidations, 2);
+    }
+
+    #[test]
+    fn key_normalizes_set_order() {
+        let a = PlanKey::new("m", SimTime::from_ms(100), 0, &[4, 2], &[Bitwidth::B6, Bitwidth::B2]);
+        let b = PlanKey::new("m", SimTime::from_ms(100), 0, &[2, 4], &[Bitwidth::B2, Bitwidth::B6]);
+        assert_eq!(a, b);
+    }
+}

@@ -38,8 +38,7 @@ pub const DYNABERT_WIDTHS: [usize; 4] = [3, 6, 9, 12];
 /// The DynaBERT width multipliers (0.25/0.5/0.75/1.0) applied to an
 /// arbitrary head count — equals [`DYNABERT_WIDTHS`] for the 12-head grid.
 pub fn dynabert_widths_for(heads: usize) -> Vec<usize> {
-    let mut widths: Vec<usize> =
-        (1..=4).map(|q| (heads * q) / 4).filter(|&w| w >= 1).collect();
+    let mut widths: Vec<usize> = (1..=4).map(|q| (heads * q) / 4).filter(|&w| w >= 1).collect();
     widths.dedup();
     if widths.is_empty() {
         widths.push(heads.max(1));

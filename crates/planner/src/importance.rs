@@ -74,10 +74,7 @@ impl ImportanceProfile {
             .flat_map(|l| (0..self.heads as u16).map(move |s| ShardId::new(l, s)))
             .collect();
         ids.sort_by(|a, b| {
-            self.score(*b)
-                .partial_cmp(&self.score(*a))
-                .expect("scores are finite")
-                .then(a.cmp(b))
+            self.score(*b).partial_cmp(&self.score(*a)).expect("scores are finite").then(a.cmp(b))
         });
         ids
     }
@@ -171,13 +168,13 @@ pub fn profile_importance(model: &Model, dev: &Dataset, quant: &QuantConfig) -> 
 
     let evaluate = |upgraded: Option<(usize, usize)>| -> f64 {
         let mut sub = AssembledSubmodel::new();
-        for l in 0..cfg.layers {
+        for (l, floor_layer) in floor.iter().enumerate().take(cfg.layers) {
             let shards: Vec<ShardWeights> = (0..cfg.heads)
                 .map(|s| {
                     if upgraded == Some((l, s)) {
                         model.shard(ShardId::new(l as u16, s as u16)).clone()
                     } else {
-                        floor[l][s].clone()
+                        floor_layer[s].clone()
                     }
                 })
                 .collect();
@@ -209,12 +206,7 @@ mod tests {
 
     fn synthetic_profile() -> ImportanceProfile {
         // 2 layers x 3 heads with a known ordering.
-        ImportanceProfile::from_scores(
-            2,
-            3,
-            vec![0.50, 0.80, 0.60, 0.70, 0.55, 0.65],
-            0.45,
-        )
+        ImportanceProfile::from_scores(2, 3, vec![0.50, 0.80, 0.60, 0.70, 0.55, 0.65], 0.45)
     }
 
     #[test]
@@ -262,8 +254,7 @@ mod tests {
     #[test]
     fn profiling_runs_on_a_tiny_task() {
         let task = Task::build(TaskKind::Sst2, ModelConfig::tiny(), 6, 4);
-        let profile =
-            profile_importance(task.model(), task.dev(), &QuantConfig::default());
+        let profile = profile_importance(task.model(), task.dev(), &QuantConfig::default());
         assert_eq!(profile.layers(), 2);
         assert_eq!(profile.heads(), 4);
         assert!(profile.baseline() > 0.0 && profile.baseline() < 1.0);

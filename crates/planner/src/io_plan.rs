@@ -6,9 +6,9 @@ use sti_quant::Bitwidth;
 use sti_transformer::ShardId;
 
 use crate::aib::AibLedger;
-use crate::compute_plan::{plan_compute, ComputeChoice};
 #[cfg(test)]
 use crate::compute_plan::DYNABERT_WIDTHS;
+use crate::compute_plan::{plan_compute, ComputeChoice};
 use crate::importance::ImportanceProfile;
 use crate::plan::{ExecutionPlan, PlannedLayer};
 use crate::preload::select_preload;
@@ -172,12 +172,8 @@ fn allocate(
     // Pass 2: importance-guided upgrades, highest fidelity first, until no
     // AIB can absorb another upgrade.
     if aib_satisfied {
-        let mut upgrades: Vec<Bitwidth> = inputs
-            .bitwidths
-            .iter()
-            .copied()
-            .filter(|&bw| bw > uniform)
-            .collect();
+        let mut upgrades: Vec<Bitwidth> =
+            inputs.bitwidths.iter().copied().filter(|&bw| bw > uniform).collect();
         upgrades.sort();
         upgrades.dedup();
         let base_cost = hw.t_io_shard(uniform);
@@ -230,14 +226,8 @@ pub fn plan_two_stage(
 ) -> ExecutionPlan {
     let mut choice = plan_compute(hw, importance.layers(), target, widths);
     loop {
-        let plan = plan_io(&IoPlanInputs {
-            hw,
-            importance,
-            choice,
-            target,
-            preload_bytes,
-            bitwidths,
-        });
+        let plan =
+            plan_io(&IoPlanInputs { hw, importance, choice, target, preload_bytes, bitwidths });
         if plan.aib_satisfied || choice.shape.depth == 1 {
             return plan;
         }
@@ -250,7 +240,6 @@ pub fn plan_two_stage(
         };
     }
 }
-
 
 #[cfg(test)]
 mod tests {
@@ -283,14 +272,7 @@ mod tests {
             SimTime::from_ms(target_ms),
             preload,
             &DYNABERT_WIDTHS,
-            &[
-                Bitwidth::B2,
-                Bitwidth::B3,
-                Bitwidth::B4,
-                Bitwidth::B5,
-                Bitwidth::B6,
-                Bitwidth::Full,
-            ],
+            &[Bitwidth::B2, Bitwidth::B3, Bitwidth::B4, Bitwidth::B5, Bitwidth::B6, Bitwidth::Full],
         )
     }
 
@@ -336,12 +318,8 @@ mod tests {
         let without = plan_at(200, 0);
         let with = plan_at(200, 4 << 20);
         let mean_bits = |p: &ExecutionPlan| {
-            let total: u64 = p
-                .layers
-                .iter()
-                .flat_map(|l| l.bitwidths.iter())
-                .map(|bw| bw.bits() as u64)
-                .sum();
+            let total: u64 =
+                p.layers.iter().flat_map(|l| l.bitwidths.iter()).map(|bw| bw.bits() as u64).sum();
             total as f64 / p.shape.shard_count() as f64
         };
         assert!(
@@ -363,16 +341,12 @@ mod tests {
             .enumerate()
             .filter_map(|(rank, &id)| plan.bitwidth_of(id).map(|bw| (rank, bw.bits())))
             .collect();
-        let top_mean: f64 = bits_by_rank[..bits_by_rank.len() / 4]
-            .iter()
-            .map(|&(_, b)| b as f64)
-            .sum::<f64>()
-            / (bits_by_rank.len() / 4) as f64;
-        let bottom_mean: f64 = bits_by_rank[3 * bits_by_rank.len() / 4..]
-            .iter()
-            .map(|&(_, b)| b as f64)
-            .sum::<f64>()
-            / (bits_by_rank.len() - 3 * bits_by_rank.len() / 4) as f64;
+        let top_mean: f64 =
+            bits_by_rank[..bits_by_rank.len() / 4].iter().map(|&(_, b)| b as f64).sum::<f64>()
+                / (bits_by_rank.len() / 4) as f64;
+        let bottom_mean: f64 =
+            bits_by_rank[3 * bits_by_rank.len() / 4..].iter().map(|&(_, b)| b as f64).sum::<f64>()
+                / (bits_by_rank.len() - 3 * bits_by_rank.len() / 4) as f64;
         assert!(
             top_mean >= bottom_mean,
             "top-importance shards got {top_mean} bits vs {bottom_mean} for the rest"

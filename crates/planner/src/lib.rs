@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod aib;
+pub mod cache;
 pub mod compute_plan;
 pub mod importance;
 pub mod io_plan;
@@ -32,6 +33,7 @@ pub mod preload;
 pub mod schedule;
 
 pub use aib::AibLedger;
+pub use cache::{PlanCache, PlanCacheStats, PlanKey};
 pub use compute_plan::{plan_compute, ComputeChoice};
 pub use importance::{profile_importance, ImportanceProfile};
 pub use io_plan::{plan_io, plan_io_greedy_only, plan_two_stage, IoPlanInputs};

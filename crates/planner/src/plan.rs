@@ -112,11 +112,8 @@ impl ExecutionPlan {
         for pl in &self.layers {
             for (slice, bw) in pl.items() {
                 let mark = if self.is_preloaded(ShardId::new(pl.layer, slice)) { "*" } else { "" };
-                let cell = if bw.is_full() {
-                    format!("32{mark}")
-                } else {
-                    format!("{}{mark}", bw.bits())
-                };
+                let cell =
+                    if bw.is_full() { format!("32{mark}") } else { format!("{}{mark}", bw.bits()) };
                 out.push_str(&format!("{cell:>4}"));
             }
             out.push('\n');

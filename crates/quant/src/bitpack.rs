@@ -16,10 +16,7 @@ pub fn pack(values: &[u16], bits: u8) -> Vec<u8> {
     let mut out = vec![0u8; (values.len() * bits as usize).div_ceil(8)];
     let mut bit_pos = 0usize;
     for &v in values {
-        assert!(
-            (v as u32) <= mask,
-            "value {v} does not fit in {bits} bits"
-        );
+        assert!((v as u32) <= mask, "value {v} does not fit in {bits} bits");
         let byte = bit_pos / 8;
         let shift = bit_pos % 8;
         let chunk = (v as u32) << shift;
@@ -58,11 +55,7 @@ pub fn unpack(bytes: &[u8], bits: u8, count: usize) -> Vec<u16> {
 pub fn unpack_into(bytes: &[u8], bits: u8, out: &mut [u16]) {
     assert!((1..=16).contains(&bits), "unpack supports 1..=16 bits, got {bits}");
     let needed = (out.len() * bits as usize).div_ceil(8);
-    assert!(
-        bytes.len() >= needed,
-        "packed buffer too short: {} bytes, need {needed}",
-        bytes.len()
-    );
+    assert!(bytes.len() >= needed, "packed buffer too short: {} bytes, need {needed}", bytes.len());
     let mask = (1u32 << bits) - 1;
     let mut bit_pos = 0usize;
     for slot in out.iter_mut() {

@@ -38,23 +38,12 @@ pub enum Bitwidth {
 
 impl Bitwidth {
     /// All supported bitwidths in ascending fidelity order.
-    pub const ALL: [Bitwidth; 6] = [
-        Bitwidth::B2,
-        Bitwidth::B3,
-        Bitwidth::B4,
-        Bitwidth::B5,
-        Bitwidth::B6,
-        Bitwidth::Full,
-    ];
+    pub const ALL: [Bitwidth; 6] =
+        [Bitwidth::B2, Bitwidth::B3, Bitwidth::B4, Bitwidth::B5, Bitwidth::B6, Bitwidth::Full];
 
     /// The compressed bitwidths only (excludes [`Bitwidth::Full`]).
-    pub const COMPRESSED: [Bitwidth; 5] = [
-        Bitwidth::B2,
-        Bitwidth::B3,
-        Bitwidth::B4,
-        Bitwidth::B5,
-        Bitwidth::B6,
-    ];
+    pub const COMPRESSED: [Bitwidth; 5] =
+        [Bitwidth::B2, Bitwidth::B3, Bitwidth::B4, Bitwidth::B5, Bitwidth::B6];
 
     /// The smallest supported bitwidth (2-bit).
     pub const MIN: Bitwidth = Bitwidth::B2;

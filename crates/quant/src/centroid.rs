@@ -62,10 +62,7 @@ impl CentroidDictionary {
     /// Reconstructs a dictionary from stored centroids (boundaries are only
     /// needed for assignment at quantization time, not for decompression).
     pub fn from_centroids(centroids: Vec<f32>) -> Self {
-        let boundaries = centroids
-            .windows(2)
-            .map(|pair| (pair[0] + pair[1]) / 2.0)
-            .collect();
+        let boundaries = centroids.windows(2).map(|pair| (pair[0] + pair[1]) / 2.0).collect();
         Self { centroids, boundaries }
     }
 

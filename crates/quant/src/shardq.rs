@@ -92,13 +92,7 @@ impl QuantizedBlob {
         let indexes: Vec<u16> = weights
             .iter()
             .enumerate()
-            .map(|(i, &w)| {
-                if outlier_set.contains(&(i as u32)) {
-                    0
-                } else {
-                    dict.assign(w)
-                }
-            })
+            .map(|(i, &w)| if outlier_set.contains(&(i as u32)) { 0 } else { dict.assign(w) })
             .collect();
         let packed = bitpack::pack(&indexes, bitwidth.bits());
         let outliers = outlier_idx.iter().map(|&i| (i, weights[i as usize])).collect();
@@ -138,7 +132,10 @@ impl QuantizedBlob {
         } else {
             let needed = bitwidth.payload_bytes(len as usize);
             if packed.len() < needed {
-                return Err(QuantError::IndexOutOfRange { index: packed.len(), dictionary: needed });
+                return Err(QuantError::IndexOutOfRange {
+                    index: packed.len(),
+                    dictionary: needed,
+                });
             }
             if centroids.len() != bitwidth.centroid_count() {
                 return Err(QuantError::IndexOutOfRange {
@@ -205,9 +202,10 @@ impl QuantizedBlob {
         self.len == 0
     }
 
-    /// Serialized payload size in bytes: packed indexes + centroid dictionary
-    /// + outlier table. This is the quantity the flash model charges IO for
-    /// and the preload buffer counts against its capacity.
+    /// Serialized payload size in bytes: packed indexes plus the centroid
+    /// dictionary plus the outlier table. This is the quantity the flash
+    /// model charges IO for and the preload buffer counts against its
+    /// capacity.
     pub fn byte_size(&self) -> usize {
         self.packed.len() + self.centroids.len() * 4 + self.outliers.len() * 8
     }
@@ -327,8 +325,9 @@ mod tests {
         assert_eq!(ok.unwrap(), blob);
 
         assert!(QuantizedBlob::from_parts(Bitwidth::B4, 0, vec![], vec![], vec![]).is_err());
-        assert!(QuantizedBlob::from_parts(Bitwidth::B4, 64, vec![0; 2], vec![0.0; 16], vec![])
-            .is_err());
+        assert!(
+            QuantizedBlob::from_parts(Bitwidth::B4, 64, vec![0; 2], vec![0.0; 16], vec![]).is_err()
+        );
         assert!(QuantizedBlob::from_parts(
             Bitwidth::B4,
             64,

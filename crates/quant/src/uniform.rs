@@ -50,10 +50,7 @@ impl UniformBlob {
         let levels = (self.bitwidth.centroid_count() - 1) as f32;
         let span = self.max - self.min;
         let indexes = bitpack::unpack(&self.packed, self.bitwidth.bits(), self.len as usize);
-        indexes
-            .into_iter()
-            .map(|i| self.min + span * (i as f32 / levels))
-            .collect()
+        indexes.into_iter().map(|i| self.min + span * (i as f32 / levels)).collect()
     }
 
     /// Serialized payload bytes (packed indexes + the two range floats).

@@ -1,0 +1,333 @@
+//! A shared, byte-budgeted shard cache fronting any [`ShardSource`].
+//!
+//! In a serving deployment many concurrent engagements execute overlapping
+//! submodels of the same model, so the compressed blobs they stream are
+//! highly redundant. [`ShardCache`] keeps recently used `(shard, bitwidth)`
+//! blobs resident under a byte budget with LRU eviction; [`CachedSource`]
+//! layers it transparently over a backing source so every consumer (IO
+//! scheduler, preload fill, generation) shares one cache.
+//!
+//! The cache is a **host-side** optimization: it reduces wall-clock work
+//! (store reads, record decoding) but is deliberately invisible to the
+//! simulated device model. Per-engagement simulated IO delay and
+//! loaded-byte accounting are computed from the request alone, so execution
+//! outcomes stay bit-identical whether the cache is cold, warm, or shared
+//! with other sessions — the determinism the serving tests pin down.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use sti_quant::QuantizedBlob;
+
+use crate::error::StorageError;
+use crate::store::{ShardKey, ShardSource};
+
+/// Counters describing cache effectiveness since construction (or the last
+/// [`ShardCache::reset_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardCacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that missed and fell through to the backing source.
+    pub misses: u64,
+    /// Blobs evicted to respect the byte budget.
+    pub evictions: u64,
+}
+
+impl ShardCacheStats {
+    /// Hit fraction in `[0, 1]` (zero when no lookups happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug)]
+struct CacheEntry {
+    blob: QuantizedBlob,
+    bytes: u64,
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    map: HashMap<ShardKey, CacheEntry>,
+    /// Recency index: `last_used` tick -> key. Ticks are unique, so the
+    /// first entry is always the LRU victim — eviction is O(log n) instead
+    /// of a full-map scan under the lock the whole IO path contends on.
+    recency: BTreeMap<u64, ShardKey>,
+    used: u64,
+    tick: u64,
+    stats: ShardCacheStats,
+}
+
+/// A thread-safe LRU cache of compressed shard blobs under a byte budget.
+#[derive(Debug)]
+pub struct ShardCache {
+    capacity: u64,
+    inner: Mutex<CacheInner>,
+}
+
+impl ShardCache {
+    /// Creates a cache with the given byte budget. A budget of zero disables
+    /// caching (every lookup misses, nothing is admitted).
+    pub fn new(capacity: u64) -> Self {
+        Self { capacity, inner: Mutex::new(CacheInner::default()) }
+    }
+
+    /// The configured byte budget.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently resident.
+    pub fn used_bytes(&self) -> u64 {
+        self.inner.lock().used
+    }
+
+    /// Number of blobs currently resident.
+    pub fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+
+    /// Whether the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().map.is_empty()
+    }
+
+    /// Effectiveness counters.
+    pub fn stats(&self) -> ShardCacheStats {
+        self.inner.lock().stats
+    }
+
+    /// Zeroes the effectiveness counters (resident blobs are kept).
+    pub fn reset_stats(&self) {
+        self.inner.lock().stats = ShardCacheStats::default();
+    }
+
+    /// Looks a blob up, refreshing its recency on a hit.
+    pub fn get(&self, key: ShardKey) -> Option<QuantizedBlob> {
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(&key) {
+            Some(entry) => {
+                let stale = entry.last_used;
+                entry.last_used = tick;
+                let blob = entry.blob.clone();
+                inner.recency.remove(&stale);
+                inner.recency.insert(tick, key);
+                inner.stats.hits += 1;
+                Some(blob)
+            }
+            None => {
+                inner.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Admits a blob, evicting least-recently-used entries until it fits.
+    /// Blobs larger than the whole budget are silently not cached.
+    pub fn insert(&self, key: ShardKey, blob: &QuantizedBlob) {
+        let bytes = blob.byte_size() as u64;
+        if bytes > self.capacity {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(old) = inner.map.remove(&key) {
+            inner.recency.remove(&old.last_used);
+            inner.used -= old.bytes;
+        }
+        while inner.used + bytes > self.capacity {
+            let (_, victim) = inner.recency.pop_first().expect("used > 0 implies a resident entry");
+            let evicted = inner.map.remove(&victim).expect("victim is resident");
+            inner.used -= evicted.bytes;
+            inner.stats.evictions += 1;
+        }
+        inner.used += bytes;
+        inner.recency.insert(tick, key);
+        inner.map.insert(key, CacheEntry { blob: blob.clone(), bytes, last_used: tick });
+    }
+
+    /// Drops every resident blob (counters are kept).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.map.clear();
+        inner.recency.clear();
+        inner.used = 0;
+    }
+
+    /// Loads through the cache: a hit returns the resident blob, a miss
+    /// reads from `source` and admits the result.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the backing source's error on a miss.
+    pub fn get_or_load(
+        &self,
+        source: &dyn ShardSource,
+        key: ShardKey,
+    ) -> Result<QuantizedBlob, StorageError> {
+        if let Some(blob) = self.get(key) {
+            return Ok(blob);
+        }
+        let blob = source.load(key)?;
+        self.insert(key, &blob);
+        Ok(blob)
+    }
+}
+
+/// A [`ShardSource`] that fronts another source with a shared [`ShardCache`].
+///
+/// Size metadata always comes from the backing source so simulated IO
+/// accounting is identical with and without the cache.
+#[derive(Debug)]
+pub struct CachedSource {
+    source: Arc<dyn ShardSource>,
+    cache: Arc<ShardCache>,
+}
+
+impl CachedSource {
+    /// Wraps `source` with `cache`.
+    pub fn new(source: Arc<dyn ShardSource>, cache: Arc<ShardCache>) -> Self {
+        Self { source, cache }
+    }
+
+    /// The shared cache.
+    pub fn cache(&self) -> &Arc<ShardCache> {
+        &self.cache
+    }
+
+    /// The backing source.
+    pub fn backing(&self) -> &Arc<dyn ShardSource> {
+        &self.source
+    }
+}
+
+impl ShardSource for CachedSource {
+    fn load(&self, key: ShardKey) -> Result<QuantizedBlob, StorageError> {
+        self.cache.get_or_load(&*self.source, key)
+    }
+
+    fn size_bytes(&self, key: ShardKey) -> Result<u64, StorageError> {
+        self.source.size_bytes(key)
+    }
+}
+
+impl std::fmt::Debug for dyn ShardSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("ShardSource { .. }")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::memstore::MemStore;
+    use sti_quant::{Bitwidth, QuantConfig};
+    use sti_transformer::{Model, ModelConfig, ShardId};
+
+    fn store() -> Arc<MemStore> {
+        let model = Model::synthetic(3, ModelConfig::tiny());
+        Arc::new(MemStore::build(&model, &[Bitwidth::B2, Bitwidth::B6], &QuantConfig::default()))
+    }
+
+    fn key(layer: u16, slice: u16, bw: Bitwidth) -> ShardKey {
+        ShardKey::new(ShardId::new(layer, slice), bw)
+    }
+
+    #[test]
+    fn hit_after_miss_returns_identical_blob() {
+        let store = store();
+        let cache = ShardCache::new(1 << 20);
+        let k = key(0, 0, Bitwidth::B2);
+        let first = cache.get_or_load(&*store, k).unwrap();
+        let second = cache.get_or_load(&*store, k).unwrap();
+        assert_eq!(first, second);
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    /// A fixed-size blob so eviction arithmetic is exact.
+    fn uniform_blob() -> QuantizedBlob {
+        let weights: Vec<f32> = (0..256).map(|i| (i % 7) as f32 * 0.1 - 0.3).collect();
+        QuantizedBlob::quantize(&weights, Bitwidth::B2, &QuantConfig::default())
+    }
+
+    #[test]
+    fn eviction_respects_byte_budget_and_lru_order() {
+        let blob = uniform_blob();
+        let each = blob.byte_size() as u64;
+        // Room for exactly two blobs.
+        let cache = ShardCache::new(2 * each);
+        for slice in 0..3u16 {
+            cache.insert(key(0, slice, Bitwidth::B2), &blob);
+        }
+        assert!(cache.used_bytes() <= cache.capacity());
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 1);
+        // Slice 0 was least recently used, so it is the one gone.
+        assert!(cache.get(key(0, 0, Bitwidth::B2)).is_none());
+        assert!(cache.get(key(0, 2, Bitwidth::B2)).is_some());
+    }
+
+    #[test]
+    fn recency_refresh_protects_hot_entries() {
+        let blob = uniform_blob();
+        let each = blob.byte_size() as u64;
+        let cache = ShardCache::new(2 * each);
+        cache.insert(key(0, 0, Bitwidth::B2), &blob);
+        cache.insert(key(0, 1, Bitwidth::B2), &blob);
+        // Touch slice 0 so slice 1 becomes the LRU victim.
+        cache.get(key(0, 0, Bitwidth::B2)).unwrap();
+        cache.insert(key(0, 2, Bitwidth::B2), &blob);
+        assert!(cache.get(key(0, 0, Bitwidth::B2)).is_some());
+        assert!(cache.get(key(0, 1, Bitwidth::B2)).is_none());
+    }
+
+    #[test]
+    fn zero_budget_disables_admission() {
+        let store = store();
+        let cache = ShardCache::new(0);
+        cache.get_or_load(&*store, key(0, 0, Bitwidth::B2)).unwrap();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().hits, 0);
+    }
+
+    #[test]
+    fn oversized_blob_is_passed_through_uncached() {
+        let store = store();
+        let cache = ShardCache::new(8);
+        let blob = cache.get_or_load(&*store, key(1, 1, Bitwidth::B6)).unwrap();
+        assert!(blob.byte_size() > 8);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn cached_source_is_transparent() {
+        let store = store();
+        let cache = Arc::new(ShardCache::new(1 << 20));
+        let cached = CachedSource::new(store.clone(), cache.clone());
+        let k = key(1, 0, Bitwidth::B6);
+        assert_eq!(cached.load(k).unwrap(), store.load(k).unwrap());
+        assert_eq!(cached.size_bytes(k).unwrap(), store.size_bytes(k).unwrap());
+        // Second load hits.
+        cached.load(k).unwrap();
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn missing_shard_error_passes_through() {
+        let store = store();
+        let cache = ShardCache::new(1 << 20);
+        assert!(cache.get_or_load(&*store, key(0, 0, Bitwidth::B4)).is_err());
+    }
+}

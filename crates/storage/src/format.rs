@@ -76,7 +76,10 @@ pub fn decode_blob(bytes: &[u8]) -> Result<(QuantizedBlob, usize), StorageError>
     }
     let version = cur.get_u8();
     if version != VERSION {
-        return Err(StorageError::corrupt("shard record", format!("unsupported version {version}")));
+        return Err(StorageError::corrupt(
+            "shard record",
+            format!("unsupported version {version}"),
+        ));
     }
     let bits = cur.get_u8();
     let bitwidth = Bitwidth::try_from(bits)

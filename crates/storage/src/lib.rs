@@ -14,20 +14,30 @@
 //! - [`store::ShardStore`] — create/open a store directory, read shards and
 //!   layer groups;
 //! - [`memstore::MemStore`] — an in-memory [`ShardSource`] for tests;
-//! - [`loader::IoWorker`] — the asynchronous IO thread that services
-//!   layer-granular load requests and accounts simulated flash delay.
+//! - [`cache::ShardCache`] — a shared, byte-budgeted LRU cache of compressed
+//!   blobs that fronts any source ([`cache::CachedSource`]) so concurrent
+//!   engagements reuse each other's reads;
+//! - [`scheduler::IoScheduler`] — the IO pool multiplexing layer-granular
+//!   load requests from many concurrent engagements over one flash model
+//!   (FIFO per engagement, round-robin across engagements);
+//! - [`loader::IoWorker`] — the seed's single-engagement IO facade, now a
+//!   one-channel view over the scheduler.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod error;
 pub mod format;
 pub mod loader;
 pub mod manifest;
 pub mod memstore;
+pub mod scheduler;
 pub mod store;
 
+pub use cache::{CachedSource, ShardCache, ShardCacheStats};
 pub use error::StorageError;
 pub use loader::{IoWorker, LayerRequest, LoadedLayer};
 pub use memstore::MemStore;
+pub use scheduler::{IoChannel, IoScheduler, IoSchedulerStats};
 pub use store::{ShardKey, ShardSource, ShardStore};

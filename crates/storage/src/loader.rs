@@ -1,22 +1,22 @@
-//! Asynchronous layer-granular IO worker.
+//! Asynchronous layer-granular IO for a single engagement.
 //!
 //! STI loads one layer (its selected shard versions) as a single IO job that
 //! overlaps with the previous layer's computation (paper §3.1). This module
-//! provides that IO side: a dedicated thread consuming [`LayerRequest`]s in
-//! order and producing [`LoadedLayer`]s, accounting the simulated flash delay
-//! of each grouped request (and optionally sleeping it away for wall-clock
-//! demonstrations).
+//! keeps the seed's single-engagement [`IoWorker`] API, now implemented as a
+//! one-channel view over the multi-engagement
+//! [`IoScheduler`](crate::scheduler::IoScheduler): a dedicated pool services
+//! [`LayerRequest`]s in order and produces [`LoadedLayer`]s, accounting the
+//! simulated flash delay of each grouped request (and optionally sleeping it
+//! away for wall-clock demonstrations).
 
 use std::sync::Arc;
-use std::thread::JoinHandle;
 
-use crossbeam::channel::{bounded, Receiver, Sender};
 use sti_device::{FlashModel, SimTime};
 use sti_quant::{Bitwidth, QuantizedBlob};
-use sti_transformer::ShardId;
 
 use crate::error::StorageError;
-use crate::store::{ShardKey, ShardSource};
+use crate::scheduler::{IoChannel, IoScheduler};
+use crate::store::ShardSource;
 
 /// A request to load some shard versions of one layer as one IO job.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -40,7 +40,8 @@ pub struct LoadedLayer {
     pub io_delay: SimTime,
 }
 
-/// A dedicated IO thread servicing layer requests in FIFO order.
+/// A dedicated IO lane servicing one engagement's layer requests in FIFO
+/// order.
 ///
 /// `throttle_scale` maps simulated flash delay onto wall-clock sleeping:
 /// `0.0` (the default for experiments) completes requests at host speed
@@ -48,39 +49,18 @@ pub struct LoadedLayer {
 /// real time for demonstrations.
 #[derive(Debug)]
 pub struct IoWorker {
-    tx: Option<Sender<LayerRequest>>,
-    rx: Receiver<Result<LoadedLayer, StorageError>>,
-    handle: Option<JoinHandle<()>>,
+    channel: IoChannel,
+    /// Owns the worker thread; dropped (and joined) last.
+    _scheduler: IoScheduler,
 }
 
 impl IoWorker {
-    /// Spawns the worker thread over a shard source and flash model.
+    /// Spawns a private single-threaded scheduler over a shard source and
+    /// flash model and opens its only channel.
     pub fn spawn(source: Arc<dyn ShardSource>, flash: FlashModel, throttle_scale: f64) -> Self {
-        assert!(
-            (0.0..=10.0).contains(&throttle_scale),
-            "throttle scale must be within [0, 10]"
-        );
-        let (req_tx, req_rx) = bounded::<LayerRequest>(64);
-        let (res_tx, res_rx) = bounded::<Result<LoadedLayer, StorageError>>(64);
-        let handle = std::thread::Builder::new()
-            .name("sti-io-worker".to_string())
-            .spawn(move || {
-                while let Ok(req) = req_rx.recv() {
-                    let result = service(&*source, &flash, &req);
-                    if let Ok(loaded) = &result {
-                        if throttle_scale > 0.0 {
-                            std::thread::sleep(
-                                loaded.io_delay.scale(throttle_scale).to_duration(),
-                            );
-                        }
-                    }
-                    if res_tx.send(result).is_err() {
-                        break;
-                    }
-                }
-            })
-            .expect("failed to spawn IO worker thread");
-        Self { tx: Some(req_tx), rx: res_rx, handle: Some(handle) }
+        let scheduler = IoScheduler::spawn(source, flash, 1, throttle_scale, None);
+        let channel = scheduler.channel();
+        Self { channel, _scheduler: scheduler }
     }
 
     /// Submits a layer request. Requests are serviced in submission order.
@@ -89,11 +69,7 @@ impl IoWorker {
     ///
     /// Panics if the worker has been shut down.
     pub fn request(&self, req: LayerRequest) {
-        self.tx
-            .as_ref()
-            .expect("worker already shut down")
-            .send(req)
-            .expect("IO worker thread died");
+        self.channel.request(req);
     }
 
     /// Blocks until the next completed load.
@@ -103,50 +79,22 @@ impl IoWorker {
     /// Returns the storage error if the load failed. Panics if the worker
     /// thread died without responding.
     pub fn recv(&self) -> Result<LoadedLayer, StorageError> {
-        self.rx.recv().expect("IO worker thread died")
+        self.channel.recv()
     }
 
     /// Shuts the worker down and joins its thread.
-    pub fn shutdown(mut self) {
-        self.tx.take();
-        if let Some(h) = self.handle.take() {
-            let _ = h.join();
-        }
+    pub fn shutdown(self) {
+        // Dropping the channel then the scheduler joins the pool.
     }
-}
-
-impl Drop for IoWorker {
-    fn drop(&mut self) {
-        self.tx.take();
-        if let Some(h) = self.handle.take() {
-            let _ = h.join();
-        }
-    }
-}
-
-fn service(
-    source: &dyn ShardSource,
-    flash: &FlashModel,
-    req: &LayerRequest,
-) -> Result<LoadedLayer, StorageError> {
-    let mut blobs = Vec::with_capacity(req.items.len());
-    let mut bytes = 0u64;
-    for &(slice, bw) in &req.items {
-        let key = ShardKey::new(ShardId::new(req.layer, slice), bw);
-        bytes += source.size_bytes(key)?;
-        blobs.push((slice, source.load(key)?));
-    }
-    let io_delay =
-        if req.items.is_empty() { SimTime::ZERO } else { flash.request_delay(bytes) };
-    Ok(LoadedLayer { layer: req.layer, blobs, bytes, io_delay })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::memstore::MemStore;
+    use crate::store::ShardKey;
     use sti_quant::QuantConfig;
-    use sti_transformer::{Model, ModelConfig};
+    use sti_transformer::{Model, ModelConfig, ShardId};
 
     fn worker() -> (IoWorker, Arc<MemStore>) {
         let model = Model::synthetic(2, ModelConfig::tiny());

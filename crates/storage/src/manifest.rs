@@ -67,11 +67,8 @@ impl Manifest {
     /// Whether the manifest holds every `(layer, slice, bitwidth)` record it
     /// promises.
     pub fn is_complete(&self) -> bool {
-        (0..self.config.layers as u16).all(|l| {
-            self.bitwidths
-                .iter()
-                .all(|&bw| self.entries.contains_key(&(l, bw.bits())))
-        })
+        (0..self.config.layers as u16)
+            .all(|l| self.bitwidths.iter().all(|&bw| self.entries.contains_key(&(l, bw.bits()))))
     }
 
     /// Sum of record bytes at one bitwidth.
@@ -154,8 +151,8 @@ impl Manifest {
         if config.layers == 0
             || config.heads == 0
             || config.hidden == 0
-            || config.hidden % config.heads != 0
-            || config.ffn % config.heads != 0
+            || !config.hidden.is_multiple_of(config.heads)
+            || !config.ffn.is_multiple_of(config.heads)
         {
             return Err(StorageError::corrupt("manifest", "invalid model config"));
         }

@@ -171,11 +171,7 @@ impl ShardStore {
 
     /// Total stored bytes per bitwidth (for the storage-overhead experiment).
     pub fn stored_bytes_by_bitwidth(&self) -> BTreeMap<Bitwidth, u64> {
-        self.manifest
-            .bitwidths
-            .iter()
-            .map(|&bw| (bw, self.manifest.bytes_at(bw)))
-            .collect()
+        self.manifest.bitwidths.iter().map(|&bw| (bw, self.manifest.bytes_at(bw))).collect()
     }
 
     /// Total stored bytes across all versions.
@@ -204,8 +200,7 @@ mod tests {
     use sti_transformer::ModelConfig;
 
     fn temp_dir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir()
-            .join(format!("sti-store-test-{tag}-{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("sti-store-test-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         dir
     }

@@ -11,13 +11,7 @@ use crate::Matrix;
 ///
 /// Panics if `a.cols() != b.rows()`.
 pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
-    assert_eq!(
-        a.cols(),
-        b.rows(),
-        "matmul shape mismatch: {:?} x {:?}",
-        a.shape(),
-        b.shape()
-    );
+    assert_eq!(a.cols(), b.rows(), "matmul shape mismatch: {:?} x {:?}", a.shape(), b.shape());
     let mut out = Matrix::zeros(a.rows(), b.cols());
     matmul_into(a, b, &mut out);
     out
@@ -39,8 +33,7 @@ pub fn matmul_into(a: &Matrix, b: &Matrix, out: &mut Matrix) {
     let (k_dim, c_dim) = (a.cols(), b.cols());
     for i in 0..a.rows() {
         let a_row = a.row(i);
-        for k in 0..k_dim {
-            let aik = a_row[k];
+        for (k, &aik) in a_row.iter().enumerate().take(k_dim) {
             if aik == 0.0 {
                 continue;
             }

@@ -59,9 +59,7 @@ where
     results
         .into_iter()
         .map(|slot| {
-            slot.into_inner()
-                .expect("result slot poisoned")
-                .expect("worker skipped an item")
+            slot.into_inner().expect("result slot poisoned").expect("worker skipped an item")
         })
         .collect()
 }

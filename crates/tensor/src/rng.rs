@@ -33,12 +33,8 @@ impl Rng {
     /// Creates a generator from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
         let mut sm = seed;
-        let state = [
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-        ];
+        let state =
+            [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)];
         Self { state, spare_gaussian: None }
     }
 

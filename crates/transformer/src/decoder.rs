@@ -71,8 +71,7 @@ pub fn decoder_layer_forward(
     ops::add_inplace(&mut attn_out, x);
     layernorm_inplace(&mut attn_out, &resident.ln_attn, 1e-6);
 
-    let mut ffn_out =
-        crate::ffn::ffn(&attn_out, shards, slice_idxs, &resident.bias_ffn1, cfg);
+    let mut ffn_out = crate::ffn::ffn(&attn_out, shards, slice_idxs, &resident.bias_ffn1, cfg);
     ops::add_bias(&mut ffn_out, &resident.bias_ffn2);
     ops::add_inplace(&mut ffn_out, &attn_out);
     layernorm_inplace(&mut ffn_out, &resident.ln_ffn, 1e-6);
@@ -132,13 +131,7 @@ pub fn next_token(model: &Model, submodel: &AssembledSubmodel, tokens: &[u32]) -
     let mut x = model.embedding().embed_exact(tokens);
     for (l, asm) in submodel.layers().iter().enumerate() {
         let refs: Vec<&ShardWeights> = asm.shards.iter().collect();
-        x = decoder_layer_forward(
-            &x,
-            &refs,
-            &asm.slice_idxs,
-            &model.layers()[l].resident,
-            cfg,
-        );
+        x = decoder_layer_forward(&x, &refs, &asm.slice_idxs, &model.layers()[l].resident, cfg);
     }
     let last = x.row(x.rows() - 1);
     let logits = model.embedding().project_to_vocab(last);
@@ -153,8 +146,7 @@ mod tests {
     fn setup() -> (Model, AssembledSubmodel) {
         let cfg = ModelConfig::tiny();
         let model = Model::synthetic(21, cfg.clone());
-        let slices: Vec<Vec<usize>> =
-            (0..cfg.layers).map(|_| (0..cfg.heads).collect()).collect();
+        let slices: Vec<Vec<usize>> = (0..cfg.layers).map(|_| (0..cfg.heads).collect()).collect();
         let sub = AssembledSubmodel::from_model_slices(model.layers(), &slices, &cfg);
         (model, sub)
     }
@@ -179,8 +171,7 @@ mod tests {
             }
         }
         // The changed position itself must differ.
-        let last_diff: f32 =
-            (0..cfg.hidden).map(|c| (out_a[(2, c)] - out_b[(2, c)]).abs()).sum();
+        let last_diff: f32 = (0..cfg.hidden).map(|c| (out_a[(2, c)] - out_b[(2, c)]).abs()).sum();
         assert!(last_diff > 1e-4);
     }
 

@@ -89,10 +89,7 @@ impl Embedding {
     /// Panics if `hidden.len()` differs from the embedding width.
     pub fn project_to_vocab(&self, hidden: &[f32]) -> Vec<f32> {
         assert_eq!(hidden.len(), self.token.cols(), "hidden width mismatch");
-        self.token
-            .rows_iter()
-            .map(|row| sti_tensor::ops::dot(row, hidden))
-            .collect()
+        self.token.rows_iter().map(|row| sti_tensor::ops::dot(row, hidden)).collect()
     }
 
     /// Resident bytes of the embedding tables.

@@ -65,7 +65,10 @@ impl DecoderSession {
             layers: (0..submodel.depth())
                 .map(|l| LayerKv {
                     keys: vec![Matrix::zeros(0, cfg.head_dim()); submodel.layers()[l].shards.len()],
-                    values: vec![Matrix::zeros(0, cfg.head_dim()); submodel.layers()[l].shards.len()],
+                    values: vec![
+                        Matrix::zeros(0, cfg.head_dim());
+                        submodel.layers()[l].shards.len()
+                    ],
                 })
                 .collect(),
             last_hidden: Vec::new(),
@@ -109,10 +112,7 @@ impl DecoderSession {
     ///
     /// Panics if the sequence is already at the model's maximum length.
     pub fn step(&mut self, model: &Model, submodel: &AssembledSubmodel) -> u32 {
-        assert!(
-            self.tokens.len() < model.config().seq_len,
-            "sequence already at maximum length"
-        );
+        assert!(self.tokens.len() < model.config().seq_len, "sequence already at maximum length");
         let logits = model.embedding().project_to_vocab(&self.last_hidden);
         let next = stats::argmax(&logits).expect("non-empty vocabulary") as u32;
         self.advance(model, submodel, next);
@@ -157,13 +157,8 @@ impl DecoderSession {
 
             // Point-wise FFN on the single row.
             let shard_refs: Vec<&crate::weights::ShardWeights> = asm.shards.iter().collect();
-            let mut ffn_out = crate::ffn::ffn(
-                &attn_out,
-                &shard_refs,
-                &asm.slice_idxs,
-                &resident.bias_ffn1,
-                &cfg,
-            );
+            let mut ffn_out =
+                crate::ffn::ffn(&attn_out, &shard_refs, &asm.slice_idxs, &resident.bias_ffn1, &cfg);
             ops::add_bias(&mut ffn_out, &resident.bias_ffn2);
             ops::add_inplace(&mut ffn_out, &attn_out);
             layernorm_inplace(&mut ffn_out, &resident.ln_ffn, 1e-6);
@@ -211,8 +206,7 @@ mod tests {
     fn setup() -> (Model, AssembledSubmodel) {
         let cfg = ModelConfig::tiny();
         let model = Model::synthetic(31, cfg.clone());
-        let slices: Vec<Vec<usize>> =
-            (0..cfg.layers).map(|_| (0..cfg.heads).collect()).collect();
+        let slices: Vec<Vec<usize>> = (0..cfg.layers).map(|_| (0..cfg.heads).collect()).collect();
         let sub = AssembledSubmodel::from_model_slices(model.layers(), &slices, &cfg);
         (model, sub)
     }

@@ -40,9 +40,7 @@ impl Model {
         cfg.validate();
         let mut rng = Rng::new(seed);
         let embedding = Embedding::synthetic(&cfg, rng.next_u64());
-        let layers = (0..cfg.layers)
-            .map(|l| synthetic_layer(&cfg, &mut rng, l, pattern))
-            .collect();
+        let layers = (0..cfg.layers).map(|l| synthetic_layer(&cfg, &mut rng, l, pattern)).collect();
         let classifier = Classifier::synthetic(&cfg, rng.next_u64());
         Self { cfg, embedding, layers, classifier }
     }
@@ -124,7 +122,11 @@ impl Model {
 
     /// Runs an assembled submodel and returns `(predicted class, softmax
     /// probabilities)`.
-    pub fn predict_assembled(&self, tokens: &[u32], submodel: &AssembledSubmodel) -> (usize, Vec<f32>) {
+    pub fn predict_assembled(
+        &self,
+        tokens: &[u32],
+        submodel: &AssembledSubmodel,
+    ) -> (usize, Vec<f32>) {
         let mut logits = self.forward_assembled(tokens, submodel);
         sti_tensor::softmax::softmax_slice(&mut logits);
         let class = stats::argmax(&logits).expect("at least one class");
@@ -180,8 +182,7 @@ mod tests {
     fn submodel_of_full_size_equals_forward_full() {
         let m = tiny_model();
         let cfg = m.config().clone();
-        let slices: Vec<Vec<usize>> =
-            (0..cfg.layers).map(|_| (0..cfg.heads).collect()).collect();
+        let slices: Vec<Vec<usize>> = (0..cfg.layers).map(|_| (0..cfg.heads).collect()).collect();
         assert_eq!(m.forward_full(&[7, 8]), m.forward_submodel(&[7, 8], &slices));
     }
 
@@ -189,8 +190,7 @@ mod tests {
     fn assembled_full_fidelity_matches_internal_forward() {
         let m = tiny_model();
         let cfg = m.config().clone();
-        let slices: Vec<Vec<usize>> =
-            (0..cfg.layers).map(|_| (0..cfg.heads).collect()).collect();
+        let slices: Vec<Vec<usize>> = (0..cfg.layers).map(|_| (0..cfg.heads).collect()).collect();
         let sub = AssembledSubmodel::from_model_slices(m.layers(), &slices, &cfg);
         let a = m.forward_assembled(&[3, 1], &sub);
         let b = m.forward_full(&[3, 1]);
@@ -242,7 +242,8 @@ mod tests {
         let mut sub = AssembledSubmodel::new();
         for l in 0..slices.len() {
             let src = l.min(cfg.layers - 1);
-            let shards: Vec<_> = (0..cfg.heads).map(|s| m.layers()[src].shards[s].clone()).collect();
+            let shards: Vec<_> =
+                (0..cfg.heads).map(|s| m.layers()[src].shards[s].clone()).collect();
             sub.push_layer((0..cfg.heads).collect(), shards);
         }
         let _ = m.forward_assembled(&[1], &sub);
@@ -268,11 +269,8 @@ mod tests {
         }
         let teacher = m.forward_full(&[5, 6, 7]);
         let student = m.forward_assembled(&[5, 6, 7], &sub);
-        let max_diff = teacher
-            .iter()
-            .zip(&student)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0f32, f32::max);
+        let max_diff =
+            teacher.iter().zip(&student).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max);
         assert!(max_diff < 1.0, "6-bit logits drifted too far: {max_diff}");
     }
 }

@@ -85,7 +85,11 @@ impl ShardWeights {
 
     /// Number of parameters in the shard.
     pub fn param_count(&self) -> usize {
-        self.q.len() + self.k.len() + self.v.len() + self.o.len() + self.ffn1.len()
+        self.q.len()
+            + self.k.len()
+            + self.v.len()
+            + self.o.len()
+            + self.ffn1.len()
             + self.ffn2.len()
     }
 }

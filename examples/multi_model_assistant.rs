@@ -46,16 +46,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         2 * whole_model_bytes / 1024,
         (sentiment.preload_used() + paraphrase.preload_used()) / 1024
     );
-    println!(
-        "sentiment  plan: {} (T = {})",
-        sentiment.plan().shape,
-        sentiment.target()
-    );
-    println!(
-        "paraphrase plan: {} (T = {})\n",
-        paraphrase.plan().shape,
-        paraphrase.target()
-    );
+    println!("sentiment  plan: {} (T = {})", sentiment.plan().shape, sentiment.target());
+    println!("paraphrase plan: {} (T = {})\n", paraphrase.plan().shape, paraphrase.target());
 
     let tokenizer = HashingTokenizer::new(ModelConfig::scaled_bert().vocab);
     let notes = [

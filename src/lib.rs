@@ -1,8 +1,71 @@
-//! Workspace-level facade for the STI reproduction.
+//! # STI: Speedy Transformer Inference — workspace facade
 //!
-//! This crate exists so that cross-crate integration tests (`tests/`) and the
-//! runnable examples (`examples/`) can live at the repository root as plain
-//! Cargo targets. All functionality is provided by the member crates and
-//! re-exported through [`sti`].
+//! A from-scratch Rust reproduction of *STI: Turbocharge NLP Inference at
+//! the Edge via Elastic Pipelining* (Guo, Choe & Lin, ASPLOS '23), grown
+//! from the paper's one-app engine into a concurrent serving runtime.
+//!
+//! STI reconciles the latency/memory tension of on-device transformer
+//! inference with two techniques:
+//!
+//! 1. **Elastic model sharding** — every layer is split into `M` vertical
+//!    slices (one attention head + `1/M` of the FFN), each stored on flash
+//!    in `K` quantized fidelity versions; any `n × m` subset at any mix of
+//!    fidelities is a runnable submodel.
+//! 2. **Elastic pipeline planning** — a two-stage planner picks the
+//!    max-FLOPs submodel that computes within the target latency `T`, then
+//!    allocates per-shard bitwidths under layerwise *Accumulated IO
+//!    Budgets* so IO never stalls the compute pipeline, spending a small
+//!    *preload buffer* `|S|` to warm the first layers.
+//!
+//! ## Two execution facades
+//!
+//! [`prelude::StiEngine`] is the paper's contract: one app, one engagement
+//! at a time, plan once, execute repeatedly, replan only when `T` or `|S|`
+//! changes (§3.2).
+//!
+//! [`prelude::StiServer`] is the serving runtime this repository is growing
+//! toward: one server owns the model and every shareable resource — a
+//! `PlanCache` keyed by the planning knobs, a byte-budgeted `ShardCache` of
+//! compressed blobs, shared read-mostly preload buffers, and an
+//! `IoScheduler` that multiplexes layer requests from N concurrent
+//! engagements over one flash model (FIFO per engagement, round-robin
+//! across engagements). Apps hold lightweight [`prelude::Session`] handles.
+//! Sharing is invisible to results: a single session reproduces the engine
+//! bit-for-bit, and N concurrent sessions reproduce N sequential runs
+//! exactly (`tests/serving_runtime.rs` pins both down).
+//!
+//! ## Serving quickstart
+//!
+//! ```
+//! use sti::prelude::*;
+//! use sti::TaskContext;
+//!
+//! // A synthetic "fine-tuned model" + task, and the serving knobs.
+//! let ctx = TaskContext::with_config(TaskKind::Sst2, ModelConfig::tiny());
+//! let cfg = ServeConfig { target: SimTime::from_ms(300), ..Default::default() };
+//!
+//! // One server, many sessions.
+//! let server = build_server(&ctx, &cfg);
+//! let session = server.session()?;
+//! let inference = session.infer(&[1, 2, 3])?;
+//! assert!(inference.class < 2);
+//!
+//! // Or replay a whole multi-client trace (one thread per client).
+//! let trace = ServingTrace::synthetic(&ctx, &cfg, 4, 2);
+//! let report = replay_concurrent(&server, &trace)?;
+//! assert_eq!(report.outcomes.len(), 4);
+//! # Ok::<(), sti::prelude::PipelineError>(())
+//! ```
+//!
+//! The single-app engine path (`StiEngine::builder(..)`) works exactly as
+//! in the seed; see `crates/pipeline` for both facades, and the
+//! [`prelude`] for one-stop imports. The `baselines` module implements the
+//! comparison systems of the paper's Table 4; `runner` evaluates any of
+//! them on any task/device/latency; `serving` replays multi-client traces
+//! — the machinery behind every experiment binary in `sti-bench` and the
+//! `sti serve` CLI subcommand.
 
-pub use sti::*;
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use sti_core::*;

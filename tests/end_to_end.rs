@@ -28,18 +28,12 @@ fn full_lifecycle_on_disk_store() {
 
     // Device-side open + engine.
     let store = Arc::new(ShardStore::open(&dir).unwrap());
-    let engine = StiEngine::builder(
-        task.model().clone(),
-        store,
-        hw,
-        device.flash,
-        importance,
-    )
-    .target(SimTime::from_ms(400))
-    .preload_budget(16 << 10)
-    .widths(&[2, 4])
-    .build()
-    .unwrap();
+    let engine = StiEngine::builder(task.model().clone(), store, hw, device.flash, importance)
+        .target(SimTime::from_ms(400))
+        .preload_budget(16 << 10)
+        .widths(&[2, 4])
+        .build()
+        .unwrap();
 
     let inf = engine.infer(&[1, 2, 3, 4]).unwrap();
     assert!(inf.class < 2);
@@ -78,12 +72,8 @@ fn engine_accuracy_tracks_runner_accuracy() {
     .unwrap();
 
     assert_eq!(engine.plan().shape, result.plan.shape);
-    let preds: Vec<usize> = ctx
-        .task()
-        .test()
-        .iter()
-        .map(|e| engine.infer(&e.tokens).unwrap().class)
-        .collect();
+    let preds: Vec<usize> =
+        ctx.task().test().iter().map(|e| engine.infer(&e.tokens).unwrap().class).collect();
     let engine_acc = ctx.task().test_accuracy(&preds);
     assert!(
         (engine_acc - result.accuracy).abs() < 1e-9,
@@ -125,8 +115,7 @@ fn baseline_ordering_holds_on_tiny_grid() {
 #[test]
 fn replanning_is_only_triggered_by_parameter_changes() {
     let (task, device, hw, importance) = tiny_setup();
-    let store =
-        Arc::new(MemStore::build(task.model(), &Bitwidth::ALL, &QuantConfig::default()));
+    let store = Arc::new(MemStore::build(task.model(), &Bitwidth::ALL, &QuantConfig::default()));
     let mut engine = StiEngine::builder(task.model().clone(), store, hw, device.flash, importance)
         .target(SimTime::from_ms(250))
         .preload_budget(4 << 10)
@@ -145,8 +134,7 @@ fn replanning_is_only_triggered_by_parameter_changes() {
 #[test]
 fn preload_budget_bounds_memory_and_improves_warmup() {
     let (task, device, hw, importance) = tiny_setup();
-    let store =
-        Arc::new(MemStore::build(task.model(), &Bitwidth::ALL, &QuantConfig::default()));
+    let store = Arc::new(MemStore::build(task.model(), &Bitwidth::ALL, &QuantConfig::default()));
     let build = |budget: u64| {
         StiEngine::builder(
             task.model().clone(),
@@ -170,7 +158,5 @@ fn preload_budget_bounds_memory_and_improves_warmup() {
     let cold_run = cold.infer(&[7, 7]).unwrap();
     let warm_run = warm.infer(&[7, 7]).unwrap();
     assert!(warm_run.outcome.loaded_bytes < cold_run.outcome.loaded_bytes);
-    assert!(
-        warm_run.outcome.timeline.layers[0].stall <= cold_run.outcome.timeline.layers[0].stall
-    );
+    assert!(warm_run.outcome.timeline.layers[0].stall <= cold_run.outcome.timeline.layers[0].stall);
 }

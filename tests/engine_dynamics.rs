@@ -87,13 +87,8 @@ fn throttled_execution_takes_real_wall_time() {
     // Identical results, different wall time.
     assert_eq!(fast.outcome.logits, slow.outcome.logits);
     assert_eq!(fast.outcome.timeline, slow.outcome.timeline);
-    let simulated_io: SimTime = fast
-        .outcome
-        .timeline
-        .layers
-        .iter()
-        .map(|l| l.io_end.saturating_sub(l.io_start))
-        .sum();
+    let simulated_io: SimTime =
+        fast.outcome.timeline.layers.iter().map(|l| l.io_end.saturating_sub(l.io_start)).sum();
     assert!(simulated_io > SimTime::from_ms(10), "fixture should have real IO to throttle");
     assert!(
         slow.outcome.wall > fast.outcome.wall + std::time::Duration::from_millis(5),
@@ -110,18 +105,12 @@ fn back_to_back_engagement_reuses_cached_shards() {
     let (task, device, importance, store) = fixture();
     let cfg = task.model().config().clone();
     let hw = HwProfile::measure(&device, &cfg, &QuantConfig::default());
-    let mut engine = StiEngine::builder(
-        task.model().clone(),
-        store,
-        hw,
-        device.flash,
-        importance,
-    )
-    .target(SimTime::from_ms(250))
-    .preload_budget(2 << 10)
-    .widths(&[2, 4])
-    .build()
-    .unwrap();
+    let mut engine = StiEngine::builder(task.model().clone(), store, hw, device.flash, importance)
+        .target(SimTime::from_ms(250))
+        .preload_budget(2 << 10)
+        .widths(&[2, 4])
+        .build()
+        .unwrap();
 
     let turn1 = engine.infer(&[3, 4]).unwrap();
     engine.set_preload_budget(48 << 10).unwrap();

@@ -31,8 +31,11 @@ fn plan_for(hw: &HwProfile, importance: &ImportanceProfile) -> ExecutionPlan {
 #[test]
 fn missing_version_fails_with_missing_shard() {
     let (task, device, hw, importance) = setup();
-    let store =
-        Arc::new(MemStore::build(task.model(), &[Bitwidth::B2, Bitwidth::Full], &QuantConfig::default()));
+    let store = Arc::new(MemStore::build(
+        task.model(),
+        &[Bitwidth::B2, Bitwidth::Full],
+        &QuantConfig::default(),
+    ));
     // Planner believes all versions exist; B6 etc. are absent from the store.
     let plan = plan_for(&hw, &importance);
     let needs_missing = plan
@@ -108,13 +111,10 @@ fn deleted_layer_file_fails_reads_not_open() {
 #[test]
 fn oversized_preload_request_is_rejected_not_truncated() {
     let (task, _, _, _) = setup();
-    let store =
-        MemStore::build(task.model(), &[Bitwidth::Full], &QuantConfig::default());
-    let blob = sti_storage::ShardSource::load(
-        &store,
-        ShardKey::new(ShardId::new(0, 0), Bitwidth::Full),
-    )
-    .unwrap();
+    let store = MemStore::build(task.model(), &[Bitwidth::Full], &QuantConfig::default());
+    let blob =
+        sti_storage::ShardSource::load(&store, ShardKey::new(ShardId::new(0, 0), Bitwidth::Full))
+            .unwrap();
     let mut buffer = PreloadBuffer::new(blob.byte_size() as u64 - 1);
     let err = buffer.insert(ShardId::new(0, 0), blob).unwrap_err();
     assert!(matches!(err, PipelineError::PreloadOverflow { .. }));
@@ -124,8 +124,7 @@ fn oversized_preload_request_is_rejected_not_truncated() {
 #[test]
 fn engine_survives_budget_shrink_to_zero() {
     let (task, device, hw, importance) = setup();
-    let store =
-        Arc::new(MemStore::build(task.model(), &Bitwidth::ALL, &QuantConfig::default()));
+    let store = Arc::new(MemStore::build(task.model(), &Bitwidth::ALL, &QuantConfig::default()));
     let mut engine = StiEngine::builder(task.model().clone(), store, hw, device.flash, importance)
         .target(SimTime::from_ms(400))
         .preload_budget(16 << 10)

@@ -1,0 +1,197 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Implements the subset the workspace uses: `BytesMut` as a growable byte
+//! buffer, `BufMut` little-endian writers, and `Buf` little-endian readers
+//! over `&[u8]` cursors.
+
+use std::ops::{Deref, DerefMut};
+
+/// A growable byte buffer.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct BytesMut(Vec<u8>);
+
+impl BytesMut {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self(Vec::new())
+    }
+
+    /// Creates an empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self(Vec::with_capacity(cap))
+    }
+
+    /// Copies the contents into a plain `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.0.clone()
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.0
+    }
+}
+
+/// Little-endian write access to a growable buffer.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `f32`.
+    fn put_f32_le(&mut self, v: f32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.0.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+macro_rules! get_le {
+    ($self:ident, $ty:ty) => {{
+        let n = std::mem::size_of::<$ty>();
+        let (head, rest) = $self.split_at(n);
+        let value = <$ty>::from_le_bytes(head.try_into().expect("exact-width slice"));
+        *$self = rest;
+        value
+    }};
+}
+
+/// Little-endian read access over an advancing cursor.
+///
+/// # Panics
+///
+/// All readers panic when fewer bytes remain than requested, mirroring the
+/// real crate; callers bound-check before decoding.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8;
+
+    /// Reads a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16;
+
+    /// Reads a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32;
+
+    /// Reads a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64;
+
+    /// Reads a little-endian `f32`.
+    fn get_f32_le(&mut self) -> f32;
+
+    /// Reads a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64;
+
+    /// Reads `len` raw bytes.
+    fn copy_to_bytes(&mut self, len: usize) -> Vec<u8>;
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        get_le!(self, u8)
+    }
+
+    fn get_u16_le(&mut self) -> u16 {
+        get_le!(self, u16)
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        get_le!(self, u32)
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        get_le!(self, u64)
+    }
+
+    fn get_f32_le(&mut self) -> f32 {
+        get_le!(self, f32)
+    }
+
+    fn get_f64_le(&mut self) -> f64 {
+        get_le!(self, f64)
+    }
+
+    fn copy_to_bytes(&mut self, len: usize) -> Vec<u8> {
+        let (head, rest) = self.split_at(len);
+        let out = head.to_vec();
+        *self = rest;
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let mut buf = BytesMut::with_capacity(32);
+        buf.put_u8(7);
+        buf.put_u16_le(300);
+        buf.put_u32_le(70_000);
+        buf.put_u64_le(1 << 40);
+        buf.put_f32_le(1.5);
+        buf.put_f64_le(-2.25);
+        buf.put_slice(b"xy");
+
+        let bytes = buf.to_vec();
+        let mut cur = bytes.as_slice();
+        assert_eq!(cur.get_u8(), 7);
+        assert_eq!(cur.get_u16_le(), 300);
+        assert_eq!(cur.get_u32_le(), 70_000);
+        assert_eq!(cur.get_u64_le(), 1 << 40);
+        assert_eq!(cur.get_f32_le(), 1.5);
+        assert_eq!(cur.get_f64_le(), -2.25);
+        assert_eq!(cur.copy_to_bytes(2), b"xy");
+        assert_eq!(cur.remaining(), 0);
+    }
+}

@@ -1,0 +1,358 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the API this workspace's property tests use:
+//! range/tuple/vec strategies, `prop_map`, `any::<T>()`, `prop::sample::Index`,
+//! and the `proptest!` macro. Instead of proptest's shrinking search, each
+//! property runs over `cases` deterministically seeded random samples (the
+//! seed derives from the test name, so failures reproduce exactly). That
+//! trades minimal counterexamples for zero dependencies — acceptable for an
+//! offline build where the properties themselves are the point.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic xorshift64* generator; seeded per test from the test name.
+#[derive(Debug, Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Seeds the generator from a test name (FNV-1a), so each property gets
+    /// a stable, independent stream.
+    pub fn for_test(name: &str) -> Self {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self(hash | 1)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform value in `[0, bound)`.
+    fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next_u64() % bound
+    }
+
+    /// Uniform float in `[0, 1)`.
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Test-case configuration (`cases` = samples per property).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of sampled cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` samples.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// Value-generation strategies.
+pub mod strategy {
+    use super::TestRng;
+
+    /// Generates values of an associated type from a random stream.
+    pub trait Strategy {
+        /// The generated value type.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// The [`Strategy::prop_map`] combinator.
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+}
+
+use strategy::Strategy;
+
+macro_rules! int_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+
+            fn sample(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end - self.start) as u64;
+                self.start + rng.below(span) as $ty
+            }
+        }
+
+        impl Strategy for RangeInclusive<$ty> {
+            type Value = $ty;
+
+            fn sample(&self, rng: &mut TestRng) -> $ty {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                let span = (*self.end() - *self.start()) as u64 + 1;
+                self.start() + rng.below(span) as $ty
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+
+    fn sample(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+)),*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy!((A, B), (A, B, C), (A, B, C, D));
+
+/// Strategies over collections.
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use std::ops::Range;
+
+    /// A strategy for `Vec`s whose length is drawn from `sizes` and whose
+    /// elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, sizes: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, sizes }
+    }
+
+    /// The [`vec`] strategy.
+    pub struct VecStrategy<S> {
+        element: S,
+        sizes: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.sizes.clone().sample(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() as u32
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for sample::Index {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        sample::Index(rng.next_u64() as usize)
+    }
+}
+
+/// The `any::<T>()` strategy.
+pub struct Any<A>(std::marker::PhantomData<A>);
+
+impl<A: Arbitrary> Strategy for Any<A> {
+    type Value = A;
+
+    fn sample(&self, rng: &mut TestRng) -> A {
+        A::arbitrary(rng)
+    }
+}
+
+/// A strategy producing any value of `A`.
+pub fn any<A: Arbitrary>() -> Any<A> {
+    Any(std::marker::PhantomData)
+}
+
+/// Sampling helpers (`prop::sample`).
+pub mod sample {
+    /// An index into a collection of yet-unknown length.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Index(pub(crate) usize);
+
+    impl Index {
+        /// Resolves against a concrete collection length.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `len` is zero.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            self.0 % len
+        }
+    }
+}
+
+/// The usual glob import for property tests.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{any, prop_assert, prop_assert_eq, proptest, ProptestConfig};
+
+    /// Namespace mirror so `prop::sample::Index` resolves under a glob
+    /// import of this prelude.
+    pub mod prop {
+        pub use crate::sample;
+    }
+}
+
+/// Asserts a property-test condition (no shrinking: plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts property-test equality (no shrinking: plain `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            let mut rng = $crate::TestRng::for_test(stringify!($name));
+            for _ in 0..config.cases {
+                $(let $arg = $crate::strategy::Strategy::sample(&$strategy, &mut rng);)+
+                $body
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::TestRng::for_test("bounds");
+        for _ in 0..200 {
+            let v = Strategy::sample(&(3u64..10), &mut rng);
+            assert!((3..10).contains(&v));
+            let w = Strategy::sample(&(5u8..=5), &mut rng);
+            assert_eq!(w, 5);
+            let f = Strategy::sample(&(-1.0f32..1.0), &mut rng);
+            assert!((-1.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_and_map_compose() {
+        let mut rng = crate::TestRng::for_test("compose");
+        let s = crate::collection::vec((0u64..5, 1u64..3), 2..6).prop_map(|v| v.len());
+        for _ in 0..50 {
+            let n = Strategy::sample(&s, &mut rng);
+            assert!((2..6).contains(&n));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn macro_runs_cases(x in 0u64..100, idx in any::<prop::sample::Index>()) {
+            prop_assert!(x < 100);
+            prop_assert_eq!(idx.index(7) < 7, true);
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The workspace only uses serde through `#[derive(Serialize, Deserialize)]`
+//! markers on plan/config types (no serialization is performed anywhere —
+//! persistence uses the hand-rolled binary formats in `sti-storage`). Since
+//! crates.io is unreachable in this build environment, this proc-macro crate
+//! supplies no-op derives so those annotations compile unchanged; swapping
+//! the real serde back in later requires only a manifest change.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

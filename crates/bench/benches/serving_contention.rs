@@ -1,0 +1,79 @@
+//! Contended-track benchmarks: the cost of predicting contended latency
+//! with the flash-queue simulator as co-runners grow, the SLO planning
+//! search (cold and memoized), and SLO session admission through the
+//! server. These sit on the serving hot path — admission runs once per
+//! session open, prediction once per (knobs, co-runner) combination.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sti::prelude::*;
+use sti::TaskContext;
+
+fn fixture() -> (HwProfile, ImportanceProfile, ExecutionPlan) {
+    let cfg = ModelConfig::tiny();
+    let hw = HwProfile::measure(&DeviceProfile::odroid_n2(), &cfg, &QuantConfig::default());
+    let importance = ImportanceProfile::from_scores(
+        cfg.layers,
+        cfg.heads,
+        (0..cfg.total_shards()).map(|i| 0.5 + (i % 5) as f64 * 0.01).collect(),
+        0.45,
+    );
+    let plan = plan_two_stage(&hw, &importance, SimTime::from_ms(300), 0, &[2, 4], &Bitwidth::ALL);
+    (hw, importance, plan)
+}
+
+fn bench_contention_prediction(c: &mut Criterion) {
+    let (hw, _, plan) = fixture();
+    let mut group = c.benchmark_group("predict_contended_latency");
+    for co_runners in [0usize, 1, 4, 8, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(co_runners), &co_runners, |b, &co| {
+            b.iter(|| predict_contended_latency(&hw, &plan, co))
+        });
+    }
+    group.finish();
+}
+
+fn bench_slo_search(c: &mut Criterion) {
+    let (hw, importance, _) = fixture();
+    let slo = SimTime::from_ms(400);
+    c.bench_function("plan_for_slo_cold", |b| {
+        b.iter(|| plan_for_slo(&hw, &importance, slo, 4, 0, &[2, 4], &Bitwidth::ALL))
+    });
+    let cache = ServingPlanCache::new();
+    let key = ServingPlanKey::new(PlanKey::new("bench", slo, 0, &[2, 4], &Bitwidth::ALL), 4);
+    c.bench_function("plan_for_slo_memoized", |b| {
+        b.iter(|| {
+            cache.get_or_plan(&key, || {
+                plan_for_slo(&hw, &importance, slo, 4, 0, &[2, 4], &Bitwidth::ALL)
+            })
+        })
+    });
+}
+
+fn bench_slo_admission(c: &mut Criterion) {
+    let ctx = TaskContext::with_config(TaskKind::Sst2, ModelConfig::tiny());
+    ctx.importance();
+    let cfg = ServeConfig {
+        target: SimTime::from_ms(300),
+        preload_bytes: 0,
+        admission: AdmissionMode::Enforce,
+        ..Default::default()
+    };
+    let server = build_server(&ctx, &cfg);
+    // Steady state: the search for (knobs, co=0) is memoized after the
+    // first open, so this measures the admission fast path.
+    let _warm = server.session_with_slo(SimTime::from_ms(60_000), 0).expect("admits");
+    c.bench_function("session_with_slo_admitted", |b| {
+        b.iter(|| {
+            // co-runner count is 1 (the warm session) on every iteration:
+            // open and drop inside the loop so the count stays stable.
+            server.session_with_slo(SimTime::from_ms(60_000), 0).expect("admits")
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_contention_prediction, bench_slo_search, bench_slo_admission
+}
+criterion_main!(benches);

@@ -20,6 +20,8 @@ pub fn usage() -> String {
      \x20             [--device d] [--target-ms 200] [--preload-kb 16]\n\
      \x20 generate    --task <...> --text \"...\" [--steps 5] [...]    decoder extension\n\
      \x20 serve       --task <...> [--sessions 8] [--engagements 4]\n\
+     \x20             [--trace file.json] [--slo-ms 0] [--admission off|monitor|enforce]\n\
+     \x20             [--dram-hits 0|1] [--model bert|tiny]\n\
      \x20             [--device d] [--target-ms 200] [--preload-kb 16]\n\
      \x20             [--io-workers 2] [--shard-cache-kb 4096]        replay a multi-client trace\n"
         .to_string()
@@ -165,24 +167,61 @@ fn cmd_generate(args: &Args) -> Result<String, ArgError> {
     ))
 }
 
+fn admission_mode(name: &str) -> Result<AdmissionMode, ArgError> {
+    match name.to_lowercase().as_str() {
+        "off" | "disabled" => Ok(AdmissionMode::Disabled),
+        "monitor" => Ok(AdmissionMode::Monitor),
+        "enforce" => Ok(AdmissionMode::Enforce),
+        other => Err(ArgError(format!("unknown admission mode '{other}' (off|monitor|enforce)"))),
+    }
+}
+
 fn cmd_serve(args: &Args) -> Result<String, ArgError> {
     let kind = task_kind(args.require("task")?)?;
-    let sessions = args.get_u64("sessions", 8)? as usize;
-    let engagements = args.get_u64("engagements", 4)? as usize;
-    if sessions == 0 || engagements == 0 {
-        return Err(ArgError("--sessions and --engagements must be positive".into()));
-    }
+    let slo_ms = args.get_u64("slo-ms", 0)?;
     let cfg = ServeConfig {
         device: device(args.get_or("device", "odroid"))?,
         target: SimTime::from_ms(args.get_u64("target-ms", 200)?),
         preload_bytes: args.get_u64("preload-kb", 16)? << 10,
         io_workers: args.get_u64("io-workers", 2)?.max(1) as usize,
         shard_cache_bytes: args.get_u64("shard-cache-kb", 4096)? << 10,
+        slo: (slo_ms > 0).then(|| SimTime::from_ms(slo_ms)),
+        admission: admission_mode(args.get_or("admission", "off"))?,
+        dram_residency: args.get_u64("dram-hits", 0)? != 0,
     };
-    let ctx = TaskContext::new(kind);
+    let model_cfg = match args.get_or("model", "bert") {
+        "tiny" => ModelConfig::tiny(), // CI smoke scale
+        "bert" => ModelConfig::scaled_bert(),
+        other => return Err(ArgError(format!("unknown model '{other}' (bert|tiny)"))),
+    };
+    // Validate the workload before the (slow) importance profiling pass.
+    let loaded_trace = match args.get("trace") {
+        Some(path) => {
+            Some(load_trace(path).map_err(|e| ArgError(format!("trace file '{path}': {e}")))?)
+        }
+        None => {
+            let sessions = args.get_u64("sessions", 8)? as usize;
+            let engagements = args.get_u64("engagements", 4)? as usize;
+            if sessions == 0 || engagements == 0 {
+                return Err(ArgError("--sessions and --engagements must be positive".into()));
+            }
+            None
+        }
+    };
+    let ctx = TaskContext::with_config(kind, model_cfg);
     eprintln!("profiling shard importance (one-time per model)...");
     ctx.importance();
-    let trace = ServingTrace::synthetic(&ctx, &cfg, sessions, engagements);
+
+    let trace = match loaded_trace {
+        Some(trace) => trace,
+        None => ServingTrace::synthetic(
+            &ctx,
+            &cfg,
+            args.get_u64("sessions", 8)? as usize,
+            args.get_u64("engagements", 4)? as usize,
+        ),
+    };
+    let sessions = trace.clients.len();
 
     let concurrent = replay_concurrent(&build_server(&ctx, &cfg), &trace)
         .map_err(|e| ArgError(format!("concurrent replay: {e}")))?;
@@ -190,18 +229,31 @@ fn cmd_serve(args: &Args) -> Result<String, ArgError> {
         .map_err(|e| ArgError(format!("sequential replay: {e}")))?;
     let identical = concurrent.outcomes == sequential.outcomes;
 
-    let first = &concurrent.outcomes[0][0];
+    let first = concurrent
+        .outcomes
+        .iter()
+        .flat_map(|c| c.iter())
+        .next()
+        .ok_or_else(|| ArgError("every client was rejected at admission".into()))?;
+    let contention = &concurrent.contention;
+    let slo_line = match contention.slo_hit_rate() {
+        Some(rate) => format!("{:.0}% of SLO engagements met their SLO", rate * 100.0),
+        None => "no SLO clients".to_string(),
+    };
+    let served: usize = concurrent.outcomes.iter().map(Vec::len).sum();
     Ok(format!(
-        "served {} engagements over {} concurrent sessions ({} each)\n\
+        "served {} of {} engagements over {} sessions ({} rejected at admission)\n\
          \x20 throughput    {:.1} engagements/s concurrent, {:.1} sequential ({:.2}x)\n\
          \x20 per-engagement makespan {} | streamed {} bytes\n\
-         \x20 plan cache    {} hit / {} miss ({} distinct plans)\n\
+         \x20 plan cache    {} hit / {} miss ({} distinct plans); sessions {} admitted / {} rejected\n\
          \x20 shard cache   {} hit / {} miss ({:.0}% hit rate), {} evictions\n\
          \x20 io scheduler  {} requests, {} bytes, flash busy {}, max queue depth {}\n\
+         \x20 contended     p50 {} | p95 {} | max {} end-to-end; {}\n\
          \x20 determinism   concurrent outcomes {} sequential replay\n",
+        served,
         trace.total_engagements(),
         sessions,
-        engagements,
+        concurrent.rejected_clients.len(),
         concurrent.engagements_per_sec(),
         sequential.engagements_per_sec(),
         concurrent.engagements_per_sec() / sequential.engagements_per_sec().max(1e-9),
@@ -210,6 +262,8 @@ fn cmd_serve(args: &Args) -> Result<String, ArgError> {
         concurrent.plan_stats.hits,
         concurrent.plan_stats.misses,
         concurrent.distinct_plans,
+        concurrent.serving_stats.admitted_sessions,
+        concurrent.serving_stats.rejected_sessions,
         concurrent.shard_stats.hits,
         concurrent.shard_stats.misses,
         concurrent.shard_stats.hit_rate() * 100.0,
@@ -218,6 +272,10 @@ fn cmd_serve(args: &Args) -> Result<String, ArgError> {
         concurrent.io_stats.bytes,
         concurrent.io_stats.sim_flash_busy,
         concurrent.io_stats.max_queue_depth,
+        contention.latency_percentile(0.5),
+        contention.latency_percentile(0.95),
+        contention.latency_percentile(1.0),
+        slo_line,
         if identical { "exactly reproduce the" } else { "DIVERGED from the" },
     ))
 }
@@ -283,5 +341,42 @@ mod tests {
     fn serve_rejects_degenerate_traces() {
         let args = Args::parse(["serve", "--task", "sst2", "--sessions", "0"]).unwrap();
         assert!(dispatch(&args).is_err());
+        let args =
+            Args::parse(["serve", "--task", "sst2", "--admission", "yolo", "--model", "tiny"])
+                .unwrap();
+        assert!(dispatch(&args).is_err());
+        let args =
+            Args::parse(["serve", "--task", "sst2", "--trace", "/no/such/file.json"]).unwrap();
+        assert!(dispatch(&args).is_err());
+    }
+
+    #[test]
+    fn serve_replays_a_trace_file_with_admission() {
+        let path = std::env::temp_dir().join(format!("sti-cli-trace-{}.json", std::process::id()));
+        std::fs::write(
+            &path,
+            r#"{ "clients": [
+                { "target_ms": 300, "slo_ms": 60000, "engagements": [[1, 2, 3], [7]] },
+                { "target_ms": 300, "engagements": [[9, 9]] }
+            ] }"#,
+        )
+        .unwrap();
+        let args = Args::parse([
+            "serve",
+            "--task",
+            "sst2",
+            "--model",
+            "tiny",
+            "--admission",
+            "enforce",
+            "--trace",
+            path.to_str().unwrap(),
+        ])
+        .unwrap();
+        let report = dispatch(&args).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert!(report.contains("served 3 of 3 engagements"), "{report}");
+        assert!(report.contains("exactly reproduce"), "{report}");
+        assert!(report.contains("SLO engagements met their SLO"), "{report}");
     }
 }

@@ -55,6 +55,7 @@ pub mod baselines;
 pub mod gold;
 pub mod runner;
 pub mod serving;
+pub mod trace_file;
 
 pub use baselines::Baseline;
 pub use runner::{run_experiment, Experiment, RunResult, TaskContext};
@@ -62,6 +63,7 @@ pub use serving::{
     build_server, replay_concurrent, replay_sequential, ClientTrace, EngagementOutcome,
     ServeConfig, ServeReport, ServingTrace,
 };
+pub use trace_file::{load_trace, parse_trace, TraceFileError};
 
 /// One-stop imports for applications and experiments.
 pub mod prelude {
@@ -72,15 +74,21 @@ pub mod prelude {
         build_server, replay_concurrent, replay_sequential, ClientTrace, EngagementOutcome,
         ServeConfig, ServeReport, ServingTrace,
     };
-    pub use sti_device::{ComputeModel, DeviceProfile, FlashModel, HwProfile, PowerModel, SimTime};
+    pub use crate::trace_file::{load_trace, parse_trace, TraceFileError};
+    pub use sti_device::{
+        ComputeModel, DeviceProfile, FlashJob, FlashModel, FlashQueueSim, HwProfile, PowerModel,
+        SimTime,
+    };
     pub use sti_nlp::{Dataset, HashingTokenizer, Task, TaskKind};
     pub use sti_pipeline::{
-        Inference, PipelineError, PipelineExecutor, PreloadBuffer, Session, StiEngine, StiServer,
+        AdmissionMode, ContentionReport, EngagementContention, Inference, PipelineError,
+        PipelineExecutor, PreloadBuffer, ServingStats, Session, StiEngine, StiServer,
     };
     pub use sti_planner::compute_plan::DYNABERT_WIDTHS;
     pub use sti_planner::{
-        plan_compute, plan_io, plan_two_stage, profile_importance, ExecutionPlan,
-        ImportanceProfile, PlanCache, PlanCacheStats, PlanKey, SubmodelShape,
+        plan_compute, plan_for_slo, plan_io, plan_two_stage, predict_contended_latency,
+        profile_importance, ExecutionPlan, ImportanceProfile, PlanCache, PlanCacheStats, PlanKey,
+        ServingPlan, ServingPlanCache, ServingPlanKey, SubmodelShape,
     };
     pub use sti_quant::{Bitwidth, QuantConfig, QuantizedBlob};
     pub use sti_storage::{

@@ -6,20 +6,29 @@
 //! grow, how effective are the shared caches, and — the correctness anchor
 //! — does concurrent execution reproduce sequential results exactly.
 //!
-//! A [`ServingTrace`] is a synthetic multi-client workload: each client has
-//! its own latency/memory knobs and a FIFO list of engagements (token
-//! sequences drawn deterministically from the task's test split).
-//! [`replay_concurrent`] drives every client from its own thread against
-//! one shared server; [`replay_sequential`] replays the same trace
-//! client-by-client, engagement-by-engagement. Both return per-engagement
-//! [`EngagementOutcome`]s in trace order, so equality between the two
-//! reports is exactly the determinism contract of
+//! A [`ServingTrace`] is a multi-client workload: each client has its own
+//! latency/memory knobs, an optional latency **SLO**, and a FIFO list of
+//! engagements (token sequences — drawn deterministically from the task's
+//! test split by [`ServingTrace::synthetic`], or replayed from a JSON file
+//! via [`crate::trace_file`]). [`replay_concurrent`] drives every client
+//! from its own thread against one shared server; [`replay_sequential`]
+//! replays the same trace client-by-client, engagement-by-engagement. Both
+//! open every client's session **up front, in client order** — so SLO
+//! admission sees the same co-runner counts either way — and return
+//! per-engagement [`EngagementOutcome`]s in trace order: equality between
+//! the two reports is exactly the determinism contract of
 //! [`sti_pipeline::server`].
+//!
+//! Alongside the deterministic outcomes, the report carries the **contended
+//! track**: the server's flash-queue replay ([`ContentionReport`]), SLO hit
+//! rates, and which clients admission control rejected.
 
 use std::time::Duration;
 
 use sti_device::{DeviceProfile, HwProfile, SimTime};
-use sti_pipeline::{PipelineError, StiServer};
+use sti_pipeline::{
+    AdmissionMode, ContentionReport, PipelineError, ServingStats, Session, StiServer,
+};
 use sti_planner::PlanCacheStats;
 use sti_storage::{IoSchedulerStats, ShardCacheStats};
 
@@ -38,6 +47,12 @@ pub struct ServeConfig {
     pub io_workers: usize,
     /// Byte budget of the shared compressed-shard cache.
     pub shard_cache_bytes: u64,
+    /// Default SLO for synthetic clients (`None`: plain target sessions).
+    pub slo: Option<SimTime>,
+    /// Admission policy for SLO sessions.
+    pub admission: AdmissionMode,
+    /// Opt-in DRAM-residency accounting on the contended track.
+    pub dram_residency: bool,
 }
 
 impl Default for ServeConfig {
@@ -48,6 +63,9 @@ impl Default for ServeConfig {
             preload_bytes: 16 << 10,
             io_workers: 2,
             shard_cache_bytes: 4 << 20,
+            slo: None,
+            admission: AdmissionMode::Disabled,
+            dram_residency: false,
         }
     }
 }
@@ -59,6 +77,10 @@ pub struct ClientTrace {
     pub target: SimTime,
     /// The client's preload budget in bytes.
     pub preload_bytes: u64,
+    /// The client's latency SLO: `Some` opens the session through the
+    /// SLO-aware planner and admission control, `None` through the plain
+    /// target-latency path.
+    pub slo: Option<SimTime>,
     /// Token sequences to classify, in submission order.
     pub engagements: Vec<Vec<u32>>,
 }
@@ -86,6 +108,7 @@ impl ServingTrace {
             .map(|c| ClientTrace {
                 target: cfg.target,
                 preload_bytes: cfg.preload_bytes,
+                slo: cfg.slo,
                 engagements: (0..engagements)
                     .map(|e| examples[(c * engagements + e) % examples.len()].tokens.clone())
                     .collect(),
@@ -117,13 +140,13 @@ pub struct EngagementOutcome {
 /// The result of replaying a trace.
 #[derive(Debug, Clone)]
 pub struct ServeReport {
-    /// Outcomes per client, in engagement order.
+    /// Outcomes per client, in engagement order (empty for clients that
+    /// admission control rejected).
     pub outcomes: Vec<Vec<EngagementOutcome>>,
     /// Host wall-clock time for the whole replay.
     pub wall: Duration,
-    /// Plan-cache counters after the replay. Note: sessions racing to plan
-    /// the same knob set each count a miss (planning runs outside the cache
-    /// lock); `distinct_plans` is the deduplicated count.
+    /// Plan-cache counters after the replay (sessions open up front in
+    /// client order, so uniform knobs miss once and hit thereafter).
     pub plan_stats: PlanCacheStats,
     /// Distinct knob combinations planned and cached.
     pub distinct_plans: usize,
@@ -131,6 +154,13 @@ pub struct ServeReport {
     pub shard_stats: ShardCacheStats,
     /// IO-scheduler counters after the replay.
     pub io_stats: IoSchedulerStats,
+    /// Contended-track replay: per-engagement contended latencies, queue
+    /// aggregates, SLO hits.
+    pub contention: ContentionReport,
+    /// Admission and engagement counters.
+    pub serving_stats: ServingStats,
+    /// Indices of clients rejected by admission control.
+    pub rejected_clients: Vec<usize>,
 }
 
 impl ServeReport {
@@ -152,10 +182,38 @@ pub fn build_server(ctx: &TaskContext, cfg: &ServeConfig) -> StiServer {
         .preload_budget(cfg.preload_bytes)
         .io_workers(cfg.io_workers)
         .shard_cache_bytes(cfg.shard_cache_bytes)
+        .admission(cfg.admission)
+        .dram_residency(cfg.dram_residency)
         .build()
 }
 
+/// Opens every client's session in client order — the deterministic
+/// admission sequence both replay modes share. `None` marks a client that
+/// admission control rejected; any other failure aborts the replay.
+fn open_sessions(
+    server: &StiServer,
+    trace: &ServingTrace,
+) -> Result<Vec<Option<Session>>, PipelineError> {
+    trace
+        .clients
+        .iter()
+        .map(|client| {
+            let opened = match client.slo {
+                Some(slo) => server.session_with_slo(slo, client.preload_bytes),
+                None => server.session_with(client.target, client.preload_bytes),
+            };
+            match opened {
+                Ok(session) => Ok(Some(session)),
+                Err(PipelineError::AdmissionRejected { .. }) => Ok(None),
+                Err(e) => Err(e),
+            }
+        })
+        .collect()
+}
+
 /// Replays a trace with one thread per client, all sharing `server`.
+/// Sessions open up front in client order (so SLO admission is
+/// deterministic); rejected clients report no outcomes.
 ///
 /// # Errors
 ///
@@ -165,20 +223,24 @@ pub fn replay_concurrent(
     trace: &ServingTrace,
 ) -> Result<ServeReport, PipelineError> {
     let start = std::time::Instant::now();
+    let sessions = open_sessions(server, trace)?;
     let results: Vec<Result<Vec<EngagementOutcome>, PipelineError>> = std::thread::scope(|s| {
         let handles: Vec<_> = trace
             .clients
             .iter()
-            .map(|client| s.spawn(move || run_client(server, client)))
+            .zip(&sessions)
+            .map(|(client, session)| s.spawn(move || run_client(session.as_ref(), client)))
             .collect();
         handles.into_iter().map(|h| h.join().expect("client thread panicked")).collect()
     });
     let outcomes = results.into_iter().collect::<Result<Vec<_>, _>>()?;
-    Ok(report(server, outcomes, start.elapsed()))
+    Ok(report(server, &sessions, outcomes, start.elapsed()))
 }
 
 /// Replays the same trace with no concurrency: clients in order, each
-/// engagement completing before the next starts.
+/// engagement completing before the next starts. Sessions still open up
+/// front in client order, so admission decisions match
+/// [`replay_concurrent`] exactly.
 ///
 /// # Errors
 ///
@@ -188,19 +250,23 @@ pub fn replay_sequential(
     trace: &ServingTrace,
 ) -> Result<ServeReport, PipelineError> {
     let start = std::time::Instant::now();
+    let sessions = open_sessions(server, trace)?;
     let outcomes = trace
         .clients
         .iter()
-        .map(|client| run_client(server, client))
+        .zip(&sessions)
+        .map(|(client, session)| run_client(session.as_ref(), client))
         .collect::<Result<Vec<_>, _>>()?;
-    Ok(report(server, outcomes, start.elapsed()))
+    Ok(report(server, &sessions, outcomes, start.elapsed()))
 }
 
 fn run_client(
-    server: &StiServer,
+    session: Option<&Session>,
     client: &ClientTrace,
 ) -> Result<Vec<EngagementOutcome>, PipelineError> {
-    let session = server.session_with(client.target, client.preload_bytes)?;
+    let Some(session) = session else {
+        return Ok(Vec::new()); // rejected at admission
+    };
     client
         .engagements
         .iter()
@@ -218,6 +284,7 @@ fn run_client(
 
 fn report(
     server: &StiServer,
+    sessions: &[Option<Session>],
     outcomes: Vec<Vec<EngagementOutcome>>,
     wall: Duration,
 ) -> ServeReport {
@@ -228,6 +295,13 @@ fn report(
         distinct_plans: server.cached_plans(),
         shard_stats: server.shard_stats(),
         io_stats: server.io_stats(),
+        contention: server.contention_report(),
+        serving_stats: server.serving_stats(),
+        rejected_clients: sessions
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.is_none().then_some(i))
+            .collect(),
     }
 }
 
@@ -275,11 +349,74 @@ mod tests {
         let trace = ServingTrace::synthetic(&c, &cfg, 4, 1);
         let server = build_server(&c, &cfg);
         let report = replay_concurrent(&server, &trace).unwrap();
-        // Racing sessions may each count a miss before the first insert
-        // lands (planning runs outside the cache lock), but only one plan
-        // is ever cached and every lookup is accounted.
+        // Sessions open up front in client order, so uniform knobs plan
+        // exactly once and hit thereafter.
         assert_eq!(report.distinct_plans, 1, "uniform knobs cache exactly one plan");
-        assert!(report.plan_stats.misses >= 1);
-        assert_eq!(report.plan_stats.hits + report.plan_stats.misses, 4);
+        assert_eq!((report.plan_stats.hits, report.plan_stats.misses), (3, 1));
+    }
+
+    #[test]
+    fn slo_clients_admit_and_replay_deterministically() {
+        let c = ctx();
+        let cfg = ServeConfig {
+            target: SimTime::from_ms(300),
+            preload_bytes: 0,
+            slo: Some(SimTime::from_ms(60_000)), // generous: everyone admits
+            admission: AdmissionMode::Enforce,
+            ..Default::default()
+        };
+        let trace = ServingTrace::synthetic(&c, &cfg, 3, 2);
+        let concurrent = replay_concurrent(&build_server(&c, &cfg), &trace).unwrap();
+        let sequential = replay_sequential(&build_server(&c, &cfg), &trace).unwrap();
+        assert_eq!(concurrent.outcomes, sequential.outcomes, "admission must not break replay");
+        assert!(concurrent.rejected_clients.is_empty());
+        assert_eq!(concurrent.serving_stats.admitted_sessions, 3);
+        assert_eq!(concurrent.contention.engagements.len(), 6);
+        assert_eq!(
+            concurrent.contention.slo_hit_rate(),
+            Some(1.0),
+            "a 60 s SLO is unmissable on this trace"
+        );
+    }
+
+    #[test]
+    fn rejected_clients_are_reported_in_both_modes() {
+        let c = ctx();
+        let mut cfg = ServeConfig {
+            target: SimTime::from_ms(300),
+            preload_bytes: 0,
+            admission: AdmissionMode::Enforce,
+            ..Default::default()
+        };
+        // Client 0 is generous; client 1 asks for the impossible under a
+        // co-runner: the floor plan's own uncontended makespan.
+        let server_probe = build_server(&c, &cfg);
+        let floor =
+            server_probe.session_with(SimTime::from_us(1), 0).unwrap().plan().predicted.makespan;
+        cfg.slo = None;
+        let mut trace = ServingTrace::synthetic(&c, &cfg, 2, 1);
+        trace.clients[0].slo = Some(SimTime::from_ms(60_000));
+        trace.clients[1].slo = Some(floor);
+        let concurrent = replay_concurrent(&build_server(&c, &cfg), &trace).unwrap();
+        let sequential = replay_sequential(&build_server(&c, &cfg), &trace).unwrap();
+        assert_eq!(concurrent.rejected_clients, vec![1]);
+        assert_eq!(sequential.rejected_clients, vec![1], "admission order is deterministic");
+        assert!(concurrent.outcomes[1].is_empty());
+        assert_eq!(concurrent.outcomes, sequential.outcomes);
+        assert_eq!(concurrent.serving_stats.rejected_sessions, 1);
+    }
+
+    #[test]
+    fn contended_latencies_dominate_uncontended_ones() {
+        let c = ctx();
+        let cfg = ServeConfig { target: SimTime::from_ms(300), preload_bytes: 0, ..cfg() };
+        let trace = ServingTrace::synthetic(&c, &cfg, 4, 2);
+        let server = build_server(&c, &cfg);
+        let report = replay_concurrent(&server, &trace).unwrap();
+        assert_eq!(report.contention.engagements.len(), 8);
+        for e in &report.contention.engagements {
+            assert!(e.contended >= e.uncontended, "{} < {}", e.contended, e.uncontended);
+        }
+        assert_eq!(report.contention.flash_busy, report.io_stats.sim_flash_busy);
     }
 }

@@ -1,0 +1,462 @@
+//! JSON trace files: replay real multi-client workloads through `serve`.
+//!
+//! A trace file describes the same thing [`ServingTrace`] holds in memory —
+//! per-client knobs and engagement token sequences — so captured workloads
+//! can be replayed instead of only synthetic ones:
+//!
+//! ```json
+//! {
+//!   "clients": [
+//!     {
+//!       "target_ms": 300,
+//!       "preload_kb": 16,
+//!       "slo_ms": 450,
+//!       "engagements": [[101, 7, 23], [45, 45]]
+//!     }
+//!   ]
+//! }
+//! ```
+//!
+//! `engagements` is required; `target_ms` (default 200), `preload_kb`
+//! (default 16), and `slo_ms` (default: none — the client is a plain
+//! target-latency session, not SLO-admitted) are optional. An example
+//! lives at `examples/traces/smoke.json`.
+//!
+//! The offline vendor stub for `serde` has no-op derives, so this module
+//! carries a minimal recursive-descent JSON reader (objects, arrays,
+//! unsigned integers, strings, booleans, null) — enough for the schema
+//! above, with position-annotated errors.
+
+use std::fmt;
+use std::path::Path;
+
+use sti_device::SimTime;
+
+use crate::serving::{ClientTrace, ServingTrace};
+
+/// Errors from reading a trace file.
+#[derive(Debug)]
+pub enum TraceFileError {
+    /// The file could not be read.
+    Io(std::io::Error),
+    /// The JSON was malformed, with a byte offset.
+    Syntax {
+        /// Byte offset of the error.
+        at: usize,
+        /// What went wrong.
+        reason: String,
+    },
+    /// The JSON parsed but did not match the trace schema.
+    Schema(String),
+}
+
+impl fmt::Display for TraceFileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceFileError::Io(e) => write!(f, "trace file io error: {e}"),
+            TraceFileError::Syntax { at, reason } => {
+                write!(f, "trace file syntax error at byte {at}: {reason}")
+            }
+            TraceFileError::Schema(why) => write!(f, "trace file schema error: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceFileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceFileError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceFileError {
+    fn from(e: std::io::Error) -> Self {
+        TraceFileError::Io(e)
+    }
+}
+
+/// A parsed JSON value (the subset the trace schema needs).
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    /// Unsigned integers only: every number in a trace is a count, token
+    /// id, or millisecond value.
+    Num(u64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Self { bytes: text.as_bytes(), pos: 0 }
+    }
+
+    fn error(&self, reason: impl Into<String>) -> TraceFileError {
+        TraceFileError::Syntax { at: self.pos, reason: reason.into() }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), TraceFileError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, TraceFileError> {
+        match self.peek().ok_or_else(|| self.error("unexpected end of input"))? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Json::Str(self.string()?)),
+            b'0'..=b'9' => self.number(),
+            b't' if self.eat_literal("true") => Ok(Json::Bool(true)),
+            b'f' if self.eat_literal("false") => Ok(Json::Bool(false)),
+            b'n' if self.eat_literal("null") => Ok(Json::Null),
+            other => Err(self.error(format!(
+                "unexpected '{}' (only objects, arrays, strings, unsigned integers, booleans, \
+                 and null are supported)",
+                other as char
+            ))),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, TraceFileError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(self.error("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, TraceFileError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.error("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, TraceFileError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos).copied() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .bytes
+                        .get(self.pos)
+                        .copied()
+                        .ok_or_else(|| self.error("unterminated escape"))?;
+                    out.push(match esc {
+                        b'"' => '"',
+                        b'\\' => '\\',
+                        b'/' => '/',
+                        b'n' => '\n',
+                        b't' => '\t',
+                        b'r' => '\r',
+                        other => {
+                            return Err(
+                                self.error(format!("unsupported escape '\\{}'", other as char))
+                            )
+                        }
+                    });
+                    self.pos += 1;
+                }
+                Some(other) => {
+                    // Multi-byte UTF-8 passes through byte-by-byte; the
+                    // input was a &str, so the bytes are valid.
+                    let start = self.pos;
+                    let len = utf8_len(other);
+                    self.pos += len;
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .expect("input is valid UTF-8"),
+                    );
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, TraceFileError> {
+        let start = self.pos;
+        while matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if matches!(self.bytes.get(self.pos), Some(b'.' | b'e' | b'E' | b'-' | b'+')) {
+            return Err(self.error("only unsigned integers are supported in traces"));
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits are ASCII");
+        text.parse::<u64>().map(Json::Num).map_err(|_| self.error("integer out of range"))
+    }
+}
+
+fn utf8_len(first_byte: u8) -> usize {
+    match first_byte {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+fn parse_json(text: &str) -> Result<Json, TraceFileError> {
+    let mut p = Parser::new(text);
+    let value = p.value()?;
+    if p.peek().is_some() {
+        return Err(p.error("trailing content after the top-level value"));
+    }
+    Ok(value)
+}
+
+impl Json {
+    fn field<'a>(&'a self, name: &str) -> Option<&'a Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == name).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_num(&self, what: &str) -> Result<u64, TraceFileError> {
+        match self {
+            Json::Num(n) => Ok(*n),
+            other => Err(TraceFileError::Schema(format!("{what} must be a number, got {other:?}"))),
+        }
+    }
+}
+
+fn client_from_json(index: usize, json: &Json) -> Result<ClientTrace, TraceFileError> {
+    if !matches!(json, Json::Obj(_)) {
+        return Err(TraceFileError::Schema(format!("clients[{index}] must be an object")));
+    }
+    let target_ms = match json.field("target_ms") {
+        Some(v) => v.as_num(&format!("clients[{index}].target_ms"))?,
+        None => 200,
+    };
+    let preload_kb = match json.field("preload_kb") {
+        Some(v) => v.as_num(&format!("clients[{index}].preload_kb"))?,
+        None => 16,
+    };
+    let slo = match json.field("slo_ms") {
+        Some(Json::Null) | None => None,
+        Some(v) => Some(SimTime::from_ms(v.as_num(&format!("clients[{index}].slo_ms"))?)),
+    };
+    let engagements_json = json.field("engagements").ok_or_else(|| {
+        TraceFileError::Schema(format!("clients[{index}] is missing \"engagements\""))
+    })?;
+    let Json::Arr(rows) = engagements_json else {
+        return Err(TraceFileError::Schema(format!(
+            "clients[{index}].engagements must be an array of token arrays"
+        )));
+    };
+    let mut engagements = Vec::with_capacity(rows.len());
+    for (e, row) in rows.iter().enumerate() {
+        let Json::Arr(tokens) = row else {
+            return Err(TraceFileError::Schema(format!(
+                "clients[{index}].engagements[{e}] must be a token array"
+            )));
+        };
+        if tokens.is_empty() {
+            return Err(TraceFileError::Schema(format!(
+                "clients[{index}].engagements[{e}] is empty"
+            )));
+        }
+        let mut seq = Vec::with_capacity(tokens.len());
+        for t in tokens {
+            let n = t.as_num(&format!("clients[{index}].engagements[{e}] token"))?;
+            let token = u32::try_from(n).map_err(|_| {
+                TraceFileError::Schema(format!(
+                    "clients[{index}].engagements[{e}]: token {n} exceeds u32"
+                ))
+            })?;
+            seq.push(token);
+        }
+        engagements.push(seq);
+    }
+    Ok(ClientTrace {
+        target: SimTime::from_ms(target_ms),
+        preload_bytes: preload_kb << 10,
+        slo,
+        engagements,
+    })
+}
+
+/// Parses a trace from JSON text.
+///
+/// # Errors
+///
+/// Fails on malformed JSON or a value that does not match the schema.
+pub fn parse_trace(text: &str) -> Result<ServingTrace, TraceFileError> {
+    let root = parse_json(text)?;
+    let clients_json = root
+        .field("clients")
+        .ok_or_else(|| TraceFileError::Schema("top level is missing \"clients\"".into()))?;
+    let Json::Arr(items) = clients_json else {
+        return Err(TraceFileError::Schema("\"clients\" must be an array".into()));
+    };
+    if items.is_empty() {
+        return Err(TraceFileError::Schema("a trace needs at least one client".into()));
+    }
+    let clients = items
+        .iter()
+        .enumerate()
+        .map(|(i, c)| client_from_json(i, c))
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(ServingTrace { clients })
+}
+
+/// Reads and parses a trace file.
+///
+/// # Errors
+///
+/// Fails on IO errors, malformed JSON, or schema mismatches.
+pub fn load_trace(path: impl AsRef<Path>) -> Result<ServingTrace, TraceFileError> {
+    parse_trace(&std::fs::read_to_string(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_documented_schema() {
+        let trace = parse_trace(
+            r#"{
+                "clients": [
+                    { "target_ms": 300, "preload_kb": 8, "slo_ms": 450,
+                      "engagements": [[101, 7, 23], [45, 45]] },
+                    { "engagements": [[9]] }
+                ]
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(trace.clients.len(), 2);
+        assert_eq!(trace.total_engagements(), 3);
+        let c0 = &trace.clients[0];
+        assert_eq!(c0.target, SimTime::from_ms(300));
+        assert_eq!(c0.preload_bytes, 8 << 10);
+        assert_eq!(c0.slo, Some(SimTime::from_ms(450)));
+        assert_eq!(c0.engagements[0], vec![101, 7, 23]);
+        let c1 = &trace.clients[1];
+        assert_eq!(c1.target, SimTime::from_ms(200), "defaults apply");
+        assert_eq!(c1.preload_bytes, 16 << 10);
+        assert_eq!(c1.slo, None);
+    }
+
+    #[test]
+    fn rejects_malformed_json_with_position() {
+        let err = parse_trace("{ \"clients\": [ }").unwrap_err();
+        assert!(matches!(err, TraceFileError::Syntax { .. }), "{err}");
+        let err = parse_trace("{ \"clients\": [] } trailing").unwrap_err();
+        assert!(err.to_string().contains("trailing"));
+    }
+
+    #[test]
+    fn rejects_schema_violations() {
+        for (input, needle) in [
+            (r#"{}"#, "missing \"clients\""),
+            (r#"{ "clients": [] }"#, "at least one client"),
+            (r#"{ "clients": [ {} ] }"#, "missing \"engagements\""),
+            (r#"{ "clients": [ { "engagements": [[]] } ] }"#, "empty"),
+            (r#"{ "clients": [ { "engagements": [[4294967296]] } ] }"#, "exceeds u32"),
+            (r#"{ "clients": [ { "target_ms": "fast", "engagements": [[1]] } ] }"#, "number"),
+        ] {
+            let err = parse_trace(input).unwrap_err();
+            assert!(err.to_string().contains(needle), "{input} -> {err}");
+        }
+    }
+
+    #[test]
+    fn rejects_floats_and_negatives() {
+        assert!(parse_trace(r#"{ "clients": [ { "engagements": [[1.5]] } ] }"#).is_err());
+        assert!(parse_trace(r#"{ "clients": [ { "engagements": [[-3]] } ] }"#).is_err());
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        // Unknown keys are tolerated (forward compatibility), including
+        // string values with escapes.
+        let trace = parse_trace(
+            r#"{ "comment": "a \"quoted\"\nnote", "clients": [ { "engagements": [[1]] } ] }"#,
+        )
+        .unwrap();
+        assert_eq!(trace.clients.len(), 1);
+    }
+
+    #[test]
+    fn load_trace_reads_the_shipped_example() {
+        // The example under examples/traces is part of the public contract
+        // (the CI smoke job replays it).
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/traces/smoke.json");
+        let trace = load_trace(path).unwrap();
+        assert!(trace.total_engagements() >= 4);
+        assert!(trace.clients.iter().any(|c| c.slo.is_some()), "example exercises SLO clients");
+    }
+}

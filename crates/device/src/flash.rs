@@ -46,6 +46,15 @@ impl FlashModel {
     pub fn grouped_request_delay<I: IntoIterator<Item = u64>>(&self, groups: I) -> SimTime {
         self.request_delay(groups.into_iter().sum())
     }
+
+    /// A DRAM-speed service model for the opt-in cache-residency mode of the
+    /// contended track: bytes already resident in a host-side shard cache
+    /// are charged against this model instead of flash, so capacity-planning
+    /// experiments can ask what a DRAM-resident working set buys. Calibrated
+    /// as LPDDR4-class: ~8 GiB/s sustained, 5 µs per request.
+    pub fn dram_residency() -> Self {
+        Self::new(8 << 30, SimTime::from_us(5))
+    }
 }
 
 #[cfg(test)]
@@ -91,5 +100,13 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_bandwidth_is_rejected() {
         let _ = FlashModel::new(0, SimTime::ZERO);
+    }
+
+    #[test]
+    fn dram_residency_is_orders_faster_than_flash() {
+        let flash = FlashModel::new(510_000, SimTime::from_ms(2)); // Odroid-class
+        let dram = FlashModel::dram_residency();
+        let bytes = 172_800; // one full-fidelity layer
+        assert!(dram.request_delay(bytes) * 100 < flash.request_delay(bytes));
     }
 }

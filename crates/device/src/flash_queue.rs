@@ -1,0 +1,296 @@
+//! Discrete-event simulation of one contended flash channel.
+//!
+//! The uncontended track of the dual-track accounting model charges each
+//! engagement the device-model delay of its own requests in isolation; this
+//! module is the **contended track**: a single-server queue over the one
+//! flash channel. Callers submit [`FlashJob`]s — one per dispatched layer
+//! request, carrying the simulated arrival time and the device-model service
+//! time — and [`FlashQueueSim::run`] serves them in `(arrival, submission)`
+//! order, producing per-job start/completion times, total flash busy time,
+//! and the maximum queue depth observed.
+//!
+//! Two producers feed the simulator:
+//!
+//! - the **measured** path: `sti_storage::IoScheduler` records its actual
+//!   dispatch sequence and replays it here, so serving reports can quote the
+//!   contended latency each engagement *would* have seen on real hardware;
+//! - the **predictive** path: `sti_planner::serving` interleaves N copies of
+//!   a plan's IO jobs round-robin to predict contended latency before
+//!   admitting an engagement.
+//!
+//! Service times are computed by the caller, which is where the opt-in
+//! DRAM-residency mode lives: bytes served from a host-side shard cache can
+//! be charged against a DRAM-speed [`FlashModel`]
+//! ([`FlashModel::dram_residency`]) instead of flash — the
+//! capacity-planning experiment the roadmap asks for.
+//!
+//! [`FlashModel`]: crate::flash::FlashModel
+//! [`FlashModel::dram_residency`]: crate::flash::FlashModel::dram_residency
+
+use crate::clock::SimTime;
+
+/// One request on the contended flash channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlashJob {
+    /// The engagement (channel) the job belongs to.
+    pub engagement: u64,
+    /// Simulated time the request reaches the flash queue.
+    pub arrival: SimTime,
+    /// Uncontended device-model service time of the request.
+    pub service: SimTime,
+}
+
+/// A serviced job with its contended timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompletedJob {
+    /// The engagement the job belongs to.
+    pub engagement: u64,
+    /// Submission sequence number (ties on arrival are served in
+    /// submission order, which is what preserves per-engagement FIFO).
+    pub seq: usize,
+    /// When the request arrived.
+    pub arrival: SimTime,
+    /// When the flash started serving it.
+    pub start: SimTime,
+    /// When the flash finished serving it.
+    pub completion: SimTime,
+}
+
+impl CompletedJob {
+    /// Time the job waited behind other work before service began.
+    pub fn queue_delay(&self) -> SimTime {
+        self.start - self.arrival
+    }
+
+    /// Arrival-to-completion span (service plus queueing).
+    pub fn contended_latency(&self) -> SimTime {
+        self.completion - self.arrival
+    }
+}
+
+/// The outcome of one simulation run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlashQueueReport {
+    /// Jobs in service order.
+    pub completions: Vec<CompletedJob>,
+    /// Total time the flash spent serving (the sum of service times — the
+    /// conservation law the property tests pin down).
+    pub busy: SimTime,
+    /// Completion time of the last job.
+    pub makespan: SimTime,
+    /// Largest number of jobs queued or in service at any service start.
+    pub max_depth: usize,
+}
+
+impl FlashQueueReport {
+    /// This engagement's completions, in service (= submission) order.
+    pub fn completions_of(&self, engagement: u64) -> Vec<CompletedJob> {
+        self.completions.iter().copied().filter(|c| c.engagement == engagement).collect()
+    }
+
+    /// When the engagement's last job completed (`None` if it had no jobs).
+    pub fn last_completion_of(&self, engagement: u64) -> Option<SimTime> {
+        self.completions.iter().filter(|c| c.engagement == engagement).map(|c| c.completion).max()
+    }
+}
+
+/// A single-server discrete-event queue over the flash channel.
+///
+/// ```
+/// use sti_device::{FlashJob, FlashQueueSim, SimTime};
+///
+/// let mut sim = FlashQueueSim::new();
+/// sim.submit(FlashJob { engagement: 0, arrival: SimTime::ZERO, service: SimTime::from_ms(10) });
+/// sim.submit(FlashJob { engagement: 1, arrival: SimTime::ZERO, service: SimTime::from_ms(10) });
+/// let report = sim.run();
+/// // The second engagement queues behind the first on the one channel.
+/// assert_eq!(report.completions[1].queue_delay(), SimTime::from_ms(10));
+/// assert_eq!(report.busy, SimTime::from_ms(20));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct FlashQueueSim {
+    jobs: Vec<FlashJob>,
+}
+
+impl FlashQueueSim {
+    /// An empty simulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Submits a job, returning its sequence number. Jobs with equal
+    /// arrival times are served in submission order, so submitting each
+    /// engagement's requests in issue order preserves its FIFO contract.
+    pub fn submit(&mut self, job: FlashJob) -> usize {
+        self.jobs.push(job);
+        self.jobs.len() - 1
+    }
+
+    /// Number of submitted jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether no jobs have been submitted.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Serves every submitted job on the single flash channel.
+    ///
+    /// Discipline: global FIFO by `(arrival, seq)` — the next job to start
+    /// is the earliest-arrived not-yet-served job, ties broken by
+    /// submission order. `start = max(arrival, server_free)`.
+    pub fn run(&self) -> FlashQueueReport {
+        // Service order: stable FIFO by arrival (submission order breaks
+        // ties because the sort is stable over submission-ordered input).
+        let mut order: Vec<usize> = (0..self.jobs.len()).collect();
+        order.sort_by_key(|&i| self.jobs[i].arrival);
+        // Arrival times alone, sorted, to answer "how many jobs have
+        // arrived by time t" when measuring queue depth.
+        let arrivals: Vec<SimTime> = order.iter().map(|&i| self.jobs[i].arrival).collect();
+
+        let mut completions = Vec::with_capacity(self.jobs.len());
+        let mut busy = SimTime::ZERO;
+        let mut max_depth = 0usize;
+        let mut server_free = SimTime::ZERO;
+
+        for (served, &idx) in order.iter().enumerate() {
+            let job = self.jobs[idx];
+            let start = job.arrival.max(server_free);
+            let completion = start + job.service;
+            server_free = completion;
+            busy += job.service;
+
+            // Depth at this service start: jobs arrived by `start` that have
+            // not completed. Earlier jobs in service order all completed by
+            // the old `server_free <= start`, so the depth is the arrived
+            // count minus the jobs already served (including this one).
+            let arrived = arrivals.partition_point(|&a| a <= start).max(served + 1);
+            let depth = arrived - served;
+            max_depth = max_depth.max(depth);
+
+            completions.push(CompletedJob {
+                engagement: job.engagement,
+                seq: idx,
+                arrival: job.arrival,
+                start,
+                completion,
+            });
+        }
+
+        let makespan = completions.iter().map(|c| c.completion).max().unwrap_or(SimTime::ZERO);
+        FlashQueueReport { completions, busy, makespan, max_depth }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job(engagement: u64, arrival_ms: u64, service_ms: u64) -> FlashJob {
+        FlashJob {
+            engagement,
+            arrival: SimTime::from_ms(arrival_ms),
+            service: SimTime::from_ms(service_ms),
+        }
+    }
+
+    #[test]
+    fn single_engagement_serves_back_to_back() {
+        let mut sim = FlashQueueSim::new();
+        for _ in 0..3 {
+            sim.submit(job(0, 0, 5));
+        }
+        let r = sim.run();
+        assert_eq!(r.busy, SimTime::from_ms(15));
+        assert_eq!(r.makespan, SimTime::from_ms(15));
+        let ends: Vec<u64> = r.completions.iter().map(|c| c.completion.as_us() / 1000).collect();
+        assert_eq!(ends, vec![5, 10, 15]);
+    }
+
+    #[test]
+    fn contention_delays_the_second_engagement() {
+        let mut sim = FlashQueueSim::new();
+        sim.submit(job(0, 0, 10));
+        sim.submit(job(1, 0, 10));
+        let r = sim.run();
+        let a = r.last_completion_of(0).unwrap();
+        let b = r.last_completion_of(1).unwrap();
+        assert_eq!(a, SimTime::from_ms(10));
+        assert_eq!(b, SimTime::from_ms(20), "engagement 1 queues behind 0");
+        assert_eq!(r.max_depth, 2);
+    }
+
+    #[test]
+    fn late_arrival_does_not_queue() {
+        let mut sim = FlashQueueSim::new();
+        sim.submit(job(0, 0, 5));
+        sim.submit(job(1, 50, 5));
+        let r = sim.run();
+        assert_eq!(r.completions[1].queue_delay(), SimTime::ZERO);
+        assert_eq!(r.makespan, SimTime::from_ms(55));
+        assert_eq!(r.max_depth, 1, "no overlap, no queueing");
+    }
+
+    #[test]
+    fn equal_arrivals_serve_in_submission_order() {
+        let mut sim = FlashQueueSim::new();
+        for e in [2u64, 0, 1] {
+            sim.submit(job(e, 0, 1));
+        }
+        let r = sim.run();
+        let order: Vec<u64> = r.completions.iter().map(|c| c.engagement).collect();
+        assert_eq!(order, vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn per_engagement_fifo_is_preserved_under_interleaving() {
+        let mut sim = FlashQueueSim::new();
+        // Round-robin interleave of two engagements, 3 jobs each.
+        for k in 0..3u64 {
+            sim.submit(job(0, k, 4));
+            sim.submit(job(1, k, 4));
+        }
+        let r = sim.run();
+        for e in [0u64, 1] {
+            let mine = r.completions_of(e);
+            assert!(mine.windows(2).all(|w| w[0].seq < w[1].seq && w[0].completion <= w[1].start));
+        }
+    }
+
+    #[test]
+    fn contended_latency_is_never_below_service() {
+        let mut sim = FlashQueueSim::new();
+        for e in 0..4u64 {
+            sim.submit(job(e, 0, 3));
+            sim.submit(job(e, 1, 2));
+        }
+        let r = sim.run();
+        for (c, j) in r.completions.iter().map(|c| (c, &sim.jobs[c.seq])) {
+            assert!(c.contended_latency() >= j.service);
+            assert_eq!(c.completion - c.start, j.service);
+        }
+    }
+
+    #[test]
+    fn empty_sim_reports_zeroes() {
+        let r = FlashQueueSim::new().run();
+        assert_eq!(r.busy, SimTime::ZERO);
+        assert_eq!(r.makespan, SimTime::ZERO);
+        assert_eq!(r.max_depth, 0);
+        assert!(r.completions.is_empty());
+    }
+
+    #[test]
+    fn busy_time_is_conserved() {
+        let mut sim = FlashQueueSim::new();
+        let services = [7u64, 3, 11, 2, 5];
+        for (i, &s) in services.iter().enumerate() {
+            sim.submit(job(i as u64 % 2, (i as u64) * 2, s));
+        }
+        let r = sim.run();
+        assert_eq!(r.busy, SimTime::from_ms(services.iter().sum()));
+        assert!(r.makespan >= r.busy, "one server can never finish before its busy time");
+    }
+}

@@ -15,6 +15,22 @@
 //!   producing the `T_io(k)` / `T_comp(l, m, freq)` tables the planner
 //!   consumes.
 //!
+//! ## Dual-track time accounting
+//!
+//! Simulated time is kept on two tracks:
+//!
+//! - the **uncontended track** charges every engagement the delay model of
+//!   its own requests in isolation — deterministic, bit-identical whether an
+//!   engagement runs alone or next to seven neighbours (the serving
+//!   runtime's determinism contract);
+//! - the **contended track** ([`flash_queue`]) is a discrete-event
+//!   single-server queue over the one flash channel: dispatch sequences from
+//!   the IO scheduler (measured) or interleaved plan replicas (predictive)
+//!   are served FIFO-by-arrival, yielding the per-engagement completion
+//!   times a serving-SLO planner and admission controller reason about.
+//!   [`FlashModel::dram_residency`] supplies the opt-in cheaper service time
+//!   for bytes resident in a host-side shard cache.
+//!
 //! The planner and pipeline interact with hardware *only* through the
 //! profiled [`profiler::HwProfile`], exactly as in the paper — so swapping
 //! the simulation for real measurements is a local change.
@@ -26,6 +42,7 @@ pub mod clock;
 pub mod compute;
 pub mod energy;
 pub mod flash;
+pub mod flash_queue;
 pub mod profile;
 pub mod profiler;
 
@@ -33,5 +50,6 @@ pub use clock::SimTime;
 pub use compute::ComputeModel;
 pub use energy::PowerModel;
 pub use flash::FlashModel;
+pub use flash_queue::{CompletedJob, FlashJob, FlashQueueReport, FlashQueueSim};
 pub use profile::DeviceProfile;
 pub use profiler::HwProfile;

@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use sti_device::SimTime;
 use sti_storage::StorageError;
 
 /// Errors surfaced while executing a pipeline.
@@ -19,6 +20,17 @@ pub enum PipelineError {
         /// Bytes still free.
         available: u64,
     },
+    /// Admission control rejected the engagement: even the best plan's
+    /// predicted *contended* latency under the current co-runner count
+    /// misses the requested SLO.
+    AdmissionRejected {
+        /// Predicted contended latency of the best candidate plan.
+        predicted: SimTime,
+        /// The SLO the session asked for.
+        slo: SimTime,
+        /// Co-runners the prediction assumed (sessions open at admission).
+        co_runners: usize,
+    },
 }
 
 impl fmt::Display for PipelineError {
@@ -28,6 +40,13 @@ impl fmt::Display for PipelineError {
             PipelineError::PlanMismatch(why) => write!(f, "plan/model mismatch: {why}"),
             PipelineError::PreloadOverflow { needed, available } => {
                 write!(f, "preload buffer overflow: need {needed} bytes, {available} free")
+            }
+            PipelineError::AdmissionRejected { predicted, slo, co_runners } => {
+                write!(
+                    f,
+                    "admission rejected: predicted contended latency {predicted} misses the \
+                     {slo} SLO with {co_runners} co-runners"
+                )
             }
         }
     }

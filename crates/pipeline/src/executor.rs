@@ -137,7 +137,7 @@ impl<'a> PipelineExecutor<'a> {
                 .collect();
             has_request.push(!pending.is_empty());
             if !pending.is_empty() {
-                channel.request(LayerRequest { layer: pl.layer, items: pending });
+                channel.request(LayerRequest { layer: pl.layer, items: pending })?;
             }
         }
 

@@ -44,4 +44,7 @@ pub use buffers::{PreloadBuffer, WorkingBuffer};
 pub use engine::{GenerationOutcome, Inference, StiEngine, StiEngineBuilder};
 pub use error::PipelineError;
 pub use executor::{ExecutionOutcome, PipelineExecutor};
-pub use server::{Session, StiServer, StiServerBuilder};
+pub use server::{
+    AdmissionMode, ContentionReport, EngagementContention, ServingStats, Session, StiServer,
+    StiServerBuilder,
+};

@@ -31,6 +31,7 @@ pub mod io_plan;
 pub mod plan;
 pub mod preload;
 pub mod schedule;
+pub mod serving;
 
 pub use aib::AibLedger;
 pub use cache::{PlanCache, PlanCacheStats, PlanKey};
@@ -39,3 +40,7 @@ pub use importance::{profile_importance, ImportanceProfile};
 pub use io_plan::{plan_io, plan_io_greedy_only, plan_two_stage, IoPlanInputs};
 pub use plan::{ExecutionPlan, PlannedLayer, SubmodelShape};
 pub use schedule::{simulate_pipeline, LayerTiming, SchedulePrediction};
+pub use serving::{
+    align_io_completions, contended_makespan, plan_for_slo, predict_contended_latency, ServingPlan,
+    ServingPlanCache, ServingPlanKey,
+};

@@ -1,0 +1,437 @@
+//! Serving-SLO planning: pick `(T, |S|)` for a session given its latency
+//! SLO and the number of co-runners sharing the flash channel.
+//!
+//! The paper's planner answers "what is the best submodel that fits `T` on
+//! an idle device". A serving runtime must answer a harder question: with N
+//! co-runners streaming their own layers through the one flash channel, an
+//! engagement's *contended* latency is longer than its plan's predicted
+//! makespan — so planning against the SLO directly produces plans that miss
+//! it under load. This module closes the loop:
+//!
+//! - [`predict_contended_latency`] replays `co_runners + 1` copies of a
+//!   plan's IO jobs, interleaved round-robin exactly like the IO
+//!   scheduler's dispatch policy, through the discrete-event
+//!   [`FlashQueueSim`] and re-runs the pipeline recurrence against the
+//!   contended IO completion times;
+//! - [`plan_for_slo`] searches target latencies `T ≤ SLO` (each through the
+//!   unmodified two-stage planner) until the *contended* prediction meets
+//!   the SLO, returning the highest-FLOPs plan that does — or the least-bad
+//!   plan flagged `meets_slo: false`, which is what admission control
+//!   rejects on;
+//! - [`ServingPlanCache`] memoizes the search result under a
+//!   [`ServingPlanKey`] — the ordinary [`PlanKey`] with the co-runner count
+//!   folded in, so a busier server replans only when its concurrency level
+//!   actually changes.
+//!
+//! Predictions use profiled (maximum) shard bytes and full overlap — every
+//! co-runner queues a request into each round — which biases conservative.
+//! Co-runners are modeled as running the *same* plan as the session being
+//! admitted (their actual plans are not knowable at planning time), so a
+//! small session among much larger co-runners can still see measured
+//! contention above the prediction; the serving report's measured contended
+//! track is the ground truth the prediction is judged against.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use sti_device::{CompletedJob, FlashJob, FlashQueueSim, HwProfile, SimTime};
+use sti_quant::Bitwidth;
+use sti_transformer::ShardId;
+
+use crate::cache::{PlanCacheStats, PlanKey};
+use crate::importance::ImportanceProfile;
+use crate::io_plan::plan_two_stage;
+use crate::plan::ExecutionPlan;
+
+/// Per-layer IO service times of a plan on the profiled device: `Some` with
+/// the grouped-request delay for layers that stream, `None` for layers
+/// fully covered by the preload buffer.
+pub fn layer_io_services(hw: &HwProfile, plan: &ExecutionPlan) -> Vec<Option<SimTime>> {
+    plan.layers
+        .iter()
+        .map(|pl| {
+            let pending: u64 = pl
+                .items()
+                .filter(|&(slice, _)| !plan.is_preloaded(ShardId::new(pl.layer, slice)))
+                .map(|(_, bw)| hw.shard_bytes(bw))
+                .sum();
+            (pending > 0).then(|| hw.request_latency + hw.transfer_delay(pending))
+        })
+        .collect()
+}
+
+/// Aligns an engagement's per-layer streaming flags with its completed
+/// queue jobs, positionally: layer `k` takes the next completion when it
+/// streamed, `None` when it was preload-covered. Returns `None` on a count
+/// mismatch (an engagement that errored mid-stream has no coherent
+/// contended timeline). Both the predictive track and the measured replay
+/// go through here, so the layer↔job mapping cannot drift between them.
+pub fn align_io_completions(
+    has_io: &[bool],
+    completions: &[CompletedJob],
+) -> Option<Vec<Option<SimTime>>> {
+    if has_io.iter().filter(|&&has| has).count() != completions.len() {
+        return None;
+    }
+    let mut next = completions.iter();
+    Some(
+        has_io
+            .iter()
+            .map(|&has| has.then(|| next.next().expect("count checked above").completion))
+            .collect(),
+    )
+}
+
+/// The pipeline recurrence against *absolute* IO completion times: layer
+/// `k`'s computation starts when both layer `k-1`'s computation and layer
+/// `k`'s (contended) IO have finished. Layers without IO (`None`) are ready
+/// at `start`. Returns the engagement's end-to-end latency from `start`.
+pub fn contended_makespan(
+    start: SimTime,
+    io_ends: &[Option<SimTime>],
+    comps: &[SimTime],
+) -> SimTime {
+    assert_eq!(io_ends.len(), comps.len(), "one IO completion slot per layer");
+    let mut prev_comp_end = start;
+    for (io_end, &comp) in io_ends.iter().zip(comps) {
+        let ready = io_end.unwrap_or(start);
+        prev_comp_end = prev_comp_end.max(ready) + comp;
+    }
+    prev_comp_end.saturating_sub(start)
+}
+
+/// Predicts an engagement's contended end-to-end latency when
+/// `co_runners` identical engagements share the flash channel.
+///
+/// All `co_runners + 1` engagements start at `t = 0` with every layer
+/// request already queued (the executor submits them up front), and the
+/// flash serves one request per engagement per round — the IO scheduler's
+/// round-robin policy. The returned latency is the slowest engagement's
+/// (the newest co-runner queues behind a full round for every layer).
+///
+/// With `co_runners == 0` this reproduces the plan's own predicted
+/// makespan exactly.
+pub fn predict_contended_latency(
+    hw: &HwProfile,
+    plan: &ExecutionPlan,
+    co_runners: usize,
+) -> SimTime {
+    let services = layer_io_services(hw, plan);
+    let runners = co_runners as u64 + 1;
+    let mut sim = FlashQueueSim::new();
+    for &service in services.iter().flatten() {
+        for e in 0..runners {
+            sim.submit(FlashJob { engagement: e, arrival: SimTime::ZERO, service });
+        }
+    }
+    let report = sim.run();
+    let comps = vec![hw.t_comp(plan.shape.width); plan.layers.len()];
+    let has_io: Vec<bool> = services.iter().map(Option::is_some).collect();
+    (0..runners)
+        .map(|e| {
+            let io_ends = align_io_completions(&has_io, &report.completions_of(e))
+                .expect("the simulator served every submitted job");
+            contended_makespan(SimTime::ZERO, &io_ends, &comps)
+        })
+        .max()
+        .unwrap_or(SimTime::ZERO)
+}
+
+/// The outcome of an SLO-aware planning search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServingPlan {
+    /// The chosen execution plan.
+    pub plan: ExecutionPlan,
+    /// The SLO the search planned against.
+    pub slo: SimTime,
+    /// Co-runner count the contended prediction assumed.
+    pub co_runners: usize,
+    /// The chosen target latency `T` (the knob handed to the two-stage
+    /// planner; at most the SLO).
+    pub target: SimTime,
+    /// The chosen preload budget `|S|` in bytes.
+    pub preload_bytes: u64,
+    /// Predicted contended latency under `co_runners` co-runners.
+    pub predicted_contended: SimTime,
+    /// Whether the contended prediction meets the SLO. Admission control
+    /// rejects engagements whose best plan still misses.
+    pub meets_slo: bool,
+}
+
+/// Target-latency search ladder, as fractions of the SLO in per-mille.
+/// Descending, so the first hit is the highest-FLOPs plan that fits.
+const TARGET_LADDER_PER_MILLE: [u64; 12] =
+    [1000, 800, 650, 500, 400, 300, 220, 160, 120, 80, 50, 30];
+
+/// Searches `(T, |S|)` so the session's *contended* latency under
+/// `co_runners` co-runners meets `slo`.
+///
+/// `preload_bytes` is the session's memory grant: the search keeps `|S|`
+/// there (preload only ever shortens latency) and walks `T` down the
+/// ladder, planning each candidate with the unmodified two-stage planner
+/// and simulating contention, until the prediction fits. If even the
+/// smallest candidate misses, the least-bad plan is returned with
+/// `meets_slo: false`.
+pub fn plan_for_slo(
+    hw: &HwProfile,
+    importance: &ImportanceProfile,
+    slo: SimTime,
+    co_runners: usize,
+    preload_bytes: u64,
+    widths: &[usize],
+    bitwidths: &[Bitwidth],
+) -> ServingPlan {
+    let mut best: Option<ServingPlan> = None;
+    let mut seen_target = SimTime::ZERO;
+    for per_mille in TARGET_LADDER_PER_MILLE {
+        let target = SimTime::from_us((slo.as_us() * per_mille / 1000).max(1));
+        if target == seen_target {
+            continue;
+        }
+        seen_target = target;
+        let plan = plan_two_stage(hw, importance, target, preload_bytes, widths, bitwidths);
+        let predicted = predict_contended_latency(hw, &plan, co_runners);
+        let candidate = ServingPlan {
+            plan,
+            slo,
+            co_runners,
+            target,
+            preload_bytes,
+            predicted_contended: predicted,
+            meets_slo: predicted <= slo,
+        };
+        if candidate.meets_slo {
+            return candidate;
+        }
+        if best.as_ref().is_none_or(|b| predicted < b.predicted_contended) {
+            best = Some(candidate);
+        }
+    }
+    best.expect("the target ladder is non-empty")
+}
+
+/// The memo key of an SLO search: the ordinary planning knobs (with the
+/// SLO in the `target` slot) plus the co-runner count the contention
+/// prediction assumed.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ServingPlanKey {
+    /// Model/SLO/|S|/width/bitwidth knobs (`target` holds the SLO).
+    pub base: PlanKey,
+    /// Co-runner count folded into the key: a busier server genuinely needs
+    /// a different plan.
+    pub co_runners: usize,
+}
+
+impl ServingPlanKey {
+    /// Builds a key from the base knobs and the co-runner count.
+    pub fn new(base: PlanKey, co_runners: usize) -> Self {
+        Self { base, co_runners }
+    }
+}
+
+#[derive(Debug, Default)]
+struct ServingCacheInner {
+    plans: HashMap<ServingPlanKey, Arc<ServingPlan>>,
+    stats: PlanCacheStats,
+}
+
+/// A thread-safe memo table of SLO-search outcomes, memoized alongside the
+/// ordinary [`PlanCache`](crate::cache::PlanCache) (same stats shape, same
+/// discipline: the search runs outside the lock, first insert wins).
+#[derive(Debug, Default)]
+pub struct ServingPlanCache {
+    inner: Mutex<ServingCacheInner>,
+}
+
+impl ServingPlanCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cached search outcomes.
+    pub fn len(&self) -> usize {
+        self.inner.lock().plans.len()
+    }
+
+    /// Whether the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().plans.is_empty()
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> PlanCacheStats {
+        self.inner.lock().stats
+    }
+
+    /// Returns the outcome for `key`, running `search_fn` only on a miss.
+    pub fn get_or_plan(
+        &self,
+        key: &ServingPlanKey,
+        search_fn: impl FnOnce() -> ServingPlan,
+    ) -> Arc<ServingPlan> {
+        {
+            let mut inner = self.inner.lock();
+            if let Some(plan) = inner.plans.get(key).cloned() {
+                inner.stats.hits += 1;
+                return plan;
+            }
+            inner.stats.misses += 1;
+        }
+        let planned = Arc::new(search_fn());
+        let mut inner = self.inner.lock();
+        inner.plans.entry(key.clone()).or_insert(planned).clone()
+    }
+
+    /// Drops every entry (importance re-profiled, store rebuilt — anything
+    /// the key cannot express).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.stats.invalidations += inner.plans.len() as u64;
+        inner.plans.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sti_device::DeviceProfile;
+    use sti_quant::QuantConfig;
+    use sti_transformer::ModelConfig;
+
+    fn hw() -> HwProfile {
+        HwProfile::measure(
+            &DeviceProfile::odroid_n2(),
+            &ModelConfig::scaled_bert(),
+            &QuantConfig::default(),
+        )
+    }
+
+    fn importance() -> ImportanceProfile {
+        ImportanceProfile::from_scores(
+            12,
+            12,
+            (0..144).map(|i| 0.5 + (i % 7) as f64 * 0.01).collect(),
+            0.48,
+        )
+    }
+
+    const WIDTHS: [usize; 4] = [3, 6, 9, 12];
+
+    fn plan_at(target_ms: u64, preload: u64) -> ExecutionPlan {
+        plan_two_stage(
+            &hw(),
+            &importance(),
+            SimTime::from_ms(target_ms),
+            preload,
+            &WIDTHS,
+            &Bitwidth::ALL,
+        )
+    }
+
+    #[test]
+    fn zero_co_runners_reproduces_the_plan_prediction() {
+        let hw = hw();
+        for (t, s) in [(200u64, 0u64), (300, 1 << 20), (400, 2 << 20)] {
+            let plan = plan_at(t, s);
+            assert_eq!(
+                predict_contended_latency(&hw, &plan, 0),
+                plan.predicted.makespan,
+                "T={t} |S|={s}: the contended track must collapse to the uncontended one alone"
+            );
+        }
+    }
+
+    #[test]
+    fn contended_latency_grows_with_co_runners() {
+        let hw = hw();
+        let plan = plan_at(300, 0);
+        let alone = predict_contended_latency(&hw, &plan, 0);
+        let with_one = predict_contended_latency(&hw, &plan, 1);
+        let with_four = predict_contended_latency(&hw, &plan, 4);
+        assert!(alone < with_one, "{alone} !< {with_one}");
+        assert!(with_one < with_four, "{with_one} !< {with_four}");
+    }
+
+    #[test]
+    fn contended_makespan_matches_hand_computation() {
+        let ms = SimTime::from_ms;
+        // Two layers, IO ends at 10 and 40, compute 5 each.
+        let got = contended_makespan(SimTime::ZERO, &[Some(ms(10)), Some(ms(40))], &[ms(5); 2]);
+        // L0: comp 10..15; L1: waits for IO at 40, comp 40..45.
+        assert_eq!(got, ms(45));
+        // Preloaded second layer: ready immediately.
+        let got = contended_makespan(SimTime::ZERO, &[Some(ms(10)), None], &[ms(5); 2]);
+        assert_eq!(got, ms(20));
+    }
+
+    #[test]
+    fn slo_search_meets_generous_slos_at_full_target() {
+        let served = plan_for_slo(
+            &hw(),
+            &importance(),
+            SimTime::from_ms(2_000),
+            0,
+            1 << 20,
+            &WIDTHS,
+            &Bitwidth::ALL,
+        );
+        assert!(served.meets_slo);
+        assert_eq!(served.target, SimTime::from_ms(2_000), "no contention: plan at the SLO");
+        assert!(served.predicted_contended <= served.slo);
+    }
+
+    #[test]
+    fn slo_search_shrinks_target_under_contention() {
+        let hw = hw();
+        let imp = importance();
+        let slo = SimTime::from_ms(600);
+        let alone = plan_for_slo(&hw, &imp, slo, 0, 0, &WIDTHS, &Bitwidth::ALL);
+        let crowded = plan_for_slo(&hw, &imp, slo, 6, 0, &WIDTHS, &Bitwidth::ALL);
+        assert!(alone.meets_slo);
+        if crowded.meets_slo {
+            assert!(
+                crowded.target < alone.target,
+                "6 co-runners must force a smaller T: {} vs {}",
+                crowded.target,
+                alone.target
+            );
+            assert!(crowded.plan.shape.shard_count() <= alone.plan.shape.shard_count());
+        } else {
+            // Even the smallest ladder step missed: the planner must say so.
+            assert!(crowded.predicted_contended > slo);
+        }
+    }
+
+    #[test]
+    fn infeasible_slo_is_flagged_not_hidden() {
+        // A 5 ms SLO with 8 co-runners on Odroid flash cannot be met.
+        let served =
+            plan_for_slo(&hw(), &importance(), SimTime::from_ms(5), 8, 0, &WIDTHS, &Bitwidth::ALL);
+        assert!(!served.meets_slo);
+        assert!(served.predicted_contended > served.slo);
+    }
+
+    #[test]
+    fn serving_cache_memoizes_per_co_runner_count() {
+        let hw = hw();
+        let imp = importance();
+        let cache = ServingPlanCache::new();
+        let base = PlanKey::new("m", SimTime::from_ms(600), 0, &WIDTHS, &Bitwidth::ALL);
+        let mut searches = 0;
+        for co in [0usize, 2, 0, 2, 0] {
+            cache.get_or_plan(&ServingPlanKey::new(base.clone(), co), || {
+                searches += 1;
+                plan_for_slo(&hw, &imp, SimTime::from_ms(600), co, 0, &WIDTHS, &Bitwidth::ALL)
+            });
+        }
+        assert_eq!(searches, 2, "one search per distinct co-runner count");
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (3, 2));
+        assert_eq!(cache.len(), 2);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().invalidations, 2);
+    }
+}

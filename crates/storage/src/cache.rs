@@ -110,6 +110,13 @@ impl ShardCache {
         self.inner.lock().stats = ShardCacheStats::default();
     }
 
+    /// Whether a blob is resident, without touching recency or the
+    /// hit/miss counters (used by the IO scheduler to classify a request's
+    /// bytes for the contended track's DRAM-residency mode).
+    pub fn contains(&self, key: ShardKey) -> bool {
+        self.inner.lock().map.contains_key(&key)
+    }
+
     /// Looks a blob up, refreshing its recency on a hit.
     pub fn get(&self, key: ShardKey) -> Option<QuantizedBlob> {
         let mut inner = self.inner.lock();

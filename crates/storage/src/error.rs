@@ -29,6 +29,10 @@ pub enum StorageError {
     Quant(QuantError),
     /// The store directory already contains a store.
     AlreadyExists(std::path::PathBuf),
+    /// The IO scheduler shut down (or its worker died) with the request
+    /// outstanding. Surfaced as an error so a serving thread can fail the
+    /// one engagement instead of panicking the process.
+    SchedulerShutdown,
 }
 
 impl fmt::Display for StorageError {
@@ -44,6 +48,9 @@ impl fmt::Display for StorageError {
             StorageError::Quant(e) => write!(f, "invalid shard payload: {e}"),
             StorageError::AlreadyExists(p) => {
                 write!(f, "shard store already exists at {}", p.display())
+            }
+            StorageError::SchedulerShutdown => {
+                write!(f, "IO scheduler shut down with the request outstanding")
             }
         }
     }

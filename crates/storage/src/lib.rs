@@ -39,5 +39,5 @@ pub use cache::{CachedSource, ShardCache, ShardCacheStats};
 pub use error::StorageError;
 pub use loader::{IoWorker, LayerRequest, LoadedLayer};
 pub use memstore::MemStore;
-pub use scheduler::{IoChannel, IoScheduler, IoSchedulerStats};
+pub use scheduler::{FlashDispatchEvent, IoChannel, IoScheduler, IoSchedulerStats};
 pub use store::{ShardKey, ShardSource, ShardStore};

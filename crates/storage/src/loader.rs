@@ -4,7 +4,7 @@
 //! overlaps with the previous layer's computation (paper §3.1). This module
 //! keeps the seed's single-engagement [`IoWorker`] API, now implemented as a
 //! one-channel view over the multi-engagement
-//! [`IoScheduler`](crate::scheduler::IoScheduler): a dedicated pool services
+//! [`IoScheduler`]: a dedicated pool services
 //! [`LayerRequest`]s in order and produces [`LoadedLayer`]s, accounting the
 //! simulated flash delay of each grouped request (and optionally sleeping it
 //! away for wall-clock demonstrations).
@@ -65,19 +65,21 @@ impl IoWorker {
 
     /// Submits a layer request. Requests are serviced in submission order.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the worker has been shut down.
-    pub fn request(&self, req: LayerRequest) {
-        self.channel.request(req);
+    /// Returns [`StorageError::SchedulerShutdown`] if the worker has shut
+    /// down.
+    pub fn request(&self, req: LayerRequest) -> Result<(), StorageError> {
+        self.channel.request(req)
     }
 
     /// Blocks until the next completed load.
     ///
     /// # Errors
     ///
-    /// Returns the storage error if the load failed. Panics if the worker
-    /// thread died without responding.
+    /// Returns the storage error if the load failed, or
+    /// [`StorageError::SchedulerShutdown`] if the worker thread died
+    /// without responding.
     pub fn recv(&self) -> Result<LoadedLayer, StorageError> {
         self.channel.recv()
     }
@@ -113,7 +115,8 @@ mod tests {
         w.request(LayerRequest {
             layer: 0,
             items: vec![(0, Bitwidth::B2), (1, Bitwidth::B6), (2, Bitwidth::B2)],
-        });
+        })
+        .unwrap();
         let loaded = w.recv().unwrap();
         assert_eq!(loaded.layer, 0);
         assert_eq!(loaded.blobs.len(), 3);
@@ -128,7 +131,7 @@ mod tests {
     fn pipelines_multiple_requests_fifo() {
         let (w, _) = worker();
         for layer in 0..2u16 {
-            w.request(LayerRequest { layer, items: vec![(0, Bitwidth::B2)] });
+            w.request(LayerRequest { layer, items: vec![(0, Bitwidth::B2)] }).unwrap();
         }
         assert_eq!(w.recv().unwrap().layer, 0);
         assert_eq!(w.recv().unwrap().layer, 1);
@@ -139,7 +142,7 @@ mod tests {
     fn missing_shard_surfaces_as_error() {
         let (w, store) = worker();
         store.remove(ShardKey::new(ShardId::new(1, 0), Bitwidth::B2));
-        w.request(LayerRequest { layer: 1, items: vec![(0, Bitwidth::B2)] });
+        w.request(LayerRequest { layer: 1, items: vec![(0, Bitwidth::B2)] }).unwrap();
         assert!(w.recv().is_err());
         w.shutdown();
     }
@@ -147,7 +150,7 @@ mod tests {
     #[test]
     fn empty_request_costs_nothing() {
         let (w, _) = worker();
-        w.request(LayerRequest { layer: 0, items: vec![] });
+        w.request(LayerRequest { layer: 0, items: vec![] }).unwrap();
         let loaded = w.recv().unwrap();
         assert_eq!(loaded.bytes, 0);
         assert_eq!(loaded.io_delay, SimTime::ZERO);

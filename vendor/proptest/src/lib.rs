@@ -183,7 +183,7 @@ pub mod collection {
         VecStrategy { element, sizes }
     }
 
-    /// The [`vec`] strategy.
+    /// The [`vec()`] strategy.
     pub struct VecStrategy<S> {
         element: S,
         sizes: Range<usize>,

@@ -1,0 +1,88 @@
+//! Shared-IO batching benchmarks: what a batching window buys an
+//! 8-co-resident workload — flash bytes saved and contended p50 — and what
+//! the batched replay costs in host wall-clock, swept over window sizes
+//! (0 = batching off).
+//!
+//! The flash-byte and latency numbers are printed once per window before
+//! the timing loop (criterion measures wall time; the simulated-economics
+//! sweep is the part the roadmap asks to keep an eye on).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sti::prelude::*;
+use sti::TaskContext;
+
+fn cfg_with_window(window_us: u64) -> ServeConfig {
+    ServeConfig {
+        target: SimTime::from_ms(300),
+        // Zero preload: every engagement streams its full submodel, the
+        // traffic batching exists to deduplicate.
+        preload_bytes: 0,
+        batch_window: (window_us > 0).then(|| SimTime::from_us(window_us)),
+        ..Default::default()
+    }
+}
+
+fn bench_batched_replay(c: &mut Criterion) {
+    let ctx = TaskContext::with_config(TaskKind::Sst2, ModelConfig::tiny());
+    ctx.importance(); // one-time profiling outside the timing loops
+    let mut group = c.benchmark_group("serving_batching_replay");
+    for window_us in [0u64, 100, 1_000, 10_000] {
+        let cfg = cfg_with_window(window_us);
+        let trace = ServingTrace::synthetic(&ctx, &cfg, 8, 2);
+        // One untimed replay to report the simulated economics per window.
+        let report = replay_concurrent(&build_server(&ctx, &cfg), &trace).expect("replay");
+        eprintln!(
+            "serving_batching: window {:>6}µs -> {} flash bytes saved, occupancy {:.2}, \
+             contended p50 {}",
+            window_us,
+            report.contention.flash_bytes_saved,
+            report.contention.mean_batch_occupancy,
+            report.contention.latency_percentile(0.5),
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(window_us), &window_us, |b, _| {
+            b.iter(|| replay_concurrent(&build_server(&ctx, &cfg), &trace).expect("replay"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_batched_admission(c: &mut Criterion) {
+    // Admission cost with real co-runner loads and shared-IO prediction:
+    // the search runs once per (knobs, co-runner mix, sharing), then memos.
+    let cfg = ModelConfig::tiny();
+    let hw = HwProfile::measure(&DeviceProfile::odroid_n2(), &cfg, &QuantConfig::default());
+    let importance = ImportanceProfile::from_scores(
+        cfg.layers,
+        cfg.heads,
+        (0..cfg.total_shards()).map(|i| 0.5 + (i % 5) as f64 * 0.01).collect(),
+        0.45,
+    );
+    let slo = SimTime::from_ms(400);
+    let resident = plan_two_stage(&hw, &importance, slo, 0, &[2, 4], &Bitwidth::ALL);
+    let co = vec![CoRunnerLoad::from_plan(&hw, &resident); 7];
+    let mut group = c.benchmark_group("plan_for_slo_against");
+    for (name, sharing) in [("exclusive", IoSharing::Exclusive), ("batched", IoSharing::Batched)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                plan_for_slo_against(
+                    &hw,
+                    &importance,
+                    slo,
+                    &co,
+                    sharing,
+                    0,
+                    &[2, 4],
+                    &Bitwidth::ALL,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_batched_replay, bench_batched_admission
+}
+criterion_main!(benches);

@@ -22,6 +22,9 @@ pub fn usage() -> String {
      \x20 serve       --task <...> [--sessions 8] [--engagements 4]\n\
      \x20             [--trace file.json] [--slo-ms 0] [--admission off|monitor|enforce]\n\
      \x20             [--dram-hits 0|1] [--model bert|tiny]\n\
+     \x20             [--batch-window 0]   µs window for shared-IO batching: co-resident\n\
+     \x20                                  sessions arriving within it share one flash job\n\
+     \x20                                  per identical layer read (0 = off)\n\
      \x20             [--device d] [--target-ms 200] [--preload-kb 16]\n\
      \x20             [--io-workers 2] [--shard-cache-kb 4096]        replay a multi-client trace\n"
         .to_string()
@@ -179,6 +182,7 @@ fn admission_mode(name: &str) -> Result<AdmissionMode, ArgError> {
 fn cmd_serve(args: &Args) -> Result<String, ArgError> {
     let kind = task_kind(args.require("task")?)?;
     let slo_ms = args.get_u64("slo-ms", 0)?;
+    let batch_window_us = args.get_u64("batch-window", 0)?;
     let cfg = ServeConfig {
         device: device(args.get_or("device", "odroid"))?,
         target: SimTime::from_ms(args.get_u64("target-ms", 200)?),
@@ -188,6 +192,7 @@ fn cmd_serve(args: &Args) -> Result<String, ArgError> {
         slo: (slo_ms > 0).then(|| SimTime::from_ms(slo_ms)),
         admission: admission_mode(args.get_or("admission", "off"))?,
         dram_residency: args.get_u64("dram-hits", 0)? != 0,
+        batch_window: (batch_window_us > 0).then(|| SimTime::from_us(batch_window_us)),
     };
     let model_cfg = match args.get_or("model", "bert") {
         "tiny" => ModelConfig::tiny(), // CI smoke scale
@@ -195,14 +200,23 @@ fn cmd_serve(args: &Args) -> Result<String, ArgError> {
         other => return Err(ArgError(format!("unknown model '{other}' (bert|tiny)"))),
     };
     // Validate the workload before the (slow) importance profiling pass.
+    let synthetic_sessions = args.get_u64("sessions", 8)? as usize;
+    let synthetic_engagements = args.get_u64("engagements", 4)? as usize;
     let loaded_trace = match args.get("trace") {
         Some(path) => {
+            // A trace file carries its own per-client `slo_ms`; a global
+            // default would be silently ignored, so reject the combination.
+            if slo_ms > 0 {
+                return Err(ArgError(
+                    "--slo-ms applies to synthetic traces only; put per-client \"slo_ms\" in the \
+                     trace file instead"
+                        .into(),
+                ));
+            }
             Some(load_trace(path).map_err(|e| ArgError(format!("trace file '{path}': {e}")))?)
         }
         None => {
-            let sessions = args.get_u64("sessions", 8)? as usize;
-            let engagements = args.get_u64("engagements", 4)? as usize;
-            if sessions == 0 || engagements == 0 {
+            if synthetic_sessions == 0 || synthetic_engagements == 0 {
                 return Err(ArgError("--sessions and --engagements must be positive".into()));
             }
             None
@@ -214,12 +228,7 @@ fn cmd_serve(args: &Args) -> Result<String, ArgError> {
 
     let trace = match loaded_trace {
         Some(trace) => trace,
-        None => ServingTrace::synthetic(
-            &ctx,
-            &cfg,
-            args.get_u64("sessions", 8)? as usize,
-            args.get_u64("engagements", 4)? as usize,
-        ),
+        None => ServingTrace::synthetic(&ctx, &cfg, synthetic_sessions, synthetic_engagements),
     };
     let sessions = trace.clients.len();
 
@@ -241,13 +250,25 @@ fn cmd_serve(args: &Args) -> Result<String, ArgError> {
         None => "no SLO clients".to_string(),
     };
     let served: usize = concurrent.outcomes.iter().map(Vec::len).sum();
+    let batching_line = if batch_window_us > 0 {
+        format!(
+            "window {batch_window_us}µs: {} batched dispatches, {} flash bytes saved, \
+             occupancy {:.2}",
+            contention.batched_dispatches,
+            contention.flash_bytes_saved,
+            contention.mean_batch_occupancy,
+        )
+    } else {
+        "off".to_string()
+    };
     Ok(format!(
         "served {} of {} engagements over {} sessions ({} rejected at admission)\n\
          \x20 throughput    {:.1} engagements/s concurrent, {:.1} sequential ({:.2}x)\n\
          \x20 per-engagement makespan {} | streamed {} bytes\n\
-         \x20 plan cache    {} hit / {} miss ({} distinct plans); sessions {} admitted / {} rejected\n\
+         \x20 plan cache    {} hit / {} miss ({} distinct plans); SLO sessions {} admitted / {} rejected\n\
          \x20 shard cache   {} hit / {} miss ({:.0}% hit rate), {} evictions\n\
          \x20 io scheduler  {} requests, {} bytes, flash busy {}, max queue depth {}\n\
+         \x20 batching      {}\n\
          \x20 contended     p50 {} | p95 {} | max {} end-to-end; {}\n\
          \x20 determinism   concurrent outcomes {} sequential replay\n",
         served,
@@ -272,6 +293,7 @@ fn cmd_serve(args: &Args) -> Result<String, ArgError> {
         concurrent.io_stats.bytes,
         concurrent.io_stats.sim_flash_busy,
         concurrent.io_stats.max_queue_depth,
+        batching_line,
         contention.latency_percentile(0.5),
         contention.latency_percentile(0.95),
         contention.latency_percentile(1.0),
@@ -348,6 +370,12 @@ mod tests {
         let args =
             Args::parse(["serve", "--task", "sst2", "--trace", "/no/such/file.json"]).unwrap();
         assert!(dispatch(&args).is_err());
+        // A global SLO cannot apply to a trace file (per-client slo_ms
+        // wins); rejecting beats silently ignoring the flag.
+        let args = Args::parse(["serve", "--task", "sst2", "--trace", "t.json", "--slo-ms", "500"])
+            .unwrap();
+        let err = dispatch(&args).unwrap_err();
+        assert!(err.to_string().contains("synthetic traces only"), "{err}");
     }
 
     #[test]
@@ -378,5 +406,32 @@ mod tests {
         assert!(report.contains("served 3 of 3 engagements"), "{report}");
         assert!(report.contains("exactly reproduce"), "{report}");
         assert!(report.contains("SLO engagements met their SLO"), "{report}");
+        assert!(report.contains("batching      off"), "{report}");
+    }
+
+    #[test]
+    fn serve_reports_shared_io_batching() {
+        let args = Args::parse([
+            "serve",
+            "--task",
+            "sst2",
+            "--model",
+            "tiny",
+            "--sessions",
+            "4",
+            "--engagements",
+            "1",
+            "--preload-kb",
+            "0",
+            "--batch-window",
+            "500",
+        ])
+        .unwrap();
+        let report = dispatch(&args).unwrap();
+        assert!(report.contains("window 500µs"), "{report}");
+        assert!(
+            report.contains("exactly reproduce"),
+            "batching must not perturb results: {report}"
+        );
     }
 }

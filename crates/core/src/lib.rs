@@ -86,13 +86,16 @@ pub mod prelude {
     };
     pub use sti_planner::compute_plan::DYNABERT_WIDTHS;
     pub use sti_planner::{
-        plan_compute, plan_for_slo, plan_io, plan_two_stage, predict_contended_latency,
-        profile_importance, ExecutionPlan, ImportanceProfile, PlanCache, PlanCacheStats, PlanKey,
-        ServingPlan, ServingPlanCache, ServingPlanKey, SubmodelShape,
+        layer_io_jobs, plan_compute, plan_for_slo, plan_for_slo_against, plan_io, plan_two_stage,
+        predict_contended_latency, predict_contended_latency_against, profile_importance,
+        CoRunnerLoad, ExecutionPlan, ImportanceProfile, IoSharing, PlanCache, PlanCacheStats,
+        PlanKey, ServingPlan, ServingPlanCache, ServingPlanKey, SubmodelShape,
     };
     pub use sti_quant::{Bitwidth, QuantConfig, QuantizedBlob};
     pub use sti_storage::{
-        CachedSource, MemStore, ShardCache, ShardCacheStats, ShardKey, ShardSource, ShardStore,
+        BatchPolicy, BatchStats, CachedSource, FlashDispatchEvent, IoChannel, IoScheduler,
+        LayerRequest, LoadedLayer, MemStore, ShardCache, ShardCacheStats, ShardKey, ShardSource,
+        ShardStore,
     };
     pub use sti_transformer::{Model, ModelConfig, ShardId};
 }

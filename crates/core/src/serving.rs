@@ -30,7 +30,7 @@ use sti_pipeline::{
     AdmissionMode, ContentionReport, PipelineError, ServingStats, Session, StiServer,
 };
 use sti_planner::PlanCacheStats;
-use sti_storage::{IoSchedulerStats, ShardCacheStats};
+use sti_storage::{BatchPolicy, IoSchedulerStats, ShardCacheStats};
 
 use crate::runner::TaskContext;
 
@@ -53,6 +53,9 @@ pub struct ServeConfig {
     pub admission: AdmissionMode,
     /// Opt-in DRAM-residency accounting on the contended track.
     pub dram_residency: bool,
+    /// Shared-IO batching window: sessions arriving within it share one
+    /// flash job per identical layer request (`None`: batching off).
+    pub batch_window: Option<SimTime>,
 }
 
 impl Default for ServeConfig {
@@ -66,6 +69,7 @@ impl Default for ServeConfig {
             slo: None,
             admission: AdmissionMode::Disabled,
             dram_residency: false,
+            batch_window: None,
         }
     }
 }
@@ -81,6 +85,12 @@ pub struct ClientTrace {
     /// SLO-aware planner and admission control, `None` through the plain
     /// target-latency path.
     pub slo: Option<SimTime>,
+    /// The client's arrival offset on the simulated timeline (from a trace
+    /// file's `arrival_us`; zero when unspecified). Contended-track only:
+    /// the flash queue replays this client's requests from its real
+    /// arrival, and shared-IO batching coalesces only clients arriving
+    /// within the batch window of each other.
+    pub arrival: SimTime,
     /// Token sequences to classify, in submission order.
     pub engagements: Vec<Vec<u32>>,
 }
@@ -109,6 +119,7 @@ impl ServingTrace {
                 target: cfg.target,
                 preload_bytes: cfg.preload_bytes,
                 slo: cfg.slo,
+                arrival: SimTime::ZERO,
                 engagements: (0..engagements)
                     .map(|e| examples[(c * engagements + e) % examples.len()].tokens.clone())
                     .collect(),
@@ -184,6 +195,10 @@ pub fn build_server(ctx: &TaskContext, cfg: &ServeConfig) -> StiServer {
         .shard_cache_bytes(cfg.shard_cache_bytes)
         .admission(cfg.admission)
         .dram_residency(cfg.dram_residency)
+        .batch_policy(match cfg.batch_window {
+            Some(window) => BatchPolicy::Window(window),
+            None => BatchPolicy::Off,
+        })
         .build()
 }
 
@@ -203,7 +218,10 @@ fn open_sessions(
                 None => server.session_with(client.target, client.preload_bytes),
             };
             match opened {
-                Ok(session) => Ok(Some(session)),
+                Ok(mut session) => {
+                    session.set_arrival(client.arrival);
+                    Ok(Some(session))
+                }
                 Err(PipelineError::AdmissionRejected { .. }) => Ok(None),
                 Err(e) => Err(e),
             }

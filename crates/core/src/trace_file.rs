@@ -11,6 +11,7 @@
 //!       "target_ms": 300,
 //!       "preload_kb": 16,
 //!       "slo_ms": 450,
+//!       "arrival_us": 150,
 //!       "engagements": [[101, 7, 23], [45, 45]]
 //!     }
 //!   ]
@@ -18,9 +19,13 @@
 //! ```
 //!
 //! `engagements` is required; `target_ms` (default 200), `preload_kb`
-//! (default 16), and `slo_ms` (default: none — the client is a plain
-//! target-latency session, not SLO-admitted) are optional. An example
-//! lives at `examples/traces/smoke.json`.
+//! (default 16), `slo_ms` (default: none — the client is a plain
+//! target-latency session, not SLO-admitted; `0` and `null` also mean
+//! none), and `arrival_us` (default 0
+//! — the client's arrival offset on the simulated timeline, which the
+//! contended track replays and shared-IO batching compares against the
+//! batch window) are optional. An example lives at
+//! `examples/traces/smoke.json`.
 //!
 //! The offline vendor stub for `serde` has no-op derives, so this module
 //! carries a minimal recursive-descent JSON reader (objects, arrays,
@@ -304,9 +309,18 @@ fn client_from_json(index: usize, json: &Json) -> Result<ClientTrace, TraceFileE
         Some(v) => v.as_num(&format!("clients[{index}].preload_kb"))?,
         None => 16,
     };
+    // `0` means "no SLO", matching the CLI's 0-is-off flag convention (a
+    // literal zero SLO could never be met and would always be rejected).
     let slo = match json.field("slo_ms") {
         Some(Json::Null) | None => None,
-        Some(v) => Some(SimTime::from_ms(v.as_num(&format!("clients[{index}].slo_ms"))?)),
+        Some(v) => match v.as_num(&format!("clients[{index}].slo_ms"))? {
+            0 => None,
+            ms => Some(SimTime::from_ms(ms)),
+        },
+    };
+    let arrival_us = match json.field("arrival_us") {
+        Some(v) => v.as_num(&format!("clients[{index}].arrival_us"))?,
+        None => 0,
     };
     let engagements_json = json.field("engagements").ok_or_else(|| {
         TraceFileError::Schema(format!("clients[{index}] is missing \"engagements\""))
@@ -344,6 +358,7 @@ fn client_from_json(index: usize, json: &Json) -> Result<ClientTrace, TraceFileE
         target: SimTime::from_ms(target_ms),
         preload_bytes: preload_kb << 10,
         slo,
+        arrival: SimTime::from_us(arrival_us),
         engagements,
     })
 }
@@ -390,7 +405,7 @@ mod tests {
         let trace = parse_trace(
             r#"{
                 "clients": [
-                    { "target_ms": 300, "preload_kb": 8, "slo_ms": 450,
+                    { "target_ms": 300, "preload_kb": 8, "slo_ms": 450, "arrival_us": 150,
                       "engagements": [[101, 7, 23], [45, 45]] },
                     { "engagements": [[9]] }
                 ]
@@ -403,11 +418,24 @@ mod tests {
         assert_eq!(c0.target, SimTime::from_ms(300));
         assert_eq!(c0.preload_bytes, 8 << 10);
         assert_eq!(c0.slo, Some(SimTime::from_ms(450)));
+        assert_eq!(c0.arrival, SimTime::from_us(150));
         assert_eq!(c0.engagements[0], vec![101, 7, 23]);
         let c1 = &trace.clients[1];
         assert_eq!(c1.target, SimTime::from_ms(200), "defaults apply");
         assert_eq!(c1.preload_bytes, 16 << 10);
         assert_eq!(c1.slo, None);
+        assert_eq!(c1.arrival, SimTime::ZERO, "unspecified arrival is time zero");
+    }
+
+    #[test]
+    fn zero_and_null_slo_both_mean_no_slo() {
+        for input in [
+            r#"{ "clients": [ { "slo_ms": 0, "engagements": [[1]] } ] }"#,
+            r#"{ "clients": [ { "slo_ms": null, "engagements": [[1]] } ] }"#,
+        ] {
+            let trace = parse_trace(input).unwrap();
+            assert_eq!(trace.clients[0].slo, None, "{input}");
+        }
     }
 
     #[test]
@@ -427,6 +455,7 @@ mod tests {
             (r#"{ "clients": [ { "engagements": [[]] } ] }"#, "empty"),
             (r#"{ "clients": [ { "engagements": [[4294967296]] } ] }"#, "exceeds u32"),
             (r#"{ "clients": [ { "target_ms": "fast", "engagements": [[1]] } ] }"#, "number"),
+            (r#"{ "clients": [ { "arrival_us": "soon", "engagements": [[1]] } ] }"#, "number"),
         ] {
             let err = parse_trace(input).unwrap_err();
             assert!(err.to_string().contains(needle), "{input} -> {err}");
@@ -458,5 +487,9 @@ mod tests {
         let trace = load_trace(path).unwrap();
         assert!(trace.total_engagements() >= 4);
         assert!(trace.clients.iter().any(|c| c.slo.is_some()), "example exercises SLO clients");
+        assert!(
+            trace.clients.iter().any(|c| c.arrival > SimTime::ZERO),
+            "example exercises trace-driven arrival offsets"
+        );
     }
 }

@@ -24,8 +24,18 @@
 //! ([`FlashModel::dram_residency`]) instead of flash — the
 //! capacity-planning experiment the roadmap asks for.
 //!
+//! **Shared (batched) jobs.** The IO scheduler can coalesce identical layer
+//! requests from co-resident engagements into one flash job that fans its
+//! payload out to every member. [`FlashQueueSim::submit_shared`] models
+//! that: the job's service time is charged **once**, and the report carries
+//! a mirrored [`CompletedJob`] per extra recipient with the same
+//! start/completion times — so per-engagement pipeline replays see the
+//! shared completion while busy-time accounting pays for a single read.
+//!
 //! [`FlashModel`]: crate::flash::FlashModel
 //! [`FlashModel::dram_residency`]: crate::flash::FlashModel::dram_residency
+
+use std::collections::HashMap;
 
 use crate::clock::SimTime;
 
@@ -110,6 +120,10 @@ impl FlashQueueReport {
 #[derive(Debug, Clone, Default)]
 pub struct FlashQueueSim {
     jobs: Vec<FlashJob>,
+    /// Extra recipients of shared (batched) jobs, keyed by job sequence
+    /// number: the flash serves the job once, and the report mirrors its
+    /// completion to every engagement listed here.
+    shared: HashMap<usize, Vec<u64>>,
 }
 
 impl FlashQueueSim {
@@ -126,7 +140,21 @@ impl FlashQueueSim {
         self.jobs.len() - 1
     }
 
-    /// Number of submitted jobs.
+    /// Submits a shared (batched) job: the flash serves it once — its
+    /// service time is charged to busy time once — and on completion every
+    /// engagement in `extra_recipients` receives a mirrored
+    /// [`CompletedJob`] with the same sequence number, start, and
+    /// completion as the primary `job.engagement`.
+    pub fn submit_shared(&mut self, job: FlashJob, extra_recipients: &[u64]) -> usize {
+        let seq = self.submit(job);
+        if !extra_recipients.is_empty() {
+            self.shared.insert(seq, extra_recipients.to_vec());
+        }
+        seq
+    }
+
+    /// Number of submitted jobs (shared jobs count once, regardless of
+    /// fan-out).
     pub fn len(&self) -> usize {
         self.jobs.len()
     }
@@ -177,6 +205,19 @@ impl FlashQueueSim {
                 start,
                 completion,
             });
+            // Fan a shared job's completion out to every extra recipient:
+            // same timeline, no extra busy time (the read happened once).
+            if let Some(recipients) = self.shared.get(&idx) {
+                for &engagement in recipients {
+                    completions.push(CompletedJob {
+                        engagement,
+                        seq: idx,
+                        arrival: job.arrival,
+                        start,
+                        completion,
+                    });
+                }
+            }
         }
 
         let makespan = completions.iter().map(|c| c.completion).max().unwrap_or(SimTime::ZERO);
@@ -271,6 +312,39 @@ mod tests {
             assert!(c.contended_latency() >= j.service);
             assert_eq!(c.completion - c.start, j.service);
         }
+    }
+
+    #[test]
+    fn shared_jobs_charge_once_and_mirror_completions() {
+        let mut sim = FlashQueueSim::new();
+        // One batched job fanned out to engagements {0, 1, 2}, then an
+        // exclusive job for engagement 3 behind it.
+        sim.submit_shared(job(0, 0, 10), &[1, 2]);
+        sim.submit(job(3, 0, 5));
+        let r = sim.run();
+        assert_eq!(r.busy, SimTime::from_ms(15), "shared service is charged once");
+        assert_eq!(r.completions.len(), 4, "one mirror per extra recipient");
+        for e in [0u64, 1, 2] {
+            let mine = r.completions_of(e);
+            assert_eq!(mine.len(), 1);
+            assert_eq!(mine[0].start, SimTime::ZERO);
+            assert_eq!(mine[0].completion, SimTime::from_ms(10), "recipients share the timeline");
+        }
+        assert_eq!(r.last_completion_of(3), Some(SimTime::from_ms(15)));
+        assert_eq!(r.makespan, SimTime::from_ms(15));
+    }
+
+    #[test]
+    fn shared_jobs_preserve_member_fifo() {
+        let mut sim = FlashQueueSim::new();
+        // Engagement 1 rides engagement 0's batches for two layers.
+        sim.submit_shared(job(0, 0, 4), &[1]);
+        sim.submit_shared(job(0, 0, 4), &[1]);
+        let r = sim.run();
+        let mine = r.completions_of(1);
+        assert_eq!(mine.len(), 2);
+        assert!(mine[0].seq < mine[1].seq);
+        assert!(mine[0].completion <= mine[1].start);
     }
 
     #[test]

@@ -151,7 +151,9 @@ impl<'a> PipelineExecutor<'a> {
                 let loaded = channel.recv()?;
                 debug_assert_eq!(loaded.layer, pl.layer, "IO completions must arrive in order");
                 loaded_bytes += loaded.bytes;
-                let map: HashMap<u16, QuantizedBlob> = loaded.blobs.into_iter().collect();
+                // Blobs arrive as `Arc`s: under shared-IO batching this map
+                // aliases the payload other engagements received.
+                let map: HashMap<u16, Arc<QuantizedBlob>> = loaded.blobs.into_iter().collect();
                 (map, loaded.io_delay)
             } else {
                 (HashMap::new(), SimTime::ZERO)
@@ -160,9 +162,14 @@ impl<'a> PipelineExecutor<'a> {
             let mut blob_refs: Vec<&QuantizedBlob> = Vec::with_capacity(pl.slices.len());
             for &slice in &pl.slices {
                 let id = ShardId::new(pl.layer, slice);
-                let blob = preload.get(id).or_else(|| owned.get(&slice)).ok_or_else(|| {
-                    PipelineError::PlanMismatch(format!("shard {id} neither preloaded nor loaded"))
-                })?;
+                let blob = preload
+                    .get(id)
+                    .or_else(|| owned.get(&slice).map(Arc::as_ref))
+                    .ok_or_else(|| {
+                        PipelineError::PlanMismatch(format!(
+                            "shard {id} neither preloaded nor loaded"
+                        ))
+                    })?;
                 blob_refs.push(blob);
             }
 

@@ -30,26 +30,38 @@
 //! every dispatched request feeds the discrete-event flash-queue simulator,
 //! and [`StiServer::contention_report`] replays the dispatch sequence to
 //! quote each engagement's *contended* latency. Sessions opened with
-//! [`StiServer::session_with_slo`] plan against that queue model (the
-//! SLO-aware search of `sti_planner::serving`, memoized per co-runner
-//! count), and [`AdmissionMode::Enforce`] rejects engagements whose best
-//! plan still misses — backpressure before the queue, not after.
+//! [`StiServer::session_with_slo`] plan against that queue model — fed the
+//! **actual** per-layer IO loads of the sessions currently open (the
+//! `plan_for_slo_against` search of `sti_planner::serving`, memoized per
+//! co-runner mix) — and [`AdmissionMode::Enforce`] rejects engagements
+//! whose best plan still misses: backpressure before the queue, not after.
+//!
+//! **Shared-IO batching:** with a [`BatchPolicy`] window configured
+//! ([`StiServerBuilder::batch_policy`]), co-resident sessions requesting
+//! byte-identical layers within the window share **one** flash job whose
+//! payload fans out as `Arc`s (`sti_storage::batcher`). Batching is
+//! invisible to the uncontended track — per-engagement results stay
+//! bit-identical to solo runs — and priced honestly on the contended one:
+//! batched dispatches appear once in the replay, admission predicts with
+//! `IoSharing::Batched`, and [`ContentionReport`] quotes the flash bytes
+//! saved and the mean batch occupancy.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 use sti_device::{FlashModel, HwProfile, SimTime};
 use sti_planner::compute_plan::dynabert_widths_for;
-use sti_planner::serving::{plan_for_slo, ServingPlan, ServingPlanCache, ServingPlanKey};
+use sti_planner::serving::{plan_for_slo_against, ServingPlan, ServingPlanCache, ServingPlanKey};
 use sti_planner::{
-    align_io_completions, contended_makespan, plan_two_stage, ExecutionPlan, ImportanceProfile,
-    PlanCache, PlanCacheStats, PlanKey,
+    align_io_completions, contended_makespan, plan_two_stage, CoRunnerLoad, ExecutionPlan,
+    ImportanceProfile, IoSharing, PlanCache, PlanCacheStats, PlanKey,
 };
 use sti_quant::Bitwidth;
 use sti_storage::{
-    CachedSource, IoScheduler, IoSchedulerStats, ShardCache, ShardCacheStats, ShardKey, ShardSource,
+    BatchPolicy, CachedSource, FlashDispatchEvent, IoScheduler, IoSchedulerStats, ShardCache,
+    ShardCacheStats, ShardKey, ShardSource,
 };
 use sti_transformer::Model;
 
@@ -122,12 +134,23 @@ impl EngagementContention {
 pub struct ContentionReport {
     /// Engagements in execution-record order.
     pub engagements: Vec<EngagementContention>,
-    /// Total simulated flash busy time across the replay.
+    /// Total simulated flash busy time across the replay (batched jobs are
+    /// served — and charged — once).
     pub flash_busy: SimTime,
     /// Completion time of the last job on the contended queue.
     pub queue_makespan: SimTime,
     /// Deepest the flash queue got during the replay.
     pub max_queue_depth: usize,
+    /// Flash jobs that carried more than one engagement's request (zero
+    /// with batching off).
+    pub batched_dispatches: u64,
+    /// Serialized bytes co-resident sessions did **not** re-read from flash
+    /// thanks to shared-IO batching.
+    pub flash_bytes_saved: u64,
+    /// Mean engagements per flash job (1.0 with batching off; up to the
+    /// co-resident session count when every dispatch coalesces). Zero when
+    /// nothing was dispatched.
+    pub mean_batch_occupancy: f64,
 }
 
 impl ContentionReport {
@@ -183,6 +206,7 @@ pub struct StiServerBuilder {
     shard_cache_bytes: u64,
     admission: AdmissionMode,
     dram: Option<FlashModel>,
+    batch: BatchPolicy,
 }
 
 impl StiServerBuilder {
@@ -248,6 +272,19 @@ impl StiServerBuilder {
         self
     }
 
+    /// Shared-IO batching policy (default [`BatchPolicy::Off`]): with a
+    /// window configured, sessions requesting byte-identical layers within
+    /// it share one flash job — N identical co-runners pay near-1× flash
+    /// instead of N×. SLO admission then predicts with
+    /// [`IoSharing::Batched`], so windows of co-arriving sessions admit
+    /// where an unbatched prediction would reject. Per-engagement
+    /// *results* are unaffected (the determinism contract holds either
+    /// way).
+    pub fn batch_policy(mut self, policy: BatchPolicy) -> Self {
+        self.batch = policy;
+        self
+    }
+
     /// Starts the IO scheduler and returns the ready server. No planning
     /// happens yet — plans and preload buffers materialize lazily, once per
     /// knob combination, when sessions open.
@@ -255,12 +292,13 @@ impl StiServerBuilder {
         let shard_cache = Arc::new(ShardCache::new(self.shard_cache_bytes));
         let cached_source: Arc<dyn ShardSource> =
             Arc::new(CachedSource::new(self.source.clone(), shard_cache.clone()));
-        let scheduler = IoScheduler::spawn(
+        let scheduler = IoScheduler::spawn_batched(
             self.source.clone(),
             self.flash,
             self.io_workers,
             self.throttle_scale,
             Some(shard_cache.clone()),
+            self.batch,
         );
         let cfg = self.model.config();
         let fingerprint = format!(
@@ -287,9 +325,12 @@ impl StiServerBuilder {
                 preloads: Mutex::new(HashMap::new()),
                 admission: self.admission,
                 dram: self.dram,
+                batch: self.batch,
                 slo_cache: ServingPlanCache::new(),
                 admission_gate: Mutex::new(()),
                 open_sessions: AtomicUsize::new(0),
+                next_session_token: AtomicU64::new(0),
+                open_loads: Mutex::new(BTreeMap::new()),
                 active_engagements: AtomicUsize::new(0),
                 serving_stats: Mutex::new(ServingStats::default()),
                 engagement_log: Mutex::new(Vec::new()),
@@ -331,7 +372,9 @@ struct ServerInner {
     admission: AdmissionMode,
     /// DRAM-residency model for the contended track, when opted in.
     dram: Option<FlashModel>,
-    /// Memoized SLO searches, keyed by knobs + co-runner count.
+    /// Shared-IO batching policy the scheduler runs (and admission models).
+    batch: BatchPolicy,
+    /// Memoized SLO searches, keyed by knobs + co-runner mix + sharing.
     slo_cache: ServingPlanCache,
     /// Serializes SLO session opens: the admission decision and the
     /// open-session increment must be atomic with respect to each other.
@@ -341,6 +384,13 @@ struct ServerInner {
     /// while an SLO open is deciding; those are unconditional-admit paths,
     /// indistinguishable from load arriving right after the decision.
     open_sessions: AtomicUsize,
+    /// Monotonic token handed to each session, keying `open_loads`.
+    next_session_token: AtomicU64,
+    /// Each open session's actual streaming IO load, in open order — what
+    /// SLO admission feeds the contended prediction instead of modeling
+    /// co-runners as clones of the candidate. A `BTreeMap` so the snapshot
+    /// order (and hence the memo digest) is deterministic.
+    open_loads: Mutex<BTreeMap<u64, CoRunnerLoad>>,
     /// Engagements currently executing (peak tracked in `serving_stats`).
     active_engagements: AtomicUsize,
     serving_stats: Mutex<ServingStats>,
@@ -389,6 +439,12 @@ impl ServerInner {
         let shared = preloads.entry(key).or_insert(buffer).clone();
         Ok((plan, shared))
     }
+
+    /// Registers (or refreshes, after a retarget) a session's streaming IO
+    /// load in the open-load registry admission predicts against.
+    fn register_load(&self, token: u64, plan: &ExecutionPlan) {
+        self.open_loads.lock().insert(token, CoRunnerLoad::from_plan(&self.hw, plan));
+    }
 }
 
 /// A multi-session serving runtime: owns the model and every shareable
@@ -424,6 +480,7 @@ impl StiServer {
             shard_cache_bytes: 4 << 20,
             admission: AdmissionMode::Disabled,
             dram: None,
+            batch: BatchPolicy::Off,
         }
     }
 
@@ -449,11 +506,15 @@ impl StiServer {
         preload_budget: u64,
     ) -> Result<Session, PipelineError> {
         let (plan, preload) = self.inner.resolve(target, preload_budget)?;
+        let token = self.inner.next_session_token.fetch_add(1, Ordering::SeqCst);
+        self.inner.register_load(token, &plan);
         self.inner.open_sessions.fetch_add(1, Ordering::SeqCst);
         Ok(Session {
             inner: self.inner.clone(),
+            token,
             target,
             preload_budget,
+            arrival: SimTime::ZERO,
             plan,
             preload,
             slo: None,
@@ -464,8 +525,10 @@ impl StiServer {
     /// Opens a session planned against a latency **SLO** instead of a raw
     /// target: the serving planner searches `(T, |S|)` so the session's
     /// *contended* latency — predicted by the flash-queue simulator with
-    /// the currently open sessions as co-runners — meets `slo`. Search
-    /// results are memoized per `(knobs, co-runner count)`.
+    /// the currently open sessions' **actual** streaming loads as
+    /// co-runners, under the server's shared-IO batching mode — meets
+    /// `slo`. Search results are memoized per `(knobs, co-runner mix,
+    /// sharing)`.
     ///
     /// # Errors
     ///
@@ -479,22 +542,26 @@ impl StiServer {
         preload_budget: u64,
     ) -> Result<Session, PipelineError> {
         let inner = &*self.inner;
-        // SLO opens serialize on this gate so the co-runner count cannot
+        // SLO opens serialize on this gate so the co-runner mix cannot
         // change between the admission check and the open-session
-        // increment: two racing SLO opens can never both admit against a
-        // count that excludes the other. Plain `session_with` opens are
+        // registration: two racing SLO opens can never both admit against a
+        // mix that excludes the other. Plain `session_with` opens are
         // not gated — they are admitted unconditionally by design, so a
         // racing plain open is indistinguishable from one that lands just
         // after admission.
         let _admission = inner.admission_gate.lock();
-        let co_runners = inner.open_sessions.load(Ordering::SeqCst);
-        let key = ServingPlanKey::new(inner.plan_key(slo, preload_budget), co_runners);
+        let co: Vec<CoRunnerLoad> = inner.open_loads.lock().values().cloned().collect();
+        let co_runners = co.len();
+        let sharing =
+            if inner.batch.is_enabled() { IoSharing::Batched } else { IoSharing::Exclusive };
+        let key = ServingPlanKey::against(inner.plan_key(slo, preload_budget), &co, sharing);
         let served = inner.slo_cache.get_or_plan(&key, || {
-            plan_for_slo(
+            plan_for_slo_against(
                 &inner.hw,
                 &inner.importance.read(),
                 slo,
-                co_runners,
+                &co,
+                sharing,
                 preload_budget,
                 &inner.widths,
                 &inner.bitwidths,
@@ -518,12 +585,16 @@ impl StiServer {
         // plans agree — unless an importance reprofile raced in between, in
         // which case the freshly resolved plan is the correct one to run.
         let (plan, preload) = inner.resolve(served.target, preload_budget)?;
+        let token = inner.next_session_token.fetch_add(1, Ordering::SeqCst);
+        inner.register_load(token, &plan);
         inner.serving_stats.lock().admitted_sessions += 1;
         inner.open_sessions.fetch_add(1, Ordering::SeqCst);
         Ok(Session {
             inner: self.inner.clone(),
+            token,
             target: served.target,
             preload_budget,
+            arrival: SimTime::ZERO,
             plan,
             preload,
             slo: Some(slo),
@@ -548,9 +619,34 @@ impl StiServer {
     }
 
     /// IO-scheduler accounting (requests, bytes, simulated flash busy time,
-    /// observed queue depth).
+    /// observed queue depth, batching counters).
     pub fn io_stats(&self) -> IoSchedulerStats {
         self.inner.scheduler.stats()
+    }
+
+    /// The shared-IO batching policy this server runs.
+    pub fn batch_policy(&self) -> BatchPolicy {
+        self.inner.batch
+    }
+
+    /// Quiesces the IO scheduler: engagements keep queuing layer requests
+    /// but nothing dispatches until [`StiServer::resume_io`]. Tests and
+    /// benches use the pair to queue a whole co-resident workload and
+    /// release it in one burst, making batching fan-outs deterministic.
+    pub fn pause_io(&self) {
+        self.inner.scheduler.pause_dispatch();
+    }
+
+    /// Releases a [`StiServer::pause_io`].
+    pub fn resume_io(&self) {
+        self.inner.scheduler.resume_dispatch();
+    }
+
+    /// Layer requests currently queued (and not in flight) in the IO
+    /// scheduler — poll this while paused to know a workload is fully
+    /// submitted.
+    pub fn queued_io_requests(&self) -> usize {
+        self.inner.scheduler.queued_requests()
     }
 
     /// Number of distinct knob combinations currently planned.
@@ -594,7 +690,8 @@ impl StiServer {
     /// harvesting a report.
     pub fn contention_report(&self) -> ContentionReport {
         let inner = &*self.inner;
-        let queue = inner.scheduler.contention_sim(inner.dram).run();
+        let events = inner.scheduler.flash_events();
+        let queue = IoScheduler::sim_from_events(&events, inner.flash, inner.dram).run();
         let mut per_channel: HashMap<u64, Vec<sti_device::CompletedJob>> = HashMap::new();
         for job in &queue.completions {
             per_channel.entry(job.engagement).or_default().push(*job);
@@ -618,11 +715,21 @@ impl StiServer {
                 })
             })
             .collect();
+        // Batch-occupancy accounting straight off the event stream: a
+        // batched dispatch appears once, with its fan-out recipients.
+        let batched_dispatches = events.iter().filter(|e| e.fanout() > 1).count() as u64;
+        let flash_bytes_saved: u64 = events.iter().map(|e| e.bytes * e.members.len() as u64).sum();
+        let deliveries: usize = events.iter().map(FlashDispatchEvent::fanout).sum();
+        let mean_batch_occupancy =
+            if events.is_empty() { 0.0 } else { deliveries as f64 / events.len() as f64 };
         ContentionReport {
             engagements,
             flash_busy: queue.busy,
             queue_makespan: queue.makespan,
             max_queue_depth: queue.max_depth,
+            batched_dispatches,
+            flash_bytes_saved,
+            mean_batch_occupancy,
         }
     }
 
@@ -676,8 +783,13 @@ impl std::fmt::Debug for StiServer {
 /// can run concurrently against one server.
 pub struct Session {
     inner: Arc<ServerInner>,
+    /// Registry token: keys this session's entry in the open-load registry.
+    token: u64,
     target: SimTime,
     preload_budget: u64,
+    /// Simulated arrival offset of this session's engagements (contended
+    /// track only; see [`Session::set_arrival`]).
+    arrival: SimTime,
     plan: Arc<ExecutionPlan>,
     preload: Arc<PreloadBuffer>,
     slo: Option<SimTime>,
@@ -686,6 +798,7 @@ pub struct Session {
 
 impl Drop for Session {
     fn drop(&mut self) {
+        self.inner.open_loads.lock().remove(&self.token);
         self.inner.open_sessions.fetch_sub(1, Ordering::SeqCst);
     }
 }
@@ -719,6 +832,21 @@ impl Session {
         self.preload.used_bytes()
     }
 
+    /// The session's simulated arrival offset.
+    pub fn arrival(&self) -> SimTime {
+        self.arrival
+    }
+
+    /// Sets the session's simulated arrival offset — typically from a trace
+    /// file's `arrival_us`. Engagements stream through a scheduler channel
+    /// opened at this time, so the contended track queues them at their
+    /// real arrival (instead of all-zero) and shared-IO batching only
+    /// coalesces sessions whose arrivals fall inside the batch window. The
+    /// uncontended (deterministic) track is unaffected.
+    pub fn set_arrival(&mut self, arrival: SimTime) {
+        self.arrival = arrival;
+    }
+
     /// Retargets the session: resolves the plan for the new `T` through the
     /// shared caches (replanning only if no session used these knobs
     /// before, §3.2). An SLO-planned session reverts to raw-target mode.
@@ -733,6 +861,7 @@ impl Session {
         self.preload = preload;
         self.slo = None;
         self.serving = None;
+        self.inner.register_load(self.token, &self.plan);
         Ok(())
     }
 
@@ -750,6 +879,7 @@ impl Session {
         self.preload = preload;
         self.slo = None;
         self.serving = None;
+        self.inner.register_load(self.token, &self.plan);
         Ok(())
     }
 
@@ -785,7 +915,7 @@ impl Session {
             &inner.hw,
         )
         .with_throttle(inner.throttle_scale);
-        let channel = inner.scheduler.channel();
+        let channel = inner.scheduler.channel_at(self.arrival);
         let outcome = executor.execute_on(&channel, &self.plan, &self.preload, tokens)?;
 
         // Contended-track record: which layers streamed (an IO span in the
@@ -1055,6 +1185,81 @@ mod tests {
         drop(first);
         // With the channel free again the same SLO admits.
         assert!(srv.session_with_slo(slo, 0).is_ok());
+    }
+
+    #[test]
+    fn batching_admits_identical_sessions_an_unbatched_prediction_rejects() {
+        let build = |policy: BatchPolicy| {
+            let cfg = ModelConfig::tiny();
+            let task = Task::build(TaskKind::Sst2, cfg.clone(), 4, 4);
+            let dev = DeviceProfile::odroid_n2();
+            let hw = HwProfile::measure(&dev, &cfg, &QuantConfig::default());
+            let source =
+                Arc::new(MemStore::build(task.model(), &Bitwidth::ALL, &QuantConfig::default()));
+            let importance = ImportanceProfile::from_scores(
+                cfg.layers,
+                cfg.heads,
+                (0..cfg.total_shards()).map(|i| 0.5 + (i % 5) as f64 * 0.01).collect(),
+                0.45,
+            );
+            StiServer::builder(task.model().clone(), source, hw, dev.flash, importance)
+                .preload_budget(0)
+                .widths(&[2, 4])
+                .admission(AdmissionMode::Enforce)
+                .batch_policy(policy)
+                .build()
+        };
+        let slo = floor_slo(&build(BatchPolicy::Off));
+
+        // Unbatched: a second identical-SLO session queues behind the
+        // first's reads and is rejected (the pre-batching behaviour).
+        let unbatched = build(BatchPolicy::Off);
+        let _first = unbatched.session_with_slo(slo, 0).unwrap();
+        assert!(unbatched.session_with_slo(slo, 0).is_err());
+
+        // Batched: identical sessions share every read, so the contended
+        // prediction collapses to the uncontended one and both admit.
+        let batched = build(BatchPolicy::from_window_us(1_000));
+        let _a = batched.session_with_slo(slo, 0).unwrap();
+        let b = batched.session_with_slo(slo, 0).expect("shared IO admits the identical session");
+        let served = b.serving_plan().unwrap();
+        assert!(served.meets_slo);
+        assert_eq!(served.co_runners, 1);
+        assert_eq!(
+            served.predicted_contended, slo,
+            "fully coalesced co-residents predict the uncontended floor"
+        );
+        let stats = batched.serving_stats();
+        assert_eq!((stats.admitted_sessions, stats.rejected_sessions), (2, 0));
+    }
+
+    #[test]
+    fn admission_predicts_against_real_co_runner_loads() {
+        // A heavyweight open session must weigh more in admission than a
+        // featherweight one — the clone model could not see the difference.
+        let srv = server_with_admission(AdmissionMode::Enforce);
+        let slo = floor_slo(&srv);
+        // Featherweight co-runner: a generous-target session... planned at
+        // the floor target streams almost nothing extra; heavyweight: a
+        // 10 s target streams the full-fidelity model.
+        let feather = srv.session_with(SimTime::from_us(1), 0).unwrap();
+        let floor_err = srv.session_with_slo(slo, 0).unwrap_err();
+        drop(feather);
+        let heavy = srv.session_with(SimTime::from_ms(10_000), 0).unwrap();
+        let heavy_err = srv.session_with_slo(slo, 0).unwrap_err();
+        drop(heavy);
+        match (floor_err, heavy_err) {
+            (
+                PipelineError::AdmissionRejected { predicted: p_feather, .. },
+                PipelineError::AdmissionRejected { predicted: p_heavy, .. },
+            ) => {
+                assert!(
+                    p_heavy > p_feather,
+                    "a heavier co-runner must predict more contention: {p_heavy} <= {p_feather}"
+                );
+            }
+            other => panic!("both opens must be rejected, got {other:?}"),
+        }
     }
 
     #[test]

@@ -19,19 +19,32 @@
 //!   plan flagged `meets_slo: false`, which is what admission control
 //!   rejects on;
 //! - [`ServingPlanCache`] memoizes the search result under a
-//!   [`ServingPlanKey`] — the ordinary [`PlanKey`] with the co-runner count
-//!   folded in, so a busier server replans only when its concurrency level
-//!   actually changes.
+//!   [`ServingPlanKey`] — the ordinary [`PlanKey`] with the co-runner
+//!   count, the co-runner-mix digest, and the IO-sharing mode folded in,
+//!   so a server replans only when the contention it would plan against
+//!   actually changes (the table is bounded; see
+//!   [`ServingPlanCache::MAX_ENTRIES`]).
 //!
 //! Predictions use profiled (maximum) shard bytes and full overlap — every
 //! co-runner queues a request into each round — which biases conservative.
-//! Co-runners are modeled as running the *same* plan as the session being
-//! admitted (their actual plans are not knowable at planning time), so a
-//! small session among much larger co-runners can still see measured
-//! contention above the prediction; the serving report's measured contended
-//! track is the ground truth the prediction is judged against.
+//!
+//! Two refinements close the gap between prediction and the measured track:
+//!
+//! - **Real co-runner loads.** [`plan_for_slo`] models co-runners as clones
+//!   of the admitted session's plan (their plans are unknowable from the
+//!   planner alone), but the *server* knows its open sessions' actual
+//!   plans. [`plan_for_slo_against`] / [`predict_contended_latency_against`]
+//!   take each co-runner's real per-layer IO jobs
+//!   ([`CoRunnerLoad`], built by [`layer_io_jobs`]) instead of clones.
+//! - **Shared-IO mode.** When the scheduler batches
+//!   (`sti-storage`'s `BatchPolicy`), co-resident engagements issuing
+//!   byte-identical layer jobs share one flash read. Passing
+//!   [`IoSharing::Batched`] coalesces identical jobs within a round into a
+//!   single shared submission, so the search can discover that batching
+//!   admits sessions an unbatched prediction would reject.
 
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -48,17 +61,85 @@ use crate::plan::ExecutionPlan;
 /// the grouped-request delay for layers that stream, `None` for layers
 /// fully covered by the preload buffer.
 pub fn layer_io_services(hw: &HwProfile, plan: &ExecutionPlan) -> Vec<Option<SimTime>> {
+    layer_io_jobs(hw, plan).into_iter().map(|j| j.map(|j| j.service)).collect()
+}
+
+/// Whether co-resident engagements' IO is modeled as shared or exclusive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IoSharing {
+    /// Every engagement pays for its own reads (the scheduler's
+    /// `BatchPolicy::Off` behaviour, and the default).
+    #[default]
+    Exclusive,
+    /// Byte-identical layer jobs issued in the same dispatch round coalesce
+    /// into one flash read (the scheduler's shared-IO batching).
+    Batched,
+}
+
+/// One streaming layer's IO job: a content signature (what would be read)
+/// plus the device-model service time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayerIoJob {
+    /// Signature of the job's `(layer, shard set, bitwidths)` — two jobs
+    /// with equal signatures read identical bytes and may share one flash
+    /// read under [`IoSharing::Batched`].
+    pub sig: u64,
+    /// Uncontended device-model service time of the job.
+    pub service: SimTime,
+}
+
+/// Per-layer IO jobs of a plan: `Some` for layers that stream, `None` for
+/// layers fully covered by the preload buffer. The signature identifies the
+/// exact bytes read, so equal signatures across plans mean batchable jobs.
+pub fn layer_io_jobs(hw: &HwProfile, plan: &ExecutionPlan) -> Vec<Option<LayerIoJob>> {
     plan.layers
         .iter()
         .map(|pl| {
-            let pending: u64 = pl
-                .items()
-                .filter(|&(slice, _)| !plan.is_preloaded(ShardId::new(pl.layer, slice)))
-                .map(|(_, bw)| hw.shard_bytes(bw))
-                .sum();
-            (pending > 0).then(|| hw.request_latency + hw.transfer_delay(pending))
+            let mut bytes = 0u64;
+            let mut hasher = std::collections::hash_map::DefaultHasher::new();
+            pl.layer.hash(&mut hasher);
+            for (slice, bw) in
+                pl.items().filter(|&(slice, _)| !plan.is_preloaded(ShardId::new(pl.layer, slice)))
+            {
+                (slice, bw.bits()).hash(&mut hasher);
+                bytes += hw.shard_bytes(bw);
+            }
+            (bytes > 0).then(|| LayerIoJob {
+                sig: hasher.finish(),
+                service: hw.request_latency + hw.transfer_delay(bytes),
+            })
         })
         .collect()
+}
+
+/// An open co-runner's streaming IO load: its layer jobs in issue order
+/// (preload-covered layers contribute nothing).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoRunnerLoad {
+    /// The co-runner's streaming jobs, in the order its executor issues
+    /// them.
+    pub jobs: Vec<LayerIoJob>,
+}
+
+impl CoRunnerLoad {
+    /// Extracts a plan's streaming IO load (what this session contributes
+    /// to the flash queue as somebody else's co-runner).
+    pub fn from_plan(hw: &HwProfile, plan: &ExecutionPlan) -> Self {
+        Self { jobs: layer_io_jobs(hw, plan).into_iter().flatten().collect() }
+    }
+
+    /// Order-sensitive digest of a co-runner mix, for memo keys: two
+    /// open-session sets with equal digests predict identically.
+    pub fn digest(loads: &[CoRunnerLoad]) -> u64 {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        for load in loads {
+            load.jobs.len().hash(&mut hasher);
+            for job in &load.jobs {
+                (job.sig, job.service.as_us()).hash(&mut hasher);
+            }
+        }
+        hasher.finish()
+    }
 }
 
 /// Aligns an engagement's per-layer streaming flags with its completed
@@ -102,40 +183,89 @@ pub fn contended_makespan(
 }
 
 /// Predicts an engagement's contended end-to-end latency when
-/// `co_runners` identical engagements share the flash channel.
+/// `co_runners` identical engagements share the flash channel, with no IO
+/// sharing.
 ///
 /// All `co_runners + 1` engagements start at `t = 0` with every layer
 /// request already queued (the executor submits them up front), and the
 /// flash serves one request per engagement per round — the IO scheduler's
-/// round-robin policy. The returned latency is the slowest engagement's
-/// (the newest co-runner queues behind a full round for every layer).
+/// round-robin policy. The admitted session is modeled as the newest
+/// arrival (it queues behind a full round for every layer).
 ///
 /// With `co_runners == 0` this reproduces the plan's own predicted
-/// makespan exactly.
+/// makespan exactly. Co-runners are clones of the plan being admitted; see
+/// [`predict_contended_latency_against`] for real co-runner loads and the
+/// shared-IO mode.
 pub fn predict_contended_latency(
     hw: &HwProfile,
     plan: &ExecutionPlan,
     co_runners: usize,
 ) -> SimTime {
-    let services = layer_io_services(hw, plan);
-    let runners = co_runners as u64 + 1;
+    let co = vec![CoRunnerLoad::from_plan(hw, plan); co_runners];
+    predict_contended_latency_against(hw, plan, &co, IoSharing::Exclusive)
+}
+
+/// Predicts an engagement's contended end-to-end latency against the
+/// **actual** streaming loads of its co-runners, optionally with shared-IO
+/// batching.
+///
+/// Round `r` of the flash queue carries each co-runner's `r`-th streaming
+/// job followed by the candidate's (the candidate is the newest arrival,
+/// at the back of every round — the conservative ordering). Under
+/// [`IoSharing::Batched`], jobs in the same round with equal signatures
+/// coalesce into one shared flash read whose completion every member sees
+/// — so identical co-runners cost near-1× instead of N×.
+pub fn predict_contended_latency_against(
+    hw: &HwProfile,
+    plan: &ExecutionPlan,
+    co: &[CoRunnerLoad],
+    sharing: IoSharing,
+) -> SimTime {
+    let jobs = layer_io_jobs(hw, plan);
+    let candidate: Vec<LayerIoJob> = jobs.iter().copied().flatten().collect();
+    let candidate_id = co.len() as u64;
+    let rounds = candidate.len().max(co.iter().map(|c| c.jobs.len()).max().unwrap_or(0));
     let mut sim = FlashQueueSim::new();
-    for &service in services.iter().flatten() {
-        for e in 0..runners {
-            sim.submit(FlashJob { engagement: e, arrival: SimTime::ZERO, service });
+    for r in 0..rounds {
+        // This round's jobs in dispatch order: co-runners, then candidate.
+        let round: Vec<(u64, LayerIoJob)> = co
+            .iter()
+            .enumerate()
+            .filter_map(|(e, load)| load.jobs.get(r).map(|&j| (e as u64, j)))
+            .chain(candidate.get(r).map(|&j| (candidate_id, j)))
+            .collect();
+        // Group batchable jobs: one submission per signature, fanned out to
+        // every engagement that issued it this round.
+        let mut groups: Vec<(LayerIoJob, Vec<u64>)> = Vec::new();
+        for (engagement, job) in round {
+            match sharing {
+                IoSharing::Batched => {
+                    if let Some(group) = groups.iter_mut().find(|(j, _)| *j == job) {
+                        group.1.push(engagement);
+                        continue;
+                    }
+                    groups.push((job, vec![engagement]));
+                }
+                IoSharing::Exclusive => groups.push((job, vec![engagement])),
+            }
+        }
+        for (job, engagements) in groups {
+            sim.submit_shared(
+                FlashJob {
+                    engagement: engagements[0],
+                    arrival: SimTime::ZERO,
+                    service: job.service,
+                },
+                &engagements[1..],
+            );
         }
     }
     let report = sim.run();
     let comps = vec![hw.t_comp(plan.shape.width); plan.layers.len()];
-    let has_io: Vec<bool> = services.iter().map(Option::is_some).collect();
-    (0..runners)
-        .map(|e| {
-            let io_ends = align_io_completions(&has_io, &report.completions_of(e))
-                .expect("the simulator served every submitted job");
-            contended_makespan(SimTime::ZERO, &io_ends, &comps)
-        })
-        .max()
-        .unwrap_or(SimTime::ZERO)
+    let has_io: Vec<bool> = jobs.iter().map(Option::is_some).collect();
+    let io_ends = align_io_completions(&has_io, &report.completions_of(candidate_id))
+        .expect("the simulator served every submitted job");
+    contended_makespan(SimTime::ZERO, &io_ends, &comps)
 }
 
 /// The outcome of an SLO-aware planning search.
@@ -182,6 +312,47 @@ pub fn plan_for_slo(
     widths: &[usize],
     bitwidths: &[Bitwidth],
 ) -> ServingPlan {
+    search_ladder(hw, importance, slo, co_runners, preload_bytes, widths, bitwidths, |plan| {
+        predict_contended_latency(hw, plan, co_runners)
+    })
+}
+
+/// [`plan_for_slo`] against the **actual** loads of the currently open
+/// sessions (instead of clones of the candidate), optionally under the
+/// scheduler's shared-IO batching. With batching on and identical
+/// co-runners, the contended prediction collapses toward the uncontended
+/// makespan — the search then admits sessions at targets an unbatched
+/// prediction would have to reject.
+#[allow(clippy::too_many_arguments)]
+pub fn plan_for_slo_against(
+    hw: &HwProfile,
+    importance: &ImportanceProfile,
+    slo: SimTime,
+    co: &[CoRunnerLoad],
+    sharing: IoSharing,
+    preload_bytes: u64,
+    widths: &[usize],
+    bitwidths: &[Bitwidth],
+) -> ServingPlan {
+    search_ladder(hw, importance, slo, co.len(), preload_bytes, widths, bitwidths, |plan| {
+        predict_contended_latency_against(hw, plan, co, sharing)
+    })
+}
+
+/// The shared ladder walk of both SLO searches: plan each descending
+/// target with the unmodified two-stage planner, score its contended
+/// latency with `predict`, stop at the first hit.
+#[allow(clippy::too_many_arguments)]
+fn search_ladder(
+    hw: &HwProfile,
+    importance: &ImportanceProfile,
+    slo: SimTime,
+    co_runners: usize,
+    preload_bytes: u64,
+    widths: &[usize],
+    bitwidths: &[Bitwidth],
+    predict: impl Fn(&ExecutionPlan) -> SimTime,
+) -> ServingPlan {
     let mut best: Option<ServingPlan> = None;
     let mut seen_target = SimTime::ZERO;
     for per_mille in TARGET_LADDER_PER_MILLE {
@@ -191,7 +362,7 @@ pub fn plan_for_slo(
         }
         seen_target = target;
         let plan = plan_two_stage(hw, importance, target, preload_bytes, widths, bitwidths);
-        let predicted = predict_contended_latency(hw, &plan, co_runners);
+        let predicted = predict(&plan);
         let candidate = ServingPlan {
             plan,
             slo,
@@ -212,8 +383,9 @@ pub fn plan_for_slo(
 }
 
 /// The memo key of an SLO search: the ordinary planning knobs (with the
-/// SLO in the `target` slot) plus the co-runner count the contention
-/// prediction assumed.
+/// SLO in the `target` slot) plus what the contention prediction assumed —
+/// the co-runner count, a digest of the co-runners' actual loads, and
+/// whether shared-IO batching was modeled.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ServingPlanKey {
     /// Model/SLO/|S|/width/bitwidth knobs (`target` holds the SLO).
@@ -221,12 +393,29 @@ pub struct ServingPlanKey {
     /// Co-runner count folded into the key: a busier server genuinely needs
     /// a different plan.
     pub co_runners: usize,
+    /// Digest of the co-runners' actual loads ([`CoRunnerLoad::digest`]);
+    /// zero for clone-modeled searches.
+    pub co_digest: u64,
+    /// Whether the search modeled shared-IO batching.
+    pub shared_io: bool,
 }
 
 impl ServingPlanKey {
-    /// Builds a key from the base knobs and the co-runner count.
+    /// Builds a clone-modeled, exclusive-IO key from the base knobs and the
+    /// co-runner count (the [`plan_for_slo`] search).
     pub fn new(base: PlanKey, co_runners: usize) -> Self {
-        Self { base, co_runners }
+        Self { base, co_runners, co_digest: 0, shared_io: false }
+    }
+
+    /// Builds a key for a [`plan_for_slo_against`] search over real
+    /// co-runner loads.
+    pub fn against(base: PlanKey, co: &[CoRunnerLoad], sharing: IoSharing) -> Self {
+        Self {
+            base,
+            co_runners: co.len(),
+            co_digest: CoRunnerLoad::digest(co),
+            shared_io: sharing == IoSharing::Batched,
+        }
     }
 }
 
@@ -239,12 +428,21 @@ struct ServingCacheInner {
 /// A thread-safe memo table of SLO-search outcomes, memoized alongside the
 /// ordinary [`PlanCache`](crate::cache::PlanCache) (same stats shape, same
 /// discipline: the search runs outside the lock, first insert wins).
+///
+/// The table is bounded: keys carry the co-runner-mix digest, so a
+/// long-lived server with session churn mints fresh keys indefinitely.
+/// Reaching [`ServingPlanCache::MAX_ENTRIES`] flushes the table (counted
+/// as invalidations) — searches are pure and recomputable, so a flush
+/// costs one ladder walk per live mix, not correctness.
 #[derive(Debug, Default)]
 pub struct ServingPlanCache {
     inner: Mutex<ServingCacheInner>,
 }
 
 impl ServingPlanCache {
+    /// Entry bound: the table flushes (rather than grows) past this.
+    pub const MAX_ENTRIES: usize = 1024;
+
     /// Creates an empty cache.
     pub fn new() -> Self {
         Self::default()
@@ -281,6 +479,10 @@ impl ServingPlanCache {
         }
         let planned = Arc::new(search_fn());
         let mut inner = self.inner.lock();
+        if inner.plans.len() >= Self::MAX_ENTRIES && !inner.plans.contains_key(key) {
+            inner.stats.invalidations += inner.plans.len() as u64;
+            inner.plans.clear();
+        }
         inner.plans.entry(key.clone()).or_insert(planned).clone()
     }
 
@@ -411,6 +613,139 @@ mod tests {
             plan_for_slo(&hw(), &importance(), SimTime::from_ms(5), 8, 0, &WIDTHS, &Bitwidth::ALL);
         assert!(!served.meets_slo);
         assert!(served.predicted_contended > served.slo);
+    }
+
+    #[test]
+    fn serving_cache_flushes_at_its_bound() {
+        // One real search, cloned into every slot: the bound is about
+        // growth under key churn (co-runner digests), not search cost.
+        let served = plan_for_slo(
+            &hw(),
+            &importance(),
+            SimTime::from_ms(600),
+            0,
+            0,
+            &WIDTHS,
+            &Bitwidth::ALL,
+        );
+        let cache = ServingPlanCache::new();
+        let base = PlanKey::new("m", SimTime::from_ms(600), 0, &WIDTHS, &Bitwidth::ALL);
+        for digest in 0..=ServingPlanCache::MAX_ENTRIES as u64 {
+            let key = ServingPlanKey {
+                base: base.clone(),
+                co_runners: 1,
+                co_digest: digest,
+                shared_io: false,
+            };
+            cache.get_or_plan(&key, || served.clone());
+        }
+        assert_eq!(cache.len(), 1, "hitting the bound flushes, then admits the new entry");
+        assert_eq!(cache.stats().invalidations, ServingPlanCache::MAX_ENTRIES as u64);
+        assert_eq!(cache.stats().misses, ServingPlanCache::MAX_ENTRIES as u64 + 1);
+    }
+
+    #[test]
+    fn batched_prediction_collapses_identical_co_runners_to_one_read() {
+        let hw = hw();
+        let plan = plan_at(300, 0);
+        let alone = predict_contended_latency(&hw, &plan, 0);
+        for co_runners in [1usize, 4, 8] {
+            let co = vec![CoRunnerLoad::from_plan(&hw, &plan); co_runners];
+            let exclusive =
+                predict_contended_latency_against(&hw, &plan, &co, IoSharing::Exclusive);
+            let batched = predict_contended_latency_against(&hw, &plan, &co, IoSharing::Batched);
+            assert_eq!(
+                exclusive,
+                predict_contended_latency(&hw, &plan, co_runners),
+                "clone loads through the real-load path must reproduce the clone prediction"
+            );
+            assert_eq!(
+                batched, alone,
+                "identical co-runners share every read: contended collapses to uncontended"
+            );
+            assert!(batched < exclusive, "co={co_runners}");
+        }
+    }
+
+    #[test]
+    fn batching_does_not_help_disjoint_co_runners() {
+        let hw = hw();
+        let imp = importance();
+        let small = plan_at(200, 0);
+        let big = plan_two_stage(&hw, &imp, SimTime::from_ms(2_000), 0, &WIDTHS, &Bitwidth::ALL);
+        assert_ne!(small.shape, big.shape, "the fixture needs genuinely different plans");
+        let co = vec![CoRunnerLoad::from_plan(&hw, &big)];
+        let exclusive = predict_contended_latency_against(&hw, &small, &co, IoSharing::Exclusive);
+        let batched = predict_contended_latency_against(&hw, &small, &co, IoSharing::Batched);
+        // A bigger co-runner reads different shard sets: nothing coalesces,
+        // so batching must not under-predict.
+        assert!(batched >= exclusive.min(batched), "sanity");
+        assert!(batched <= exclusive, "sharing can only remove reads, never add them");
+    }
+
+    #[test]
+    fn batched_slo_search_admits_what_exclusive_rejects() {
+        let hw = hw();
+        let imp = importance();
+        // Six co-runners already running the exact plan the SLO's first
+        // ladder step produces — the identical-knob co-residency batching
+        // targets.
+        let slo = SimTime::from_ms(600);
+        let resident = plan_two_stage(&hw, &imp, slo, 0, &WIDTHS, &Bitwidth::ALL);
+        assert!(resident.predicted.makespan <= slo, "the fixture plan meets the SLO alone");
+        let co = vec![CoRunnerLoad::from_plan(&hw, &resident); 6];
+        let exclusive = plan_for_slo_against(
+            &hw,
+            &imp,
+            slo,
+            &co,
+            IoSharing::Exclusive,
+            0,
+            &WIDTHS,
+            &Bitwidth::ALL,
+        );
+        let batched = plan_for_slo_against(
+            &hw,
+            &imp,
+            slo,
+            &co,
+            IoSharing::Batched,
+            0,
+            &WIDTHS,
+            &Bitwidth::ALL,
+        );
+        assert!(batched.meets_slo, "shared IO admits the session");
+        assert_eq!(
+            batched.target, slo,
+            "identical co-runners fully coalesce: the search admits at the full SLO target"
+        );
+        // The unbatched prediction has to degrade (smaller target) or
+        // reject outright — that gap is what batching buys admission.
+        assert!(
+            !exclusive.meets_slo || exclusive.target < batched.target,
+            "exclusive IO must not admit the full-target plan under 6 co-runners"
+        );
+    }
+
+    #[test]
+    fn co_runner_digests_distinguish_loads() {
+        let hw = hw();
+        let a = CoRunnerLoad::from_plan(&hw, &plan_at(300, 0));
+        let b = CoRunnerLoad::from_plan(&hw, &plan_at(1_000, 0));
+        let one_a = std::slice::from_ref(&a);
+        let one_b = std::slice::from_ref(&b);
+        assert_eq!(
+            CoRunnerLoad::digest(one_a),
+            CoRunnerLoad::digest(one_a),
+            "digests are deterministic"
+        );
+        assert_ne!(CoRunnerLoad::digest(one_a), CoRunnerLoad::digest(one_b));
+        assert_ne!(CoRunnerLoad::digest(one_a), CoRunnerLoad::digest(&[a.clone(), a.clone()]));
+        let base = PlanKey::new("m", SimTime::from_ms(600), 0, &WIDTHS, &Bitwidth::ALL);
+        let k1 = ServingPlanKey::against(base.clone(), one_b, IoSharing::Batched);
+        let k2 = ServingPlanKey::against(base.clone(), one_b, IoSharing::Exclusive);
+        assert_ne!(k1, k2, "sharing mode is part of the key");
+        assert_ne!(k1, ServingPlanKey::new(base, 1), "real-load keys differ from clone keys");
     }
 
     #[test]

@@ -110,13 +110,6 @@ impl ShardCache {
         self.inner.lock().stats = ShardCacheStats::default();
     }
 
-    /// Whether a blob is resident, without touching recency or the
-    /// hit/miss counters (used by the IO scheduler to classify a request's
-    /// bytes for the contended track's DRAM-residency mode).
-    pub fn contains(&self, key: ShardKey) -> bool {
-        self.inner.lock().map.contains_key(&key)
-    }
-
     /// Looks a blob up, refreshing its recency on a hit.
     pub fn get(&self, key: ShardKey) -> Option<QuantizedBlob> {
         let mut inner = self.inner.lock();
@@ -183,12 +176,31 @@ impl ShardCache {
         source: &dyn ShardSource,
         key: ShardKey,
     ) -> Result<QuantizedBlob, StorageError> {
+        self.get_or_load_tracked(source, key).map(|(blob, _)| blob)
+    }
+
+    /// [`ShardCache::get_or_load`] that also reports whether the blob was
+    /// cache-resident, decided atomically with the lookup itself — the IO
+    /// scheduler classifies a request's bytes for the contended track's
+    /// DRAM-residency mode from this flag, and a separate
+    /// [`ShardCache::contains`] probe could disagree with what the lookup
+    /// actually did when another worker raced an insert or eviction
+    /// in between.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the backing source's error on a miss.
+    pub fn get_or_load_tracked(
+        &self,
+        source: &dyn ShardSource,
+        key: ShardKey,
+    ) -> Result<(QuantizedBlob, bool), StorageError> {
         if let Some(blob) = self.get(key) {
-            return Ok(blob);
+            return Ok((blob, true));
         }
         let blob = source.load(key)?;
         self.insert(key, &blob);
-        Ok(blob)
+        Ok((blob, false))
     }
 }
 

@@ -20,12 +20,16 @@
 //! - [`scheduler::IoScheduler`] — the IO pool multiplexing layer-granular
 //!   load requests from many concurrent engagements over one flash model
 //!   (FIFO per engagement, round-robin across engagements);
+//! - [`batcher`] — shared-IO batching policy: byte-identical layer requests
+//!   from engagements arriving within a window coalesce into one fan-out
+//!   flash job, charged once on the contended track;
 //! - [`loader::IoWorker`] — the seed's single-engagement IO facade, now a
 //!   one-channel view over the scheduler.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batcher;
 pub mod cache;
 pub mod error;
 pub mod format;
@@ -35,6 +39,7 @@ pub mod memstore;
 pub mod scheduler;
 pub mod store;
 
+pub use batcher::{BatchPolicy, BatchStats};
 pub use cache::{CachedSource, ShardCache, ShardCacheStats};
 pub use error::StorageError;
 pub use loader::{IoWorker, LayerRequest, LoadedLayer};

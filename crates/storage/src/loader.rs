@@ -28,12 +28,16 @@ pub struct LayerRequest {
 }
 
 /// The result of one layer load.
+///
+/// Blobs are `Arc`-shared: when the scheduler batches identical requests
+/// from co-resident engagements, every recipient's `LoadedLayer` points at
+/// the same decoded payload (read-mostly fan-out, no copies).
 #[derive(Debug, Clone)]
 pub struct LoadedLayer {
     /// The layer that was loaded.
     pub layer: u16,
     /// `(slice, blob)` pairs in request order.
-    pub blobs: Vec<(u16, QuantizedBlob)>,
+    pub blobs: Vec<(u16, Arc<QuantizedBlob>)>,
     /// Total serialized bytes fetched.
     pub bytes: u64,
     /// Simulated flash delay of the grouped request.

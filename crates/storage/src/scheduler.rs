@@ -22,7 +22,7 @@
 //!   next to seven neighbours (the determinism contract of the serving
 //!   tests). Aggregates land in [`IoSchedulerStats`].
 //! - **Contended track.** The scheduler additionally records its dispatch
-//!   sequence as [`FlashDispatchEvent`]s — one per serviced request, with
+//!   sequence as [`FlashDispatchEvent`]s — one per serviced flash job, with
 //!   the channel's simulated arrival time and byte/cache-hit accounting.
 //!   [`IoScheduler::contention_sim`] replays that sequence through the
 //!   discrete-event [`FlashQueueSim`] of `sti-device`, yielding the
@@ -32,6 +32,17 @@
 //!   opt-in residency mode for capacity planning. The contended track never
 //!   feeds back into execution results; it exists for serving reports, the
 //!   SLO planner, and admission control.
+//!
+//! **Shared-IO batching** (see [`crate::batcher`]): under an enabled
+//! [`BatchPolicy`], a dispatch may coalesce byte-identical head-of-queue
+//! requests from other channels whose arrivals fall inside the policy
+//! window. The flash services the group as **one** job; every member
+//! channel receives a bit-identical [`LoadedLayer`] (blobs are shared
+//! `Arc`s) in its own FIFO position, the uncontended track still charges
+//! each engagement its own device-model delay (sharing must not perturb
+//! deterministic results), and the contended track records one event with
+//! the member list so the replay charges the bytes once. The difference —
+//! what co-residency saved — is ledgered in [`BatchStats`].
 //!
 //! Failure policy: lock poisoning is recovered (worker critical sections
 //! never leave the state half-mutated), and shutdown — including a worker
@@ -44,6 +55,7 @@ use std::thread::JoinHandle;
 
 use sti_device::{FlashJob, FlashModel, FlashQueueSim, SimTime};
 
+use crate::batcher::{batchable, BatchPolicy, BatchStats};
 use crate::cache::ShardCache;
 use crate::error::StorageError;
 use crate::loader::{LayerRequest, LoadedLayer};
@@ -53,13 +65,15 @@ use sti_transformer::ShardId;
 /// Aggregate accounting across every channel the scheduler served.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct IoSchedulerStats {
-    /// Layer requests completed.
+    /// Layer requests completed (every member of a batched dispatch counts:
+    /// this is per-engagement accounting).
     pub requests: u64,
     /// Serialized bytes delivered (simulated-device accounting; cache hits
-    /// count too, because the per-engagement device model streams them).
+    /// and batch fan-outs count too, because the per-engagement device
+    /// model streams them — the *unbatched* byte total).
     pub bytes: u64,
     /// Simulated flash busy time if every request were served back-to-back
-    /// on the single flash channel.
+    /// on the single flash channel, with no cross-engagement sharing.
     pub sim_flash_busy: SimTime,
     /// Largest number of channels with queued or in-flight work observed at
     /// a dispatch point.
@@ -67,30 +81,52 @@ pub struct IoSchedulerStats {
     /// Requests dispatched while at least one other channel had work queued
     /// (a direct measure of flash contention under concurrency).
     pub contended_requests: u64,
+    /// Shared-IO batching counters (all zero under [`BatchPolicy::Off`]).
+    pub batch: BatchStats,
 }
 
-/// One serviced request on the contended track: the dispatch-order record
-/// the flash-queue simulator replays.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// One serviced flash job on the contended track: the dispatch-order record
+/// the flash-queue simulator replays. A batched dispatch appears **once**,
+/// with the fan-out recipients in [`FlashDispatchEvent::members`].
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FlashDispatchEvent {
     /// Dispatch sequence number (the order requests reached the flash).
     pub seq: u64,
-    /// The channel (engagement) the request belonged to.
+    /// The channel (engagement) that led the dispatch.
     pub channel: u64,
-    /// The channel's simulated arrival time (engagement start offset).
+    /// The job's simulated arrival time: the leader's effective arrival,
+    /// raised to the latest member's for a batched dispatch (the job can
+    /// only exist once every member has arrived).
     pub arrival: SimTime,
-    /// Serialized bytes of the request.
+    /// Serialized bytes of the request (charged once however many members
+    /// shared the job).
     pub bytes: u64,
     /// Bytes that were resident in the shared shard cache at dispatch.
     pub hit_bytes: u64,
     /// Uncontended device-model delay of the request.
     pub io_delay: SimTime,
+    /// Channels that shared this job beyond the leader (empty for an
+    /// exclusive dispatch).
+    pub members: Vec<u64>,
+}
+
+impl FlashDispatchEvent {
+    /// How many engagements this job delivered to (leader included).
+    pub fn fanout(&self) -> usize {
+        1 + self.members.len()
+    }
 }
 
 struct ChannelState {
     pending: VecDeque<LayerRequest>,
     completed: VecDeque<Result<LoadedLayer, StorageError>>,
     arrival: SimTime,
+    /// The arrival the channel's *next* dispatch is stamped with on the
+    /// contended track: starts at `arrival` and is raised to a batch's
+    /// arrival whenever the channel joins one, so each channel's event
+    /// arrivals are non-decreasing and the `(arrival, seq)` replay order
+    /// preserves per-channel FIFO.
+    effective_arrival: SimTime,
     inflight: bool,
     closed: bool,
 }
@@ -101,6 +137,7 @@ impl ChannelState {
             pending: VecDeque::new(),
             completed: VecDeque::new(),
             arrival,
+            effective_arrival: arrival,
             inflight: false,
             closed: false,
         }
@@ -121,6 +158,9 @@ struct SchedState {
     dispatch_seq: u64,
     /// Dispatch-order record of every serviced request (contended track).
     events: Vec<FlashDispatchEvent>,
+    /// While set, workers park instead of dispatching (quiesce support:
+    /// queue work deterministically, then release it in one burst).
+    paused: bool,
     shutdown: bool,
     stats: IoSchedulerStats,
 }
@@ -130,6 +170,7 @@ struct Shared {
     cache: Option<Arc<ShardCache>>,
     flash: FlashModel,
     throttle_scale: f64,
+    policy: BatchPolicy,
     state: Mutex<SchedState>,
     /// Signals workers that work arrived or shutdown began.
     work_cv: Condvar,
@@ -162,7 +203,7 @@ impl std::fmt::Debug for IoScheduler {
 }
 
 impl IoScheduler {
-    /// Spawns the scheduler.
+    /// Spawns the scheduler with batching disabled (the seed behaviour).
     ///
     /// `workers` is the host-thread pool size (the simulated device still
     /// has a single flash channel; extra workers only overlap host-side
@@ -178,6 +219,25 @@ impl IoScheduler {
         throttle_scale: f64,
         cache: Option<Arc<ShardCache>>,
     ) -> Self {
+        Self::spawn_batched(source, flash, workers, throttle_scale, cache, BatchPolicy::Off)
+    }
+
+    /// Spawns the scheduler with an explicit shared-IO [`BatchPolicy`]:
+    /// under an enabled policy, byte-identical head-of-queue requests from
+    /// channels arriving within the policy window are coalesced into one
+    /// fan-out flash job (see [`crate::batcher`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero or `throttle_scale` is outside `[0, 10]`.
+    pub fn spawn_batched(
+        source: Arc<dyn ShardSource>,
+        flash: FlashModel,
+        workers: usize,
+        throttle_scale: f64,
+        cache: Option<Arc<ShardCache>>,
+        policy: BatchPolicy,
+    ) -> Self {
         assert!(workers > 0, "scheduler needs at least one worker");
         assert!((0.0..=10.0).contains(&throttle_scale), "throttle scale must be within [0, 10]");
         let shared = Arc::new(Shared {
@@ -185,6 +245,7 @@ impl IoScheduler {
             cache,
             flash,
             throttle_scale,
+            policy,
             state: Mutex::new(SchedState::default()),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
@@ -224,6 +285,32 @@ impl IoScheduler {
         self.shared.lock_state().stats
     }
 
+    /// The scheduler's shared-IO batching policy.
+    pub fn batch_policy(&self) -> BatchPolicy {
+        self.shared.policy
+    }
+
+    /// Parks the worker pool: queued requests stay queued, in-flight
+    /// requests complete, nothing new dispatches until
+    /// [`IoScheduler::resume_dispatch`]. Quiesce support — tests and
+    /// benches use it to queue a whole co-resident workload and release it
+    /// in one burst so batching fan-outs are deterministic.
+    pub fn pause_dispatch(&self) {
+        self.shared.lock_state().paused = true;
+    }
+
+    /// Releases a [`IoScheduler::pause_dispatch`] and wakes the pool.
+    pub fn resume_dispatch(&self) {
+        self.shared.lock_state().paused = false;
+        self.shared.work_cv.notify_all();
+    }
+
+    /// Requests queued across all channels, not counting in-flight ones
+    /// (poll this while paused to know a workload is fully submitted).
+    pub fn queued_requests(&self) -> usize {
+        self.shared.lock_state().channels.values().map(|c| c.pending.len()).sum()
+    }
+
     /// Drops the contended-track event log (dispatch numbering continues,
     /// so later events still sort after anything already harvested). The
     /// log otherwise grows by one entry per serviced request for the
@@ -245,9 +332,20 @@ impl IoScheduler {
     /// shared shard cache are charged at that (DRAM-speed) model's service
     /// time instead of flash — the opt-in cache-residency mode.
     pub fn contention_sim(&self, dram: Option<FlashModel>) -> FlashQueueSim {
-        let flash = self.shared.flash;
+        Self::sim_from_events(&self.flash_events(), self.shared.flash, dram)
+    }
+
+    /// Builds the contended-track simulation from an explicit event list
+    /// (what [`IoScheduler::contention_sim`] does with the live log).
+    /// Batched events submit **one** shared job whose completion is
+    /// mirrored to every member — the bytes are charged once.
+    pub fn sim_from_events(
+        events: &[FlashDispatchEvent],
+        flash: FlashModel,
+        dram: Option<FlashModel>,
+    ) -> FlashQueueSim {
         let mut sim = FlashQueueSim::new();
-        for e in self.flash_events() {
+        for e in events {
             let service = match dram {
                 Some(d) if e.hit_bytes > 0 => {
                     let miss = e.bytes - e.hit_bytes;
@@ -257,7 +355,10 @@ impl IoScheduler {
                 }
                 _ => e.io_delay,
             };
-            sim.submit(FlashJob { engagement: e.channel, arrival: e.arrival, service });
+            sim.submit_shared(
+                FlashJob { engagement: e.channel, arrival: e.arrival, service },
+                &e.members,
+            );
         }
         sim
     }
@@ -395,11 +496,13 @@ fn worker_loop(shared: &Shared) {
     }
     let _guard = PanicGuard(shared);
     loop {
-        let (channel_id, req, depth, seq, arrival) = {
+        let dispatch = {
             let mut state = shared.lock_state();
             loop {
-                if let Some(pick) = pick_next(&mut state) {
-                    break pick;
+                if !state.paused {
+                    if let Some(pick) = pick_next(&mut state, shared.policy) {
+                        break pick;
+                    }
                 }
                 if state.shutdown {
                     return;
@@ -407,6 +510,7 @@ fn worker_loop(shared: &Shared) {
                 state = shared.work_cv.wait(state).unwrap_or_else(|e| e.into_inner());
             }
         };
+        let Dispatch { channel_id, req, depth, seq, arrival, members } = dispatch;
 
         let result = service(shared, &req);
 
@@ -415,14 +519,24 @@ fn worker_loop(shared: &Shared) {
         }
 
         let mut state = shared.lock_state();
+        let fanout = 1 + members.len();
         let result = match result {
             Ok((loaded, hit_bytes)) => {
-                state.stats.requests += 1;
-                state.stats.bytes += loaded.bytes;
-                state.stats.sim_flash_busy += loaded.io_delay;
+                // Per-engagement (uncontended-track) accounting: every
+                // member streamed the layer as far as the device model is
+                // concerned, so the unbatched totals charge the fan-out.
+                state.stats.requests += fanout as u64;
+                state.stats.bytes += loaded.bytes * fanout as u64;
+                state.stats.sim_flash_busy += loaded.io_delay * fanout as u64;
                 state.stats.max_queue_depth = state.stats.max_queue_depth.max(depth);
                 if depth > 1 {
-                    state.stats.contended_requests += 1;
+                    state.stats.contended_requests += fanout as u64;
+                }
+                if fanout > 1 {
+                    state.stats.batch.batched_dispatches += 1;
+                    state.stats.batch.coalesced_requests += members.len() as u64;
+                    state.stats.batch.flash_bytes_saved += loaded.bytes * members.len() as u64;
+                    state.stats.batch.max_fanout = state.stats.batch.max_fanout.max(fanout);
                 }
                 state.events.push(FlashDispatchEvent {
                     seq,
@@ -431,44 +545,94 @@ fn worker_loop(shared: &Shared) {
                     bytes: loaded.bytes,
                     hit_bytes,
                     io_delay: loaded.io_delay,
+                    members: members.iter().map(|(id, _)| *id).collect(),
                 });
+                // Fan the loaded layer out: blobs are `Arc`s, so member
+                // deliveries share the payload instead of copying it.
+                for (member_id, _) in &members {
+                    deliver(&mut state, *member_id, Ok(loaded.clone()));
+                }
                 Ok(loaded)
             }
-            Err(e) => Err(e),
-        };
-        let remove = match state.channels.get_mut(&channel_id) {
-            Some(channel) => {
-                channel.inflight = false;
-                if channel.closed {
-                    true
-                } else {
-                    channel.completed.push_back(result);
-                    if !channel.pending.is_empty() {
-                        state.turn_queue.push_back(channel_id);
+            Err(e) => {
+                // The shared load failed. The leader gets the error; each
+                // member's request goes back to the *front* of its queue
+                // (FIFO intact) to be retried — and to fail — on its own
+                // dispatch, so every engagement observes its own error.
+                for (member_id, member_req) in members {
+                    let closed = match state.channels.get_mut(&member_id) {
+                        Some(channel) => {
+                            channel.inflight = false;
+                            let closed = channel.closed;
+                            if !closed {
+                                channel.pending.push_front(member_req);
+                                state.turn_queue.push_back(member_id);
+                            }
+                            closed
+                        }
+                        None => false,
+                    };
+                    if closed {
+                        state.channels.remove(&member_id);
                     }
-                    false
                 }
+                Err(e)
             }
-            // The channel vanished while its request was in flight (it can
-            // only have been closed); nothing to deliver to.
-            None => false,
         };
-        if remove {
-            state.channels.remove(&channel_id);
-        }
+        deliver(&mut state, channel_id, result);
         drop(state);
         shared.done_cv.notify_all();
         shared.work_cv.notify_one();
     }
 }
 
-/// The dispatch pick: channel, request, observed queue depth, dispatch
-/// sequence number, and the channel's simulated arrival time.
-type Dispatch = (u64, LayerRequest, usize, u64, SimTime);
+/// Hands a completed (or failed) load to a channel, re-queuing it for its
+/// next round-robin turn when it still has pending work, and reaping it if
+/// it was closed while the request was in flight.
+fn deliver(state: &mut SchedState, channel_id: u64, result: Result<LoadedLayer, StorageError>) {
+    let remove = match state.channels.get_mut(&channel_id) {
+        Some(channel) => {
+            channel.inflight = false;
+            if channel.closed {
+                true
+            } else {
+                channel.completed.push_back(result);
+                if !channel.pending.is_empty() {
+                    state.turn_queue.push_back(channel_id);
+                }
+                false
+            }
+        }
+        // The channel vanished while its request was in flight (it can
+        // only have been closed); nothing to deliver to.
+        None => false,
+    };
+    if remove {
+        state.channels.remove(&channel_id);
+    }
+}
+
+/// One dispatch: the leading channel's request plus any batch members that
+/// joined it (each with the — identical — request popped from its queue,
+/// held so a failed batch can requeue them).
+struct Dispatch {
+    channel_id: u64,
+    req: LayerRequest,
+    /// Channels with queued or in-flight work observed at the pick.
+    depth: usize,
+    /// Dispatch sequence number (contended-track event ordering).
+    seq: u64,
+    /// The job's contended-track arrival (leader's effective arrival,
+    /// raised to the latest batch member's).
+    arrival: SimTime,
+    members: Vec<(u64, LayerRequest)>,
+}
 
 /// Picks the next request round-robin, skipping closed channels and
 /// channels whose previous request is still in flight (FIFO per channel).
-fn pick_next(state: &mut SchedState) -> Option<Dispatch> {
+/// Under an enabled batch policy, other channels' byte-identical
+/// head-of-queue requests within the arrival window join the dispatch.
+fn pick_next(state: &mut SchedState, policy: BatchPolicy) -> Option<Dispatch> {
     let depth = state.channels.values().filter(|c| !c.closed && c.has_work()).count();
     for _ in 0..state.turn_queue.len() {
         let id = state.turn_queue.pop_front()?;
@@ -485,10 +649,57 @@ fn pick_next(state: &mut SchedState) -> Option<Dispatch> {
         }
         if let Some(req) = channel.pending.pop_front() {
             channel.inflight = true;
-            let arrival = channel.arrival;
+            let leader_arrival = channel.arrival;
+            let mut batch_arrival = channel.effective_arrival;
             let seq = state.dispatch_seq;
             state.dispatch_seq += 1;
-            return Some((id, req, depth, seq, arrival));
+
+            let mut members: Vec<(u64, LayerRequest)> = Vec::new();
+            if policy.is_enabled() {
+                // Candidates in channel-id order so fan-out composition is
+                // deterministic once the queues are.
+                let mut candidates: Vec<u64> = state
+                    .channels
+                    .iter()
+                    .filter(|(&cid, c)| {
+                        cid != id
+                            && !c.closed
+                            && !c.inflight
+                            && c.pending.front().is_some_and(|head| {
+                                batchable(policy, &req, leader_arrival, head, c.arrival)
+                            })
+                    })
+                    .map(|(&cid, _)| cid)
+                    .collect();
+                candidates.sort_unstable();
+                for cid in candidates {
+                    let member = state.channels.get_mut(&cid).expect("candidate exists");
+                    let member_req = member.pending.pop_front().expect("candidate head checked");
+                    member.inflight = true;
+                    batch_arrival = batch_arrival.max(member.effective_arrival);
+                    members.push((cid, member_req));
+                }
+                if !members.is_empty() {
+                    // The shared job exists only once its last member has
+                    // arrived; raise every participant's effective arrival
+                    // so later events never sort before this one.
+                    for &(cid, _) in &members {
+                        state.channels.get_mut(&cid).expect("member exists").effective_arrival =
+                            batch_arrival;
+                        state.turn_queue.retain(|&qid| qid != cid);
+                    }
+                    state.channels.get_mut(&id).expect("leader exists").effective_arrival =
+                        batch_arrival;
+                }
+            }
+            return Some(Dispatch {
+                channel_id: id,
+                req,
+                depth,
+                seq,
+                arrival: batch_arrival,
+                members,
+            });
         }
     }
     None
@@ -496,7 +707,9 @@ fn pick_next(state: &mut SchedState) -> Option<Dispatch> {
 
 /// Services one request against the source (through the cache when
 /// present), returning the loaded layer plus how many of its bytes were
-/// cache-resident at dispatch (contended-track accounting).
+/// cache-resident at dispatch (contended-track accounting). Blobs are
+/// wrapped in `Arc`s so a batched dispatch fans the payload out by
+/// reference counting rather than copying.
 fn service(shared: &Shared, req: &LayerRequest) -> Result<(LoadedLayer, u64), StorageError> {
     let mut blobs = Vec::with_capacity(req.items.len());
     let mut bytes = 0u64;
@@ -507,14 +720,15 @@ fn service(shared: &Shared, req: &LayerRequest) -> Result<(LoadedLayer, u64), St
         bytes += size;
         let blob = match &shared.cache {
             Some(cache) => {
-                if cache.contains(key) {
+                let (blob, hit) = cache.get_or_load_tracked(&*shared.source, key)?;
+                if hit {
                     hit_bytes += size;
                 }
-                cache.get_or_load(&*shared.source, key)?
+                blob
             }
             None => shared.source.load(key)?,
         };
-        blobs.push((slice, blob));
+        blobs.push((slice, Arc::new(blob)));
     }
     let io_delay =
         if req.items.is_empty() { SimTime::ZERO } else { shared.flash.request_delay(bytes) };
@@ -783,5 +997,179 @@ mod tests {
         // The worker dies mid-service; recv must surface the shutdown as an
         // error, not block forever or panic the calling thread.
         assert!(matches!(ch.recv(), Err(StorageError::SchedulerShutdown)));
+    }
+
+    /// Spawns a paused scheduler under `policy` so tests can queue a whole
+    /// workload before the first dispatch (deterministic batching).
+    fn paused_sched(policy: BatchPolicy) -> IoScheduler {
+        let (store, _, flash) = fixture(0);
+        let sched = IoScheduler::spawn_batched(store, flash, 1, 0.0, None, policy);
+        sched.pause_dispatch();
+        sched
+    }
+
+    #[test]
+    fn identical_requests_coalesce_into_one_fanout_dispatch() {
+        let sched = paused_sched(BatchPolicy::from_window_us(1_000));
+        let channels: Vec<IoChannel> = (0..4).map(|_| sched.channel()).collect();
+        for layer in 0..2u16 {
+            for ch in &channels {
+                ch.request(request(layer, 0)).unwrap();
+            }
+        }
+        assert_eq!(sched.queued_requests(), 8);
+        sched.resume_dispatch();
+        // Every channel receives both layers, FIFO, bit-identical blobs.
+        let mut first_layer_blobs = Vec::new();
+        for ch in &channels {
+            let l0 = ch.recv().unwrap();
+            assert_eq!(l0.layer, 0);
+            first_layer_blobs.push(l0);
+            assert_eq!(ch.recv().unwrap().layer, 1);
+        }
+        for loaded in &first_layer_blobs[1..] {
+            assert_eq!(loaded.bytes, first_layer_blobs[0].bytes);
+            assert_eq!(loaded.io_delay, first_layer_blobs[0].io_delay);
+            assert_eq!(loaded.blobs[0].1, first_layer_blobs[0].blobs[0].1, "fan-out is identical");
+            // The payload is shared, not copied.
+            assert!(Arc::ptr_eq(&loaded.blobs[0].1, &first_layer_blobs[0].blobs[0].1));
+        }
+        // Two dispatches (one per layer), each 4-way.
+        let stats = sched.stats();
+        assert_eq!(stats.requests, 8, "per-engagement accounting still counts every request");
+        assert_eq!(stats.batch.batched_dispatches, 2);
+        assert_eq!(stats.batch.coalesced_requests, 6);
+        assert_eq!(stats.batch.max_fanout, 4);
+        assert_eq!(stats.batch.flash_bytes_saved, stats.bytes / 4 * 3, "3 of 4 copies saved");
+        let events = sched.flash_events();
+        assert_eq!(events.len(), 2, "batched dispatches appear once in the event stream");
+        assert!(events.iter().all(|e| e.fanout() == 4));
+        // The contended replay charges the bytes once but completes every
+        // engagement's layers.
+        let report = sched.contention_sim(None).run();
+        assert_eq!(report.busy * 4, stats.sim_flash_busy, "flash pays 1/4 of the unbatched busy");
+        for ch in &channels {
+            assert_eq!(report.completions_of(ch.id()).len(), 2);
+        }
+        sched.shutdown();
+    }
+
+    #[test]
+    fn batching_respects_the_arrival_window() {
+        let sched = paused_sched(BatchPolicy::from_window_us(100));
+        let near_a = sched.channel_at(SimTime::ZERO);
+        let near_b = sched.channel_at(SimTime::from_us(100));
+        let far = sched.channel_at(SimTime::from_ms(10));
+        for ch in [&near_a, &near_b, &far] {
+            ch.request(request(0, 0)).unwrap();
+        }
+        sched.resume_dispatch();
+        for ch in [&near_a, &near_b, &far] {
+            ch.recv().unwrap();
+        }
+        let stats = sched.stats();
+        assert_eq!(stats.batch.batched_dispatches, 1, "only the in-window pair coalesces");
+        assert_eq!(stats.batch.max_fanout, 2);
+        assert_eq!(sched.flash_events().len(), 2);
+        sched.shutdown();
+    }
+
+    #[test]
+    fn different_requests_do_not_coalesce() {
+        let sched = paused_sched(BatchPolicy::from_window_us(1_000));
+        let a = sched.channel();
+        let b = sched.channel();
+        a.request(request(0, 0)).unwrap();
+        b.request(request(0, 1)).unwrap(); // same layer, different slice
+        sched.resume_dispatch();
+        a.recv().unwrap();
+        b.recv().unwrap();
+        assert_eq!(sched.stats().batch, BatchStats::default());
+        assert_eq!(sched.flash_events().len(), 2);
+        sched.shutdown();
+    }
+
+    #[test]
+    fn off_policy_never_batches_even_when_requests_align() {
+        let sched = paused_sched(BatchPolicy::Off);
+        let a = sched.channel();
+        let b = sched.channel();
+        a.request(request(0, 0)).unwrap();
+        b.request(request(0, 0)).unwrap();
+        sched.resume_dispatch();
+        a.recv().unwrap();
+        b.recv().unwrap();
+        assert_eq!(sched.stats().batch, BatchStats::default());
+        assert_eq!(sched.flash_events().len(), 2);
+        sched.shutdown();
+    }
+
+    #[test]
+    fn batched_event_arrival_is_the_latest_member_and_stays_monotone() {
+        let sched = paused_sched(BatchPolicy::from_window_us(500));
+        let early = sched.channel_at(SimTime::ZERO);
+        let late = sched.channel_at(SimTime::from_us(400));
+        // Layer 0 batches; layer 1 runs solo on the early channel.
+        early.request(request(0, 0)).unwrap();
+        late.request(request(0, 0)).unwrap();
+        early.request(request(1, 0)).unwrap();
+        sched.resume_dispatch();
+        early.recv().unwrap();
+        early.recv().unwrap();
+        late.recv().unwrap();
+        let events = sched.flash_events();
+        assert_eq!(events.len(), 2);
+        let batch = events.iter().find(|e| e.fanout() == 2).unwrap();
+        let solo = events.iter().find(|e| e.fanout() == 1).unwrap();
+        assert_eq!(batch.arrival, SimTime::from_us(400), "the job exists once all members have");
+        // The early channel's later event inherits the raised arrival so
+        // the (arrival, seq) replay order preserves its FIFO.
+        assert_eq!(solo.arrival, SimTime::from_us(400));
+        assert!(solo.seq > batch.seq);
+        let report = sched.contention_sim(None).run();
+        let mine = report.completions_of(early.id());
+        assert_eq!(mine.len(), 2);
+        assert!(mine[0].completion <= mine[1].start, "per-channel FIFO survives the replay");
+        sched.shutdown();
+    }
+
+    #[test]
+    fn failed_batch_delivers_an_error_to_every_member() {
+        let (store, _, flash) = fixture(0);
+        store.remove(ShardKey::new(ShardId::new(1, 0), Bitwidth::B2));
+        let sched = IoScheduler::spawn_batched(
+            store,
+            flash,
+            1,
+            0.0,
+            None,
+            BatchPolicy::from_window_us(1_000),
+        );
+        sched.pause_dispatch();
+        let channels: Vec<IoChannel> = (0..3).map(|_| sched.channel()).collect();
+        for ch in &channels {
+            ch.request(request(1, 0)).unwrap(); // the missing shard
+            ch.request(request(0, 0)).unwrap(); // a healthy follow-up
+        }
+        sched.resume_dispatch();
+        for ch in &channels {
+            assert!(ch.recv().is_err(), "each member observes its own error");
+            let ok = ch.recv().unwrap();
+            assert_eq!(ok.layer, 0, "FIFO: the healthy request still lands after the error");
+        }
+        sched.shutdown();
+    }
+
+    #[test]
+    fn pause_holds_work_and_resume_releases_it() {
+        let sched = paused_sched(BatchPolicy::Off);
+        let ch = sched.channel();
+        ch.request(request(0, 0)).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        assert_eq!(sched.queued_requests(), 1, "paused scheduler must not dispatch");
+        sched.resume_dispatch();
+        assert!(ch.recv().is_ok());
+        assert_eq!(sched.queued_requests(), 0);
+        sched.shutdown();
     }
 }

@@ -29,10 +29,14 @@
 //! compressed blobs, shared read-mostly preload buffers, and an
 //! `IoScheduler` that multiplexes layer requests from N concurrent
 //! engagements over one flash model (FIFO per engagement, round-robin
-//! across engagements). Apps hold lightweight [`prelude::Session`] handles.
+//! across engagements, and — under a `BatchPolicy` window — **shared-IO
+//! batching**: co-resident sessions' byte-identical layer loads coalesce
+//! into one fan-out flash job, so N identical co-runners pay near-1× flash
+//! instead of N×). Apps hold lightweight [`prelude::Session`] handles.
 //! Sharing is invisible to results: a single session reproduces the engine
 //! bit-for-bit, and N concurrent sessions reproduce N sequential runs
-//! exactly (`tests/serving_runtime.rs` pins both down).
+//! exactly (`tests/serving_runtime.rs` pins both down;
+//! `tests/serving_batching.rs` pins the batched economics).
 //!
 //! ## Serving quickstart
 //!

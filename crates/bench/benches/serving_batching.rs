@@ -61,13 +61,17 @@ fn bench_batched_admission(c: &mut Criterion) {
     let resident = plan_two_stage(&hw, &importance, slo, 0, &[2, 4], &Bitwidth::ALL);
     let co = vec![CoRunnerLoad::from_plan(&hw, &resident); 7];
     let mut group = c.benchmark_group("plan_for_slo_against");
-    for (name, sharing) in [("exclusive", IoSharing::Exclusive), ("batched", IoSharing::Batched)] {
+    for (name, sharing) in [
+        ("exclusive", IoSharing::Exclusive),
+        ("batched", IoSharing::Batched(SimTime::from_us(500))),
+    ] {
         group.bench_function(name, |b| {
             b.iter(|| {
                 plan_for_slo_against(
                     &hw,
                     &importance,
                     slo,
+                    SimTime::ZERO,
                     &co,
                     sharing,
                     0,

@@ -25,6 +25,12 @@ pub fn usage() -> String {
      \x20             [--batch-window 0]   µs window for shared-IO batching: co-resident\n\
      \x20                                  sessions arriving within it share one flash job\n\
      \x20                                  per identical layer read (0 = off)\n\
+     \x20             [--backpressure off|queue|shed]  infer-time gate for SLO engagements:\n\
+     \x20                                  queue = delay an engagement (simulated time) until\n\
+     \x20                                  the live flash-queue prediction meets its SLO,\n\
+     \x20                                  shed = fail fast instead of missing\n\
+     \x20             [--max-queue-ms 100] queue-mode patience: shed when even this delay\n\
+     \x20                                  cannot save the engagement\n\
      \x20             [--device d] [--target-ms 200] [--preload-kb 16]\n\
      \x20             [--io-workers 2] [--shard-cache-kb 4096]        replay a multi-client trace\n"
         .to_string()
@@ -179,10 +185,32 @@ fn admission_mode(name: &str) -> Result<AdmissionMode, ArgError> {
     }
 }
 
+fn backpressure_mode(name: &str, max_queue_ms: u64) -> Result<BackpressureMode, ArgError> {
+    match name.to_lowercase().as_str() {
+        "off" => Ok(BackpressureMode::Off),
+        "queue" => {
+            // Bounded so the ms→µs conversion cannot wrap (the same guard
+            // trace files apply to their time fields).
+            const MAX_QUEUE_MS: u64 = u64::MAX / 1_000_000;
+            if max_queue_ms > MAX_QUEUE_MS {
+                return Err(ArgError(format!(
+                    "--max-queue-ms {max_queue_ms} overflows the simulated timeline \
+                     (max {MAX_QUEUE_MS})"
+                )));
+            }
+            Ok(BackpressureMode::Queue(SimTime::from_ms(max_queue_ms)))
+        }
+        "shed" => Ok(BackpressureMode::Shed),
+        other => Err(ArgError(format!("unknown backpressure mode '{other}' (off|queue|shed)"))),
+    }
+}
+
 fn cmd_serve(args: &Args) -> Result<String, ArgError> {
     let kind = task_kind(args.require("task")?)?;
     let slo_ms = args.get_u64("slo-ms", 0)?;
     let batch_window_us = args.get_u64("batch-window", 0)?;
+    let backpressure =
+        backpressure_mode(args.get_or("backpressure", "off"), args.get_u64("max-queue-ms", 100)?)?;
     let cfg = ServeConfig {
         device: device(args.get_or("device", "odroid"))?,
         target: SimTime::from_ms(args.get_u64("target-ms", 200)?),
@@ -193,6 +221,7 @@ fn cmd_serve(args: &Args) -> Result<String, ArgError> {
         admission: admission_mode(args.get_or("admission", "off"))?,
         dram_residency: args.get_u64("dram-hits", 0)? != 0,
         batch_window: (batch_window_us > 0).then(|| SimTime::from_us(batch_window_us)),
+        backpressure,
     };
     let model_cfg = match args.get_or("model", "bert") {
         "tiny" => ModelConfig::tiny(), // CI smoke scale
@@ -243,7 +272,7 @@ fn cmd_serve(args: &Args) -> Result<String, ArgError> {
         .iter()
         .flat_map(|c| c.iter())
         .next()
-        .ok_or_else(|| ArgError("every client was rejected at admission".into()))?;
+        .ok_or_else(|| ArgError("every engagement was rejected at admission or shed".into()))?;
     let contention = &concurrent.contention;
     let slo_line = match contention.slo_hit_rate() {
         Some(rate) => format!("{:.0}% of SLO engagements met their SLO", rate * 100.0),
@@ -261,6 +290,18 @@ fn cmd_serve(args: &Args) -> Result<String, ArgError> {
     } else {
         "off".to_string()
     };
+    let backpressure_line = match backpressure {
+        BackpressureMode::Off => "off".to_string(),
+        mode => {
+            let name = if matches!(mode, BackpressureMode::Shed) { "shed" } else { "queue" };
+            format!(
+                "{name}: {} shed, {} queue-delayed (max delay {})",
+                contention.shed_count(),
+                contention.queue_delayed(),
+                contention.max_queue_delay(),
+            )
+        }
+    };
     Ok(format!(
         "served {} of {} engagements over {} sessions ({} rejected at admission)\n\
          \x20 throughput    {:.1} engagements/s concurrent, {:.1} sequential ({:.2}x)\n\
@@ -269,6 +310,7 @@ fn cmd_serve(args: &Args) -> Result<String, ArgError> {
          \x20 shard cache   {} hit / {} miss ({:.0}% hit rate), {} evictions\n\
          \x20 io scheduler  {} requests, {} bytes, flash busy {}, max queue depth {}\n\
          \x20 batching      {}\n\
+         \x20 backpressure  {}\n\
          \x20 contended     p50 {} | p95 {} | max {} end-to-end; {}\n\
          \x20 determinism   concurrent outcomes {} sequential replay\n",
         served,
@@ -294,6 +336,7 @@ fn cmd_serve(args: &Args) -> Result<String, ArgError> {
         concurrent.io_stats.sim_flash_busy,
         concurrent.io_stats.max_queue_depth,
         batching_line,
+        backpressure_line,
         contention.latency_percentile(0.5),
         contention.latency_percentile(0.95),
         contention.latency_percentile(1.0),
@@ -376,6 +419,48 @@ mod tests {
             .unwrap();
         let err = dispatch(&args).unwrap_err();
         assert!(err.to_string().contains("synthetic traces only"), "{err}");
+        // Backpressure modes are validated before any work happens.
+        let args =
+            Args::parse(["serve", "--task", "sst2", "--backpressure", "panic", "--model", "tiny"])
+                .unwrap();
+        let err = dispatch(&args).unwrap_err();
+        assert!(err.to_string().contains("off|queue|shed"), "{err}");
+        // A queue patience that would overflow ms→µs is rejected, not
+        // silently wrapped.
+        let args = Args::parse([
+            "serve",
+            "--task",
+            "sst2",
+            "--backpressure",
+            "queue",
+            "--max-queue-ms",
+            "99999999999999999",
+            "--model",
+            "tiny",
+        ])
+        .unwrap();
+        let err = dispatch(&args).unwrap_err();
+        assert!(err.to_string().contains("overflows the simulated timeline"), "{err}");
+    }
+
+    #[test]
+    fn serve_reports_backpressure_sheds_on_a_bursty_trace() {
+        let args = Args::parse([
+            "serve",
+            "--task",
+            "sst2",
+            "--model",
+            "tiny",
+            "--trace",
+            "../../examples/traces/burst.json",
+            "--backpressure",
+            "shed",
+        ])
+        .unwrap();
+        let report = dispatch(&args).unwrap();
+        assert!(report.contains("backpressure  shed:"), "{report}");
+        assert!(!report.contains("backpressure  shed: 0 shed"), "the burst must shed: {report}");
+        assert!(report.contains("exactly reproduce"), "{report}");
     }
 
     #[test]

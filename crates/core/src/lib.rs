@@ -81,21 +81,23 @@ pub mod prelude {
     };
     pub use sti_nlp::{Dataset, HashingTokenizer, Task, TaskKind};
     pub use sti_pipeline::{
-        AdmissionMode, ContentionReport, EngagementContention, Inference, PipelineError,
-        PipelineExecutor, PreloadBuffer, ServingStats, Session, StiEngine, StiServer,
+        AdmissionMode, BackpressureMode, ContentionReport, EngagementContention, GateDecision,
+        Inference, PipelineError, PipelineExecutor, PreloadBuffer, ServingStats, Session,
+        StiEngine, StiServer,
     };
     pub use sti_planner::compute_plan::DYNABERT_WIDTHS;
     pub use sti_planner::{
-        layer_io_jobs, plan_compute, plan_for_slo, plan_for_slo_against, plan_io, plan_two_stage,
-        predict_contended_latency, predict_contended_latency_against, profile_importance,
-        CoRunnerLoad, ExecutionPlan, ImportanceProfile, IoSharing, PlanCache, PlanCacheStats,
+        layer_io_jobs, min_queue_delay, plan_compute, plan_for_slo, plan_for_slo_against, plan_io,
+        plan_two_stage, predict_contended_latency, predict_contended_latency_against,
+        predict_contended_latency_at, predict_engagement_latency, profile_importance, CoRunnerLoad,
+        EngagementLoad, ExecutionPlan, ImportanceProfile, IoSharing, PlanCache, PlanCacheStats,
         PlanKey, ServingPlan, ServingPlanCache, ServingPlanKey, SubmodelShape,
     };
     pub use sti_quant::{Bitwidth, QuantConfig, QuantizedBlob};
     pub use sti_storage::{
-        BatchPolicy, BatchStats, CachedSource, FlashDispatchEvent, IoChannel, IoScheduler,
-        LayerRequest, LoadedLayer, MemStore, ShardCache, ShardCacheStats, ShardKey, ShardSource,
-        ShardStore,
+        BacklogSnapshot, BatchPolicy, BatchStats, CachedSource, ChannelBacklog, FlashDispatchEvent,
+        IoChannel, IoScheduler, LayerRequest, LoadedLayer, MemStore, QueuedIo, ShardCache,
+        ShardCacheStats, ShardKey, ShardSource, ShardStore,
     };
     pub use sti_transformer::{Model, ModelConfig, ShardId};
 }

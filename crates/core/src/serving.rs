@@ -21,13 +21,17 @@
 //!
 //! Alongside the deterministic outcomes, the report carries the **contended
 //! track**: the server's flash-queue replay ([`ContentionReport`]), SLO hit
-//! rates, and which clients admission control rejected.
+//! rates, which clients admission control rejected, and — with a
+//! [`BackpressureMode`] configured — the per-engagement gate decisions
+//! (queue delays and sheds; shed engagements produce no outcome in either
+//! replay mode, and the decisions themselves are deterministic).
 
 use std::time::Duration;
 
 use sti_device::{DeviceProfile, HwProfile, SimTime};
 use sti_pipeline::{
-    AdmissionMode, ContentionReport, PipelineError, ServingStats, Session, StiServer,
+    AdmissionMode, BackpressureMode, ContentionReport, PipelineError, ServingStats, Session,
+    StiServer,
 };
 use sti_planner::PlanCacheStats;
 use sti_storage::{BatchPolicy, IoSchedulerStats, ShardCacheStats};
@@ -56,6 +60,11 @@ pub struct ServeConfig {
     /// Shared-IO batching window: sessions arriving within it share one
     /// flash job per identical layer request (`None`: batching off).
     pub batch_window: Option<SimTime>,
+    /// Infer-time backpressure for SLO clients: queue (delay an engagement
+    /// until the live flash-queue prediction meets its SLO) or shed (fail
+    /// fast instead of missing). Shed engagements produce no outcome and
+    /// are counted in the contention report's gate log.
+    pub backpressure: BackpressureMode,
 }
 
 impl Default for ServeConfig {
@@ -70,6 +79,7 @@ impl Default for ServeConfig {
             admission: AdmissionMode::Disabled,
             dram_residency: false,
             batch_window: None,
+            backpressure: BackpressureMode::Off,
         }
     }
 }
@@ -199,6 +209,7 @@ pub fn build_server(ctx: &TaskContext, cfg: &ServeConfig) -> StiServer {
             Some(window) => BatchPolicy::Window(window),
             None => BatchPolicy::Off,
         })
+        .backpressure(cfg.backpressure)
         .build()
 }
 
@@ -214,7 +225,9 @@ fn open_sessions(
         .iter()
         .map(|client| {
             let opened = match client.slo {
-                Some(slo) => server.session_with_slo(slo, client.preload_bytes),
+                // SLO admission sees the client's real arrival offset, so a
+                // straggler is not priced as co-arriving with everyone.
+                Some(slo) => server.session_with_slo_at(slo, client.preload_bytes, client.arrival),
                 None => server.session_with(client.target, client.preload_bytes),
             };
             match opened {
@@ -285,19 +298,23 @@ fn run_client(
     let Some(session) = session else {
         return Ok(Vec::new()); // rejected at admission
     };
-    client
-        .engagements
-        .iter()
-        .map(|tokens| {
-            let inf = session.infer(tokens)?;
-            Ok(EngagementOutcome {
+    let mut outcomes = Vec::with_capacity(client.engagements.len());
+    for tokens in &client.engagements {
+        match session.infer(tokens) {
+            Ok(inf) => outcomes.push(EngagementOutcome {
                 class: inf.class,
                 probabilities: inf.probabilities,
                 makespan: inf.outcome.timeline.makespan,
                 loaded_bytes: inf.outcome.loaded_bytes,
-            })
-        })
-        .collect()
+            }),
+            // A shed engagement produces no outcome; the decision is in the
+            // contention report's gate log. The client keeps going — the
+            // gate is per-engagement, not per-session.
+            Err(PipelineError::Backpressure { .. }) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(outcomes)
 }
 
 fn report(

@@ -30,7 +30,11 @@
 //! The offline vendor stub for `serde` has no-op derives, so this module
 //! carries a minimal recursive-descent JSON reader (objects, arrays,
 //! unsigned integers, strings, booleans, null) — enough for the schema
-//! above, with position-annotated errors.
+//! above, with position-annotated syntax errors. Schema diagnostics name
+//! the client index and field: a negative `arrival_us`, a fractional
+//! `slo_ms`, or a time value large enough to overflow the simulated
+//! timeline is reported as e.g. `clients[3].arrival_us must be an unsigned
+//! integer, got '-250'` rather than a generic parse failure.
 
 use std::fmt;
 use std::path::Path;
@@ -88,8 +92,13 @@ enum Json {
     Null,
     Bool(bool),
     /// Unsigned integers only: every number in a trace is a count, token
-    /// id, or millisecond value.
+    /// id, or time value.
     Num(u64),
+    /// A numeric token that is not an unsigned integer in range (negative,
+    /// fractional, exponent, or wider than `u64`). Kept as text so the
+    /// schema layer can reject it **naming the field**, instead of a
+    /// generic parse failure at a byte offset.
+    BadNum(String),
     Str(String),
     Arr(Vec<Json>),
     Obj(Vec<(String, Json)>),
@@ -147,7 +156,7 @@ impl<'a> Parser<'a> {
             b'{' => self.object(),
             b'[' => self.array(),
             b'"' => Ok(Json::Str(self.string()?)),
-            b'0'..=b'9' => self.number(),
+            b'0'..=b'9' | b'-' => self.number(),
             b't' if self.eat_literal("true") => Ok(Json::Bool(true)),
             b'f' if self.eat_literal("false") => Ok(Json::Bool(false)),
             b'n' if self.eat_literal("null") => Ok(Json::Null),
@@ -251,15 +260,19 @@ impl<'a> Parser<'a> {
     }
 
     fn number(&mut self) -> Result<Json, TraceFileError> {
+        // Consume the whole numeric token — sign, digits, fraction,
+        // exponent. Anything that is not a u64 becomes `BadNum`, so the
+        // schema layer can name the offending client and field.
         let start = self.pos;
-        while matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
+        while matches!(
+            self.bytes.get(self.pos),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'-' | b'+')
+        ) {
             self.pos += 1;
         }
-        if matches!(self.bytes.get(self.pos), Some(b'.' | b'e' | b'E' | b'-' | b'+')) {
-            return Err(self.error("only unsigned integers are supported in traces"));
-        }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits are ASCII");
-        text.parse::<u64>().map(Json::Num).map_err(|_| self.error("integer out of range"))
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("numeric tokens are ASCII");
+        Ok(text.parse::<u64>().map(Json::Num).unwrap_or_else(|_| Json::BadNum(text.to_string())))
     }
 }
 
@@ -292,34 +305,66 @@ impl Json {
     fn as_num(&self, what: &str) -> Result<u64, TraceFileError> {
         match self {
             Json::Num(n) => Ok(*n),
+            Json::BadNum(text) => Err(TraceFileError::Schema(format!(
+                "{what} must be an unsigned integer, got '{text}'"
+            ))),
             other => Err(TraceFileError::Schema(format!("{what} must be a number, got {other:?}"))),
         }
     }
+
+    /// [`Json::as_num`] with an inclusive upper bound: values that would
+    /// overflow later unit conversions or timeline arithmetic are rejected
+    /// here, naming the field, instead of silently wrapping in release
+    /// builds.
+    fn as_bounded_num(&self, what: &str, max: u64, unit: &str) -> Result<u64, TraceFileError> {
+        let n = self.as_num(what)?;
+        if n > max {
+            return Err(TraceFileError::Schema(format!(
+                "{what} is out of range: {n} {unit} overflows the simulated timeline \
+                 (max {max} {unit})"
+            )));
+        }
+        Ok(n)
+    }
 }
+
+/// Largest accepted millisecond value: `ms → µs` conversion and downstream
+/// timeline sums must stay inside `u64` (≈ 584 simulated years of headroom).
+const MAX_TIME_MS: u64 = u64::MAX / 1_000_000;
+/// Largest accepted arrival offset in microseconds (same headroom rule).
+const MAX_ARRIVAL_US: u64 = u64::MAX / 1_000;
+/// Largest accepted preload budget in KiB: `kb << 10` must not wrap.
+const MAX_PRELOAD_KB: u64 = u64::MAX >> 10;
 
 fn client_from_json(index: usize, json: &Json) -> Result<ClientTrace, TraceFileError> {
     if !matches!(json, Json::Obj(_)) {
         return Err(TraceFileError::Schema(format!("clients[{index}] must be an object")));
     }
     let target_ms = match json.field("target_ms") {
-        Some(v) => v.as_num(&format!("clients[{index}].target_ms"))?,
+        Some(v) => v.as_bounded_num(&format!("clients[{index}].target_ms"), MAX_TIME_MS, "ms")?,
         None => 200,
     };
     let preload_kb = match json.field("preload_kb") {
-        Some(v) => v.as_num(&format!("clients[{index}].preload_kb"))?,
+        Some(v) => {
+            v.as_bounded_num(&format!("clients[{index}].preload_kb"), MAX_PRELOAD_KB, "KiB")?
+        }
         None => 16,
     };
     // `0` means "no SLO", matching the CLI's 0-is-off flag convention (a
     // literal zero SLO could never be met and would always be rejected).
     let slo = match json.field("slo_ms") {
         Some(Json::Null) | None => None,
-        Some(v) => match v.as_num(&format!("clients[{index}].slo_ms"))? {
-            0 => None,
-            ms => Some(SimTime::from_ms(ms)),
-        },
+        Some(v) => {
+            match v.as_bounded_num(&format!("clients[{index}].slo_ms"), MAX_TIME_MS, "ms")? {
+                0 => None,
+                ms => Some(SimTime::from_ms(ms)),
+            }
+        }
     };
     let arrival_us = match json.field("arrival_us") {
-        Some(v) => v.as_num(&format!("clients[{index}].arrival_us"))?,
+        Some(v) => {
+            v.as_bounded_num(&format!("clients[{index}].arrival_us"), MAX_ARRIVAL_US, "µs")?
+        }
         None => 0,
     };
     let engagements_json = json.field("engagements").ok_or_else(|| {
@@ -463,9 +508,71 @@ mod tests {
     }
 
     #[test]
-    fn rejects_floats_and_negatives() {
-        assert!(parse_trace(r#"{ "clients": [ { "engagements": [[1.5]] } ] }"#).is_err());
-        assert!(parse_trace(r#"{ "clients": [ { "engagements": [[-3]] } ] }"#).is_err());
+    fn rejects_floats_and_negatives_naming_the_field() {
+        // Non-integer numeric tokens are schema errors that name the
+        // offending client and field, not generic byte-offset failures.
+        for (input, needle) in [
+            (
+                r#"{ "clients": [ { "engagements": [[1.5]] } ] }"#,
+                "clients[0].engagements[0] token must be an unsigned integer, got '1.5'",
+            ),
+            (
+                r#"{ "clients": [ { "engagements": [[-3]] } ] }"#,
+                "clients[0].engagements[0] token must be an unsigned integer, got '-3'",
+            ),
+            (
+                r#"{ "clients": [ { "engagements": [[1]] }, { "arrival_us": -250, "engagements": [[1]] } ] }"#,
+                "clients[1].arrival_us must be an unsigned integer, got '-250'",
+            ),
+            (
+                r#"{ "clients": [ { "slo_ms": 1.25e3, "engagements": [[1]] } ] }"#,
+                "clients[0].slo_ms must be an unsigned integer, got '1.25e3'",
+            ),
+            (
+                r#"{ "clients": [ { "slo_ms": 99999999999999999999999, "engagements": [[1]] } ] }"#,
+                "clients[0].slo_ms must be an unsigned integer",
+            ),
+        ] {
+            let err = parse_trace(input).unwrap_err();
+            assert!(matches!(err, TraceFileError::Schema(_)), "{input} -> {err}");
+            assert!(err.to_string().contains(needle), "{input} -> {err}");
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_range_times_naming_the_field() {
+        // Values that would overflow the ms→µs conversion (silent wrapping
+        // in release builds before this guard) are rejected with the client
+        // index and field named.
+        let too_many_ms = MAX_TIME_MS + 1;
+        let err = parse_trace(&format!(
+            r#"{{ "clients": [ {{ "engagements": [[1]] }}, {{ "slo_ms": {too_many_ms}, "engagements": [[1]] }} ] }}"#
+        ))
+        .unwrap_err();
+        assert!(err.to_string().contains("clients[1].slo_ms is out of range"), "{err}");
+        let err = parse_trace(&format!(
+            r#"{{ "clients": [ {{ "target_ms": {too_many_ms}, "engagements": [[1]] }} ] }}"#
+        ))
+        .unwrap_err();
+        assert!(err.to_string().contains("clients[0].target_ms is out of range"), "{err}");
+        let too_late = MAX_ARRIVAL_US + 1;
+        let err = parse_trace(&format!(
+            r#"{{ "clients": [ {{ "arrival_us": {too_late}, "engagements": [[1]] }} ] }}"#
+        ))
+        .unwrap_err();
+        assert!(err.to_string().contains("clients[0].arrival_us is out of range"), "{err}");
+        let too_big = MAX_PRELOAD_KB + 1;
+        let err = parse_trace(&format!(
+            r#"{{ "clients": [ {{ "preload_kb": {too_big}, "engagements": [[1]] }} ] }}"#
+        ))
+        .unwrap_err();
+        assert!(err.to_string().contains("clients[0].preload_kb is out of range"), "{err}");
+        // The bounds themselves are accepted.
+        let trace = parse_trace(&format!(
+            r#"{{ "clients": [ {{ "slo_ms": {MAX_TIME_MS}, "arrival_us": {MAX_ARRIVAL_US}, "engagements": [[1]] }} ] }}"#
+        ))
+        .unwrap();
+        assert_eq!(trace.clients[0].slo, Some(SimTime::from_ms(MAX_TIME_MS)));
     }
 
     #[test]

@@ -132,6 +132,29 @@ impl FlashQueueSim {
         Self::default()
     }
 
+    /// A simulator pre-seeded with an initial backlog — jobs that were
+    /// already sitting in the queue when the caller started looking. The
+    /// infer-time backpressure gate uses this to ask "what would an
+    /// engagement submitted *now* see", with the live scheduler backlog as
+    /// the starting state rather than an idle channel.
+    pub fn with_backlog(backlog: impl IntoIterator<Item = FlashJob>) -> Self {
+        let mut sim = Self::new();
+        for job in backlog {
+            sim.submit(job);
+        }
+        sim
+    }
+
+    /// When the queue would next go idle: the makespan of everything
+    /// submitted so far (zero for an empty queue). An engagement arriving at
+    /// or after this time has the flash to itself.
+    pub fn drain_time(&self) -> SimTime {
+        if self.jobs.is_empty() {
+            return SimTime::ZERO;
+        }
+        self.run().makespan
+    }
+
     /// Submits a job, returning its sequence number. Jobs with equal
     /// arrival times are served in submission order, so submitting each
     /// engagement's requests in issue order preserves its FIFO contract.
@@ -345,6 +368,22 @@ mod tests {
         assert_eq!(mine.len(), 2);
         assert!(mine[0].seq < mine[1].seq);
         assert!(mine[0].completion <= mine[1].start);
+    }
+
+    #[test]
+    fn seeded_backlog_behaves_like_submitted_jobs() {
+        let backlog = [job(0, 0, 5), job(1, 2, 5)];
+        let seeded = FlashQueueSim::with_backlog(backlog);
+        let mut manual = FlashQueueSim::new();
+        for j in backlog {
+            manual.submit(j);
+        }
+        assert_eq!(seeded.run(), manual.run(), "seeding is just up-front submission");
+        assert_eq!(seeded.drain_time(), SimTime::from_ms(10));
+        assert_eq!(FlashQueueSim::new().drain_time(), SimTime::ZERO);
+        // A late arrival gates the drain: the queue idles until it shows up.
+        let gapped = FlashQueueSim::with_backlog([job(0, 0, 1), job(1, 50, 1)]);
+        assert_eq!(gapped.drain_time(), SimTime::from_ms(51));
     }
 
     #[test]

@@ -31,6 +31,16 @@ pub enum PipelineError {
         /// Co-runners the prediction assumed (sessions open at admission).
         co_runners: usize,
     },
+    /// The infer-time backpressure gate shed the engagement: against the
+    /// live flash-queue backlog, its predicted contended latency misses the
+    /// session SLO even at the best admissible queue delay.
+    Backpressure {
+        /// Best achievable predicted contended latency (at the gate's
+        /// maximum admissible delay; the prediction *now* for pure shed).
+        predicted: SimTime,
+        /// The SLO the session carries.
+        slo: SimTime,
+    },
 }
 
 impl fmt::Display for PipelineError {
@@ -46,6 +56,13 @@ impl fmt::Display for PipelineError {
                     f,
                     "admission rejected: predicted contended latency {predicted} misses the \
                      {slo} SLO with {co_runners} co-runners"
+                )
+            }
+            PipelineError::Backpressure { predicted, slo } => {
+                write!(
+                    f,
+                    "backpressure shed: predicted contended latency {predicted} misses the \
+                     {slo} SLO against the live flash backlog"
                 )
             }
         }

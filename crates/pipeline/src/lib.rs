@@ -45,6 +45,6 @@ pub use engine::{GenerationOutcome, Inference, StiEngine, StiEngineBuilder};
 pub use error::PipelineError;
 pub use executor::{ExecutionOutcome, PipelineExecutor};
 pub use server::{
-    AdmissionMode, ContentionReport, EngagementContention, ServingStats, Session, StiServer,
-    StiServerBuilder,
+    AdmissionMode, BackpressureMode, ContentionReport, EngagementContention, GateDecision,
+    ServingStats, Session, StiServer, StiServerBuilder,
 };

@@ -36,6 +36,22 @@
 //! co-runner mix) — and [`AdmissionMode::Enforce`] rejects engagements
 //! whose best plan still misses: backpressure before the queue, not after.
 //!
+//! **Infer-time backpressure:** admission decides once, at session open —
+//! but SLOs are violated by *bursts*, mid-session. With a
+//! [`BackpressureMode`] configured ([`StiServerBuilder::backpressure`]),
+//! every SLO engagement first passes a gate that re-runs the contended
+//! prediction against the queue as it stands now
+//! (`sti_planner::serving::predict_engagement_latency` over the
+//! scheduler's `backlog_snapshot` plus the open-load registry) and either
+//! delays the engagement on the simulated timeline until the prediction
+//! meets its SLO (`Queue`, bounded by a maximum delay) or fails fast with
+//! [`PipelineError::Backpressure`] (`Shed`). Decisions, queue delays, and
+//! shed counts land in [`ContentionReport`]. Gate decisions are a pure
+//! function of the deterministic open-session registry — identical between
+//! concurrent and sequential replays of the same trace — and shed
+//! engagements never touch the scheduler, so the uncontended determinism
+//! contract is untouched.
+//!
 //! **Shared-IO batching:** with a [`BatchPolicy`] window configured
 //! ([`StiServerBuilder::batch_policy`]), co-resident sessions requesting
 //! byte-identical layers within the window share **one** flash job whose
@@ -46,22 +62,25 @@
 //! `IoSharing::Batched`, and [`ContentionReport`] quotes the flash bytes
 //! saved and the mean batch occupancy.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 use sti_device::{FlashModel, HwProfile, SimTime};
 use sti_planner::compute_plan::dynabert_widths_for;
-use sti_planner::serving::{plan_for_slo_against, ServingPlan, ServingPlanCache, ServingPlanKey};
+use sti_planner::serving::{
+    min_queue_delay, plan_for_slo_against, predict_engagement_latency, EngagementLoad, ServingPlan,
+    ServingPlanCache, ServingPlanKey,
+};
 use sti_planner::{
-    align_io_completions, contended_makespan, plan_two_stage, CoRunnerLoad, ExecutionPlan,
-    ImportanceProfile, IoSharing, PlanCache, PlanCacheStats, PlanKey,
+    align_io_completions, contended_makespan, layer_io_jobs, plan_two_stage, CoRunnerLoad,
+    ExecutionPlan, ImportanceProfile, IoSharing, PlanCache, PlanCacheStats, PlanKey,
 };
 use sti_quant::Bitwidth;
 use sti_storage::{
-    BatchPolicy, CachedSource, FlashDispatchEvent, IoScheduler, IoSchedulerStats, ShardCache,
-    ShardCacheStats, ShardKey, ShardSource,
+    BacklogSnapshot, BatchPolicy, CachedSource, ChannelBacklog, FlashDispatchEvent, IoScheduler,
+    IoSchedulerStats, QueuedIo, ShardCache, ShardCacheStats, ShardKey, ShardSource,
 };
 use sti_transformer::Model;
 
@@ -84,6 +103,46 @@ pub enum AdmissionMode {
     Enforce,
 }
 
+/// What the server does, per engagement, when the live flash-queue
+/// prediction says the engagement would miss its session's SLO *now* —
+/// admission's mid-session counterpart. Only SLO sessions are gated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackpressureMode {
+    /// No infer-time gate (the pre-backpressure behaviour, and the
+    /// default): every engagement executes, SLO misses only show up in the
+    /// contention report.
+    #[default]
+    Off,
+    /// Delay the engagement (on the simulated timeline) until the predicted
+    /// contended latency meets the SLO, up to this maximum queue delay; if
+    /// even the maximum cannot save it, fail fast with
+    /// [`PipelineError::Backpressure`].
+    Queue(SimTime),
+    /// Fail fast with [`PipelineError::Backpressure`] whenever the
+    /// prediction *now* misses the SLO — never wait.
+    Shed,
+}
+
+/// One backpressure-gate decision, recorded per gated engagement.
+/// Decisions are a pure function of the open-session registry (see the
+/// module docs), so concurrent and sequential replays of the same trace
+/// produce identical decision logs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GateDecision {
+    /// The session's registry token (open order).
+    pub session: u64,
+    /// The SLO the gate held the engagement to.
+    pub slo: SimTime,
+    /// Predicted contended latency at the chosen delay (for a shed
+    /// decision: the best achievable prediction, which still missed).
+    pub predicted: SimTime,
+    /// Queue delay applied on the simulated timeline (zero when the
+    /// prediction met the SLO immediately, and for shed decisions).
+    pub delay: SimTime,
+    /// Whether the engagement was shed instead of executed.
+    pub shed: bool,
+}
+
 /// Admission and engagement counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServingStats {
@@ -98,6 +157,11 @@ pub struct ServingStats {
     pub engagements: u64,
     /// Largest number of engagements in flight at once.
     pub peak_concurrent_engagements: usize,
+    /// Engagements the backpressure gate shed
+    /// ([`PipelineError::Backpressure`]).
+    pub shed_engagements: u64,
+    /// Engagements the backpressure gate queue-delayed before executing.
+    pub queued_engagements: u64,
 }
 
 /// One engagement on the contended track: the latency it would have seen on
@@ -106,6 +170,9 @@ pub struct ServingStats {
 pub struct EngagementContention {
     /// The scheduler channel the engagement streamed through.
     pub channel: u64,
+    /// The session (registry token) the engagement belonged to — joins the
+    /// report against [`GateDecision::session`].
+    pub session: u64,
     /// The deterministic (uncontended) simulated makespan it reported.
     pub uncontended: SimTime,
     /// Its makespan when the recorded dispatch sequence is replayed through
@@ -151,9 +218,26 @@ pub struct ContentionReport {
     /// co-resident session count when every dispatch coalesces). Zero when
     /// nothing was dispatched.
     pub mean_batch_occupancy: f64,
+    /// Backpressure-gate decisions, ordered by session token (each
+    /// session's decisions in engagement order). Empty with the gate off.
+    pub gate: Vec<GateDecision>,
 }
 
 impl ContentionReport {
+    /// Engagements the backpressure gate shed.
+    pub fn shed_count(&self) -> u64 {
+        self.gate.iter().filter(|d| d.shed).count() as u64
+    }
+
+    /// Engagements the gate queue-delayed before executing.
+    pub fn queue_delayed(&self) -> u64 {
+        self.gate.iter().filter(|d| !d.shed && d.delay > SimTime::ZERO).count() as u64
+    }
+
+    /// The largest queue delay the gate applied.
+    pub fn max_queue_delay(&self) -> SimTime {
+        self.gate.iter().filter(|d| !d.shed).map(|d| d.delay).max().unwrap_or(SimTime::ZERO)
+    }
     /// Nearest-rank percentile of contended latencies (`p` in `[0, 1]`).
     /// Zero when no engagements ran.
     pub fn latency_percentile(&self, p: f64) -> SimTime {
@@ -182,12 +266,31 @@ impl ContentionReport {
 /// its pipeline recurrence against the simulated queue.
 struct EngagementRecord {
     channel: u64,
+    session: u64,
     slo: Option<SimTime>,
     /// Per-layer: did the layer stream through the scheduler?
     layer_has_io: Vec<bool>,
     /// Per-layer compute delay (uniform across a plan's layers).
     comp: SimTime,
     uncontended: SimTime,
+}
+
+/// One open session's entry in the co-runner registry: its streaming load
+/// (with arrival offset) and, for SLO sessions, what the backpressure gate
+/// needs to replay its decisions deterministically.
+#[derive(Clone)]
+struct RegisteredLoad {
+    load: CoRunnerLoad,
+    gate: Option<GateProfile>,
+}
+
+/// The gate's view of an SLO session: its per-layer engagement load and the
+/// SLO it is held to.
+#[derive(Clone)]
+struct GateProfile {
+    jobs: Vec<Option<sti_planner::LayerIoJob>>,
+    comp: SimTime,
+    slo: SimTime,
 }
 
 /// Builder for [`StiServer`].
@@ -207,6 +310,7 @@ pub struct StiServerBuilder {
     admission: AdmissionMode,
     dram: Option<FlashModel>,
     batch: BatchPolicy,
+    backpressure: BackpressureMode,
 }
 
 impl StiServerBuilder {
@@ -285,6 +389,18 @@ impl StiServerBuilder {
         self
     }
 
+    /// Infer-time backpressure policy for SLO sessions (default
+    /// [`BackpressureMode::Off`]): before each engagement, the server
+    /// re-runs the contended prediction against the live flash-queue mix
+    /// and either delays the engagement until the prediction meets its SLO
+    /// (`Queue`) or fails fast with [`PipelineError::Backpressure`]
+    /// (`Shed`). Admission decides at session open; this gate reacts to
+    /// bursts mid-session.
+    pub fn backpressure(mut self, mode: BackpressureMode) -> Self {
+        self.backpressure = mode;
+        self
+    }
+
     /// Starts the IO scheduler and returns the ready server. No planning
     /// happens yet — plans and preload buffers materialize lazily, once per
     /// knob combination, when sessions open.
@@ -326,14 +442,17 @@ impl StiServerBuilder {
                 admission: self.admission,
                 dram: self.dram,
                 batch: self.batch,
+                backpressure: self.backpressure,
                 slo_cache: ServingPlanCache::new(),
                 admission_gate: Mutex::new(()),
                 open_sessions: AtomicUsize::new(0),
                 next_session_token: AtomicU64::new(0),
                 open_loads: Mutex::new(BTreeMap::new()),
+                active_channels: Mutex::new(HashMap::new()),
                 active_engagements: AtomicUsize::new(0),
                 serving_stats: Mutex::new(ServingStats::default()),
                 engagement_log: Mutex::new(Vec::new()),
+                gate_log: Mutex::new(Vec::new()),
             }),
         }
     }
@@ -374,6 +493,8 @@ struct ServerInner {
     dram: Option<FlashModel>,
     /// Shared-IO batching policy the scheduler runs (and admission models).
     batch: BatchPolicy,
+    /// Infer-time backpressure policy for SLO sessions.
+    backpressure: BackpressureMode,
     /// Memoized SLO searches, keyed by knobs + co-runner mix + sharing.
     slo_cache: ServingPlanCache,
     /// Serializes SLO session opens: the admission decision and the
@@ -386,16 +507,24 @@ struct ServerInner {
     open_sessions: AtomicUsize,
     /// Monotonic token handed to each session, keying `open_loads`.
     next_session_token: AtomicU64,
-    /// Each open session's actual streaming IO load, in open order — what
-    /// SLO admission feeds the contended prediction instead of modeling
-    /// co-runners as clones of the candidate. A `BTreeMap` so the snapshot
-    /// order (and hence the memo digest) is deterministic.
-    open_loads: Mutex<BTreeMap<u64, CoRunnerLoad>>,
+    /// Each open session's actual streaming IO load (with arrival offset)
+    /// plus, for SLO sessions, its gate profile — what SLO admission and
+    /// the backpressure gate feed the contended prediction instead of
+    /// modeling co-runners as clones of the candidate. A `BTreeMap` so the
+    /// snapshot order (and hence the memo digest) is deterministic.
+    open_loads: Mutex<BTreeMap<u64, RegisteredLoad>>,
+    /// Scheduler channel → session token for engagements currently
+    /// executing. The backpressure gate prices registered sessions from the
+    /// registry (deterministic) and must not double-count their live queue
+    /// entries; only channels *not* in this map count as external backlog.
+    active_channels: Mutex<HashMap<u64, u64>>,
     /// Engagements currently executing (peak tracked in `serving_stats`).
     active_engagements: AtomicUsize,
     serving_stats: Mutex<ServingStats>,
     /// Contended-track records, one per executed engagement.
     engagement_log: Mutex<Vec<EngagementRecord>>,
+    /// Backpressure-gate decisions, one per gated engagement.
+    gate_log: Mutex<Vec<GateDecision>>,
 }
 
 impl ServerInner {
@@ -440,10 +569,33 @@ impl ServerInner {
         Ok((plan, shared))
     }
 
-    /// Registers (or refreshes, after a retarget) a session's streaming IO
-    /// load in the open-load registry admission predicts against.
-    fn register_load(&self, token: u64, plan: &ExecutionPlan) {
-        self.open_loads.lock().insert(token, CoRunnerLoad::from_plan(&self.hw, plan));
+    /// Registers (or refreshes, after a retarget or `set_arrival`) a
+    /// session's streaming IO load — at its arrival offset — in the
+    /// open-load registry that admission and the backpressure gate predict
+    /// against. SLO sessions also register their gate profile.
+    fn register_load(
+        &self,
+        token: u64,
+        plan: &ExecutionPlan,
+        arrival: SimTime,
+        slo: Option<SimTime>,
+    ) {
+        let load = CoRunnerLoad::from_plan_at(&self.hw, plan, arrival);
+        let gate = slo.map(|slo| GateProfile {
+            jobs: layer_io_jobs(&self.hw, plan),
+            comp: self.hw.t_comp(plan.shape.width),
+            slo,
+        });
+        self.open_loads.lock().insert(token, RegisteredLoad { load, gate });
+    }
+
+    /// How the contended predictions model co-resident IO, matching the
+    /// scheduler's batch policy.
+    fn sharing(&self) -> IoSharing {
+        match self.batch.window() {
+            Some(window) => IoSharing::Batched(window),
+            None => IoSharing::Exclusive,
+        }
     }
 }
 
@@ -481,6 +633,7 @@ impl StiServer {
             admission: AdmissionMode::Disabled,
             dram: None,
             batch: BatchPolicy::Off,
+            backpressure: BackpressureMode::Off,
         }
     }
 
@@ -507,7 +660,7 @@ impl StiServer {
     ) -> Result<Session, PipelineError> {
         let (plan, preload) = self.inner.resolve(target, preload_budget)?;
         let token = self.inner.next_session_token.fetch_add(1, Ordering::SeqCst);
-        self.inner.register_load(token, &plan);
+        self.inner.register_load(token, &plan, SimTime::ZERO, None);
         self.inner.open_sessions.fetch_add(1, Ordering::SeqCst);
         Ok(Session {
             inner: self.inner.clone(),
@@ -519,6 +672,7 @@ impl StiServer {
             preload,
             slo: None,
             serving: None,
+            gate_memo: Mutex::new(None),
         })
     }
 
@@ -541,6 +695,25 @@ impl StiServer {
         slo: SimTime,
         preload_budget: u64,
     ) -> Result<Session, PipelineError> {
+        self.session_with_slo_at(slo, preload_budget, SimTime::ZERO)
+    }
+
+    /// [`StiServer::session_with_slo`] for a session arriving at `arrival`
+    /// on the simulated timeline (a trace file's `arrival_us`): the
+    /// admission prediction queues the candidate's requests at its real
+    /// arrival against each open session's real arrival, so an open
+    /// straggler whose window does not overlap no longer counts against
+    /// the candidate. The session opens with its arrival already set.
+    ///
+    /// # Errors
+    ///
+    /// As [`StiServer::session_with_slo`].
+    pub fn session_with_slo_at(
+        &self,
+        slo: SimTime,
+        preload_budget: u64,
+        arrival: SimTime,
+    ) -> Result<Session, PipelineError> {
         let inner = &*self.inner;
         // SLO opens serialize on this gate so the co-runner mix cannot
         // change between the admission check and the open-session
@@ -550,16 +723,18 @@ impl StiServer {
         // racing plain open is indistinguishable from one that lands just
         // after admission.
         let _admission = inner.admission_gate.lock();
-        let co: Vec<CoRunnerLoad> = inner.open_loads.lock().values().cloned().collect();
+        let co: Vec<CoRunnerLoad> =
+            inner.open_loads.lock().values().map(|r| r.load.clone()).collect();
         let co_runners = co.len();
-        let sharing =
-            if inner.batch.is_enabled() { IoSharing::Batched } else { IoSharing::Exclusive };
-        let key = ServingPlanKey::against(inner.plan_key(slo, preload_budget), &co, sharing);
+        let sharing = inner.sharing();
+        let key =
+            ServingPlanKey::against(inner.plan_key(slo, preload_budget), arrival, &co, sharing);
         let served = inner.slo_cache.get_or_plan(&key, || {
             plan_for_slo_against(
                 &inner.hw,
                 &inner.importance.read(),
                 slo,
+                arrival,
                 &co,
                 sharing,
                 preload_budget,
@@ -586,7 +761,7 @@ impl StiServer {
         // which case the freshly resolved plan is the correct one to run.
         let (plan, preload) = inner.resolve(served.target, preload_budget)?;
         let token = inner.next_session_token.fetch_add(1, Ordering::SeqCst);
-        inner.register_load(token, &plan);
+        inner.register_load(token, &plan, arrival, Some(slo));
         inner.serving_stats.lock().admitted_sessions += 1;
         inner.open_sessions.fetch_add(1, Ordering::SeqCst);
         Ok(Session {
@@ -594,11 +769,12 @@ impl StiServer {
             token,
             target: served.target,
             preload_budget,
-            arrival: SimTime::ZERO,
+            arrival,
             plan,
             preload,
             slo: Some(slo),
             serving: Some(served),
+            gate_memo: Mutex::new(None),
         })
     }
 
@@ -709,6 +885,7 @@ impl StiServer {
                 let comps = vec![rec.comp; rec.layer_has_io.len()];
                 Some(EngagementContention {
                     channel: rec.channel,
+                    session: rec.session,
                     uncontended: rec.uncontended,
                     contended: contended_makespan(start, &io_ends, &comps),
                     slo: rec.slo,
@@ -722,6 +899,11 @@ impl StiServer {
         let deliveries: usize = events.iter().map(FlashDispatchEvent::fanout).sum();
         let mean_batch_occupancy =
             if events.is_empty() { 0.0 } else { deliveries as f64 / events.len() as f64 };
+        // Gate decisions sorted by session token; each session runs its
+        // engagements serially, so the per-session order of the log is
+        // already chronological and a stable sort preserves it.
+        let mut gate = inner.gate_log.lock().clone();
+        gate.sort_by_key(|d| d.session);
         ContentionReport {
             engagements,
             flash_busy: queue.busy,
@@ -730,15 +912,23 @@ impl StiServer {
             batched_dispatches,
             flash_bytes_saved,
             mean_batch_occupancy,
+            gate,
         }
     }
 
-    /// Drops the contended-track history (the scheduler's dispatch log and
-    /// the per-engagement records) so the next [`StiServer::contention_report`]
-    /// starts fresh. The uncontended track and all counters are untouched.
+    /// Drops the contended-track history (the scheduler's dispatch log, the
+    /// per-engagement records, and the gate-decision log) so the next
+    /// [`StiServer::contention_report`] starts fresh. The uncontended track
+    /// and all counters are untouched.
     pub fn reset_contention_log(&self) {
         self.inner.scheduler.clear_flash_events();
         self.inner.engagement_log.lock().clear();
+        self.inner.gate_log.lock().clear();
+    }
+
+    /// The infer-time backpressure policy this server runs.
+    pub fn backpressure(&self) -> BackpressureMode {
+        self.inner.backpressure
     }
 
     /// Installs a re-profiled importance table and drops every plan derived
@@ -794,6 +984,11 @@ pub struct Session {
     preload: Arc<PreloadBuffer>,
     slo: Option<SimTime>,
     serving: Option<Arc<ServingPlan>>,
+    /// The last backpressure-gate decision, keyed by a digest of the gate's
+    /// inputs (candidate arrival, external backlog, open-load registry):
+    /// decisions are a pure function of those, so repeat engagements
+    /// against an unchanged mix skip the queue simulations.
+    gate_memo: Mutex<Option<(u64, GateDecision)>>,
 }
 
 impl Drop for Session {
@@ -842,9 +1037,12 @@ impl Session {
     /// opened at this time, so the contended track queues them at their
     /// real arrival (instead of all-zero) and shared-IO batching only
     /// coalesces sessions whose arrivals fall inside the batch window. The
+    /// open-load registry entry is refreshed, so admission and the
+    /// backpressure gate price this session at its real offset. The
     /// uncontended (deterministic) track is unaffected.
     pub fn set_arrival(&mut self, arrival: SimTime) {
         self.arrival = arrival;
+        self.inner.register_load(self.token, &self.plan, arrival, self.slo);
     }
 
     /// Retargets the session: resolves the plan for the new `T` through the
@@ -861,7 +1059,7 @@ impl Session {
         self.preload = preload;
         self.slo = None;
         self.serving = None;
-        self.inner.register_load(self.token, &self.plan);
+        self.inner.register_load(self.token, &self.plan, self.arrival, None);
         Ok(())
     }
 
@@ -879,8 +1077,200 @@ impl Session {
         self.preload = preload;
         self.slo = None;
         self.serving = None;
-        self.inner.register_load(self.token, &self.plan);
+        self.inner.register_load(self.token, &self.plan, self.arrival, None);
         Ok(())
+    }
+
+    /// Runs the infer-time backpressure gate for one engagement of this
+    /// session, returning the decision (`None` when the gate is off or the
+    /// session carries no SLO).
+    ///
+    /// **Determinism.** Gate decisions must be identical between concurrent
+    /// and sequential replays of the same trace, so co-resident sessions
+    /// are priced from the open-load registry — populated deterministically
+    /// at session open — rather than from their racy live queue entries:
+    /// the gate walks registered sessions in `(arrival, token)` order,
+    /// replays each earlier SLO session's own gate decision against the
+    /// lanes accumulated so far (a shed session contributes no load, a
+    /// queue-delayed one contributes its lane at the delayed arrival), and
+    /// only then predicts for this engagement. Sessions arriving strictly
+    /// later ride along at their raw loads — they cannot affect the
+    /// prediction at this engagement's own arrival (the queue serves
+    /// strictly earlier arrivals first), but a queue delay can land the
+    /// engagement inside their windows, so the delay search prices them;
+    /// equal-arrival later tokens are excluded, the deterministic
+    /// tie-break that staggers co-arriving gated sessions. Live scheduler
+    /// channels owned by registered sessions
+    /// are excluded from the snapshot (the registry already prices them);
+    /// whatever backlog remains — traffic driving the scheduler directly —
+    /// rides along at its effective arrival.
+    fn gate(&self) -> Option<GateDecision> {
+        let inner = &*self.inner;
+        let mode = inner.backpressure;
+        if mode == BackpressureMode::Off {
+            return None;
+        }
+        let slo = self.slo?;
+        let sharing = inner.sharing();
+        // Start from the live queue, minus channels the registry prices.
+        // The snapshot is taken under the ownership lock so a channel can
+        // never be observed live before its owning session registered it
+        // (infer creates channels under the same lock) — otherwise a racing
+        // gate would double-count that session.
+        let (owned, live): (HashSet<u64>, BacklogSnapshot) = {
+            let active = inner.active_channels.lock();
+            (active.keys().copied().collect(), inner.scheduler.backlog_snapshot())
+        };
+        let base = BacklogSnapshot {
+            channels: live.channels.into_iter().filter(|c| !owned.contains(&c.channel)).collect(),
+            batch_window: live.batch_window,
+        };
+        let registry: Vec<(u64, RegisteredLoad)> = {
+            let loads = inner.open_loads.lock();
+            let mut entries: Vec<_> = loads.iter().map(|(&t, r)| (t, r.clone())).collect();
+            entries.sort_by_key(|(t, r)| (r.load.arrival, *t));
+            entries
+        };
+
+        // The decision is a pure function of the candidate's arrival, the
+        // external backlog, and the registry — hash those and reuse the
+        // previous decision while nothing changed, so a session issuing
+        // many engagements against a stable mix pays the simulation cost
+        // once. Any open/close/retarget/`set_arrival` changes the registry
+        // digest and invalidates naturally.
+        let digest = {
+            use std::hash::{Hash, Hasher};
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            self.arrival.as_us().hash(&mut h);
+            for c in &base.channels {
+                (c.channel, c.arrival.as_us(), c.effective_arrival.as_us(), c.inflight)
+                    .hash(&mut h);
+                for q in &c.queued {
+                    (q.sig, q.bytes, q.service.as_us()).hash(&mut h);
+                }
+            }
+            for (token, reg) in &registry {
+                (token, reg.load.arrival.as_us(), reg.load.jobs.len()).hash(&mut h);
+                for j in &reg.load.jobs {
+                    (j.sig, j.service.as_us()).hash(&mut h);
+                }
+                if let Some(profile) = &reg.gate {
+                    (profile.slo.as_us(), profile.comp.as_us()).hash(&mut h);
+                }
+            }
+            h.finish()
+        };
+        if let Some((seen, decision)) = *self.gate_memo.lock() {
+            if seen == digest {
+                return Some(decision);
+            }
+        }
+
+        let lane =
+            |token: u64, jobs: &[sti_planner::LayerIoJob], arrival: SimTime| ChannelBacklog {
+                channel: token,
+                arrival,
+                effective_arrival: arrival,
+                inflight: false,
+                queued: jobs
+                    .iter()
+                    .map(|j| QueuedIo { sig: j.sig, bytes: 0, service: j.service })
+                    .collect(),
+            };
+        // The queue a decision at registry position `i` predicts against:
+        // the external backlog, every already-decided session's lane
+        // (sheds contribute nothing, queue delays shift theirs), and the
+        // *raw* loads of sessions arriving strictly later. The latter
+        // cannot affect a prediction at position `i`'s own arrival (the
+        // queue serves strictly earlier arrivals first) but a queue delay
+        // can land the engagement inside their windows, so the delay
+        // search must see them. Equal-arrival later tokens stay excluded —
+        // that deterministic tie-break is what staggers co-arriving gated
+        // sessions instead of deadlocking them on each other.
+        let snapshot_for = |decided: &[ChannelBacklog], i: usize| {
+            let mut snap = base.clone();
+            snap.channels.extend_from_slice(decided);
+            let arrival_i = registry[i].1.load.arrival;
+            for (t, r) in &registry[i + 1..] {
+                if r.load.arrival > arrival_i {
+                    snap.channels.push(lane(*t, &r.load.jobs, r.load.arrival));
+                }
+            }
+            snap
+        };
+
+        let mut decided: Vec<ChannelBacklog> = Vec::new();
+        let mut decision: Option<GateDecision> = None;
+        for (i, (token, reg)) in registry.iter().enumerate() {
+            let snapshot = snapshot_for(&decided, i);
+            if *token == self.token {
+                let load = EngagementLoad::from_plan(&inner.hw, &self.plan, self.arrival);
+                decision = Some(match mode {
+                    BackpressureMode::Queue(max) => {
+                        match min_queue_delay(&snapshot, &load, sharing, slo, max) {
+                            Ok((delay, predicted)) => GateDecision {
+                                session: self.token,
+                                slo,
+                                predicted,
+                                delay,
+                                shed: false,
+                            },
+                            Err(predicted) => GateDecision {
+                                session: self.token,
+                                slo,
+                                predicted,
+                                delay: SimTime::ZERO,
+                                shed: true,
+                            },
+                        }
+                    }
+                    BackpressureMode::Shed => {
+                        let predicted = predict_engagement_latency(&snapshot, &load, sharing);
+                        GateDecision {
+                            session: self.token,
+                            slo,
+                            predicted,
+                            delay: SimTime::ZERO,
+                            shed: predicted > slo,
+                        }
+                    }
+                    BackpressureMode::Off => unreachable!("gate is off"),
+                });
+                break;
+            }
+            match &reg.gate {
+                // Non-SLO sessions are never gated: their engagement load
+                // always occupies the queue.
+                None => decided.push(lane(*token, &reg.load.jobs, reg.load.arrival)),
+                // Replay the co-runner's own gate decision against the
+                // queue as *it* sees it.
+                Some(profile) => {
+                    let load = EngagementLoad {
+                        jobs: profile.jobs.clone(),
+                        comp: profile.comp,
+                        arrival: reg.load.arrival,
+                    };
+                    let admitted_at = match mode {
+                        BackpressureMode::Queue(max) => {
+                            min_queue_delay(&snapshot, &load, sharing, profile.slo, max)
+                                .ok()
+                                .map(|(delay, _)| reg.load.arrival + delay)
+                        }
+                        BackpressureMode::Shed => {
+                            (predict_engagement_latency(&snapshot, &load, sharing) <= profile.slo)
+                                .then_some(reg.load.arrival)
+                        }
+                        BackpressureMode::Off => unreachable!("gate is off"),
+                    };
+                    if let Some(at) = admitted_at {
+                        decided.push(lane(*token, &reg.load.jobs, at));
+                    }
+                }
+            }
+        }
+        let decision = decision.expect("an open session is always in the registry");
+        *self.gate_memo.lock() = Some((digest, decision));
+        Some(decision)
     }
 
     /// Executes one engagement over the planned pipeline, streaming through
@@ -889,11 +1279,43 @@ impl Session {
     /// *result* stays on the uncontended track and is bit-identical to a
     /// solo run.
     ///
+    /// With a [`BackpressureMode`] configured and a session SLO present,
+    /// the engagement first passes the backpressure gate: it may be
+    /// delayed on the simulated timeline (queue mode) or fail fast with
+    /// [`PipelineError::Backpressure`] before touching the scheduler.
+    ///
     /// # Errors
     ///
-    /// Fails on storage errors or plan/model mismatch.
+    /// Fails on storage errors, plan/model mismatch, or — with the gate on
+    /// — [`PipelineError::Backpressure`] when the engagement is shed.
     pub fn infer(&self, tokens: &[u32]) -> Result<Inference, PipelineError> {
         let inner = &*self.inner;
+
+        // The backpressure gate runs before any queue state is touched: a
+        // shed engagement never submits IO (and never perturbs the
+        // contended track of the engagements that do run).
+        let mut gate_delay = SimTime::ZERO;
+        if let Some(decision) = self.gate() {
+            inner.gate_log.lock().push(decision);
+            let mut stats = inner.serving_stats.lock();
+            if decision.shed {
+                stats.shed_engagements += 1;
+                drop(stats);
+                return Err(PipelineError::Backpressure {
+                    predicted: decision.predicted,
+                    slo: decision.slo,
+                });
+            }
+            if decision.delay > SimTime::ZERO {
+                stats.queued_engagements += 1;
+            }
+            drop(stats);
+            gate_delay = decision.delay;
+            if inner.throttle_scale > 0.0 {
+                std::thread::sleep(gate_delay.scale(inner.throttle_scale).to_duration());
+            }
+        }
+
         // RAII in-flight counter, decremented even on error paths.
         struct ActiveGuard<'a>(&'a ServerInner);
         impl Drop for ActiveGuard<'_> {
@@ -915,7 +1337,23 @@ impl Session {
             &inner.hw,
         )
         .with_throttle(inner.throttle_scale);
-        let channel = inner.scheduler.channel_at(self.arrival);
+        // Mark the channel as session-owned so a concurrent gate prices
+        // this session from the registry, not from the live queue too. The
+        // creation and the marking share one critical section with the
+        // gate's snapshot, so no gate can observe the channel unowned.
+        struct ChannelGuard<'a>(&'a ServerInner, u64);
+        impl Drop for ChannelGuard<'_> {
+            fn drop(&mut self) {
+                self.0.active_channels.lock().remove(&self.1);
+            }
+        }
+        let channel = {
+            let mut active = inner.active_channels.lock();
+            let channel = inner.scheduler.channel_at(self.arrival + gate_delay);
+            active.insert(channel.id(), self.token);
+            channel
+        };
+        let _channel_guard = ChannelGuard(inner, channel.id());
         let outcome = executor.execute_on(&channel, &self.plan, &self.preload, tokens)?;
 
         // Contended-track record: which layers streamed (an IO span in the
@@ -924,6 +1362,7 @@ impl Session {
             outcome.timeline.layers.iter().map(|l| l.io_end > l.io_start).collect();
         inner.engagement_log.lock().push(EngagementRecord {
             channel: channel.id(),
+            session: self.token,
             slo: self.slo,
             layer_has_io,
             comp: inner.hw.t_comp(self.plan.shape.width),
@@ -1283,6 +1722,175 @@ mod tests {
         let _d = srv.session_with_slo(slo, 0).unwrap(); // co=2 again: hit
         let stats = srv.slo_plan_stats();
         assert_eq!((stats.hits, stats.misses), (1, 3));
+    }
+
+    fn server_with_backpressure(mode: BackpressureMode) -> StiServer {
+        let cfg = ModelConfig::tiny();
+        let task = Task::build(TaskKind::Sst2, cfg.clone(), 4, 4);
+        let dev = DeviceProfile::odroid_n2();
+        let hw = HwProfile::measure(&dev, &cfg, &QuantConfig::default());
+        let source =
+            Arc::new(MemStore::build(task.model(), &Bitwidth::ALL, &QuantConfig::default()));
+        let importance = ImportanceProfile::from_scores(
+            cfg.layers,
+            cfg.heads,
+            (0..cfg.total_shards()).map(|i| 0.5 + (i % 5) as f64 * 0.01).collect(),
+            0.45,
+        );
+        StiServer::builder(task.model().clone(), source, hw, dev.flash, importance)
+            .preload_budget(0)
+            .widths(&[2, 4])
+            .backpressure(mode)
+            .build()
+    }
+
+    #[test]
+    fn shed_gate_fails_fast_when_the_backlog_predicts_a_miss() {
+        let srv = server_with_backpressure(BackpressureMode::Shed);
+        let slo = floor_slo(&srv);
+        // Both sessions admit (admission is disabled); the gate, not
+        // admission, is under test.
+        let first = srv.session_with_slo(slo, 0).unwrap();
+        let second = srv.session_with_slo(slo, 0).unwrap();
+        // The first-arriving session has the queue to itself and runs.
+        first.infer(&[1, 2]).expect("the first session's engagement passes the gate");
+        // The second's prediction rides behind the first's registered load
+        // and misses the floor SLO: shed, before touching the scheduler.
+        match second.infer(&[1, 2]) {
+            Err(PipelineError::Backpressure { predicted, slo: got }) => {
+                assert!(predicted > got);
+                assert_eq!(got, slo);
+            }
+            other => panic!("expected a backpressure shed, got {other:?}"),
+        }
+        let stats = srv.serving_stats();
+        assert_eq!((stats.engagements, stats.shed_engagements), (1, 1));
+        let report = srv.contention_report();
+        assert_eq!(report.engagements.len(), 1, "shed engagements never execute");
+        assert_eq!(report.gate.len(), 2);
+        assert_eq!(report.shed_count(), 1);
+        assert_eq!(report.slo_hit_rate(), Some(1.0), "what ran met its SLO");
+        // Harvesting resets the gate log too.
+        srv.reset_contention_log();
+        assert!(srv.contention_report().gate.is_empty());
+    }
+
+    #[test]
+    fn queue_gate_delays_instead_of_shedding_and_the_measured_track_agrees() {
+        let srv = server_with_backpressure(BackpressureMode::Queue(SimTime::from_ms(60_000)));
+        let slo = floor_slo(&srv);
+        let first = srv.session_with_slo(slo, 0).unwrap();
+        let second = srv.session_with_slo(slo, 0).unwrap();
+        first.infer(&[1, 2]).unwrap();
+        second.infer(&[1, 2]).expect("queue mode waits instead of shedding");
+        let stats = srv.serving_stats();
+        assert_eq!(
+            (stats.engagements, stats.shed_engagements, stats.queued_engagements),
+            (2, 0, 1)
+        );
+        let report = srv.contention_report();
+        assert_eq!(report.shed_count(), 0);
+        assert_eq!(report.queue_delayed(), 1);
+        assert!(report.max_queue_delay() > SimTime::ZERO);
+        // The delayed engagement queued past the first's window, so the
+        // measured contended track meets the SLO both engagements carry.
+        assert_eq!(report.slo_hit_rate(), Some(1.0));
+        // With a maximum delay too small to drain the backlog, the same
+        // engagement is shed instead.
+        let strict = server_with_backpressure(BackpressureMode::Queue(SimTime::from_us(1)));
+        let tight = floor_slo(&strict);
+        let a = strict.session_with_slo(tight, 0).unwrap();
+        let b = strict.session_with_slo(tight, 0).unwrap();
+        a.infer(&[3]).unwrap();
+        assert!(
+            matches!(b.infer(&[3]), Err(PipelineError::Backpressure { .. })),
+            "a 1µs patience cannot absorb a full co-runner engagement"
+        );
+    }
+
+    #[test]
+    fn queue_delay_prices_sessions_arriving_during_the_wait() {
+        // A queue delay can land an engagement inside the window of a
+        // session that arrives *after* it — the delay search must price
+        // that load too, not just what was ahead at the original arrival.
+        let run = |with_late_heavy: bool| {
+            let srv = server_with_backpressure(BackpressureMode::Queue(SimTime::from_ms(60_000)));
+            let full = srv.session_with(SimTime::from_ms(10_000), 0).unwrap();
+            // ~20% slack over the full-model makespan: meetable alone, not
+            // behind a heavy co-runner.
+            let makespan = full.plan().predicted.makespan.as_us();
+            let slo = SimTime::from_us(makespan + makespan / 5);
+            drop(full);
+            let mut tight = srv.session_with_slo(slo, 0).unwrap();
+            tight.set_arrival(SimTime::from_us(100));
+            // A heavy co-runner already queued at time zero...
+            let _early = srv.session_with(SimTime::from_ms(10_000), 0).unwrap();
+            // ...and optionally another arriving 2 ms in — inside any
+            // delay that clears the first one.
+            let _late = with_late_heavy.then(|| {
+                let mut s = srv.session_with(SimTime::from_ms(10_000), 0).unwrap();
+                s.set_arrival(SimTime::from_ms(2));
+                s
+            });
+            tight.infer(&[1, 2]).expect("queue mode waits instead of shedding");
+            let report = srv.contention_report();
+            let decision = report.gate[0];
+            assert!(!decision.shed);
+            assert!(decision.delay > SimTime::ZERO, "the early heavy load forces a wait");
+            assert_eq!(report.slo_hit_rate(), Some(1.0));
+            decision.delay
+        };
+        let without = run(false);
+        let with = run(true);
+        assert!(
+            with > without,
+            "a session arriving during the wait must lengthen it: {with} <= {without}"
+        );
+    }
+
+    #[test]
+    fn repeat_engagements_reuse_the_gate_decision_until_the_mix_changes() {
+        let srv = server_with_backpressure(BackpressureMode::Queue(SimTime::from_ms(60_000)));
+        let slo = floor_slo(&srv);
+        let a = srv.session_with_slo(slo, 0).unwrap();
+        let b = srv.session_with_slo(slo, 0).unwrap();
+        a.infer(&[1]).unwrap();
+        b.infer(&[1]).unwrap();
+        b.infer(&[2]).unwrap();
+        let report = srv.contention_report();
+        assert_eq!(report.gate.len(), 3, "every engagement logs a decision");
+        let b_token = report.gate.iter().map(|d| d.session).max().unwrap();
+        let b_decisions: Vec<_> = report.gate.iter().filter(|d| d.session == b_token).collect();
+        assert_eq!(b_decisions.len(), 2);
+        assert_eq!(b_decisions[0], b_decisions[1], "an unchanged mix reuses the decision");
+        // A registry change (a session closing) invalidates the memo: with
+        // the queue to itself, the next engagement needs no delay.
+        assert!(b_decisions[0].delay > SimTime::ZERO);
+        drop(a);
+        b.infer(&[3]).unwrap();
+        let report = srv.contention_report();
+        let last = report.gate.iter().rfind(|d| d.session == b_token).unwrap();
+        assert_eq!(last.delay, SimTime::ZERO, "the mix changed, the decision follows");
+    }
+
+    #[test]
+    fn gate_is_inert_without_an_slo_or_with_mode_off() {
+        // Off mode: SLO sessions never gate.
+        let off = server_with_backpressure(BackpressureMode::Off);
+        let slo = floor_slo(&off);
+        let a = off.session_with_slo(slo, 0).unwrap();
+        let b = off.session_with_slo(slo, 0).unwrap();
+        a.infer(&[1]).unwrap();
+        b.infer(&[1]).expect("mode off never sheds");
+        assert!(off.contention_report().gate.is_empty());
+        // Shed mode, but target sessions (no SLO): nothing to gate on.
+        let shed = server_with_backpressure(BackpressureMode::Shed);
+        let s1 = shed.session_with(SimTime::from_ms(300), 0).unwrap();
+        let s2 = shed.session_with(SimTime::from_ms(300), 0).unwrap();
+        s1.infer(&[1]).unwrap();
+        s2.infer(&[1]).expect("sessions without an SLO are never gated");
+        assert!(shed.contention_report().gate.is_empty());
+        assert_eq!(shed.serving_stats().shed_engagements, 0);
     }
 
     #[test]

@@ -41,7 +41,8 @@ pub use io_plan::{plan_io, plan_io_greedy_only, plan_two_stage, IoPlanInputs};
 pub use plan::{ExecutionPlan, PlannedLayer, SubmodelShape};
 pub use schedule::{simulate_pipeline, LayerTiming, SchedulePrediction};
 pub use serving::{
-    align_io_completions, contended_makespan, layer_io_jobs, plan_for_slo, plan_for_slo_against,
-    predict_contended_latency, predict_contended_latency_against, CoRunnerLoad, IoSharing,
-    LayerIoJob, ServingPlan, ServingPlanCache, ServingPlanKey,
+    align_io_completions, contended_makespan, layer_io_jobs, min_queue_delay, plan_for_slo,
+    plan_for_slo_against, predict_contended_latency, predict_contended_latency_against,
+    predict_contended_latency_at, predict_engagement_latency, CoRunnerLoad, EngagementLoad,
+    IoSharing, LayerIoJob, ServingPlan, ServingPlanCache, ServingPlanKey,
 };

@@ -39,9 +39,34 @@
 //! - **Shared-IO mode.** When the scheduler batches
 //!   (`sti-storage`'s `BatchPolicy`), co-resident engagements issuing
 //!   byte-identical layer jobs share one flash read. Passing
-//!   [`IoSharing::Batched`] coalesces identical jobs within a round into a
-//!   single shared submission, so the search can discover that batching
-//!   admits sessions an unbatched prediction would reject.
+//!   [`IoSharing::Batched`] coalesces identical jobs within a round (whose
+//!   arrivals fall inside the batch window) into a single shared
+//!   submission, so the search can discover that batching admits sessions
+//!   an unbatched prediction would reject.
+//! - **Real arrivals.** Each [`CoRunnerLoad`] carries the co-runner's
+//!   simulated arrival offset, and the prediction submits its jobs at that
+//!   offset instead of modeling every open session as fully co-arriving —
+//!   a straggler whose window does not overlap the candidate's no longer
+//!   inflates the candidate's predicted latency.
+//!
+//! # Infer-time backpressure
+//!
+//! Admission decides once, at session open; bursts violate SLOs
+//! *mid-session*. The gate path re-runs the contended prediction per
+//! engagement, against the queue as it stands **now**:
+//!
+//! - [`predict_engagement_latency`] takes a live
+//!   [`BacklogSnapshot`] (from
+//!   `IoScheduler::backlog_snapshot`, or synthesized from a server's
+//!   open-session registry) plus the candidate's [`EngagementLoad`], seeds
+//!   the flash-queue simulator with the backlog, rides the candidate's
+//!   layer jobs through it, and returns the engagement's predicted
+//!   end-to-end latency from its arrival;
+//! - [`min_queue_delay`] searches the smallest arrival delay (bounded by a
+//!   caller-supplied maximum) at which that prediction meets the SLO —
+//!   the *queue* flavour of backpressure; an `Err` means even draining the
+//!   backlog cannot save the engagement, which is what the *shed* flavour
+//!   fails fast on.
 
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -50,6 +75,7 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use sti_device::{CompletedJob, FlashJob, FlashQueueSim, HwProfile, SimTime};
 use sti_quant::Bitwidth;
+use sti_storage::{BacklogSnapshot, LayerRequest};
 use sti_transformer::ShardId;
 
 use crate::cache::{PlanCacheStats, PlanKey};
@@ -71,9 +97,21 @@ pub enum IoSharing {
     /// `BatchPolicy::Off` behaviour, and the default).
     #[default]
     Exclusive,
-    /// Byte-identical layer jobs issued in the same dispatch round coalesce
-    /// into one flash read (the scheduler's shared-IO batching).
-    Batched,
+    /// Byte-identical layer jobs issued in the same dispatch round, by
+    /// engagements whose arrivals fall within this window of each other,
+    /// coalesce into one flash read (the scheduler's shared-IO batching
+    /// under `BatchPolicy::Window`).
+    Batched(SimTime),
+}
+
+impl IoSharing {
+    /// The batching arrival window, when sharing is modeled.
+    pub fn window(&self) -> Option<SimTime> {
+        match self {
+            IoSharing::Exclusive => None,
+            IoSharing::Batched(w) => Some(*w),
+        }
+    }
 }
 
 /// One streaming layer's IO job: a content signature (what would be read)
@@ -95,17 +133,16 @@ pub fn layer_io_jobs(hw: &HwProfile, plan: &ExecutionPlan) -> Vec<Option<LayerIo
     plan.layers
         .iter()
         .map(|pl| {
-            let mut bytes = 0u64;
-            let mut hasher = std::collections::hash_map::DefaultHasher::new();
-            pl.layer.hash(&mut hasher);
-            for (slice, bw) in
-                pl.items().filter(|&(slice, _)| !plan.is_preloaded(ShardId::new(pl.layer, slice)))
-            {
-                (slice, bw.bits()).hash(&mut hasher);
-                bytes += hw.shard_bytes(bw);
-            }
+            let items: Vec<(u16, Bitwidth)> = pl
+                .items()
+                .filter(|&(slice, _)| !plan.is_preloaded(ShardId::new(pl.layer, slice)))
+                .collect();
+            let bytes: u64 = items.iter().map(|&(_, bw)| hw.shard_bytes(bw)).sum();
+            // The signature is `LayerRequest::content_sig` of the request
+            // the executor will issue for this layer, so plan-derived jobs
+            // and live backlog snapshots agree on batchability identity.
             (bytes > 0).then(|| LayerIoJob {
-                sig: hasher.finish(),
+                sig: LayerRequest { layer: pl.layer, items }.content_sig(),
                 service: hw.request_latency + hw.transfer_delay(bytes),
             })
         })
@@ -113,32 +150,73 @@ pub fn layer_io_jobs(hw: &HwProfile, plan: &ExecutionPlan) -> Vec<Option<LayerIo
 }
 
 /// An open co-runner's streaming IO load: its layer jobs in issue order
-/// (preload-covered layers contribute nothing).
+/// (preload-covered layers contribute nothing) and its simulated arrival
+/// offset — the time its engagements queue their requests at.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CoRunnerLoad {
     /// The co-runner's streaming jobs, in the order its executor issues
     /// them.
     pub jobs: Vec<LayerIoJob>,
+    /// The co-runner's simulated arrival offset. The contended prediction
+    /// submits its jobs at this time, so a straggler whose window does not
+    /// overlap the candidate's no longer inflates the candidate's
+    /// prediction.
+    pub arrival: SimTime,
 }
 
 impl CoRunnerLoad {
     /// Extracts a plan's streaming IO load (what this session contributes
-    /// to the flash queue as somebody else's co-runner).
+    /// to the flash queue as somebody else's co-runner), arriving at
+    /// simulated time zero — full co-arrival, the conservative default.
     pub fn from_plan(hw: &HwProfile, plan: &ExecutionPlan) -> Self {
-        Self { jobs: layer_io_jobs(hw, plan).into_iter().flatten().collect() }
+        Self::from_plan_at(hw, plan, SimTime::ZERO)
+    }
+
+    /// [`CoRunnerLoad::from_plan`] with an explicit arrival offset (a trace
+    /// file's `arrival_us`, or a session's `set_arrival`).
+    pub fn from_plan_at(hw: &HwProfile, plan: &ExecutionPlan, arrival: SimTime) -> Self {
+        Self { jobs: layer_io_jobs(hw, plan).into_iter().flatten().collect(), arrival }
     }
 
     /// Order-sensitive digest of a co-runner mix, for memo keys: two
-    /// open-session sets with equal digests predict identically.
+    /// open-session sets with equal digests predict identically. Arrival
+    /// offsets are part of the identity — the same loads at different
+    /// offsets contend differently.
     pub fn digest(loads: &[CoRunnerLoad]) -> u64 {
         let mut hasher = std::collections::hash_map::DefaultHasher::new();
         for load in loads {
-            load.jobs.len().hash(&mut hasher);
+            (load.jobs.len(), load.arrival.as_us()).hash(&mut hasher);
             for job in &load.jobs {
                 (job.sig, job.service.as_us()).hash(&mut hasher);
             }
         }
         hasher.finish()
+    }
+}
+
+/// One engagement as the backpressure gate sees it: its per-layer streaming
+/// jobs (`None` for preload-covered layers), its uniform per-layer compute
+/// delay, and the simulated time it is being submitted at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngagementLoad {
+    /// Per-layer IO jobs, `None` for layers the preload buffer covers.
+    pub jobs: Vec<Option<LayerIoJob>>,
+    /// Per-layer compute delay (uniform across a plan's layers).
+    pub comp: SimTime,
+    /// The engagement's arrival on the simulated timeline.
+    pub arrival: SimTime,
+}
+
+impl EngagementLoad {
+    /// Builds the gate's view of one engagement of `plan` arriving at
+    /// `arrival`.
+    pub fn from_plan(hw: &HwProfile, plan: &ExecutionPlan, arrival: SimTime) -> Self {
+        Self { jobs: layer_io_jobs(hw, plan), comp: hw.t_comp(plan.shape.width), arrival }
+    }
+
+    /// The same engagement submitted `delay` later.
+    pub fn delayed(&self, delay: SimTime) -> Self {
+        Self { jobs: self.jobs.clone(), comp: self.comp, arrival: self.arrival + delay }
     }
 }
 
@@ -190,7 +268,9 @@ pub fn contended_makespan(
 /// request already queued (the executor submits them up front), and the
 /// flash serves one request per engagement per round — the IO scheduler's
 /// round-robin policy. The admitted session is modeled as the newest
-/// arrival (it queues behind a full round for every layer).
+/// arrival (it queues behind a full round for every layer). Full
+/// co-arrival is the worst case; see [`predict_contended_latency_at`] for
+/// honest arrival offsets.
 ///
 /// With `co_runners == 0` this reproduces the plan's own predicted
 /// makespan exactly. Co-runners are clones of the plan being admitted; see
@@ -207,65 +287,227 @@ pub fn predict_contended_latency(
 
 /// Predicts an engagement's contended end-to-end latency against the
 /// **actual** streaming loads of its co-runners, optionally with shared-IO
-/// batching.
-///
-/// Round `r` of the flash queue carries each co-runner's `r`-th streaming
-/// job followed by the candidate's (the candidate is the newest arrival,
-/// at the back of every round — the conservative ordering). Under
-/// [`IoSharing::Batched`], jobs in the same round with equal signatures
-/// coalesce into one shared flash read whose completion every member sees
-/// — so identical co-runners cost near-1× instead of N×.
+/// batching. The candidate arrives at simulated time zero; each co-runner's
+/// jobs are submitted at its own [`CoRunnerLoad::arrival`].
 pub fn predict_contended_latency_against(
     hw: &HwProfile,
     plan: &ExecutionPlan,
     co: &[CoRunnerLoad],
     sharing: IoSharing,
 ) -> SimTime {
-    let jobs = layer_io_jobs(hw, plan);
-    let candidate: Vec<LayerIoJob> = jobs.iter().copied().flatten().collect();
-    let candidate_id = co.len() as u64;
-    let rounds = candidate.len().max(co.iter().map(|c| c.jobs.len()).max().unwrap_or(0));
+    predict_contended_latency_at(hw, plan, SimTime::ZERO, co, sharing)
+}
+
+/// [`predict_contended_latency_against`] with an explicit candidate
+/// arrival: the candidate's jobs queue at `arrival`, each co-runner's at
+/// its own offset. Under the queue's FIFO-by-arrival discipline a
+/// co-runner arriving after the candidate never delays it, and one whose
+/// work drains before the candidate arrives barely does — partially
+/// overlapping windows are priced honestly instead of as full co-arrival.
+pub fn predict_contended_latency_at(
+    hw: &HwProfile,
+    plan: &ExecutionPlan,
+    arrival: SimTime,
+    co: &[CoRunnerLoad],
+    sharing: IoSharing,
+) -> SimTime {
+    let lanes: Vec<(SimTime, &[LayerIoJob])> =
+        co.iter().map(|c| (c.arrival, c.jobs.as_slice())).collect();
+    let load = EngagementLoad::from_plan(hw, plan, arrival);
+    predict_over_lanes(&lanes, &load, sharing)
+}
+
+/// Predicts one engagement's contended end-to-end latency against a live
+/// flash-queue backlog: every queued request in `snapshot` is seeded into
+/// the flash-queue simulator at its channel's effective arrival, the
+/// candidate's layer jobs ride behind (round-robin across lanes, candidate
+/// last — the newest arrival), and the pipeline recurrence runs against the
+/// contended completions. This is the backpressure gate's mid-stream
+/// prediction path: admission asks this question once at session open,
+/// the gate re-asks it before every `infer` with the queue as it stands.
+///
+/// Under [`IoSharing::Batched`] the candidate's jobs may coalesce with
+/// backlog jobs of equal signature whose arrivals fall inside the window —
+/// so a co-resident burst of identical sessions does not scare the gate
+/// into shedding work the batcher would have deduplicated anyway.
+pub fn predict_engagement_latency(
+    snapshot: &BacklogSnapshot,
+    load: &EngagementLoad,
+    sharing: IoSharing,
+) -> SimTime {
+    let lanes: Vec<(SimTime, Vec<LayerIoJob>)> = snapshot
+        .channels
+        .iter()
+        .map(|c| {
+            (
+                c.effective_arrival,
+                c.queued.iter().map(|q| LayerIoJob { sig: q.sig, service: q.service }).collect(),
+            )
+        })
+        .collect();
+    let lanes: Vec<(SimTime, &[LayerIoJob])> =
+        lanes.iter().map(|(a, j)| (*a, j.as_slice())).collect();
+    predict_over_lanes(&lanes, load, sharing)
+}
+
+/// The shared prediction core: `lanes` are co-runner FIFO job queues (each
+/// with an arrival offset), the candidate's jobs ride last in each
+/// round-robin round, and the single-channel flash-queue simulator decides
+/// who waits for whom. Returns the candidate's end-to-end latency from its
+/// arrival.
+///
+/// Per-lane arrival cursors are monotone: when a job joins a batch, every
+/// member's cursor is raised to the batch arrival (the job exists only once
+/// its last member has arrived), mirroring the scheduler's
+/// effective-arrival discipline so per-lane FIFO survives the replay.
+fn predict_over_lanes(
+    lanes: &[(SimTime, &[LayerIoJob])],
+    load: &EngagementLoad,
+    sharing: IoSharing,
+) -> SimTime {
+    let candidate: Vec<LayerIoJob> = load.jobs.iter().copied().flatten().collect();
+    let candidate_id = lanes.len();
+    let rounds = candidate.len().max(lanes.iter().map(|(_, jobs)| jobs.len()).max().unwrap_or(0));
+    // Arrival cursors, one per lane plus the candidate's at the end.
+    let mut cursors: Vec<SimTime> = lanes.iter().map(|&(arrival, _)| arrival).collect();
+    cursors.push(load.arrival);
+    let window = sharing.window();
     let mut sim = FlashQueueSim::new();
     for r in 0..rounds {
-        // This round's jobs in dispatch order: co-runners, then candidate.
-        let round: Vec<(u64, LayerIoJob)> = co
+        // This round's jobs in dispatch order: lanes, then candidate.
+        let round: Vec<(usize, LayerIoJob)> = lanes
             .iter()
             .enumerate()
-            .filter_map(|(e, load)| load.jobs.get(r).map(|&j| (e as u64, j)))
+            .filter_map(|(e, (_, jobs))| jobs.get(r).map(|&j| (e, j)))
             .chain(candidate.get(r).map(|&j| (candidate_id, j)))
             .collect();
         // Group batchable jobs: one submission per signature, fanned out to
-        // every engagement that issued it this round.
-        let mut groups: Vec<(LayerIoJob, Vec<u64>)> = Vec::new();
+        // every in-window engagement that issued it this round.
+        let mut groups: Vec<(LayerIoJob, Vec<usize>)> = Vec::new();
         for (engagement, job) in round {
-            match sharing {
-                IoSharing::Batched => {
-                    if let Some(group) = groups.iter_mut().find(|(j, _)| *j == job) {
-                        group.1.push(engagement);
-                        continue;
-                    }
-                    groups.push((job, vec![engagement]));
+            if let Some(w) = window {
+                if let Some(group) = groups.iter_mut().find(|(j, members)| {
+                    *j == job && gap(cursors[members[0]], cursors[engagement]) <= w
+                }) {
+                    group.1.push(engagement);
+                    continue;
                 }
-                IoSharing::Exclusive => groups.push((job, vec![engagement])),
             }
+            groups.push((job, vec![engagement]));
         }
-        for (job, engagements) in groups {
+        for (job, members) in groups {
+            let arrival = members.iter().map(|&e| cursors[e]).max().expect("groups are non-empty");
+            for &e in &members {
+                cursors[e] = arrival;
+            }
+            let extra: Vec<u64> = members[1..].iter().map(|&e| e as u64).collect();
             sim.submit_shared(
-                FlashJob {
-                    engagement: engagements[0],
-                    arrival: SimTime::ZERO,
-                    service: job.service,
-                },
-                &engagements[1..],
+                FlashJob { engagement: members[0] as u64, arrival, service: job.service },
+                &extra,
             );
         }
     }
     let report = sim.run();
-    let comps = vec![hw.t_comp(plan.shape.width); plan.layers.len()];
-    let has_io: Vec<bool> = jobs.iter().map(Option::is_some).collect();
-    let io_ends = align_io_completions(&has_io, &report.completions_of(candidate_id))
+    let comps = vec![load.comp; load.jobs.len()];
+    let has_io: Vec<bool> = load.jobs.iter().map(Option::is_some).collect();
+    let io_ends = align_io_completions(&has_io, &report.completions_of(candidate_id as u64))
         .expect("the simulator served every submitted job");
-    contended_makespan(SimTime::ZERO, &io_ends, &comps)
+    contended_makespan(load.arrival, &io_ends, &comps)
+}
+
+/// Absolute gap between two simulated times.
+fn gap(a: SimTime, b: SimTime) -> SimTime {
+    a.max(b) - a.min(b)
+}
+
+/// Searches the smallest arrival delay (up to `max_delay`) at which the
+/// engagement's predicted contended latency meets `slo`, against the given
+/// backlog. Returns `Ok((delay, predicted))` — zero delay when the
+/// prediction already fits — or `Err(best_predicted)` when even the best
+/// admissible delay misses the SLO (the queue flavour of backpressure then
+/// sheds).
+///
+/// The search runs in two phases, because the snapshot may contain lanes
+/// arriving *after* the engagement (work a delay could land it behind):
+///
+/// 1. Against the lanes already in the engagement's window (arrivals at or
+///    before its own), the prediction is non-increasing in the delay
+///    (later arrival ⇒ less work ahead) and bottoms out at the backlog's
+///    drain time — a binary search finds the threshold.
+/// 2. If that delay lands the engagement inside a later-arriving lane's
+///    window, the full-snapshot prediction can exceed the SLO again; the
+///    search then climbs to the drain point of everything arrived by the
+///    delayed arrival, re-checking, until the prediction fits or
+///    `max_delay` binds. The climb adds at least one lane per step, so it
+///    terminates; the found delay is minimal when no later lane interferes
+///    and conservative otherwise. The returned delay's prediction is
+///    always verified to meet the SLO.
+pub fn min_queue_delay(
+    snapshot: &BacklogSnapshot,
+    load: &EngagementLoad,
+    sharing: IoSharing,
+    slo: SimTime,
+    max_delay: SimTime,
+) -> Result<(SimTime, SimTime), SimTime> {
+    let predict =
+        |delay: SimTime| predict_engagement_latency(snapshot, &load.delayed(delay), sharing);
+    let now = predict(SimTime::ZERO);
+    if now <= slo {
+        return Ok((SimTime::ZERO, now));
+    }
+    // Drain time of every queued job on a lane arriving by `cutoff`.
+    let drain_by = |cutoff: SimTime| {
+        FlashQueueSim::with_backlog(
+            snapshot.channels.iter().filter(|c| c.effective_arrival <= cutoff).flat_map(|c| {
+                c.queued.iter().map(|q| FlashJob {
+                    engagement: c.channel,
+                    arrival: c.effective_arrival,
+                    service: q.service,
+                })
+            }),
+        )
+        .drain_time()
+    };
+    // Phase 1: monotone search against the already-arrived backlog.
+    let early = BacklogSnapshot {
+        channels: snapshot
+            .channels
+            .iter()
+            .filter(|c| c.effective_arrival <= load.arrival)
+            .cloned()
+            .collect(),
+        batch_window: snapshot.batch_window,
+    };
+    let predict_early =
+        |delay: SimTime| predict_engagement_latency(&early, &load.delayed(delay), sharing);
+    let cap = drain_by(load.arrival).saturating_sub(load.arrival).min(max_delay);
+    if predict_early(cap) > slo {
+        return Err(predict(cap));
+    }
+    // Smallest delay in [0, cap] whose early-backlog prediction meets the
+    // SLO; invariant: predict_early(hi) <= slo.
+    let (mut lo, mut hi) = (0u64, cap.as_us());
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if predict_early(SimTime::from_us(mid)) <= slo {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    // Phase 2: climb past any later-arriving windows the delay landed in.
+    let mut delay = SimTime::from_us(hi);
+    loop {
+        let predicted = predict(delay);
+        if predicted <= slo {
+            return Ok((delay, predicted));
+        }
+        let next = drain_by(load.arrival + delay).saturating_sub(load.arrival);
+        if next <= delay || next > max_delay {
+            return Err(predicted);
+        }
+        delay = next;
+    }
 }
 
 /// The outcome of an SLO-aware planning search.
@@ -319,15 +561,18 @@ pub fn plan_for_slo(
 
 /// [`plan_for_slo`] against the **actual** loads of the currently open
 /// sessions (instead of clones of the candidate), optionally under the
-/// scheduler's shared-IO batching. With batching on and identical
-/// co-runners, the contended prediction collapses toward the uncontended
-/// makespan — the search then admits sessions at targets an unbatched
-/// prediction would have to reject.
+/// scheduler's shared-IO batching. The candidate arrives at `arrival`;
+/// each co-runner's jobs queue at its own [`CoRunnerLoad::arrival`], so
+/// partially overlapping windows are priced honestly. With batching on and
+/// identical co-runners, the contended prediction collapses toward the
+/// uncontended makespan — the search then admits sessions at targets an
+/// unbatched prediction would have to reject.
 #[allow(clippy::too_many_arguments)]
 pub fn plan_for_slo_against(
     hw: &HwProfile,
     importance: &ImportanceProfile,
     slo: SimTime,
+    arrival: SimTime,
     co: &[CoRunnerLoad],
     sharing: IoSharing,
     preload_bytes: u64,
@@ -335,7 +580,7 @@ pub fn plan_for_slo_against(
     bitwidths: &[Bitwidth],
 ) -> ServingPlan {
     search_ladder(hw, importance, slo, co.len(), preload_bytes, widths, bitwidths, |plan| {
-        predict_contended_latency_against(hw, plan, co, sharing)
+        predict_contended_latency_at(hw, plan, arrival, co, sharing)
     })
 }
 
@@ -393,10 +638,13 @@ pub struct ServingPlanKey {
     /// Co-runner count folded into the key: a busier server genuinely needs
     /// a different plan.
     pub co_runners: usize,
-    /// Digest of the co-runners' actual loads ([`CoRunnerLoad::digest`]);
-    /// zero for clone-modeled searches.
+    /// Digest of the co-runners' actual loads ([`CoRunnerLoad::digest`],
+    /// arrival offsets included); zero for clone-modeled searches.
     pub co_digest: u64,
-    /// Whether the search modeled shared-IO batching.
+    /// The candidate's arrival offset the search assumed.
+    pub arrival: SimTime,
+    /// Whether the search modeled shared-IO batching (the window itself is
+    /// constant per server, so it is not part of the key).
     pub shared_io: bool,
 }
 
@@ -404,24 +652,32 @@ impl ServingPlanKey {
     /// Builds a clone-modeled, exclusive-IO key from the base knobs and the
     /// co-runner count (the [`plan_for_slo`] search).
     pub fn new(base: PlanKey, co_runners: usize) -> Self {
-        Self { base, co_runners, co_digest: 0, shared_io: false }
+        Self { base, co_runners, co_digest: 0, arrival: SimTime::ZERO, shared_io: false }
     }
 
     /// Builds a key for a [`plan_for_slo_against`] search over real
-    /// co-runner loads.
-    pub fn against(base: PlanKey, co: &[CoRunnerLoad], sharing: IoSharing) -> Self {
+    /// co-runner loads, with the candidate arriving at `arrival`.
+    pub fn against(
+        base: PlanKey,
+        arrival: SimTime,
+        co: &[CoRunnerLoad],
+        sharing: IoSharing,
+    ) -> Self {
         Self {
             base,
             co_runners: co.len(),
             co_digest: CoRunnerLoad::digest(co),
-            shared_io: sharing == IoSharing::Batched,
+            arrival,
+            shared_io: sharing.window().is_some(),
         }
     }
 }
 
 #[derive(Debug, Default)]
 struct ServingCacheInner {
-    plans: HashMap<ServingPlanKey, Arc<ServingPlan>>,
+    plans: HashMap<ServingPlanKey, (u64, Arc<ServingPlan>)>,
+    /// Monotone insertion counter, the eviction-age stamp of each entry.
+    next_seq: u64,
     stats: PlanCacheStats,
 }
 
@@ -431,16 +687,18 @@ struct ServingCacheInner {
 ///
 /// The table is bounded: keys carry the co-runner-mix digest, so a
 /// long-lived server with session churn mints fresh keys indefinitely.
-/// Reaching [`ServingPlanCache::MAX_ENTRIES`] flushes the table (counted
-/// as invalidations) — searches are pure and recomputable, so a flush
-/// costs one ladder walk per live mix, not correctness.
+/// Reaching [`ServingPlanCache::MAX_ENTRIES`] evicts the oldest-inserted
+/// **half** of the table (counted as invalidations) — live mixes' hot
+/// entries were inserted recently and survive; a whole-table flush would
+/// re-run one ladder walk per live mix on every overflow.
 #[derive(Debug, Default)]
 pub struct ServingPlanCache {
     inner: Mutex<ServingCacheInner>,
 }
 
 impl ServingPlanCache {
-    /// Entry bound: the table flushes (rather than grows) past this.
+    /// Entry bound: reaching it evicts the oldest-inserted half rather
+    /// than growing (or flushing everything).
     pub const MAX_ENTRIES: usize = 1024;
 
     /// Creates an empty cache.
@@ -471,7 +729,7 @@ impl ServingPlanCache {
     ) -> Arc<ServingPlan> {
         {
             let mut inner = self.inner.lock();
-            if let Some(plan) = inner.plans.get(key).cloned() {
+            if let Some((_, plan)) = inner.plans.get(key).cloned() {
                 inner.stats.hits += 1;
                 return plan;
             }
@@ -480,10 +738,18 @@ impl ServingPlanCache {
         let planned = Arc::new(search_fn());
         let mut inner = self.inner.lock();
         if inner.plans.len() >= Self::MAX_ENTRIES && !inner.plans.contains_key(key) {
-            inner.stats.invalidations += inner.plans.len() as u64;
-            inner.plans.clear();
+            // Evict the oldest-inserted half: the median insertion stamp
+            // splits the table, entries at or above it stay.
+            let mut seqs: Vec<u64> = inner.plans.values().map(|&(seq, _)| seq).collect();
+            seqs.sort_unstable();
+            let cutoff = seqs[seqs.len() / 2];
+            let before = inner.plans.len();
+            inner.plans.retain(|_, &mut (seq, _)| seq >= cutoff);
+            inner.stats.invalidations += (before - inner.plans.len()) as u64;
         }
-        inner.plans.entry(key.clone()).or_insert(planned).clone()
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        inner.plans.entry(key.clone()).or_insert((seq, planned)).1.clone()
     }
 
     /// Drops every entry (importance re-profiled, store rebuilt — anything
@@ -630,18 +896,42 @@ mod tests {
         );
         let cache = ServingPlanCache::new();
         let base = PlanKey::new("m", SimTime::from_ms(600), 0, &WIDTHS, &Bitwidth::ALL);
-        for digest in 0..=ServingPlanCache::MAX_ENTRIES as u64 {
-            let key = ServingPlanKey {
-                base: base.clone(),
-                co_runners: 1,
-                co_digest: digest,
-                shared_io: false,
-            };
-            cache.get_or_plan(&key, || served.clone());
+        let key_for = |digest: u64| ServingPlanKey {
+            base: base.clone(),
+            co_runners: 1,
+            co_digest: digest,
+            arrival: SimTime::ZERO,
+            shared_io: false,
+        };
+        let max = ServingPlanCache::MAX_ENTRIES as u64;
+        for digest in 0..=max {
+            cache.get_or_plan(&key_for(digest), || served.clone());
         }
-        assert_eq!(cache.len(), 1, "hitting the bound flushes, then admits the new entry");
-        assert_eq!(cache.stats().invalidations, ServingPlanCache::MAX_ENTRIES as u64);
-        assert_eq!(cache.stats().misses, ServingPlanCache::MAX_ENTRIES as u64 + 1);
+        // Hitting the bound evicts the oldest-inserted half only: the
+        // recently minted (hot) keys survive, the stale half is dropped.
+        assert_eq!(
+            cache.len(),
+            ServingPlanCache::MAX_ENTRIES / 2 + 1,
+            "half the table plus the entry that triggered the eviction"
+        );
+        assert_eq!(cache.stats().invalidations, max / 2);
+        assert_eq!(cache.stats().misses, max + 1);
+        // A hot (recently inserted) key survives the eviction...
+        cache.get_or_plan(&key_for(max - 1), || panic!("hot key must hit, not re-search"));
+        assert_eq!(cache.stats().hits, 1);
+        // ...while the oldest-inserted keys were the ones dropped.
+        let mut searched = false;
+        cache.get_or_plan(&key_for(0), || {
+            searched = true;
+            served.clone()
+        });
+        assert!(searched, "the oldest key was evicted");
+    }
+
+    /// The batching window planner tests model (any in-window value works:
+    /// clone-modeled co-runners co-arrive at time zero).
+    fn batched() -> IoSharing {
+        IoSharing::Batched(SimTime::from_ms(1))
     }
 
     #[test]
@@ -653,7 +943,7 @@ mod tests {
             let co = vec![CoRunnerLoad::from_plan(&hw, &plan); co_runners];
             let exclusive =
                 predict_contended_latency_against(&hw, &plan, &co, IoSharing::Exclusive);
-            let batched = predict_contended_latency_against(&hw, &plan, &co, IoSharing::Batched);
+            let batched = predict_contended_latency_against(&hw, &plan, &co, batched());
             assert_eq!(
                 exclusive,
                 predict_contended_latency(&hw, &plan, co_runners),
@@ -676,11 +966,10 @@ mod tests {
         assert_ne!(small.shape, big.shape, "the fixture needs genuinely different plans");
         let co = vec![CoRunnerLoad::from_plan(&hw, &big)];
         let exclusive = predict_contended_latency_against(&hw, &small, &co, IoSharing::Exclusive);
-        let batched = predict_contended_latency_against(&hw, &small, &co, IoSharing::Batched);
+        let shared = predict_contended_latency_against(&hw, &small, &co, batched());
         // A bigger co-runner reads different shard sets: nothing coalesces,
         // so batching must not under-predict.
-        assert!(batched >= exclusive.min(batched), "sanity");
-        assert!(batched <= exclusive, "sharing can only remove reads, never add them");
+        assert!(shared <= exclusive, "sharing can only remove reads, never add them");
     }
 
     #[test]
@@ -698,6 +987,7 @@ mod tests {
             &hw,
             &imp,
             slo,
+            SimTime::ZERO,
             &co,
             IoSharing::Exclusive,
             0,
@@ -708,8 +998,9 @@ mod tests {
             &hw,
             &imp,
             slo,
+            SimTime::ZERO,
             &co,
-            IoSharing::Batched,
+            batched(),
             0,
             &WIDTHS,
             &Bitwidth::ALL,
@@ -741,11 +1032,221 @@ mod tests {
         );
         assert_ne!(CoRunnerLoad::digest(one_a), CoRunnerLoad::digest(one_b));
         assert_ne!(CoRunnerLoad::digest(one_a), CoRunnerLoad::digest(&[a.clone(), a.clone()]));
+        // The same load at a different arrival offset contends differently,
+        // so the offset is part of the digest.
+        let mut late = a.clone();
+        late.arrival = SimTime::from_ms(500);
+        assert_ne!(CoRunnerLoad::digest(one_a), CoRunnerLoad::digest(std::slice::from_ref(&late)));
         let base = PlanKey::new("m", SimTime::from_ms(600), 0, &WIDTHS, &Bitwidth::ALL);
-        let k1 = ServingPlanKey::against(base.clone(), one_b, IoSharing::Batched);
-        let k2 = ServingPlanKey::against(base.clone(), one_b, IoSharing::Exclusive);
+        let k1 = ServingPlanKey::against(base.clone(), SimTime::ZERO, one_b, batched());
+        let k2 = ServingPlanKey::against(base.clone(), SimTime::ZERO, one_b, IoSharing::Exclusive);
         assert_ne!(k1, k2, "sharing mode is part of the key");
+        let k3 =
+            ServingPlanKey::against(base.clone(), SimTime::from_ms(5), one_b, IoSharing::Exclusive);
+        assert_ne!(k2, k3, "the candidate arrival is part of the key");
         assert_ne!(k1, ServingPlanKey::new(base, 1), "real-load keys differ from clone keys");
+    }
+
+    #[test]
+    fn straggler_outside_the_window_does_not_inflate_the_prediction() {
+        let hw = hw();
+        let plan = plan_at(300, 0);
+        let alone = predict_contended_latency(&hw, &plan, 0);
+        // The same co-runner load, co-arriving vs. arriving long after the
+        // candidate's window has drained.
+        let co_arriving = vec![CoRunnerLoad::from_plan(&hw, &plan)];
+        let straggler = vec![CoRunnerLoad::from_plan_at(&hw, &plan, SimTime::from_ms(600_000))];
+        let inflated =
+            predict_contended_latency_against(&hw, &plan, &co_arriving, IoSharing::Exclusive);
+        let honest =
+            predict_contended_latency_against(&hw, &plan, &straggler, IoSharing::Exclusive);
+        assert!(inflated > alone, "full co-arrival contends");
+        assert_eq!(
+            honest, alone,
+            "a straggler outside the candidate's window must not inflate its prediction"
+        );
+        // And an early co-runner whose work drains before a late candidate
+        // arrives barely delays it either.
+        let late_candidate = predict_contended_latency_at(
+            &hw,
+            &plan,
+            SimTime::from_ms(600_000),
+            &co_arriving,
+            IoSharing::Exclusive,
+        );
+        assert_eq!(late_candidate, alone, "a drained queue does not delay a late candidate");
+    }
+
+    /// A synthetic one-channel backlog of `n` jobs with the given service
+    /// time each.
+    fn backlog(n: usize, service: SimTime, arrival: SimTime) -> sti_storage::BacklogSnapshot {
+        sti_storage::BacklogSnapshot {
+            channels: vec![sti_storage::ChannelBacklog {
+                channel: 7,
+                arrival,
+                effective_arrival: arrival,
+                inflight: false,
+                queued: vec![sti_storage::QueuedIo { sig: 1, bytes: 1 << 20, service }; n],
+            }],
+            batch_window: None,
+        }
+    }
+
+    #[test]
+    fn engagement_prediction_collapses_to_the_plan_alone_on_an_empty_queue() {
+        let hw = hw();
+        for (t, s) in [(200u64, 0u64), (300, 1 << 20)] {
+            let plan = plan_at(t, s);
+            let load = EngagementLoad::from_plan(&hw, &plan, SimTime::ZERO);
+            let empty = sti_storage::BacklogSnapshot::default();
+            assert_eq!(
+                predict_engagement_latency(&empty, &load, IoSharing::Exclusive),
+                plan.predicted.makespan,
+                "T={t} |S|={s}: an idle queue must reproduce the uncontended makespan"
+            );
+        }
+    }
+
+    #[test]
+    fn engagement_prediction_grows_with_the_backlog_and_shrinks_with_delay() {
+        let hw = hw();
+        let plan = plan_at(300, 0);
+        let load = EngagementLoad::from_plan(&hw, &plan, SimTime::ZERO);
+        let alone = predict_engagement_latency(
+            &sti_storage::BacklogSnapshot::default(),
+            &load,
+            IoSharing::Exclusive,
+        );
+        let service = SimTime::from_ms(40);
+        let mut last = alone;
+        for n in [1usize, 4, 16] {
+            let predicted = predict_engagement_latency(
+                &backlog(n, service, SimTime::ZERO),
+                &load,
+                IoSharing::Exclusive,
+            );
+            assert!(predicted >= last, "a deeper backlog cannot predict faster");
+            last = predicted;
+        }
+        // Submitting after the backlog drains restores the solo latency.
+        let drained = predict_engagement_latency(
+            &backlog(16, service, SimTime::ZERO),
+            &load.delayed(service * 16),
+            IoSharing::Exclusive,
+        );
+        assert_eq!(drained, alone, "past the drain point the backlog is invisible");
+    }
+
+    #[test]
+    fn min_queue_delay_finds_the_threshold_and_flags_the_hopeless() {
+        let hw = hw();
+        let plan = plan_at(300, 0);
+        let load = EngagementLoad::from_plan(&hw, &plan, SimTime::ZERO);
+        let alone = predict_engagement_latency(
+            &sti_storage::BacklogSnapshot::default(),
+            &load,
+            IoSharing::Exclusive,
+        );
+        let snap = backlog(8, SimTime::from_ms(50), SimTime::ZERO);
+        let generous = SimTime::from_ms(600_000);
+        // No backlog: zero delay, prediction unchanged.
+        let (d, p) = min_queue_delay(
+            &sti_storage::BacklogSnapshot::default(),
+            &load,
+            IoSharing::Exclusive,
+            generous,
+            generous,
+        )
+        .unwrap();
+        assert_eq!((d, p), (SimTime::ZERO, alone));
+        // A tight-but-feasible SLO: the search must find a delay whose
+        // prediction meets it, and a smaller delay must not.
+        let slo = alone + SimTime::from_ms(20);
+        let (delay, predicted) = min_queue_delay(&snap, &load, IoSharing::Exclusive, slo, generous)
+            .expect("draining the backlog makes the SLO feasible");
+        assert!(delay > SimTime::ZERO);
+        assert!(predicted <= slo);
+        if let Some(earlier) = delay.checked_sub(SimTime::from_us(1)) {
+            let too_early =
+                predict_engagement_latency(&snap, &load.delayed(earlier), IoSharing::Exclusive);
+            assert!(too_early > slo, "the found delay must be minimal");
+        }
+        // An SLO below the uncontended makespan is hopeless at any delay.
+        let hopeless = min_queue_delay(
+            &snap,
+            &load,
+            IoSharing::Exclusive,
+            alone - SimTime::from_us(1),
+            generous,
+        );
+        assert!(hopeless.is_err());
+        // A max-delay cap below the threshold also sheds.
+        let capped = min_queue_delay(&snap, &load, IoSharing::Exclusive, slo, SimTime::from_us(1));
+        assert!(capped.is_err(), "the cap binds before the backlog drains");
+    }
+
+    #[test]
+    fn min_queue_delay_climbs_past_windows_the_delay_lands_in() {
+        let hw = hw();
+        let plan = plan_at(300, 0);
+        let load = EngagementLoad::from_plan(&hw, &plan, SimTime::ZERO);
+        let alone = predict_engagement_latency(
+            &sti_storage::BacklogSnapshot::default(),
+            &load,
+            IoSharing::Exclusive,
+        );
+        let generous = SimTime::from_ms(600_000);
+        let slo = alone + SimTime::from_ms(20);
+        // Co-arriving backlog alone: the delay clears its drain point.
+        let co_arriving = backlog(8, SimTime::from_ms(50), SimTime::ZERO);
+        let (d1, _) =
+            min_queue_delay(&co_arriving, &load, IoSharing::Exclusive, slo, generous).unwrap();
+        // Add a second lane arriving right where that delay would land the
+        // engagement: the search must climb past it too.
+        let mut both = co_arriving.clone();
+        let mut late = backlog(8, SimTime::from_ms(50), d1).channels.remove(0);
+        late.channel = 8;
+        both.channels.push(late);
+        let (d2, predicted) =
+            min_queue_delay(&both, &load, IoSharing::Exclusive, slo, generous).unwrap();
+        assert!(d2 > d1, "a window the delay lands in must lengthen the wait: {d2} <= {d1}");
+        assert!(predicted <= slo);
+        assert_eq!(
+            predict_engagement_latency(&both, &load.delayed(d2), IoSharing::Exclusive),
+            predicted
+        );
+    }
+
+    #[test]
+    fn batched_engagement_prediction_rides_the_backlog_for_free() {
+        let hw = hw();
+        let plan = plan_at(300, 0);
+        let load = EngagementLoad::from_plan(&hw, &plan, SimTime::ZERO);
+        // A backlog that is exactly another engagement of the same plan,
+        // co-arriving on one channel.
+        let jobs: Vec<LayerIoJob> = load.jobs.iter().copied().flatten().collect();
+        let snap = sti_storage::BacklogSnapshot {
+            channels: vec![sti_storage::ChannelBacklog {
+                channel: 3,
+                arrival: SimTime::ZERO,
+                effective_arrival: SimTime::ZERO,
+                inflight: false,
+                queued: jobs
+                    .iter()
+                    .map(|j| sti_storage::QueuedIo { sig: j.sig, bytes: 0, service: j.service })
+                    .collect(),
+            }],
+            batch_window: Some(SimTime::from_ms(1)),
+        };
+        let exclusive = predict_engagement_latency(&snap, &load, IoSharing::Exclusive);
+        let shared = predict_engagement_latency(&snap, &load, batched());
+        let alone = predict_engagement_latency(
+            &sti_storage::BacklogSnapshot::default(),
+            &load,
+            IoSharing::Exclusive,
+        );
+        assert!(exclusive > alone, "an exclusive twin contends");
+        assert_eq!(shared, alone, "a byte-identical in-window backlog batches away");
     }
 
     #[test]

@@ -182,8 +182,8 @@ impl ShardCache {
     /// [`ShardCache::get_or_load`] that also reports whether the blob was
     /// cache-resident, decided atomically with the lookup itself — the IO
     /// scheduler classifies a request's bytes for the contended track's
-    /// DRAM-residency mode from this flag, and a separate
-    /// [`ShardCache::contains`] probe could disagree with what the lookup
+    /// DRAM-residency mode from this flag, and a separate residency
+    /// probe could disagree with what the lookup
     /// actually did when another worker raced an insert or eviction
     /// in between.
     ///

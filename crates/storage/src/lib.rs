@@ -44,5 +44,8 @@ pub use cache::{CachedSource, ShardCache, ShardCacheStats};
 pub use error::StorageError;
 pub use loader::{IoWorker, LayerRequest, LoadedLayer};
 pub use memstore::MemStore;
-pub use scheduler::{FlashDispatchEvent, IoChannel, IoScheduler, IoSchedulerStats};
+pub use scheduler::{
+    BacklogSnapshot, ChannelBacklog, FlashDispatchEvent, IoChannel, IoScheduler, IoSchedulerStats,
+    QueuedIo,
+};
 pub use store::{ShardKey, ShardSource, ShardStore};

@@ -27,6 +27,23 @@ pub struct LayerRequest {
     pub items: Vec<(u16, Bitwidth)>,
 }
 
+impl LayerRequest {
+    /// Content signature of the request: a hash of the layer and every
+    /// `(slice, bits)` item, in order. Two requests with equal signatures
+    /// read identical bytes — the identity the shared-IO batcher matches on
+    /// and the serving planner's `LayerIoJob` carries, so backlog snapshots
+    /// and plan-derived IO jobs can be compared for batchability.
+    pub fn content_sig(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        self.layer.hash(&mut hasher);
+        for &(slice, bw) in &self.items {
+            (slice, bw.bits()).hash(&mut hasher);
+        }
+        hasher.finish()
+    }
+}
+
 /// The result of one layer load.
 ///
 /// Blobs are `Arc`-shared: when the scheduler batches identical requests

@@ -117,6 +117,64 @@ impl FlashDispatchEvent {
     }
 }
 
+/// One queued (not yet dispatched) request in a [`BacklogSnapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueuedIo {
+    /// Content signature of the request
+    /// ([`LayerRequest::content_sig`]) — equal signatures read identical
+    /// bytes and could share one flash job under an enabled batch policy.
+    pub sig: u64,
+    /// Serialized bytes the request will read (0 when a size lookup fails;
+    /// the request itself will surface that error at dispatch).
+    pub bytes: u64,
+    /// Uncontended device-model service time of the request.
+    pub service: SimTime,
+}
+
+/// One channel's slice of a [`BacklogSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChannelBacklog {
+    /// The channel (engagement) id.
+    pub channel: u64,
+    /// The channel's simulated arrival time.
+    pub arrival: SimTime,
+    /// The arrival the channel's next dispatch will be stamped with on the
+    /// contended track (raised above `arrival` by any batch it joined).
+    pub effective_arrival: SimTime,
+    /// Whether a request of this channel is currently being serviced.
+    pub inflight: bool,
+    /// Queued requests in FIFO order (the in-flight one, if any, is not
+    /// included — its dispatch event is already in the flash log).
+    pub queued: Vec<QueuedIo>,
+}
+
+/// A point-in-time picture of the live flash queue: every open channel's
+/// queued requests (bytes, service times, batchability signatures) plus its
+/// effective arrival, and the scheduler's batch-window state. This is what
+/// the serving runtime's infer-time backpressure gate feeds the contended
+/// prediction — "what would an engagement submitted *now* see" — via
+/// `sti_planner::serving::predict_engagement_latency`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BacklogSnapshot {
+    /// Open channels in channel-id order (channels with no queued work and
+    /// nothing in flight are omitted).
+    pub channels: Vec<ChannelBacklog>,
+    /// The scheduler's shared-IO batch window, when batching is enabled.
+    pub batch_window: Option<SimTime>,
+}
+
+impl BacklogSnapshot {
+    /// Total queued (not yet dispatched) requests across all channels.
+    pub fn queued_requests(&self) -> usize {
+        self.channels.iter().map(|c| c.queued.len()).sum()
+    }
+
+    /// Total serialized bytes queued across all channels.
+    pub fn queued_bytes(&self) -> u64 {
+        self.channels.iter().flat_map(|c| &c.queued).map(|q| q.bytes).sum()
+    }
+}
+
 struct ChannelState {
     pending: VecDeque<LayerRequest>,
     completed: VecDeque<Result<LoadedLayer, StorageError>>,
@@ -309,6 +367,65 @@ impl IoScheduler {
     /// (poll this while paused to know a workload is fully submitted).
     pub fn queued_requests(&self) -> usize {
         self.shared.lock_state().channels.values().map(|c| c.pending.len()).sum()
+    }
+
+    /// Snapshots the live flash queue: every open channel's queued requests
+    /// (with bytes, device-model service times, and batchability
+    /// signatures), its effective arrival, and the batch-window state.
+    ///
+    /// The picture is advisory — requests keep dispatching while the caller
+    /// looks at it — and sized outside the scheduler lock, so taking a
+    /// snapshot never stalls the worker pool on storage lookups. A request
+    /// whose size lookup fails is reported with zero bytes (its own dispatch
+    /// will surface the error on its channel).
+    pub fn backlog_snapshot(&self) -> BacklogSnapshot {
+        // Under the lock: clone only queue structure (ids, arrivals,
+        // pending requests). Size lookups run after release.
+        let pending: Vec<(u64, SimTime, SimTime, bool, Vec<LayerRequest>)> = {
+            let state = self.shared.lock_state();
+            let mut channels: Vec<_> = state
+                .channels
+                .iter()
+                .filter(|(_, c)| !c.closed && c.has_work())
+                .map(|(&id, c)| {
+                    (
+                        id,
+                        c.arrival,
+                        c.effective_arrival,
+                        c.inflight,
+                        c.pending.iter().cloned().collect::<Vec<_>>(),
+                    )
+                })
+                .collect();
+            channels.sort_unstable_by_key(|&(id, ..)| id);
+            channels
+        };
+        let channels = pending
+            .into_iter()
+            .map(|(channel, arrival, effective_arrival, inflight, requests)| {
+                let queued = requests
+                    .iter()
+                    .map(|req| {
+                        let bytes: u64 = req
+                            .items
+                            .iter()
+                            .filter_map(|&(slice, bw)| {
+                                let key = ShardKey::new(ShardId::new(req.layer, slice), bw);
+                                self.shared.source.size_bytes(key).ok()
+                            })
+                            .sum();
+                        let service = if bytes > 0 {
+                            self.shared.flash.request_delay(bytes)
+                        } else {
+                            SimTime::ZERO
+                        };
+                        QueuedIo { sig: req.content_sig(), bytes, service }
+                    })
+                    .collect();
+                ChannelBacklog { channel, arrival, effective_arrival, inflight, queued }
+            })
+            .collect();
+        BacklogSnapshot { channels, batch_window: self.shared.policy.window() }
     }
 
     /// Drops the contended-track event log (dispatch numbering continues,
@@ -1157,6 +1274,40 @@ mod tests {
             let ok = ch.recv().unwrap();
             assert_eq!(ok.layer, 0, "FIFO: the healthy request still lands after the error");
         }
+        sched.shutdown();
+    }
+
+    #[test]
+    fn backlog_snapshot_reports_queued_work_per_channel() {
+        let sched = paused_sched(BatchPolicy::from_window_us(500));
+        let a = sched.channel_at(SimTime::ZERO);
+        let b = sched.channel_at(SimTime::from_us(400));
+        a.request(request(0, 0)).unwrap();
+        a.request(request(1, 0)).unwrap();
+        b.request(request(0, 0)).unwrap();
+        let snap = sched.backlog_snapshot();
+        assert_eq!(snap.batch_window, Some(SimTime::from_us(500)));
+        assert_eq!(snap.channels.len(), 2);
+        assert_eq!(snap.queued_requests(), 3);
+        assert!(snap.queued_bytes() > 0);
+        let (ca, cb) = (&snap.channels[0], &snap.channels[1]);
+        assert_eq!((ca.channel, ca.queued.len()), (a.id(), 2));
+        assert_eq!((cb.channel, cb.queued.len()), (b.id(), 1));
+        assert_eq!(cb.effective_arrival, SimTime::from_us(400));
+        // Identical requests carry identical signatures; distinct layers
+        // differ — the batchability identity the gate's prediction uses.
+        assert_eq!(ca.queued[0].sig, cb.queued[0].sig);
+        assert_ne!(ca.queued[0].sig, ca.queued[1].sig);
+        assert_eq!(ca.queued[0].bytes, cb.queued[0].bytes);
+        assert!(ca.queued[0].service > SimTime::ZERO);
+        // Drained queue, empty snapshot.
+        sched.resume_dispatch();
+        for ch in [&a, &b] {
+            ch.recv().unwrap();
+        }
+        a.recv().unwrap();
+        let drained = sched.backlog_snapshot();
+        assert_eq!(drained.queued_requests(), 0);
         sched.shutdown();
     }
 

@@ -32,7 +32,11 @@
 //! across engagements, and — under a `BatchPolicy` window — **shared-IO
 //! batching**: co-resident sessions' byte-identical layer loads coalesce
 //! into one fan-out flash job, so N identical co-runners pay near-1× flash
-//! instead of N×). Apps hold lightweight [`prelude::Session`] handles.
+//! instead of N×). SLO sessions are admission-checked at open and — with a
+//! `BackpressureMode` configured — gated again before every engagement
+//! against the live flash-queue backlog: queue (delay until the predicted
+//! contended latency meets the SLO) or shed (fail fast instead of
+//! missing). Apps hold lightweight [`prelude::Session`] handles.
 //! Sharing is invisible to results: a single session reproduces the engine
 //! bit-for-bit, and N concurrent sessions reproduce N sequential runs
 //! exactly (`tests/serving_runtime.rs` pins both down;

@@ -31,6 +31,11 @@ pub fn usage() -> String {
      \x20                                  shed = fail fast instead of missing\n\
      \x20             [--max-queue-ms 100] queue-mode patience: shed when even this delay\n\
      \x20                                  cannot save the engagement\n\
+     \x20             [--plan-sharing off|mix]  |S| placement for SLO searches: mix ranks\n\
+     \x20                                  preload candidates by marginal contended value\n\
+     \x20                                  under the live mix (a layer an in-window\n\
+     \x20                                  co-resident streams is never preloaded while an\n\
+     \x20                                  un-shared layer wants the budget)\n\
      \x20             [--device d] [--target-ms 200] [--preload-kb 16]\n\
      \x20             [--io-workers 2] [--shard-cache-kb 4096]        replay a multi-client trace\n"
         .to_string()
@@ -205,12 +210,21 @@ fn backpressure_mode(name: &str, max_queue_ms: u64) -> Result<BackpressureMode, 
     }
 }
 
+fn plan_sharing_mode(name: &str) -> Result<PreloadPolicy, ArgError> {
+    match name.to_lowercase().as_str() {
+        "off" | "per-session" => Ok(PreloadPolicy::PerSession),
+        "mix" => Ok(PreloadPolicy::SharingAware),
+        other => Err(ArgError(format!("unknown plan-sharing mode '{other}' (off|mix)"))),
+    }
+}
+
 fn cmd_serve(args: &Args) -> Result<String, ArgError> {
     let kind = task_kind(args.require("task")?)?;
     let slo_ms = args.get_u64("slo-ms", 0)?;
     let batch_window_us = args.get_u64("batch-window", 0)?;
     let backpressure =
         backpressure_mode(args.get_or("backpressure", "off"), args.get_u64("max-queue-ms", 100)?)?;
+    let plan_sharing = plan_sharing_mode(args.get_or("plan-sharing", "off"))?;
     let cfg = ServeConfig {
         device: device(args.get_or("device", "odroid"))?,
         target: SimTime::from_ms(args.get_u64("target-ms", 200)?),
@@ -222,6 +236,7 @@ fn cmd_serve(args: &Args) -> Result<String, ArgError> {
         dram_residency: args.get_u64("dram-hits", 0)? != 0,
         batch_window: (batch_window_us > 0).then(|| SimTime::from_us(batch_window_us)),
         backpressure,
+        plan_sharing,
     };
     let model_cfg = match args.get_or("model", "bert") {
         "tiny" => ModelConfig::tiny(), // CI smoke scale
@@ -295,12 +310,27 @@ fn cmd_serve(args: &Args) -> Result<String, ArgError> {
         mode => {
             let name = if matches!(mode, BackpressureMode::Shed) { "shed" } else { "queue" };
             format!(
-                "{name}: {} shed, {} queue-delayed (max delay {})",
+                "{name}: {} shed, {} queue-delayed (max delay {}, {} re-gated)",
                 contention.shed_count(),
                 contention.queue_delayed(),
                 contention.max_queue_delay(),
+                contention.re_gated_count(),
             )
         }
+    };
+    let plan_sharing_line = match plan_sharing {
+        PreloadPolicy::PerSession => "off (per-session |S|)".to_string(),
+        PreloadPolicy::SharingAware => format!(
+            "mix: {} preload bytes reallocated off co-resident-streamed layers",
+            contention.preload_bytes_reallocated,
+        ),
+    };
+    let queueing_us: Vec<u64> =
+        contention.engagements.iter().map(|e| e.initial_queueing.as_us()).collect();
+    let mean_queueing = if queueing_us.is_empty() {
+        SimTime::ZERO
+    } else {
+        SimTime::from_us(queueing_us.iter().sum::<u64>() / queueing_us.len() as u64)
     };
     Ok(format!(
         "served {} of {} engagements over {} sessions ({} rejected at admission)\n\
@@ -311,7 +341,8 @@ fn cmd_serve(args: &Args) -> Result<String, ArgError> {
          \x20 io scheduler  {} requests, {} bytes, flash busy {}, max queue depth {}\n\
          \x20 batching      {}\n\
          \x20 backpressure  {}\n\
-         \x20 contended     p50 {} | p95 {} | max {} end-to-end; {}\n\
+         \x20 plan-sharing  {}\n\
+         \x20 contended     p50 {} | p95 {} | max {} service-onward; mean initial queueing {}; {}\n\
          \x20 determinism   concurrent outcomes {} sequential replay\n",
         served,
         trace.total_engagements(),
@@ -337,9 +368,11 @@ fn cmd_serve(args: &Args) -> Result<String, ArgError> {
         concurrent.io_stats.max_queue_depth,
         batching_line,
         backpressure_line,
+        plan_sharing_line,
         contention.latency_percentile(0.5),
         contention.latency_percentile(0.95),
         contention.latency_percentile(1.0),
+        mean_queueing,
         slo_line,
         if identical { "exactly reproduce the" } else { "DIVERGED from the" },
     ))

@@ -87,11 +87,14 @@ pub mod prelude {
     };
     pub use sti_planner::compute_plan::DYNABERT_WIDTHS;
     pub use sti_planner::{
-        layer_io_jobs, min_queue_delay, plan_compute, plan_for_slo, plan_for_slo_against, plan_io,
-        plan_two_stage, predict_contended_latency, predict_contended_latency_against,
-        predict_contended_latency_at, predict_engagement_latency, profile_importance, CoRunnerLoad,
-        EngagementLoad, ExecutionPlan, ImportanceProfile, IoSharing, PlanCache, PlanCacheStats,
-        PlanKey, ServingPlan, ServingPlanCache, ServingPlanKey, SubmodelShape,
+        layer_io_jobs, min_queue_delay, plan_compute, plan_for_slo, plan_for_slo_against,
+        plan_for_slo_mix, plan_io, plan_two_stage, predict_contended_latency,
+        predict_contended_latency_against, predict_contended_latency_at,
+        predict_engagement_latency, profile_importance, reallocate_preload_for_mix,
+        replan_with_preload, CoRunnerLoad, EngagementLoad, ExecutionPlan, GateOutcome, GatePolicy,
+        ImportanceProfile, IoSharing, LayerIoJob, MixSession, PlanCache, PlanCacheStats, PlanKey,
+        PreloadPolicy, ServingMix, ServingPlan, ServingPlanCache, ServingPlanKey, SloProfile,
+        SubmodelShape,
     };
     pub use sti_quant::{Bitwidth, QuantConfig, QuantizedBlob};
     pub use sti_storage::{

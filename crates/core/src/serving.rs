@@ -33,7 +33,7 @@ use sti_pipeline::{
     AdmissionMode, BackpressureMode, ContentionReport, PipelineError, ServingStats, Session,
     StiServer,
 };
-use sti_planner::PlanCacheStats;
+use sti_planner::{PlanCacheStats, PreloadPolicy};
 use sti_storage::{BatchPolicy, IoSchedulerStats, ShardCacheStats};
 
 use crate::runner::TaskContext;
@@ -65,6 +65,10 @@ pub struct ServeConfig {
     /// fast instead of missing). Shed engagements produce no outcome and
     /// are counted in the contention report's gate log.
     pub backpressure: BackpressureMode,
+    /// `|S|` placement policy for SLO searches: per-session byte-prefix
+    /// preload, or sharing-aware placement ranked by marginal contended
+    /// value under the live mix (meaningful with a batching window).
+    pub plan_sharing: PreloadPolicy,
 }
 
 impl Default for ServeConfig {
@@ -80,6 +84,7 @@ impl Default for ServeConfig {
             dram_residency: false,
             batch_window: None,
             backpressure: BackpressureMode::Off,
+            plan_sharing: PreloadPolicy::PerSession,
         }
     }
 }
@@ -210,6 +215,7 @@ pub fn build_server(ctx: &TaskContext, cfg: &ServeConfig) -> StiServer {
             None => BatchPolicy::Off,
         })
         .backpressure(cfg.backpressure)
+        .plan_sharing(cfg.plan_sharing)
         .build()
 }
 

@@ -29,28 +29,44 @@
 //! the server keeps the dual-track accounting of `sti_storage::scheduler` —
 //! every dispatched request feeds the discrete-event flash-queue simulator,
 //! and [`StiServer::contention_report`] replays the dispatch sequence to
-//! quote each engagement's *contended* latency. Sessions opened with
-//! [`StiServer::session_with_slo`] plan against that queue model — fed the
-//! **actual** per-layer IO loads of the sessions currently open (the
-//! `plan_for_slo_against` search of `sti_planner::serving`, memoized per
-//! co-runner mix) — and [`AdmissionMode::Enforce`] rejects engagements
-//! whose best plan still misses: backpressure before the queue, not after.
+//! quote each engagement's *contended* latency (plus, via the
+//! per-engagement issue clock, the initial queueing between an
+//! engagement's issue and its first flash service start).
+//!
+//! **One predictor, three views:** every contended question the server
+//! asks — SLO admission at [`StiServer::session_with_slo`], the infer-time
+//! backpressure gate, and [`Session::retarget_slo`] — is answered by
+//! building a [`ServingMix`] from the open-session registry (each
+//! session's actual [`CoRunnerLoad`] plus, for SLO sessions, its
+//! [`SloProfile`]) and handing it to `sti_planner::mix`. The server never
+//! assembles prediction lanes by hand; the mix's digest is the one memo
+//! identity shared by the SLO-plan cache and the per-session gate memo,
+//! so a registry change invalidates both consistently.
+//! [`AdmissionMode::Enforce`] rejects sessions whose best plan still
+//! misses: backpressure before the queue, not after. Under
+//! [`PreloadPolicy::SharingAware`] ([`StiServerBuilder::plan_sharing`]),
+//! the SLO search also ranks `|S|` *placements* by marginal value under
+//! the mix — a layer an in-window co-resident already streams is never
+//! preloaded while un-shared layers want the budget, and the bytes moved
+//! are quoted in [`ContentionReport::preload_bytes_reallocated`].
 //!
 //! **Infer-time backpressure:** admission decides once, at session open —
 //! but SLOs are violated by *bursts*, mid-session. With a
 //! [`BackpressureMode`] configured ([`StiServerBuilder::backpressure`]),
 //! every SLO engagement first passes a gate that re-runs the contended
-//! prediction against the queue as it stands now
-//! (`sti_planner::serving::predict_engagement_latency` over the
-//! scheduler's `backlog_snapshot` plus the open-load registry) and either
-//! delays the engagement on the simulated timeline until the prediction
-//! meets its SLO (`Queue`, bounded by a maximum delay) or fails fast with
+//! prediction against the queue as it stands now (the registry mix merged
+//! with the scheduler's `backlog_snapshot`) and either delays the
+//! engagement on the simulated timeline until the prediction meets its SLO
+//! (`Queue`, bounded by a maximum delay) or fails fast with
 //! [`PipelineError::Backpressure`] (`Shed`). Decisions, queue delays, and
 //! shed counts land in [`ContentionReport`]. Gate decisions are a pure
 //! function of the deterministic open-session registry — identical between
 //! concurrent and sequential replays of the same trace — and shed
 //! engagements never touch the scheduler, so the uncontended determinism
-//! contract is untouched.
+//! contract is untouched. In queue mode the walk includes the *second gate
+//! pass*: an equal-arrival earliest session is re-gated against
+//! later-opened co-arriving load instead of running blind ahead of it
+//! (see [`ServingMix::gate`]).
 //!
 //! **Shared-IO batching:** with a [`BatchPolicy`] window configured
 //! ([`StiServerBuilder::batch_policy`]), co-resident sessions requesting
@@ -63,24 +79,23 @@
 //! saved and the mean batch occupancy.
 
 use std::collections::{BTreeMap, HashMap, HashSet};
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 use sti_device::{FlashModel, HwProfile, SimTime};
 use sti_planner::compute_plan::dynabert_widths_for;
-use sti_planner::serving::{
-    min_queue_delay, plan_for_slo_against, predict_engagement_latency, EngagementLoad, ServingPlan,
-    ServingPlanCache, ServingPlanKey,
-};
+use sti_planner::mix::{plan_for_slo_mix, GatePolicy, PreloadPolicy, ServingMix, SloProfile};
+use sti_planner::serving::{ServingPlan, ServingPlanCache, ServingPlanKey};
 use sti_planner::{
-    align_io_completions, contended_makespan, layer_io_jobs, plan_two_stage, CoRunnerLoad,
-    ExecutionPlan, ImportanceProfile, IoSharing, PlanCache, PlanCacheStats, PlanKey,
+    align_io_completions, contended_makespan, plan_two_stage, CoRunnerLoad, ExecutionPlan,
+    ImportanceProfile, IoSharing, PlanCache, PlanCacheStats, PlanKey,
 };
 use sti_quant::Bitwidth;
 use sti_storage::{
-    BacklogSnapshot, BatchPolicy, CachedSource, ChannelBacklog, FlashDispatchEvent, IoScheduler,
-    IoSchedulerStats, QueuedIo, ShardCache, ShardCacheStats, ShardKey, ShardSource,
+    BacklogSnapshot, BatchPolicy, CachedSource, FlashDispatchEvent, IoScheduler, IoSchedulerStats,
+    ShardCache, ShardCacheStats, ShardKey, ShardSource,
 };
 use sti_transformer::Model;
 
@@ -141,6 +156,11 @@ pub struct GateDecision {
     pub delay: SimTime,
     /// Whether the engagement was shed instead of executed.
     pub shed: bool,
+    /// Whether the decision came from the second gate pass: the session was
+    /// the equal-arrival earliest and was re-gated against later-opened
+    /// co-arriving load (queue mode only; see
+    /// [`ServingMix::gate`]).
+    pub re_gated: bool,
 }
 
 /// Admission and engagement counters.
@@ -162,6 +182,11 @@ pub struct ServingStats {
     pub shed_engagements: u64,
     /// Engagements the backpressure gate queue-delayed before executing.
     pub queued_engagements: u64,
+    /// Bytes of default-prefix preload the sharing-aware `|S|` search moved
+    /// off layers in-window co-residents already stream (summed over
+    /// admitted SLO sessions; zero under
+    /// [`PreloadPolicy::PerSession`]).
+    pub preload_bytes_reallocated: u64,
 }
 
 /// One engagement on the contended track: the latency it would have seen on
@@ -176,8 +201,20 @@ pub struct EngagementContention {
     /// The deterministic (uncontended) simulated makespan it reported.
     pub uncontended: SimTime,
     /// Its makespan when the recorded dispatch sequence is replayed through
-    /// the flash-queue simulator.
+    /// the flash-queue simulator, measured from its first flash service
+    /// start (service-onward — the quantity the admission and gate
+    /// predictions are held to; see [`EngagementContention::end_to_end`]
+    /// for the issue-inclusive number).
     pub contended: SimTime,
+    /// The engagement's effective issue time on the simulated timeline:
+    /// its session arrival plus any gate delay, advanced past the
+    /// session's previous engagement's contended completion (a session
+    /// issues its next engagement only once the previous one returned).
+    pub issue: SimTime,
+    /// Initial queueing: simulated time between [`EngagementContention::issue`]
+    /// and the engagement's first flash service start. Zero for engagements
+    /// whose window was clean (or that streamed nothing).
+    pub initial_queueing: SimTime,
     /// The SLO its session carried, if any.
     pub slo: Option<SimTime>,
 }
@@ -186,6 +223,13 @@ impl EngagementContention {
     /// Extra latency attributable to co-runners.
     pub fn queueing(&self) -> SimTime {
         self.contended.saturating_sub(self.uncontended)
+    }
+
+    /// Issue-to-completion latency: the initial queueing charged from the
+    /// per-engagement issue clock plus the service-onward contended
+    /// makespan.
+    pub fn end_to_end(&self) -> SimTime {
+        self.initial_queueing + self.contended
     }
 
     /// Whether the contended latency met the session SLO (`None` when the
@@ -221,6 +265,10 @@ pub struct ContentionReport {
     /// Backpressure-gate decisions, ordered by session token (each
     /// session's decisions in engagement order). Empty with the gate off.
     pub gate: Vec<GateDecision>,
+    /// Bytes of default-prefix preload the sharing-aware `|S|` search moved
+    /// off layers in-window co-residents already stream, summed over
+    /// admitted SLO sessions ([`ServingStats::preload_bytes_reallocated`]).
+    pub preload_bytes_reallocated: u64,
 }
 
 impl ContentionReport {
@@ -232,6 +280,13 @@ impl ContentionReport {
     /// Engagements the gate queue-delayed before executing.
     pub fn queue_delayed(&self) -> u64 {
         self.gate.iter().filter(|d| !d.shed && d.delay > SimTime::ZERO).count() as u64
+    }
+
+    /// Gate decisions that came from the second gate pass (an
+    /// equal-arrival earliest session re-gated against later-opened
+    /// co-arriving load).
+    pub fn re_gated_count(&self) -> u64 {
+        self.gate.iter().filter(|d| d.re_gated).count() as u64
     }
 
     /// The largest queue delay the gate applied.
@@ -268,6 +323,9 @@ struct EngagementRecord {
     channel: u64,
     session: u64,
     slo: Option<SimTime>,
+    /// The engagement's issue time on the simulated timeline (session
+    /// arrival plus gate delay — the arrival its channel was opened at).
+    issue: SimTime,
     /// Per-layer: did the layer stream through the scheduler?
     layer_has_io: Vec<bool>,
     /// Per-layer compute delay (uniform across a plan's layers).
@@ -281,16 +339,7 @@ struct EngagementRecord {
 #[derive(Clone)]
 struct RegisteredLoad {
     load: CoRunnerLoad,
-    gate: Option<GateProfile>,
-}
-
-/// The gate's view of an SLO session: its per-layer engagement load and the
-/// SLO it is held to.
-#[derive(Clone)]
-struct GateProfile {
-    jobs: Vec<Option<sti_planner::LayerIoJob>>,
-    comp: SimTime,
-    slo: SimTime,
+    slo: Option<SloProfile>,
 }
 
 /// Builder for [`StiServer`].
@@ -311,6 +360,7 @@ pub struct StiServerBuilder {
     dram: Option<FlashModel>,
     batch: BatchPolicy,
     backpressure: BackpressureMode,
+    plan_sharing: PreloadPolicy,
 }
 
 impl StiServerBuilder {
@@ -401,6 +451,19 @@ impl StiServerBuilder {
         self
     }
 
+    /// `|S|` placement policy for SLO searches (default
+    /// [`PreloadPolicy::PerSession`]). Under
+    /// [`PreloadPolicy::SharingAware`], the search ranks preload
+    /// placements by marginal contended latency under the live mix: a
+    /// layer an in-window co-resident already streams is never preloaded
+    /// while an un-shared layer wants the budget, and a zero-`|S|`
+    /// allocation that rides the co-residents' batches wholesale can win
+    /// outright. Only meaningful with a batching window configured.
+    pub fn plan_sharing(mut self, policy: PreloadPolicy) -> Self {
+        self.plan_sharing = policy;
+        self
+    }
+
     /// Starts the IO scheduler and returns the ready server. No planning
     /// happens yet — plans and preload buffers materialize lazily, once per
     /// knob combination, when sessions open.
@@ -443,6 +506,7 @@ impl StiServerBuilder {
                 dram: self.dram,
                 batch: self.batch,
                 backpressure: self.backpressure,
+                plan_sharing: self.plan_sharing,
                 slo_cache: ServingPlanCache::new(),
                 admission_gate: Mutex::new(()),
                 open_sessions: AtomicUsize::new(0),
@@ -495,7 +559,9 @@ struct ServerInner {
     batch: BatchPolicy,
     /// Infer-time backpressure policy for SLO sessions.
     backpressure: BackpressureMode,
-    /// Memoized SLO searches, keyed by knobs + co-runner mix + sharing.
+    /// `|S|` placement policy for SLO searches.
+    plan_sharing: PreloadPolicy,
+    /// Memoized SLO searches, keyed by knobs + mix digest + `|S|` policy.
     slo_cache: ServingPlanCache,
     /// Serializes SLO session opens: the admission decision and the
     /// open-session increment must be atomic with respect to each other.
@@ -551,13 +617,23 @@ impl ServerInner {
                 &self.bitwidths,
             )
         });
+        let buffer = self.preload_for(key, &plan)?;
+        Ok((plan, buffer))
+    }
 
+    /// Resolves the buffer a plan's preload set needs, filling and caching
+    /// it under `key` at most once.
+    fn preload_for(
+        &self,
+        key: PlanKey,
+        plan: &ExecutionPlan,
+    ) -> Result<Arc<PreloadBuffer>, PipelineError> {
         if let Some(buffer) = self.preloads.lock().get(&key).cloned() {
-            return Ok((plan, buffer));
+            return Ok(buffer);
         }
         // Fill outside the map lock: preload fills read the (cached) store,
         // and sessions resolving other knob sets must not wait behind that.
-        let mut buffer = PreloadBuffer::new(preload_budget);
+        let mut buffer = PreloadBuffer::new(plan.preload_budget_bytes);
         for &(id, bw) in &plan.preload {
             let blob = self.cached_source.load(ShardKey::new(id, bw))?;
             buffer.insert(id, blob)?;
@@ -565,8 +641,59 @@ impl ServerInner {
         let buffer = Arc::new(buffer);
         let mut preloads = self.preloads.lock();
         // First fill wins a race; fills are deterministic, so both are equal.
-        let shared = preloads.entry(key).or_insert(buffer).clone();
-        Ok((plan, shared))
+        Ok(preloads.entry(key).or_insert(buffer).clone())
+    }
+
+    /// Resolves the running plan and preload buffer of an SLO-search
+    /// outcome. When the search settled on the default byte-prefix plan
+    /// (always, under [`PreloadPolicy::PerSession`]), this is the ordinary
+    /// shared resolution; a mix-aware `|S|` placement instead keys its
+    /// buffer by the placement itself, so sessions planned against the
+    /// same mix still share one buffer.
+    fn resolve_serving(
+        &self,
+        served: &ServingPlan,
+        preload_budget: u64,
+    ) -> Result<(Arc<ExecutionPlan>, Arc<PreloadBuffer>), PipelineError> {
+        let key = self.plan_key(served.target, preload_budget);
+        let default_plan = self.plan_cache.get_or_plan(&key, || {
+            plan_two_stage(
+                &self.hw,
+                &self.importance.read(),
+                served.target,
+                preload_budget,
+                &self.widths,
+                &self.bitwidths,
+            )
+        });
+        // `preload_bytes_reallocated == 0` means the search settled on the
+        // default placement: resolve through the shared knob caches (and if
+        // an importance reprofile raced the search, the freshly resolved
+        // plan is the correct one to run, exactly as before). The default
+        // buffer is filled only on this path — a winning mix placement
+        // must not pay for (and pin) a prefix buffer nobody runs.
+        if served.preload_bytes_reallocated == 0 || *default_plan == served.plan {
+            let buffer = self.preload_for(key, &default_plan)?;
+            return Ok((default_plan, buffer));
+        }
+        let placement = {
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            for pl in &served.plan.layers {
+                pl.layer.hash(&mut h);
+                for (slice, bw) in pl.items() {
+                    (slice, bw.bits()).hash(&mut h);
+                }
+            }
+            for &(id, bw) in &served.plan.preload {
+                (id.layer, id.slice, bw.bits()).hash(&mut h);
+            }
+            h.finish()
+        };
+        let mut key = key;
+        key.model = format!("{}#mix{placement:016x}", key.model);
+        let plan = Arc::new(served.plan.clone());
+        let buffer = self.preload_for(key, &plan)?;
+        Ok((plan, buffer))
     }
 
     /// Registers (or refreshes, after a retarget or `set_arrival`) a
@@ -581,12 +708,22 @@ impl ServerInner {
         slo: Option<SimTime>,
     ) {
         let load = CoRunnerLoad::from_plan_at(&self.hw, plan, arrival);
-        let gate = slo.map(|slo| GateProfile {
-            jobs: layer_io_jobs(&self.hw, plan),
-            comp: self.hw.t_comp(plan.shape.width),
-            slo,
-        });
-        self.open_loads.lock().insert(token, RegisteredLoad { load, gate });
+        let slo = slo.map(|slo| SloProfile::from_plan(&self.hw, plan, slo));
+        self.open_loads.lock().insert(token, RegisteredLoad { load, slo });
+    }
+
+    /// Builds the [`ServingMix`] of the open-session registry — the one
+    /// input every contended prediction (admission, gate, retarget) runs
+    /// against — optionally excluding one session (a retargeting session
+    /// does not co-run with itself).
+    fn mix(&self, exclude: Option<u64>) -> ServingMix {
+        let mut mix = ServingMix::new(self.sharing());
+        for (&token, reg) in self.open_loads.lock().iter() {
+            if Some(token) != exclude {
+                mix.push_session(token, reg.load.clone(), reg.slo.clone());
+            }
+        }
+        mix
     }
 
     /// How the contended predictions model co-resident IO, matching the
@@ -634,6 +771,7 @@ impl StiServer {
             dram: None,
             batch: BatchPolicy::Off,
             backpressure: BackpressureMode::Off,
+            plan_sharing: PreloadPolicy::PerSession,
         }
     }
 
@@ -672,6 +810,7 @@ impl StiServer {
             preload,
             slo: None,
             serving: None,
+            realloc_bytes: 0,
             gate_memo: Mutex::new(None),
         })
     }
@@ -723,20 +862,22 @@ impl StiServer {
         // racing plain open is indistinguishable from one that lands just
         // after admission.
         let _admission = inner.admission_gate.lock();
-        let co: Vec<CoRunnerLoad> =
-            inner.open_loads.lock().values().map(|r| r.load.clone()).collect();
-        let co_runners = co.len();
-        let sharing = inner.sharing();
-        let key =
-            ServingPlanKey::against(inner.plan_key(slo, preload_budget), arrival, &co, sharing);
+        let mix = inner.mix(None);
+        let co_runners = mix.co_runners();
+        let key = ServingPlanKey::for_mix(
+            inner.plan_key(slo, preload_budget),
+            arrival,
+            &mix,
+            inner.plan_sharing,
+        );
         let served = inner.slo_cache.get_or_plan(&key, || {
-            plan_for_slo_against(
+            plan_for_slo_mix(
                 &inner.hw,
                 &inner.importance.read(),
                 slo,
                 arrival,
-                &co,
-                sharing,
+                &mix,
+                inner.plan_sharing,
                 preload_budget,
                 &inner.widths,
                 &inner.bitwidths,
@@ -756,13 +897,20 @@ impl StiServer {
                 AdmissionMode::Disabled => {}
             }
         }
-        // `resolve` replans with the same knobs the search used, so the
-        // plans agree — unless an importance reprofile raced in between, in
-        // which case the freshly resolved plan is the correct one to run.
-        let (plan, preload) = inner.resolve(served.target, preload_budget)?;
+        // The search's chosen plan is what the session runs. For the
+        // default placement this resolves through the shared knob caches
+        // (replanning agrees with the search — unless an importance
+        // reprofile raced in between, in which case the freshly resolved
+        // plan is the correct one to run); a mix-aware placement resolves
+        // its own buffer, shared per placement.
+        let (plan, preload) = inner.resolve_serving(&served, preload_budget)?;
         let token = inner.next_session_token.fetch_add(1, Ordering::SeqCst);
         inner.register_load(token, &plan, arrival, Some(slo));
-        inner.serving_stats.lock().admitted_sessions += 1;
+        {
+            let mut stats = inner.serving_stats.lock();
+            stats.admitted_sessions += 1;
+            stats.preload_bytes_reallocated += served.preload_bytes_reallocated;
+        }
         inner.open_sessions.fetch_add(1, Ordering::SeqCst);
         Ok(Session {
             inner: self.inner.clone(),
@@ -773,7 +921,8 @@ impl StiServer {
             plan,
             preload,
             slo: Some(slo),
-            serving: Some(served),
+            serving: Some(served.clone()),
+            realloc_bytes: served.preload_bytes_reallocated,
             gate_memo: Mutex::new(None),
         })
     }
@@ -873,6 +1022,15 @@ impl StiServer {
             per_channel.entry(job.engagement).or_default().push(*job);
         }
         let log = inner.engagement_log.lock();
+        // Per-session issue clock: a session issues its next engagement
+        // only once the previous one returned, so each engagement's
+        // effective issue is its recorded issue time (arrival + gate
+        // delay) advanced past the session's previous contended
+        // completion. Whatever gap remains between that issue and the
+        // first flash service start is genuine initial queueing —
+        // co-runners occupying the channel before the engagement got its
+        // first byte — charged in `initial_queueing`/`end_to_end()`.
+        let mut session_clock: HashMap<u64, SimTime> = HashMap::new();
         let engagements = log
             .iter()
             .filter_map(|rec| {
@@ -881,13 +1039,20 @@ impl StiServer {
                 // mid-stream (or its channel was torn down early), so it
                 // has no coherent contended timeline.
                 let io_ends = align_io_completions(&rec.layer_has_io, jobs)?;
-                let start = jobs.first().map_or(SimTime::ZERO, |j| j.start);
+                let issue = rec
+                    .issue
+                    .max(session_clock.get(&rec.session).copied().unwrap_or(SimTime::ZERO));
+                let start = jobs.first().map_or(issue, |j| j.start);
                 let comps = vec![rec.comp; rec.layer_has_io.len()];
+                let contended = contended_makespan(start, &io_ends, &comps);
+                session_clock.insert(rec.session, start + contended);
                 Some(EngagementContention {
                     channel: rec.channel,
                     session: rec.session,
                     uncontended: rec.uncontended,
-                    contended: contended_makespan(start, &io_ends, &comps),
+                    contended,
+                    issue,
+                    initial_queueing: start.saturating_sub(issue),
                     slo: rec.slo,
                 })
             })
@@ -913,6 +1078,7 @@ impl StiServer {
             flash_bytes_saved,
             mean_batch_occupancy,
             gate,
+            preload_bytes_reallocated: inner.serving_stats.lock().preload_bytes_reallocated,
         }
     }
 
@@ -929,6 +1095,11 @@ impl StiServer {
     /// The infer-time backpressure policy this server runs.
     pub fn backpressure(&self) -> BackpressureMode {
         self.inner.backpressure
+    }
+
+    /// The `|S|` placement policy this server's SLO searches run under.
+    pub fn plan_sharing(&self) -> PreloadPolicy {
+        self.inner.plan_sharing
     }
 
     /// Installs a re-profiled importance table and drops every plan derived
@@ -984,6 +1155,10 @@ pub struct Session {
     preload: Arc<PreloadBuffer>,
     slo: Option<SimTime>,
     serving: Option<Arc<ServingPlan>>,
+    /// This session's current contribution to
+    /// [`ServingStats::preload_bytes_reallocated`], so a retarget replaces
+    /// rather than re-adds it.
+    realloc_bytes: u64,
     /// The last backpressure-gate decision, keyed by a digest of the gate's
     /// inputs (candidate arrival, external backlog, open-load registry):
     /// decisions are a pure function of those, so repeat engagements
@@ -1081,37 +1256,101 @@ impl Session {
         Ok(())
     }
 
+    /// Re-plans the session against a latency SLO and the **current** mix:
+    /// like [`StiServer::session_with_slo_at`], but in place — the search
+    /// builds a [`ServingMix`] of every *other* open session (a session
+    /// does not co-run with itself) and the session adopts the winning
+    /// `(T, |S|)` placement, re-registering its load. Use it when a
+    /// session's SLO changes mid-life, or to refresh a stale SLO plan
+    /// after the mix shifted.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`PipelineError::AdmissionRejected`] under
+    /// [`AdmissionMode::Enforce`] when even the best plan misses (the
+    /// session then keeps its current plan), or if preload shards cannot
+    /// be loaded.
+    pub fn retarget_slo(&mut self, slo: SimTime) -> Result<(), PipelineError> {
+        let inner = self.inner.clone();
+        let _admission = inner.admission_gate.lock();
+        let mix = inner.mix(Some(self.token));
+        let co_runners = mix.co_runners();
+        let key = ServingPlanKey::for_mix(
+            inner.plan_key(slo, self.preload_budget),
+            self.arrival,
+            &mix,
+            inner.plan_sharing,
+        );
+        let served = inner.slo_cache.get_or_plan(&key, || {
+            plan_for_slo_mix(
+                &inner.hw,
+                &inner.importance.read(),
+                slo,
+                self.arrival,
+                &mix,
+                inner.plan_sharing,
+                self.preload_budget,
+                &inner.widths,
+                &inner.bitwidths,
+            )
+        });
+        if !served.meets_slo {
+            match inner.admission {
+                AdmissionMode::Enforce => {
+                    return Err(PipelineError::AdmissionRejected {
+                        predicted: served.predicted_contended,
+                        slo,
+                        co_runners,
+                    });
+                }
+                AdmissionMode::Monitor => inner.serving_stats.lock().monitor_violations += 1,
+                AdmissionMode::Disabled => {}
+            }
+        }
+        let (plan, preload) = inner.resolve_serving(&served, self.preload_budget)?;
+        {
+            // Replace (not re-add) this session's contribution: the stat
+            // tracks bytes moved by sessions' current placements.
+            let mut stats = inner.serving_stats.lock();
+            stats.preload_bytes_reallocated = stats.preload_bytes_reallocated - self.realloc_bytes
+                + served.preload_bytes_reallocated;
+        }
+        self.realloc_bytes = served.preload_bytes_reallocated;
+        self.target = served.target;
+        self.plan = plan;
+        self.preload = preload;
+        self.slo = Some(slo);
+        self.serving = Some(served);
+        inner.register_load(self.token, &self.plan, self.arrival, Some(slo));
+        Ok(())
+    }
+
     /// Runs the infer-time backpressure gate for one engagement of this
     /// session, returning the decision (`None` when the gate is off or the
     /// session carries no SLO).
     ///
     /// **Determinism.** Gate decisions must be identical between concurrent
     /// and sequential replays of the same trace, so co-resident sessions
-    /// are priced from the open-load registry — populated deterministically
-    /// at session open — rather than from their racy live queue entries:
-    /// the gate walks registered sessions in `(arrival, token)` order,
-    /// replays each earlier SLO session's own gate decision against the
-    /// lanes accumulated so far (a shed session contributes no load, a
-    /// queue-delayed one contributes its lane at the delayed arrival), and
-    /// only then predicts for this engagement. Sessions arriving strictly
-    /// later ride along at their raw loads — they cannot affect the
-    /// prediction at this engagement's own arrival (the queue serves
-    /// strictly earlier arrivals first), but a queue delay can land the
-    /// engagement inside their windows, so the delay search prices them;
-    /// equal-arrival later tokens are excluded, the deterministic
-    /// tie-break that staggers co-arriving gated sessions. Live scheduler
-    /// channels owned by registered sessions
-    /// are excluded from the snapshot (the registry already prices them);
-    /// whatever backlog remains — traffic driving the scheduler directly —
-    /// rides along at its effective arrival.
+    /// are priced from the open-session registry — populated
+    /// deterministically at session open — rather than from their racy live
+    /// queue entries. The server builds a [`ServingMix`] of the registry
+    /// plus whatever *external* backlog remains once channels owned by
+    /// registered sessions are excluded (the registry already prices
+    /// those), and [`ServingMix::gate`] runs the deterministic walk:
+    /// sessions in `(arrival, token)` order, each earlier SLO session's
+    /// decision replayed, equal-arrival later tokens excluded on the first
+    /// pass and re-gated against on the second (queue mode). Decisions are
+    /// memoized per mix digest — the same identity the SLO-plan cache
+    /// keys on — so repeat engagements against an unchanged mix skip the
+    /// queue simulations.
     fn gate(&self) -> Option<GateDecision> {
         let inner = &*self.inner;
-        let mode = inner.backpressure;
-        if mode == BackpressureMode::Off {
-            return None;
-        }
+        let policy = match inner.backpressure {
+            BackpressureMode::Off => return None,
+            BackpressureMode::Queue(max) => GatePolicy::Queue(max),
+            BackpressureMode::Shed => GatePolicy::Shed,
+        };
         let slo = self.slo?;
-        let sharing = inner.sharing();
         // Start from the live queue, minus channels the registry prices.
         // The snapshot is taken under the ownership lock so a channel can
         // never be observed live before its owning session registered it
@@ -1121,154 +1360,31 @@ impl Session {
             let active = inner.active_channels.lock();
             (active.keys().copied().collect(), inner.scheduler.backlog_snapshot())
         };
-        let base = BacklogSnapshot {
+        let external = BacklogSnapshot {
             channels: live.channels.into_iter().filter(|c| !owned.contains(&c.channel)).collect(),
             batch_window: live.batch_window,
         };
-        let registry: Vec<(u64, RegisteredLoad)> = {
-            let loads = inner.open_loads.lock();
-            let mut entries: Vec<_> = loads.iter().map(|(&t, r)| (t, r.clone())).collect();
-            entries.sort_by_key(|(t, r)| (r.load.arrival, *t));
-            entries
-        };
-
-        // The decision is a pure function of the candidate's arrival, the
-        // external backlog, and the registry — hash those and reuse the
-        // previous decision while nothing changed, so a session issuing
-        // many engagements against a stable mix pays the simulation cost
-        // once. Any open/close/retarget/`set_arrival` changes the registry
-        // digest and invalidates naturally.
-        let digest = {
-            use std::hash::{Hash, Hasher};
-            let mut h = std::collections::hash_map::DefaultHasher::new();
-            self.arrival.as_us().hash(&mut h);
-            for c in &base.channels {
-                (c.channel, c.arrival.as_us(), c.effective_arrival.as_us(), c.inflight)
-                    .hash(&mut h);
-                for q in &c.queued {
-                    (q.sig, q.bytes, q.service.as_us()).hash(&mut h);
-                }
-            }
-            for (token, reg) in &registry {
-                (token, reg.load.arrival.as_us(), reg.load.jobs.len()).hash(&mut h);
-                for j in &reg.load.jobs {
-                    (j.sig, j.service.as_us()).hash(&mut h);
-                }
-                if let Some(profile) = &reg.gate {
-                    (profile.slo.as_us(), profile.comp.as_us()).hash(&mut h);
-                }
-            }
-            h.finish()
-        };
+        let mix = inner.mix(None).with_backlog(external);
+        // The decision is a pure function of the mix; its digest — the
+        // same scheme the SLO-plan cache keys on — memoizes it until any
+        // open/close/retarget/`set_arrival` (or external traffic) changes
+        // the mix.
+        let digest = mix.digest();
         if let Some((seen, decision)) = *self.gate_memo.lock() {
             if seen == digest {
                 return Some(decision);
             }
         }
-
-        let lane =
-            |token: u64, jobs: &[sti_planner::LayerIoJob], arrival: SimTime| ChannelBacklog {
-                channel: token,
-                arrival,
-                effective_arrival: arrival,
-                inflight: false,
-                queued: jobs
-                    .iter()
-                    .map(|j| QueuedIo { sig: j.sig, bytes: 0, service: j.service })
-                    .collect(),
-            };
-        // The queue a decision at registry position `i` predicts against:
-        // the external backlog, every already-decided session's lane
-        // (sheds contribute nothing, queue delays shift theirs), and the
-        // *raw* loads of sessions arriving strictly later. The latter
-        // cannot affect a prediction at position `i`'s own arrival (the
-        // queue serves strictly earlier arrivals first) but a queue delay
-        // can land the engagement inside their windows, so the delay
-        // search must see them. Equal-arrival later tokens stay excluded —
-        // that deterministic tie-break is what staggers co-arriving gated
-        // sessions instead of deadlocking them on each other.
-        let snapshot_for = |decided: &[ChannelBacklog], i: usize| {
-            let mut snap = base.clone();
-            snap.channels.extend_from_slice(decided);
-            let arrival_i = registry[i].1.load.arrival;
-            for (t, r) in &registry[i + 1..] {
-                if r.load.arrival > arrival_i {
-                    snap.channels.push(lane(*t, &r.load.jobs, r.load.arrival));
-                }
-            }
-            snap
+        let outcome =
+            mix.gate(self.token, policy).expect("an open SLO session is always in the registry");
+        let decision = GateDecision {
+            session: self.token,
+            slo,
+            predicted: outcome.predicted,
+            delay: outcome.delay,
+            shed: outcome.shed,
+            re_gated: outcome.re_gated,
         };
-
-        let mut decided: Vec<ChannelBacklog> = Vec::new();
-        let mut decision: Option<GateDecision> = None;
-        for (i, (token, reg)) in registry.iter().enumerate() {
-            let snapshot = snapshot_for(&decided, i);
-            if *token == self.token {
-                let load = EngagementLoad::from_plan(&inner.hw, &self.plan, self.arrival);
-                decision = Some(match mode {
-                    BackpressureMode::Queue(max) => {
-                        match min_queue_delay(&snapshot, &load, sharing, slo, max) {
-                            Ok((delay, predicted)) => GateDecision {
-                                session: self.token,
-                                slo,
-                                predicted,
-                                delay,
-                                shed: false,
-                            },
-                            Err(predicted) => GateDecision {
-                                session: self.token,
-                                slo,
-                                predicted,
-                                delay: SimTime::ZERO,
-                                shed: true,
-                            },
-                        }
-                    }
-                    BackpressureMode::Shed => {
-                        let predicted = predict_engagement_latency(&snapshot, &load, sharing);
-                        GateDecision {
-                            session: self.token,
-                            slo,
-                            predicted,
-                            delay: SimTime::ZERO,
-                            shed: predicted > slo,
-                        }
-                    }
-                    BackpressureMode::Off => unreachable!("gate is off"),
-                });
-                break;
-            }
-            match &reg.gate {
-                // Non-SLO sessions are never gated: their engagement load
-                // always occupies the queue.
-                None => decided.push(lane(*token, &reg.load.jobs, reg.load.arrival)),
-                // Replay the co-runner's own gate decision against the
-                // queue as *it* sees it.
-                Some(profile) => {
-                    let load = EngagementLoad {
-                        jobs: profile.jobs.clone(),
-                        comp: profile.comp,
-                        arrival: reg.load.arrival,
-                    };
-                    let admitted_at = match mode {
-                        BackpressureMode::Queue(max) => {
-                            min_queue_delay(&snapshot, &load, sharing, profile.slo, max)
-                                .ok()
-                                .map(|(delay, _)| reg.load.arrival + delay)
-                        }
-                        BackpressureMode::Shed => {
-                            (predict_engagement_latency(&snapshot, &load, sharing) <= profile.slo)
-                                .then_some(reg.load.arrival)
-                        }
-                        BackpressureMode::Off => unreachable!("gate is off"),
-                    };
-                    if let Some(at) = admitted_at {
-                        decided.push(lane(*token, &reg.load.jobs, at));
-                    }
-                }
-            }
-        }
-        let decision = decision.expect("an open session is always in the registry");
         *self.gate_memo.lock() = Some((digest, decision));
         Some(decision)
     }
@@ -1364,6 +1480,7 @@ impl Session {
             channel: channel.id(),
             session: self.token,
             slo: self.slo,
+            issue: self.arrival + gate_delay,
             layer_has_io,
             comp: inner.hw.t_comp(self.plan.shape.width),
             uncontended: outcome.timeline.makespan,
@@ -1702,6 +1819,28 @@ mod tests {
     }
 
     #[test]
+    fn retarget_slo_replans_in_place_and_a_rejected_retarget_keeps_the_plan() {
+        let srv = server_with_admission(AdmissionMode::Enforce);
+        let mut s = srv.session_with_slo(SimTime::from_ms(5_000), 0).unwrap();
+        assert_eq!(srv.open_sessions(), 1);
+        // Retargeting re-plans in place against the current mix: no new
+        // session, no new admission.
+        s.retarget_slo(SimTime::from_ms(8_000)).unwrap();
+        assert_eq!(s.slo(), Some(SimTime::from_ms(8_000)));
+        assert!(s.serving_plan().unwrap().meets_slo);
+        assert_eq!(srv.open_sessions(), 1);
+        assert_eq!(srv.serving_stats().admitted_sessions, 1);
+        // With a heavy co-runner open, the floor SLO is unmeetable: the
+        // retarget is rejected and the session keeps its current plan.
+        let _heavy = srv.session_with(SimTime::from_ms(10_000), 0).unwrap();
+        let floor = floor_slo(&srv);
+        let before = s.plan().clone();
+        assert!(matches!(s.retarget_slo(floor), Err(PipelineError::AdmissionRejected { .. })));
+        assert_eq!(s.plan(), &before, "a rejected retarget leaves the session untouched");
+        assert_eq!(s.slo(), Some(SimTime::from_ms(8_000)));
+    }
+
+    #[test]
     fn monitor_admits_but_counts_violations() {
         let srv = server_with_admission(AdmissionMode::Monitor);
         let slo = floor_slo(&srv);
@@ -1854,23 +1993,28 @@ mod tests {
         let slo = floor_slo(&srv);
         let a = srv.session_with_slo(slo, 0).unwrap();
         let b = srv.session_with_slo(slo, 0).unwrap();
+        // Second gate pass: `a` is the equal-arrival earliest session, so
+        // it is re-gated against `b`'s later-opened co-arriving load and
+        // waits for it instead of running blind ahead.
         a.infer(&[1]).unwrap();
-        b.infer(&[1]).unwrap();
-        b.infer(&[2]).unwrap();
+        a.infer(&[2]).unwrap();
         let report = srv.contention_report();
-        assert_eq!(report.gate.len(), 3, "every engagement logs a decision");
-        let b_token = report.gate.iter().map(|d| d.session).max().unwrap();
-        let b_decisions: Vec<_> = report.gate.iter().filter(|d| d.session == b_token).collect();
-        assert_eq!(b_decisions.len(), 2);
-        assert_eq!(b_decisions[0], b_decisions[1], "an unchanged mix reuses the decision");
+        assert_eq!(report.gate.len(), 2, "every engagement logs a decision");
+        let a_token = report.gate.iter().map(|d| d.session).min().unwrap();
+        let a_decisions: Vec<_> = report.gate.iter().filter(|d| d.session == a_token).collect();
+        assert_eq!(a_decisions.len(), 2);
+        assert_eq!(a_decisions[0], a_decisions[1], "an unchanged mix reuses the decision");
+        assert!(a_decisions[0].delay > SimTime::ZERO, "re-gating prices the later session");
+        assert!(a_decisions[0].re_gated, "the wait came from the second gate pass");
+        assert_eq!(report.re_gated_count(), 2);
         // A registry change (a session closing) invalidates the memo: with
         // the queue to itself, the next engagement needs no delay.
-        assert!(b_decisions[0].delay > SimTime::ZERO);
-        drop(a);
-        b.infer(&[3]).unwrap();
+        drop(b);
+        a.infer(&[3]).unwrap();
         let report = srv.contention_report();
-        let last = report.gate.iter().rfind(|d| d.session == b_token).unwrap();
+        let last = report.gate.iter().rfind(|d| d.session == a_token).unwrap();
         assert_eq!(last.delay, SimTime::ZERO, "the mix changed, the decision follows");
+        assert!(!last.re_gated, "no co-arriving later session remains to re-gate against");
     }
 
     #[test]

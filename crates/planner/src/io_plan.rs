@@ -77,8 +77,27 @@ fn plan_io_impl(inputs: &IoPlanInputs<'_>, skip_uniform_pass: bool) -> Execution
         effective_budget = actual;
     };
 
-    // Predict the pipeline with preloaded shards removed from their layers'
-    // IO jobs.
+    let predicted = predict_with_preload(hw, &layers, &preload, t_comp);
+
+    ExecutionPlan {
+        shape,
+        layers,
+        preload,
+        target: inputs.target,
+        preload_budget_bytes: inputs.preload_bytes,
+        aib_satisfied,
+        predicted,
+    }
+}
+
+/// Predicts the pipeline timeline of an allocation with preloaded shards
+/// removed from their layers' IO jobs.
+fn predict_with_preload(
+    hw: &HwProfile,
+    layers: &[PlannedLayer],
+    preload: &[(ShardId, Bitwidth)],
+    t_comp: SimTime,
+) -> crate::schedule::SchedulePrediction {
     let timings: Vec<LayerTiming> = layers
         .iter()
         .map(|pl| {
@@ -97,15 +116,36 @@ fn plan_io_impl(inputs: &IoPlanInputs<'_>, skip_uniform_pass: bool) -> Execution
             LayerTiming { io, comp: t_comp }
         })
         .collect();
-    let predicted = simulate_pipeline(&timings, SimTime::ZERO);
+    simulate_pipeline(&timings, SimTime::ZERO)
+}
 
+/// Rebuilds a plan with an explicit preload set: the submodel, slice
+/// selection, and bitwidth allocation are untouched, only the preload
+/// contents (and hence the predicted timeline) change.
+///
+/// This is the serving planner's lever for *sharing-aware* `|S|` placement:
+/// the two-stage planner always preloads the maximal byte prefix, but under
+/// shared-IO batching a co-resident may already stream some layers, making
+/// their preload marginal value ~zero — the mix-aware search re-selects
+/// where the budget goes and re-predicts with this function. `aib_satisfied`
+/// is carried over unchanged (it describes the bitwidth allocation, which
+/// this function does not alter); the predicted timeline is recomputed, so
+/// a plan whose preload moved off the bottom layers honestly reports any
+/// cold-start stall that move reintroduced.
+pub fn replan_with_preload(
+    hw: &HwProfile,
+    plan: &ExecutionPlan,
+    preload: Vec<(ShardId, Bitwidth)>,
+) -> ExecutionPlan {
+    let t_comp = hw.t_comp(plan.shape.width);
+    let predicted = predict_with_preload(hw, &plan.layers, &preload, t_comp);
     ExecutionPlan {
-        shape,
-        layers,
+        shape: plan.shape,
+        layers: plan.layers.clone(),
         preload,
-        target: inputs.target,
-        preload_budget_bytes: inputs.preload_bytes,
-        aib_satisfied,
+        target: plan.target,
+        preload_budget_bytes: plan.preload_budget_bytes,
+        aib_satisfied: plan.aib_satisfied,
         predicted,
     }
 }

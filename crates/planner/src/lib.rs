@@ -28,6 +28,7 @@ pub mod cache;
 pub mod compute_plan;
 pub mod importance;
 pub mod io_plan;
+pub mod mix;
 pub mod plan;
 pub mod preload;
 pub mod schedule;
@@ -37,7 +38,13 @@ pub use aib::AibLedger;
 pub use cache::{PlanCache, PlanCacheStats, PlanKey};
 pub use compute_plan::{plan_compute, ComputeChoice};
 pub use importance::{profile_importance, ImportanceProfile};
-pub use io_plan::{plan_io, plan_io_greedy_only, plan_two_stage, IoPlanInputs};
+pub use io_plan::{
+    plan_io, plan_io_greedy_only, plan_two_stage, replan_with_preload, IoPlanInputs,
+};
+pub use mix::{
+    plan_for_slo_mix, reallocate_preload_for_mix, GateOutcome, GatePolicy, MixSession,
+    PreloadPolicy, ServingMix, SloProfile,
+};
 pub use plan::{ExecutionPlan, PlannedLayer, SubmodelShape};
 pub use schedule::{simulate_pipeline, LayerTiming, SchedulePrediction};
 pub use serving::{

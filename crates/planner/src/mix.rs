@@ -1,0 +1,755 @@
+//! `ServingMix` — the one canonical picture of "the world as the contended
+//! predictors see it".
+//!
+//! Four PRs of serving machinery grew three parallel prediction paths —
+//! SLO admission (`plan_for_slo_against`), the infer-time backpressure gate
+//! (`predict_engagement_latency` / `min_queue_delay`), and the gate's
+//! replay of earlier sessions' decisions — each hand-assembling co-runner
+//! lanes, arrivals, batching windows, and backlogs slightly differently.
+//! That duplication is exactly where the arrival-offset and memo-eviction
+//! bugs of the backpressure PR crept in. This module collapses the three
+//! paths onto one abstraction:
+//!
+//! - [`ServingMix`] canonically represents a prediction's inputs: the
+//!   open-session registry (each co-runner's [`CoRunnerLoad`] with its
+//!   token and, for SLO sessions, its [`SloProfile`]), an optional external
+//!   [`BacklogSnapshot`] of live queued IO, and the [`IoSharing`] mode.
+//! - [`ServingMix::predict`] is the *single* contended-latency core: every
+//!   lane's FIFO job queue rides the discrete-event flash simulator
+//!   round-robin, byte-identical in-window jobs coalesce under batching,
+//!   and the candidate's pipeline recurrence runs over the contended
+//!   completions. The legacy entry points (`predict_contended_latency*`,
+//!   `predict_engagement_latency`) are thin views over it.
+//! - [`ServingMix::min_delay`] is the two-phase minimal-queue-delay search
+//!   (`min_queue_delay`'s engine), and [`ServingMix::gate`] is the
+//!   deterministic gate walk: sessions in `(arrival, token)` order, each
+//!   earlier SLO session's decision replayed against the lanes accumulated
+//!   so far — including the *second gate pass* that re-gates an
+//!   equal-arrival earliest session once later-opened co-arriving load
+//!   exists (queue mode only; see [`ServingMix::gate`]).
+//! - [`ServingMix::digest`] is the one memo identity: both the SLO-search
+//!   cache key ([`ServingPlanKey`](crate::serving::ServingPlanKey)) and the
+//!   server's per-session gate memo hash the mix through here, so a
+//!   registry change invalidates them consistently.
+//!
+//! # Sharing-aware `|S|`
+//!
+//! Under shared-IO batching, preloading a layer that an in-window
+//! co-resident streams anyway has near-zero marginal value — the batch
+//! fan-out delivers the bytes regardless — while preloading it can even
+//! *hurt* by desynchronizing the candidate's request stream from the
+//! co-residents' (a partially-preloaded layer reads different bytes, so
+//! nothing coalesces). [`plan_for_slo_mix`] therefore ranks each ladder
+//! rung's preload placements by their marginal contended latency under the
+//! mix: the default byte-prefix plan, a [`reallocate_preload_for_mix`]
+//! variant that moves the budget off co-resident-covered layers onto
+//! un-shared ones, and the zero-`|S|` allocation (which aligns
+//! byte-identically with zero-preload co-residents and rides their batches
+//! for free). The placement with the lowest predicted contended latency
+//! wins, so batched co-residents shift their preload budget onto un-shared
+//! layers — and admit at tighter SLOs — exactly when the mix says it pays.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashSet;
+use std::hash::{Hash, Hasher};
+
+use sti_device::{FlashJob, FlashQueueSim, HwProfile, SimTime};
+use sti_quant::Bitwidth;
+use sti_storage::{BacklogSnapshot, LayerRequest};
+use sti_transformer::ShardId;
+
+use crate::importance::ImportanceProfile;
+use crate::io_plan::{plan_two_stage, replan_with_preload};
+use crate::plan::ExecutionPlan;
+use crate::serving::{
+    align_io_completions, contended_makespan, layer_io_jobs, search_ladder, CoRunnerLoad,
+    EngagementLoad, IoSharing, LadderStep, LayerIoJob, ServingPlan,
+};
+
+/// What the gate needs to replay an SLO session's decisions
+/// deterministically: its per-layer engagement load and the SLO it is held
+/// to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SloProfile {
+    /// Per-layer IO jobs of one engagement (`None` for preload-covered
+    /// layers).
+    pub jobs: Vec<Option<LayerIoJob>>,
+    /// Per-layer compute delay (uniform across a plan's layers).
+    pub comp: SimTime,
+    /// The SLO the session's engagements are held to.
+    pub slo: SimTime,
+}
+
+impl SloProfile {
+    /// Builds the gate profile of one engagement of `plan` under `slo`.
+    pub fn from_plan(hw: &HwProfile, plan: &ExecutionPlan, slo: SimTime) -> Self {
+        Self { jobs: layer_io_jobs(hw, plan), comp: hw.t_comp(plan.shape.width), slo }
+    }
+
+    fn load_at(&self, arrival: SimTime) -> EngagementLoad {
+        EngagementLoad { jobs: self.jobs.clone(), comp: self.comp, arrival }
+    }
+}
+
+/// One open session as the mix sees it: its registry token (open order —
+/// the gate's deterministic tie-break), its streaming load, and its gate
+/// profile when it carries an SLO.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MixSession {
+    /// The session's registry token.
+    pub token: u64,
+    /// The session's streaming IO load at its arrival offset.
+    pub load: CoRunnerLoad,
+    /// The session's gate profile (`None` for plain target sessions, which
+    /// are never gated).
+    pub slo: Option<SloProfile>,
+}
+
+/// What the infer-time gate does with an engagement predicted to miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GatePolicy {
+    /// Delay the engagement until the prediction meets the SLO, up to this
+    /// maximum; shed if even that cannot save it.
+    Queue(SimTime),
+    /// Fail fast whenever the prediction misses — never wait.
+    Shed,
+}
+
+/// One gate decision, as the mix computes it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GateOutcome {
+    /// Predicted contended latency at the chosen delay (for a shed
+    /// outcome: the best achievable prediction, which still missed).
+    pub predicted: SimTime,
+    /// Queue delay applied on the simulated timeline.
+    pub delay: SimTime,
+    /// Whether the engagement is shed instead of executed.
+    pub shed: bool,
+    /// Whether the decision came from the second gate pass — the session
+    /// was the equal-arrival earliest and was re-gated against the
+    /// later-opened co-arriving load it would otherwise be blind to.
+    pub re_gated: bool,
+}
+
+/// How an SLO search spends the preload budget `|S|`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PreloadPolicy {
+    /// The classic per-session placement: the maximal byte prefix of the
+    /// plan, regardless of what co-residents stream.
+    #[default]
+    PerSession,
+    /// Sharing-aware placement: rank preload candidates by marginal
+    /// contended latency under the mix — a layer whose content signature an
+    /// in-window co-resident already streams scores ~0 (the batch fan-out
+    /// delivers it anyway), so the budget shifts onto un-shared layers.
+    SharingAware,
+}
+
+/// One co-runner lane of a prediction: a FIFO job queue arriving at an
+/// offset.
+#[derive(Debug, Clone)]
+struct Lane {
+    arrival: SimTime,
+    jobs: Vec<LayerIoJob>,
+}
+
+/// The canonical workload mix a contended prediction runs against: the
+/// open-session registry (in registration order), an external backlog of
+/// live queued IO, and the IO-sharing mode. See the module docs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServingMix {
+    sessions: Vec<MixSession>,
+    backlog: BacklogSnapshot,
+    sharing: IoSharing,
+}
+
+impl ServingMix {
+    /// An empty mix under the given sharing mode.
+    pub fn new(sharing: IoSharing) -> Self {
+        Self { sessions: Vec::new(), backlog: BacklogSnapshot::default(), sharing }
+    }
+
+    /// A mix of anonymous co-runner loads (tokens are their indices) — the
+    /// admission view when only loads are known.
+    pub fn from_co_runners(co: &[CoRunnerLoad], sharing: IoSharing) -> Self {
+        let mut mix = Self::new(sharing);
+        for (i, load) in co.iter().enumerate() {
+            mix.push_session(i as u64, load.clone(), None);
+        }
+        mix
+    }
+
+    /// A mix that is purely an external backlog (the raw gate view when no
+    /// registry exists).
+    pub fn from_backlog(snapshot: &BacklogSnapshot, sharing: IoSharing) -> Self {
+        Self::new(sharing).with_backlog(snapshot.clone())
+    }
+
+    /// Attaches an external backlog (live queued IO *not* owned by any
+    /// registered session). Backlog lanes ride at their effective arrivals,
+    /// ahead of session lanes in dispatch order.
+    #[must_use]
+    pub fn with_backlog(mut self, snapshot: BacklogSnapshot) -> Self {
+        self.backlog = snapshot;
+        self
+    }
+
+    /// Appends an open session. Callers push in registration (token) order;
+    /// that order is the lane order predictions replay, and part of the
+    /// digest.
+    pub fn push_session(&mut self, token: u64, load: CoRunnerLoad, slo: Option<SloProfile>) {
+        self.sessions.push(MixSession { token, load, slo });
+    }
+
+    /// The sessions in the mix, in registration order.
+    pub fn sessions(&self) -> &[MixSession] {
+        &self.sessions
+    }
+
+    /// Number of co-running sessions the mix models.
+    pub fn co_runners(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// The IO-sharing mode predictions use.
+    pub fn sharing(&self) -> IoSharing {
+        self.sharing
+    }
+
+    /// Whether the mix contains no load at all.
+    pub fn is_idle(&self) -> bool {
+        self.sessions.is_empty() && self.backlog.channels.is_empty()
+    }
+
+    /// The one memo identity of the mix: every input a prediction (or a
+    /// gate decision) depends on — sharing mode, the external backlog, and
+    /// each session's token, arrival, jobs, and gate profile — hashed in
+    /// order. The SLO-plan cache and the per-session gate memo both key on
+    /// this, so a registry change invalidates them consistently.
+    pub fn digest(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        self.sharing.window().map(|w| w.as_us()).hash(&mut h);
+        for c in &self.backlog.channels {
+            (c.channel, c.arrival.as_us(), c.effective_arrival.as_us(), c.inflight).hash(&mut h);
+            for q in &c.queued {
+                (q.sig, q.bytes, q.service.as_us()).hash(&mut h);
+            }
+        }
+        for s in &self.sessions {
+            (s.token, s.load.arrival.as_us(), s.load.jobs.len()).hash(&mut h);
+            for j in &s.load.jobs {
+                (j.sig, j.service.as_us()).hash(&mut h);
+            }
+            match &s.slo {
+                None => 0u8.hash(&mut h),
+                Some(p) => {
+                    1u8.hash(&mut h);
+                    (p.slo.as_us(), p.comp.as_us()).hash(&mut h);
+                }
+            }
+        }
+        h.finish()
+    }
+
+    /// The raw lane set of the mix: external backlog lanes first (at their
+    /// effective arrivals), then every session's load at its own arrival.
+    fn raw_lanes(&self) -> Vec<Lane> {
+        let mut lanes: Vec<Lane> = self
+            .backlog
+            .channels
+            .iter()
+            .map(|c| Lane {
+                arrival: c.effective_arrival,
+                jobs: c
+                    .queued
+                    .iter()
+                    .map(|q| LayerIoJob { sig: q.sig, service: q.service })
+                    .collect(),
+            })
+            .collect();
+        lanes.extend(
+            self.sessions
+                .iter()
+                .map(|s| Lane { arrival: s.load.arrival, jobs: s.load.jobs.clone() }),
+        );
+        lanes
+    }
+
+    /// Predicts the candidate engagement's contended end-to-end latency
+    /// against the mix: every lane's jobs queue at its arrival, the
+    /// candidate's ride last in each round-robin round, and the
+    /// single-channel flash simulator decides who waits for whom.
+    ///
+    /// This is the **single** prediction core — admission, the gate, and
+    /// the delay search are all views over it.
+    pub fn predict(&self, load: &EngagementLoad) -> SimTime {
+        predict_over_lanes(&self.raw_lanes(), load, self.sharing)
+    }
+
+    /// Searches the smallest arrival delay (up to `max_delay`) at which the
+    /// candidate's prediction meets `slo` — the queue flavour of
+    /// backpressure. `Err(best_predicted)` means even draining the mix
+    /// cannot save the engagement.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err` with the best achievable prediction when no
+    /// admissible delay meets the SLO.
+    pub fn min_delay(
+        &self,
+        load: &EngagementLoad,
+        slo: SimTime,
+        max_delay: SimTime,
+    ) -> Result<(SimTime, SimTime), SimTime> {
+        min_delay_over_lanes(&self.raw_lanes(), load, self.sharing, slo, max_delay)
+    }
+
+    /// Content signatures every in-window participant of the mix streams:
+    /// the union of queued-backlog and session-load signatures whose lane
+    /// arrival falls within the batching window of `arrival`. Empty under
+    /// [`IoSharing::Exclusive`] — without batching nothing is shared.
+    pub fn streamed_sigs_in_window(&self, arrival: SimTime) -> HashSet<u64> {
+        let Some(window) = self.sharing.window() else {
+            return HashSet::new();
+        };
+        let mut sigs = HashSet::new();
+        for c in &self.backlog.channels {
+            if gap(c.effective_arrival, arrival) <= window {
+                sigs.extend(c.queued.iter().map(|q| q.sig));
+            }
+        }
+        for s in &self.sessions {
+            if gap(s.load.arrival, arrival) <= window {
+                sigs.extend(s.load.jobs.iter().map(|j| j.sig));
+            }
+        }
+        sigs
+    }
+
+    /// Runs the deterministic gate walk for the session holding `token`
+    /// (which must be in the mix, with an [`SloProfile`]); returns `None`
+    /// when that session carries no SLO.
+    ///
+    /// Sessions are walked in `(arrival, token)` order. Each earlier SLO
+    /// session's own decision is replayed against the lanes accumulated so
+    /// far (a shed session contributes no lane, a queue-delayed one
+    /// contributes its lane at the delayed arrival); plain target sessions
+    /// always contribute. Sessions arriving strictly later ride along as
+    /// raw lanes — they cannot affect a prediction at the candidate's own
+    /// arrival, but a queue delay can land inside their windows, so the
+    /// delay search prices them. Equal-arrival later tokens are excluded
+    /// from the *first* pass (the deterministic tie-break that staggers
+    /// co-arriving gated sessions instead of deadlocking them on each
+    /// other) — and then, in queue mode, a **second gate pass** re-gates
+    /// the session against those later-opened co-arriving loads at their
+    /// raw arrivals: the equal-arrival earliest session is no longer blind
+    /// to a burst that opened just after it. The second pass only ever
+    /// lengthens the wait; if even the maximum delay cannot absorb the
+    /// widened mix, the first-pass decision stands (re-gating reacts, it
+    /// never sheds work the first pass cleared — shed mode skips the second
+    /// pass entirely so the gate keeps pricing a subset of what admission
+    /// priced). The whole walk is a pure function of the mix, so concurrent
+    /// and sequential replays decide identically.
+    pub fn gate(&self, token: u64, policy: GatePolicy) -> Option<GateOutcome> {
+        let mut order: Vec<usize> = (0..self.sessions.len()).collect();
+        order.sort_by_key(|&i| (self.sessions[i].load.arrival, self.sessions[i].token));
+        let base = self.raw_backlog_lanes();
+        let mut decided: Vec<Lane> = Vec::new();
+        for (pos, &i) in order.iter().enumerate() {
+            let s = &self.sessions[i];
+            let arrival = s.load.arrival;
+            // First-pass lanes: external backlog, every already-decided
+            // session, and the raw loads of strictly-later arrivals.
+            let first = self.lanes_for(&base, &decided, &order[pos + 1..], arrival, false);
+            // Second-pass lanes exist when equal-arrival later tokens do —
+            // and only queue mode reads them (shed mode never re-gates), so
+            // skip the lane assembly entirely otherwise.
+            let second = (matches!(policy, GatePolicy::Queue(_))
+                && order[pos + 1..].iter().any(|&j| self.sessions[j].load.arrival == arrival))
+            .then(|| self.lanes_for(&base, &decided, &order[pos + 1..], arrival, true));
+            if s.token == token {
+                let profile = s.slo.as_ref()?;
+                return Some(decide(
+                    &first,
+                    second.as_deref(),
+                    profile,
+                    arrival,
+                    self.sharing,
+                    policy,
+                ));
+            }
+            match &s.slo {
+                // Plain target sessions are never gated: their load always
+                // occupies the queue.
+                None => decided.push(Lane { arrival, jobs: s.load.jobs.clone() }),
+                // Replay the co-runner's own gate decision against the
+                // queue as *it* sees it.
+                Some(profile) => {
+                    let outcome =
+                        decide(&first, second.as_deref(), profile, arrival, self.sharing, policy);
+                    if !outcome.shed {
+                        decided.push(Lane {
+                            arrival: arrival + outcome.delay,
+                            jobs: s.load.jobs.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        panic!("gate candidate token {token} is not in the mix");
+    }
+
+    fn raw_backlog_lanes(&self) -> Vec<Lane> {
+        self.backlog
+            .channels
+            .iter()
+            .map(|c| Lane {
+                arrival: c.effective_arrival,
+                jobs: c
+                    .queued
+                    .iter()
+                    .map(|q| LayerIoJob { sig: q.sig, service: q.service })
+                    .collect(),
+            })
+            .collect()
+    }
+
+    /// Lanes a decision at a walk position predicts against: the external
+    /// backlog, everything already decided, and the raw loads of sessions
+    /// after the position — strictly-later arrivals always, equal-arrival
+    /// later tokens only on the second pass.
+    fn lanes_for(
+        &self,
+        base: &[Lane],
+        decided: &[Lane],
+        later: &[usize],
+        arrival: SimTime,
+        include_equal: bool,
+    ) -> Vec<Lane> {
+        let mut lanes: Vec<Lane> = base.to_vec();
+        lanes.extend_from_slice(decided);
+        for &j in later {
+            let other = &self.sessions[j];
+            if other.load.arrival > arrival || (include_equal && other.load.arrival == arrival) {
+                lanes.push(Lane { arrival: other.load.arrival, jobs: other.load.jobs.clone() });
+            }
+        }
+        lanes
+    }
+}
+
+/// One gate decision for a profile at an arrival, including the second
+/// pass when `second` lanes are present (queue mode only; see
+/// [`ServingMix::gate`]).
+fn decide(
+    first: &[Lane],
+    second: Option<&[Lane]>,
+    profile: &SloProfile,
+    arrival: SimTime,
+    sharing: IoSharing,
+    policy: GatePolicy,
+) -> GateOutcome {
+    let load = profile.load_at(arrival);
+    match policy {
+        GatePolicy::Shed => {
+            let predicted = predict_over_lanes(first, &load, sharing);
+            GateOutcome {
+                predicted,
+                delay: SimTime::ZERO,
+                shed: predicted > profile.slo,
+                re_gated: false,
+            }
+        }
+        GatePolicy::Queue(max) => {
+            match min_delay_over_lanes(first, &load, sharing, profile.slo, max) {
+                Err(predicted) => {
+                    GateOutcome { predicted, delay: SimTime::ZERO, shed: true, re_gated: false }
+                }
+                Ok((delay, predicted)) => {
+                    if let Some(lanes) = second {
+                        if let Ok((d2, p2)) =
+                            min_delay_over_lanes(lanes, &load, sharing, profile.slo, max)
+                        {
+                            return GateOutcome {
+                                predicted: p2,
+                                delay: d2,
+                                shed: false,
+                                re_gated: true,
+                            };
+                        }
+                    }
+                    GateOutcome { predicted, delay, shed: false, re_gated: false }
+                }
+            }
+        }
+    }
+}
+
+/// The shared prediction core: `lanes` are co-runner FIFO job queues (each
+/// with an arrival offset), the candidate's jobs ride last in each
+/// round-robin round, and the single-channel flash-queue simulator decides
+/// who waits for whom. Returns the candidate's end-to-end latency from its
+/// arrival.
+///
+/// Per-lane arrival cursors are monotone: when a job joins a batch, every
+/// member's cursor is raised to the batch arrival (the job exists only once
+/// its last member has arrived), mirroring the scheduler's
+/// effective-arrival discipline so per-lane FIFO survives the replay.
+fn predict_over_lanes(lanes: &[Lane], load: &EngagementLoad, sharing: IoSharing) -> SimTime {
+    let candidate: Vec<LayerIoJob> = load.jobs.iter().copied().flatten().collect();
+    let candidate_id = lanes.len();
+    let rounds = candidate.len().max(lanes.iter().map(|l| l.jobs.len()).max().unwrap_or(0));
+    // Arrival cursors, one per lane plus the candidate's at the end.
+    let mut cursors: Vec<SimTime> = lanes.iter().map(|l| l.arrival).collect();
+    cursors.push(load.arrival);
+    let window = sharing.window();
+    let mut sim = FlashQueueSim::new();
+    for r in 0..rounds {
+        // This round's jobs in dispatch order: lanes, then candidate.
+        let round: Vec<(usize, LayerIoJob)> = lanes
+            .iter()
+            .enumerate()
+            .filter_map(|(e, l)| l.jobs.get(r).map(|&j| (e, j)))
+            .chain(candidate.get(r).map(|&j| (candidate_id, j)))
+            .collect();
+        // Group batchable jobs: one submission per signature, fanned out to
+        // every in-window engagement that issued it this round.
+        let mut groups: Vec<(LayerIoJob, Vec<usize>)> = Vec::new();
+        for (engagement, job) in round {
+            if let Some(w) = window {
+                if let Some(group) = groups.iter_mut().find(|(j, members)| {
+                    *j == job && gap(cursors[members[0]], cursors[engagement]) <= w
+                }) {
+                    group.1.push(engagement);
+                    continue;
+                }
+            }
+            groups.push((job, vec![engagement]));
+        }
+        for (job, members) in groups {
+            let arrival = members.iter().map(|&e| cursors[e]).max().expect("groups are non-empty");
+            for &e in &members {
+                cursors[e] = arrival;
+            }
+            let extra: Vec<u64> = members[1..].iter().map(|&e| e as u64).collect();
+            sim.submit_shared(
+                FlashJob { engagement: members[0] as u64, arrival, service: job.service },
+                &extra,
+            );
+        }
+    }
+    let report = sim.run();
+    let comps = vec![load.comp; load.jobs.len()];
+    let has_io: Vec<bool> = load.jobs.iter().map(Option::is_some).collect();
+    let io_ends = align_io_completions(&has_io, &report.completions_of(candidate_id as u64))
+        .expect("the simulator served every submitted job");
+    contended_makespan(load.arrival, &io_ends, &comps)
+}
+
+/// The two-phase minimal-delay search over a lane set (the engine behind
+/// [`ServingMix::min_delay`] and the legacy `min_queue_delay`):
+///
+/// 1. Against the lanes already in the candidate's window (arrivals at or
+///    before its own), the prediction is non-increasing in the delay and
+///    bottoms out at the backlog's drain time — a binary search finds the
+///    threshold.
+/// 2. If that delay lands the candidate inside a later-arriving lane's
+///    window, the full prediction can exceed the SLO again; the search
+///    climbs to the drain point of everything arrived by the delayed
+///    arrival, re-checking, until the prediction fits or `max_delay`
+///    binds. The returned delay's prediction is always verified to meet
+///    the SLO.
+fn min_delay_over_lanes(
+    lanes: &[Lane],
+    load: &EngagementLoad,
+    sharing: IoSharing,
+    slo: SimTime,
+    max_delay: SimTime,
+) -> Result<(SimTime, SimTime), SimTime> {
+    let predict = |delay: SimTime| predict_over_lanes(lanes, &load.delayed(delay), sharing);
+    let now = predict(SimTime::ZERO);
+    if now <= slo {
+        return Ok((SimTime::ZERO, now));
+    }
+    // Drain time of every queued job on a lane arriving by `cutoff`.
+    let drain_by = |cutoff: SimTime| {
+        FlashQueueSim::with_backlog(
+            lanes.iter().enumerate().filter(|(_, l)| l.arrival <= cutoff).flat_map(|(e, l)| {
+                l.jobs.iter().map(move |j| FlashJob {
+                    engagement: e as u64,
+                    arrival: l.arrival,
+                    service: j.service,
+                })
+            }),
+        )
+        .drain_time()
+    };
+    // Phase 1: monotone search against the already-arrived backlog.
+    let early: Vec<Lane> = lanes.iter().filter(|l| l.arrival <= load.arrival).cloned().collect();
+    let predict_early = |delay: SimTime| predict_over_lanes(&early, &load.delayed(delay), sharing);
+    let cap = drain_by(load.arrival).saturating_sub(load.arrival).min(max_delay);
+    if predict_early(cap) > slo {
+        return Err(predict(cap));
+    }
+    // Smallest delay in [0, cap] whose early-backlog prediction meets the
+    // SLO; invariant: predict_early(hi) <= slo.
+    let (mut lo, mut hi) = (0u64, cap.as_us());
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if predict_early(SimTime::from_us(mid)) <= slo {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    // Phase 2: climb past any later-arriving windows the delay landed in.
+    let mut delay = SimTime::from_us(hi);
+    loop {
+        let predicted = predict(delay);
+        if predicted <= slo {
+            return Ok((delay, predicted));
+        }
+        let next = drain_by(load.arrival + delay).saturating_sub(load.arrival);
+        if next <= delay || next > max_delay {
+            return Err(predicted);
+        }
+        delay = next;
+    }
+}
+
+/// Absolute gap between two simulated times.
+pub(crate) fn gap(a: SimTime, b: SimTime) -> SimTime {
+    a.max(b) - a.min(b)
+}
+
+/// Re-selects a plan's preload set for a mix: layers whose full streamed
+/// signature an in-window co-resident already streams score ~0 (the batch
+/// fan-out delivers them anyway) and are never preloaded; the budget goes
+/// to un-shared layers instead, in layer order. Returns the re-predicted
+/// plan plus the bytes moved off shared coverage, or `None` when the
+/// sharing-aware selection coincides with the plan's own (nothing shared,
+/// or the prefix already sat entirely on un-shared layers).
+///
+/// Shared layers are skipped *entirely* rather than partially preloaded: a
+/// partial preload changes the layer's request signature, which would break
+/// the very batch match that made the layer cheap.
+pub fn reallocate_preload_for_mix(
+    hw: &HwProfile,
+    plan: &ExecutionPlan,
+    shared_sigs: &HashSet<u64>,
+) -> Option<(ExecutionPlan, u64)> {
+    if plan.preload.is_empty() || shared_sigs.is_empty() {
+        return None;
+    }
+    let covered: Vec<bool> = plan
+        .layers
+        .iter()
+        .map(|pl| shared_sigs.contains(&LayerRequest::sig_of(pl.layer, pl.items())))
+        .collect();
+    if !covered.iter().any(|&c| c) {
+        return None;
+    }
+    let budget = plan.preload_budget_bytes;
+    let mut used = 0u64;
+    let mut selection: Vec<(ShardId, Bitwidth)> = Vec::new();
+    'outer: for (pl, &cov) in plan.layers.iter().zip(&covered) {
+        if cov {
+            continue;
+        }
+        for (slice, bw) in pl.items() {
+            let bytes = hw.shard_bytes(bw);
+            if used + bytes > budget {
+                break 'outer;
+            }
+            used += bytes;
+            selection.push((ShardId::new(pl.layer, slice), bw));
+        }
+    }
+    if selection == plan.preload {
+        return None;
+    }
+    let freed: u64 = plan
+        .preload
+        .iter()
+        .filter(|entry| !selection.contains(entry))
+        .map(|&(_, bw)| hw.shard_bytes(bw))
+        .sum();
+    Some((replan_with_preload(hw, plan, selection), freed))
+}
+
+/// The mix-aware SLO search: walks the target ladder like
+/// [`plan_for_slo_against`](crate::serving::plan_for_slo_against), but
+/// scores every rung with [`ServingMix::predict`] and — under
+/// [`PreloadPolicy::SharingAware`] — ranks three `|S|` placements per rung
+/// by their marginal contended latency under the mix:
+///
+/// 1. the default byte-prefix plan;
+/// 2. [`reallocate_preload_for_mix`]: the budget moved off layers an
+///    in-window co-resident streams, onto un-shared layers;
+/// 3. the zero-`|S|` allocation, whose request stream is byte-identical to
+///    zero-preload co-residents' and therefore rides their batches for
+///    free (spending the buffer would only desynchronize it).
+///
+/// The placement with the strictly lowest predicted contended latency wins
+/// (ties keep the earlier candidate, so `PerSession` behaviour is the
+/// fixed point when sharing buys nothing). The winning rung's
+/// `preload_bytes_reallocated` records how many default-prefix bytes the
+/// mix-aware placement moved or freed.
+#[allow(clippy::too_many_arguments)]
+pub fn plan_for_slo_mix(
+    hw: &HwProfile,
+    importance: &ImportanceProfile,
+    slo: SimTime,
+    arrival: SimTime,
+    mix: &ServingMix,
+    policy: PreloadPolicy,
+    preload_bytes: u64,
+    widths: &[usize],
+    bitwidths: &[Bitwidth],
+) -> ServingPlan {
+    search_ladder(
+        hw,
+        importance,
+        slo,
+        mix.co_runners(),
+        preload_bytes,
+        widths,
+        bitwidths,
+        |target, default| {
+            let predict =
+                |plan: &ExecutionPlan| mix.predict(&EngagementLoad::from_plan(hw, plan, arrival));
+            let default_pred = predict(&default);
+            let mut step =
+                LadderStep { predicted: default_pred, preload_bytes_reallocated: 0, plan: default };
+            if policy == PreloadPolicy::SharingAware {
+                let sigs = mix.streamed_sigs_in_window(arrival);
+                if !sigs.is_empty() {
+                    let default_preload_bytes: u64 =
+                        step.plan.preload.iter().map(|&(_, bw)| hw.shard_bytes(bw)).sum();
+                    if let Some((alt, freed)) = reallocate_preload_for_mix(hw, &step.plan, &sigs) {
+                        let p = predict(&alt);
+                        if p < step.predicted {
+                            step = LadderStep {
+                                plan: alt,
+                                predicted: p,
+                                preload_bytes_reallocated: freed,
+                            };
+                        }
+                    }
+                    if preload_bytes > 0 && default_preload_bytes > 0 {
+                        let zero = plan_two_stage(hw, importance, target, 0, widths, bitwidths);
+                        let p = predict(&zero);
+                        if p < step.predicted {
+                            step = LadderStep {
+                                plan: zero,
+                                predicted: p,
+                                preload_bytes_reallocated: default_preload_bytes,
+                            };
+                        }
+                    }
+                }
+            }
+            step
+        },
+    )
+}

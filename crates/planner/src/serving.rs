@@ -1,79 +1,52 @@
 //! Serving-SLO planning: pick `(T, |S|)` for a session given its latency
-//! SLO and the number of co-runners sharing the flash channel.
+//! SLO and the workload mix sharing the flash channel.
+//!
+//! # The single-predictor architecture
 //!
 //! The paper's planner answers "what is the best submodel that fits `T` on
 //! an idle device". A serving runtime must answer a harder question: with N
 //! co-runners streaming their own layers through the one flash channel, an
 //! engagement's *contended* latency is longer than its plan's predicted
-//! makespan — so planning against the SLO directly produces plans that miss
-//! it under load. This module closes the loop:
+//! makespan. Every contended question in the runtime — SLO admission, the
+//! infer-time backpressure gate, and the gate's replay of earlier
+//! sessions' decisions — is answered by **one** prediction core:
+//! [`ServingMix::predict`] in
+//! [`crate::mix`]. A [`ServingMix`] canonically
+//! represents the world as the predictor sees it (the open-session
+//! registry's [`CoRunnerLoad`]s with arrivals and gate profiles, an
+//! optional live [`BacklogSnapshot`], and the [`IoSharing`] mode); the
+//! entry points in this module are thin views over it:
 //!
-//! - [`predict_contended_latency`] replays `co_runners + 1` copies of a
-//!   plan's IO jobs, interleaved round-robin exactly like the IO
-//!   scheduler's dispatch policy, through the discrete-event
-//!   [`FlashQueueSim`] and re-runs the pipeline recurrence against the
-//!   contended IO completion times;
-//! - [`plan_for_slo`] searches target latencies `T ≤ SLO` (each through the
-//!   unmodified two-stage planner) until the *contended* prediction meets
-//!   the SLO, returning the highest-FLOPs plan that does — or the least-bad
-//!   plan flagged `meets_slo: false`, which is what admission control
-//!   rejects on;
-//! - [`ServingPlanCache`] memoizes the search result under a
-//!   [`ServingPlanKey`] — the ordinary [`PlanKey`] with the co-runner
-//!   count, the co-runner-mix digest, and the IO-sharing mode folded in,
-//!   so a server replans only when the contention it would plan against
-//!   actually changes (the table is bounded; see
-//!   [`ServingPlanCache::MAX_ENTRIES`]).
+//! - [`predict_contended_latency`] / [`predict_contended_latency_against`]
+//!   / [`predict_contended_latency_at`] — admission's question: a mix of
+//!   co-runner loads (clones of the candidate, or the real registry),
+//!   candidate riding last in each round-robin round;
+//! - [`predict_engagement_latency`] — the gate's question: a mix that is a
+//!   live backlog snapshot, candidate submitted *now*;
+//! - [`min_queue_delay`] — the smallest delay at which the gate's
+//!   prediction meets the SLO
+//!   ([`ServingMix::min_delay`]);
+//! - [`plan_for_slo`] / [`plan_for_slo_against`] /
+//!   [`plan_for_slo_mix`](crate::mix::plan_for_slo_mix) — the `(T, |S|)`
+//!   ladder search, each rung scored by the mix prediction. The mix-aware
+//!   flavour additionally ranks `|S|` *placements* by marginal contended
+//!   value under the mix (sharing-aware preload; see [`crate::mix`]).
 //!
-//! Predictions use profiled (maximum) shard bytes and full overlap — every
-//! co-runner queues a request into each round — which biases conservative.
-//!
-//! Two refinements close the gap between prediction and the measured track:
-//!
-//! - **Real co-runner loads.** [`plan_for_slo`] models co-runners as clones
-//!   of the admitted session's plan (their plans are unknowable from the
-//!   planner alone), but the *server* knows its open sessions' actual
-//!   plans. [`plan_for_slo_against`] / [`predict_contended_latency_against`]
-//!   take each co-runner's real per-layer IO jobs
-//!   ([`CoRunnerLoad`], built by [`layer_io_jobs`]) instead of clones.
-//! - **Shared-IO mode.** When the scheduler batches
-//!   (`sti-storage`'s `BatchPolicy`), co-resident engagements issuing
-//!   byte-identical layer jobs share one flash read. Passing
-//!   [`IoSharing::Batched`] coalesces identical jobs within a round (whose
-//!   arrivals fall inside the batch window) into a single shared
-//!   submission, so the search can discover that batching admits sessions
-//!   an unbatched prediction would reject.
-//! - **Real arrivals.** Each [`CoRunnerLoad`] carries the co-runner's
-//!   simulated arrival offset, and the prediction submits its jobs at that
-//!   offset instead of modeling every open session as fully co-arriving —
-//!   a straggler whose window does not overlap the candidate's no longer
-//!   inflates the candidate's predicted latency.
-//!
-//! # Infer-time backpressure
-//!
-//! Admission decides once, at session open; bursts violate SLOs
-//! *mid-session*. The gate path re-runs the contended prediction per
-//! engagement, against the queue as it stands **now**:
-//!
-//! - [`predict_engagement_latency`] takes a live
-//!   [`BacklogSnapshot`] (from
-//!   `IoScheduler::backlog_snapshot`, or synthesized from a server's
-//!   open-session registry) plus the candidate's [`EngagementLoad`], seeds
-//!   the flash-queue simulator with the backlog, rides the candidate's
-//!   layer jobs through it, and returns the engagement's predicted
-//!   end-to-end latency from its arrival;
-//! - [`min_queue_delay`] searches the smallest arrival delay (bounded by a
-//!   caller-supplied maximum) at which that prediction meets the SLO —
-//!   the *queue* flavour of backpressure; an `Err` means even draining the
-//!   backlog cannot save the engagement, which is what the *shed* flavour
-//!   fails fast on.
+//! Predictions use profiled (maximum) shard bytes and full overlap, which
+//! biases conservative. Search outcomes are memoized in
+//! [`ServingPlanCache`] under a [`ServingPlanKey`] — the ordinary
+//! [`PlanKey`] plus the **mix digest**
+//! ([`ServingMix::digest`]), the same
+//! identity the server's gate memo hashes, so a registry change
+//! invalidates both consistently. The table is bounded
+//! ([`ServingPlanCache::MAX_ENTRIES`]).
 
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use sti_device::{CompletedJob, FlashJob, FlashQueueSim, HwProfile, SimTime};
+use sti_device::{CompletedJob, HwProfile, SimTime};
 use sti_quant::Bitwidth;
 use sti_storage::{BacklogSnapshot, LayerRequest};
 use sti_transformer::ShardId;
@@ -81,6 +54,7 @@ use sti_transformer::ShardId;
 use crate::cache::{PlanCacheStats, PlanKey};
 use crate::importance::ImportanceProfile;
 use crate::io_plan::plan_two_stage;
+use crate::mix::{PreloadPolicy, ServingMix};
 use crate::plan::ExecutionPlan;
 
 /// Per-layer IO service times of a plan on the profiled device: `Some` with
@@ -311,10 +285,7 @@ pub fn predict_contended_latency_at(
     co: &[CoRunnerLoad],
     sharing: IoSharing,
 ) -> SimTime {
-    let lanes: Vec<(SimTime, &[LayerIoJob])> =
-        co.iter().map(|c| (c.arrival, c.jobs.as_slice())).collect();
-    let load = EngagementLoad::from_plan(hw, plan, arrival);
-    predict_over_lanes(&lanes, &load, sharing)
+    ServingMix::from_co_runners(co, sharing).predict(&EngagementLoad::from_plan(hw, plan, arrival))
 }
 
 /// Predicts one engagement's contended end-to-end latency against a live
@@ -335,89 +306,7 @@ pub fn predict_engagement_latency(
     load: &EngagementLoad,
     sharing: IoSharing,
 ) -> SimTime {
-    let lanes: Vec<(SimTime, Vec<LayerIoJob>)> = snapshot
-        .channels
-        .iter()
-        .map(|c| {
-            (
-                c.effective_arrival,
-                c.queued.iter().map(|q| LayerIoJob { sig: q.sig, service: q.service }).collect(),
-            )
-        })
-        .collect();
-    let lanes: Vec<(SimTime, &[LayerIoJob])> =
-        lanes.iter().map(|(a, j)| (*a, j.as_slice())).collect();
-    predict_over_lanes(&lanes, load, sharing)
-}
-
-/// The shared prediction core: `lanes` are co-runner FIFO job queues (each
-/// with an arrival offset), the candidate's jobs ride last in each
-/// round-robin round, and the single-channel flash-queue simulator decides
-/// who waits for whom. Returns the candidate's end-to-end latency from its
-/// arrival.
-///
-/// Per-lane arrival cursors are monotone: when a job joins a batch, every
-/// member's cursor is raised to the batch arrival (the job exists only once
-/// its last member has arrived), mirroring the scheduler's
-/// effective-arrival discipline so per-lane FIFO survives the replay.
-fn predict_over_lanes(
-    lanes: &[(SimTime, &[LayerIoJob])],
-    load: &EngagementLoad,
-    sharing: IoSharing,
-) -> SimTime {
-    let candidate: Vec<LayerIoJob> = load.jobs.iter().copied().flatten().collect();
-    let candidate_id = lanes.len();
-    let rounds = candidate.len().max(lanes.iter().map(|(_, jobs)| jobs.len()).max().unwrap_or(0));
-    // Arrival cursors, one per lane plus the candidate's at the end.
-    let mut cursors: Vec<SimTime> = lanes.iter().map(|&(arrival, _)| arrival).collect();
-    cursors.push(load.arrival);
-    let window = sharing.window();
-    let mut sim = FlashQueueSim::new();
-    for r in 0..rounds {
-        // This round's jobs in dispatch order: lanes, then candidate.
-        let round: Vec<(usize, LayerIoJob)> = lanes
-            .iter()
-            .enumerate()
-            .filter_map(|(e, (_, jobs))| jobs.get(r).map(|&j| (e, j)))
-            .chain(candidate.get(r).map(|&j| (candidate_id, j)))
-            .collect();
-        // Group batchable jobs: one submission per signature, fanned out to
-        // every in-window engagement that issued it this round.
-        let mut groups: Vec<(LayerIoJob, Vec<usize>)> = Vec::new();
-        for (engagement, job) in round {
-            if let Some(w) = window {
-                if let Some(group) = groups.iter_mut().find(|(j, members)| {
-                    *j == job && gap(cursors[members[0]], cursors[engagement]) <= w
-                }) {
-                    group.1.push(engagement);
-                    continue;
-                }
-            }
-            groups.push((job, vec![engagement]));
-        }
-        for (job, members) in groups {
-            let arrival = members.iter().map(|&e| cursors[e]).max().expect("groups are non-empty");
-            for &e in &members {
-                cursors[e] = arrival;
-            }
-            let extra: Vec<u64> = members[1..].iter().map(|&e| e as u64).collect();
-            sim.submit_shared(
-                FlashJob { engagement: members[0] as u64, arrival, service: job.service },
-                &extra,
-            );
-        }
-    }
-    let report = sim.run();
-    let comps = vec![load.comp; load.jobs.len()];
-    let has_io: Vec<bool> = load.jobs.iter().map(Option::is_some).collect();
-    let io_ends = align_io_completions(&has_io, &report.completions_of(candidate_id as u64))
-        .expect("the simulator served every submitted job");
-    contended_makespan(load.arrival, &io_ends, &comps)
-}
-
-/// Absolute gap between two simulated times.
-fn gap(a: SimTime, b: SimTime) -> SimTime {
-    a.max(b) - a.min(b)
+    ServingMix::from_backlog(snapshot, sharing).predict(load)
 }
 
 /// Searches the smallest arrival delay (up to `max_delay`) at which the
@@ -425,23 +314,14 @@ fn gap(a: SimTime, b: SimTime) -> SimTime {
 /// backlog. Returns `Ok((delay, predicted))` — zero delay when the
 /// prediction already fits — or `Err(best_predicted)` when even the best
 /// admissible delay misses the SLO (the queue flavour of backpressure then
-/// sheds).
+/// sheds). A thin view over
+/// [`ServingMix::min_delay`]; see there
+/// for the two-phase search.
 ///
-/// The search runs in two phases, because the snapshot may contain lanes
-/// arriving *after* the engagement (work a delay could land it behind):
+/// # Errors
 ///
-/// 1. Against the lanes already in the engagement's window (arrivals at or
-///    before its own), the prediction is non-increasing in the delay
-///    (later arrival ⇒ less work ahead) and bottoms out at the backlog's
-///    drain time — a binary search finds the threshold.
-/// 2. If that delay lands the engagement inside a later-arriving lane's
-///    window, the full-snapshot prediction can exceed the SLO again; the
-///    search then climbs to the drain point of everything arrived by the
-///    delayed arrival, re-checking, until the prediction fits or
-///    `max_delay` binds. The climb adds at least one lane per step, so it
-///    terminates; the found delay is minimal when no later lane interferes
-///    and conservative otherwise. The returned delay's prediction is
-///    always verified to meet the SLO.
+/// Returns `Err` with the best achievable prediction when no admissible
+/// delay meets the SLO.
 pub fn min_queue_delay(
     snapshot: &BacklogSnapshot,
     load: &EngagementLoad,
@@ -449,65 +329,7 @@ pub fn min_queue_delay(
     slo: SimTime,
     max_delay: SimTime,
 ) -> Result<(SimTime, SimTime), SimTime> {
-    let predict =
-        |delay: SimTime| predict_engagement_latency(snapshot, &load.delayed(delay), sharing);
-    let now = predict(SimTime::ZERO);
-    if now <= slo {
-        return Ok((SimTime::ZERO, now));
-    }
-    // Drain time of every queued job on a lane arriving by `cutoff`.
-    let drain_by = |cutoff: SimTime| {
-        FlashQueueSim::with_backlog(
-            snapshot.channels.iter().filter(|c| c.effective_arrival <= cutoff).flat_map(|c| {
-                c.queued.iter().map(|q| FlashJob {
-                    engagement: c.channel,
-                    arrival: c.effective_arrival,
-                    service: q.service,
-                })
-            }),
-        )
-        .drain_time()
-    };
-    // Phase 1: monotone search against the already-arrived backlog.
-    let early = BacklogSnapshot {
-        channels: snapshot
-            .channels
-            .iter()
-            .filter(|c| c.effective_arrival <= load.arrival)
-            .cloned()
-            .collect(),
-        batch_window: snapshot.batch_window,
-    };
-    let predict_early =
-        |delay: SimTime| predict_engagement_latency(&early, &load.delayed(delay), sharing);
-    let cap = drain_by(load.arrival).saturating_sub(load.arrival).min(max_delay);
-    if predict_early(cap) > slo {
-        return Err(predict(cap));
-    }
-    // Smallest delay in [0, cap] whose early-backlog prediction meets the
-    // SLO; invariant: predict_early(hi) <= slo.
-    let (mut lo, mut hi) = (0u64, cap.as_us());
-    while lo < hi {
-        let mid = lo + (hi - lo) / 2;
-        if predict_early(SimTime::from_us(mid)) <= slo {
-            hi = mid;
-        } else {
-            lo = mid + 1;
-        }
-    }
-    // Phase 2: climb past any later-arriving windows the delay landed in.
-    let mut delay = SimTime::from_us(hi);
-    loop {
-        let predicted = predict(delay);
-        if predicted <= slo {
-            return Ok((delay, predicted));
-        }
-        let next = drain_by(load.arrival + delay).saturating_sub(load.arrival);
-        if next <= delay || next > max_delay {
-            return Err(predicted);
-        }
-        delay = next;
-    }
+    ServingMix::from_backlog(snapshot, sharing).min_delay(load, slo, max_delay)
 }
 
 /// The outcome of an SLO-aware planning search.
@@ -529,6 +351,11 @@ pub struct ServingPlan {
     /// Whether the contended prediction meets the SLO. Admission control
     /// rejects engagements whose best plan still misses.
     pub meets_slo: bool,
+    /// Bytes of the default byte-prefix preload the sharing-aware `|S|`
+    /// placement moved off co-resident-covered layers (or freed entirely,
+    /// when riding the mix's batches beat preloading). Zero for
+    /// per-session searches and whenever the default placement won.
+    pub preload_bytes_reallocated: u64,
 }
 
 /// Target-latency search ladder, as fractions of the SLO in per-mille.
@@ -554,8 +381,9 @@ pub fn plan_for_slo(
     widths: &[usize],
     bitwidths: &[Bitwidth],
 ) -> ServingPlan {
-    search_ladder(hw, importance, slo, co_runners, preload_bytes, widths, bitwidths, |plan| {
-        predict_contended_latency(hw, plan, co_runners)
+    search_ladder(hw, importance, slo, co_runners, preload_bytes, widths, bitwidths, |_, plan| {
+        let predicted = predict_contended_latency(hw, &plan, co_runners);
+        LadderStep { predicted, preload_bytes_reallocated: 0, plan }
     })
 }
 
@@ -579,16 +407,35 @@ pub fn plan_for_slo_against(
     widths: &[usize],
     bitwidths: &[Bitwidth],
 ) -> ServingPlan {
-    search_ladder(hw, importance, slo, co.len(), preload_bytes, widths, bitwidths, |plan| {
-        predict_contended_latency_at(hw, plan, arrival, co, sharing)
-    })
+    let mix = ServingMix::from_co_runners(co, sharing);
+    crate::mix::plan_for_slo_mix(
+        hw,
+        importance,
+        slo,
+        arrival,
+        &mix,
+        PreloadPolicy::PerSession,
+        preload_bytes,
+        widths,
+        bitwidths,
+    )
 }
 
-/// The shared ladder walk of both SLO searches: plan each descending
-/// target with the unmodified two-stage planner, score its contended
-/// latency with `predict`, stop at the first hit.
+/// One evaluated ladder rung: the plan the rung settled on (possibly a
+/// mix-aware `|S|` re-placement of the default), its predicted contended
+/// latency, and the default-prefix bytes the placement moved.
+pub(crate) struct LadderStep {
+    pub(crate) plan: ExecutionPlan,
+    pub(crate) predicted: SimTime,
+    pub(crate) preload_bytes_reallocated: u64,
+}
+
+/// The shared ladder walk of every SLO search: plan each descending target
+/// with the unmodified two-stage planner, hand the rung to `eval` (which
+/// scores it — and may swap in a better `|S|` placement), stop at the
+/// first hit.
 #[allow(clippy::too_many_arguments)]
-fn search_ladder(
+pub(crate) fn search_ladder(
     hw: &HwProfile,
     importance: &ImportanceProfile,
     slo: SimTime,
@@ -596,7 +443,7 @@ fn search_ladder(
     preload_bytes: u64,
     widths: &[usize],
     bitwidths: &[Bitwidth],
-    predict: impl Fn(&ExecutionPlan) -> SimTime,
+    eval: impl Fn(SimTime, ExecutionPlan) -> LadderStep,
 ) -> ServingPlan {
     let mut best: Option<ServingPlan> = None;
     let mut seen_target = SimTime::ZERO;
@@ -607,20 +454,21 @@ fn search_ladder(
         }
         seen_target = target;
         let plan = plan_two_stage(hw, importance, target, preload_bytes, widths, bitwidths);
-        let predicted = predict(&plan);
+        let step = eval(target, plan);
         let candidate = ServingPlan {
-            plan,
+            plan: step.plan,
             slo,
             co_runners,
             target,
             preload_bytes,
-            predicted_contended: predicted,
-            meets_slo: predicted <= slo,
+            predicted_contended: step.predicted,
+            meets_slo: step.predicted <= slo,
+            preload_bytes_reallocated: step.preload_bytes_reallocated,
         };
         if candidate.meets_slo {
             return candidate;
         }
-        if best.as_ref().is_none_or(|b| predicted < b.predicted_contended) {
+        if best.as_ref().is_none_or(|b| candidate.predicted_contended < b.predicted_contended) {
             best = Some(candidate);
         }
     }
@@ -629,8 +477,12 @@ fn search_ladder(
 
 /// The memo key of an SLO search: the ordinary planning knobs (with the
 /// SLO in the `target` slot) plus what the contention prediction assumed —
-/// the co-runner count, a digest of the co-runners' actual loads, and
-/// whether shared-IO batching was modeled.
+/// the co-runner count, the **mix digest**
+/// ([`ServingMix::digest`], which folds in
+/// every session's token, load, arrival, and gate profile, the external
+/// backlog, and the sharing mode), the candidate's arrival, and the `|S|`
+/// placement policy. The server's gate memo hashes the same digest, so a
+/// registry change invalidates both caches consistently.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct ServingPlanKey {
     /// Model/SLO/|S|/width/bitwidth knobs (`target` holds the SLO).
@@ -638,21 +490,26 @@ pub struct ServingPlanKey {
     /// Co-runner count folded into the key: a busier server genuinely needs
     /// a different plan.
     pub co_runners: usize,
-    /// Digest of the co-runners' actual loads ([`CoRunnerLoad::digest`],
-    /// arrival offsets included); zero for clone-modeled searches.
-    pub co_digest: u64,
+    /// The mix digest the search predicted against; zero for clone-modeled
+    /// searches ([`ServingPlanKey::new`]).
+    pub mix_digest: u64,
     /// The candidate's arrival offset the search assumed.
     pub arrival: SimTime,
-    /// Whether the search modeled shared-IO batching (the window itself is
-    /// constant per server, so it is not part of the key).
-    pub shared_io: bool,
+    /// The `|S|` placement policy the search ran under.
+    pub policy: PreloadPolicy,
 }
 
 impl ServingPlanKey {
     /// Builds a clone-modeled, exclusive-IO key from the base knobs and the
     /// co-runner count (the [`plan_for_slo`] search).
     pub fn new(base: PlanKey, co_runners: usize) -> Self {
-        Self { base, co_runners, co_digest: 0, arrival: SimTime::ZERO, shared_io: false }
+        Self {
+            base,
+            co_runners,
+            mix_digest: 0,
+            arrival: SimTime::ZERO,
+            policy: PreloadPolicy::PerSession,
+        }
     }
 
     /// Builds a key for a [`plan_for_slo_against`] search over real
@@ -663,13 +520,23 @@ impl ServingPlanKey {
         co: &[CoRunnerLoad],
         sharing: IoSharing,
     ) -> Self {
-        Self {
+        Self::for_mix(
             base,
-            co_runners: co.len(),
-            co_digest: CoRunnerLoad::digest(co),
             arrival,
-            shared_io: sharing.window().is_some(),
-        }
+            &ServingMix::from_co_runners(co, sharing),
+            PreloadPolicy::PerSession,
+        )
+    }
+
+    /// Builds a key for a
+    /// [`plan_for_slo_mix`](crate::mix::plan_for_slo_mix) search.
+    pub fn for_mix(
+        base: PlanKey,
+        arrival: SimTime,
+        mix: &ServingMix,
+        policy: PreloadPolicy,
+    ) -> Self {
+        Self { base, co_runners: mix.co_runners(), mix_digest: mix.digest(), arrival, policy }
     }
 }
 
@@ -899,9 +766,9 @@ mod tests {
         let key_for = |digest: u64| ServingPlanKey {
             base: base.clone(),
             co_runners: 1,
-            co_digest: digest,
+            mix_digest: digest,
             arrival: SimTime::ZERO,
-            shared_io: false,
+            policy: PreloadPolicy::PerSession,
         };
         let max = ServingPlanCache::MAX_ENTRIES as u64;
         for digest in 0..=max {

@@ -34,10 +34,21 @@ impl LayerRequest {
     /// and the serving planner's `LayerIoJob` carries, so backlog snapshots
     /// and plan-derived IO jobs can be compared for batchability.
     pub fn content_sig(&self) -> u64 {
+        Self::sig_of(self.layer, self.items.iter().copied())
+    }
+
+    /// [`LayerRequest::content_sig`] without materializing a request: the
+    /// signature of a layer read covering exactly `items`, in order. The
+    /// serving planner uses this to ask "what would this layer's request
+    /// look like on the wire" — e.g. the full-layer signature of a plan
+    /// whose preload buffer is hypothetically empty — so plan-derived jobs,
+    /// live backlog entries, and co-residents' registered loads all share
+    /// one batchability identity.
+    pub fn sig_of(layer: u16, items: impl IntoIterator<Item = (u16, Bitwidth)>) -> u64 {
         use std::hash::{Hash, Hasher};
         let mut hasher = std::collections::hash_map::DefaultHasher::new();
-        self.layer.hash(&mut hasher);
-        for &(slice, bw) in &self.items {
+        layer.hash(&mut hasher);
+        for (slice, bw) in items {
             (slice, bw.bits()).hash(&mut hasher);
         }
         hasher.finish()

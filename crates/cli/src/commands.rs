@@ -37,7 +37,13 @@ pub fn usage() -> String {
      \x20                                  co-resident streams is never preloaded while an\n\
      \x20                                  un-shared layer wants the budget)\n\
      \x20             [--device d] [--target-ms 200] [--preload-kb 16]\n\
-     \x20             [--io-workers 2] [--shard-cache-kb 4096]        replay a multi-client trace\n"
+     \x20             [--io-workers 2] [--shard-cache-kb 4096]        replay a multi-client trace\n\
+     \x20             [--fleet 100,1000,10000]  synthetic fleet sweep: open N sessions per\n\
+     \x20                                  size, measure per-decision admission/gate cost\n\
+     \x20                                  (near-flat in N); forces queue backpressure when\n\
+     \x20                                  --backpressure is off\n\
+     \x20             [--fleet-slo-sessions 4] [--fleet-decisions 512]\n\
+     \x20             [--bench-out BENCH_serving.json]  write the fleet perf ledger\n"
         .to_string()
 }
 
@@ -168,7 +174,7 @@ fn cmd_infer(args: &Args) -> Result<String, ArgError> {
 fn cmd_generate(args: &Args) -> Result<String, ArgError> {
     let task = build_task(args)?;
     let text = args.require("text")?.to_string();
-    let steps = args.get_u64("steps", 5)? as usize;
+    let steps = checked_usize("steps", args.get_u64("steps", 5)?)?;
     let engine = build_engine(args, &task)?;
     let tokens = HashingTokenizer::new(task.model().config().vocab).tokenize(&text);
     let g = engine.generate(&tokens, steps).map_err(|e| ArgError(format!("generate: {e}")))?;
@@ -218,6 +224,18 @@ fn plan_sharing_mode(name: &str) -> Result<PreloadPolicy, ArgError> {
     }
 }
 
+/// Bounds-checks a count flag's `u64 → usize` cast. A no-op on 64-bit
+/// hosts; on a 32-bit target a 5-billion-session `--sessions` would
+/// otherwise truncate silently instead of erroring.
+fn checked_usize(flag: &str, value: u64) -> Result<usize, ArgError> {
+    usize::try_from(value).map_err(|_| {
+        ArgError(format!(
+            "--{flag} {value} overflows this host's address width (max {})",
+            usize::MAX
+        ))
+    })
+}
+
 fn cmd_serve(args: &Args) -> Result<String, ArgError> {
     let kind = task_kind(args.require("task")?)?;
     let slo_ms = args.get_u64("slo-ms", 0)?;
@@ -225,11 +243,11 @@ fn cmd_serve(args: &Args) -> Result<String, ArgError> {
     let backpressure =
         backpressure_mode(args.get_or("backpressure", "off"), args.get_u64("max-queue-ms", 100)?)?;
     let plan_sharing = plan_sharing_mode(args.get_or("plan-sharing", "off"))?;
-    let cfg = ServeConfig {
+    let mut cfg = ServeConfig {
         device: device(args.get_or("device", "odroid"))?,
         target: SimTime::from_ms(args.get_u64("target-ms", 200)?),
         preload_bytes: args.get_u64("preload-kb", 16)? << 10,
-        io_workers: args.get_u64("io-workers", 2)?.max(1) as usize,
+        io_workers: checked_usize("io-workers", args.get_u64("io-workers", 2)?.max(1))?,
         shard_cache_bytes: args.get_u64("shard-cache-kb", 4096)? << 10,
         slo: (slo_ms > 0).then(|| SimTime::from_ms(slo_ms)),
         admission: admission_mode(args.get_or("admission", "off"))?,
@@ -243,9 +261,77 @@ fn cmd_serve(args: &Args) -> Result<String, ArgError> {
         "bert" => ModelConfig::scaled_bert(),
         other => return Err(ArgError(format!("unknown model '{other}' (bert|tiny)"))),
     };
+    if let Some(list) = args.get("fleet") {
+        if args.get("trace").is_some() {
+            return Err(ArgError("--fleet runs a synthetic sweep; drop --trace".into()));
+        }
+        let sizes = list
+            .split(',')
+            .filter(|s| !s.trim().is_empty())
+            .map(|s| {
+                let v: u64 = s
+                    .trim()
+                    .parse()
+                    .map_err(|_| ArgError(format!("--fleet: '{s}' is not a fleet size")))?;
+                checked_usize("fleet", v)
+            })
+            .collect::<Result<Vec<_>, ArgError>>()?;
+        if sizes.is_empty() {
+            return Err(ArgError("--fleet needs at least one size (e.g. 100,1000)".into()));
+        }
+        let fleet = FleetConfig {
+            sizes,
+            slo_sessions: checked_usize(
+                "fleet-slo-sessions",
+                args.get_u64("fleet-slo-sessions", 4)?.max(1),
+            )?,
+            decisions: checked_usize(
+                "fleet-decisions",
+                args.get_u64("fleet-decisions", 512)?.max(1),
+            )?,
+        };
+        if matches!(cfg.backpressure, BackpressureMode::Off) {
+            // The sweep measures the gate; give it one by default.
+            cfg.backpressure = backpressure_mode("queue", args.get_u64("max-queue-ms", 100)?)?;
+        }
+        let ctx = TaskContext::with_config(kind, model_cfg);
+        eprintln!("profiling shard importance (one-time per model)...");
+        ctx.importance();
+        let points =
+            fleet_sweep(&ctx, &cfg, &fleet).map_err(|e| ArgError(format!("fleet sweep: {e}")))?;
+        let json = fleet_report_json(&points);
+        let mut report = String::new();
+        for p in &points {
+            report.push_str(&format!(
+                "fleet N={:<7} open {:.3?}  admission mean {:.3?}  gate cold {:.3?}  \
+                 gate mean {:.3?}  digest {:.3?}  {:.0} decisions/s\n",
+                p.sessions,
+                p.open_wall,
+                p.admission_mean,
+                p.gate_cold,
+                p.gate_mean,
+                p.digest_mean,
+                p.decisions_per_sec,
+            ));
+        }
+        if let (Some(first), Some(last)) = (points.first(), points.last()) {
+            let ratio = last.gate_mean.as_secs_f64() / first.gate_mean.as_secs_f64().max(1e-12);
+            report.push_str(&format!(
+                "fleet gate per-decision near-flat: N={} -> N={} mean-latency ratio {ratio:.2}x \
+                 (memoized digest+lookup steady state)\n",
+                first.sessions, last.sessions,
+            ));
+        }
+        if let Some(path) = args.get("bench-out") {
+            std::fs::write(path, &json)
+                .map_err(|e| ArgError(format!("write bench ledger '{path}': {e}")))?;
+            report.push_str(&format!("fleet ledger written to {path}\n"));
+        }
+        return Ok(report);
+    }
     // Validate the workload before the (slow) importance profiling pass.
-    let synthetic_sessions = args.get_u64("sessions", 8)? as usize;
-    let synthetic_engagements = args.get_u64("engagements", 4)? as usize;
+    let synthetic_sessions = checked_usize("sessions", args.get_u64("sessions", 8)?)?;
+    let synthetic_engagements = checked_usize("engagements", args.get_u64("engagements", 4)?)?;
     let loaded_trace = match args.get("trace") {
         Some(path) => {
             // A trace file carries its own per-client `slo_ms`; a global
@@ -525,6 +611,60 @@ mod tests {
         assert!(report.contains("exactly reproduce"), "{report}");
         assert!(report.contains("SLO engagements met their SLO"), "{report}");
         assert!(report.contains("batching      off"), "{report}");
+    }
+
+    #[test]
+    fn fleet_size_casts_are_bounds_checked() {
+        assert_eq!(checked_usize("sessions", 8).unwrap(), 8);
+        // On 64-bit hosts every u64 fits; the guard is for 32-bit targets,
+        // where a 5-billion --sessions would otherwise truncate silently.
+        if u64::try_from(usize::MAX).is_ok_and(|max| max < u64::MAX) {
+            let err = checked_usize("sessions", u64::MAX).unwrap_err();
+            assert!(err.to_string().contains("address width"), "{err}");
+        }
+    }
+
+    #[test]
+    fn serve_fleet_rejects_bad_sweeps() {
+        let args = Args::parse(["serve", "--task", "sst2", "--fleet", "nope"]).unwrap();
+        let err = dispatch(&args).unwrap_err();
+        assert!(err.to_string().contains("not a fleet size"), "{err}");
+        let args = Args::parse(["serve", "--task", "sst2", "--fleet", ","]).unwrap();
+        assert!(dispatch(&args).is_err());
+        let args =
+            Args::parse(["serve", "--task", "sst2", "--fleet", "4", "--trace", "t.json"]).unwrap();
+        let err = dispatch(&args).unwrap_err();
+        assert!(err.to_string().contains("drop --trace"), "{err}");
+    }
+
+    #[test]
+    fn serve_fleet_sweeps_and_writes_the_ledger() {
+        let path = std::env::temp_dir().join(format!("sti-cli-fleet-{}.json", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let args = Args::parse([
+            "serve",
+            "--task",
+            "sst2",
+            "--model",
+            "tiny",
+            "--fleet",
+            "4,8",
+            "--fleet-slo-sessions",
+            "2",
+            "--fleet-decisions",
+            "16",
+            "--bench-out",
+            path.to_str().unwrap(),
+        ])
+        .unwrap();
+        let report = dispatch(&args).unwrap();
+        assert!(report.contains("fleet N=6"), "{report}");
+        assert!(report.contains("fleet N=10"), "{report}");
+        assert!(report.contains("near-flat"), "{report}");
+        let json = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert!(json.contains("\"bench\": \"serving_fleet\""), "{json}");
+        assert!(json.contains("\"sessions\": 10"), "{json}");
     }
 
     #[test]

@@ -60,8 +60,9 @@ pub mod trace_file;
 pub use baselines::Baseline;
 pub use runner::{run_experiment, Experiment, RunResult, TaskContext};
 pub use serving::{
-    build_server, replay_concurrent, replay_sequential, ClientTrace, EngagementOutcome,
-    ServeConfig, ServeReport, ServingTrace,
+    build_server, fleet_report_json, fleet_sweep, replay_concurrent, replay_sequential,
+    ClientTrace, EngagementOutcome, FleetConfig, FleetPoint, ServeConfig, ServeReport,
+    ServingTrace,
 };
 pub use trace_file::{load_trace, parse_trace, TraceFileError};
 
@@ -71,8 +72,9 @@ pub mod prelude {
     pub use crate::gold::gold_accuracy;
     pub use crate::runner::{run_experiment, Experiment, RunResult, TaskContext};
     pub use crate::serving::{
-        build_server, replay_concurrent, replay_sequential, ClientTrace, EngagementOutcome,
-        ServeConfig, ServeReport, ServingTrace,
+        build_server, fleet_report_json, fleet_sweep, replay_concurrent, replay_sequential,
+        ClientTrace, EngagementOutcome, FleetConfig, FleetPoint, ServeConfig, ServeReport,
+        ServingTrace,
     };
     pub use crate::trace_file::{load_trace, parse_trace, TraceFileError};
     pub use sti_device::{

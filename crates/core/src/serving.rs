@@ -346,6 +346,178 @@ fn report(
     }
 }
 
+/// Knobs for the synthetic fleet sweep: how many sessions each point opens
+/// and how many gate decisions it samples.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Fleet sizes to sweep (open sessions per point).
+    pub sizes: Vec<usize>,
+    /// SLO sessions opened on top of each fleet (the gated population the
+    /// probes run against).
+    pub slo_sessions: usize,
+    /// Steady-state gate decisions sampled per point, round-robin over the
+    /// SLO sessions.
+    pub decisions: usize,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        Self { sizes: vec![100, 1_000, 10_000, 100_000], slo_sessions: 4, decisions: 512 }
+    }
+}
+
+/// One point of the fleet sweep — the perf-ledger record behind
+/// `BENCH_serving.json`.
+#[derive(Debug, Clone)]
+pub struct FleetPoint {
+    /// Open sessions at this point (plain fleet + SLO probes).
+    pub sessions: usize,
+    /// Wall time to open the whole plain fleet.
+    pub open_wall: Duration,
+    /// Mean wall time to admit one SLO session against the full fleet
+    /// (SLO search + admission prediction; plan-cache hits after the
+    /// first).
+    pub admission_mean: Duration,
+    /// The one cold gate decision after the registry settles: pays for the
+    /// full `(arrival, token)` walk that every later decision reuses.
+    pub gate_cold: Duration,
+    /// Mean steady-state per-decision gate latency (memoized path: rolling
+    /// digest + lookup — the near-flat number).
+    pub gate_mean: Duration,
+    /// Steady-state decisions sampled.
+    pub gate_decisions: usize,
+    /// Steady-state gate decisions per wall-clock second.
+    pub decisions_per_sec: f64,
+    /// Mean time to compute the live mix's rolling digest.
+    pub digest_mean: Duration,
+}
+
+/// Sweeps synthetic fleets of [`FleetConfig::sizes`] open sessions and
+/// measures per-decision admission/gate cost at each size — the tentpole
+/// claim being that the steady-state gate path is near-flat in fleet size
+/// (rolling digest + memo lookup, no registry rebuild).
+///
+/// Each point builds a fresh server, opens the plain fleet (timed), admits
+/// [`FleetConfig::slo_sessions`] SLO sessions (timed individually), then
+/// probes: the mix digest, the one cold full-walk gate decision, and
+/// [`FleetConfig::decisions`] steady-state decisions round-robin over the
+/// SLO sessions. Everything runs on the virtual clock — gate delays land
+/// on the simulated timeline, never as real sleeps — so a 100k-session
+/// point completes in seconds. Teardown drops sessions newest-first so
+/// registry removal stays O(1) per session.
+///
+/// # Panics
+///
+/// Panics when `cfg.backpressure` is [`BackpressureMode::Off`] (there would
+/// be no gate to measure) or when `fleet.slo_sessions` is zero.
+///
+/// # Errors
+///
+/// Returns the first session-open or admission error.
+pub fn fleet_sweep(
+    ctx: &TaskContext,
+    cfg: &ServeConfig,
+    fleet: &FleetConfig,
+) -> Result<Vec<FleetPoint>, PipelineError> {
+    assert!(
+        !matches!(cfg.backpressure, BackpressureMode::Off),
+        "fleet sweep measures the backpressure gate; configure queue or shed mode"
+    );
+    assert!(fleet.slo_sessions > 0, "fleet sweep needs at least one SLO session to gate");
+    // Generous default: the sweep measures decision *cost*, not sheds.
+    let slo = cfg.slo.unwrap_or(SimTime::from_ms(60_000));
+    let mut points = Vec::with_capacity(fleet.sizes.len());
+    for &n in &fleet.sizes {
+        let server = build_server(ctx, cfg);
+
+        let open_start = std::time::Instant::now();
+        let mut plain = Vec::with_capacity(n);
+        for _ in 0..n {
+            plain.push(server.session_with(cfg.target, cfg.preload_bytes)?);
+        }
+        let open_wall = open_start.elapsed();
+
+        let mut slo_sessions = Vec::with_capacity(fleet.slo_sessions);
+        let admit_start = std::time::Instant::now();
+        for _ in 0..fleet.slo_sessions {
+            slo_sessions.push(server.session_with_slo(slo, cfg.preload_bytes)?);
+        }
+        let admission_mean = admit_start.elapsed() / fleet.slo_sessions as u32;
+
+        const DIGEST_PROBES: u32 = 64;
+        let digest_start = std::time::Instant::now();
+        for _ in 0..DIGEST_PROBES {
+            std::hint::black_box(server.mix_digest());
+        }
+        let digest_mean = digest_start.elapsed() / DIGEST_PROBES;
+
+        // The registry is settled: the next decision pays for the one full
+        // walk every later decision (any session) reuses.
+        let cold_start = std::time::Instant::now();
+        let cold = slo_sessions[0].gate_decision();
+        let gate_cold = cold_start.elapsed();
+        assert!(cold.is_some(), "an SLO session under queue/shed mode always gates");
+
+        let steady_start = std::time::Instant::now();
+        for i in 0..fleet.decisions {
+            let session = &slo_sessions[i % slo_sessions.len()];
+            std::hint::black_box(session.gate_decision());
+        }
+        let steady = steady_start.elapsed();
+        let gate_mean = steady / fleet.decisions.max(1) as u32;
+        let decisions_per_sec = fleet.decisions as f64 / steady.as_secs_f64().max(1e-9);
+
+        points.push(FleetPoint {
+            sessions: n + fleet.slo_sessions,
+            open_wall,
+            admission_mean,
+            gate_cold,
+            gate_mean,
+            gate_decisions: fleet.decisions,
+            decisions_per_sec,
+            digest_mean,
+        });
+
+        // Newest-first teardown: each drop removes the registry's last
+        // session, keeping removal O(1) instead of O(n) memmove.
+        while slo_sessions.pop().is_some() {}
+        while plain.pop().is_some() {}
+    }
+    Ok(points)
+}
+
+/// Renders a fleet sweep as the `BENCH_serving.json` perf-ledger document:
+/// `{"bench": "serving_fleet", "unit": "us", "sweep": [...]}` with one
+/// record per point carrying `sessions`, `open_total_us`,
+/// `admission_mean_us`, `gate_cold_us`, `gate_mean_us`, `gate_decisions`,
+/// `decisions_per_sec`, and `digest_mean_us`.
+pub fn fleet_report_json(points: &[FleetPoint]) -> String {
+    let us = |d: Duration| format!("{:.3}", d.as_secs_f64() * 1e6);
+    let mut out =
+        String::from("{\n  \"bench\": \"serving_fleet\",\n  \"unit\": \"us\",\n  \"sweep\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            concat!(
+                "    {{\"sessions\": {}, \"open_total_us\": {}, ",
+                "\"admission_mean_us\": {}, \"gate_cold_us\": {}, ",
+                "\"gate_mean_us\": {}, \"gate_decisions\": {}, ",
+                "\"decisions_per_sec\": {:.1}, \"digest_mean_us\": {}}}{}\n"
+            ),
+            p.sessions,
+            us(p.open_wall),
+            us(p.admission_mean),
+            us(p.gate_cold),
+            us(p.gate_mean),
+            p.gate_decisions,
+            p.decisions_per_sec,
+            us(p.digest_mean),
+            if i + 1 < points.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

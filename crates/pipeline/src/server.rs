@@ -78,7 +78,7 @@
 //! `IoSharing::Batched`, and [`ContentionReport`] quotes the flash bytes
 //! saved and the mean batch occupancy.
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -86,7 +86,9 @@ use std::sync::Arc;
 use parking_lot::{Mutex, RwLock};
 use sti_device::{FlashModel, HwProfile, SimTime};
 use sti_planner::compute_plan::dynabert_widths_for;
-use sti_planner::mix::{plan_for_slo_mix, GatePolicy, PreloadPolicy, ServingMix, SloProfile};
+use sti_planner::mix::{
+    plan_for_slo_mix, GateOutcome, GatePolicy, PreloadPolicy, ServingMix, SloProfile,
+};
 use sti_planner::serving::{ServingPlan, ServingPlanCache, ServingPlanKey};
 use sti_planner::{
     align_io_completions, contended_makespan, plan_two_stage, CoRunnerLoad, ExecutionPlan,
@@ -333,15 +335,6 @@ struct EngagementRecord {
     uncontended: SimTime,
 }
 
-/// One open session's entry in the co-runner registry: its streaming load
-/// (with arrival offset) and, for SLO sessions, what the backpressure gate
-/// needs to replay its decisions deterministically.
-#[derive(Clone)]
-struct RegisteredLoad {
-    load: CoRunnerLoad,
-    slo: Option<SloProfile>,
-}
-
 /// Builder for [`StiServer`].
 pub struct StiServerBuilder {
     model: Model,
@@ -484,6 +477,10 @@ impl StiServerBuilder {
             "model-{}x{}-h{}-f{}-v{}",
             cfg.layers, cfg.heads, cfg.hidden, cfg.ffn, cfg.vocab
         );
+        let sharing = match self.batch.window() {
+            Some(window) => IoSharing::Batched(window),
+            None => IoSharing::Exclusive,
+        };
         StiServer {
             inner: Arc::new(ServerInner {
                 model: self.model,
@@ -511,7 +508,8 @@ impl StiServerBuilder {
                 admission_gate: Mutex::new(()),
                 open_sessions: AtomicUsize::new(0),
                 next_session_token: AtomicU64::new(0),
-                open_loads: Mutex::new(BTreeMap::new()),
+                live_mix: Mutex::new(ServingMix::new(sharing)),
+                gate_walk_memo: Mutex::new(None),
                 active_channels: Mutex::new(HashMap::new()),
                 active_engagements: AtomicUsize::new(0),
                 serving_stats: Mutex::new(ServingStats::default()),
@@ -521,6 +519,10 @@ impl StiServerBuilder {
         }
     }
 }
+
+/// One memoized full gate walk: the mix digest it ran against, and every
+/// open SLO session's outcome from that walk ([`ServingMix::gate_all`]).
+type GateWalkMemo = (u64, Arc<HashMap<u64, GateOutcome>>);
 
 struct ServerInner {
     model: Model,
@@ -571,14 +573,25 @@ struct ServerInner {
     /// while an SLO open is deciding; those are unconditional-admit paths,
     /// indistinguishable from load arriving right after the decision.
     open_sessions: AtomicUsize,
-    /// Monotonic token handed to each session, keying `open_loads`.
+    /// Monotonic token handed to each session, keying `live_mix`.
     next_session_token: AtomicU64,
-    /// Each open session's actual streaming IO load (with arrival offset)
-    /// plus, for SLO sessions, its gate profile — what SLO admission and
-    /// the backpressure gate feed the contended prediction instead of
-    /// modeling co-runners as clones of the candidate. A `BTreeMap` so the
-    /// snapshot order (and hence the memo digest) is deterministic.
-    open_loads: Mutex<BTreeMap<u64, RegisteredLoad>>,
+    /// The live [`ServingMix`] of the open-session registry — each open
+    /// session's actual streaming IO load (with arrival offset) plus, for
+    /// SLO sessions, its gate profile: what SLO admission and the
+    /// backpressure gate feed the contended prediction instead of modeling
+    /// co-runners as clones of the candidate. Maintained **in place** by
+    /// `register_load` / session drops (token-ordered upserts, so the
+    /// registration order predictions replay is deterministic), with its
+    /// rolling digest updated O(1) per change — never rebuilt per decision.
+    live_mix: Mutex<ServingMix>,
+    /// The last full gate walk, keyed by the mix digest it ran against.
+    /// [`ServingMix::gate_all`] prices every open SLO session in one
+    /// `(arrival, token)` walk; after a registry change, the first gate
+    /// decision pays for that walk and every other session's decision —
+    /// including each session's *first* — is a lookup. Decisions stay a
+    /// pure function of the mix, so sharing the walk across sessions
+    /// changes nothing observable.
+    gate_walk_memo: Mutex<Option<GateWalkMemo>>,
     /// Scheduler channel → session token for engagements currently
     /// executing. The backpressure gate prices registered sessions from the
     /// registry (deterministic) and must not double-count their live queue
@@ -697,9 +710,11 @@ impl ServerInner {
     }
 
     /// Registers (or refreshes, after a retarget or `set_arrival`) a
-    /// session's streaming IO load — at its arrival offset — in the
-    /// open-load registry that admission and the backpressure gate predict
-    /// against. SLO sessions also register their gate profile.
+    /// session's streaming IO load — at its arrival offset — in the live
+    /// registry mix that admission and the backpressure gate predict
+    /// against. SLO sessions also register their gate profile. An in-place
+    /// upsert: the mix's rolling digest updates in O(1), nothing else is
+    /// rehashed.
     fn register_load(
         &self,
         token: u64,
@@ -709,30 +724,21 @@ impl ServerInner {
     ) {
         let load = CoRunnerLoad::from_plan_at(&self.hw, plan, arrival);
         let slo = slo.map(|slo| SloProfile::from_plan(&self.hw, plan, slo));
-        self.open_loads.lock().insert(token, RegisteredLoad { load, slo });
+        self.live_mix.lock().upsert_session(token, load, slo);
     }
 
-    /// Builds the [`ServingMix`] of the open-session registry — the one
-    /// input every contended prediction (admission, gate, retarget) runs
-    /// against — optionally excluding one session (a retargeting session
-    /// does not co-run with itself).
+    /// A view of the live registry mix — the one input every contended
+    /// prediction (admission, gate, retarget) runs against — optionally
+    /// excluding one session (a retargeting session does not co-run with
+    /// itself). The clone copies `Arc`-shared job slices (pointer work, no
+    /// jobs), and the `exclude` case is an O(log n) remove from the view
+    /// with an O(1) digest update — not a registry rebuild.
     fn mix(&self, exclude: Option<u64>) -> ServingMix {
-        let mut mix = ServingMix::new(self.sharing());
-        for (&token, reg) in self.open_loads.lock().iter() {
-            if Some(token) != exclude {
-                mix.push_session(token, reg.load.clone(), reg.slo.clone());
-            }
+        let mut mix = self.live_mix.lock().clone();
+        if let Some(token) = exclude {
+            mix.remove_session(token);
         }
         mix
-    }
-
-    /// How the contended predictions model co-resident IO, matching the
-    /// scheduler's batch policy.
-    fn sharing(&self) -> IoSharing {
-        match self.batch.window() {
-            Some(window) => IoSharing::Batched(window),
-            None => IoSharing::Exclusive,
-        }
     }
 }
 
@@ -996,6 +1002,15 @@ impl StiServer {
         self.inner.open_sessions.load(Ordering::SeqCst)
     }
 
+    /// The live registry mix's rolling digest — the identity the SLO-plan
+    /// cache and both gate memos key on. Maintained incrementally
+    /// (O(1) per open/close/retarget), so this call costs a hash of the
+    /// attached backlog plus two words of session state, flat in fleet
+    /// size; fleet-scale probes use it to measure mix-digest time.
+    pub fn mix_digest(&self) -> u64 {
+        self.inner.live_mix.lock().digest()
+    }
+
     /// Replays the recorded dispatch sequence through the flash-queue
     /// simulator and reports each executed engagement's contended latency
     /// (plus queue aggregates). Under the opt-in DRAM-residency mode
@@ -1168,7 +1183,7 @@ pub struct Session {
 
 impl Drop for Session {
     fn drop(&mut self) {
-        self.inner.open_loads.lock().remove(&self.token);
+        self.inner.live_mix.lock().remove_session(self.token);
         self.inner.open_sessions.fetch_sub(1, Ordering::SeqCst);
     }
 }
@@ -1336,13 +1351,18 @@ impl Session {
     /// queue entries. The server builds a [`ServingMix`] of the registry
     /// plus whatever *external* backlog remains once channels owned by
     /// registered sessions are excluded (the registry already prices
-    /// those), and [`ServingMix::gate`] runs the deterministic walk:
+    /// those), and [`ServingMix::gate_all`] runs the deterministic walk:
     /// sessions in `(arrival, token)` order, each earlier SLO session's
     /// decision replayed, equal-arrival later tokens excluded on the first
     /// pass and re-gated against on the second (queue mode). Decisions are
     /// memoized per mix digest — the same identity the SLO-plan cache
-    /// keys on — so repeat engagements against an unchanged mix skip the
-    /// queue simulations.
+    /// keys on — at two levels: per session (repeat engagements against
+    /// an unchanged mix skip everything) and per *walk*
+    /// (`ServerInner::gate_walk_memo`): one walk prices every open SLO
+    /// session, so after a registry change exactly one engagement
+    /// re-simulates and every other session's first decision is a lookup.
+    /// On a memo hit the live mix is never cloned — the rolling digest
+    /// (O(backlog), flat in fleet size) is the whole cost.
     fn gate(&self) -> Option<GateDecision> {
         let inner = &*self.inner;
         let policy = match inner.backpressure {
@@ -1364,29 +1384,58 @@ impl Session {
             channels: live.channels.into_iter().filter(|c| !owned.contains(&c.channel)).collect(),
             batch_window: live.batch_window,
         };
-        let mix = inner.mix(None).with_backlog(external);
-        // The decision is a pure function of the mix; its digest — the
-        // same scheme the SLO-plan cache keys on — memoizes it until any
-        // open/close/retarget/`set_arrival` (or external traffic) changes
-        // the mix.
-        let digest = mix.digest();
-        if let Some((seen, decision)) = *self.gate_memo.lock() {
-            if seen == digest {
-                return Some(decision);
+        // The decision is a pure function of the mix; the digest and the
+        // (rare) clone happen under the same lock acquisition so the memoized
+        // walk can never be stored under a digest the walk didn't see.
+        let (digest, mix) = {
+            let live_mix = inner.live_mix.lock();
+            let digest = live_mix.digest_with(&external);
+            if let Some((seen, decision)) = *self.gate_memo.lock() {
+                if seen == digest {
+                    return Some(decision);
+                }
             }
-        }
+            if let Some((seen, walk)) = inner.gate_walk_memo.lock().as_ref() {
+                if *seen == digest {
+                    let outcome = *walk
+                        .get(&self.token)
+                        .expect("an open SLO session is always in the registry");
+                    let decision = self.decision_from(outcome, slo);
+                    *self.gate_memo.lock() = Some((digest, decision));
+                    return Some(decision);
+                }
+            }
+            (digest, live_mix.clone().with_backlog(external))
+        };
+        let outcomes: HashMap<u64, GateOutcome> = mix.gate_all(policy).into_iter().collect();
         let outcome =
-            mix.gate(self.token, policy).expect("an open SLO session is always in the registry");
-        let decision = GateDecision {
+            *outcomes.get(&self.token).expect("an open SLO session is always in the registry");
+        *inner.gate_walk_memo.lock() = Some((digest, Arc::new(outcomes)));
+        let decision = self.decision_from(outcome, slo);
+        *self.gate_memo.lock() = Some((digest, decision));
+        Some(decision)
+    }
+
+    /// Shapes a walk outcome into this session's [`GateDecision`].
+    fn decision_from(&self, outcome: GateOutcome, slo: SimTime) -> GateDecision {
+        GateDecision {
             session: self.token,
             slo,
             predicted: outcome.predicted,
             delay: outcome.delay,
             shed: outcome.shed,
             re_gated: outcome.re_gated,
-        };
-        *self.gate_memo.lock() = Some((digest, decision));
-        Some(decision)
+        }
+    }
+
+    /// Runs the backpressure gate for this session *without* executing an
+    /// engagement — the decision an [`Session::infer`] call would be
+    /// subject to right now. `None` when the gate is off or the session
+    /// carries no SLO. Pure: no queue state is touched, nothing is logged
+    /// to the gate log; fleet-scale probes use this to measure per-decision
+    /// gate cost without real IO.
+    pub fn gate_decision(&self) -> Option<GateDecision> {
+        self.gate()
     }
 
     /// Executes one engagement over the planned pipeline, streaming through
@@ -1427,6 +1476,10 @@ impl Session {
             }
             drop(stats);
             gate_delay = decision.delay;
+            // Virtual clock: queue delays land on the simulated timeline
+            // (`gate_delay` below prices the engagement); the wall clock
+            // only moves when a throttle scale is explicitly set, so
+            // fleet-scale synthetic sweeps never sleep for real.
             if inner.throttle_scale > 0.0 {
                 std::thread::sleep(gate_delay.scale(inner.throttle_scale).to_duration());
             }

@@ -48,10 +48,40 @@
 //! for free). The placement with the lowest predicted contended latency
 //! wins, so batched co-residents shift their preload budget onto un-shared
 //! layers — and admit at tighter SLOs — exactly when the mix says it pays.
+//!
+//! # Fleet-scale incrementality
+//!
+//! A serving fleet makes the mix big and the per-decision budget small, so
+//! the mix is built to be maintained, not rebuilt:
+//!
+//! - **Incremental digest.** [`ServingMix::digest`] folds one sub-digest
+//!   per session (token, arrival, jobs, gate profile) into a rolling
+//!   commutative sum. Commutativity is safe because every sub-digest
+//!   includes its unique token and sessions are kept in token order, so a
+//!   registry *set* determines the fold — and it makes
+//!   [`ServingMix::upsert_session`] / [`ServingMix::remove_session`] O(1)
+//!   digest updates (no rehash of the other sessions). The fold is pinned
+//!   equal to a from-scratch rebuild by `tests/serving_fleet.rs`, so the
+//!   SLO-plan memo and the gate memo keep their invalidation semantics.
+//! - **Allocation-free lanes.** [`CoRunnerLoad`] job slices are
+//!   `Arc`-shared; assembling lanes (and replaying decided sessions in the
+//!   gate walk) clones pointers, never jobs, and `predict_over_lanes`
+//!   recycles its round/group/cursor scratch through a lane arena across
+//!   the dozens of predictions a delay search runs.
+//! - **Delta re-prediction.** [`ServingMix::gate_all`] runs the
+//!   `(arrival, token)` walk once and prices *every* open SLO session:
+//!   each later decision reuses the decided-lane prefix the walk has
+//!   already accumulated (the unchanged round-robin schedule prefix)
+//!   instead of re-simulating it, and plain target sessions skip lane
+//!   assembly entirely — they always contribute. The server memoizes the
+//!   walk per mix digest, so after a registry append exactly one walk
+//!   re-simulates the affected suffix and every other session's decision
+//!   is a lookup.
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashSet;
 use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 use sti_device::{FlashJob, FlashQueueSim, HwProfile, SimTime};
 use sti_quant::Bitwidth;
@@ -146,11 +176,12 @@ pub enum PreloadPolicy {
 }
 
 /// One co-runner lane of a prediction: a FIFO job queue arriving at an
-/// offset.
+/// offset. Jobs are `Arc`-shared with the registry entry (or backlog
+/// snapshot) they came from, so lane assembly never copies jobs.
 #[derive(Debug, Clone)]
 struct Lane {
     arrival: SimTime,
-    jobs: Vec<LayerIoJob>,
+    jobs: Arc<[LayerIoJob]>,
 }
 
 /// The canonical workload mix a contended prediction runs against: the
@@ -161,12 +192,18 @@ pub struct ServingMix {
     sessions: Vec<MixSession>,
     backlog: BacklogSnapshot,
     sharing: IoSharing,
+    /// Rolling fold of per-session sub-digests (see [`ServingMix::digest`]):
+    /// a wrapping sum of finalized sub-digests, updated O(1) by
+    /// [`ServingMix::push_session`] / [`ServingMix::upsert_session`] /
+    /// [`ServingMix::remove_session`]. A pure function of `sessions`, so
+    /// derived equality stays consistent.
+    session_fold: u64,
 }
 
 impl ServingMix {
     /// An empty mix under the given sharing mode.
     pub fn new(sharing: IoSharing) -> Self {
-        Self { sessions: Vec::new(), backlog: BacklogSnapshot::default(), sharing }
+        Self { sessions: Vec::new(), backlog: BacklogSnapshot::default(), sharing, session_fold: 0 }
     }
 
     /// A mix of anonymous co-runner loads (tokens are their indices) — the
@@ -198,7 +235,48 @@ impl ServingMix {
     /// that order is the lane order predictions replay, and part of the
     /// digest.
     pub fn push_session(&mut self, token: u64, load: CoRunnerLoad, slo: Option<SloProfile>) {
-        self.sessions.push(MixSession { token, load, slo });
+        let session = MixSession { token, load, slo };
+        self.session_fold = self.session_fold.wrapping_add(mix64(session_digest(&session)));
+        self.sessions.push(session);
+    }
+
+    /// Inserts or replaces the session holding `token`, keeping the
+    /// registry in token order, and updates the rolling digest in O(1) —
+    /// the in-place registration path of a long-lived server (open,
+    /// `set_arrival`, retarget). Requires the existing sessions to be in
+    /// token order (which [`ServingMix::push_session`] callers maintain).
+    pub fn upsert_session(&mut self, token: u64, load: CoRunnerLoad, slo: Option<SloProfile>) {
+        let session = MixSession { token, load, slo };
+        let fresh = mix64(session_digest(&session));
+        match self.sessions.binary_search_by_key(&token, |s| s.token) {
+            Ok(i) => {
+                self.session_fold = self
+                    .session_fold
+                    .wrapping_sub(mix64(session_digest(&self.sessions[i])))
+                    .wrapping_add(fresh);
+                self.sessions[i] = session;
+            }
+            Err(i) => {
+                self.session_fold = self.session_fold.wrapping_add(fresh);
+                self.sessions.insert(i, session);
+            }
+        }
+    }
+
+    /// Removes the session holding `token` (if present), updating the
+    /// rolling digest in O(1). Returns whether a session was removed.
+    /// Removal from the end of the registry is O(1) element moves — a
+    /// fleet that closes newest-first tears down in linear time.
+    pub fn remove_session(&mut self, token: u64) -> bool {
+        match self.sessions.binary_search_by_key(&token, |s| s.token) {
+            Ok(i) => {
+                self.session_fold =
+                    self.session_fold.wrapping_sub(mix64(session_digest(&self.sessions[i])));
+                self.sessions.remove(i);
+                true
+            }
+            Err(_) => false,
+        }
     }
 
     /// The sessions in the mix, in registration order.
@@ -223,50 +301,41 @@ impl ServingMix {
 
     /// The one memo identity of the mix: every input a prediction (or a
     /// gate decision) depends on — sharing mode, the external backlog, and
-    /// each session's token, arrival, jobs, and gate profile — hashed in
-    /// order. The SLO-plan cache and the per-session gate memo both key on
-    /// this, so a registry change invalidates them consistently.
+    /// each session's token, arrival, jobs, and gate profile. The SLO-plan
+    /// cache and the per-session gate memo both key on this, so a registry
+    /// change invalidates them consistently.
+    ///
+    /// The session part is the rolling fold maintained by the mutators, so
+    /// this is O(backlog) regardless of fleet size; only the (small, live)
+    /// external backlog is rehashed per call.
     pub fn digest(&self) -> u64 {
+        self.digest_with(&self.backlog)
+    }
+
+    /// [`ServingMix::digest`] as if `backlog` were attached: what a gate
+    /// computes against a fresh live snapshot without cloning the registry
+    /// (`digest_with(b) == clone().with_backlog(b).digest()` by
+    /// construction).
+    pub fn digest_with(&self, backlog: &BacklogSnapshot) -> u64 {
         let mut h = DefaultHasher::new();
         self.sharing.window().map(|w| w.as_us()).hash(&mut h);
-        for c in &self.backlog.channels {
+        for c in &backlog.channels {
             (c.channel, c.arrival.as_us(), c.effective_arrival.as_us(), c.inflight).hash(&mut h);
             for q in &c.queued {
                 (q.sig, q.bytes, q.service.as_us()).hash(&mut h);
             }
         }
-        for s in &self.sessions {
-            (s.token, s.load.arrival.as_us(), s.load.jobs.len()).hash(&mut h);
-            for j in &s.load.jobs {
-                (j.sig, j.service.as_us()).hash(&mut h);
-            }
-            match &s.slo {
-                None => 0u8.hash(&mut h),
-                Some(p) => {
-                    1u8.hash(&mut h);
-                    (p.slo.as_us(), p.comp.as_us()).hash(&mut h);
-                }
-            }
-        }
+        (self.sessions.len() as u64, self.session_fold).hash(&mut h);
         h.finish()
     }
 
     /// The raw lane set of the mix: external backlog lanes first (at their
     /// effective arrivals), then every session's load at its own arrival.
+    /// Session job slices are `Arc`-shared with the registry — no job is
+    /// copied.
     fn raw_lanes(&self) -> Vec<Lane> {
-        let mut lanes: Vec<Lane> = self
-            .backlog
-            .channels
-            .iter()
-            .map(|c| Lane {
-                arrival: c.effective_arrival,
-                jobs: c
-                    .queued
-                    .iter()
-                    .map(|q| LayerIoJob { sig: q.sig, service: q.service })
-                    .collect(),
-            })
-            .collect();
+        let mut lanes = self.raw_backlog_lanes();
+        lanes.reserve(self.sessions.len());
         lanes.extend(
             self.sessions
                 .iter()
@@ -351,42 +420,90 @@ impl ServingMix {
     /// priced). The whole walk is a pure function of the mix, so concurrent
     /// and sequential replays decide identically.
     pub fn gate(&self, token: u64, policy: GatePolicy) -> Option<GateOutcome> {
+        let outcomes = self.walk_gate(policy, Some(token));
+        match outcomes.last() {
+            Some(&(t, outcome)) if t == token => outcome,
+            _ => panic!("gate candidate token {token} is not in the mix"),
+        }
+    }
+
+    /// Runs the full gate walk once, pricing **every** open SLO session —
+    /// the delta-re-prediction entry point. Each session's outcome is
+    /// bit-identical to [`ServingMix::gate`] for its token (the walk is the
+    /// same; it just doesn't stop), but the decided-lane prefix is computed
+    /// once and shared by every later decision instead of being replayed
+    /// per candidate. Plain target sessions (no [`SloProfile`]) skip lane
+    /// assembly entirely. The server memoizes this per mix digest, so after
+    /// a registry change exactly one walk re-simulates and every other
+    /// session's gate decision is a lookup.
+    pub fn gate_all(&self, policy: GatePolicy) -> Vec<(u64, GateOutcome)> {
+        self.walk_gate(policy, None)
+            .into_iter()
+            .filter_map(|(t, outcome)| outcome.map(|o| (t, o)))
+            .collect()
+    }
+
+    /// The shared `(arrival, token)` walk behind [`ServingMix::gate`] and
+    /// [`ServingMix::gate_all`]: returns `(token, outcome)` per session
+    /// visited in walk order (`None` for plain target sessions, which are
+    /// never gated). With `stop_at`, the walk returns right after that
+    /// token's entry — the early-exit [`ServingMix::gate`] contract.
+    fn walk_gate(
+        &self,
+        policy: GatePolicy,
+        stop_at: Option<u64>,
+    ) -> Vec<(u64, Option<GateOutcome>)> {
+        let mut arena = LaneArena::default();
         let mut order: Vec<usize> = (0..self.sessions.len()).collect();
         order.sort_by_key(|&i| (self.sessions[i].load.arrival, self.sessions[i].token));
         let base = self.raw_backlog_lanes();
-        let mut decided: Vec<Lane> = Vec::new();
+        let mut decided: Vec<Lane> = Vec::with_capacity(self.sessions.len());
+        let mut outcomes: Vec<(u64, Option<GateOutcome>)> = Vec::new();
         for (pos, &i) in order.iter().enumerate() {
             let s = &self.sessions[i];
             let arrival = s.load.arrival;
-            // First-pass lanes: external backlog, every already-decided
-            // session, and the raw loads of strictly-later arrivals.
-            let first = self.lanes_for(&base, &decided, &order[pos + 1..], arrival, false);
-            // Second-pass lanes exist when equal-arrival later tokens do —
-            // and only queue mode reads them (shed mode never re-gates), so
-            // skip the lane assembly entirely otherwise.
-            let second = (matches!(policy, GatePolicy::Queue(_))
-                && order[pos + 1..].iter().any(|&j| self.sessions[j].load.arrival == arrival))
-            .then(|| self.lanes_for(&base, &decided, &order[pos + 1..], arrival, true));
-            if s.token == token {
-                let profile = s.slo.as_ref()?;
-                return Some(decide(
-                    &first,
-                    second.as_deref(),
-                    profile,
-                    arrival,
-                    self.sharing,
-                    policy,
-                ));
-            }
+            let stop_here = stop_at == Some(s.token);
             match &s.slo {
                 // Plain target sessions are never gated: their load always
-                // occupies the queue.
-                None => decided.push(Lane { arrival, jobs: s.load.jobs.clone() }),
+                // occupies the queue — and needs no lane assembly of its
+                // own, which keeps the walk O(decisions · lanes), not
+                // O(sessions · lanes).
+                None => {
+                    outcomes.push((s.token, None));
+                    if stop_here {
+                        return outcomes;
+                    }
+                    decided.push(Lane { arrival, jobs: s.load.jobs.clone() });
+                }
                 // Replay the co-runner's own gate decision against the
                 // queue as *it* sees it.
                 Some(profile) => {
-                    let outcome =
-                        decide(&first, second.as_deref(), profile, arrival, self.sharing, policy);
+                    // First-pass lanes: external backlog, every
+                    // already-decided session, and the raw loads of
+                    // strictly-later arrivals.
+                    let first = self.lanes_for(&base, &decided, &order[pos + 1..], arrival, false);
+                    // Second-pass lanes exist when equal-arrival later
+                    // tokens do — and only queue mode reads them (shed mode
+                    // never re-gates), so skip the lane assembly entirely
+                    // otherwise.
+                    let second = (matches!(policy, GatePolicy::Queue(_))
+                        && order[pos + 1..]
+                            .iter()
+                            .any(|&j| self.sessions[j].load.arrival == arrival))
+                    .then(|| self.lanes_for(&base, &decided, &order[pos + 1..], arrival, true));
+                    let outcome = decide(
+                        &mut arena,
+                        &first,
+                        second.as_deref(),
+                        profile,
+                        arrival,
+                        self.sharing,
+                        policy,
+                    );
+                    outcomes.push((s.token, Some(outcome)));
+                    if stop_here {
+                        return outcomes;
+                    }
                     if !outcome.shed {
                         decided.push(Lane {
                             arrival: arrival + outcome.delay,
@@ -396,7 +513,7 @@ impl ServingMix {
                 }
             }
         }
-        panic!("gate candidate token {token} is not in the mix");
+        outcomes
     }
 
     fn raw_backlog_lanes(&self) -> Vec<Lane> {
@@ -438,10 +555,51 @@ impl ServingMix {
     }
 }
 
+/// The per-session sub-digest of the rolling fold: everything a prediction
+/// reads from one session — token, arrival, jobs, gate profile.
+fn session_digest(s: &MixSession) -> u64 {
+    let mut h = DefaultHasher::new();
+    (s.token, s.load.arrival.as_us(), s.load.jobs.len()).hash(&mut h);
+    for j in s.load.jobs.iter() {
+        (j.sig, j.service.as_us()).hash(&mut h);
+    }
+    match &s.slo {
+        None => 0u8.hash(&mut h),
+        Some(p) => {
+            1u8.hash(&mut h);
+            (p.slo.as_us(), p.comp.as_us()).hash(&mut h);
+        }
+    }
+    h.finish()
+}
+
+/// SplitMix64 finalizer: decorrelates sub-digests before the commutative
+/// wrapping-sum fold, so structured token/arrival patterns cannot cancel.
+fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Reusable scratch for [`predict_over_lanes_in`]: the candidate jobs,
+/// per-lane arrival cursors, round assembly, and batching groups are
+/// recycled across predictions — a delay search runs dozens against the
+/// same lane set, and a gate walk one per decision.
+#[derive(Default)]
+struct LaneArena {
+    candidate: Vec<LayerIoJob>,
+    cursors: Vec<SimTime>,
+    round: Vec<(usize, LayerIoJob)>,
+    group_jobs: Vec<LayerIoJob>,
+    group_members: Vec<Vec<usize>>,
+    extra: Vec<u64>,
+}
+
 /// One gate decision for a profile at an arrival, including the second
 /// pass when `second` lanes are present (queue mode only; see
 /// [`ServingMix::gate`]).
 fn decide(
+    arena: &mut LaneArena,
     first: &[Lane],
     second: Option<&[Lane]>,
     profile: &SloProfile,
@@ -452,7 +610,7 @@ fn decide(
     let load = profile.load_at(arrival);
     match policy {
         GatePolicy::Shed => {
-            let predicted = predict_over_lanes(first, &load, sharing);
+            let predicted = predict_over_lanes_in(arena, first, &load, sharing);
             GateOutcome {
                 predicted,
                 delay: SimTime::ZERO,
@@ -461,14 +619,14 @@ fn decide(
             }
         }
         GatePolicy::Queue(max) => {
-            match min_delay_over_lanes(first, &load, sharing, profile.slo, max) {
+            match min_delay_over_lanes_in(arena, first, &load, sharing, profile.slo, max) {
                 Err(predicted) => {
                     GateOutcome { predicted, delay: SimTime::ZERO, shed: true, re_gated: false }
                 }
                 Ok((delay, predicted)) => {
                     if let Some(lanes) = second {
                         if let Ok((d2, p2)) =
-                            min_delay_over_lanes(lanes, &load, sharing, profile.slo, max)
+                            min_delay_over_lanes_in(arena, lanes, &load, sharing, profile.slo, max)
                         {
                             return GateOutcome {
                                 predicted: p2,
@@ -496,45 +654,77 @@ fn decide(
 /// its last member has arrived), mirroring the scheduler's
 /// effective-arrival discipline so per-lane FIFO survives the replay.
 fn predict_over_lanes(lanes: &[Lane], load: &EngagementLoad, sharing: IoSharing) -> SimTime {
-    let candidate: Vec<LayerIoJob> = load.jobs.iter().copied().flatten().collect();
+    predict_over_lanes_in(&mut LaneArena::default(), lanes, load, sharing)
+}
+
+/// [`predict_over_lanes`] with caller-owned scratch (see [`LaneArena`]).
+fn predict_over_lanes_in(
+    arena: &mut LaneArena,
+    lanes: &[Lane],
+    load: &EngagementLoad,
+    sharing: IoSharing,
+) -> SimTime {
+    let LaneArena { candidate, cursors, round, group_jobs, group_members, extra } = arena;
+    candidate.clear();
+    candidate.extend(load.jobs.iter().copied().flatten());
     let candidate_id = lanes.len();
     let rounds = candidate.len().max(lanes.iter().map(|l| l.jobs.len()).max().unwrap_or(0));
     // Arrival cursors, one per lane plus the candidate's at the end.
-    let mut cursors: Vec<SimTime> = lanes.iter().map(|l| l.arrival).collect();
+    cursors.clear();
+    cursors.extend(lanes.iter().map(|l| l.arrival));
     cursors.push(load.arrival);
     let window = sharing.window();
     let mut sim = FlashQueueSim::new();
     for r in 0..rounds {
         // This round's jobs in dispatch order: lanes, then candidate.
-        let round: Vec<(usize, LayerIoJob)> = lanes
-            .iter()
-            .enumerate()
-            .filter_map(|(e, l)| l.jobs.get(r).map(|&j| (e, j)))
-            .chain(candidate.get(r).map(|&j| (candidate_id, j)))
-            .collect();
+        round.clear();
+        round.extend(
+            lanes
+                .iter()
+                .enumerate()
+                .filter_map(|(e, l)| l.jobs.get(r).map(|&j| (e, j)))
+                .chain(candidate.get(r).map(|&j| (candidate_id, j))),
+        );
         // Group batchable jobs: one submission per signature, fanned out to
-        // every in-window engagement that issued it this round.
-        let mut groups: Vec<(LayerIoJob, Vec<usize>)> = Vec::new();
-        for (engagement, job) in round {
+        // every in-window engagement that issued it this round. Group
+        // buffers are recycled across rounds and predictions.
+        let mut live_groups = 0usize;
+        for &(engagement, job) in round.iter() {
+            let mut joined = false;
             if let Some(w) = window {
-                if let Some(group) = groups.iter_mut().find(|(j, members)| {
-                    *j == job && gap(cursors[members[0]], cursors[engagement]) <= w
-                }) {
-                    group.1.push(engagement);
-                    continue;
+                for g in 0..live_groups {
+                    if group_jobs[g] == job
+                        && gap(cursors[group_members[g][0]], cursors[engagement]) <= w
+                    {
+                        group_members[g].push(engagement);
+                        joined = true;
+                        break;
+                    }
                 }
             }
-            groups.push((job, vec![engagement]));
+            if !joined {
+                if live_groups == group_jobs.len() {
+                    group_jobs.push(job);
+                    group_members.push(Vec::new());
+                } else {
+                    group_jobs[live_groups] = job;
+                    group_members[live_groups].clear();
+                }
+                group_members[live_groups].push(engagement);
+                live_groups += 1;
+            }
         }
-        for (job, members) in groups {
+        for g in 0..live_groups {
+            let members = &group_members[g];
             let arrival = members.iter().map(|&e| cursors[e]).max().expect("groups are non-empty");
-            for &e in &members {
+            for &e in members.iter() {
                 cursors[e] = arrival;
             }
-            let extra: Vec<u64> = members[1..].iter().map(|&e| e as u64).collect();
+            extra.clear();
+            extra.extend(members[1..].iter().map(|&e| e as u64));
             sim.submit_shared(
-                FlashJob { engagement: members[0] as u64, arrival, service: job.service },
-                &extra,
+                FlashJob { engagement: members[0] as u64, arrival, service: group_jobs[g].service },
+                extra,
             );
         }
     }
@@ -566,8 +756,21 @@ fn min_delay_over_lanes(
     slo: SimTime,
     max_delay: SimTime,
 ) -> Result<(SimTime, SimTime), SimTime> {
-    let predict = |delay: SimTime| predict_over_lanes(lanes, &load.delayed(delay), sharing);
-    let now = predict(SimTime::ZERO);
+    min_delay_over_lanes_in(&mut LaneArena::default(), lanes, load, sharing, slo, max_delay)
+}
+
+/// [`min_delay_over_lanes`] with caller-owned scratch: the search probes
+/// the predictor dozens of times against the same lanes, all sharing one
+/// [`LaneArena`].
+fn min_delay_over_lanes_in(
+    arena: &mut LaneArena,
+    lanes: &[Lane],
+    load: &EngagementLoad,
+    sharing: IoSharing,
+    slo: SimTime,
+    max_delay: SimTime,
+) -> Result<(SimTime, SimTime), SimTime> {
+    let now = predict_over_lanes_in(arena, lanes, load, sharing);
     if now <= slo {
         return Ok((SimTime::ZERO, now));
     }
@@ -584,19 +787,21 @@ fn min_delay_over_lanes(
         )
         .drain_time()
     };
-    // Phase 1: monotone search against the already-arrived backlog.
+    // Phase 1: monotone search against the already-arrived backlog. Early
+    // lanes are `Arc`-shared clones — pointer copies, not job copies.
     let early: Vec<Lane> = lanes.iter().filter(|l| l.arrival <= load.arrival).cloned().collect();
-    let predict_early = |delay: SimTime| predict_over_lanes(&early, &load.delayed(delay), sharing);
     let cap = drain_by(load.arrival).saturating_sub(load.arrival).min(max_delay);
-    if predict_early(cap) > slo {
-        return Err(predict(cap));
+    if predict_over_lanes_in(arena, &early, &load.delayed(cap), sharing) > slo {
+        return Err(predict_over_lanes_in(arena, lanes, &load.delayed(cap), sharing));
     }
     // Smallest delay in [0, cap] whose early-backlog prediction meets the
-    // SLO; invariant: predict_early(hi) <= slo.
+    // SLO; invariant: the early prediction at `hi` meets the SLO.
     let (mut lo, mut hi) = (0u64, cap.as_us());
     while lo < hi {
         let mid = lo + (hi - lo) / 2;
-        if predict_early(SimTime::from_us(mid)) <= slo {
+        if predict_over_lanes_in(arena, &early, &load.delayed(SimTime::from_us(mid)), sharing)
+            <= slo
+        {
             hi = mid;
         } else {
             lo = mid + 1;
@@ -605,7 +810,7 @@ fn min_delay_over_lanes(
     // Phase 2: climb past any later-arriving windows the delay landed in.
     let mut delay = SimTime::from_us(hi);
     loop {
-        let predicted = predict(delay);
+        let predicted = predict_over_lanes_in(arena, lanes, &load.delayed(delay), sharing);
         if predicted <= slo {
             return Ok((delay, predicted));
         }

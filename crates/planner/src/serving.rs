@@ -129,8 +129,9 @@ pub fn layer_io_jobs(hw: &HwProfile, plan: &ExecutionPlan) -> Vec<Option<LayerIo
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CoRunnerLoad {
     /// The co-runner's streaming jobs, in the order its executor issues
-    /// them.
-    pub jobs: Vec<LayerIoJob>,
+    /// them. `Arc`-shared: registry snapshots, lane assembly, and gate
+    /// replays clone a pointer, never the jobs themselves.
+    pub jobs: Arc<[LayerIoJob]>,
     /// The co-runner's simulated arrival offset. The contended prediction
     /// submits its jobs at this time, so a straggler whose window does not
     /// overlap the candidate's no longer inflates the candidate's
@@ -160,7 +161,7 @@ impl CoRunnerLoad {
         let mut hasher = std::collections::hash_map::DefaultHasher::new();
         for load in loads {
             (load.jobs.len(), load.arrival.as_us()).hash(&mut hasher);
-            for job in &load.jobs {
+            for job in load.jobs.iter() {
                 (job.sig, job.service.as_us()).hash(&mut hasher);
             }
         }

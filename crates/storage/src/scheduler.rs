@@ -380,14 +380,13 @@ impl IoScheduler {
     /// will surface the error on its channel).
     pub fn backlog_snapshot(&self) -> BacklogSnapshot {
         // Under the lock: clone only queue structure (ids, arrivals,
-        // pending requests). Size lookups run after release.
+        // pending requests), pre-sized to the channel count so the hold
+        // never reallocates. Size lookups run after release.
         let pending: Vec<(u64, SimTime, SimTime, bool, Vec<LayerRequest>)> = {
             let state = self.shared.lock_state();
-            let mut channels: Vec<_> = state
-                .channels
-                .iter()
-                .filter(|(_, c)| !c.closed && c.has_work())
-                .map(|(&id, c)| {
+            let mut channels = Vec::with_capacity(state.channels.len());
+            channels.extend(state.channels.iter().filter(|(_, c)| !c.closed && c.has_work()).map(
+                |(&id, c)| {
                     (
                         id,
                         c.arrival,
@@ -395,8 +394,8 @@ impl IoScheduler {
                         c.inflight,
                         c.pending.iter().cloned().collect::<Vec<_>>(),
                     )
-                })
-                .collect();
+                },
+            ));
             channels.sort_unstable_by_key(|&(id, ..)| id);
             channels
         };

@@ -65,6 +65,35 @@
 //! # Ok::<(), sti::prelude::PipelineError>(())
 //! ```
 //!
+//! ## Fleet mode and the perf ledger
+//!
+//! The serving runtime scales past "dozens of sessions" by making every
+//! per-decision cost independent of fleet size: the server keeps one
+//! **live `ServingMix`** updated in place on open/close/retarget (never
+//! rebuilt per decision), the mix's digest is a **rolling per-session
+//! fold** updated O(1) by those mutators, session job lists are
+//! `Arc`-shared (lane assembly clones pointers, not jobs), and one full
+//! gate walk per registry change prices *every* open SLO session — each
+//! session's steady-state gate decision is a digest + memo lookup.
+//!
+//! `sti serve --fleet 100,1000,10000,100000` sweeps synthetic fleets on
+//! the virtual clock (gate delays land on the simulated timeline, never as
+//! real sleeps) and `--bench-out BENCH_serving.json` writes the perf
+//! ledger checked into the repo root:
+//!
+//! ```json
+//! { "bench": "serving_fleet", "unit": "us", "sweep": [
+//!   { "sessions": 104, "open_total_us": 113.6, "admission_mean_us": 33.5,
+//!     "gate_cold_us": 73.0, "gate_mean_us": 0.078, "gate_decisions": 512,
+//!     "decisions_per_sec": 12756945.3, "digest_mean_us": 0.024 } ] }
+//! ```
+//!
+//! `gate_mean_us` is the near-flat number (memoized steady state);
+//! `gate_cold_us` is the one full walk a registry change costs, amortized
+//! over every session's next decision. `tests/serving_fleet.rs` pins the
+//! incremental digest equal to a from-scratch rehash under arbitrary
+//! register/retarget/drop/backlog interleavings.
+//!
 //! The single-app engine path (`StiEngine::builder(..)`) works exactly as
 //! in the seed; see `crates/pipeline` for both facades, and the
 //! [`prelude`] for one-stop imports. The `baselines` module implements the

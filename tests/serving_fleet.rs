@@ -1,0 +1,275 @@
+//! Fleet-scale serving contracts.
+//!
+//! 1. **Incremental digest ≡ full rehash.** `ServingMix` maintains its
+//!    digest as a rolling per-session fold updated O(1) by
+//!    `upsert_session`/`remove_session`/`push_session`. A proptest drives
+//!    arbitrary interleavings of register / retarget / drop /
+//!    backlog-attach and pins the rolling digest equal to a from-scratch
+//!    rebuild's — the memo identity behind the SLO-plan cache and both
+//!    gate memos never drifts from the full rehash it replaced.
+//! 2. **Excluded views are rebuilds.** The server's `exclude` path (a
+//!    retargeting session does not co-run with itself) is now a clone +
+//!    `remove_session` view; it must predict bit-identically to a mix
+//!    rebuilt from scratch without that session.
+//! 3. **`gate_all` ≡ `gate`.** The shared full walk prices every SLO
+//!    session bit-identically to the per-token early-exit walk it
+//!    memoizes for.
+//! 4. **Fleet sweep smoke.** `fleet_sweep` opens real fleets against a
+//!    real server on the virtual clock and reports a well-formed ledger.
+
+use proptest::prelude::*;
+use sti::prelude::*;
+use sti::TaskContext;
+
+fn importance_for(cfg: &ModelConfig) -> ImportanceProfile {
+    ImportanceProfile::from_scores(
+        cfg.layers,
+        cfg.heads,
+        (0..cfg.total_shards()).map(|i| 0.5 + (i % 5) as f64 * 0.01).collect(),
+        0.45,
+    )
+}
+
+fn fixture() -> (HwProfile, ImportanceProfile) {
+    let cfg = ModelConfig::tiny();
+    let hw = HwProfile::measure(&DeviceProfile::odroid_n2(), &cfg, &QuantConfig::default());
+    let importance = importance_for(&cfg);
+    (hw, importance)
+}
+
+const WIDTHS: [usize; 2] = [2, 4];
+
+/// Deterministic xorshift64 op stream (proptest supplies the seed).
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+/// The test's model of the registry: `(token, plan index, arrival, slo)`
+/// in token order, mirrored into the mix under test op-by-op and into a
+/// from-scratch rebuild at check time.
+type Model = Vec<(u64, usize, SimTime, Option<SimTime>)>;
+
+fn rebuild(
+    model: &Model,
+    plans: &[ExecutionPlan],
+    hw: &HwProfile,
+    sharing: IoSharing,
+) -> ServingMix {
+    let mut mix = ServingMix::new(sharing);
+    for &(token, plan, arrival, slo) in model {
+        mix.push_session(
+            token,
+            CoRunnerLoad::from_plan_at(hw, &plans[plan], arrival),
+            slo.map(|s| SloProfile::from_plan(hw, &plans[plan], s)),
+        );
+    }
+    mix
+}
+
+fn backlog_from(hw: &HwProfile, plan: &ExecutionPlan) -> BacklogSnapshot {
+    let jobs: Vec<LayerIoJob> = layer_io_jobs(hw, plan).into_iter().flatten().collect();
+    BacklogSnapshot {
+        channels: vec![ChannelBacklog {
+            channel: 7,
+            arrival: SimTime::from_us(40),
+            effective_arrival: SimTime::from_us(40),
+            inflight: true,
+            queued: jobs
+                .iter()
+                .map(|j| QueuedIo { sig: j.sig, bytes: 64, service: j.service })
+                .collect(),
+        }],
+        batch_window: None,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Arbitrary interleavings of register / retarget / drop keep the
+    /// rolling digest equal to a from-scratch rebuild's, with and without
+    /// an attached backlog, and excluded-session views predict
+    /// bit-identically to rebuilds.
+    #[test]
+    fn incremental_digest_equals_full_rehash(
+        seed in 1u64..u64::MAX,
+        ops in 4usize..48,
+    ) {
+        let (hw, imp) = fixture();
+        let plans: Vec<ExecutionPlan> = [200u64, 500, 2_000]
+            .iter()
+            .map(|&ms| {
+                plan_two_stage(&hw, &imp, SimTime::from_ms(ms), 0, &WIDTHS, &Bitwidth::ALL)
+            })
+            .collect();
+        let mut rng = Rng(seed);
+        let sharing = if rng.next().is_multiple_of(2) {
+            IoSharing::Exclusive
+        } else {
+            IoSharing::Batched(SimTime::from_ms(1))
+        };
+        let mut mix = ServingMix::new(sharing);
+        let mut model: Model = Vec::new();
+        let mut next_token = 0u64;
+        for _ in 0..ops {
+            let plan = (rng.next() % plans.len() as u64) as usize;
+            let arrival = SimTime::from_us(rng.next() % 2_000);
+            let slo =
+                rng.next().is_multiple_of(2).then(|| SimTime::from_ms(100 + rng.next() % 900));
+            match rng.next() % 4 {
+                // Register a fresh session (tokens are monotone, like the
+                // server's).
+                0 | 1 => {
+                    let token = next_token;
+                    next_token += 1;
+                    mix.upsert_session(
+                        token,
+                        CoRunnerLoad::from_plan_at(&hw, &plans[plan], arrival),
+                        slo.map(|s| SloProfile::from_plan(&hw, &plans[plan], s)),
+                    );
+                    model.push((token, plan, arrival, slo));
+                }
+                // Retarget / re-register an existing session in place.
+                2 if !model.is_empty() => {
+                    let i = (rng.next() % model.len() as u64) as usize;
+                    let token = model[i].0;
+                    mix.upsert_session(
+                        token,
+                        CoRunnerLoad::from_plan_at(&hw, &plans[plan], arrival),
+                        slo.map(|s| SloProfile::from_plan(&hw, &plans[plan], s)),
+                    );
+                    model[i] = (token, plan, arrival, slo);
+                }
+                // Drop an existing session (or a no-op miss).
+                _ => {
+                    if model.is_empty() {
+                        prop_assert!(!mix.remove_session(99_999));
+                    } else {
+                        let i = (rng.next() % model.len() as u64) as usize;
+                        let token = model.remove(i).0;
+                        prop_assert!(mix.remove_session(token));
+                    }
+                }
+            }
+            let fresh = rebuild(&model, &plans, &hw, sharing);
+            prop_assert_eq!(mix.digest(), fresh.digest(), "rolling digest drifted at op");
+        }
+        // Backlog attach: `digest_with` is the no-clone view of attaching.
+        let backlog = backlog_from(&hw, &plans[2]);
+        let fresh = rebuild(&model, &plans, &hw, sharing);
+        prop_assert_eq!(
+            mix.digest_with(&backlog),
+            fresh.clone().with_backlog(backlog.clone()).digest(),
+            "digest_with must equal attach-then-digest"
+        );
+        prop_assert_eq!(mix.clone().with_backlog(backlog.clone()).digest(), {
+            let m = mix.clone();
+            m.digest_with(&backlog)
+        });
+        // Excluded views ≡ rebuilds without the session, bit for bit.
+        let probe = EngagementLoad::from_plan(&hw, &plans[0], SimTime::ZERO);
+        for &(token, ..) in &model {
+            let mut view = mix.clone();
+            prop_assert!(view.remove_session(token));
+            let without: Model =
+                model.iter().copied().filter(|&(t, ..)| t != token).collect();
+            let scratch = rebuild(&without, &plans, &hw, sharing);
+            prop_assert_eq!(view.digest(), scratch.digest());
+            prop_assert_eq!(
+                view.predict(&probe),
+                scratch.predict(&probe),
+                "excluded view must predict bit-identically to a rebuild"
+            );
+        }
+    }
+}
+
+#[test]
+fn gate_all_matches_per_token_gate() {
+    let (hw, imp) = fixture();
+    let fast = plan_two_stage(&hw, &imp, SimTime::from_ms(200), 0, &WIDTHS, &Bitwidth::ALL);
+    let slow = plan_two_stage(&hw, &imp, SimTime::from_ms(2_000), 0, &WIDTHS, &Bitwidth::ALL);
+    for sharing in [IoSharing::Exclusive, IoSharing::Batched(SimTime::from_ms(1))] {
+        let mut mix = ServingMix::new(sharing);
+        for t in 0..10u64 {
+            let plan = if t % 2 == 0 { &fast } else { &slow };
+            // Mixed population: equal arrivals (tie-broken by token),
+            // stragglers, plain co-residents with no SLO.
+            let arrival = SimTime::from_us((t / 3) * 300);
+            let slo = (t % 3 != 2)
+                .then(|| SloProfile::from_plan(&hw, plan, SimTime::from_ms(150 + t * 40)));
+            mix.push_session(t, CoRunnerLoad::from_plan_at(&hw, plan, arrival), slo);
+        }
+        let backlog = backlog_from(&hw, &slow);
+        let mix = mix.with_backlog(backlog);
+        for policy in [GatePolicy::Shed, GatePolicy::Queue(SimTime::from_ms(100))] {
+            let all = mix.gate_all(policy);
+            assert_eq!(all.len(), 7, "every SLO session is priced, plain ones are not");
+            for &(token, outcome) in &all {
+                assert_eq!(
+                    mix.gate(token, policy),
+                    Some(outcome),
+                    "shared walk diverged from the early-exit walk for {token}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn fleet_sweep_reports_a_well_formed_ledger() {
+    let ctx = TaskContext::with_config(TaskKind::Sst2, ModelConfig::tiny());
+    let cfg = ServeConfig {
+        preload_bytes: 0,
+        backpressure: BackpressureMode::Queue(SimTime::from_ms(100)),
+        ..Default::default()
+    };
+    let fleet = FleetConfig { sizes: vec![8, 32], slo_sessions: 2, decisions: 24 };
+    let points = fleet_sweep(&ctx, &cfg, &fleet).unwrap();
+    assert_eq!(points.len(), 2);
+    assert_eq!(points[0].sessions, 10);
+    assert_eq!(points[1].sessions, 34);
+    for p in &points {
+        assert_eq!(p.gate_decisions, 24);
+        assert!(p.decisions_per_sec > 0.0);
+        assert!(p.gate_cold > std::time::Duration::ZERO);
+    }
+    let json = fleet_report_json(&points);
+    assert!(json.contains("\"bench\": \"serving_fleet\""), "{json}");
+    assert!(json.contains("\"sessions\": 34"), "{json}");
+    assert!(json.contains("\"gate_mean_us\""), "{json}");
+}
+
+#[test]
+fn repeat_gate_decisions_are_stable_and_pure() {
+    let ctx = TaskContext::with_config(TaskKind::Sst2, ModelConfig::tiny());
+    let cfg = ServeConfig {
+        preload_bytes: 0,
+        backpressure: BackpressureMode::Queue(SimTime::from_ms(100)),
+        ..Default::default()
+    };
+    let server = build_server(&ctx, &cfg);
+    let _fleet: Vec<_> = (0..16).map(|_| server.session_with(cfg.target, 0).unwrap()).collect();
+    let slo = SimTime::from_ms(60_000);
+    let a = server.session_with_slo(slo, 0).unwrap();
+    let b = server.session_with_slo(slo, 0).unwrap();
+    // One session pays for the walk; the other's first decision is a memo
+    // lookup off the same walk — and both are stable across repeats.
+    let first_a = a.gate_decision().unwrap();
+    let first_b = b.gate_decision().unwrap();
+    for _ in 0..3 {
+        assert_eq!(a.gate_decision().unwrap(), first_a);
+        assert_eq!(b.gate_decision().unwrap(), first_b);
+    }
+    // The probe is pure: no gate log entries, no queue state.
+    assert_eq!(server.contention_report().gate.len(), 0);
+}

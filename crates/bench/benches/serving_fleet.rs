@@ -8,6 +8,10 @@
 //! - `gate_decision`: a session's steady-state gate probe against an
 //!   N-session server — the memoized digest+lookup path whose near-flat
 //!   scaling is the tentpole claim.
+//! - `event_replay`: a synthetic trace through the discrete-event engine
+//!   (one OS thread, heap-scheduled clients) against the threaded replay
+//!   (one OS thread per client) — the per-engagement cost of hosting the
+//!   fleet on the event loop.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use sti::prelude::*;
@@ -77,9 +81,30 @@ fn bench_gate_decision(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_event_replay(c: &mut Criterion) {
+    let ctx = TaskContext::with_config(TaskKind::Sst2, ModelConfig::tiny());
+    ctx.importance(); // one-time profiling outside the timing loops
+    let cfg = ServeConfig {
+        preload_bytes: 0,
+        backpressure: BackpressureMode::Queue(SimTime::from_ms(100)),
+        ..Default::default()
+    };
+    let mut group = c.benchmark_group("event_replay");
+    for n in [8usize, 32] {
+        let trace = ServingTrace::synthetic(&ctx, &cfg, n, 4);
+        group.bench_with_input(BenchmarkId::new("event", n), &n, |b, _| {
+            b.iter(|| replay_event(&build_server(&ctx, &cfg), &trace).expect("replay"))
+        });
+        group.bench_with_input(BenchmarkId::new("threaded", n), &n, |b, _| {
+            b.iter(|| replay_concurrent(&build_server(&ctx, &cfg), &trace).expect("replay"))
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_mix_maintenance, bench_gate_decision
+    targets = bench_mix_maintenance, bench_gate_decision, bench_event_replay
 }
 criterion_main!(benches);

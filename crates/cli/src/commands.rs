@@ -43,6 +43,10 @@ pub fn usage() -> String {
      \x20                                  (near-flat in N); forces queue backpressure when\n\
      \x20                                  --backpressure is off\n\
      \x20             [--fleet-slo-sessions 4] [--fleet-decisions 512]\n\
+     \x20             [--exec threaded|event]  executor for the replay (and the fleet's\n\
+     \x20                                  engagement phase): threaded = one OS thread per\n\
+     \x20                                  client, event = the discrete-event engine on one\n\
+     \x20                                  thread (bit-identical outcomes)\n\
      \x20             [--bench-out BENCH_serving.json]  write the fleet perf ledger\n"
         .to_string()
 }
@@ -216,6 +220,14 @@ fn backpressure_mode(name: &str, max_queue_ms: u64) -> Result<BackpressureMode, 
     }
 }
 
+fn exec_mode(name: &str) -> Result<ExecMode, ArgError> {
+    match name.to_lowercase().as_str() {
+        "threaded" => Ok(ExecMode::Threaded),
+        "event" => Ok(ExecMode::Event),
+        other => Err(ArgError(format!("unknown exec mode '{other}' (threaded|event)"))),
+    }
+}
+
 fn plan_sharing_mode(name: &str) -> Result<PreloadPolicy, ArgError> {
     match name.to_lowercase().as_str() {
         "off" | "per-session" => Ok(PreloadPolicy::PerSession),
@@ -243,6 +255,7 @@ fn cmd_serve(args: &Args) -> Result<String, ArgError> {
     let backpressure =
         backpressure_mode(args.get_or("backpressure", "off"), args.get_u64("max-queue-ms", 100)?)?;
     let plan_sharing = plan_sharing_mode(args.get_or("plan-sharing", "off"))?;
+    let exec = exec_mode(args.get_or("exec", "threaded"))?;
     let mut cfg = ServeConfig {
         device: device(args.get_or("device", "odroid"))?,
         target: SimTime::from_ms(args.get_u64("target-ms", 200)?),
@@ -289,6 +302,7 @@ fn cmd_serve(args: &Args) -> Result<String, ArgError> {
                 "fleet-decisions",
                 args.get_u64("fleet-decisions", 512)?.max(1),
             )?,
+            exec,
         };
         if matches!(cfg.backpressure, BackpressureMode::Off) {
             // The sweep measures the gate; give it one by default.
@@ -304,7 +318,8 @@ fn cmd_serve(args: &Args) -> Result<String, ArgError> {
         for p in &points {
             report.push_str(&format!(
                 "fleet N={:<7} open {:.3?}  admission mean {:.3?}  gate cold {:.3?}  \
-                 gate mean {:.3?}  digest {:.3?}  {:.0} decisions/s\n",
+                 gate mean {:.3?}  digest {:.3?}  {:.0} decisions/s  \
+                 {:.0} engagements/s ({} heap_ops)\n",
                 p.sessions,
                 p.open_wall,
                 p.admission_mean,
@@ -312,6 +327,8 @@ fn cmd_serve(args: &Args) -> Result<String, ArgError> {
                 p.gate_mean,
                 p.digest_mean,
                 p.decisions_per_sec,
+                p.engagements_per_sec,
+                p.heap_ops,
             ));
         }
         if let (Some(first), Some(last)) = (points.first(), points.last()) {
@@ -362,8 +379,11 @@ fn cmd_serve(args: &Args) -> Result<String, ArgError> {
     };
     let sessions = trace.clients.len();
 
-    let concurrent = replay_concurrent(&build_server(&ctx, &cfg), &trace)
-        .map_err(|e| ArgError(format!("concurrent replay: {e}")))?;
+    let concurrent = match exec {
+        ExecMode::Threaded => replay_concurrent(&build_server(&ctx, &cfg), &trace),
+        ExecMode::Event => replay_event(&build_server(&ctx, &cfg), &trace),
+    }
+    .map_err(|e| ArgError(format!("{} replay: {e}", exec.label())))?;
     let sequential = replay_sequential(&build_server(&ctx, &cfg), &trace)
         .map_err(|e| ArgError(format!("sequential replay: {e}")))?;
     let identical = concurrent.outcomes == sequential.outcomes;
@@ -420,7 +440,7 @@ fn cmd_serve(args: &Args) -> Result<String, ArgError> {
     };
     Ok(format!(
         "served {} of {} engagements over {} sessions ({} rejected at admission)\n\
-         \x20 throughput    {:.1} engagements/s concurrent, {:.1} sequential ({:.2}x)\n\
+         \x20 throughput    {:.1} engagements/s {}, {:.1} sequential ({:.2}x)\n\
          \x20 per-engagement makespan {} | streamed {} bytes\n\
          \x20 plan cache    {} hit / {} miss ({} distinct plans); SLO sessions {} admitted / {} rejected\n\
          \x20 shard cache   {} hit / {} miss ({:.0}% hit rate), {} evictions\n\
@@ -429,12 +449,13 @@ fn cmd_serve(args: &Args) -> Result<String, ArgError> {
          \x20 backpressure  {}\n\
          \x20 plan-sharing  {}\n\
          \x20 contended     p50 {} | p95 {} | max {} service-onward; mean initial queueing {}; {}\n\
-         \x20 determinism   concurrent outcomes {} sequential replay\n",
+         \x20 determinism   {} outcomes {} sequential replay\n",
         served,
         trace.total_engagements(),
         sessions,
         concurrent.rejected_clients.len(),
         concurrent.engagements_per_sec(),
+        exec.label(),
         sequential.engagements_per_sec(),
         concurrent.engagements_per_sec() / sequential.engagements_per_sec().max(1e-9),
         first.makespan,
@@ -460,6 +481,7 @@ fn cmd_serve(args: &Args) -> Result<String, ArgError> {
         contention.latency_percentile(1.0),
         mean_queueing,
         slo_line,
+        exec.label(),
         if identical { "exactly reproduce the" } else { "DIVERGED from the" },
     ))
 }

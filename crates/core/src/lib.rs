@@ -47,34 +47,52 @@
 //! paper's Table 4 and [`runner`] evaluates any of them on any task /
 //! device / latency — the machinery behind every experiment binary in
 //! `sti-bench`.
+//!
+//! ## Serving a fleet
+//!
+//! The [`serving`] module turns the single-engagement engine into a
+//! multi-session runtime: traces replay concurrently (a thread per
+//! client), sequentially, or — via [`serving::replay_event`] — on the
+//! [`engine`] module's deterministic discrete-event executor, where every
+//! client is a [`Component`] on one simulated clock and N clients cost
+//! one OS thread. Which executor ran is an explicit [`ExecMode`] knob;
+//! the per-engagement outcomes and gate decisions are identical across
+//! all three by contract. [`fleet_sweep`] scales the open-session
+//! registry to fleet sizes and [`fleet_report_json`] writes the perf
+//! ledger (`BENCH_serving.json`): entries carry `exec_mode`, and
+//! event-mode points add `engagements_per_sec` plus the engine's
+//! `heap_ops` beside the admission/gate/digest columns.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod baselines;
+pub mod engine;
 pub mod gold;
 pub mod runner;
 pub mod serving;
 pub mod trace_file;
 
 pub use baselines::Baseline;
+pub use engine::{Component, ComponentId, Engine, EngineReport, System};
 pub use runner::{run_experiment, Experiment, RunResult, TaskContext};
 pub use serving::{
-    build_server, fleet_report_json, fleet_sweep, replay_concurrent, replay_sequential,
-    ClientTrace, EngagementOutcome, FleetConfig, FleetPoint, ServeConfig, ServeReport,
-    ServingTrace,
+    build_server, fleet_report_json, fleet_sweep, replay_concurrent, replay_event,
+    replay_sequential, ClientTrace, EngagementOutcome, ExecMode, FleetConfig, FleetPoint,
+    ServeConfig, ServeReport, ServingTrace,
 };
 pub use trace_file::{load_trace, parse_trace, TraceFileError};
 
 /// One-stop imports for applications and experiments.
 pub mod prelude {
     pub use crate::baselines::Baseline;
+    pub use crate::engine::{Component, ComponentId, Engine, EngineReport, System};
     pub use crate::gold::gold_accuracy;
     pub use crate::runner::{run_experiment, Experiment, RunResult, TaskContext};
     pub use crate::serving::{
-        build_server, fleet_report_json, fleet_sweep, replay_concurrent, replay_sequential,
-        ClientTrace, EngagementOutcome, FleetConfig, FleetPoint, ServeConfig, ServeReport,
-        ServingTrace,
+        build_server, fleet_report_json, fleet_sweep, replay_concurrent, replay_event,
+        replay_sequential, ClientTrace, EngagementOutcome, ExecMode, FleetConfig, FleetPoint,
+        ServeConfig, ServeReport, ServingTrace,
     };
     pub use crate::trace_file::{load_trace, parse_trace, TraceFileError};
     pub use sti_device::{

@@ -30,13 +30,37 @@ use std::time::Duration;
 
 use sti_device::{DeviceProfile, HwProfile, SimTime};
 use sti_pipeline::{
-    AdmissionMode, BackpressureMode, ContentionReport, PipelineError, ServingStats, Session,
-    StiServer,
+    AdmissionMode, BackpressureMode, ContentionReport, PendingEngagement, PipelineError,
+    ServingStats, Session, StiServer,
 };
 use sti_planner::{PlanCacheStats, PreloadPolicy};
 use sti_storage::{BatchPolicy, IoSchedulerStats, ShardCacheStats};
 
+use crate::engine::{Component, ComponentId, Engine, System};
 use crate::runner::TaskContext;
+
+/// Which executor drives a replay (or a fleet point's engagement phase).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// One OS thread per client ([`replay_concurrent`]) — the original
+    /// fleet path.
+    #[default]
+    Threaded,
+    /// The discrete-event engine on the calling thread ([`replay_event`]):
+    /// every client is a [`Component`] on one simulated clock, so N clients
+    /// cost one OS thread, not N.
+    Event,
+}
+
+impl ExecMode {
+    /// The ledger / CLI spelling of the mode.
+    pub fn label(self) -> &'static str {
+        match self {
+            ExecMode::Threaded => "threaded",
+            ExecMode::Event => "event",
+        }
+    }
+}
 
 /// Server-level knobs for a serving experiment.
 #[derive(Debug, Clone)]
@@ -187,6 +211,9 @@ pub struct ServeReport {
     pub serving_stats: ServingStats,
     /// Indices of clients rejected by admission control.
     pub rejected_clients: Vec<usize>,
+    /// Min-heap operations the discrete-event engine performed — the
+    /// event-loop cost witness. Zero for threaded and sequential replays.
+    pub heap_ops: u64,
 }
 
 impl ServeReport {
@@ -343,7 +370,184 @@ fn report(
             .enumerate()
             .filter_map(|(i, s)| s.is_none().then_some(i))
             .collect(),
+        heap_ops: 0,
     }
+}
+
+/// Replays a trace on the discrete-event engine: one simulated clock, one
+/// OS thread, every client a [`Component`]. Sessions still open up front
+/// in client order, so admission matches the threaded modes exactly.
+///
+/// The IO scheduler's worker pool is parked ([`StiServer::pause_io`]) for
+/// the whole replay; a dedicated *flash component* — registered last, so
+/// at every instant it ticks after all co-arriving clients — services the
+/// queue dry on the engine thread ([`StiServer::drive_io`]) and wakes the
+/// issuers. Each client's engagement is split across the instant:
+/// [`Session::infer_issue`] enqueues its layer requests, the flash
+/// component dispatches them, and the woken client runs
+/// [`Session::infer_complete`] (which never blocks — everything it
+/// receives was already delivered) before issuing its next engagement.
+///
+/// **Determinism.** Event order is a pure function of
+/// `(next_tick, ComponentId)`; dispatch order is a pure function of the
+/// queue contents (the pool never races the engine thread). Two event
+/// replays of one trace are bit-identical — including the contended
+/// track — and per-engagement uncontended results are bit-identical to
+/// the threaded path. One deliberate divergence: with a batching window
+/// configured, the event schedule queues every co-arriving request
+/// *before* the flash services the instant, so batching fan-outs are
+/// maximal and deterministic where the threaded pool's depend on worker
+/// timing.
+///
+/// # Errors
+///
+/// Returns the first engine-order error encountered (client errors are
+/// deterministic under the event schedule).
+pub fn replay_event(
+    server: &StiServer,
+    trace: &ServingTrace,
+) -> Result<ServeReport, PipelineError> {
+    struct Ctx<'a> {
+        server: &'a StiServer,
+        sessions: &'a [Option<Session>],
+        trace: &'a ServingTrace,
+        outcomes: Vec<Vec<EngagementOutcome>>,
+        /// One slot per client: an engagement issued this instant, awaiting
+        /// completion after the flash component services the queue.
+        pendings: Vec<Option<PendingEngagement>>,
+        /// Next engagement index per client.
+        cursor: Vec<usize>,
+        /// Clients that issued this instant, to wake once the flash ticks.
+        waiting: Vec<ComponentId>,
+        flash: ComponentId,
+        /// First error in engine order; halts the run.
+        error: Option<PipelineError>,
+    }
+
+    /// One client's engagement state machine.
+    struct Client {
+        id: ComponentId,
+        arrival: SimTime,
+    }
+
+    /// Records the first error in engine order and halts the run.
+    fn fail(sys: &mut System<'_, Ctx<'_>>, e: PipelineError) -> Option<SimTime> {
+        sys.ctx.error = Some(e);
+        sys.halt();
+        None
+    }
+
+    impl<'a> Component<Ctx<'a>> for Client {
+        fn id(&self) -> ComponentId {
+            self.id
+        }
+        fn next_tick(&self) -> Option<SimTime> {
+            Some(self.arrival)
+        }
+        fn tick(&mut self, now: SimTime, sys: &mut System<'_, Ctx<'a>>) -> Option<SimTime> {
+            // Immutable refs copied out of the context so `sys` stays free
+            // for wake/halt calls below.
+            let sessions = sys.ctx.sessions;
+            let trace = sys.ctx.trace;
+            let Some(session) = sessions[self.id].as_ref() else {
+                return None; // rejected at admission
+            };
+            let client = &trace.clients[self.id];
+            // A woken client first completes the engagement the flash
+            // component just serviced...
+            if let Some(pending) = sys.ctx.pendings[self.id].take() {
+                match session.infer_complete(pending) {
+                    Ok(inf) => sys.ctx.outcomes[self.id].push(EngagementOutcome {
+                        class: inf.class,
+                        probabilities: inf.probabilities,
+                        makespan: inf.outcome.timeline.makespan,
+                        loaded_bytes: inf.outcome.loaded_bytes,
+                    }),
+                    Err(e) => return fail(sys, e),
+                }
+            }
+            // ...then issues its next engagement at the same instant. Shed
+            // engagements (gate decisions are logged either way) produce no
+            // outcome and queue no IO — keep going, like `run_client`.
+            loop {
+                let k = sys.ctx.cursor[self.id];
+                if k >= client.engagements.len() {
+                    return None;
+                }
+                sys.ctx.cursor[self.id] = k + 1;
+                match session.infer_issue(&client.engagements[k]) {
+                    Ok(pending) => {
+                        sys.ctx.pendings[self.id] = Some(pending);
+                        sys.ctx.waiting.push(self.id);
+                        let flash = sys.ctx.flash;
+                        sys.wake(flash, now);
+                        return None;
+                    }
+                    Err(PipelineError::Backpressure { .. }) => continue,
+                    Err(e) => return fail(sys, e),
+                }
+            }
+        }
+    }
+
+    /// The shared flash channel: services every queued request on the
+    /// engine thread, then wakes the issuers (same instant — completion
+    /// never blocks). Registered last, so its `ComponentId` is the
+    /// highest and every co-arriving producer ticks before it.
+    struct Flash {
+        id: ComponentId,
+    }
+
+    impl<'a> Component<Ctx<'a>> for Flash {
+        fn id(&self) -> ComponentId {
+            self.id
+        }
+        fn next_tick(&self) -> Option<SimTime> {
+            None // woken by issuers, never self-scheduled
+        }
+        fn tick(&mut self, now: SimTime, sys: &mut System<'_, Ctx<'a>>) -> Option<SimTime> {
+            sys.ctx.server.drive_io();
+            let waiting = std::mem::take(&mut sys.ctx.waiting);
+            for id in waiting {
+                sys.wake(id, now);
+            }
+            None
+        }
+    }
+
+    let start = std::time::Instant::now();
+    let sessions = open_sessions(server, trace)?;
+    // Park the worker pool for the whole replay: the flash component is
+    // the only dispatcher, so dispatch order can't race host threads.
+    server.pause_io();
+    let mut engine: Engine<Ctx<'_>> = Engine::new();
+    for (id, client) in trace.clients.iter().enumerate() {
+        engine.register(Box::new(Client { id, arrival: client.arrival }));
+    }
+    let flash = engine.register(Box::new(Flash { id: trace.clients.len() }));
+    let mut ctx = Ctx {
+        server,
+        sessions: &sessions,
+        trace,
+        outcomes: vec![Vec::new(); trace.clients.len()],
+        pendings: (0..trace.clients.len()).map(|_| None).collect(),
+        cursor: vec![0; trace.clients.len()],
+        waiting: Vec::new(),
+        flash,
+        error: None,
+    };
+    let engine_report = engine.run(&mut ctx);
+    let Ctx { outcomes, pendings, error, .. } = ctx;
+    // Abandoned pendings (halted run) tear their channels down before the
+    // pool resumes, exactly like an errored threaded `infer`.
+    drop(pendings);
+    server.resume_io();
+    if let Some(e) = error {
+        return Err(e);
+    }
+    let mut rep = report(server, &sessions, outcomes, start.elapsed());
+    rep.heap_ops = engine_report.heap_ops;
+    Ok(rep)
 }
 
 /// Knobs for the synthetic fleet sweep: how many sessions each point opens
@@ -358,11 +562,19 @@ pub struct FleetConfig {
     /// Steady-state gate decisions sampled per point, round-robin over the
     /// SLO sessions.
     pub decisions: usize,
+    /// Which executor runs each point's engagement-replay phase (and is
+    /// stamped on the ledger record).
+    pub exec: ExecMode,
 }
 
 impl Default for FleetConfig {
     fn default() -> Self {
-        Self { sizes: vec![100, 1_000, 10_000, 100_000], slo_sessions: 4, decisions: 512 }
+        Self {
+            sizes: vec![100, 1_000, 10_000, 100_000],
+            slo_sessions: 4,
+            decisions: 512,
+            exec: ExecMode::Threaded,
+        }
     }
 }
 
@@ -390,6 +602,13 @@ pub struct FleetPoint {
     pub decisions_per_sec: f64,
     /// Mean time to compute the live mix's rolling digest.
     pub digest_mean: Duration,
+    /// Executor that ran the engagement-replay phase.
+    pub exec: ExecMode,
+    /// Engagements completed per wall-clock second in the replay phase
+    /// (a small fixed trace served against the full open fleet).
+    pub engagements_per_sec: f64,
+    /// Event-engine heap operations in the replay phase (0 for threaded).
+    pub heap_ops: u64,
 }
 
 /// Sweeps synthetic fleets of [`FleetConfig::sizes`] open sessions and
@@ -397,14 +616,20 @@ pub struct FleetPoint {
 /// claim being that the steady-state gate path is near-flat in fleet size
 /// (rolling digest + memo lookup, no registry rebuild).
 ///
-/// Each point builds a fresh server, opens the plain fleet (timed), admits
-/// [`FleetConfig::slo_sessions`] SLO sessions (timed individually), then
-/// probes: the mix digest, the one cold full-walk gate decision, and
-/// [`FleetConfig::decisions`] steady-state decisions round-robin over the
-/// SLO sessions. Everything runs on the virtual clock — gate delays land
-/// on the simulated timeline, never as real sleeps — so a 100k-session
-/// point completes in seconds. Teardown drops sessions newest-first so
-/// registry removal stays O(1) per session.
+/// Each point builds a fresh server, opens the plain fleet over a bounded
+/// worker pool (timed; the sharded registry makes concurrent opens
+/// contend per shard, and its commutative digest makes the open *order*
+/// immaterial), admits [`FleetConfig::slo_sessions`] SLO sessions (timed
+/// individually), then probes: the mix digest, the one cold full-walk
+/// gate decision, and [`FleetConfig::decisions`] steady-state decisions
+/// round-robin over the SLO sessions. A small fixed engagement trace is
+/// then replayed against the live fleet under [`FleetConfig::exec`] for
+/// the throughput/heap-ops columns. Everything runs on the virtual
+/// clock — gate delays land on the simulated timeline, never as real
+/// sleeps — so a 100k-session point completes in seconds. Teardown drops
+/// sessions in a seeded random permutation: the worst case for a single
+/// vector registry (O(n) memmove per interior removal), routine for the
+/// sharded one.
 ///
 /// # Panics
 ///
@@ -430,10 +655,25 @@ pub fn fleet_sweep(
     for &n in &fleet.sizes {
         let server = build_server(ctx, cfg);
 
+        // Bounded worker pool, not a thread per session: the point is that
+        // the *registry* admits parallel opens, not that the host owns n
+        // threads. Uniform knobs + the commutative shard fold make the
+        // interleaving unobservable.
+        const OPEN_WORKERS: usize = 4;
         let open_start = std::time::Instant::now();
+        let opened: Vec<Result<Vec<Session>, PipelineError>> = std::thread::scope(|s| {
+            let server = &server;
+            let handles: Vec<_> = (0..OPEN_WORKERS)
+                .map(|w| {
+                    let quota = n / OPEN_WORKERS + usize::from(w < n % OPEN_WORKERS);
+                    s.spawn(move || server.open_fleet(quota, cfg.target, cfg.preload_bytes))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("open worker panicked")).collect()
+        });
         let mut plain = Vec::with_capacity(n);
-        for _ in 0..n {
-            plain.push(server.session_with(cfg.target, cfg.preload_bytes)?);
+        for batch in opened {
+            plain.extend(batch?);
         }
         let open_wall = open_start.elapsed();
 
@@ -467,6 +707,17 @@ pub fn fleet_sweep(
         let gate_mean = steady / fleet.decisions.max(1) as u32;
         let decisions_per_sec = fleet.decisions as f64 / steady.as_secs_f64().max(1e-9);
 
+        // Engagement-replay phase: a small fixed trace served against the
+        // full open fleet, under the configured executor. Fixed size so
+        // the engagements/sec column compares across fleet sizes.
+        const REPLAY_CLIENTS: usize = 8;
+        const REPLAY_ENGAGEMENTS: usize = 4;
+        let trace = ServingTrace::synthetic(ctx, cfg, REPLAY_CLIENTS, REPLAY_ENGAGEMENTS);
+        let replay = match fleet.exec {
+            ExecMode::Threaded => replay_concurrent(&server, &trace)?,
+            ExecMode::Event => replay_event(&server, &trace)?,
+        };
+
         points.push(FleetPoint {
             sessions: n + fleet.slo_sessions,
             open_wall,
@@ -476,32 +727,74 @@ pub fn fleet_sweep(
             gate_decisions: fleet.decisions,
             decisions_per_sec,
             digest_mean,
+            exec: fleet.exec,
+            engagements_per_sec: replay.engagements_per_sec(),
+            heap_ops: replay.heap_ops,
         });
 
-        // Newest-first teardown: each drop removes the registry's last
-        // session, keeping removal O(1) instead of O(n) memmove.
+        // Seeded-permutation teardown: sessions close in a shuffled order,
+        // so removals land mid-shard instead of always at the registry's
+        // tail — the random-churn pattern a long-lived fleet actually
+        // sees. Deterministic seed: the teardown (and its digest trail)
+        // replays identically run to run.
+        let mut order: Vec<usize> = (0..plain.len()).collect();
+        let mut rng = fleet_rng(n as u64);
+        for i in (1..order.len()).rev() {
+            let j = (rng.step() % (i as u64 + 1)) as usize;
+            order.swap(i, j);
+        }
+        let mut plain: Vec<Option<Session>> = plain.into_iter().map(Some).collect();
+        for i in order {
+            plain[i] = None;
+        }
+        drop(plain);
         while slo_sessions.pop().is_some() {}
-        while plain.pop().is_some() {}
     }
     Ok(points)
 }
 
-/// Renders a fleet sweep as the `BENCH_serving.json` perf-ledger document:
-/// `{"bench": "serving_fleet", "unit": "us", "sweep": [...]}` with one
-/// record per point carrying `sessions`, `open_total_us`,
-/// `admission_mean_us`, `gate_cold_us`, `gate_mean_us`, `gate_decisions`,
-/// `decisions_per_sec`, and `digest_mean_us`.
+/// Tiny xorshift64* stream for the teardown permutation — seeded, so the
+/// sweep is replayable; no external RNG dependency.
+struct FleetRng(u64);
+
+impl FleetRng {
+    fn step(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+}
+
+fn fleet_rng(n: u64) -> FleetRng {
+    FleetRng(0x5157_u64 ^ ((n << 1) | 1))
+}
+
+/// Renders a fleet sweep as one `BENCH_serving.json` perf-ledger entry
+/// (schema v2): `{"bench": "serving_fleet", "unit": "us", "exec_mode":
+/// ..., "sweep": [...]}` with one record per point carrying `sessions`,
+/// `open_total_us`, `admission_mean_us`, `gate_cold_us`, `gate_mean_us`,
+/// `gate_decisions`, `decisions_per_sec`, `digest_mean_us`,
+/// `engagements_per_sec`, and `heap_ops`. The ledger file itself is a JSON
+/// *array* of such entries — one per executor/registry configuration —
+/// appended across PRs so regressions diff against history.
 pub fn fleet_report_json(points: &[FleetPoint]) -> String {
     let us = |d: Duration| format!("{:.3}", d.as_secs_f64() * 1e6);
-    let mut out =
-        String::from("{\n  \"bench\": \"serving_fleet\",\n  \"unit\": \"us\",\n  \"sweep\": [\n");
+    let exec = points.first().map_or(ExecMode::Threaded, |p| p.exec);
+    let mut out = format!(
+        "{{\n  \"bench\": \"serving_fleet\",\n  \"unit\": \"us\",\n  \"exec_mode\": \"{}\",\n  \"sweep\": [\n",
+        exec.label()
+    );
     for (i, p) in points.iter().enumerate() {
         out.push_str(&format!(
             concat!(
                 "    {{\"sessions\": {}, \"open_total_us\": {}, ",
                 "\"admission_mean_us\": {}, \"gate_cold_us\": {}, ",
                 "\"gate_mean_us\": {}, \"gate_decisions\": {}, ",
-                "\"decisions_per_sec\": {:.1}, \"digest_mean_us\": {}}}{}\n"
+                "\"decisions_per_sec\": {:.1}, \"digest_mean_us\": {}, ",
+                "\"engagements_per_sec\": {:.1}, \"heap_ops\": {}}}{}\n"
             ),
             p.sessions,
             us(p.open_wall),
@@ -511,6 +804,8 @@ pub fn fleet_report_json(points: &[FleetPoint]) -> String {
             p.gate_decisions,
             p.decisions_per_sec,
             us(p.digest_mean),
+            p.engagements_per_sec,
+            p.heap_ops,
             if i + 1 < points.len() { "," } else { "" },
         ));
     }
@@ -553,6 +848,18 @@ mod tests {
         let sequential = replay_sequential(&build_server(&c, &cfg), &trace).unwrap();
         assert_eq!(concurrent.outcomes, sequential.outcomes);
         assert!(concurrent.engagements_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn event_replay_matches_sequential_and_counts_heap_ops() {
+        let c = ctx();
+        let cfg = cfg();
+        let trace = ServingTrace::synthetic(&c, &cfg, 4, 2);
+        let event = replay_event(&build_server(&c, &cfg), &trace).unwrap();
+        let sequential = replay_sequential(&build_server(&c, &cfg), &trace).unwrap();
+        assert_eq!(event.outcomes, sequential.outcomes, "event loop must not change results");
+        assert!(event.heap_ops > 0, "the engine counts its heap traffic");
+        assert_eq!(sequential.heap_ops, 0);
     }
 
     #[test]

@@ -117,18 +117,36 @@ impl<'a> PipelineExecutor<'a> {
         preload: &PreloadBuffer,
         tokens: &[u32],
     ) -> Result<ExecutionOutcome, PipelineError> {
-        let start = std::time::Instant::now();
-        let cfg = self.model.config().clone();
+        let has_request = self.issue_on(channel, plan, preload)?;
+        self.complete_on(channel, plan, preload, tokens, &has_request)
+    }
+
+    /// The issue half of [`PipelineExecutor::execute_on`]: queues every
+    /// streamed layer's IO on `channel` up front (the channel services them
+    /// back-to-back in FIFO order, exactly like the single IO channel of
+    /// the schedule model) and returns the per-layer "did this layer issue
+    /// a request" mask that [`PipelineExecutor::complete_on`] consumes.
+    /// Event-driven hosts call the halves separately so a whole wave of
+    /// engagements can enqueue before the flash component services any of
+    /// it.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the plan does not match the model shape or the scheduler
+    /// shut down.
+    pub fn issue_on(
+        &self,
+        channel: &IoChannel,
+        plan: &ExecutionPlan,
+        preload: &PreloadBuffer,
+    ) -> Result<Vec<bool>, PipelineError> {
+        let cfg = self.model.config();
         if plan.shape.depth > cfg.layers {
             return Err(PipelineError::PlanMismatch(format!(
                 "plan depth {} exceeds model depth {}",
                 plan.shape.depth, cfg.layers
             )));
         }
-
-        // Kick off every layer's IO up front; the channel services them
-        // back-to-back in FIFO order, exactly like the single IO channel of
-        // the schedule model.
         let mut has_request = Vec::with_capacity(plan.layers.len());
         for pl in &plan.layers {
             let pending: Vec<(u16, sti_quant::Bitwidth)> = pl
@@ -140,7 +158,29 @@ impl<'a> PipelineExecutor<'a> {
                 channel.request(LayerRequest { layer: pl.layer, items: pending })?;
             }
         }
+        Ok(has_request)
+    }
 
+    /// The compute half of [`PipelineExecutor::execute_on`]: receives each
+    /// issued layer's completion off `channel` (in issue order) and runs
+    /// the forward pass over it. `has_request` is
+    /// [`PipelineExecutor::issue_on`]'s mask for the same `(channel, plan,
+    /// preload)` triple.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a shard is missing from both the preload buffer and the
+    /// store, or storage reads fail.
+    pub fn complete_on(
+        &self,
+        channel: &IoChannel,
+        plan: &ExecutionPlan,
+        preload: &PreloadBuffer,
+        tokens: &[u32],
+        has_request: &[bool],
+    ) -> Result<ExecutionOutcome, PipelineError> {
+        let start = std::time::Instant::now();
+        let cfg = self.model.config().clone();
         let mut working = WorkingBuffer::new(cfg.clone());
         let mut x = self.model.embedding().embed(tokens);
         let mut timings = Vec::with_capacity(plan.layers.len());

@@ -37,6 +37,7 @@ pub mod buffers;
 pub mod engine;
 pub mod error;
 pub mod executor;
+pub mod registry;
 pub mod server;
 pub mod trace;
 
@@ -44,7 +45,8 @@ pub use buffers::{PreloadBuffer, WorkingBuffer};
 pub use engine::{GenerationOutcome, Inference, StiEngine, StiEngineBuilder};
 pub use error::PipelineError;
 pub use executor::{ExecutionOutcome, PipelineExecutor};
+pub use registry::ShardedRegistry;
 pub use server::{
     AdmissionMode, BackpressureMode, ContentionReport, EngagementContention, GateDecision,
-    ServingStats, Session, StiServer, StiServerBuilder,
+    PendingEngagement, ServingStats, Session, StiServer, StiServerBuilder,
 };

@@ -1,0 +1,187 @@
+//! The sharded open-session registry.
+//!
+//! [`StiServer`](crate::server::StiServer) keeps every open session's
+//! streaming load (plus, for SLO sessions, its gate profile) in a live
+//! [`ServingMix`] — the one input every contended prediction runs against.
+//! A single `Mutex<ServingMix>` makes session open/close a global
+//! serialization point: at fleet scale (100k sessions opening over a
+//! worker pool) every open and every drop contends on one lock.
+//!
+//! [`ShardedRegistry`] splits the registry into token-hashed shards, each
+//! its own `Mutex<ServingMix>` carrying a disjoint session subset and **no
+//! backlog**. Correctness rests on two algebraic facts of the mix digest:
+//!
+//! - the rolling session fold is a *commutative wrapping sum* of
+//!   per-session sub-digests ([`ServingMix::session_fold`]), so the folds
+//!   of disjoint shards add to the fold of the un-sharded registry;
+//! - [`digest_from_parts`] rebuilds `ServingMix::digest_with` bit-for-bit
+//!   from `(sharing, backlog, total_sessions, fold)` alone.
+//!
+//! So the registry answers its two questions at different costs:
+//!
+//! - **digest probes** ([`ShardedRegistry::digest_with`]) touch each shard
+//!   only long enough to read two words (`len`, `fold`) — upserts and
+//!   removals on *other* shards never wait;
+//! - **full snapshots** ([`ShardedRegistry::snapshot_with`]) take every
+//!   shard lock in index order (deadlock-free) and k-way-merge the shards
+//!   back into one token-ordered [`ServingMix`], so the digest and the mix
+//!   a memoized gate walk is stored under describe the same state.
+//!
+//! Shard routing uses [`mix_token`] (a hash finalizer) so the server's
+//! monotone token sequence spreads evenly instead of striding.
+
+use parking_lot::{Mutex, MutexGuard};
+use sti_planner::mix::{ServingMix, SloProfile};
+use sti_planner::{digest_from_parts, mix_token, CoRunnerLoad, IoSharing};
+use sti_storage::BacklogSnapshot;
+
+/// Token-sharded live registry of open-session loads. See the module docs
+/// for the digest algebra that makes sharding observation-free.
+pub struct ShardedRegistry {
+    shards: Vec<Mutex<ServingMix>>,
+    sharing: IoSharing,
+}
+
+/// Shard count: enough to spread a worker pool's open/close traffic, small
+/// enough that full-snapshot lock sweeps stay cheap.
+const SHARDS: usize = 16;
+
+impl ShardedRegistry {
+    /// An empty registry under the given sharing mode.
+    pub fn new(sharing: IoSharing) -> Self {
+        let shards = (0..SHARDS).map(|_| Mutex::new(ServingMix::new(sharing))).collect();
+        Self { shards, sharing }
+    }
+
+    /// The IO-sharing mode every shard (and every merged view) carries.
+    pub fn sharing(&self) -> IoSharing {
+        self.sharing
+    }
+
+    fn shard_of(&self, token: u64) -> &Mutex<ServingMix> {
+        &self.shards[(mix_token(token) % self.shards.len() as u64) as usize]
+    }
+
+    /// Inserts or refreshes one session's load (and gate profile) — the
+    /// registration path of [`ServingMix::upsert_session`], touching only
+    /// the session's own shard.
+    pub fn upsert(&self, token: u64, load: CoRunnerLoad, slo: Option<SloProfile>) {
+        self.shard_of(token).lock().upsert_session(token, load, slo);
+    }
+
+    /// Removes one session (if present), touching only its own shard.
+    pub fn remove(&self, token: u64) -> bool {
+        self.shard_of(token).lock().remove_session(token)
+    }
+
+    /// Open sessions across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().co_runners()).sum()
+    }
+
+    /// Whether no session is registered.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.lock().co_runners() == 0)
+    }
+
+    /// The registry digest as if `backlog` were attached — the cheap memo
+    /// probe. Each shard is locked only long enough to read its `(len,
+    /// fold)` pair; the pairs sum commutatively into the exact digest the
+    /// un-sharded registry would report. Shards are read one at a time, so
+    /// a probe racing a mutation can see a mixture of before/after states —
+    /// callers that store state under a digest must use
+    /// [`ShardedRegistry::snapshot_with`], which computes the digest under
+    /// all shard locks.
+    pub fn digest_with(&self, backlog: &BacklogSnapshot) -> u64 {
+        let (total, fold) = self.parts();
+        digest_from_parts(self.sharing, backlog, total, fold)
+    }
+
+    fn parts(&self) -> (u64, u64) {
+        let mut total = 0u64;
+        let mut fold = 0u64;
+        for shard in &self.shards {
+            let mix = shard.lock();
+            total += mix.co_runners() as u64;
+            fold = fold.wrapping_add(mix.session_fold());
+        }
+        (total, fold)
+    }
+
+    /// A consistent `(digest, mix)` pair with `backlog` attached: all shard
+    /// locks are held (acquired in index order) while both are computed, so
+    /// the digest is exactly `mix.digest()` and a memoized result stored
+    /// under it can never describe a state the mix didn't see.
+    pub fn snapshot_with(&self, backlog: BacklogSnapshot) -> (u64, ServingMix) {
+        let guards: Vec<MutexGuard<'_, ServingMix>> =
+            self.shards.iter().map(|s| s.lock()).collect();
+        let mix = ServingMix::merged_from_shards(guards.iter().map(|g| &**g), self.sharing)
+            .with_backlog(backlog);
+        let digest = mix.digest();
+        (digest, mix)
+    }
+
+    /// The merged registry view (no backlog), optionally excluding one
+    /// session — what admission and retarget predict against (a retargeting
+    /// session does not co-run with itself).
+    pub fn merged_excluding(&self, exclude: Option<u64>) -> ServingMix {
+        let guards: Vec<MutexGuard<'_, ServingMix>> =
+            self.shards.iter().map(|s| s.lock()).collect();
+        let mut mix = ServingMix::merged_from_shards(guards.iter().map(|g| &**g), self.sharing);
+        drop(guards);
+        if let Some(token) = exclude {
+            mix.remove_session(token);
+        }
+        mix
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sti_device::SimTime;
+
+    fn load_at(us: u64) -> CoRunnerLoad {
+        CoRunnerLoad {
+            arrival: SimTime::from_us(us),
+            jobs: std::sync::Arc::from(
+                vec![sti_planner::LayerIoJob { sig: us ^ 0x5bd1, service: SimTime::from_us(40) }]
+                    .into_boxed_slice(),
+            ),
+        }
+    }
+
+    #[test]
+    fn sharded_digest_matches_the_single_registry() {
+        let registry = ShardedRegistry::new(IoSharing::Exclusive);
+        let mut single = ServingMix::new(IoSharing::Exclusive);
+        for token in 0..64u64 {
+            registry.upsert(token, load_at(token * 17), None);
+            single.upsert_session(token, load_at(token * 17), None);
+        }
+        for token in (0..64u64).step_by(3) {
+            assert!(registry.remove(token));
+            assert!(single.remove_session(token));
+        }
+        let backlog = BacklogSnapshot::default();
+        assert_eq!(registry.digest_with(&backlog), single.digest());
+        let (digest, merged) = registry.snapshot_with(backlog);
+        assert_eq!(digest, single.digest());
+        assert_eq!(merged.sessions().len(), single.sessions().len());
+        for (a, b) in merged.sessions().iter().zip(single.sessions()) {
+            assert_eq!(a.token, b.token);
+        }
+    }
+
+    #[test]
+    fn merged_excluding_drops_exactly_one_session() {
+        let registry = ShardedRegistry::new(IoSharing::Exclusive);
+        for token in 0..8u64 {
+            registry.upsert(token, load_at(token), None);
+        }
+        let view = registry.merged_excluding(Some(5));
+        assert_eq!(view.co_runners(), 7);
+        assert!(view.sessions().iter().all(|s| s.token != 5));
+        assert_eq!(registry.len(), 8);
+    }
+}

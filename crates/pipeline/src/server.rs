@@ -96,8 +96,8 @@ use sti_planner::{
 };
 use sti_quant::Bitwidth;
 use sti_storage::{
-    BacklogSnapshot, BatchPolicy, CachedSource, FlashDispatchEvent, IoScheduler, IoSchedulerStats,
-    ShardCache, ShardCacheStats, ShardKey, ShardSource,
+    BacklogSnapshot, BatchPolicy, CachedSource, FlashDispatchEvent, IoChannel, IoScheduler,
+    IoSchedulerStats, ShardCache, ShardCacheStats, ShardKey, ShardSource,
 };
 use sti_transformer::Model;
 
@@ -105,6 +105,7 @@ use crate::buffers::PreloadBuffer;
 use crate::engine::{GenerationOutcome, Inference};
 use crate::error::PipelineError;
 use crate::executor::{assemble_plan_submodel, PipelineExecutor};
+use crate::registry::ShardedRegistry;
 
 /// What the server does with an engagement whose best SLO-aware plan still
 /// misses its SLO under the predicted contention.
@@ -508,7 +509,7 @@ impl StiServerBuilder {
                 admission_gate: Mutex::new(()),
                 open_sessions: AtomicUsize::new(0),
                 next_session_token: AtomicU64::new(0),
-                live_mix: Mutex::new(ServingMix::new(sharing)),
+                live_mix: ShardedRegistry::new(sharing),
                 gate_walk_memo: Mutex::new(None),
                 active_channels: Mutex::new(HashMap::new()),
                 active_engagements: AtomicUsize::new(0),
@@ -575,15 +576,17 @@ struct ServerInner {
     open_sessions: AtomicUsize,
     /// Monotonic token handed to each session, keying `live_mix`.
     next_session_token: AtomicU64,
-    /// The live [`ServingMix`] of the open-session registry — each open
-    /// session's actual streaming IO load (with arrival offset) plus, for
-    /// SLO sessions, its gate profile: what SLO admission and the
-    /// backpressure gate feed the contended prediction instead of modeling
-    /// co-runners as clones of the candidate. Maintained **in place** by
-    /// `register_load` / session drops (token-ordered upserts, so the
-    /// registration order predictions replay is deterministic), with its
-    /// rolling digest updated O(1) per change — never rebuilt per decision.
-    live_mix: Mutex<ServingMix>,
+    /// The open-session registry — each open session's actual streaming IO
+    /// load (with arrival offset) plus, for SLO sessions, its gate profile:
+    /// what SLO admission and the backpressure gate feed the contended
+    /// prediction instead of modeling co-runners as clones of the
+    /// candidate. Sharded by token hash so fleet-scale opens and drops on
+    /// a worker pool touch per-shard locks, not one global one; the
+    /// per-shard rolling folds sum commutatively into the same digest the
+    /// un-sharded registry would report (see [`ShardedRegistry`]). The
+    /// merged view stays token-ordered, so the registration order
+    /// predictions replay is deterministic.
+    live_mix: ShardedRegistry,
     /// The last full gate walk, keyed by the mix digest it ran against.
     /// [`ServingMix::gate_all`] prices every open SLO session in one
     /// `(arrival, token)` walk; after a registry change, the first gate
@@ -724,21 +727,17 @@ impl ServerInner {
     ) {
         let load = CoRunnerLoad::from_plan_at(&self.hw, plan, arrival);
         let slo = slo.map(|slo| SloProfile::from_plan(&self.hw, plan, slo));
-        self.live_mix.lock().upsert_session(token, load, slo);
+        self.live_mix.upsert(token, load, slo);
     }
 
     /// A view of the live registry mix — the one input every contended
     /// prediction (admission, gate, retarget) runs against — optionally
     /// excluding one session (a retargeting session does not co-run with
-    /// itself). The clone copies `Arc`-shared job slices (pointer work, no
+    /// itself). The merge copies `Arc`-shared job slices (pointer work, no
     /// jobs), and the `exclude` case is an O(log n) remove from the view
     /// with an O(1) digest update — not a registry rebuild.
     fn mix(&self, exclude: Option<u64>) -> ServingMix {
-        let mut mix = self.live_mix.lock().clone();
-        if let Some(token) = exclude {
-            mix.remove_session(token);
-        }
-        mix
+        self.live_mix.merged_excluding(exclude)
     }
 }
 
@@ -819,6 +818,47 @@ impl StiServer {
             realloc_bytes: 0,
             gate_memo: Mutex::new(None),
         })
+    }
+
+    /// Opens `count` sessions with uniform knobs in one call. The knobs
+    /// are resolved through the plan/preload caches **once**, so pooled
+    /// fleet bring-up pays the caches' global locks per *batch* instead of
+    /// per open — the per-open path touches only the token counter and the
+    /// sharded open-session registry, which admits parallel batches.
+    /// Equivalent to `count` calls to [`StiServer::session_with`]: the
+    /// registry fold is commutative, so the resulting digest (and every
+    /// gate decision derived from it) is identical either way.
+    ///
+    /// # Errors
+    ///
+    /// Fails if preload shards cannot be loaded from the store.
+    pub fn open_fleet(
+        &self,
+        count: usize,
+        target: SimTime,
+        preload_budget: u64,
+    ) -> Result<Vec<Session>, PipelineError> {
+        let (plan, preload) = self.inner.resolve(target, preload_budget)?;
+        Ok((0..count)
+            .map(|_| {
+                let token = self.inner.next_session_token.fetch_add(1, Ordering::SeqCst);
+                self.inner.register_load(token, &plan, SimTime::ZERO, None);
+                self.inner.open_sessions.fetch_add(1, Ordering::SeqCst);
+                Session {
+                    inner: self.inner.clone(),
+                    token,
+                    target,
+                    preload_budget,
+                    arrival: SimTime::ZERO,
+                    plan: plan.clone(),
+                    preload: preload.clone(),
+                    slo: None,
+                    serving: None,
+                    realloc_bytes: 0,
+                    gate_memo: Mutex::new(None),
+                }
+            })
+            .collect())
     }
 
     /// Opens a session planned against a latency **SLO** instead of a raw
@@ -980,6 +1020,16 @@ impl StiServer {
         self.inner.scheduler.queued_requests()
     }
 
+    /// Services the IO queue dry on the calling thread, returning the
+    /// number of dispatches run ([`IoScheduler::drive_queued`]). The
+    /// event-driven executor pairs this with [`StiServer::pause_io`]: the
+    /// worker pool stays parked while the simulated clock's flash component
+    /// *is* the dispatcher, so dispatch order is a pure function of the
+    /// queue contents.
+    pub fn drive_io(&self) -> usize {
+        self.inner.scheduler.drive_queued()
+    }
+
     /// Number of distinct knob combinations currently planned.
     pub fn cached_plans(&self) -> usize {
         self.inner.plan_cache.len()
@@ -1004,11 +1054,11 @@ impl StiServer {
 
     /// The live registry mix's rolling digest — the identity the SLO-plan
     /// cache and both gate memos key on. Maintained incrementally
-    /// (O(1) per open/close/retarget), so this call costs a hash of the
-    /// attached backlog plus two words of session state, flat in fleet
+    /// (O(1) per open/close/retarget), so this call costs two words per
+    /// registry shard plus a hash of the (empty) backlog, flat in fleet
     /// size; fleet-scale probes use it to measure mix-digest time.
     pub fn mix_digest(&self) -> u64 {
-        self.inner.live_mix.lock().digest()
+        self.inner.live_mix.digest_with(&BacklogSnapshot::default())
     }
 
     /// Replays the recorded dispatch sequence through the flash-queue
@@ -1183,12 +1233,57 @@ pub struct Session {
 
 impl Drop for Session {
     fn drop(&mut self) {
-        self.inner.live_mix.lock().remove_session(self.token);
+        self.inner.live_mix.remove(self.token);
         self.inner.open_sessions.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
+/// RAII in-flight counter, decremented even on error paths.
+struct ActiveGuard(Arc<ServerInner>);
+impl Drop for ActiveGuard {
+    fn drop(&mut self) {
+        self.0.active_engagements.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// RAII session-ownership mark for a scheduler channel (see
+/// [`Session::infer_issue`]): removed from `active_channels` when the
+/// engagement finishes or errors out.
+struct ChannelGuard(Arc<ServerInner>, u64);
+impl Drop for ChannelGuard {
+    fn drop(&mut self) {
+        self.0.active_channels.lock().remove(&self.1);
+    }
+}
+
+/// An engagement whose IO requests are enqueued on the shared scheduler
+/// but whose layers have not been received yet — the hand-off between
+/// [`Session::infer_issue`] and [`Session::infer_complete`].
+///
+/// Owns the engagement's IO lane and its in-flight accounting (RAII), so
+/// dropping a pending engagement without completing it cleans up exactly
+/// like an errored `infer` — the channel is torn down and the counters
+/// settle. The type is opaque: its only use is to be handed back to
+/// `infer_complete` on the session that issued it.
+pub struct PendingEngagement {
+    channel: IoChannel,
+    /// Per-layer: whether the issue half enqueued a request for the layer
+    /// (false = fully preloaded), so the complete half receives exactly
+    /// what was requested.
+    has_request: Vec<bool>,
+    gate_delay: SimTime,
+    tokens: Vec<u32>,
+    _active: ActiveGuard,
+    _channel: ChannelGuard,
+}
+
 impl Session {
+    /// The session's registry token: the key under which its load sits in
+    /// the sharded open-session registry (and in every mix digest).
+    pub fn token(&self) -> u64 {
+        self.token
+    }
+
     /// The session's execution plan.
     pub fn plan(&self) -> &ExecutionPlan {
         &self.plan
@@ -1384,29 +1479,29 @@ impl Session {
             channels: live.channels.into_iter().filter(|c| !owned.contains(&c.channel)).collect(),
             batch_window: live.batch_window,
         };
-        // The decision is a pure function of the mix; the digest and the
-        // (rare) clone happen under the same lock acquisition so the memoized
-        // walk can never be stored under a digest the walk didn't see.
-        let (digest, mix) = {
-            let live_mix = inner.live_mix.lock();
-            let digest = live_mix.digest_with(&external);
-            if let Some((seen, decision)) = *self.gate_memo.lock() {
-                if seen == digest {
-                    return Some(decision);
-                }
+        // The decision is a pure function of the mix. Memo hits pay only
+        // the sharded digest probe (two words per shard, no merge); on a
+        // miss the registry is re-snapshotted under *all* shard locks
+        // ([`ShardedRegistry::snapshot_with`]), so the digest the walk is
+        // memoized under is computed from exactly the state the walk saw —
+        // a torn probe digest can miss the memo (and re-walk), never
+        // resurrect a stale walk for current state.
+        let probe = inner.live_mix.digest_with(&external);
+        if let Some((seen, decision)) = *self.gate_memo.lock() {
+            if seen == probe {
+                return Some(decision);
             }
-            if let Some((seen, walk)) = inner.gate_walk_memo.lock().as_ref() {
-                if *seen == digest {
-                    let outcome = *walk
-                        .get(&self.token)
-                        .expect("an open SLO session is always in the registry");
-                    let decision = self.decision_from(outcome, slo);
-                    *self.gate_memo.lock() = Some((digest, decision));
-                    return Some(decision);
-                }
+        }
+        if let Some((seen, walk)) = inner.gate_walk_memo.lock().as_ref() {
+            if *seen == probe {
+                let outcome =
+                    *walk.get(&self.token).expect("an open SLO session is always in the registry");
+                let decision = self.decision_from(outcome, slo);
+                *self.gate_memo.lock() = Some((probe, decision));
+                return Some(decision);
             }
-            (digest, live_mix.clone().with_backlog(external))
-        };
+        }
+        let (digest, mix) = inner.live_mix.snapshot_with(external);
         let outcomes: HashMap<u64, GateOutcome> = mix.gate_all(policy).into_iter().collect();
         let outcome =
             *outcomes.get(&self.token).expect("an open SLO session is always in the registry");
@@ -1454,6 +1549,29 @@ impl Session {
     /// Fails on storage errors, plan/model mismatch, or — with the gate on
     /// — [`PipelineError::Backpressure`] when the engagement is shed.
     pub fn infer(&self, tokens: &[u32]) -> Result<Inference, PipelineError> {
+        let pending = self.infer_issue(tokens)?;
+        self.infer_complete(pending)
+    }
+
+    /// The **issue half** of [`Session::infer`]: runs the backpressure
+    /// gate, claims an IO lane on the shared scheduler, and enqueues every
+    /// streaming layer's request — then returns without waiting for a
+    /// single byte. The returned [`PendingEngagement`] owns the lane (and
+    /// the in-flight accounting); hand it back to
+    /// [`Session::infer_complete`] once the scheduler has had a chance to
+    /// service the queue.
+    ///
+    /// `infer` is exactly issue-then-complete, so the split changes
+    /// nothing observable for threaded callers. Its purpose is the
+    /// event-driven executor: a simulated-clock host issues *every*
+    /// co-arriving engagement first, drives the scheduler once, and then
+    /// completes them — one OS thread, same queue contents, same results.
+    ///
+    /// # Errors
+    ///
+    /// Fails on storage errors, plan/model mismatch, or — with the gate on
+    /// — [`PipelineError::Backpressure`] when the engagement is shed.
+    pub fn infer_issue(&self, tokens: &[u32]) -> Result<PendingEngagement, PipelineError> {
         let inner = &*self.inner;
 
         // The backpressure gate runs before any queue state is touched: a
@@ -1485,55 +1603,65 @@ impl Session {
             }
         }
 
-        // RAII in-flight counter, decremented even on error paths.
-        struct ActiveGuard<'a>(&'a ServerInner);
-        impl Drop for ActiveGuard<'_> {
-            fn drop(&mut self) {
-                self.0.active_engagements.fetch_sub(1, Ordering::SeqCst);
-            }
-        }
         let active = inner.active_engagements.fetch_add(1, Ordering::SeqCst) + 1;
-        let _guard = ActiveGuard(inner);
+        let active_guard = ActiveGuard(self.inner.clone());
         {
             let mut stats = inner.serving_stats.lock();
             stats.peak_concurrent_engagements = stats.peak_concurrent_engagements.max(active);
         }
 
-        let executor = PipelineExecutor::new(
-            &inner.model,
-            inner.cached_source.clone(),
-            inner.flash,
-            &inner.hw,
-        )
-        .with_throttle(inner.throttle_scale);
         // Mark the channel as session-owned so a concurrent gate prices
         // this session from the registry, not from the live queue too. The
         // creation and the marking share one critical section with the
         // gate's snapshot, so no gate can observe the channel unowned.
-        struct ChannelGuard<'a>(&'a ServerInner, u64);
-        impl Drop for ChannelGuard<'_> {
-            fn drop(&mut self) {
-                self.0.active_channels.lock().remove(&self.1);
-            }
-        }
         let channel = {
             let mut active = inner.active_channels.lock();
             let channel = inner.scheduler.channel_at(self.arrival + gate_delay);
             active.insert(channel.id(), self.token);
             channel
         };
-        let _channel_guard = ChannelGuard(inner, channel.id());
-        let outcome = executor.execute_on(&channel, &self.plan, &self.preload, tokens)?;
+        let channel_guard = ChannelGuard(self.inner.clone(), channel.id());
+        let executor = self.executor();
+        let has_request = executor.issue_on(&channel, &self.plan, &self.preload)?;
+        Ok(PendingEngagement {
+            channel,
+            has_request,
+            gate_delay,
+            tokens: tokens.to_vec(),
+            _active: active_guard,
+            _channel: channel_guard,
+        })
+    }
+
+    /// The **complete half** of [`Session::infer`]: receives every layer
+    /// the issue half requested, runs the forward pass, and lands the
+    /// engagement on both accounting tracks. Blocks until the scheduler
+    /// delivers the requested layers — under the event-driven executor the
+    /// host drives the queue dry before calling this, so it never waits.
+    ///
+    /// # Errors
+    ///
+    /// Fails on storage errors or plan/model mismatch.
+    pub fn infer_complete(&self, pending: PendingEngagement) -> Result<Inference, PipelineError> {
+        let inner = &*self.inner;
+        let executor = self.executor();
+        let outcome = executor.complete_on(
+            &pending.channel,
+            &self.plan,
+            &self.preload,
+            &pending.tokens,
+            &pending.has_request,
+        )?;
 
         // Contended-track record: which layers streamed (an IO span in the
         // timeline) and the uniform per-layer compute delay.
         let layer_has_io: Vec<bool> =
             outcome.timeline.layers.iter().map(|l| l.io_end > l.io_start).collect();
         inner.engagement_log.lock().push(EngagementRecord {
-            channel: channel.id(),
+            channel: pending.channel.id(),
             session: self.token,
             slo: self.slo,
-            issue: self.arrival + gate_delay,
+            issue: self.arrival + pending.gate_delay,
             layer_has_io,
             comp: inner.hw.t_comp(self.plan.shape.width),
             uncontended: outcome.timeline.makespan,
@@ -1546,6 +1674,16 @@ impl Session {
             submodel: self.plan.shape,
             outcome,
         })
+    }
+
+    fn executor(&self) -> PipelineExecutor<'_> {
+        PipelineExecutor::new(
+            &self.inner.model,
+            self.inner.cached_source.clone(),
+            self.inner.flash,
+            &self.inner.hw,
+        )
+        .with_throttle(self.inner.throttle_scale)
     }
 
     /// Generative extension: greedily decodes `steps` tokens after
@@ -2046,9 +2184,11 @@ mod tests {
         let slo = floor_slo(&srv);
         let a = srv.session_with_slo(slo, 0).unwrap();
         let b = srv.session_with_slo(slo, 0).unwrap();
-        // Second gate pass: `a` is the equal-arrival earliest session, so
-        // it is re-gated against `b`'s later-opened co-arriving load and
-        // waits for it instead of running blind ahead.
+        // Fixed-point gate pass: `a` and `b` mutually co-arrive, so the
+        // walk iterates until their decisions are consistent — `b` (the
+        // later token) queues behind `a`, and `a`, re-gated against `b`'s
+        // *decided* (delayed) position rather than its raw arrival, keeps
+        // the queue head with no wait of its own.
         a.infer(&[1]).unwrap();
         a.infer(&[2]).unwrap();
         let report = srv.contention_report();
@@ -2057,8 +2197,12 @@ mod tests {
         let a_decisions: Vec<_> = report.gate.iter().filter(|d| d.session == a_token).collect();
         assert_eq!(a_decisions.len(), 2);
         assert_eq!(a_decisions[0], a_decisions[1], "an unchanged mix reuses the decision");
-        assert!(a_decisions[0].delay > SimTime::ZERO, "re-gating prices the later session");
-        assert!(a_decisions[0].re_gated, "the wait came from the second gate pass");
+        assert_eq!(
+            a_decisions[0].delay,
+            SimTime::ZERO,
+            "at the fixed point the earliest token runs first, not behind its own follower"
+        );
+        assert!(a_decisions[0].re_gated, "the decision went through the co-arrival iteration");
         assert_eq!(report.re_gated_count(), 2);
         // A registry change (a session closing) invalidates the memo: with
         // the queue to itself, the next engagement needs no delay.

@@ -317,16 +317,38 @@ impl ServingMix {
     /// (`digest_with(b) == clone().with_backlog(b).digest()` by
     /// construction).
     pub fn digest_with(&self, backlog: &BacklogSnapshot) -> u64 {
-        let mut h = DefaultHasher::new();
-        self.sharing.window().map(|w| w.as_us()).hash(&mut h);
-        for c in &backlog.channels {
-            (c.channel, c.arrival.as_us(), c.effective_arrival.as_us(), c.inflight).hash(&mut h);
-            for q in &c.queued {
-                (q.sig, q.bytes, q.service.as_us()).hash(&mut h);
-            }
+        digest_from_parts(self.sharing, backlog, self.sessions.len() as u64, self.session_fold)
+    }
+
+    /// The rolling per-session fold behind [`ServingMix::digest`] — a
+    /// wrapping sum of finalized sub-digests, so folds of *disjoint*
+    /// session sets add: a registry sharded by token can keep one fold per
+    /// shard and recover the global digest through
+    /// [`digest_from_parts`] without ever merging the shards.
+    pub fn session_fold(&self) -> u64 {
+        self.session_fold
+    }
+
+    /// Merges token-disjoint shards of one logical registry back into a
+    /// single mix (token order restored by k-way merge; the rolling fold is
+    /// the wrapping sum of the shards' folds, never re-hashed). The shards
+    /// must share one sharing mode and carry no backlogs of their own —
+    /// exactly the sharded-registry layout — so
+    /// `merged_from_shards(parts).digest() == digest_from_parts(..)` holds
+    /// bit-for-bit.
+    pub fn merged_from_shards<'a>(
+        parts: impl Iterator<Item = &'a ServingMix>,
+        sharing: IoSharing,
+    ) -> ServingMix {
+        let mut sessions: Vec<MixSession> = Vec::new();
+        let mut session_fold = 0u64;
+        for part in parts {
+            debug_assert!(part.backlog.channels.is_empty(), "shards carry no backlog");
+            session_fold = session_fold.wrapping_add(part.session_fold);
+            sessions.extend(part.sessions.iter().cloned());
         }
-        (self.sessions.len() as u64, self.session_fold).hash(&mut h);
-        h.finish()
+        sessions.sort_unstable_by_key(|s| s.token);
+        ServingMix { sessions, backlog: BacklogSnapshot::default(), sharing, session_fold }
     }
 
     /// The raw lane set of the mix: external backlog lanes first (at their
@@ -407,18 +429,22 @@ impl ServingMix {
     /// raw lanes — they cannot affect a prediction at the candidate's own
     /// arrival, but a queue delay can land inside their windows, so the
     /// delay search prices them. Equal-arrival later tokens are excluded
-    /// from the *first* pass (the deterministic tie-break that staggers
+    /// from the *initial* pass (the deterministic tie-break that staggers
     /// co-arriving gated sessions instead of deadlocking them on each
-    /// other) — and then, in queue mode, a **second gate pass** re-gates
-    /// the session against those later-opened co-arriving loads at their
-    /// raw arrivals: the equal-arrival earliest session is no longer blind
-    /// to a burst that opened just after it. The second pass only ever
-    /// lengthens the wait; if even the maximum delay cannot absorb the
-    /// widened mix, the first-pass decision stands (re-gating reacts, it
-    /// never sheds work the first pass cleared — shed mode skips the second
-    /// pass entirely so the gate keeps pricing a subset of what admission
-    /// priced). The whole walk is a pure function of the mix, so concurrent
-    /// and sequential replays decide identically.
+    /// other) — and then, in queue mode, the second gate pass **iterates
+    /// the whole co-arrival group to a fixed point**: every SLO member is
+    /// re-gated against its co-arrivals' *decided* positions (queue-delayed
+    /// members at their delayed arrivals, plain ones at raw), and the group
+    /// sweeps in token order until no decision moves. No member is blind to
+    /// a burst that opened just after it, and mutually co-arriving SLO
+    /// sessions converge on delays that are consistent with each other
+    /// rather than with a one-shot guess. If even the maximum delay cannot
+    /// absorb the widened mix, the member's standing decision stays
+    /// (re-gating reacts, it never sheds work the initial pass cleared —
+    /// shed mode skips re-gating entirely so the gate keeps pricing a
+    /// subset of what admission priced). The whole walk — sweep order,
+    /// sweep cap, convergence test — is a pure function of the mix, so
+    /// concurrent and sequential replays decide identically.
     pub fn gate(&self, token: u64, policy: GatePolicy) -> Option<GateOutcome> {
         let outcomes = self.walk_gate(policy, Some(token));
         match outcomes.last() {
@@ -453,65 +479,155 @@ impl ServingMix {
         policy: GatePolicy,
         stop_at: Option<u64>,
     ) -> Vec<(u64, Option<GateOutcome>)> {
+        /// Sweep cap for the co-arrival fixed point: iteration is
+        /// Gauss–Seidel and converges in 2 sweeps for the common
+        /// one-gated-session case (re-decide + confirm); the cap only binds
+        /// pathological mutual oscillation, and binding it is still
+        /// deterministic — the walk is a pure function of the mix either
+        /// way.
+        const MAX_SWEEPS: usize = 8;
         let mut arena = LaneArena::default();
         let mut order: Vec<usize> = (0..self.sessions.len()).collect();
         order.sort_by_key(|&i| (self.sessions[i].load.arrival, self.sessions[i].token));
         let base = self.raw_backlog_lanes();
         let mut decided: Vec<Lane> = Vec::with_capacity(self.sessions.len());
         let mut outcomes: Vec<(u64, Option<GateOutcome>)> = Vec::new();
-        for (pos, &i) in order.iter().enumerate() {
-            let s = &self.sessions[i];
-            let arrival = s.load.arrival;
-            let stop_here = stop_at == Some(s.token);
-            match &s.slo {
-                // Plain target sessions are never gated: their load always
-                // occupies the queue — and needs no lane assembly of its
-                // own, which keeps the walk O(decisions · lanes), not
-                // O(sessions · lanes).
-                None => {
-                    outcomes.push((s.token, None));
-                    if stop_here {
-                        return outcomes;
-                    }
-                    decided.push(Lane { arrival, jobs: s.load.jobs.clone() });
+        let mut start = 0usize;
+        while start < order.len() {
+            // One equal-arrival group at a time: [start, end) in token
+            // order (the sort key's tie-break).
+            let arrival = self.sessions[order[start]].load.arrival;
+            let mut end = start + 1;
+            while end < order.len() && self.sessions[order[end]].load.arrival == arrival {
+                end += 1;
+            }
+            let decided_before = decided.len();
+            let outcome_base = outcomes.len();
+            let mut stop_pos: Option<usize> = None;
+            // Initial pass: each member decided in token order against the
+            // external backlog, everything decided before it, and the raw
+            // loads of strictly-later arrivals — equal-arrival later tokens
+            // excluded, the deterministic tie-break that staggers
+            // co-arriving gated sessions instead of deadlocking them on
+            // each other. Plain target sessions are never gated: their load
+            // always occupies the queue — and needs no lane assembly of its
+            // own, which keeps the walk O(decisions · lanes), not
+            // O(sessions · lanes).
+            for &i in &order[start..end] {
+                let s = &self.sessions[i];
+                if stop_at == Some(s.token) {
+                    stop_pos = Some(outcomes.len());
                 }
-                // Replay the co-runner's own gate decision against the
-                // queue as *it* sees it.
-                Some(profile) => {
-                    // First-pass lanes: external backlog, every
-                    // already-decided session, and the raw loads of
-                    // strictly-later arrivals.
-                    let first = self.lanes_for(&base, &decided, &order[pos + 1..], arrival, false);
-                    // Second-pass lanes exist when equal-arrival later
-                    // tokens do — and only queue mode reads them (shed mode
-                    // never re-gates), so skip the lane assembly entirely
-                    // otherwise.
-                    let second = (matches!(policy, GatePolicy::Queue(_))
-                        && order[pos + 1..]
-                            .iter()
-                            .any(|&j| self.sessions[j].load.arrival == arrival))
-                    .then(|| self.lanes_for(&base, &decided, &order[pos + 1..], arrival, true));
-                    let outcome = decide(
-                        &mut arena,
-                        &first,
-                        second.as_deref(),
-                        profile,
-                        arrival,
-                        self.sharing,
-                        policy,
-                    );
-                    outcomes.push((s.token, Some(outcome)));
-                    if stop_here {
-                        return outcomes;
+                match &s.slo {
+                    None => {
+                        outcomes.push((s.token, None));
+                        decided.push(Lane { arrival, jobs: s.load.jobs.clone() });
                     }
-                    if !outcome.shed {
-                        decided.push(Lane {
-                            arrival: arrival + outcome.delay,
-                            jobs: s.load.jobs.clone(),
-                        });
+                    Some(profile) => {
+                        let first = self.lanes_for(&base, &decided, &order[end..], arrival);
+                        let outcome =
+                            decide(&mut arena, &first, profile, arrival, self.sharing, policy);
+                        outcomes.push((s.token, Some(outcome)));
+                        if !outcome.shed {
+                            decided.push(Lane {
+                                arrival: arrival + outcome.delay,
+                                jobs: s.load.jobs.clone(),
+                            });
+                        }
                     }
                 }
             }
+            // A plain stop token can return right away — group iteration
+            // never touches a `None` outcome.
+            if let Some(p) = stop_pos {
+                if self.sessions[order[start + (p - outcome_base)]].slo.is_none() {
+                    outcomes.truncate(p + 1);
+                    return outcomes;
+                }
+            }
+            // Second pass, iterated to a fixed point (queue mode only):
+            // re-gate every SLO member against the *decided* positions of
+            // its co-arrivals — initially the staggered first-pass delays —
+            // and sweep until no member's decision moves (or the cap
+            // binds). Re-gating reacts, it never sheds: a member the first
+            // pass cleared keeps its standing decision when even the
+            // maximum delay cannot absorb the widened mix, and a first-pass
+            // shed stays shed. Shed mode skips this entirely, so the gate
+            // keeps pricing a subset of what admission priced.
+            if matches!(policy, GatePolicy::Queue(_)) && end - start > 1 {
+                let mut lanes: Vec<Lane> = Vec::new();
+                for _ in 0..MAX_SWEEPS {
+                    let mut moved = false;
+                    for (m, &i) in order[start..end].iter().enumerate() {
+                        let s = &self.sessions[i];
+                        let Some(profile) = &s.slo else { continue };
+                        let Some(cur) = outcomes[outcome_base + m].1 else { unreachable!() };
+                        if cur.shed {
+                            continue;
+                        }
+                        lanes.clear();
+                        lanes.extend_from_slice(&base);
+                        lanes.extend_from_slice(&decided[..decided_before]);
+                        for (o, &j) in order[start..end].iter().enumerate() {
+                            if o == m {
+                                continue;
+                            }
+                            let other = &self.sessions[j];
+                            match outcomes[outcome_base + o].1 {
+                                Some(oc) if oc.shed => {}
+                                Some(oc) => lanes.push(Lane {
+                                    arrival: arrival + oc.delay,
+                                    jobs: other.load.jobs.clone(),
+                                }),
+                                None => lanes.push(Lane { arrival, jobs: other.load.jobs.clone() }),
+                            }
+                        }
+                        for &j in &order[end..] {
+                            let other = &self.sessions[j];
+                            lanes.push(Lane {
+                                arrival: other.load.arrival,
+                                jobs: other.load.jobs.clone(),
+                            });
+                        }
+                        let GatePolicy::Queue(max) = policy else { unreachable!() };
+                        if let Ok((delay, predicted)) = min_delay_over_lanes_in(
+                            &mut arena,
+                            &lanes,
+                            &profile.load_at(arrival),
+                            self.sharing,
+                            profile.slo,
+                            max,
+                        ) {
+                            moved |= delay != cur.delay || predicted != cur.predicted;
+                            outcomes[outcome_base + m].1 =
+                                Some(GateOutcome { predicted, delay, shed: false, re_gated: true });
+                        }
+                    }
+                    if !moved {
+                        break;
+                    }
+                }
+                // Re-anchor the group's decided lanes at the fixed-point
+                // delays for everything walking after the group.
+                decided.truncate(decided_before);
+                for (m, &i) in order[start..end].iter().enumerate() {
+                    let s = &self.sessions[i];
+                    match outcomes[outcome_base + m].1 {
+                        Some(oc) if oc.shed => {}
+                        Some(oc) => decided
+                            .push(Lane { arrival: arrival + oc.delay, jobs: s.load.jobs.clone() }),
+                        None => decided.push(Lane { arrival, jobs: s.load.jobs.clone() }),
+                    }
+                }
+            }
+            // An SLO stop token had to wait for its whole co-arrival group
+            // to settle — the early-exit `gate` contract still ends the
+            // returned walk at the requested token.
+            if let Some(p) = stop_pos {
+                outcomes.truncate(p + 1);
+                return outcomes;
+            }
+            start = end;
         }
         outcomes
     }
@@ -531,28 +647,57 @@ impl ServingMix {
             .collect()
     }
 
-    /// Lanes a decision at a walk position predicts against: the external
-    /// backlog, everything already decided, and the raw loads of sessions
-    /// after the position — strictly-later arrivals always, equal-arrival
-    /// later tokens only on the second pass.
+    /// Lanes an initial-pass decision predicts against: the external
+    /// backlog, everything already decided, and the raw loads of the
+    /// strictly-later arrivals in `later`.
     fn lanes_for(
         &self,
         base: &[Lane],
         decided: &[Lane],
         later: &[usize],
         arrival: SimTime,
-        include_equal: bool,
     ) -> Vec<Lane> {
         let mut lanes: Vec<Lane> = base.to_vec();
         lanes.extend_from_slice(decided);
         for &j in later {
             let other = &self.sessions[j];
-            if other.load.arrival > arrival || (include_equal && other.load.arrival == arrival) {
-                lanes.push(Lane { arrival: other.load.arrival, jobs: other.load.jobs.clone() });
-            }
+            debug_assert!(other.load.arrival > arrival);
+            lanes.push(Lane { arrival: other.load.arrival, jobs: other.load.jobs.clone() });
         }
         lanes
     }
+}
+
+/// [`ServingMix::digest`] assembled from sharded parts: `total_sessions`
+/// and `fold` are the sums of the shards' lengths and
+/// [`ServingMix::session_fold`]s (wrapping for the fold). Because the fold
+/// is a commutative wrapping sum over token-unique sub-digests, the result
+/// is bit-identical to the digest of the un-sharded registry holding the
+/// same session set — the sharded registry's memo-identity contract.
+pub fn digest_from_parts(
+    sharing: IoSharing,
+    backlog: &BacklogSnapshot,
+    total_sessions: u64,
+    fold: u64,
+) -> u64 {
+    let mut h = DefaultHasher::new();
+    sharing.window().map(|w| w.as_us()).hash(&mut h);
+    for c in &backlog.channels {
+        (c.channel, c.arrival.as_us(), c.effective_arrival.as_us(), c.inflight).hash(&mut h);
+        for q in &c.queued {
+            (q.sig, q.bytes, q.service.as_us()).hash(&mut h);
+        }
+    }
+    (total_sessions, fold).hash(&mut h);
+    h.finish()
+}
+
+/// The hash-splitting finalizer for registry shard selection: shards by
+/// token must decorrelate from the monotone token sequence a server
+/// assigns, so the sharded registry routes `token` to shard
+/// `mix_token(token) % shards`.
+pub fn mix_token(token: u64) -> u64 {
+    mix64(token)
 }
 
 /// The per-session sub-digest of the rolling fold: everything a prediction
@@ -595,13 +740,12 @@ struct LaneArena {
     extra: Vec<u64>,
 }
 
-/// One gate decision for a profile at an arrival, including the second
-/// pass when `second` lanes are present (queue mode only; see
-/// [`ServingMix::gate`]).
+/// One initial-pass gate decision for a profile at an arrival. Co-arrival
+/// re-gating is the walk's fixed-point sweep, not this function's job
+/// (queue mode only; see [`ServingMix::gate`]).
 fn decide(
     arena: &mut LaneArena,
     first: &[Lane],
-    second: Option<&[Lane]>,
     profile: &SloProfile,
     arrival: SimTime,
     sharing: IoSharing,
@@ -624,18 +768,6 @@ fn decide(
                     GateOutcome { predicted, delay: SimTime::ZERO, shed: true, re_gated: false }
                 }
                 Ok((delay, predicted)) => {
-                    if let Some(lanes) = second {
-                        if let Ok((d2, p2)) =
-                            min_delay_over_lanes_in(arena, lanes, &load, sharing, profile.slo, max)
-                        {
-                            return GateOutcome {
-                                predicted: p2,
-                                delay: d2,
-                                shed: false,
-                                re_gated: true,
-                            };
-                        }
-                    }
                     GateOutcome { predicted, delay, shed: false, re_gated: false }
                 }
             }

@@ -369,6 +369,35 @@ impl IoScheduler {
         self.shared.lock_state().channels.values().map(|c| c.pending.len()).sum()
     }
 
+    /// The channel-as-component view: services every dispatchable queued
+    /// request inline on the calling thread — same round-robin pick, same
+    /// batching, same accounting and event log as the worker pool — and
+    /// returns how many dispatches it ran. Ignores
+    /// [`IoScheduler::pause_dispatch`] deliberately: an event-driven host
+    /// parks the pool once and *is* the dispatcher, ticking this from its
+    /// flash component so dispatch order is a pure function of queue state
+    /// rather than of OS scheduling. Returns 0 after shutdown (queued
+    /// requests then surface [`StorageError::SchedulerShutdown`] through
+    /// their channels instead).
+    pub fn drive_queued(&self) -> usize {
+        let mut serviced = 0;
+        loop {
+            let dispatch = {
+                let mut state = self.shared.lock_state();
+                if state.shutdown {
+                    break;
+                }
+                match pick_next(&mut state, self.shared.policy) {
+                    Some(pick) => pick,
+                    None => break,
+                }
+            };
+            run_dispatch(&self.shared, dispatch);
+            serviced += 1;
+        }
+        serviced
+    }
+
     /// Snapshots the live flash queue: every open channel's queued requests
     /// (with bytes, device-model service times, and batchability
     /// signatures), its effective arrival, and the batch-window state.
@@ -626,80 +655,88 @@ fn worker_loop(shared: &Shared) {
                 state = shared.work_cv.wait(state).unwrap_or_else(|e| e.into_inner());
             }
         };
-        let Dispatch { channel_id, req, depth, seq, arrival, members } = dispatch;
-
-        let result = service(shared, &req);
-
-        if let (Ok((loaded, _)), true) = (&result, shared.throttle_scale > 0.0) {
-            std::thread::sleep(loaded.io_delay.scale(shared.throttle_scale).to_duration());
-        }
-
-        let mut state = shared.lock_state();
-        let fanout = 1 + members.len();
-        let result = match result {
-            Ok((loaded, hit_bytes)) => {
-                // Per-engagement (uncontended-track) accounting: every
-                // member streamed the layer as far as the device model is
-                // concerned, so the unbatched totals charge the fan-out.
-                state.stats.requests += fanout as u64;
-                state.stats.bytes += loaded.bytes * fanout as u64;
-                state.stats.sim_flash_busy += loaded.io_delay * fanout as u64;
-                state.stats.max_queue_depth = state.stats.max_queue_depth.max(depth);
-                if depth > 1 {
-                    state.stats.contended_requests += fanout as u64;
-                }
-                if fanout > 1 {
-                    state.stats.batch.batched_dispatches += 1;
-                    state.stats.batch.coalesced_requests += members.len() as u64;
-                    state.stats.batch.flash_bytes_saved += loaded.bytes * members.len() as u64;
-                    state.stats.batch.max_fanout = state.stats.batch.max_fanout.max(fanout);
-                }
-                state.events.push(FlashDispatchEvent {
-                    seq,
-                    channel: channel_id,
-                    arrival,
-                    bytes: loaded.bytes,
-                    hit_bytes,
-                    io_delay: loaded.io_delay,
-                    members: members.iter().map(|(id, _)| *id).collect(),
-                });
-                // Fan the loaded layer out: blobs are `Arc`s, so member
-                // deliveries share the payload instead of copying it.
-                for (member_id, _) in &members {
-                    deliver(&mut state, *member_id, Ok(loaded.clone()));
-                }
-                Ok(loaded)
-            }
-            Err(e) => {
-                // The shared load failed. The leader gets the error; each
-                // member's request goes back to the *front* of its queue
-                // (FIFO intact) to be retried — and to fail — on its own
-                // dispatch, so every engagement observes its own error.
-                for (member_id, member_req) in members {
-                    let closed = match state.channels.get_mut(&member_id) {
-                        Some(channel) => {
-                            channel.inflight = false;
-                            let closed = channel.closed;
-                            if !closed {
-                                channel.pending.push_front(member_req);
-                                state.turn_queue.push_back(member_id);
-                            }
-                            closed
-                        }
-                        None => false,
-                    };
-                    if closed {
-                        state.channels.remove(&member_id);
-                    }
-                }
-                Err(e)
-            }
-        };
-        deliver(&mut state, channel_id, result);
-        drop(state);
-        shared.done_cv.notify_all();
-        shared.work_cv.notify_one();
+        run_dispatch(shared, dispatch);
     }
+}
+
+/// Services one picked dispatch to completion: the storage load, the
+/// accounting, the event-log entry, and the deliveries (leader plus batch
+/// members). Shared by the worker pool and the inline
+/// [`IoScheduler::drive_queued`] path, so both account identically.
+fn run_dispatch(shared: &Shared, dispatch: Dispatch) {
+    let Dispatch { channel_id, req, depth, seq, arrival, members } = dispatch;
+
+    let result = service(shared, &req);
+
+    if let (Ok((loaded, _)), true) = (&result, shared.throttle_scale > 0.0) {
+        std::thread::sleep(loaded.io_delay.scale(shared.throttle_scale).to_duration());
+    }
+
+    let mut state = shared.lock_state();
+    let fanout = 1 + members.len();
+    let result = match result {
+        Ok((loaded, hit_bytes)) => {
+            // Per-engagement (uncontended-track) accounting: every
+            // member streamed the layer as far as the device model is
+            // concerned, so the unbatched totals charge the fan-out.
+            state.stats.requests += fanout as u64;
+            state.stats.bytes += loaded.bytes * fanout as u64;
+            state.stats.sim_flash_busy += loaded.io_delay * fanout as u64;
+            state.stats.max_queue_depth = state.stats.max_queue_depth.max(depth);
+            if depth > 1 {
+                state.stats.contended_requests += fanout as u64;
+            }
+            if fanout > 1 {
+                state.stats.batch.batched_dispatches += 1;
+                state.stats.batch.coalesced_requests += members.len() as u64;
+                state.stats.batch.flash_bytes_saved += loaded.bytes * members.len() as u64;
+                state.stats.batch.max_fanout = state.stats.batch.max_fanout.max(fanout);
+            }
+            state.events.push(FlashDispatchEvent {
+                seq,
+                channel: channel_id,
+                arrival,
+                bytes: loaded.bytes,
+                hit_bytes,
+                io_delay: loaded.io_delay,
+                members: members.iter().map(|(id, _)| *id).collect(),
+            });
+            // Fan the loaded layer out: blobs are `Arc`s, so member
+            // deliveries share the payload instead of copying it.
+            for (member_id, _) in &members {
+                deliver(&mut state, *member_id, Ok(loaded.clone()));
+            }
+            Ok(loaded)
+        }
+        Err(e) => {
+            // The shared load failed. The leader gets the error; each
+            // member's request goes back to the *front* of its queue
+            // (FIFO intact) to be retried — and to fail — on its own
+            // dispatch, so every engagement observes its own error.
+            for (member_id, member_req) in members {
+                let closed = match state.channels.get_mut(&member_id) {
+                    Some(channel) => {
+                        channel.inflight = false;
+                        let closed = channel.closed;
+                        if !closed {
+                            channel.pending.push_front(member_req);
+                            state.turn_queue.push_back(member_id);
+                        }
+                        closed
+                    }
+                    None => false,
+                };
+                if closed {
+                    state.channels.remove(&member_id);
+                }
+            }
+            Err(e)
+        }
+    };
+    deliver(&mut state, channel_id, result);
+    drop(state);
+    shared.done_cv.notify_all();
+    shared.work_cv.notify_one();
 }
 
 /// Hands a completed (or failed) load to a channel, re-queuing it for its

@@ -122,6 +122,108 @@ fn oversized_preload_request_is_rejected_not_truncated() {
 }
 
 #[test]
+fn scheduler_shutdown_mid_burst_halts_the_event_loop_cleanly() {
+    use sti_storage::{IoChannel, IoScheduler, LayerRequest};
+
+    let (task, _, _, _) = setup();
+    let store = Arc::new(MemStore::build(task.model(), &Bitwidth::ALL, &QuantConfig::default()));
+    let sched =
+        IoScheduler::spawn(store, FlashModel::new(1_000_000, SimTime::from_ms(1)), 1, 0.0, None);
+    // Event-host mode: park the pool, the loop is the only dispatcher.
+    sched.pause_dispatch();
+    let channel = sched.channel();
+
+    struct Ctx {
+        sched: Option<IoScheduler>,
+        channel: IoChannel,
+        shutdown_error: Option<StorageError>,
+        log: Vec<(ComponentId, SimTime)>,
+    }
+    fn request(layer: u16) -> LayerRequest {
+        LayerRequest { layer, items: vec![(0, Bitwidth::B2)] }
+    }
+
+    /// Drives one request through at 1 µs, then returns mid-burst at 3 µs
+    /// to find the scheduler shut down under it.
+    struct Worker;
+    impl Component<Ctx> for Worker {
+        fn id(&self) -> ComponentId {
+            0
+        }
+        fn next_tick(&self) -> Option<SimTime> {
+            Some(SimTime::from_us(1))
+        }
+        fn tick(&mut self, now: SimTime, sys: &mut System<'_, Ctx>) -> Option<SimTime> {
+            sys.ctx.log.push((0, now));
+            if let Some(sched) = sys.ctx.sched.as_ref() {
+                sys.ctx.channel.request(request(0)).unwrap();
+                assert_eq!(sched.drive_queued(), 1, "the loop dispatches its own burst");
+                sys.ctx.channel.recv().unwrap();
+                Some(SimTime::from_us(3))
+            } else {
+                // The saboteur shut the scheduler down between ticks: the
+                // abandoned queued request surfaces the typed error —
+                // never a hang — and the component stops the loop.
+                sys.ctx.shutdown_error = sys.ctx.channel.recv().err();
+                sys.halt();
+                None
+            }
+        }
+    }
+
+    /// Queues a second burst at 2 µs, then shuts the scheduler down.
+    struct Saboteur;
+    impl Component<Ctx> for Saboteur {
+        fn id(&self) -> ComponentId {
+            1
+        }
+        fn next_tick(&self) -> Option<SimTime> {
+            Some(SimTime::from_us(2))
+        }
+        fn tick(&mut self, now: SimTime, sys: &mut System<'_, Ctx>) -> Option<SimTime> {
+            sys.ctx.log.push((1, now));
+            sys.ctx.channel.request(request(1)).unwrap();
+            sys.ctx.sched.take().expect("first shutdown").shutdown();
+            None
+        }
+    }
+
+    /// Scheduled after the halt; must never tick.
+    struct Lagger;
+    impl Component<Ctx> for Lagger {
+        fn id(&self) -> ComponentId {
+            2
+        }
+        fn next_tick(&self) -> Option<SimTime> {
+            Some(SimTime::from_us(10))
+        }
+        fn tick(&mut self, now: SimTime, sys: &mut System<'_, Ctx>) -> Option<SimTime> {
+            sys.ctx.log.push((2, now));
+            None
+        }
+    }
+
+    let mut engine: Engine<Ctx> = Engine::new();
+    engine.register(Box::new(Worker));
+    engine.register(Box::new(Saboteur));
+    engine.register(Box::new(Lagger));
+    let mut ctx = Ctx { sched: Some(sched), channel, shutdown_error: None, log: Vec::new() };
+    let report = engine.run(&mut ctx);
+    assert!(report.halted, "the worker stopped the loop on the shutdown error");
+    assert_eq!(report.end, SimTime::from_us(3));
+    assert_eq!(
+        ctx.log,
+        vec![(0, SimTime::from_us(1)), (1, SimTime::from_us(2)), (0, SimTime::from_us(3))],
+        "no component ticks after the halt"
+    );
+    assert!(
+        matches!(ctx.shutdown_error, Some(StorageError::SchedulerShutdown)),
+        "unexpected error: {:?}",
+        ctx.shutdown_error
+    );
+}
+
+#[test]
 fn engine_survives_budget_shrink_to_zero() {
     let (task, device, hw, importance) = setup();
     let store = Arc::new(MemStore::build(task.model(), &Bitwidth::ALL, &QuantConfig::default()));

@@ -1,0 +1,254 @@
+//! Contracts of the discrete-event serving path (`replay_event`) and the
+//! co-arrival gate fixed point.
+//!
+//! 1. **Event ≡ threaded ≡ sequential.** Replaying the shipped traces on
+//!    the discrete-event engine reproduces the threaded path's
+//!    per-engagement outcomes, gate decisions, and admission rejections
+//!    bit for bit. With batching off the contended aggregates match too;
+//!    with a batch window the event loop batches maximally (every
+//!    co-arriving request is enqueued before the flash component services
+//!    the instant), so only the determinism-contract fields are pinned.
+//! 2. **Run-twice determinism.** Two event replays of the same trace are
+//!    fully identical — outcomes, the whole contention report, and even
+//!    the engine's heap-op count.
+//! 3. **Co-arrival fixed point.** For mutually co-arriving SLO sessions in
+//!    queue mode, the iterated second gate pass converges on delays that
+//!    are consistent with each other: every member's prediction at its
+//!    decided delay, priced against its co-arrivals' *decided* (delayed)
+//!    positions, meets its SLO — and the early-exit `gate` agrees with the
+//!    shared `gate_all` walk.
+//! 4. **Random traces.** A proptest drives small generated traces through
+//!    the event loop and pins outcome equality against the sequential
+//!    replay.
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use sti::prelude::*;
+use sti::TaskContext;
+
+fn ctx() -> &'static TaskContext {
+    static CTX: OnceLock<TaskContext> = OnceLock::new();
+    CTX.get_or_init(|| TaskContext::with_config(TaskKind::Sst2, ModelConfig::tiny()))
+}
+
+fn serve_config(
+    backpressure: BackpressureMode,
+    batch_window: Option<SimTime>,
+    plan_sharing: PreloadPolicy,
+) -> ServeConfig {
+    ServeConfig {
+        target: SimTime::from_ms(300),
+        preload_bytes: 0,
+        backpressure,
+        batch_window,
+        plan_sharing,
+        ..Default::default()
+    }
+}
+
+/// Replays `trace` through all three executors of one config and pins the
+/// cross-mode determinism contract: outcomes, gate decisions, and
+/// admission rejections are identical. Returns `(event, threaded)` for
+/// aggregate comparisons the caller wants on top.
+fn replay_everyway(trace: &ServingTrace, cfg: &ServeConfig) -> (ServeReport, ServeReport) {
+    let event = replay_event(&build_server(ctx(), cfg), trace).unwrap();
+    let threaded = replay_concurrent(&build_server(ctx(), cfg), trace).unwrap();
+    let sequential = replay_sequential(&build_server(ctx(), cfg), trace).unwrap();
+    assert_eq!(event.outcomes, threaded.outcomes, "event vs threaded outcomes diverged");
+    assert_eq!(event.outcomes, sequential.outcomes, "event vs sequential outcomes diverged");
+    assert_eq!(
+        event.contention.gate, threaded.contention.gate,
+        "event vs threaded gate decisions diverged"
+    );
+    assert_eq!(event.rejected_clients, threaded.rejected_clients);
+    // Peak in-flight engagements is the one schedule-dependent counter:
+    // threaded peaks with wall-clock overlap, the event loop with simulated
+    // co-arrival. Everything else must match.
+    let mut stats = event.serving_stats;
+    stats.peak_concurrent_engagements = threaded.serving_stats.peak_concurrent_engagements;
+    assert_eq!(stats, threaded.serving_stats);
+    assert!(event.heap_ops > 0, "the event loop reports its heap traffic");
+    assert_eq!(threaded.heap_ops, 0);
+    (event, threaded)
+}
+
+#[test]
+fn event_replay_matches_threaded_on_smoke_and_burst() {
+    for path in ["examples/traces/smoke.json", "examples/traces/burst.json"] {
+        let trace = load_trace(path).expect("shipped example parses");
+        for mode in [BackpressureMode::Shed, BackpressureMode::Queue(SimTime::from_ms(2_000))] {
+            let cfg = serve_config(mode, None, PreloadPolicy::PerSession);
+            let (event, threaded) = replay_everyway(&trace, &cfg);
+            // Batching off: the contended aggregates are schedule-free and
+            // must match the threaded path exactly.
+            assert_eq!(event.contention.flash_busy, threaded.contention.flash_busy, "{path}");
+            assert_eq!(event.contention.batched_dispatches, 0, "{path}");
+            assert_eq!(event.contention.flash_bytes_saved, 0, "{path}");
+            assert_eq!(
+                event.contention.preload_bytes_reallocated,
+                threaded.contention.preload_bytes_reallocated,
+                "{path}"
+            );
+        }
+    }
+}
+
+#[test]
+fn event_replay_matches_threaded_on_the_batched_mix_trace() {
+    let trace = load_trace("examples/traces/mix.json").expect("shipped example parses");
+    let cfg = serve_config(
+        BackpressureMode::Queue(SimTime::from_ms(2_000)),
+        Some(SimTime::from_us(500)),
+        PreloadPolicy::SharingAware,
+    );
+    // Outcomes/gate/rejections are pinned by `replay_everyway`; the batched
+    // aggregates legitimately differ (the event loop batches maximally).
+    let (event, _) = replay_everyway(&trace, &cfg);
+    // Run-twice determinism: the whole report reproduces, heap ops included.
+    let again = replay_event(&build_server(ctx(), &cfg), &trace).unwrap();
+    assert_eq!(event.outcomes, again.outcomes);
+    assert_eq!(event.contention, again.contention);
+    assert_eq!(event.rejected_clients, again.rejected_clients);
+    assert_eq!(event.heap_ops, again.heap_ops, "event order is a pure function of the trace");
+}
+
+fn importance_for(cfg: &ModelConfig) -> ImportanceProfile {
+    ImportanceProfile::from_scores(
+        cfg.layers,
+        cfg.heads,
+        (0..cfg.total_shards()).map(|i| 0.5 + (i % 5) as f64 * 0.01).collect(),
+        0.45,
+    )
+}
+
+const WIDTHS: [usize; 2] = [2, 4];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Satellite pin for the iterated second gate pass: a group of 2–4
+    /// mutually co-arriving SLO sessions (plus optional plain co-residents)
+    /// in queue mode converges on mutually consistent delays — each
+    /// member's prediction at its decided delay, against the others'
+    /// decided positions, meets its SLO — and `gate` ≡ `gate_all`.
+    #[test]
+    fn co_arrival_gate_fixed_point_converges(
+        members in 2usize..5,
+        plain in 0usize..3,
+        arrival_us in 0u64..1_500,
+        slo_ms in 2_000u64..20_000,
+        target_sel in proptest::collection::vec(0usize..3, 4..5),
+    ) {
+        let model = ModelConfig::tiny();
+        let hw = HwProfile::measure(&DeviceProfile::odroid_n2(), &model, &QuantConfig::default());
+        let imp = importance_for(&model);
+        let targets = [SimTime::from_ms(200), SimTime::from_ms(500), SimTime::from_ms(2_000)];
+        let plans: Vec<ExecutionPlan> = targets
+            .iter()
+            .map(|&t| plan_two_stage(&hw, &imp, t, 0, &WIDTHS, &Bitwidth::ALL))
+            .collect();
+        let arrival = SimTime::from_us(arrival_us);
+        let slo = SimTime::from_ms(slo_ms);
+        let policy = GatePolicy::Queue(SimTime::from_ms(30_000));
+        // Tokens 0..members co-arrive with SLOs; plain sessions follow.
+        let mut mix = ServingMix::new(IoSharing::Exclusive);
+        for m in 0..members {
+            let plan = &plans[target_sel[m % target_sel.len()]];
+            mix.push_session(
+                m as u64,
+                CoRunnerLoad::from_plan_at(&hw, plan, arrival),
+                Some(SloProfile::from_plan(&hw, plan, slo)),
+            );
+        }
+        for p in 0..plain {
+            let plan = &plans[target_sel[(members + p) % target_sel.len()]];
+            mix.push_session(
+                (members + p) as u64,
+                CoRunnerLoad::from_plan_at(&hw, plan, SimTime::from_us(200 * p as u64)),
+                None,
+            );
+        }
+        let all = mix.gate_all(policy);
+        prop_assert_eq!(all.len(), members, "every SLO member is priced");
+        // The early-exit walk agrees with the shared one at the fixed point.
+        for &(token, outcome) in &all {
+            prop_assert_eq!(mix.gate(token, policy), Some(outcome));
+        }
+        // Generous SLOs: the group queues, it never sheds — and the decided
+        // delays are mutually consistent: re-predicting each member at its
+        // decided position, against a mix rebuilt with every co-arrival at
+        // *its* decided position, still meets the SLO.
+        for &(token, outcome) in &all {
+            prop_assert!(!outcome.shed, "member {} shed under a generous SLO", token);
+            prop_assert!(outcome.predicted <= slo);
+            let plan = &plans[target_sel[token as usize % target_sel.len()]];
+            let mut others = ServingMix::new(IoSharing::Exclusive);
+            for &(t, oc) in &all {
+                if t == token {
+                    continue;
+                }
+                let p = &plans[target_sel[t as usize % target_sel.len()]];
+                others.push_session(
+                    t,
+                    CoRunnerLoad::from_plan_at(&hw, p, arrival + oc.delay),
+                    None,
+                );
+            }
+            for p in 0..plain {
+                let pp = &plans[target_sel[(members + p) % target_sel.len()]];
+                others.push_session(
+                    (members + p) as u64,
+                    CoRunnerLoad::from_plan_at(&hw, pp, SimTime::from_us(200 * p as u64)),
+                    None,
+                );
+            }
+            let load = EngagementLoad::from_plan(&hw, plan, arrival + outcome.delay);
+            prop_assert!(
+                others.predict(&load) <= slo,
+                "member {}'s decided delay is inconsistent with the group's: {} > {}",
+                token,
+                others.predict(&load),
+                slo
+            );
+        }
+    }
+
+    /// Small random traces: the event replay's per-engagement outcomes and
+    /// gate decisions match the sequential replay's.
+    #[test]
+    fn event_replay_matches_sequential_on_random_traces(
+        clients in proptest::collection::vec(
+            (0u64..2_500, 1usize..3, any::<bool>()),
+            1..4,
+        ),
+        queue_mode in any::<bool>(),
+    ) {
+        let trace = ServingTrace {
+            clients: clients
+                .iter()
+                .enumerate()
+                .map(|(i, &(arrival_us, engagements, slo))| ClientTrace {
+                    target: SimTime::from_ms(300),
+                    preload_bytes: 0,
+                    slo: slo.then(|| SimTime::from_ms(30_000)),
+                    arrival: SimTime::from_us(arrival_us),
+                    engagements: (0..engagements)
+                        .map(|e| vec![7 + i as u32, 3 + e as u32])
+                        .collect(),
+                })
+                .collect(),
+        };
+        let mode = if queue_mode {
+            BackpressureMode::Queue(SimTime::from_ms(2_000))
+        } else {
+            BackpressureMode::Shed
+        };
+        let cfg = serve_config(mode, None, PreloadPolicy::PerSession);
+        let event = replay_event(&build_server(ctx(), &cfg), &trace).unwrap();
+        let sequential = replay_sequential(&build_server(ctx(), &cfg), &trace).unwrap();
+        prop_assert_eq!(event.outcomes, sequential.outcomes);
+        prop_assert_eq!(event.contention.gate, sequential.contention.gate);
+        prop_assert_eq!(event.rejected_clients, sequential.rejected_clients);
+    }
+}

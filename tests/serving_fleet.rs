@@ -15,7 +15,11 @@
 //!    session bit-identically to the per-token early-exit walk it
 //!    memoizes for.
 //! 4. **Fleet sweep smoke.** `fleet_sweep` opens real fleets against a
-//!    real server on the virtual clock and reports a well-formed ledger.
+//!    real server on the virtual clock and reports a well-formed ledger,
+//!    under both executors.
+//! 5. **Open/teardown equivalence.** The batch `open_fleet` path and the
+//!    sweep's seeded-permutation teardown both leave the sharded registry
+//!    bit-identical to from-scratch rebuilds.
 
 use proptest::prelude::*;
 use sti::prelude::*;
@@ -233,20 +237,115 @@ fn fleet_sweep_reports_a_well_formed_ledger() {
         backpressure: BackpressureMode::Queue(SimTime::from_ms(100)),
         ..Default::default()
     };
-    let fleet = FleetConfig { sizes: vec![8, 32], slo_sessions: 2, decisions: 24 };
-    let points = fleet_sweep(&ctx, &cfg, &fleet).unwrap();
-    assert_eq!(points.len(), 2);
-    assert_eq!(points[0].sessions, 10);
-    assert_eq!(points[1].sessions, 34);
-    for p in &points {
-        assert_eq!(p.gate_decisions, 24);
-        assert!(p.decisions_per_sec > 0.0);
-        assert!(p.gate_cold > std::time::Duration::ZERO);
+    for exec in [ExecMode::Threaded, ExecMode::Event] {
+        let fleet = FleetConfig { sizes: vec![8, 32], slo_sessions: 2, decisions: 24, exec };
+        let points = fleet_sweep(&ctx, &cfg, &fleet).unwrap();
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].sessions, 10);
+        assert_eq!(points[1].sessions, 34);
+        for p in &points {
+            assert_eq!(p.gate_decisions, 24);
+            assert!(p.decisions_per_sec > 0.0);
+            assert!(p.gate_cold > std::time::Duration::ZERO);
+            assert_eq!(p.exec, exec);
+            assert!(p.engagements_per_sec > 0.0, "the replay phase served engagements");
+            match exec {
+                ExecMode::Event => assert!(p.heap_ops > 0, "event points count heap traffic"),
+                ExecMode::Threaded => assert_eq!(p.heap_ops, 0),
+            }
+        }
+        let json = fleet_report_json(&points);
+        assert!(json.contains("\"bench\": \"serving_fleet\""), "{json}");
+        assert!(json.contains("\"sessions\": 34"), "{json}");
+        assert!(json.contains("\"gate_mean_us\""), "{json}");
+        assert!(json.contains(&format!("\"exec_mode\": \"{}\"", exec.label())), "{json}");
+        assert!(json.contains("\"engagements_per_sec\""), "{json}");
+        assert!(json.contains("\"heap_ops\""), "{json}");
     }
-    let json = fleet_report_json(&points);
-    assert!(json.contains("\"bench\": \"serving_fleet\""), "{json}");
-    assert!(json.contains("\"sessions\": 34"), "{json}");
-    assert!(json.contains("\"gate_mean_us\""), "{json}");
+}
+
+/// Seeded-permutation teardown ≡ from-scratch rebuild. Opening a mixed
+/// plain/SLO fleet at varying arrivals, then dropping a permuted subset
+/// (the order the fleet sweep's teardown phase uses: every shard of the
+/// registry sees interleaved removals), must leave the sharded registry's
+/// rolling digest bit-identical to a single `ServingMix` rebuilt from the
+/// survivors alone.
+#[test]
+fn seeded_teardown_keeps_the_sharded_digest_equal_to_a_rebuild() {
+    let ctx = TaskContext::with_config(TaskKind::Sst2, ModelConfig::tiny());
+    let cfg = ServeConfig {
+        preload_bytes: 0,
+        backpressure: BackpressureMode::Queue(SimTime::from_ms(100)),
+        ..Default::default()
+    };
+    let server = build_server(&ctx, &cfg);
+    let hw = HwProfile::measure(&cfg.device, ctx.task().model().config(), ctx.quant());
+    let mut sessions = Vec::new();
+    for i in 0..24u64 {
+        let mut s = if i % 3 == 0 {
+            server.session_with_slo(SimTime::from_ms(60_000), 0).unwrap()
+        } else {
+            server.session_with(cfg.target, 0).unwrap()
+        };
+        s.set_arrival(SimTime::from_us(i * 137));
+        sessions.push(Some(s));
+    }
+    // Seeded Fisher–Yates permutation; drop the first half in that order.
+    let mut order: Vec<usize> = (0..sessions.len()).collect();
+    let mut rng = Rng(0xfeed_5eed);
+    for i in (1..order.len()).rev() {
+        order.swap(i, (rng.next() % (i as u64 + 1)) as usize);
+    }
+    for &i in order.iter().take(sessions.len() / 2) {
+        sessions[i] = None;
+    }
+    // Rebuild a single mix from the survivors, from scratch.
+    let mut survivors: Vec<_> = sessions.iter().flatten().collect();
+    survivors.sort_by_key(|s| s.token());
+    let mut mix = ServingMix::new(IoSharing::Exclusive);
+    for s in survivors {
+        mix.push_session(
+            s.token(),
+            CoRunnerLoad::from_plan_at(&hw, s.plan(), s.arrival()),
+            s.slo().map(|slo| SloProfile::from_plan(&hw, s.plan(), slo)),
+        );
+    }
+    assert_eq!(
+        server.mix_digest(),
+        mix.digest_with(&BacklogSnapshot::default()),
+        "sharded registry digest drifted from a from-scratch rebuild after teardown"
+    );
+}
+
+/// Batch open ≡ one-by-one open. `open_fleet` resolves the knobs once and
+/// registers every session against the sharded registry; the resulting
+/// digest (and the per-session plans) must be bit-identical to the same
+/// fleet opened through `session_with` — the commutative fold makes the
+/// two orders indistinguishable.
+#[test]
+fn open_fleet_is_equivalent_to_one_by_one_opens() {
+    let ctx = TaskContext::with_config(TaskKind::Sst2, ModelConfig::tiny());
+    let cfg = ServeConfig {
+        preload_bytes: 0,
+        backpressure: BackpressureMode::Queue(SimTime::from_ms(100)),
+        ..Default::default()
+    };
+    let batch_server = build_server(&ctx, &cfg);
+    let batch = batch_server.open_fleet(12, cfg.target, 0).unwrap();
+    let one_server = build_server(&ctx, &cfg);
+    let ones: Vec<_> = (0..12).map(|_| one_server.session_with(cfg.target, 0).unwrap()).collect();
+    assert_eq!(batch.len(), ones.len());
+    assert_eq!(batch_server.open_sessions(), one_server.open_sessions());
+    assert_eq!(batch_server.mix_digest(), one_server.mix_digest());
+    for (b, o) in batch.iter().zip(&ones) {
+        assert_eq!(b.token(), o.token());
+        assert_eq!(b.plan().predicted.makespan, o.plan().predicted.makespan);
+    }
+    // Dropping the batch drains the registry exactly like one-by-one drops.
+    drop(batch);
+    assert_eq!(batch_server.open_sessions(), 0);
+    drop(ones);
+    assert_eq!(batch_server.mix_digest(), one_server.mix_digest());
 }
 
 #[test]

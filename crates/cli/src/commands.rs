@@ -47,7 +47,19 @@ pub fn usage() -> String {
      \x20                                  engagement phase): threaded = one OS thread per\n\
      \x20                                  client, event = the discrete-event engine on one\n\
      \x20                                  thread (bit-identical outcomes)\n\
-     \x20             [--bench-out BENCH_serving.json]  write the fleet perf ledger\n"
+     \x20             [--trace-out spans.json]  write the replay's virtual-clock span\n\
+     \x20                                  stream as Chrome-trace JSON (open in Perfetto or\n\
+     \x20                                  about:tracing); clocked on *simulated* time, so\n\
+     \x20                                  the file is byte-identical across runs and\n\
+     \x20                                  across --exec threaded|event\n\
+     \x20             [--trace-tracks sim|all]  sim = deterministic session/flash tracks\n\
+     \x20                                  only; all = add host/engine color tracks\n\
+     \x20             [--metrics-out metrics.json]  write the merged instrument snapshot\n\
+     \x20                                  (serving.*/gate.*/io.* counters, gauges, and\n\
+     \x20                                  histogram percentiles)\n\
+     \x20             [--bench-out BENCH_serving.json]  merge the fleet sweep into the perf\n\
+     \x20                                  ledger: the entry with the same exec_mode and\n\
+     \x20                                  sizes is replaced, new configurations append\n"
         .to_string()
 }
 
@@ -340,7 +352,12 @@ fn cmd_serve(args: &Args) -> Result<String, ArgError> {
             ));
         }
         if let Some(path) = args.get("bench-out") {
-            std::fs::write(path, &json)
+            // Merge into the existing ledger instead of clobbering it: an
+            // entry with the same (exec_mode, sessions column) is replaced
+            // in place, anything else appends — history survives.
+            let existing = std::fs::read_to_string(path).unwrap_or_default();
+            let merged = merge_fleet_ledger(&existing, &json);
+            std::fs::write(path, &merged)
                 .map_err(|e| ArgError(format!("write bench ledger '{path}': {e}")))?;
             report.push_str(&format!("fleet ledger written to {path}\n"));
         }
@@ -379,9 +396,21 @@ fn cmd_serve(args: &Args) -> Result<String, ArgError> {
     };
     let sessions = trace.clients.len();
 
+    let trace_tracks = match args.get_or("trace-tracks", "sim") {
+        "sim" => TrackFilter::Deterministic,
+        "all" => TrackFilter::All,
+        other => return Err(ArgError(format!("unknown trace-tracks '{other}' (sim|all)"))),
+    };
+    let server = build_server(&ctx, &cfg);
+    if args.get("trace-out").is_some() || args.get("metrics-out").is_some() {
+        // A live ring sink adds the host/engine color tracks and the
+        // admission markers; the deterministic tracks are assembled from
+        // the server's logs either way.
+        server.set_obs_sink(ObsSink::ring(8 << 20));
+    }
     let concurrent = match exec {
-        ExecMode::Threaded => replay_concurrent(&build_server(&ctx, &cfg), &trace),
-        ExecMode::Event => replay_event(&build_server(&ctx, &cfg), &trace),
+        ExecMode::Threaded => replay_concurrent(&server, &trace),
+        ExecMode::Event => replay_event(&server, &trace),
     }
     .map_err(|e| ArgError(format!("{} replay: {e}", exec.label())))?;
     let sequential = replay_sequential(&build_server(&ctx, &cfg), &trace)
@@ -431,6 +460,37 @@ fn cmd_serve(args: &Args) -> Result<String, ArgError> {
             contention.preload_bytes_reallocated,
         ),
     };
+    // Structured gate reasons: which co-runner lane the delayed/shed
+    // decisions blame, and the backlog volume the predictions priced.
+    let gated: Vec<&GateDecision> =
+        contention.gate.iter().filter(|d| d.shed || d.delay > SimTime::ZERO).collect();
+    let gate_reason_line = if contention.gate.is_empty() {
+        "no gated engagements".to_string()
+    } else if gated.is_empty() {
+        format!("{} decisions, none delayed or shed", contention.gate.len())
+    } else {
+        let mut blamed: std::collections::BTreeMap<u64, usize> = std::collections::BTreeMap::new();
+        for d in &gated {
+            if let Some((token, _)) = d.reason.dominant_lane {
+                *blamed.entry(token).or_insert(0) += 1;
+            }
+        }
+        let peak_backlog = gated.iter().map(|d| d.reason.backlog_bytes).max().unwrap_or(0);
+        match blamed.iter().max_by_key(|(token, count)| (**count, std::cmp::Reverse(**token))) {
+            Some((&token, &count)) => format!(
+                "{} of {} decisions delayed/shed; co-runner lane {token} dominated {count} \
+                 (peak backlog {peak_backlog} bytes)",
+                gated.len(),
+                contention.gate.len(),
+            ),
+            None => format!(
+                "{} of {} decisions delayed/shed by external backlog alone \
+                 (peak {peak_backlog} bytes)",
+                gated.len(),
+                contention.gate.len(),
+            ),
+        }
+    };
     let queueing_us: Vec<u64> =
         contention.engagements.iter().map(|e| e.initial_queueing.as_us()).collect();
     let mean_queueing = if queueing_us.is_empty() {
@@ -438,7 +498,7 @@ fn cmd_serve(args: &Args) -> Result<String, ArgError> {
     } else {
         SimTime::from_us(queueing_us.iter().sum::<u64>() / queueing_us.len() as u64)
     };
-    Ok(format!(
+    let mut report = format!(
         "served {} of {} engagements over {} sessions ({} rejected at admission)\n\
          \x20 throughput    {:.1} engagements/s {}, {:.1} sequential ({:.2}x)\n\
          \x20 per-engagement makespan {} | streamed {} bytes\n\
@@ -448,6 +508,7 @@ fn cmd_serve(args: &Args) -> Result<String, ArgError> {
          \x20 batching      {}\n\
          \x20 backpressure  {}\n\
          \x20 plan-sharing  {}\n\
+         \x20 gate reasons  {}\n\
          \x20 contended     p50 {} | p95 {} | max {} service-onward; mean initial queueing {}; {}\n\
          \x20 determinism   {} outcomes {} sequential replay\n",
         served,
@@ -476,6 +537,7 @@ fn cmd_serve(args: &Args) -> Result<String, ArgError> {
         batching_line,
         backpressure_line,
         plan_sharing_line,
+        gate_reason_line,
         contention.latency_percentile(0.5),
         contention.latency_percentile(0.95),
         contention.latency_percentile(1.0),
@@ -483,7 +545,26 @@ fn cmd_serve(args: &Args) -> Result<String, ArgError> {
         slo_line,
         exec.label(),
         if identical { "exactly reproduce the" } else { "DIVERGED from the" },
-    ))
+    );
+    if let Some(path) = args.get("trace-out") {
+        let json = chrome_trace_json(&concurrent.spans, trace_tracks);
+        std::fs::write(path, &json).map_err(|e| ArgError(format!("write trace '{path}': {e}")))?;
+        let gate_spans = concurrent
+            .spans
+            .iter()
+            .filter(|s| s.name.starts_with("gate.") && trace_tracks.admits(s.kind))
+            .count();
+        report.push_str(&format!(
+            "trace written to {path} ({} spans, {gate_spans} gate spans)\n",
+            concurrent.spans.iter().filter(|s| trace_tracks.admits(s.kind)).count(),
+        ));
+    }
+    if let Some(path) = args.get("metrics-out") {
+        std::fs::write(path, concurrent.metrics.to_json())
+            .map_err(|e| ArgError(format!("write metrics '{path}': {e}")))?;
+        report.push_str(&format!("metrics snapshot written to {path}\n"));
+    }
+    Ok(report)
 }
 
 /// Routes a parsed command line to its implementation.

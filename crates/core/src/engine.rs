@@ -48,6 +48,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use sti_device::SimTime;
+use sti_obs::{ObsSink, SpanArgs, SpanEvent, TrackKind};
 
 /// Dense component index assigned by [`Engine::register`].
 pub type ComponentId = usize;
@@ -127,6 +128,10 @@ pub struct Engine<C> {
     next: Vec<Option<SimTime>>,
     heap: BinaryHeap<Reverse<(SimTime, ComponentId)>>,
     heap_ops: u64,
+    /// Live span sink: per-tick instants on [`TrackKind::Engine`] tracks.
+    /// Observability never perturbs the schedule — the sink only records,
+    /// it never decides; [`ObsSink::Null`] (the default) costs one branch.
+    obs: ObsSink,
 }
 
 impl<C> Default for Engine<C> {
@@ -138,7 +143,22 @@ impl<C> Default for Engine<C> {
 impl<C> Engine<C> {
     /// An empty engine.
     pub fn new() -> Self {
-        Self { components: Vec::new(), next: Vec::new(), heap: BinaryHeap::new(), heap_ops: 0 }
+        Self {
+            components: Vec::new(),
+            next: Vec::new(),
+            heap: BinaryHeap::new(),
+            heap_ops: 0,
+            obs: ObsSink::Null,
+        }
+    }
+
+    /// Routes per-tick spans to `sink`: an `engine.tick` instant on the
+    /// ticking component's [`TrackKind::Engine`] track for every tick, and
+    /// one final `engine.heap_ops` counter sample when the run drains.
+    /// Engine tracks describe *how* this executor ran — they are excluded
+    /// from deterministic exports by design.
+    pub fn set_obs_sink(&mut self, sink: ObsSink) {
+        self.obs = sink;
     }
 
     /// Registers a component, scheduling it at its [`Component::next_tick`]
@@ -181,6 +201,12 @@ impl<C> Engine<C> {
             };
             report.ticks += 1;
             report.end = now;
+            if self.obs.enabled() {
+                self.obs.span(
+                    SpanEvent::instant(TrackKind::Engine, id as u64, "engine.tick", now.as_us())
+                        .with_args(SpanArgs::new().with("heap_ops", self.heap_ops)),
+                );
+            }
             if let Some(t) = again {
                 assert!(t >= now, "component {id} scheduled itself into the past");
                 self.next[id] = Some(t);
@@ -200,6 +226,15 @@ impl<C> Engine<C> {
             }
         }
         report.heap_ops = self.heap_ops;
+        if self.obs.enabled() {
+            self.obs.span(SpanEvent::counter(
+                TrackKind::Engine,
+                0,
+                "engine.heap_ops",
+                report.end.as_us(),
+                self.heap_ops,
+            ));
+        }
         report
     }
 

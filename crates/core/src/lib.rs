@@ -61,7 +61,13 @@
 //! registry to fleet sizes and [`fleet_report_json`] writes the perf
 //! ledger (`BENCH_serving.json`): entries carry `exec_mode`, and
 //! event-mode points add `engagements_per_sec` plus the engine's
-//! `heap_ops` beside the admission/gate/digest columns.
+//! `heap_ops` beside the admission/gate/digest columns, and
+//! [`merge_fleet_ledger`] folds repeated sweeps into one ledger keyed by
+//! `(exec_mode, fleet points)`. Every [`ServeReport`] also carries the
+//! deterministic observability stream — virtual-clock spans (export with
+//! [`sti_obs::chrome_trace_json`]) and a merged metrics snapshot — which
+//! is byte-identical across executors on the deterministic tracks; see
+//! `sti_obs` and `tests/serving_obs.rs`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -77,9 +83,9 @@ pub use baselines::Baseline;
 pub use engine::{Component, ComponentId, Engine, EngineReport, System};
 pub use runner::{run_experiment, Experiment, RunResult, TaskContext};
 pub use serving::{
-    build_server, fleet_report_json, fleet_sweep, replay_concurrent, replay_event,
-    replay_sequential, ClientTrace, EngagementOutcome, ExecMode, FleetConfig, FleetPoint,
-    ServeConfig, ServeReport, ServingTrace,
+    build_server, fleet_report_json, fleet_sweep, merge_fleet_ledger, replay_concurrent,
+    replay_event, replay_sequential, ClientTrace, EngagementOutcome, ExecMode, FleetConfig,
+    FleetPoint, ServeConfig, ServeReport, ServingTrace,
 };
 pub use trace_file::{load_trace, parse_trace, TraceFileError};
 
@@ -90,9 +96,9 @@ pub mod prelude {
     pub use crate::gold::gold_accuracy;
     pub use crate::runner::{run_experiment, Experiment, RunResult, TaskContext};
     pub use crate::serving::{
-        build_server, fleet_report_json, fleet_sweep, replay_concurrent, replay_event,
-        replay_sequential, ClientTrace, EngagementOutcome, ExecMode, FleetConfig, FleetPoint,
-        ServeConfig, ServeReport, ServingTrace,
+        build_server, fleet_report_json, fleet_sweep, merge_fleet_ledger, replay_concurrent,
+        replay_event, replay_sequential, ClientTrace, EngagementOutcome, ExecMode, FleetConfig,
+        FleetPoint, ServeConfig, ServeReport, ServingTrace,
     };
     pub use crate::trace_file::{load_trace, parse_trace, TraceFileError};
     pub use sti_device::{
@@ -100,10 +106,14 @@ pub mod prelude {
         SimTime,
     };
     pub use sti_nlp::{Dataset, HashingTokenizer, Task, TaskKind};
+    pub use sti_obs::{
+        chrome_trace_json, MetricsRegistry, MetricsSnapshot, ObsSink, SpanArgs, SpanEvent,
+        TrackFilter, TrackKind,
+    };
     pub use sti_pipeline::{
         AdmissionMode, BackpressureMode, ContentionReport, EngagementContention, GateDecision,
-        Inference, PipelineError, PipelineExecutor, PreloadBuffer, ServingStats, Session,
-        StiEngine, StiServer,
+        GateReason, Inference, PipelineError, PipelineExecutor, PreloadBuffer, ServingStats,
+        Session, StiEngine, StiServer,
     };
     pub use sti_planner::compute_plan::DYNABERT_WIDTHS;
     pub use sti_planner::{
@@ -112,9 +122,9 @@ pub mod prelude {
         predict_contended_latency_against, predict_contended_latency_at,
         predict_engagement_latency, profile_importance, reallocate_preload_for_mix,
         replan_with_preload, CoRunnerLoad, EngagementLoad, ExecutionPlan, GateOutcome, GatePolicy,
-        ImportanceProfile, IoSharing, LayerIoJob, MixSession, PlanCache, PlanCacheStats, PlanKey,
-        PreloadPolicy, ServingMix, ServingPlan, ServingPlanCache, ServingPlanKey, SloProfile,
-        SubmodelShape,
+        ImportanceProfile, IoSharing, LayerIoJob, MixLaneSummary, MixSession, PlanCache,
+        PlanCacheStats, PlanKey, PreloadPolicy, ServingMix, ServingPlan, ServingPlanCache,
+        ServingPlanKey, SloProfile, SubmodelShape,
     };
     pub use sti_quant::{Bitwidth, QuantConfig, QuantizedBlob};
     pub use sti_storage::{

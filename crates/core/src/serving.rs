@@ -29,6 +29,7 @@
 use std::time::Duration;
 
 use sti_device::{DeviceProfile, HwProfile, SimTime};
+use sti_obs::{Histogram, MetricsSnapshot, SpanEvent};
 use sti_pipeline::{
     AdmissionMode, BackpressureMode, ContentionReport, PendingEngagement, PipelineError,
     ServingStats, Session, StiServer,
@@ -214,6 +215,14 @@ pub struct ServeReport {
     /// Min-heap operations the discrete-event engine performed — the
     /// event-loop cost witness. Zero for threaded and sequential replays.
     pub heap_ops: u64,
+    /// The virtual-clock span stream ([`StiServer::trace_spans`]): the
+    /// deterministic session/flash tracks plus whatever the live sink
+    /// buffered. Feed to [`sti_obs::chrome_trace_json`] for a
+    /// Chrome-trace / Perfetto file.
+    pub spans: Vec<SpanEvent>,
+    /// Merged instrument snapshot across the serving path (`serving.*`,
+    /// `gate.*`, `io.*`; event replays add `engine.*`).
+    pub metrics: MetricsSnapshot,
 }
 
 impl ServeReport {
@@ -371,6 +380,8 @@ fn report(
             .filter_map(|(i, s)| s.is_none().then_some(i))
             .collect(),
         heap_ops: 0,
+        spans: server.trace_spans(),
+        metrics: server.metrics_snapshot(),
     }
 }
 
@@ -521,6 +532,10 @@ pub fn replay_event(
     // the only dispatcher, so dispatch order can't race host threads.
     server.pause_io();
     let mut engine: Engine<Ctx<'_>> = Engine::new();
+    // Engine-track spans (per-tick instants, heap-ops samples) join the
+    // server's live stream when a sink is installed; with the default
+    // `ObsSink::Null` this is free.
+    engine.set_obs_sink(server.obs_sink());
     for (id, client) in trace.clients.iter().enumerate() {
         engine.register(Box::new(Client { id, arrival: client.arrival }));
     }
@@ -547,6 +562,10 @@ pub fn replay_event(
     }
     let mut rep = report(server, &sessions, outcomes, start.elapsed());
     rep.heap_ops = engine_report.heap_ops;
+    // The engine keeps no registry of its own; fold its two counters into
+    // the snapshot so `engine.*` sits beside `serving.*`/`io.*`.
+    rep.metrics.counters.insert("engine.ticks".to_string(), engine_report.ticks);
+    rep.metrics.counters.insert("engine.heap_ops".to_string(), engine_report.heap_ops);
     Ok(rep)
 }
 
@@ -596,6 +615,14 @@ pub struct FleetPoint {
     /// Mean steady-state per-decision gate latency (memoized path: rolling
     /// digest + lookup — the near-flat number).
     pub gate_mean: Duration,
+    /// Median steady-state per-decision gate latency in µs, from a
+    /// log₂-bucket [`Histogram`] over the sampled decisions (each
+    /// percentile is its bucket's inclusive upper bound).
+    pub gate_p50_us: f64,
+    /// 90th-percentile steady-state gate latency in µs (bucketed).
+    pub gate_p90_us: f64,
+    /// 99th-percentile steady-state gate latency in µs (bucketed).
+    pub gate_p99_us: f64,
     /// Steady-state decisions sampled.
     pub gate_decisions: usize,
     /// Steady-state gate decisions per wall-clock second.
@@ -698,14 +725,24 @@ pub fn fleet_sweep(
         let gate_cold = cold_start.elapsed();
         assert!(cold.is_some(), "an SLO session under queue/shed mode always gates");
 
+        // Per-decision latencies feed a log₂ histogram so the ledger
+        // carries tail percentiles, not just the mean; the mean itself is
+        // still computed over the whole loop (per-decision `Instant`
+        // reads included — a few tens of ns of overhead, identical at
+        // every fleet size, so the near-flat comparison is unaffected).
+        let gate_hist = Histogram::new();
         let steady_start = std::time::Instant::now();
         for i in 0..fleet.decisions {
             let session = &slo_sessions[i % slo_sessions.len()];
+            let t = std::time::Instant::now();
             std::hint::black_box(session.gate_decision());
+            gate_hist.record(t.elapsed().as_nanos() as u64);
         }
         let steady = steady_start.elapsed();
         let gate_mean = steady / fleet.decisions.max(1) as u32;
         let decisions_per_sec = fleet.decisions as f64 / steady.as_secs_f64().max(1e-9);
+        let gate_snap = gate_hist.snapshot();
+        let gate_pct_us = |p: f64| gate_snap.percentile(p) as f64 / 1000.0;
 
         // Engagement-replay phase: a small fixed trace served against the
         // full open fleet, under the configured executor. Fixed size so
@@ -724,6 +761,9 @@ pub fn fleet_sweep(
             admission_mean,
             gate_cold,
             gate_mean,
+            gate_p50_us: gate_pct_us(0.50),
+            gate_p90_us: gate_pct_us(0.90),
+            gate_p99_us: gate_pct_us(0.99),
             gate_decisions: fleet.decisions,
             decisions_per_sec,
             digest_mean,
@@ -773,13 +813,15 @@ fn fleet_rng(n: u64) -> FleetRng {
 }
 
 /// Renders a fleet sweep as one `BENCH_serving.json` perf-ledger entry
-/// (schema v2): `{"bench": "serving_fleet", "unit": "us", "exec_mode":
+/// (schema v3): `{"bench": "serving_fleet", "unit": "us", "exec_mode":
 /// ..., "sweep": [...]}` with one record per point carrying `sessions`,
 /// `open_total_us`, `admission_mean_us`, `gate_cold_us`, `gate_mean_us`,
+/// the bucketed gate tail (`gate_p50_us`/`gate_p90_us`/`gate_p99_us`),
 /// `gate_decisions`, `decisions_per_sec`, `digest_mean_us`,
 /// `engagements_per_sec`, and `heap_ops`. The ledger file itself is a JSON
 /// *array* of such entries — one per executor/registry configuration —
-/// appended across PRs so regressions diff against history.
+/// merged across PRs by [`merge_fleet_ledger`] so regressions diff
+/// against history.
 pub fn fleet_report_json(points: &[FleetPoint]) -> String {
     let us = |d: Duration| format!("{:.3}", d.as_secs_f64() * 1e6);
     let exec = points.first().map_or(ExecMode::Threaded, |p| p.exec);
@@ -792,7 +834,9 @@ pub fn fleet_report_json(points: &[FleetPoint]) -> String {
             concat!(
                 "    {{\"sessions\": {}, \"open_total_us\": {}, ",
                 "\"admission_mean_us\": {}, \"gate_cold_us\": {}, ",
-                "\"gate_mean_us\": {}, \"gate_decisions\": {}, ",
+                "\"gate_mean_us\": {}, \"gate_p50_us\": {:.3}, ",
+                "\"gate_p90_us\": {:.3}, \"gate_p99_us\": {:.3}, ",
+                "\"gate_decisions\": {}, ",
                 "\"decisions_per_sec\": {:.1}, \"digest_mean_us\": {}, ",
                 "\"engagements_per_sec\": {:.1}, \"heap_ops\": {}}}{}\n"
             ),
@@ -801,6 +845,9 @@ pub fn fleet_report_json(points: &[FleetPoint]) -> String {
             us(p.admission_mean),
             us(p.gate_cold),
             us(p.gate_mean),
+            p.gate_p50_us,
+            p.gate_p90_us,
+            p.gate_p99_us,
             p.gate_decisions,
             p.decisions_per_sec,
             us(p.digest_mean),
@@ -810,6 +857,101 @@ pub fn fleet_report_json(points: &[FleetPoint]) -> String {
         ));
     }
     out.push_str("  ]\n}\n");
+    out
+}
+
+/// Splits a ledger (or a single rendered entry) into its top-level JSON
+/// objects by brace matching — no parser dependency, and robust to braces
+/// inside quoted strings.
+fn split_ledger_entries(s: &str) -> Vec<String> {
+    let mut entries = Vec::new();
+    let mut depth = 0usize;
+    let mut start = None;
+    let mut in_str = false;
+    let mut escape = false;
+    for (i, c) in s.char_indices() {
+        if in_str {
+            if escape {
+                escape = false;
+            } else if c == '\\' {
+                escape = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            '{' => {
+                if depth == 0 {
+                    start = Some(i);
+                }
+                depth += 1;
+            }
+            '}' => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    if let Some(st) = start.take() {
+                        entries.push(s[st..=i].to_string());
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    entries
+}
+
+/// A ledger entry's identity: its executor (`"threaded"` when the field
+/// is absent — entries predating the `exec_mode` column were all
+/// threaded) and its swept `sessions` column.
+fn ledger_entry_key(entry: &str) -> (String, Vec<u64>) {
+    let exec = entry
+        .find("\"exec_mode\"")
+        .and_then(|i| {
+            let rest = &entry[i + "\"exec_mode\"".len()..];
+            let start = rest.find('"')? + 1;
+            let end = rest[start..].find('"')? + start;
+            Some(rest[start..end].to_string())
+        })
+        .unwrap_or_else(|| "threaded".to_string());
+    let mut sessions = Vec::new();
+    let mut rest = entry;
+    while let Some(i) = rest.find("\"sessions\":") {
+        let tail = &rest[i + "\"sessions\":".len()..];
+        let digits: String = tail.trim_start().chars().take_while(char::is_ascii_digit).collect();
+        if let Ok(n) = digits.parse() {
+            sessions.push(n);
+        }
+        rest = tail;
+    }
+    (exec, sessions)
+}
+
+/// Merges freshly-rendered [`fleet_report_json`] entries into an existing
+/// `BENCH_serving.json` array **without clobbering history**: an entry
+/// whose `(exec_mode, sessions column)` matches an existing one replaces
+/// it in place (same configuration re-measured), anything else appends.
+/// Entries written before the `exec_mode` column count as `"threaded"`.
+/// Pass an empty or missing file as `existing: ""`.
+pub fn merge_fleet_ledger(existing: &str, entry: &str) -> String {
+    let mut entries = split_ledger_entries(existing);
+    for fresh in split_ledger_entries(entry) {
+        let key = ledger_entry_key(&fresh);
+        match entries.iter_mut().find(|e| ledger_entry_key(e) == key) {
+            Some(slot) => *slot = fresh,
+            None => entries.push(fresh),
+        }
+    }
+    let mut out = String::from("[\n");
+    for (i, e) in entries.iter().enumerate() {
+        out.push_str(e);
+        if i + 1 < entries.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]\n");
     out
 }
 
@@ -924,6 +1066,53 @@ mod tests {
         assert!(concurrent.outcomes[1].is_empty());
         assert_eq!(concurrent.outcomes, sequential.outcomes);
         assert_eq!(concurrent.serving_stats.rejected_sessions, 1);
+    }
+
+    #[test]
+    fn fleet_ledger_merge_replaces_matching_entries_and_appends_new() {
+        let existing = concat!(
+            "[\n",
+            "{\n  \"bench\": \"serving_fleet\",\n  \"unit\": \"us\",\n",
+            "  \"sweep\": [\n    {\"sessions\": 104, \"gate_mean_us\": 0.1}\n  ]\n},\n",
+            "{\n  \"bench\": \"serving_fleet\",\n  \"exec_mode\": \"event\",\n",
+            "  \"sweep\": [\n    {\"sessions\": 104, \"gate_mean_us\": 0.2}\n  ]\n}\n",
+            "]\n"
+        );
+        // Pre-`exec_mode` entries count as threaded: this update shares the
+        // first entry's (threaded, [104]) identity and replaces it.
+        let update = concat!(
+            "{\n  \"bench\": \"serving_fleet\",\n  \"exec_mode\": \"threaded\",\n",
+            "  \"sweep\": [\n    {\"sessions\": 104, \"gate_mean_us\": 0.3}\n  ]\n}\n"
+        );
+        let merged = merge_fleet_ledger(existing, update);
+        assert!(merged.contains("0.3"), "replacement entry present");
+        assert!(!merged.contains("0.1"), "clobbered only the matching entry");
+        assert!(merged.contains("0.2"), "the event entry survives");
+        assert_eq!(merged.matches("serving_fleet").count(), 2);
+        // A different sessions column is a new configuration: appends.
+        let novel = concat!(
+            "{\n  \"bench\": \"serving_fleet\",\n  \"exec_mode\": \"event\",\n",
+            "  \"sweep\": [\n    {\"sessions\": 204, \"gate_mean_us\": 0.4}\n  ]\n}\n"
+        );
+        let grown = merge_fleet_ledger(&merged, novel);
+        assert_eq!(grown.matches("serving_fleet").count(), 3);
+        assert!(grown.contains("0.2") && grown.contains("0.3") && grown.contains("0.4"));
+        assert!(grown.starts_with("[\n") && grown.ends_with("\n]\n"));
+    }
+
+    #[test]
+    fn fleet_ledger_merge_starts_from_empty_and_is_idempotent() {
+        let entry = concat!(
+            "{\n  \"bench\": \"serving_fleet\",\n  \"exec_mode\": \"event\",\n",
+            "  \"sweep\": [\n    {\"sessions\": 12, \"gate_mean_us\": 0.5}\n  ]\n}\n"
+        );
+        let first = merge_fleet_ledger("", entry);
+        assert!(first.starts_with("[\n{") && first.ends_with("}\n]\n"));
+        assert_eq!(
+            merge_fleet_ledger(&first, entry),
+            first,
+            "re-merging the same entry is a no-op"
+        );
     }
 
     #[test]

@@ -37,6 +37,8 @@
 
 use std::collections::HashMap;
 
+use sti_obs::{ObsSink, SpanArgs, SpanEvent, TrackKind};
+
 use crate::clock::SimTime;
 
 /// One request on the contended flash channel.
@@ -101,6 +103,86 @@ impl FlashQueueReport {
     /// When the engagement's last job completed (`None` if it had no jobs).
     pub fn last_completion_of(&self, engagement: u64) -> Option<SimTime> {
         self.completions.iter().filter(|c| c.engagement == engagement).map(|c| c.completion).max()
+    }
+
+    /// Emits this run's channel timeline as virtual-clock spans on
+    /// [`TrackKind::Flash`] track `track`: a `flash.wait` interval for each
+    /// job that queued, a `flash.service` interval per *served* job (shared
+    /// jobs once, with their fan-out as an arg — the flash read them once),
+    /// and a `flash.depth` counter sampled at every service start. Idle
+    /// time is the gaps between service intervals.
+    ///
+    /// All ticks are simulated µs straight from the report, so the emitted
+    /// stream is a pure function of the run.
+    pub fn emit_spans(&self, sink: &ObsSink, track: u64) {
+        if !sink.enabled() {
+            return;
+        }
+        // Unique served jobs in service order; mirrored completions of a
+        // shared job follow their primary and reuse its seq, so collapse
+        // them into a fan-out count.
+        struct Served {
+            seq: usize,
+            arrival: SimTime,
+            start: SimTime,
+            completion: SimTime,
+            engagement: u64,
+            fanout: u64,
+        }
+        let mut served: Vec<Served> = Vec::new();
+        for c in &self.completions {
+            match served.last_mut() {
+                Some(last) if last.seq == c.seq => last.fanout += 1,
+                _ => served.push(Served {
+                    seq: c.seq,
+                    arrival: c.arrival,
+                    start: c.start,
+                    completion: c.completion,
+                    engagement: c.engagement,
+                    fanout: 1,
+                }),
+            }
+        }
+        // Service order is arrival order, so this is already sorted — it
+        // answers "how many jobs have arrived by time t" for the depth
+        // counter, mirroring the accounting in [`FlashQueueSim::run`].
+        let arrivals: Vec<SimTime> = served.iter().map(|j| j.arrival).collect();
+        for (done, job) in served.iter().enumerate() {
+            let args = SpanArgs::new()
+                .with("seq", job.seq as u64)
+                .with("engagement", job.engagement)
+                .with("fanout", job.fanout);
+            if job.start > job.arrival {
+                sink.span(
+                    SpanEvent::complete(
+                        TrackKind::Flash,
+                        track,
+                        "flash.wait",
+                        job.arrival.as_us(),
+                        job.start.as_us(),
+                    )
+                    .with_args(args),
+                );
+            }
+            sink.span(
+                SpanEvent::complete(
+                    TrackKind::Flash,
+                    track,
+                    "flash.service",
+                    job.start.as_us(),
+                    job.completion.as_us(),
+                )
+                .with_args(args),
+            );
+            let arrived = arrivals.partition_point(|&a| a <= job.start).max(done + 1);
+            sink.span(SpanEvent::counter(
+                TrackKind::Flash,
+                track,
+                "flash.depth",
+                job.start.as_us(),
+                (arrived - done) as u64,
+            ));
+        }
     }
 }
 
@@ -393,6 +475,34 @@ mod tests {
         assert_eq!(r.makespan, SimTime::ZERO);
         assert_eq!(r.max_depth, 0);
         assert!(r.completions.is_empty());
+    }
+
+    #[test]
+    fn emitted_spans_cover_waits_services_and_depth() {
+        let mut sim = FlashQueueSim::new();
+        sim.submit_shared(job(0, 0, 10), &[1, 2]); // served once, fanout 3
+        sim.submit(job(3, 0, 5)); // queues behind the batch
+        let r = sim.run();
+        let sink = ObsSink::ring(1 << 16);
+        r.emit_spans(&sink, 0);
+        let (events, dropped) = sink.drain();
+        assert_eq!(dropped, 0);
+        let services: Vec<_> = events.iter().filter(|e| e.name == "flash.service").collect();
+        assert_eq!(services.len(), 2, "shared job serves once");
+        assert_eq!(services[0].args.entries()[2], ("fanout", 3));
+        let waits: Vec<_> = events.iter().filter(|e| e.name == "flash.wait").collect();
+        assert_eq!(waits.len(), 1, "only the second job queued");
+        assert_eq!((waits[0].start_us, waits[0].end_us), (0, 10_000));
+        let depths: Vec<u64> = events
+            .iter()
+            .filter(|e| e.name == "flash.depth")
+            .map(|e| e.args.entries()[0].1)
+            .collect();
+        assert_eq!(depths, vec![2, 1]);
+        // Null sink records nothing.
+        let null = ObsSink::Null;
+        r.emit_spans(&null, 0);
+        assert!(null.drain().0.is_empty());
     }
 
     #[test]

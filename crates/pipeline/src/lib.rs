@@ -48,5 +48,5 @@ pub use executor::{ExecutionOutcome, PipelineExecutor};
 pub use registry::ShardedRegistry;
 pub use server::{
     AdmissionMode, BackpressureMode, ContentionReport, EngagementContention, GateDecision,
-    PendingEngagement, ServingStats, Session, StiServer, StiServerBuilder,
+    GateReason, PendingEngagement, ServingStats, Session, StiServer, StiServerBuilder,
 };

@@ -85,9 +85,14 @@ use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
 use sti_device::{FlashModel, HwProfile, SimTime};
+use sti_obs::{
+    Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot, ObsSink, SpanArgs, SpanEvent,
+    TrackKind,
+};
 use sti_planner::compute_plan::dynabert_widths_for;
 use sti_planner::mix::{
-    plan_for_slo_mix, GateOutcome, GatePolicy, PreloadPolicy, ServingMix, SloProfile,
+    plan_for_slo_mix, GateOutcome, GatePolicy, MixLaneSummary, PreloadPolicy, ServingMix,
+    SloProfile,
 };
 use sti_planner::serving::{ServingPlan, ServingPlanCache, ServingPlanKey};
 use sti_planner::{
@@ -149,6 +154,9 @@ pub enum BackpressureMode {
 pub struct GateDecision {
     /// The session's registry token (open order).
     pub session: u64,
+    /// The session's trace-supplied arrival on the simulated timeline —
+    /// the tick gate spans anchor to.
+    pub arrival: SimTime,
     /// The SLO the gate held the engagement to.
     pub slo: SimTime,
     /// Predicted contended latency at the chosen delay (for a shed
@@ -164,6 +172,33 @@ pub struct GateDecision {
     /// co-arriving load (queue mode only; see
     /// [`ServingMix::gate`]).
     pub re_gated: bool,
+    /// What drove the decision: the deciding mix digest and the load the
+    /// prediction ran against.
+    pub reason: GateReason,
+}
+
+/// The structured *why* behind a [`GateDecision`]: the mix digest the
+/// decision was memoized under and a summary of the load the contended
+/// prediction priced — so a shed or delay line in the serve report can
+/// name the co-runner lane and backlog volume that crowded the session
+/// out. A pure function of the mix (see [`ServingMix::lane_summary`]), so
+/// replays derive identical reasons.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GateReason {
+    /// The mix digest the decision was computed (and memoized) under.
+    pub digest: u64,
+    /// Open co-runner sessions the prediction priced (the deciding
+    /// session itself excluded).
+    pub co_runners: usize,
+    /// External-backlog channels with queued or in-flight work.
+    pub backlog_channels: usize,
+    /// Serialized bytes queued in the external backlog.
+    pub backlog_bytes: u64,
+    /// The heaviest co-runner lane by total streamed service time, as
+    /// `(registry token, total service time)` — the lane most responsible
+    /// for the contention the prediction saw. `None` when the session had
+    /// the mix to itself.
+    pub dominant_lane: Option<(u64, SimTime)>,
 }
 
 /// Admission and engagement counters.
@@ -482,6 +517,8 @@ impl StiServerBuilder {
             Some(window) => IoSharing::Batched(window),
             None => IoSharing::Exclusive,
         };
+        let registry = MetricsRegistry::new();
+        let ins = ServingInstruments::resolve(&registry);
         StiServer {
             inner: Arc::new(ServerInner {
                 model: self.model,
@@ -513,7 +550,9 @@ impl StiServerBuilder {
                 gate_walk_memo: Mutex::new(None),
                 active_channels: Mutex::new(HashMap::new()),
                 active_engagements: AtomicUsize::new(0),
-                serving_stats: Mutex::new(ServingStats::default()),
+                registry,
+                ins,
+                obs: Mutex::new(ObsSink::Null),
                 engagement_log: Mutex::new(Vec::new()),
                 gate_log: Mutex::new(Vec::new()),
             }),
@@ -521,9 +560,52 @@ impl StiServerBuilder {
     }
 }
 
-/// One memoized full gate walk: the mix digest it ran against, and every
-/// open SLO session's outcome from that walk ([`ServingMix::gate_all`]).
-type GateWalkMemo = (u64, Arc<HashMap<u64, GateOutcome>>);
+/// One memoized full gate walk: the mix digest it ran against, every open
+/// SLO session's outcome from that walk ([`ServingMix::gate_all`]), and
+/// the lane summary the walk's reasons derive from — computed once per
+/// walk so per-decision reason assembly stays O(1).
+type GateWalkMemo = (u64, Arc<HashMap<u64, GateOutcome>>, MixLaneSummary);
+
+/// The server's named instruments, resolved once at build so hot paths
+/// never touch the registry map. [`StiServer::serving_stats`] reconstructs
+/// [`ServingStats`] from these — the instruments *are* the counters, not a
+/// copy of them.
+struct ServingInstruments {
+    admitted_sessions: Counter,
+    rejected_sessions: Counter,
+    monitor_violations: Counter,
+    engagements: Counter,
+    shed_engagements: Counter,
+    queued_engagements: Counter,
+    /// Peak-tracking gauge: only the high-water mark is maintained (the
+    /// live value stays on `ServerInner::active_engagements`).
+    peak_engagements: Gauge,
+    /// Bytes of preload the sharing-aware `|S|` search moved, as a gauge:
+    /// retargets *replace* a session's contribution (sub then add), so a
+    /// monotonic counter cannot represent it.
+    preload_bytes_reallocated: Gauge,
+    gate_decisions: Counter,
+    gate_delay_us: Histogram,
+    gate_predicted_us: Histogram,
+}
+
+impl ServingInstruments {
+    fn resolve(registry: &MetricsRegistry) -> Self {
+        Self {
+            admitted_sessions: registry.counter("serving.admitted_sessions"),
+            rejected_sessions: registry.counter("serving.rejected_sessions"),
+            monitor_violations: registry.counter("serving.monitor_violations"),
+            engagements: registry.counter("serving.engagements"),
+            shed_engagements: registry.counter("serving.shed_engagements"),
+            queued_engagements: registry.counter("serving.queued_engagements"),
+            peak_engagements: registry.gauge("serving.peak_concurrent_engagements"),
+            preload_bytes_reallocated: registry.gauge("serving.preload_bytes_reallocated"),
+            gate_decisions: registry.counter("gate.decisions"),
+            gate_delay_us: registry.histogram("gate.delay_us"),
+            gate_predicted_us: registry.histogram("gate.predicted_us"),
+        }
+    }
+}
 
 struct ServerInner {
     model: Model,
@@ -600,9 +682,18 @@ struct ServerInner {
     /// registry (deterministic) and must not double-count their live queue
     /// entries; only channels *not* in this map count as external backlog.
     active_channels: Mutex<HashMap<u64, u64>>,
-    /// Engagements currently executing (peak tracked in `serving_stats`).
+    /// Engagements currently executing (peak tracked in
+    /// `ins.peak_engagements`).
     active_engagements: AtomicUsize,
-    serving_stats: Mutex<ServingStats>,
+    /// The server's metrics registry; `serving.*` and `gate.*` instruments
+    /// live here, `io.*` in the scheduler's own
+    /// ([`StiServer::metrics_snapshot`] merges both).
+    registry: MetricsRegistry,
+    /// Handles resolved from `registry` at build.
+    ins: ServingInstruments,
+    /// Live span sink (admission instants here, host-track dispatch spans
+    /// via the scheduler); defaults to [`ObsSink::Null`].
+    obs: Mutex<ObsSink>,
     /// Contended-track records, one per executed engagement.
     engagement_log: Mutex<Vec<EngagementRecord>>,
     /// Backpressure-gate decisions, one per gated engagement.
@@ -932,14 +1023,32 @@ impl StiServer {
         if !served.meets_slo {
             match inner.admission {
                 AdmissionMode::Enforce => {
-                    inner.serving_stats.lock().rejected_sessions += 1;
+                    inner.ins.rejected_sessions.incr();
+                    // The token this session would have taken — stable
+                    // (opens serialize on the admission gate), so the
+                    // span track is deterministic across replays.
+                    let token = inner.next_session_token.load(Ordering::SeqCst);
+                    inner.obs.lock().span(
+                        SpanEvent::instant(
+                            TrackKind::Session,
+                            token,
+                            "admission.reject",
+                            arrival.as_us(),
+                        )
+                        .with_args(
+                            SpanArgs::new()
+                                .with("predicted_us", served.predicted_contended.as_us())
+                                .with("slo_us", slo.as_us())
+                                .with("co_runners", co_runners as u64),
+                        ),
+                    );
                     return Err(PipelineError::AdmissionRejected {
                         predicted: served.predicted_contended,
                         slo,
                         co_runners,
                     });
                 }
-                AdmissionMode::Monitor => inner.serving_stats.lock().monitor_violations += 1,
+                AdmissionMode::Monitor => inner.ins.monitor_violations.incr(),
                 AdmissionMode::Disabled => {}
             }
         }
@@ -952,11 +1061,17 @@ impl StiServer {
         let (plan, preload) = inner.resolve_serving(&served, preload_budget)?;
         let token = inner.next_session_token.fetch_add(1, Ordering::SeqCst);
         inner.register_load(token, &plan, arrival, Some(slo));
-        {
-            let mut stats = inner.serving_stats.lock();
-            stats.admitted_sessions += 1;
-            stats.preload_bytes_reallocated += served.preload_bytes_reallocated;
-        }
+        inner.ins.admitted_sessions.incr();
+        inner.ins.preload_bytes_reallocated.add(served.preload_bytes_reallocated);
+        inner.obs.lock().span(
+            SpanEvent::instant(TrackKind::Session, token, "admission.admit", arrival.as_us())
+                .with_args(
+                    SpanArgs::new()
+                        .with("predicted_us", served.predicted_contended.as_us())
+                        .with("slo_us", slo.as_us())
+                        .with("co_runners", co_runners as u64),
+                ),
+        );
         inner.open_sessions.fetch_add(1, Ordering::SeqCst);
         Ok(Session {
             inner: self.inner.clone(),
@@ -1035,9 +1150,170 @@ impl StiServer {
         self.inner.plan_cache.len()
     }
 
-    /// Admission and engagement counters.
+    /// Admission and engagement counters, reconstructed from the server's
+    /// named instruments (the instruments are the source of truth; this
+    /// struct is the stable report shape).
     pub fn serving_stats(&self) -> ServingStats {
-        *self.inner.serving_stats.lock()
+        let ins = &self.inner.ins;
+        ServingStats {
+            admitted_sessions: ins.admitted_sessions.get(),
+            rejected_sessions: ins.rejected_sessions.get(),
+            monitor_violations: ins.monitor_violations.get(),
+            engagements: ins.engagements.get(),
+            peak_concurrent_engagements: ins.peak_engagements.max() as usize,
+            shed_engagements: ins.shed_engagements.get(),
+            queued_engagements: ins.queued_engagements.get(),
+            preload_bytes_reallocated: ins.preload_bytes_reallocated.get(),
+        }
+    }
+
+    /// A merged snapshot of every instrument the serving path maintains:
+    /// the server's `serving.*`/`gate.*` registry folded with the IO
+    /// scheduler's `io.*` registry (disjoint prefixes, lossless merge).
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let mut snap = self.inner.registry.snapshot();
+        snap.merge(&self.inner.scheduler.metrics_snapshot());
+        snap
+    }
+
+    /// Routes live spans (admission instants, host-track scheduler
+    /// dispatch spans) to `sink`, and shares it with the IO scheduler.
+    /// The deterministic span stream is assembled separately by
+    /// [`StiServer::trace_spans`]; the live sink only adds color for
+    /// single-run inspection.
+    pub fn set_obs_sink(&self, sink: ObsSink) {
+        self.inner.scheduler.set_obs_sink(sink.clone());
+        *self.inner.obs.lock() = sink;
+    }
+
+    /// The live span sink currently installed (shares the ring with the
+    /// server; [`ObsSink::Null`] when tracing is off). Replay harnesses
+    /// hand this to the event engine so engine-track spans land in the
+    /// same stream.
+    pub fn obs_sink(&self) -> ObsSink {
+        self.inner.obs.lock().clone()
+    }
+
+    /// Assembles the virtual-clock span stream for everything served so
+    /// far. The deterministic tracks are a pure function of the
+    /// engagement, gate, and dispatch logs, so `--exec threaded` and
+    /// `--exec event` replays of one trace produce identical streams (the
+    /// `sti-obs` determinism contract):
+    ///
+    /// * [`TrackKind::Session`] — one `engagement` interval per executed
+    ///   engagement (issue → contended completion, replaying the same
+    ///   recurrence as [`StiServer::contention_report`]), plus one
+    ///   `gate.admit` / `gate.delay` / `gate.shed` event per gate decision
+    ///   carrying the deciding [`GateReason`] digest and dominant lane.
+    /// * [`TrackKind::Flash`] — the contended channel's `flash.wait` /
+    ///   `flash.service` / `flash.depth` timeline from a canonical replay
+    ///   of the dispatch log.
+    ///
+    /// Scheduler channel ids are assigned racily under the threaded
+    /// executor, so dispatch events are first remapped onto stable
+    /// engagement ids (`session << 16 | per-session index` — chronological
+    /// because a session runs its engagements serially) and re-sorted by
+    /// `(arrival, stable id)`, an order both executors agree on, before
+    /// the flash replay. The stable sort only reorders across channels;
+    /// per-channel FIFO is preserved.
+    ///
+    /// Whatever the live [`ObsSink`] has buffered (admission markers,
+    /// host-track dispatch spans) is drained and appended for single-run
+    /// inspection; [`TrackFilter::Deterministic`](sti_obs::TrackFilter)
+    /// keeps host/engine tracks out of deterministic exports. The result
+    /// is sorted by the canonical span key.
+    pub fn trace_spans(&self) -> Vec<SpanEvent> {
+        let inner = &*self.inner;
+        let log = inner.engagement_log.lock();
+        // Stable engagement ids: scheduler channel -> session<<16 | index.
+        let mut next_index: HashMap<u64, u64> = HashMap::new();
+        let mut stable: HashMap<u64, u64> = HashMap::new();
+        for rec in log.iter() {
+            let idx = next_index.entry(rec.session).or_insert(0);
+            stable.insert(rec.channel, (rec.session << 16) | *idx);
+            *idx += 1;
+        }
+        // Canonical flash replay over stable ids.
+        let mut events = inner.scheduler.flash_events();
+        for e in &mut events {
+            e.channel = stable.get(&e.channel).copied().unwrap_or(u64::MAX);
+            for m in &mut e.members {
+                *m = stable.get(m).copied().unwrap_or(u64::MAX);
+            }
+        }
+        events.sort_by_key(|e| (e.arrival, e.channel));
+        let queue = IoScheduler::sim_from_events(&events, inner.flash, inner.dram).run();
+        let ring =
+            ObsSink::ring((queue.completions.len() * 4 + 64) * std::mem::size_of::<SpanEvent>());
+        queue.emit_spans(&ring, 0);
+        let (mut spans, _) = ring.drain();
+        // Session-track engagement intervals: the same per-session issue
+        // clock as the contention report, joined on stable ids.
+        let mut per_engagement: HashMap<u64, Vec<sti_device::CompletedJob>> = HashMap::new();
+        for job in &queue.completions {
+            per_engagement.entry(job.engagement).or_default().push(*job);
+        }
+        let mut session_clock: HashMap<u64, SimTime> = HashMap::new();
+        let mut index: HashMap<u64, u64> = HashMap::new();
+        for rec in log.iter() {
+            let idx = index.entry(rec.session).or_insert(0);
+            let key = (rec.session << 16) | *idx;
+            *idx += 1;
+            let jobs = per_engagement.get(&key).map(Vec::as_slice).unwrap_or(&[]);
+            let io_ends = match align_io_completions(&rec.layer_has_io, jobs) {
+                Some(ends) => ends,
+                None => continue,
+            };
+            let issue =
+                rec.issue.max(session_clock.get(&rec.session).copied().unwrap_or(SimTime::ZERO));
+            let start = jobs.first().map_or(issue, |j| j.start);
+            let comps = vec![rec.comp; rec.layer_has_io.len()];
+            let contended = contended_makespan(start, &io_ends, &comps);
+            session_clock.insert(rec.session, start + contended);
+            spans.push(
+                SpanEvent::complete(
+                    TrackKind::Session,
+                    rec.session,
+                    "engagement",
+                    issue.as_us(),
+                    (start + contended).as_us(),
+                )
+                .with_args(
+                    SpanArgs::new()
+                        .with("engagement", key)
+                        .with("uncontended_us", rec.uncontended.as_us())
+                        .with("slo_us", rec.slo.map_or(0, |s| s.as_us())),
+                ),
+            );
+        }
+        drop(log);
+        // Gate decisions as session-track markers carrying the reason.
+        for d in inner.gate_log.lock().iter() {
+            let args = SpanArgs::new()
+                .with("digest", d.reason.digest)
+                .with("predicted_us", d.predicted.as_us())
+                .with("backlog_bytes", d.reason.backlog_bytes)
+                .with("dominant", d.reason.dominant_lane.map_or(u64::MAX, |(t, _)| t));
+            let span = if d.shed {
+                SpanEvent::instant(TrackKind::Session, d.session, "gate.shed", d.arrival.as_us())
+            } else if d.delay > SimTime::ZERO {
+                SpanEvent::complete(
+                    TrackKind::Session,
+                    d.session,
+                    "gate.delay",
+                    d.arrival.as_us(),
+                    (d.arrival + d.delay).as_us(),
+                )
+            } else {
+                SpanEvent::instant(TrackKind::Session, d.session, "gate.admit", d.arrival.as_us())
+            };
+            spans.push(span.with_args(args));
+        }
+        // Live-sink color (admission markers, host-track dispatch spans).
+        let (live, _) = inner.obs.lock().drain();
+        spans.extend(live);
+        spans.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+        spans
     }
 
     /// SLO-search memo counters (hits mean a session reused a search done
@@ -1143,7 +1419,7 @@ impl StiServer {
             flash_bytes_saved,
             mean_batch_occupancy,
             gate,
-            preload_bytes_reallocated: inner.serving_stats.lock().preload_bytes_reallocated,
+            preload_bytes_reallocated: inner.ins.preload_bytes_reallocated.get(),
         }
     }
 
@@ -1413,18 +1689,15 @@ impl Session {
                         co_runners,
                     });
                 }
-                AdmissionMode::Monitor => inner.serving_stats.lock().monitor_violations += 1,
+                AdmissionMode::Monitor => inner.ins.monitor_violations.incr(),
                 AdmissionMode::Disabled => {}
             }
         }
         let (plan, preload) = inner.resolve_serving(&served, self.preload_budget)?;
-        {
-            // Replace (not re-add) this session's contribution: the stat
-            // tracks bytes moved by sessions' current placements.
-            let mut stats = inner.serving_stats.lock();
-            stats.preload_bytes_reallocated = stats.preload_bytes_reallocated - self.realloc_bytes
-                + served.preload_bytes_reallocated;
-        }
+        // Replace (not re-add) this session's contribution: the gauge
+        // tracks bytes moved by sessions' *current* placements.
+        inner.ins.preload_bytes_reallocated.sub(self.realloc_bytes);
+        inner.ins.preload_bytes_reallocated.add(served.preload_bytes_reallocated);
         self.realloc_bytes = served.preload_bytes_reallocated;
         self.target = served.target;
         self.plan = plan;
@@ -1492,34 +1765,55 @@ impl Session {
                 return Some(decision);
             }
         }
-        if let Some((seen, walk)) = inner.gate_walk_memo.lock().as_ref() {
+        if let Some((seen, walk, summary)) = inner.gate_walk_memo.lock().as_ref() {
             if *seen == probe {
                 let outcome =
                     *walk.get(&self.token).expect("an open SLO session is always in the registry");
-                let decision = self.decision_from(outcome, slo);
+                let decision = self.decision_from(outcome, slo, *summary, probe);
                 *self.gate_memo.lock() = Some((probe, decision));
                 return Some(decision);
             }
         }
         let (digest, mix) = inner.live_mix.snapshot_with(external);
+        let summary = mix.lane_summary();
         let outcomes: HashMap<u64, GateOutcome> = mix.gate_all(policy).into_iter().collect();
         let outcome =
             *outcomes.get(&self.token).expect("an open SLO session is always in the registry");
-        *inner.gate_walk_memo.lock() = Some((digest, Arc::new(outcomes)));
-        let decision = self.decision_from(outcome, slo);
+        *inner.gate_walk_memo.lock() = Some((digest, Arc::new(outcomes), summary));
+        let decision = self.decision_from(outcome, slo, summary, digest);
         *self.gate_memo.lock() = Some((digest, decision));
         Some(decision)
     }
 
-    /// Shapes a walk outcome into this session's [`GateDecision`].
-    fn decision_from(&self, outcome: GateOutcome, slo: SimTime) -> GateDecision {
+    /// Shapes a walk outcome into this session's [`GateDecision`],
+    /// attaching the structured [`GateReason`] — the mix digest the walk
+    /// was priced under, the co-runner count, the contended backlog, and
+    /// the heaviest co-running lane (this session excluded) whose load
+    /// drove the delay or shed.
+    fn decision_from(
+        &self,
+        outcome: GateOutcome,
+        slo: SimTime,
+        summary: MixLaneSummary,
+        digest: u64,
+    ) -> GateDecision {
         GateDecision {
             session: self.token,
+            arrival: self.arrival,
             slo,
             predicted: outcome.predicted,
             delay: outcome.delay,
             shed: outcome.shed,
             re_gated: outcome.re_gated,
+            reason: GateReason {
+                digest,
+                co_runners: summary.sessions.saturating_sub(1),
+                backlog_channels: summary.backlog_channels,
+                backlog_bytes: summary.backlog_bytes,
+                dominant_lane: summary
+                    .dominant_excluding(self.token)
+                    .map(|(token, us)| (token, SimTime::from_us(us))),
+            },
         }
     }
 
@@ -1580,19 +1874,19 @@ impl Session {
         let mut gate_delay = SimTime::ZERO;
         if let Some(decision) = self.gate() {
             inner.gate_log.lock().push(decision);
-            let mut stats = inner.serving_stats.lock();
+            inner.ins.gate_decisions.incr();
+            inner.ins.gate_delay_us.record(decision.delay.as_us());
+            inner.ins.gate_predicted_us.record(decision.predicted.as_us());
             if decision.shed {
-                stats.shed_engagements += 1;
-                drop(stats);
+                inner.ins.shed_engagements.incr();
                 return Err(PipelineError::Backpressure {
                     predicted: decision.predicted,
                     slo: decision.slo,
                 });
             }
             if decision.delay > SimTime::ZERO {
-                stats.queued_engagements += 1;
+                inner.ins.queued_engagements.incr();
             }
-            drop(stats);
             gate_delay = decision.delay;
             // Virtual clock: queue delays land on the simulated timeline
             // (`gate_delay` below prices the engagement); the wall clock
@@ -1605,10 +1899,7 @@ impl Session {
 
         let active = inner.active_engagements.fetch_add(1, Ordering::SeqCst) + 1;
         let active_guard = ActiveGuard(self.inner.clone());
-        {
-            let mut stats = inner.serving_stats.lock();
-            stats.peak_concurrent_engagements = stats.peak_concurrent_engagements.max(active);
-        }
+        inner.ins.peak_engagements.observe_peak(active as u64);
 
         // Mark the channel as session-owned so a concurrent gate prices
         // this session from the registry, not from the live queue too. The
@@ -1666,7 +1957,7 @@ impl Session {
             comp: inner.hw.t_comp(self.plan.shape.width),
             uncontended: outcome.timeline.makespan,
         });
-        inner.serving_stats.lock().engagements += 1;
+        inner.ins.engagements.incr();
 
         Ok(Inference {
             class: outcome.class,

@@ -43,7 +43,7 @@ pub use io_plan::{
 };
 pub use mix::{
     digest_from_parts, mix_token, plan_for_slo_mix, reallocate_preload_for_mix, GateOutcome,
-    GatePolicy, MixSession, PreloadPolicy, ServingMix, SloProfile,
+    GatePolicy, MixLaneSummary, MixSession, PreloadPolicy, ServingMix, SloProfile,
 };
 pub use plan::{ExecutionPlan, PlannedLayer, SubmodelShape};
 pub use schedule::{simulate_pipeline, LayerTiming, SchedulePrediction};

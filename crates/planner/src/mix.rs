@@ -184,6 +184,35 @@ struct Lane {
     jobs: Arc<[LayerIoJob]>,
 }
 
+/// A compact, `Copy` summary of the load a gate decision ran against —
+/// the explainability payload behind a structured gate *reason*: how much
+/// external backlog was queued, how many sessions were open, and which
+/// co-runner lanes dominate by total streamed service time. Computed once
+/// per gate walk (O(sessions + backlog)) and shared by every decision
+/// priced from that walk.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MixLaneSummary {
+    /// Channels in the external backlog with queued or in-flight work.
+    pub backlog_channels: usize,
+    /// Serialized bytes queued in the external backlog.
+    pub backlog_bytes: u64,
+    /// Open sessions in the mix.
+    pub sessions: usize,
+    /// The two heaviest co-runner lanes as `(token, total service µs)`,
+    /// heaviest first; equal loads rank by lower token. Keeping two lets a
+    /// session name its dominant *co-runner* in O(1) even when it is
+    /// itself the heaviest lane.
+    pub heaviest: [Option<(u64, u64)>; 2],
+}
+
+impl MixLaneSummary {
+    /// The heaviest co-runner lane that is not `token` itself (the session
+    /// asking "who is crowding me out").
+    pub fn dominant_excluding(&self, token: u64) -> Option<(u64, u64)> {
+        self.heaviest.iter().flatten().copied().find(|&(t, _)| t != token)
+    }
+}
+
 /// The canonical workload mix a contended prediction runs against: the
 /// open-session registry (in registration order), an external backlog of
 /// live queued IO, and the IO-sharing mode. See the module docs.
@@ -415,6 +444,38 @@ impl ServingMix {
             }
         }
         sigs
+    }
+
+    /// Summarizes the mix's lanes for gate-reason reporting: backlog
+    /// volume, session count, and the top co-runner lanes by total
+    /// streamed service time. A pure function of the mix, so every replay
+    /// derives identical reasons.
+    pub fn lane_summary(&self) -> MixLaneSummary {
+        // Ranks `a` above `b`: more service first, lower token on ties.
+        fn outranks(a: (u64, u64), b: (u64, u64)) -> bool {
+            a.1 > b.1 || (a.1 == b.1 && a.0 < b.0)
+        }
+        let mut heaviest: [Option<(u64, u64)>; 2] = [None; 2];
+        for s in &self.sessions {
+            let service: u64 = s.load.jobs.iter().map(|j| j.service.as_us()).sum();
+            let mut cand = (s.token, service);
+            for slot in &mut heaviest {
+                match slot {
+                    Some(held) if outranks(cand, *held) => cand = std::mem::replace(held, cand),
+                    Some(_) => {}
+                    None => {
+                        *slot = Some(cand);
+                        break;
+                    }
+                }
+            }
+        }
+        MixLaneSummary {
+            backlog_channels: self.backlog.channels.len(),
+            backlog_bytes: self.backlog.queued_bytes(),
+            sessions: self.sessions.len(),
+            heaviest,
+        }
     }
 
     /// Runs the deterministic gate walk for the session holding `token`

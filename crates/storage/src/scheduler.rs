@@ -54,6 +54,10 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
 use sti_device::{FlashJob, FlashModel, FlashQueueSim, SimTime};
+use sti_obs::{
+    Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot, ObsSink, SpanArgs, SpanEvent,
+    TrackKind,
+};
 
 use crate::batcher::{batchable, BatchPolicy, BatchStats};
 use crate::cache::ShardCache;
@@ -220,7 +224,42 @@ struct SchedState {
     /// queue work deterministically, then release it in one burst).
     paused: bool,
     shutdown: bool,
-    stats: IoSchedulerStats,
+}
+
+/// The scheduler's named instruments, resolved once at spawn so the
+/// dispatch path never touches the registry map. [`IoScheduler::stats`]
+/// reconstructs [`IoSchedulerStats`] from these — the instruments *are*
+/// the accounting, not a copy of it.
+struct IoInstruments {
+    requests: Counter,
+    bytes: Counter,
+    sim_flash_busy_us: Counter,
+    contended_requests: Counter,
+    batched_dispatches: Counter,
+    coalesced_requests: Counter,
+    flash_bytes_saved: Counter,
+    queue_depth: Gauge,
+    batch_fanout: Gauge,
+    request_bytes: Histogram,
+    service_us: Histogram,
+}
+
+impl IoInstruments {
+    fn resolve(registry: &MetricsRegistry) -> Self {
+        Self {
+            requests: registry.counter("io.requests"),
+            bytes: registry.counter("io.bytes"),
+            sim_flash_busy_us: registry.counter("io.sim_flash_busy_us"),
+            contended_requests: registry.counter("io.contended_requests"),
+            batched_dispatches: registry.counter("io.batch.dispatches"),
+            coalesced_requests: registry.counter("io.batch.coalesced_requests"),
+            flash_bytes_saved: registry.counter("io.batch.flash_bytes_saved"),
+            queue_depth: registry.gauge("io.queue_depth"),
+            batch_fanout: registry.gauge("io.batch.fanout"),
+            request_bytes: registry.histogram("io.request_bytes"),
+            service_us: registry.histogram("io.service_us"),
+        }
+    }
 }
 
 struct Shared {
@@ -234,6 +273,14 @@ struct Shared {
     work_cv: Condvar,
     /// Signals channel owners that a completion landed.
     done_cv: Condvar,
+    /// The scheduler's own metrics registry ([`IoScheduler::metrics_snapshot`]
+    /// exposes it; the server merges it into the serving snapshot).
+    registry: MetricsRegistry,
+    /// Handles resolved from `registry` at spawn.
+    instruments: IoInstruments,
+    /// Span sink for host-track dispatch spans (defaults to
+    /// [`ObsSink::Null`]; see [`IoScheduler::set_obs_sink`]).
+    obs: Mutex<ObsSink>,
 }
 
 impl Shared {
@@ -298,6 +345,8 @@ impl IoScheduler {
     ) -> Self {
         assert!(workers > 0, "scheduler needs at least one worker");
         assert!((0.0..=10.0).contains(&throttle_scale), "throttle scale must be within [0, 10]");
+        let registry = MetricsRegistry::new();
+        let instruments = IoInstruments::resolve(&registry);
         let shared = Arc::new(Shared {
             source,
             cache,
@@ -307,6 +356,9 @@ impl IoScheduler {
             state: Mutex::new(SchedState::default()),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
+            registry,
+            instruments,
+            obs: Mutex::new(ObsSink::Null),
         });
         let handles = (0..workers)
             .map(|i| {
@@ -338,9 +390,38 @@ impl IoScheduler {
         IoChannel { shared: self.shared.clone(), id }
     }
 
-    /// Aggregate accounting so far.
+    /// Aggregate accounting so far, reconstructed from the scheduler's
+    /// named instruments (the instruments are the source of truth; this
+    /// struct is the stable report shape).
     pub fn stats(&self) -> IoSchedulerStats {
-        self.shared.lock_state().stats
+        let i = &self.shared.instruments;
+        IoSchedulerStats {
+            requests: i.requests.get(),
+            bytes: i.bytes.get(),
+            sim_flash_busy: SimTime::from_us(i.sim_flash_busy_us.get()),
+            max_queue_depth: i.queue_depth.max() as usize,
+            contended_requests: i.contended_requests.get(),
+            batch: BatchStats {
+                batched_dispatches: i.batched_dispatches.get(),
+                coalesced_requests: i.coalesced_requests.get(),
+                flash_bytes_saved: i.flash_bytes_saved.get(),
+                max_fanout: i.batch_fanout.max() as usize,
+            },
+        }
+    }
+
+    /// A snapshot of every `io.*` instrument (counters, gauges, and the
+    /// per-dispatch byte/service-time histograms).
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.shared.registry.snapshot()
+    }
+
+    /// Routes host-track `io.dispatch` spans to `sink` (simulated-µs
+    /// timestamps, but dispatch *order* and batch fan-out are
+    /// executor-dependent — hence [`TrackKind::Host`], which deterministic
+    /// exports exclude).
+    pub fn set_obs_sink(&self, sink: ObsSink) {
+        *self.shared.obs.lock().unwrap_or_else(|e| e.into_inner()) = sink;
     }
 
     /// The scheduler's shared-IO batching policy.
@@ -679,18 +760,42 @@ fn run_dispatch(shared: &Shared, dispatch: Dispatch) {
             // Per-engagement (uncontended-track) accounting: every
             // member streamed the layer as far as the device model is
             // concerned, so the unbatched totals charge the fan-out.
-            state.stats.requests += fanout as u64;
-            state.stats.bytes += loaded.bytes * fanout as u64;
-            state.stats.sim_flash_busy += loaded.io_delay * fanout as u64;
-            state.stats.max_queue_depth = state.stats.max_queue_depth.max(depth);
+            let ins = &shared.instruments;
+            ins.requests.add(fanout as u64);
+            ins.bytes.add(loaded.bytes * fanout as u64);
+            ins.sim_flash_busy_us.add(loaded.io_delay.as_us() * fanout as u64);
+            ins.queue_depth.observe_peak(depth as u64);
             if depth > 1 {
-                state.stats.contended_requests += fanout as u64;
+                ins.contended_requests.add(fanout as u64);
             }
             if fanout > 1 {
-                state.stats.batch.batched_dispatches += 1;
-                state.stats.batch.coalesced_requests += members.len() as u64;
-                state.stats.batch.flash_bytes_saved += loaded.bytes * members.len() as u64;
-                state.stats.batch.max_fanout = state.stats.batch.max_fanout.max(fanout);
+                ins.batched_dispatches.incr();
+                ins.coalesced_requests.add(members.len() as u64);
+                ins.flash_bytes_saved.add(loaded.bytes * members.len() as u64);
+                ins.batch_fanout.observe_peak(fanout as u64);
+            }
+            ins.request_bytes.record(loaded.bytes);
+            ins.service_us.record(loaded.io_delay.as_us());
+            {
+                let sink = shared.obs.lock().unwrap_or_else(|e| e.into_inner()).clone();
+                if sink.enabled() {
+                    sink.span(
+                        SpanEvent::complete(
+                            TrackKind::Host,
+                            channel_id,
+                            "io.dispatch",
+                            arrival.as_us(),
+                            (arrival + loaded.io_delay).as_us(),
+                        )
+                        .with_args(
+                            SpanArgs::new()
+                                .with("seq", seq)
+                                .with("fanout", fanout as u64)
+                                .with("bytes", loaded.bytes)
+                                .with("hit_bytes", hit_bytes),
+                        ),
+                    );
+                }
             }
             state.events.push(FlashDispatchEvent {
                 seq,

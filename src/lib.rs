@@ -90,9 +90,46 @@
 //!
 //! `gate_mean_us` is the near-flat number (memoized steady state);
 //! `gate_cold_us` is the one full walk a registry change costs, amortized
-//! over every session's next decision. `tests/serving_fleet.rs` pins the
-//! incremental digest equal to a from-scratch rehash under arbitrary
-//! register/retarget/drop/backlog interleavings.
+//! over every session's next decision — and `gate_p50_us`/`gate_p90_us`/
+//! `gate_p99_us` give the tail from a log₂-bucket histogram.
+//! `tests/serving_fleet.rs` pins the incremental digest equal to a
+//! from-scratch rehash under arbitrary register/retarget/drop/backlog
+//! interleavings. Re-running `--bench-out` against an existing ledger
+//! *merges* by `(exec_mode, fleet points)` instead of clobbering, so
+//! threaded and event sweeps accumulate in one file.
+//!
+//! ## Deterministic observability (`sti-obs`)
+//!
+//! Everything the runtime reports about itself is clocked on *simulated*
+//! time, so observability is a pure function of the replay — and never
+//! perturbs it:
+//!
+//! - **Spans.** Every engagement, flash job, and gate decision becomes a
+//!   [`prelude::SpanEvent`] on a `(track, name, tick)` virtual timeline,
+//!   assembled canonically from the server's logs after the replay.
+//!   Racy threaded-mode channel ids are remapped to stable
+//!   `(session, engagement)` ids, so the deterministic tracks
+//!   (session/channel/flash — [`prelude::TrackFilter::Deterministic`])
+//!   export **byte-identically** across `--exec threaded` and
+//!   `--exec event` and across runs. Engine ticks and host-side dispatch
+//!   ride separate non-deterministic "color" tracks that the filter
+//!   excludes. Span names are dotted lowercase (`gate.delay`,
+//!   `flash.service`, `io.dispatch`, `engine.tick`).
+//! - **Metrics.** `IoScheduler` and `StiServer` counters are named
+//!   instruments in a [`prelude::MetricsRegistry`] (sharded counters,
+//!   peak-tracking gauges, fixed log₂-bucket histograms — no allocation
+//!   on the hot path); instrument prefixes (`io.*`, `serving.*`,
+//!   `gate.*`, `engine.*`) are disjoint so snapshots merge losslessly.
+//! - **Exporters.** `sti serve --trace-out spans.json` writes
+//!   Chrome-trace/Perfetto JSON (open in `ui.perfetto.dev`);
+//!   `--trace-tracks all` adds the color tracks; `--metrics-out` writes
+//!   the metrics snapshot as sorted JSON with histogram percentiles.
+//!
+//! When no sink is installed the span hot path is a branch on
+//! [`prelude::ObsSink::Null`] — `crates/bench/benches/obs_overhead.rs` pins the
+//! disabled-mode overhead in the noise floor, and
+//! `tests/serving_obs.rs` pins run-twice and cross-executor export
+//! determinism plus the never-perturbs contract.
 //!
 //! The single-app engine path (`StiEngine::builder(..)`) works exactly as
 //! in the seed; see `crates/pipeline` for both facades, and the

@@ -43,10 +43,15 @@ pub fn usage() -> String {
      \x20                                  (near-flat in N); forces queue backpressure when\n\
      \x20                                  --backpressure is off\n\
      \x20             [--fleet-slo-sessions 4] [--fleet-decisions 512]\n\
+     \x20             [--channels 1]       device channels on the simulated flash: C per-\n\
+     \x20                                  channel FIFO lanes striped across by placement\n\
+     \x20                                  (1 = the legacy single-channel device, bit-\n\
+     \x20                                  identical to before the knob existed)\n\
      \x20             [--exec threaded|event]  executor for the replay (and the fleet's\n\
      \x20                                  engagement phase): threaded = one OS thread per\n\
      \x20                                  client, event = the discrete-event engine on one\n\
-     \x20                                  thread (bit-identical outcomes)\n\
+     \x20                                  thread (bit-identical outcomes); the fleet sweep\n\
+     \x20                                  defaults to event, plain replay to threaded\n\
      \x20             [--trace-out spans.json]  write the replay's virtual-clock span\n\
      \x20                                  stream as Chrome-trace JSON (open in Perfetto or\n\
      \x20                                  about:tracing); clocked on *simulated* time, so\n\
@@ -58,8 +63,9 @@ pub fn usage() -> String {
      \x20                                  (serving.*/gate.*/io.* counters, gauges, and\n\
      \x20                                  histogram percentiles)\n\
      \x20             [--bench-out BENCH_serving.json]  merge the fleet sweep into the perf\n\
-     \x20                                  ledger: the entry with the same exec_mode and\n\
-     \x20                                  sizes is replaced, new configurations append\n"
+     \x20                                  ledger: the entry with the same exec_mode,\n\
+     \x20                                  channels, and sizes is replaced, new\n\
+     \x20                                  configurations append\n"
         .to_string()
 }
 
@@ -268,6 +274,9 @@ fn cmd_serve(args: &Args) -> Result<String, ArgError> {
         backpressure_mode(args.get_or("backpressure", "off"), args.get_u64("max-queue-ms", 100)?)?;
     let plan_sharing = plan_sharing_mode(args.get_or("plan-sharing", "off"))?;
     let exec = exec_mode(args.get_or("exec", "threaded"))?;
+    let channels_raw = args.get_u64("channels", 1)?.max(1);
+    let channels = u16::try_from(channels_raw)
+        .map_err(|_| ArgError(format!("--channels {channels_raw} exceeds {}", u16::MAX)))?;
     let mut cfg = ServeConfig {
         device: device(args.get_or("device", "odroid"))?,
         target: SimTime::from_ms(args.get_u64("target-ms", 200)?),
@@ -280,6 +289,7 @@ fn cmd_serve(args: &Args) -> Result<String, ArgError> {
         batch_window: (batch_window_us > 0).then(|| SimTime::from_us(batch_window_us)),
         backpressure,
         plan_sharing,
+        channels,
     };
     let model_cfg = match args.get_or("model", "bert") {
         "tiny" => ModelConfig::tiny(), // CI smoke scale
@@ -314,7 +324,13 @@ fn cmd_serve(args: &Args) -> Result<String, ArgError> {
                 "fleet-decisions",
                 args.get_u64("fleet-decisions", 512)?.max(1),
             )?,
-            exec,
+            // The sweep defaults to the deterministic event engine; an
+            // explicit --exec threaded keeps the thread-per-client path.
+            exec: match args.get("exec") {
+                Some(name) => exec_mode(name)?,
+                None => ExecMode::Event,
+            },
+            channels,
         };
         if matches!(cfg.backpressure, BackpressureMode::Off) {
             // The sweep measures the gate; give it one by default.
@@ -329,10 +345,11 @@ fn cmd_serve(args: &Args) -> Result<String, ArgError> {
         let mut report = String::new();
         for p in &points {
             report.push_str(&format!(
-                "fleet N={:<7} open {:.3?}  admission mean {:.3?}  gate cold {:.3?}  \
+                "fleet N={:<7} C={} open {:.3?}  admission mean {:.3?}  gate cold {:.3?}  \
                  gate mean {:.3?}  digest {:.3?}  {:.0} decisions/s  \
-                 {:.0} engagements/s ({} heap_ops)\n",
+                 {:.0} engagements/s ({} heap_ops, {:.0} contended eng/sim-s)\n",
                 p.sessions,
+                p.channels,
                 p.open_wall,
                 p.admission_mean,
                 p.gate_cold,
@@ -341,6 +358,7 @@ fn cmd_serve(args: &Args) -> Result<String, ArgError> {
                 p.decisions_per_sec,
                 p.engagements_per_sec,
                 p.heap_ops,
+                p.contended_eps,
             ));
         }
         if let (Some(first), Some(last)) = (points.first(), points.last()) {
@@ -353,8 +371,9 @@ fn cmd_serve(args: &Args) -> Result<String, ArgError> {
         }
         if let Some(path) = args.get("bench-out") {
             // Merge into the existing ledger instead of clobbering it: an
-            // entry with the same (exec_mode, sessions column) is replaced
-            // in place, anything else appends — history survives.
+            // entry with the same (exec_mode, channels, sessions column)
+            // is replaced in place, anything else appends — history
+            // survives.
             let existing = std::fs::read_to_string(path).unwrap_or_default();
             let merged = merge_fleet_ledger(&existing, &json);
             std::fs::write(path, &merged)
@@ -768,6 +787,39 @@ mod tests {
         std::fs::remove_file(&path).unwrap();
         assert!(json.contains("\"bench\": \"serving_fleet\""), "{json}");
         assert!(json.contains("\"sessions\": 10"), "{json}");
+        // Defaults: fleet sweeps run on the event engine, single-channel.
+        assert!(json.contains("\"exec_mode\": \"event\""), "{json}");
+        assert!(json.contains("\"channels\": 1"), "{json}");
+    }
+
+    #[test]
+    fn serve_fleet_accepts_a_channel_count() {
+        let path =
+            std::env::temp_dir().join(format!("sti-cli-fleet-c4-{}.json", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let args = Args::parse([
+            "serve",
+            "--task",
+            "sst2",
+            "--model",
+            "tiny",
+            "--fleet",
+            "4",
+            "--fleet-slo-sessions",
+            "2",
+            "--fleet-decisions",
+            "8",
+            "--channels",
+            "4",
+            "--bench-out",
+            path.to_str().unwrap(),
+        ])
+        .unwrap();
+        let report = dispatch(&args).unwrap();
+        assert!(report.contains("C=4"), "{report}");
+        let json = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert!(json.contains("\"channels\": 4"), "{json}");
     }
 
     #[test]

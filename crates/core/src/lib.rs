@@ -57,13 +57,18 @@
 //! client is a [`Component`] on one simulated clock and N clients cost
 //! one OS thread. Which executor ran is an explicit [`ExecMode`] knob;
 //! the per-engagement outcomes and gate decisions are identical across
-//! all three by contract. [`fleet_sweep`] scales the open-session
-//! registry to fleet sizes and [`fleet_report_json`] writes the perf
-//! ledger (`BENCH_serving.json`): entries carry `exec_mode`, and
-//! event-mode points add `engagements_per_sec` plus the engine's
-//! `heap_ops` beside the admission/gate/digest columns, and
-//! [`merge_fleet_ledger`] folds repeated sweeps into one ledger keyed by
-//! `(exec_mode, fleet points)`. Every [`ServeReport`] also carries the
+//! all three by contract; the fleet sweep defaults to the event engine,
+//! with the threaded path retained behind the knob. [`fleet_sweep`]
+//! scales the open-session registry to fleet sizes and
+//! [`fleet_report_json`] writes the perf ledger (`BENCH_serving.json`):
+//! entries carry `exec_mode` and the device `channels`
+//! ([`ServeConfig::channels`] / `sti serve --channels N`), points add
+//! `engagements_per_sec`, `contended_eps` (replay engagements per
+//! *simulated* second — the column that scales with the channel count)
+//! and the engine's `heap_ops` beside the admission/gate/digest columns,
+//! and [`merge_fleet_ledger`] folds repeated sweeps into one ledger
+//! keyed by `(exec_mode, channels, fleet points)`. Every
+//! [`ServeReport`] also carries the
 //! deterministic observability stream — virtual-clock spans (export with
 //! [`sti_obs::chrome_trace_json`]) and a merged metrics snapshot — which
 //! is byte-identical across executors on the deterministic tracks; see
@@ -73,20 +78,23 @@
 #![warn(missing_docs)]
 
 pub mod baselines;
-pub mod engine;
 pub mod gold;
 pub mod runner;
 pub mod serving;
 pub mod trace_file;
 
 pub use baselines::Baseline;
-pub use engine::{Component, ComponentId, Engine, EngineReport, System};
 pub use runner::{run_experiment, Experiment, RunResult, TaskContext};
 pub use serving::{
     build_server, fleet_report_json, fleet_sweep, merge_fleet_ledger, replay_concurrent,
     replay_event, replay_sequential, ClientTrace, EngagementOutcome, ExecMode, FleetConfig,
     FleetPoint, ServeConfig, ServeReport, ServingTrace,
 };
+/// The discrete-event executor now lives beside the device models it
+/// simulates (`sti_device::engine`); this alias keeps `sti_core::engine`
+/// paths working.
+pub use sti_device::engine;
+pub use sti_device::engine::{Component, ComponentId, Engine, EngineReport, System};
 pub use trace_file::{load_trace, parse_trace, TraceFileError};
 
 /// One-stop imports for applications and experiments.
@@ -102,8 +110,8 @@ pub mod prelude {
     };
     pub use crate::trace_file::{load_trace, parse_trace, TraceFileError};
     pub use sti_device::{
-        ComputeModel, DeviceProfile, FlashJob, FlashModel, FlashQueueSim, HwProfile, PowerModel,
-        SimTime,
+        ComputeModel, DeviceProfile, DeviceTopology, FlashJob, FlashModel, FlashQueueSim,
+        HwProfile, PowerModel, SimTime, TopologyQueueSim, TopologyReport,
     };
     pub use sti_nlp::{Dataset, HashingTokenizer, Task, TaskKind};
     pub use sti_obs::{

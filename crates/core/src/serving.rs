@@ -94,6 +94,12 @@ pub struct ServeConfig {
     /// preload, or sharing-aware placement ranked by marginal contended
     /// value under the live mix (meaningful with a batching window).
     pub plan_sharing: PreloadPolicy,
+    /// Flash channels the simulated device exposes
+    /// ([`sti_pipeline::StiServerBuilder::channels`]). Sessions stripe
+    /// their shard placement across channels; `1` (the default) is the
+    /// legacy single-channel device, bit-identical to before the knob
+    /// existed.
+    pub channels: u16,
 }
 
 impl Default for ServeConfig {
@@ -110,6 +116,7 @@ impl Default for ServeConfig {
             batch_window: None,
             backpressure: BackpressureMode::Off,
             plan_sharing: PreloadPolicy::PerSession,
+            channels: 1,
         }
     }
 }
@@ -252,6 +259,7 @@ pub fn build_server(ctx: &TaskContext, cfg: &ServeConfig) -> StiServer {
         })
         .backpressure(cfg.backpressure)
         .plan_sharing(cfg.plan_sharing)
+        .channels(cfg.channels.max(1))
         .build()
 }
 
@@ -390,9 +398,10 @@ fn report(
 /// in client order, so admission matches the threaded modes exactly.
 ///
 /// The IO scheduler's worker pool is parked ([`StiServer::pause_io`]) for
-/// the whole replay; a dedicated *flash component* — registered last, so
-/// at every instant it ticks after all co-arriving clients — services the
-/// queue dry on the engine thread ([`StiServer::drive_io`]) and wakes the
+/// the whole replay; dedicated *flash components* — one per device
+/// channel, registered after the clients, so at every instant they tick
+/// after all co-arriving issuers — service the queue dry on the engine
+/// thread ([`StiServer::drive_io_on`]), and the last channel wakes the
 /// issuers. Each client's engagement is split across the instant:
 /// [`Session::infer_issue`] enqueues its layer requests, the flash
 /// component dispatches them, and the woken client runs
@@ -428,9 +437,14 @@ pub fn replay_event(
         pendings: Vec<Option<PendingEngagement>>,
         /// Next engagement index per client.
         cursor: Vec<usize>,
-        /// Clients that issued this instant, to wake once the flash ticks.
+        /// Clients that issued this instant, to wake once every flash
+        /// channel has serviced its lane of the queue.
         waiting: Vec<ComponentId>,
+        /// Component id of device channel 0's flash server; channel `c`
+        /// is `flash + c`.
         flash: ComponentId,
+        /// Device channels on the simulated flash (one component each).
+        channels: usize,
         /// First error in engine order; halts the run.
         error: Option<PipelineError>,
     }
@@ -490,8 +504,14 @@ pub fn replay_event(
                     Ok(pending) => {
                         sys.ctx.pendings[self.id] = Some(pending);
                         sys.ctx.waiting.push(self.id);
-                        let flash = sys.ctx.flash;
-                        sys.wake(flash, now);
+                        // Wake every device channel's flash component: the
+                        // engagement's requests may stripe across any of
+                        // them (one component — the legacy schedule — on a
+                        // single-channel device).
+                        let (flash, channels) = (sys.ctx.flash, sys.ctx.channels);
+                        for c in 0..channels {
+                            sys.wake(flash + c, now);
+                        }
                         return None;
                     }
                     Err(PipelineError::Backpressure { .. }) => continue,
@@ -501,12 +521,19 @@ pub fn replay_event(
         }
     }
 
-    /// The shared flash channel: services every queued request on the
-    /// engine thread, then wakes the issuers (same instant — completion
-    /// never blocks). Registered last, so its `ComponentId` is the
-    /// highest and every co-arriving producer ticks before it.
+    /// One simulated flash channel: services every request placed on its
+    /// device channel on the engine thread; the *last* channel (highest
+    /// `ComponentId`, so it ticks after its siblings at every instant)
+    /// then wakes the issuers (same instant — completion never blocks).
+    /// All flash components are registered after the clients, so every
+    /// co-arriving producer ticks before any channel dispatches.
     struct Flash {
         id: ComponentId,
+        /// The device channel this component services.
+        channel: u16,
+        /// Whether this is the highest-id flash component — the one that
+        /// wakes the waiting issuers once every channel has drained.
+        last: bool,
     }
 
     impl<'a> Component<Ctx<'a>> for Flash {
@@ -517,10 +544,28 @@ pub fn replay_event(
             None // woken by issuers, never self-scheduled
         }
         fn tick(&mut self, now: SimTime, sys: &mut System<'_, Ctx<'a>>) -> Option<SimTime> {
-            sys.ctx.server.drive_io();
-            let waiting = std::mem::take(&mut sys.ctx.waiting);
-            for id in waiting {
-                sys.wake(id, now);
+            sys.ctx.server.drive_io_on(self.channel);
+            if self.last {
+                // A lane is FIFO, but its requests stripe across device
+                // channels: serving its head on channel 3 can expose a
+                // head for channel 0, whose component already ticked this
+                // instant. Sweep the channels in order to a fixpoint so
+                // every dispatchable request is served before any issuer
+                // wakes (`infer_complete` must never block). The sweep is
+                // a pure function of queue state, so determinism holds;
+                // under `C = 1` the first pass already drained everything
+                // and the single sweep is a no-op.
+                loop {
+                    let served: usize =
+                        (0..sys.ctx.channels).map(|c| sys.ctx.server.drive_io_on(c as u16)).sum();
+                    if served == 0 {
+                        break;
+                    }
+                }
+                let waiting = std::mem::take(&mut sys.ctx.waiting);
+                for id in waiting {
+                    sys.wake(id, now);
+                }
             }
             None
         }
@@ -539,7 +584,21 @@ pub fn replay_event(
     for (id, client) in trace.clients.iter().enumerate() {
         engine.register(Box::new(Client { id, arrival: client.arrival }));
     }
-    let flash = engine.register(Box::new(Flash { id: trace.clients.len() }));
+    // One flash component per device channel, ids right after the clients:
+    // at every instant all clients issue first, then channel 0..C-1 drain
+    // their lanes in order, and the last channel wakes the completers.
+    let channels = server.device_topology().channel_count() as usize;
+    let mut flash = trace.clients.len();
+    for c in 0..channels {
+        let id = engine.register(Box::new(Flash {
+            id: trace.clients.len() + c,
+            channel: c as u16,
+            last: c + 1 == channels,
+        }));
+        if c == 0 {
+            flash = id;
+        }
+    }
     let mut ctx = Ctx {
         server,
         sessions: &sessions,
@@ -549,6 +608,7 @@ pub fn replay_event(
         cursor: vec![0; trace.clients.len()],
         waiting: Vec::new(),
         flash,
+        channels,
         error: None,
     };
     let engine_report = engine.run(&mut ctx);
@@ -582,8 +642,13 @@ pub struct FleetConfig {
     /// SLO sessions.
     pub decisions: usize,
     /// Which executor runs each point's engagement-replay phase (and is
-    /// stamped on the ledger record).
+    /// stamped on the ledger record). Defaults to [`ExecMode::Event`] —
+    /// the deterministic engine is the primary fleet executor; threaded
+    /// replay stays available behind the knob.
     pub exec: ExecMode,
+    /// Device channels on each point's simulated flash (stamped on the
+    /// ledger record; `1` is the legacy single-channel device).
+    pub channels: u16,
 }
 
 impl Default for FleetConfig {
@@ -592,7 +657,8 @@ impl Default for FleetConfig {
             sizes: vec![100, 1_000, 10_000, 100_000],
             slo_sessions: 4,
             decisions: 512,
-            exec: ExecMode::Threaded,
+            exec: ExecMode::Event,
+            channels: 1,
         }
     }
 }
@@ -631,9 +697,17 @@ pub struct FleetPoint {
     pub digest_mean: Duration,
     /// Executor that ran the engagement-replay phase.
     pub exec: ExecMode,
+    /// Device channels on the point's simulated flash (`1` = the legacy
+    /// single-channel device).
+    pub channels: u16,
     /// Engagements completed per wall-clock second in the replay phase
     /// (a small fixed trace served against the full open fleet).
     pub engagements_per_sec: f64,
+    /// Replay-phase engagements per *simulated* second on the contended
+    /// track (total engagements over the contended queue makespan) — the
+    /// column that scales with the device-channel count: striping the
+    /// same trace across more channels shrinks the contended makespan.
+    pub contended_eps: f64,
     /// Event-engine heap operations in the replay phase (0 for threaded).
     pub heap_ops: u64,
 }
@@ -678,6 +752,10 @@ pub fn fleet_sweep(
     assert!(fleet.slo_sessions > 0, "fleet sweep needs at least one SLO session to gate");
     // Generous default: the sweep measures decision *cost*, not sheds.
     let slo = cfg.slo.unwrap_or(SimTime::from_ms(60_000));
+    // The fleet's channel knob overrides the serve config's: every point in
+    // one sweep runs the same device topology, stamped on its ledger row.
+    let channels = fleet.channels.max(1);
+    let cfg = &ServeConfig { channels, ..cfg.clone() };
     let mut points = Vec::with_capacity(fleet.sizes.len());
     for &n in &fleet.sizes {
         let server = build_server(ctx, cfg);
@@ -754,6 +832,8 @@ pub fn fleet_sweep(
             ExecMode::Threaded => replay_concurrent(&server, &trace)?,
             ExecMode::Event => replay_event(&server, &trace)?,
         };
+        let contended_secs = replay.contention.queue_makespan.as_us() as f64 / 1e6;
+        let contended_eps = trace.total_engagements() as f64 / contended_secs.max(1e-9);
 
         points.push(FleetPoint {
             sessions: n + fleet.slo_sessions,
@@ -768,7 +848,9 @@ pub fn fleet_sweep(
             decisions_per_sec,
             digest_mean,
             exec: fleet.exec,
+            channels,
             engagements_per_sec: replay.engagements_per_sec(),
+            contended_eps,
             heap_ops: replay.heap_ops,
         });
 
@@ -813,21 +895,27 @@ fn fleet_rng(n: u64) -> FleetRng {
 }
 
 /// Renders a fleet sweep as one `BENCH_serving.json` perf-ledger entry
-/// (schema v3): `{"bench": "serving_fleet", "unit": "us", "exec_mode":
-/// ..., "sweep": [...]}` with one record per point carrying `sessions`,
-/// `open_total_us`, `admission_mean_us`, `gate_cold_us`, `gate_mean_us`,
-/// the bucketed gate tail (`gate_p50_us`/`gate_p90_us`/`gate_p99_us`),
-/// `gate_decisions`, `decisions_per_sec`, `digest_mean_us`,
-/// `engagements_per_sec`, and `heap_ops`. The ledger file itself is a JSON
-/// *array* of such entries — one per executor/registry configuration —
-/// merged across PRs by [`merge_fleet_ledger`] so regressions diff
-/// against history.
+/// (schema v4): `{"bench": "serving_fleet", "unit": "us", "exec_mode":
+/// ..., "channels": ..., "sweep": [...]}` with one record per point
+/// carrying `sessions`, `open_total_us`, `admission_mean_us`,
+/// `gate_cold_us`, `gate_mean_us`, the bucketed gate tail
+/// (`gate_p50_us`/`gate_p90_us`/`gate_p99_us`), `gate_decisions`,
+/// `decisions_per_sec`, `digest_mean_us`, `engagements_per_sec`,
+/// `contended_eps`, and `heap_ops`. `channels` (v4) is the device-channel
+/// count the sweep's servers simulated (entries predating it were all
+/// single-channel) and `contended_eps` (v4) is the replay's simulated
+/// contended throughput — the column that scales with `channels`. The
+/// ledger file itself is a JSON *array* of such entries — one per
+/// executor/topology/registry configuration — merged across PRs by
+/// [`merge_fleet_ledger`] so regressions diff against history.
 pub fn fleet_report_json(points: &[FleetPoint]) -> String {
     let us = |d: Duration| format!("{:.3}", d.as_secs_f64() * 1e6);
     let exec = points.first().map_or(ExecMode::Threaded, |p| p.exec);
+    let channels = points.first().map_or(1, |p| p.channels);
     let mut out = format!(
-        "{{\n  \"bench\": \"serving_fleet\",\n  \"unit\": \"us\",\n  \"exec_mode\": \"{}\",\n  \"sweep\": [\n",
-        exec.label()
+        "{{\n  \"bench\": \"serving_fleet\",\n  \"unit\": \"us\",\n  \"exec_mode\": \"{}\",\n  \"channels\": {},\n  \"sweep\": [\n",
+        exec.label(),
+        channels
     );
     for (i, p) in points.iter().enumerate() {
         out.push_str(&format!(
@@ -838,7 +926,8 @@ pub fn fleet_report_json(points: &[FleetPoint]) -> String {
                 "\"gate_p90_us\": {:.3}, \"gate_p99_us\": {:.3}, ",
                 "\"gate_decisions\": {}, ",
                 "\"decisions_per_sec\": {:.1}, \"digest_mean_us\": {}, ",
-                "\"engagements_per_sec\": {:.1}, \"heap_ops\": {}}}{}\n"
+                "\"engagements_per_sec\": {:.1}, \"contended_eps\": {:.1}, ",
+                "\"heap_ops\": {}}}{}\n"
             ),
             p.sessions,
             us(p.open_wall),
@@ -852,6 +941,7 @@ pub fn fleet_report_json(points: &[FleetPoint]) -> String {
             p.decisions_per_sec,
             us(p.digest_mean),
             p.engagements_per_sec,
+            p.contended_eps,
             p.heap_ops,
             if i + 1 < points.len() { "," } else { "" },
         ));
@@ -904,8 +994,10 @@ fn split_ledger_entries(s: &str) -> Vec<String> {
 
 /// A ledger entry's identity: its executor (`"threaded"` when the field
 /// is absent — entries predating the `exec_mode` column were all
-/// threaded) and its swept `sessions` column.
-fn ledger_entry_key(entry: &str) -> (String, Vec<u64>) {
+/// threaded), its device-channel count (`1` when absent — entries
+/// predating the `channels` column were all single-channel), and its
+/// swept `sessions` column.
+fn ledger_entry_key(entry: &str) -> (String, u64, Vec<u64>) {
     let exec = entry
         .find("\"exec_mode\"")
         .and_then(|i| {
@@ -915,6 +1007,14 @@ fn ledger_entry_key(entry: &str) -> (String, Vec<u64>) {
             Some(rest[start..end].to_string())
         })
         .unwrap_or_else(|| "threaded".to_string());
+    let channels = entry
+        .find("\"channels\"")
+        .and_then(|i| {
+            let rest = entry[i + "\"channels\"".len()..].trim_start_matches([':', ' ']);
+            let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+            digits.parse().ok()
+        })
+        .unwrap_or(1);
     let mut sessions = Vec::new();
     let mut rest = entry;
     while let Some(i) = rest.find("\"sessions\":") {
@@ -925,15 +1025,16 @@ fn ledger_entry_key(entry: &str) -> (String, Vec<u64>) {
         }
         rest = tail;
     }
-    (exec, sessions)
+    (exec, channels, sessions)
 }
 
 /// Merges freshly-rendered [`fleet_report_json`] entries into an existing
 /// `BENCH_serving.json` array **without clobbering history**: an entry
-/// whose `(exec_mode, sessions column)` matches an existing one replaces
-/// it in place (same configuration re-measured), anything else appends.
-/// Entries written before the `exec_mode` column count as `"threaded"`.
-/// Pass an empty or missing file as `existing: ""`.
+/// whose `(exec_mode, channels, sessions column)` matches an existing one
+/// replaces it in place (same configuration re-measured), anything else
+/// appends. Entries written before the `exec_mode` column count as
+/// `"threaded"`; entries written before the `channels` column count as
+/// single-channel. Pass an empty or missing file as `existing: ""`.
 pub fn merge_fleet_ledger(existing: &str, entry: &str) -> String {
     let mut entries = split_ledger_entries(existing);
     for fresh in split_ledger_entries(entry) {
@@ -1002,6 +1103,33 @@ mod tests {
         assert_eq!(event.outcomes, sequential.outcomes, "event loop must not change results");
         assert!(event.heap_ops > 0, "the engine counts its heap traffic");
         assert_eq!(sequential.heap_ops, 0);
+    }
+
+    #[test]
+    fn multi_channel_replay_keeps_the_determinism_contract() {
+        // The uncontended track is topology-independent per engagement:
+        // striping changes *placement* (and so contended replay), never
+        // per-engagement outcomes. Both executors must agree on a C=4
+        // device exactly as they do on the legacy single-channel one.
+        let c = ctx();
+        let base = cfg();
+        let striped = ServeConfig { channels: 4, ..base.clone() };
+        let trace = ServingTrace::synthetic(&c, &striped, 4, 2);
+        let event = replay_event(&build_server(&c, &striped), &trace).unwrap();
+        let threaded = replay_concurrent(&build_server(&c, &striped), &trace).unwrap();
+        let sequential = replay_sequential(&build_server(&c, &striped), &trace).unwrap();
+        assert_eq!(event.outcomes, sequential.outcomes);
+        assert_eq!(threaded.outcomes, sequential.outcomes);
+        assert!(event.heap_ops > 0);
+        // And the single-channel outcomes are bit-identical to a server
+        // built before the knob existed (the default).
+        let legacy = replay_sequential(&build_server(&c, &base), &trace).unwrap();
+        let single = replay_sequential(
+            &build_server(&c, &ServeConfig { channels: 1, ..base.clone() }),
+            &trace,
+        )
+        .unwrap();
+        assert_eq!(single.outcomes, legacy.outcomes);
     }
 
     #[test]
@@ -1098,6 +1226,38 @@ mod tests {
         assert_eq!(grown.matches("serving_fleet").count(), 3);
         assert!(grown.contains("0.2") && grown.contains("0.3") && grown.contains("0.4"));
         assert!(grown.starts_with("[\n") && grown.ends_with("\n]\n"));
+    }
+
+    #[test]
+    fn fleet_ledger_merge_keys_on_channels_too() {
+        // v4: the device-channel count is part of an entry's identity, and
+        // pre-`channels` entries count as single-channel.
+        let existing = concat!(
+            "[\n",
+            "{\n  \"bench\": \"serving_fleet\",\n  \"exec_mode\": \"event\",\n",
+            "  \"sweep\": [\n    {\"sessions\": 104, \"gate_mean_us\": 0.1}\n  ]\n}\n",
+            "]\n"
+        );
+        // Same executor and sessions, C=4: a new configuration — appends.
+        let striped = concat!(
+            "{\n  \"bench\": \"serving_fleet\",\n  \"exec_mode\": \"event\",\n",
+            "  \"channels\": 4,\n",
+            "  \"sweep\": [\n    {\"sessions\": 104, \"gate_mean_us\": 0.2}\n  ]\n}\n"
+        );
+        let grown = merge_fleet_ledger(existing, striped);
+        assert_eq!(grown.matches("serving_fleet").count(), 2);
+        assert!(grown.contains("0.1") && grown.contains("0.2"));
+        // An explicit `"channels": 1` entry shares the legacy identity and
+        // replaces it in place.
+        let single = concat!(
+            "{\n  \"bench\": \"serving_fleet\",\n  \"exec_mode\": \"event\",\n",
+            "  \"channels\": 1,\n",
+            "  \"sweep\": [\n    {\"sessions\": 104, \"gate_mean_us\": 0.3}\n  ]\n}\n"
+        );
+        let merged = merge_fleet_ledger(&grown, single);
+        assert_eq!(merged.matches("serving_fleet").count(), 2);
+        assert!(!merged.contains("0.1"), "the pre-channels entry was replaced");
+        assert!(merged.contains("0.2") && merged.contains("0.3"));
     }
 
     #[test]

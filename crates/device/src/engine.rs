@@ -47,7 +47,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use sti_device::SimTime;
+use crate::SimTime;
 use sti_obs::{ObsSink, SpanArgs, SpanEvent, TrackKind};
 
 /// Dense component index assigned by [`Engine::register`].

@@ -1,9 +1,13 @@
-//! Discrete-event simulation of one contended flash channel.
+//! Discrete-event simulation of one contended flash *device channel*.
 //!
 //! The uncontended track of the dual-track accounting model charges each
 //! engagement the device-model delay of its own requests in isolation; this
-//! module is the **contended track**: a single-server queue over the one
-//! flash channel. Callers submit [`FlashJob`]s — one per dispatched layer
+//! module is the **contended track** of a single-channel device: one
+//! single-server queue. (A device with `C` channels hosts one of these
+//! per channel — see [`topology`](crate::topology); "device channel"
+//! means a hardware lane of the flash package, not an engagement's
+//! per-session IO lane in `sti-storage`.) Callers submit [`FlashJob`]s
+//! — one per dispatched layer
 //! request, carrying the simulated arrival time and the device-model service
 //! time — and [`FlashQueueSim::run`] serves them in `(arrival, submission)`
 //! order, producing per-job start/completion times, total flash busy time,

@@ -23,13 +23,25 @@
 //!   its own requests in isolation — deterministic, bit-identical whether an
 //!   engagement runs alone or next to seven neighbours (the serving
 //!   runtime's determinism contract);
-//! - the **contended track** ([`flash_queue`]) is a discrete-event
-//!   single-server queue over the one flash channel: dispatch sequences from
-//!   the IO scheduler (measured) or interleaved plan replicas (predictive)
-//!   are served FIFO-by-arrival, yielding the per-engagement completion
-//!   times a serving-SLO planner and admission controller reason about.
+//! - the **contended track** ([`flash_queue`], generalized by [`topology`])
+//!   is a discrete-event queue over the device's flash channels: dispatch
+//!   sequences from the IO scheduler (measured) or interleaved plan
+//!   replicas (predictive) are served FIFO-by-arrival per channel, yielding
+//!   the per-engagement completion times a serving-SLO planner and
+//!   admission controller reason about. [`DeviceTopology`] names the shape
+//!   (`C` channels plus an optional shared bus; `C = 1` is bit-identical to
+//!   the legacy single-channel model) and [`TopologyQueueSim`] hosts each
+//!   channel as an [`engine`] `Component`, so the contended replay and the
+//!   fleet-scale event executor share one simulation core.
 //!   [`FlashModel::dram_residency`] supplies the opt-in cheaper service time
-//!   for bytes resident in a host-side shard cache.
+//!   for bytes resident in a host-side shard cache — a service-time tier,
+//!   not a separate queue.
+//!
+//! Terminology: a **device channel** is a hardware lane of the flash
+//! package (this crate); an **engagement IO lane** (`IoChannel` /
+//! `ChannelBacklog` in `sti-storage`) is one engagement's request stream
+//! into the scheduler. Placement maps lane traffic onto device channels
+//! via [`DeviceTopology::channel_for`].
 //!
 //! The planner and pipeline interact with hardware *only* through the
 //! profiled [`profiler::HwProfile`], exactly as in the paper — so swapping
@@ -41,15 +53,19 @@
 pub mod clock;
 pub mod compute;
 pub mod energy;
+pub mod engine;
 pub mod flash;
 pub mod flash_queue;
 pub mod profile;
 pub mod profiler;
+pub mod topology;
 
 pub use clock::SimTime;
 pub use compute::ComputeModel;
 pub use energy::PowerModel;
+pub use engine::{Component, ComponentId, Engine, EngineReport, System};
 pub use flash::FlashModel;
 pub use flash_queue::{CompletedJob, FlashJob, FlashQueueReport, FlashQueueSim};
 pub use profile::DeviceProfile;
 pub use profiler::HwProfile;
+pub use topology::{DeviceTopology, TopologyQueueSim, TopologyReport};

@@ -1,0 +1,702 @@
+//! Multi-channel device topology for the contended track, hosted on the
+//! discrete-event [`engine`](crate::engine).
+//!
+//! [`FlashQueueSim`](crate::flash_queue::FlashQueueSim) models the device as
+//! *one* contended flash channel. Real flash exposes `C` independent
+//! channels (and a DRAM tier behind the shard cache); this module
+//! generalizes the contended track to a [`DeviceTopology`]:
+//!
+//! - **`C` per-channel FIFO queues.** Each device channel is a
+//!   single-server queue with exactly the service discipline of
+//!   [`FlashQueueSim::run`](crate::flash_queue::FlashQueueSim::run) —
+//!   global FIFO by `(arrival, submission)` within the channel. Channels
+//!   serve concurrently, so a dispatch striped across channels overlaps
+//!   where the single-channel model would queue.
+//! - **Tiered service times.** The caller computes each job's service time
+//!   the same way it always has: against the flash
+//!   [`FlashModel`](crate::flash::FlashModel), or against the cheaper
+//!   [`FlashModel::dram_residency`](crate::flash::FlashModel::dram_residency)
+//!   tier for bytes resident in the host-side shard cache. The topology
+//!   queues whatever tier the caller priced — the tiers are service-time
+//!   classes, not separate queues.
+//! - **A shared-bus model.** Channels read concurrently, but their payloads
+//!   cross one bus to the host. [`DeviceTopology::with_bus_us_per_job`]
+//!   charges every completed read a fixed bus slice, arbitrated FIFO by
+//!   flash-completion time (ties: lowest channel, then channel-local
+//!   submission order) on a single bus server. The default (`0`) disables
+//!   the bus, making channels fully independent.
+//!
+//! Every channel — and the bus, when enabled — is hosted as an
+//! [`engine::Component`](crate::engine::Component) on one
+//! [`crate::engine::Engine`], so the contended replay shares the
+//! same simulation core as the fleet-scale event executor instead of
+//! re-simulating on the side. [`TopologyQueueSim::run`] registers channel
+//! `c` as component id `c` (the bus last), runs the engine to completion,
+//! and returns a [`TopologyReport`] with one
+//! [`crate::flash_queue::FlashQueueReport`] per channel.
+//!
+//! **Determinism.** `C = 1` with the bus disabled reproduces
+//! [`FlashQueueSim`](crate::flash_queue::FlashQueueSim) bit-identically:
+//! the per-channel server replicates its arithmetic exactly (same service
+//! order, same depth accounting, same shared-job mirroring), so the
+//! single-channel report is equal as a value. For any `C`, the run is a
+//! pure function of the submitted jobs — the engine's
+//! `(next_tick, ComponentId)` tie-break keeps cross-channel event order
+//! deterministic.
+//!
+//! **Naming.** "Device channel" here is a hardware lane of the flash
+//! package — distinct from the *engagement IO lanes* (`IoChannel`,
+//! `ChannelBacklog` in `sti-storage`) that carry one engagement's request
+//! stream to the scheduler. An engagement's lane fans its requests out
+//! across device channels according to placement.
+
+use std::collections::HashMap;
+
+use crate::engine::{Component, ComponentId, Engine, EngineReport, System};
+use crate::flash_queue::{CompletedJob, FlashJob, FlashQueueReport};
+use crate::SimTime;
+use sti_obs::ObsSink;
+
+/// The device's contended-path shape: how many flash channels it exposes
+/// and whether a shared host bus serializes their payloads.
+///
+/// Placement maps a request to a channel via [`DeviceTopology::channel_for`]
+/// — a pure function of the request's content signature and the session's
+/// stripe offset, so byte-identical requests from different sessions land
+/// on the *same* channel (and stay batchable) unless their stripes differ.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceTopology {
+    channels: u16,
+    bus_us_per_job: u64,
+}
+
+impl Default for DeviceTopology {
+    fn default() -> Self {
+        Self::single()
+    }
+}
+
+impl DeviceTopology {
+    /// The legacy shape: one flash channel, no bus. The contended track
+    /// under this topology is bit-identical to
+    /// [`FlashQueueSim`](crate::flash_queue::FlashQueueSim).
+    pub fn single() -> Self {
+        Self { channels: 1, bus_us_per_job: 0 }
+    }
+
+    /// A topology with `channels` independent flash channels and no bus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels` is zero.
+    pub fn with_channels(channels: u16) -> Self {
+        assert!(channels >= 1, "a device exposes at least one channel");
+        Self { channels, bus_us_per_job: 0 }
+    }
+
+    /// Adds a shared-bus model: every completed read additionally holds a
+    /// single host bus for `us` simulated microseconds, arbitrated FIFO by
+    /// flash-completion time. `0` disables the bus (the default).
+    pub fn with_bus_us_per_job(mut self, us: u64) -> Self {
+        self.bus_us_per_job = us;
+        self
+    }
+
+    /// Number of flash channels.
+    pub fn channel_count(&self) -> u16 {
+        self.channels
+    }
+
+    /// The per-job bus slice in µs (`0`: bus disabled).
+    pub fn bus_us_per_job(&self) -> u64 {
+        self.bus_us_per_job
+    }
+
+    /// Whether this is the legacy single-channel, bus-free shape.
+    pub fn is_single(&self) -> bool {
+        self.channels == 1 && self.bus_us_per_job == 0
+    }
+
+    /// The device channel a request is placed on: a pure function of the
+    /// request's content signature and the session's stripe offset.
+    /// `C = 1` always maps to channel 0, so the single-channel topology
+    /// has no placement freedom — exactly today's model.
+    ///
+    /// The stripe folds in *before* mixing, so a stripe shift is exactly a
+    /// signature shift (`channel_for(sig, s) == channel_for(sig + s, 0)`)
+    /// and the backlog's stripe-folded signatures recover the placement.
+    pub fn channel_for(&self, content_sig: u64, stripe: u16) -> u16 {
+        // Content signatures are structured (layer indices, shard slices),
+        // so a bare modulus aliases whole signature classes onto one
+        // channel at small C; finalize through a splitmix64 mix first.
+        let mut z = content_sig.wrapping_add(stripe as u64);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z % self.channels as u64) as u16
+    }
+}
+
+/// One channel's submitted work: jobs in submission order plus the shared
+/// (batched) fan-out map, mirroring `FlashQueueSim`'s bookkeeping.
+#[derive(Debug, Clone, Default)]
+struct ChannelQueue {
+    jobs: Vec<FlashJob>,
+    /// Extra mirror recipients keyed by channel-local submission index.
+    shared: HashMap<usize, Vec<u64>>,
+    /// Channel-local submission index → global submission sequence. The
+    /// report quotes global sequences so merged per-engagement completions
+    /// stay ordered by one submission clock across channels.
+    global: Vec<usize>,
+}
+
+/// A multi-channel discrete-event queue over a [`DeviceTopology`],
+/// hosted on the [`engine`](crate::engine).
+///
+/// ```
+/// use sti_device::{DeviceTopology, FlashJob, SimTime, TopologyQueueSim};
+///
+/// let mut sim = TopologyQueueSim::new(DeviceTopology::with_channels(2));
+/// let job = |e| FlashJob { engagement: e, arrival: SimTime::ZERO, service: SimTime::from_ms(10) };
+/// sim.submit_on(0, job(0));
+/// sim.submit_on(1, job(1));
+/// let report = sim.run();
+/// // Different channels: neither engagement queues behind the other.
+/// assert_eq!(report.makespan(), SimTime::from_ms(10));
+/// assert_eq!(report.busy(), SimTime::from_ms(20));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TopologyQueueSim {
+    topology: DeviceTopology,
+    queues: Vec<ChannelQueue>,
+    submitted: usize,
+}
+
+impl TopologyQueueSim {
+    /// An empty simulator over `topology`.
+    pub fn new(topology: DeviceTopology) -> Self {
+        Self {
+            topology,
+            queues: vec![ChannelQueue::default(); topology.channel_count() as usize],
+            submitted: 0,
+        }
+    }
+
+    /// The topology this simulator serves.
+    pub fn topology(&self) -> DeviceTopology {
+        self.topology
+    }
+
+    /// Submits a job on `device_channel`, returning its global submission
+    /// sequence. Within a channel, jobs with equal arrival times are
+    /// served in submission order (the per-channel FIFO contract).
+    pub fn submit_on(&mut self, device_channel: u16, job: FlashJob) -> usize {
+        self.submit_shared_on(device_channel, job, &[])
+    }
+
+    /// Submits a shared (batched) job on `device_channel`: served once,
+    /// with a mirrored [`CompletedJob`] per extra recipient — the same
+    /// contract as `FlashQueueSim::submit_shared`, per channel.
+    pub fn submit_shared_on(
+        &mut self,
+        device_channel: u16,
+        job: FlashJob,
+        extra_recipients: &[u64],
+    ) -> usize {
+        let queue = &mut self.queues[device_channel as usize];
+        let local = queue.jobs.len();
+        queue.jobs.push(job);
+        if !extra_recipients.is_empty() {
+            queue.shared.insert(local, extra_recipients.to_vec());
+        }
+        let seq = self.submitted;
+        queue.global.push(seq);
+        self.submitted += 1;
+        seq
+    }
+
+    /// Number of submitted jobs across all channels (shared jobs count
+    /// once).
+    pub fn len(&self) -> usize {
+        self.submitted
+    }
+
+    /// Whether no jobs have been submitted.
+    pub fn is_empty(&self) -> bool {
+        self.submitted == 0
+    }
+
+    /// When the whole device would next go idle: the makespan of
+    /// everything submitted so far (zero for an empty device).
+    pub fn drain_time(&self) -> SimTime {
+        if self.is_empty() {
+            return SimTime::ZERO;
+        }
+        self.run().makespan()
+    }
+
+    /// Serves every submitted job: one engine [`Component`] per channel
+    /// (component id = channel index) plus, when the bus is enabled, a bus
+    /// arbiter registered last. Runs the engine to completion and folds
+    /// the shared context back into per-channel reports.
+    pub fn run(&self) -> TopologyReport {
+        let channels = self.topology.channel_count() as usize;
+        let bus_enabled = self.topology.bus_us_per_job > 0;
+        let bus_id = channels; // registered after every channel
+        let mut engine: Engine<TopologyCtx> = Engine::new();
+        for (c, queue) in self.queues.iter().enumerate() {
+            // Service order: stable FIFO by arrival, exactly as
+            // `FlashQueueSim::run` (stable sort over submission order).
+            let mut order: Vec<usize> = (0..queue.jobs.len()).collect();
+            order.sort_by_key(|&i| queue.jobs[i].arrival);
+            let lineup: Vec<ServedJob> = order
+                .iter()
+                .map(|&i| ServedJob {
+                    job: queue.jobs[i],
+                    seq: queue.global[i],
+                    local: i,
+                    recipients: queue.shared.get(&i).cloned().unwrap_or_default(),
+                })
+                .collect();
+            let arrivals: Vec<SimTime> = lineup.iter().map(|s| s.job.arrival).collect();
+            engine.register(Box::new(ChannelServer {
+                id: c,
+                channel: c as u16,
+                lineup,
+                arrivals,
+                idx: 0,
+                server_free: SimTime::ZERO,
+                bus: bus_enabled.then_some(bus_id),
+            }));
+        }
+        if bus_enabled {
+            engine.register(Box::new(BusServer {
+                id: bus_id,
+                per_job: SimTime::from_us(self.topology.bus_us_per_job),
+                bus_free: SimTime::ZERO,
+            }));
+        }
+        let mut ctx = TopologyCtx {
+            completions: vec![Vec::new(); channels],
+            busy: vec![SimTime::ZERO; channels],
+            max_depth: vec![0; channels],
+            bus_pending: Vec::new(),
+        };
+        let engine_report = engine.run(&mut ctx);
+        let reports = ctx
+            .completions
+            .into_iter()
+            .zip(ctx.busy)
+            .zip(ctx.max_depth)
+            .map(|((completions, busy), max_depth)| {
+                let makespan =
+                    completions.iter().map(|c| c.completion).max().unwrap_or(SimTime::ZERO);
+                FlashQueueReport { completions, busy, makespan, max_depth }
+            })
+            .collect();
+        TopologyReport { channels: reports, engine: engine_report }
+    }
+}
+
+/// The shared context the channel servers and the bus cooperate through.
+struct TopologyCtx {
+    /// Per-channel completions in service order (mirrors included), with
+    /// global submission sequences.
+    completions: Vec<Vec<CompletedJob>>,
+    /// Per-channel flash busy time (bus time is latency, not busy).
+    busy: Vec<SimTime>,
+    /// Per-channel max queue depth, sampled at every service start.
+    max_depth: Vec<usize>,
+    /// Reads that finished on their channel and now wait for the bus.
+    bus_pending: Vec<BusJob>,
+}
+
+/// One channel-local job in service order, with its global sequence and
+/// shared-job mirror recipients.
+struct ServedJob {
+    job: FlashJob,
+    seq: usize,
+    local: usize,
+    recipients: Vec<u64>,
+}
+
+/// A completed flash read waiting for the shared bus.
+struct BusJob {
+    ready: SimTime,
+    channel: u16,
+    /// Channel-local submission index — the FIFO tie-break that keeps a
+    /// channel's zero-service jobs in order on the bus.
+    local: usize,
+    engagement: u64,
+    seq: usize,
+    arrival: SimTime,
+    start: SimTime,
+    recipients: Vec<u64>,
+}
+
+/// One flash channel as an engine component: replicates
+/// `FlashQueueSim::run`'s single-server arithmetic one tick per job.
+struct ChannelServer {
+    id: ComponentId,
+    channel: u16,
+    lineup: Vec<ServedJob>,
+    /// Arrival times in service order — answers "how many jobs have
+    /// arrived by time t" for the depth counter.
+    arrivals: Vec<SimTime>,
+    idx: usize,
+    server_free: SimTime,
+    /// The bus component to hand completions to (`None`: bus disabled).
+    bus: Option<ComponentId>,
+}
+
+impl Component<TopologyCtx> for ChannelServer {
+    fn id(&self) -> ComponentId {
+        self.id
+    }
+
+    fn next_tick(&self) -> Option<SimTime> {
+        self.lineup.first().map(|s| s.job.arrival)
+    }
+
+    fn tick(&mut self, _now: SimTime, sys: &mut System<'_, TopologyCtx>) -> Option<SimTime> {
+        let served = self.idx;
+        let entry = &self.lineup[served];
+        // Same arithmetic as `FlashQueueSim::run` — start/completion are
+        // computed from the queue state, not the engine clock, so the
+        // values bit-match the single-channel simulator.
+        let start = entry.job.arrival.max(self.server_free);
+        let completion = start + entry.job.service;
+        self.server_free = completion;
+        let c = self.channel as usize;
+        sys.ctx.busy[c] += entry.job.service;
+        let arrived = self.arrivals.partition_point(|&a| a <= start).max(served + 1);
+        sys.ctx.max_depth[c] = sys.ctx.max_depth[c].max(arrived - served);
+        if let Some(bus) = self.bus {
+            sys.ctx.bus_pending.push(BusJob {
+                ready: completion,
+                channel: self.channel,
+                local: entry.local,
+                engagement: entry.job.engagement,
+                seq: entry.seq,
+                arrival: entry.job.arrival,
+                start,
+                recipients: entry.recipients.clone(),
+            });
+            sys.wake(bus, completion);
+        } else {
+            push_completions(
+                &mut sys.ctx.completions[c],
+                entry.job.engagement,
+                entry.seq,
+                entry.job.arrival,
+                start,
+                completion,
+                &entry.recipients,
+            );
+        }
+        self.idx += 1;
+        self.lineup.get(self.idx).map(|next| next.job.arrival.max(self.server_free))
+    }
+}
+
+/// The shared host bus as an engine component: a single server over
+/// [`BusJob`]s, FIFO by `(flash completion, channel, channel-local seq)`.
+struct BusServer {
+    id: ComponentId,
+    per_job: SimTime,
+    bus_free: SimTime,
+}
+
+impl Component<TopologyCtx> for BusServer {
+    fn id(&self) -> ComponentId {
+        self.id
+    }
+
+    fn next_tick(&self) -> Option<SimTime> {
+        None // only when a channel hands it work
+    }
+
+    fn tick(&mut self, now: SimTime, sys: &mut System<'_, TopologyCtx>) -> Option<SimTime> {
+        if self.bus_free > now {
+            return Some(self.bus_free);
+        }
+        let best = sys
+            .ctx
+            .bus_pending
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.ready <= now)
+            .min_by_key(|(_, b)| (b.ready, b.channel, b.local))
+            .map(|(i, _)| i);
+        let Some(i) = best else {
+            // Nothing ready yet: sleep until the earliest future hand-off
+            // (a channel's wake will also re-arm us).
+            return sys.ctx.bus_pending.iter().map(|b| b.ready).min();
+        };
+        let job = sys.ctx.bus_pending.remove(i);
+        let start = job.ready.max(self.bus_free);
+        let done = start + self.per_job;
+        self.bus_free = done;
+        push_completions(
+            &mut sys.ctx.completions[job.channel as usize],
+            job.engagement,
+            job.seq,
+            job.arrival,
+            job.start,
+            done,
+            &job.recipients,
+        );
+        // One job per tick keeps the arbitration order a pure function of
+        // the pending set; re-arm for whatever can go next.
+        sys.ctx.bus_pending.iter().map(|b| b.ready.max(self.bus_free)).min()
+    }
+}
+
+/// Appends a served job's completion and its shared-job mirrors — same
+/// timeline, same sequence — to a channel's completion list.
+#[allow(clippy::too_many_arguments)]
+fn push_completions(
+    out: &mut Vec<CompletedJob>,
+    engagement: u64,
+    seq: usize,
+    arrival: SimTime,
+    start: SimTime,
+    completion: SimTime,
+    recipients: &[u64],
+) {
+    out.push(CompletedJob { engagement, seq, arrival, start, completion });
+    for &mirror in recipients {
+        out.push(CompletedJob { engagement: mirror, seq, arrival, start, completion });
+    }
+}
+
+/// The outcome of one topology run: a [`FlashQueueReport`] per device
+/// channel plus the engine's cost witness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopologyReport {
+    /// Per-channel reports, indexed by device channel. Completion `seq`s
+    /// are *global* submission sequences (for `C = 1` they coincide with
+    /// channel-local ones, so the report equals `FlashQueueSim`'s).
+    pub channels: Vec<FlashQueueReport>,
+    /// What the hosting engine run did (ticks, heap ops, end time).
+    pub engine: EngineReport,
+}
+
+impl TopologyReport {
+    /// The single channel's report — the legacy view (`C = 1`).
+    pub fn single(&self) -> &FlashQueueReport {
+        assert_eq!(self.channels.len(), 1, "single() on a multi-channel report");
+        &self.channels[0]
+    }
+
+    /// Total flash busy time across channels (bus time excluded — busy is
+    /// the conservation law: the sum of service times).
+    pub fn busy(&self) -> SimTime {
+        self.channels.iter().map(|c| c.busy).fold(SimTime::ZERO, |a, b| a + b)
+    }
+
+    /// Completion time of the last job on any channel.
+    pub fn makespan(&self) -> SimTime {
+        self.channels.iter().map(|c| c.makespan).max().unwrap_or(SimTime::ZERO)
+    }
+
+    /// Largest per-channel queue depth observed on any channel.
+    pub fn max_depth(&self) -> usize {
+        self.channels.iter().map(|c| c.max_depth).max().unwrap_or(0)
+    }
+
+    /// All completions merged across channels, ordered by
+    /// `(arrival, global seq)` — the cross-channel analogue of the
+    /// single-channel service order (and exactly it when `C = 1`).
+    pub fn completions(&self) -> Vec<CompletedJob> {
+        let mut all: Vec<CompletedJob> =
+            self.channels.iter().flat_map(|c| c.completions.iter().copied()).collect();
+        all.sort_by_key(|c| (c.arrival, c.seq));
+        all
+    }
+
+    /// This engagement's completions across every channel, in merged
+    /// submission order.
+    pub fn completions_of(&self, engagement: u64) -> Vec<CompletedJob> {
+        let mut mine: Vec<CompletedJob> = self
+            .channels
+            .iter()
+            .flat_map(|c| c.completions.iter().copied())
+            .filter(|c| c.engagement == engagement)
+            .collect();
+        mine.sort_by_key(|c| (c.arrival, c.seq));
+        mine
+    }
+
+    /// When the engagement's last job completed on any channel (`None` if
+    /// it had no jobs).
+    pub fn last_completion_of(&self, engagement: u64) -> Option<SimTime> {
+        self.channels.iter().filter_map(|c| c.last_completion_of(engagement)).max()
+    }
+
+    /// Emits every channel's timeline as virtual-clock spans: device
+    /// channel `c`'s waits/services/depth go to flash track `c`, so the
+    /// Chrome-trace export shows one row per device channel. `C = 1`
+    /// emits exactly the legacy single-track stream.
+    pub fn emit_spans(&self, sink: &ObsSink) {
+        for (c, report) in self.channels.iter().enumerate() {
+            report.emit_spans(sink, c as u64);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flash_queue::FlashQueueSim;
+
+    fn job(engagement: u64, arrival_ms: u64, service_ms: u64) -> FlashJob {
+        FlashJob {
+            engagement,
+            arrival: SimTime::from_ms(arrival_ms),
+            service: SimTime::from_ms(service_ms),
+        }
+    }
+
+    #[test]
+    fn single_channel_topology_matches_flash_queue_sim_bitwise() {
+        let jobs =
+            [job(0, 0, 5), job(1, 0, 7), job(0, 3, 2), job(2, 20, 1), job(1, 20, 4), job(0, 19, 3)];
+        let mut legacy = FlashQueueSim::new();
+        let mut topo = TopologyQueueSim::new(DeviceTopology::single());
+        for (i, j) in jobs.iter().enumerate() {
+            if i == 1 {
+                legacy.submit_shared(*j, &[7, 8]);
+                topo.submit_shared_on(0, *j, &[7, 8]);
+            } else {
+                legacy.submit(*j);
+                topo.submit_on(0, *j);
+            }
+        }
+        let want = legacy.run();
+        let got = topo.run();
+        assert_eq!(got.channels.len(), 1);
+        assert_eq!(*got.single(), want, "C = 1 is bit-identical to the legacy simulator");
+        assert_eq!(got.busy(), want.busy);
+        assert_eq!(got.makespan(), want.makespan);
+        assert_eq!(got.max_depth(), want.max_depth);
+        assert_eq!(got.completions(), want.completions);
+        for e in [0u64, 1, 2, 7, 8] {
+            assert_eq!(got.completions_of(e), want.completions_of(e));
+            assert_eq!(got.last_completion_of(e), want.last_completion_of(e));
+        }
+        assert_eq!(got.engine.ticks, jobs.len() as u64, "one tick per served job");
+    }
+
+    #[test]
+    fn channels_serve_concurrently() {
+        let mut sim = TopologyQueueSim::new(DeviceTopology::with_channels(2));
+        sim.submit_on(0, job(0, 0, 10));
+        sim.submit_on(1, job(1, 0, 10));
+        let r = sim.run();
+        assert_eq!(r.makespan(), SimTime::from_ms(10), "no cross-channel queueing");
+        assert_eq!(r.busy(), SimTime::from_ms(20));
+        assert_eq!(r.max_depth(), 1);
+        for e in [0u64, 1] {
+            assert_eq!(r.completions_of(e)[0].queue_delay(), SimTime::ZERO);
+        }
+    }
+
+    #[test]
+    fn within_a_channel_the_fifo_discipline_is_unchanged() {
+        let mut sim = TopologyQueueSim::new(DeviceTopology::with_channels(3));
+        sim.submit_on(2, job(0, 0, 10));
+        sim.submit_on(2, job(1, 0, 10));
+        let r = sim.run();
+        assert_eq!(r.completions_of(1)[0].queue_delay(), SimTime::from_ms(10));
+        assert_eq!(r.makespan(), SimTime::from_ms(20));
+        assert!(r.channels[0].completions.is_empty());
+    }
+
+    #[test]
+    fn merged_completions_carry_global_sequences() {
+        let mut sim = TopologyQueueSim::new(DeviceTopology::with_channels(2));
+        let s0 = sim.submit_on(0, job(0, 0, 5));
+        let s1 = sim.submit_on(1, job(0, 0, 5));
+        let s2 = sim.submit_on(0, job(0, 1, 5));
+        assert_eq!((s0, s1, s2), (0, 1, 2));
+        let mine = sim.run().completions_of(0);
+        let seqs: Vec<usize> = mine.iter().map(|c| c.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2], "submission order across channels");
+    }
+
+    #[test]
+    fn channel_for_is_stable_and_covers_all_channels() {
+        let single = DeviceTopology::single();
+        for sig in 0..64u64 {
+            assert_eq!(single.channel_for(sig, 0), 0);
+            assert_eq!(single.channel_for(sig, 9), 0, "C = 1 has no placement freedom");
+        }
+        let quad = DeviceTopology::with_channels(4);
+        // Same signature + same stripe → same channel (batching contract);
+        // a stripe shift moves the whole placement by a constant.
+        for sig in 0..64u64 {
+            assert_eq!(quad.channel_for(sig, 1), quad.channel_for(sig + 1, 0));
+        }
+        let hit: std::collections::HashSet<u16> =
+            (0..64u64).map(|sig| quad.channel_for(sig, 0)).collect();
+        assert_eq!(hit.len(), 4, "consecutive signatures cover every channel");
+    }
+
+    #[test]
+    fn shared_bus_serializes_cross_channel_completions() {
+        let topo = DeviceTopology::with_channels(2).with_bus_us_per_job(1_000);
+        let mut sim = TopologyQueueSim::new(topo);
+        sim.submit_on(0, job(0, 0, 10));
+        sim.submit_on(1, job(1, 0, 10));
+        let r = sim.run();
+        // Both reads finish flash at 10 ms; the bus serves channel 0 first
+        // (tie-break by channel), then channel 1.
+        assert_eq!(r.last_completion_of(0), Some(SimTime::from_us(11_000)));
+        assert_eq!(r.last_completion_of(1), Some(SimTime::from_us(12_000)));
+        assert_eq!(r.busy(), SimTime::from_ms(20), "bus time is latency, not flash busy");
+        assert_eq!(r.engine.ticks, 4, "two channel ticks + two bus ticks");
+    }
+
+    #[test]
+    fn bus_preserves_per_channel_fifo_and_mirrors_shared_jobs() {
+        let topo = DeviceTopology::with_channels(2).with_bus_us_per_job(500);
+        let mut sim = TopologyQueueSim::new(topo);
+        sim.submit_shared_on(0, job(0, 0, 4), &[5]);
+        sim.submit_on(0, job(0, 0, 4));
+        sim.submit_on(1, job(1, 2, 4));
+        let r = sim.run();
+        let mine = r.completions_of(0);
+        assert_eq!(mine.len(), 2);
+        assert!(mine[0].completion <= mine[1].completion, "channel FIFO survives the bus");
+        let mirrored = r.completions_of(5);
+        assert_eq!(mirrored.len(), 1);
+        assert_eq!(mirrored[0].completion, mine[0].completion, "mirror rides the bus once");
+    }
+
+    #[test]
+    fn empty_topology_reports_zeroes() {
+        let r = TopologyQueueSim::new(DeviceTopology::with_channels(3)).run();
+        assert_eq!(r.busy(), SimTime::ZERO);
+        assert_eq!(r.makespan(), SimTime::ZERO);
+        assert_eq!(r.max_depth(), 0);
+        assert!(r.completions().is_empty());
+        assert_eq!(r.engine.ticks, 0);
+        assert_eq!(TopologyQueueSim::new(DeviceTopology::single()).drain_time(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn emitted_spans_use_one_track_per_device_channel() {
+        let mut sim = TopologyQueueSim::new(DeviceTopology::with_channels(2));
+        sim.submit_on(0, job(0, 0, 5));
+        sim.submit_on(1, job(1, 0, 5));
+        let r = sim.run();
+        let sink = ObsSink::ring(1 << 16);
+        r.emit_spans(&sink);
+        let (events, dropped) = sink.drain();
+        assert_eq!(dropped, 0);
+        let tracks: Vec<u64> =
+            events.iter().filter(|e| e.name == "flash.service").map(|e| e.track).collect();
+        assert_eq!(tracks, vec![0, 1], "one flash track per device channel");
+    }
+}

@@ -31,8 +31,9 @@
 //! monotone token sequence spreads evenly instead of striding.
 
 use parking_lot::{Mutex, MutexGuard};
+use sti_device::DeviceTopology;
 use sti_planner::mix::{ServingMix, SloProfile};
-use sti_planner::{digest_from_parts, mix_token, CoRunnerLoad, IoSharing};
+use sti_planner::{digest_from_parts, digest_with_topology, mix_token, CoRunnerLoad, IoSharing};
 use sti_storage::BacklogSnapshot;
 
 /// Token-sharded live registry of open-session loads. See the module docs
@@ -40,6 +41,11 @@ use sti_storage::BacklogSnapshot;
 pub struct ShardedRegistry {
     shards: Vec<Mutex<ServingMix>>,
     sharing: IoSharing,
+    /// The device topology every shard mix (and merged view) simulates
+    /// against; folded into [`ShardedRegistry::digest_with`] exactly as
+    /// [`ServingMix::digest_with`] folds it, so probe digests and
+    /// snapshot digests agree on multi-channel devices too.
+    topology: DeviceTopology,
 }
 
 /// Shard count: enough to spread a worker pool's open/close traffic, small
@@ -47,10 +53,19 @@ pub struct ShardedRegistry {
 const SHARDS: usize = 16;
 
 impl ShardedRegistry {
-    /// An empty registry under the given sharing mode.
+    /// An empty registry under the given sharing mode, on a single-channel
+    /// device.
     pub fn new(sharing: IoSharing) -> Self {
-        let shards = (0..SHARDS).map(|_| Mutex::new(ServingMix::new(sharing))).collect();
-        Self { shards, sharing }
+        Self::with_topology(sharing, DeviceTopology::single())
+    }
+
+    /// An empty registry whose merged views predict against `topology`'s
+    /// device channels.
+    pub fn with_topology(sharing: IoSharing, topology: DeviceTopology) -> Self {
+        let shards = (0..SHARDS)
+            .map(|_| Mutex::new(ServingMix::new(sharing).with_topology(topology)))
+            .collect();
+        Self { shards, sharing, topology }
     }
 
     /// The IO-sharing mode every shard (and every merged view) carries.
@@ -94,7 +109,7 @@ impl ShardedRegistry {
     /// all shard locks.
     pub fn digest_with(&self, backlog: &BacklogSnapshot) -> u64 {
         let (total, fold) = self.parts();
-        digest_from_parts(self.sharing, backlog, total, fold)
+        digest_with_topology(digest_from_parts(self.sharing, backlog, total, fold), self.topology)
     }
 
     fn parts(&self) -> (u64, u64) {
@@ -171,6 +186,32 @@ mod tests {
         for (a, b) in merged.sessions().iter().zip(single.sessions()) {
             assert_eq!(a.token, b.token);
         }
+    }
+
+    #[test]
+    fn topology_digest_matches_the_single_registry() {
+        let topology = DeviceTopology::with_channels(4);
+        let registry = ShardedRegistry::with_topology(IoSharing::Exclusive, topology);
+        let mut single = ServingMix::new(IoSharing::Exclusive).with_topology(topology);
+        for token in 0..16u64 {
+            registry.upsert(token, load_at(token * 13), None);
+            single.upsert_session(token, load_at(token * 13), None);
+        }
+        let backlog = BacklogSnapshot::default();
+        assert_eq!(registry.digest_with(&backlog), single.digest());
+        let (digest, merged) = registry.snapshot_with(backlog);
+        assert_eq!(digest, single.digest());
+        assert_eq!(merged.topology(), topology);
+        // The same sessions on a single-channel registry digest differently:
+        // the topology is part of the memo identity.
+        let plain = ShardedRegistry::new(IoSharing::Exclusive);
+        for token in 0..16u64 {
+            plain.upsert(token, load_at(token * 13), None);
+        }
+        assert_ne!(
+            registry.digest_with(&BacklogSnapshot::default()),
+            plain.digest_with(&BacklogSnapshot::default())
+        );
     }
 
     #[test]

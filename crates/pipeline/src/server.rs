@@ -77,6 +77,22 @@
 //! batched dispatches appear once in the replay, admission predicts with
 //! `IoSharing::Batched`, and [`ContentionReport`] quotes the flash bytes
 //! saved and the mean batch occupancy.
+//!
+//! **Device topology:** the simulated flash device may expose `C`
+//! independent *device channels* behind an optional shared bus
+//! ([`StiServerBuilder::device_topology`]). Each session's shard placement
+//! is striped across device channels — SLO sessions stripe where the
+//! search's placement axis puts them, plain sessions round-robin by token
+//! — and the stripe is folded into the session's job signatures, so
+//! byte-identical requests coalesce only when placed on the *same*
+//! device channel, the contended replay serves per-channel FIFO queues on
+//! the shared discrete-event engine
+//! ([`sti_device::TopologyQueueSim`]), and every contended prediction
+//! simulates the same per-channel lanes. Device channels are distinct
+//! from the scheduler's per-engagement IO lanes ([`IoChannel`]): a lane
+//! is one engagement's FIFO request stream, a device channel is where the
+//! simulated flash serves it. `C = 1` (the default) reproduces the legacy
+//! single-channel server bit-identically.
 
 use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
@@ -84,7 +100,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
-use sti_device::{FlashModel, HwProfile, SimTime};
+use sti_device::{DeviceTopology, FlashModel, HwProfile, SimTime};
 use sti_obs::{
     Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot, ObsSink, SpanArgs, SpanEvent,
     TrackKind,
@@ -228,10 +244,12 @@ pub struct ServingStats {
 }
 
 /// One engagement on the contended track: the latency it would have seen on
-/// the single contended flash channel versus its uncontended outcome.
+/// the contended flash device (its striped device channels) versus its
+/// uncontended outcome.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EngagementContention {
-    /// The scheduler channel the engagement streamed through.
+    /// The scheduler IO lane (per-engagement channel id) the engagement
+    /// streamed through — not a device channel.
     pub channel: u64,
     /// The session (registry token) the engagement belonged to — joins the
     /// report against [`GateDecision::session`].
@@ -390,6 +408,7 @@ pub struct StiServerBuilder {
     batch: BatchPolicy,
     backpressure: BackpressureMode,
     plan_sharing: PreloadPolicy,
+    topology: DeviceTopology,
 }
 
 impl StiServerBuilder {
@@ -424,11 +443,32 @@ impl StiServerBuilder {
         self
     }
 
-    /// Host IO-worker threads in the scheduler pool (default 1; the
-    /// simulated device still has a single flash channel either way).
+    /// Host IO-worker threads in the scheduler pool (default 1). Workers
+    /// are host-side parallelism only; how many flash channels the
+    /// *simulated device* exposes is
+    /// [`StiServerBuilder::device_topology`].
     pub fn io_workers(mut self, workers: usize) -> Self {
         self.io_workers = workers.max(1);
         self
+    }
+
+    /// The simulated device's flash topology (default: one channel, no
+    /// shared bus — the legacy device). With `C > 1`, the IO scheduler
+    /// stripes each session's shard placement across device channels, the
+    /// contended track replays per-channel FIFO queues, batching coalesces
+    /// only same-channel byte-identical requests, and the SLO search ranks
+    /// *which* channels a candidate stripes across alongside its
+    /// `(T, |S|)` placements. `C = 1` reproduces the single-channel server
+    /// bit-identically.
+    pub fn device_topology(mut self, topology: DeviceTopology) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// Convenience for [`StiServerBuilder::device_topology`]: `channels`
+    /// flash channels with no shared-bus charge.
+    pub fn channels(self, channels: u16) -> Self {
+        self.device_topology(DeviceTopology::with_channels(channels))
     }
 
     /// Byte budget of the shared compressed-shard cache (default 4 MiB;
@@ -500,13 +540,14 @@ impl StiServerBuilder {
         let shard_cache = Arc::new(ShardCache::new(self.shard_cache_bytes));
         let cached_source: Arc<dyn ShardSource> =
             Arc::new(CachedSource::new(self.source.clone(), shard_cache.clone()));
-        let scheduler = IoScheduler::spawn_batched(
+        let scheduler = IoScheduler::spawn_topology(
             self.source.clone(),
             self.flash,
             self.io_workers,
             self.throttle_scale,
             Some(shard_cache.clone()),
             self.batch,
+            self.topology,
         );
         let cfg = self.model.config();
         let fingerprint = format!(
@@ -546,7 +587,7 @@ impl StiServerBuilder {
                 admission_gate: Mutex::new(()),
                 open_sessions: AtomicUsize::new(0),
                 next_session_token: AtomicU64::new(0),
-                live_mix: ShardedRegistry::new(sharing),
+                live_mix: ShardedRegistry::with_topology(sharing, self.topology),
                 gate_walk_memo: Mutex::new(None),
                 active_channels: Mutex::new(HashMap::new()),
                 active_engagements: AtomicUsize::new(0),
@@ -808,17 +849,34 @@ impl ServerInner {
     /// registry mix that admission and the backpressure gate predict
     /// against. SLO sessions also register their gate profile. An in-place
     /// upsert: the mix's rolling digest updates in O(1), nothing else is
-    /// rehashed.
+    /// rehashed. `stripe` is the session's device-channel stripe offset
+    /// (the SLO search's placement choice for SLO sessions, the
+    /// round-robin default for plain ones; always zero on a
+    /// single-channel device): it is folded into the registered job
+    /// signatures, so every contended prediction routes — and batches —
+    /// this session's jobs on the device channels it actually streams
+    /// through.
     fn register_load(
         &self,
         token: u64,
         plan: &ExecutionPlan,
         arrival: SimTime,
         slo: Option<SimTime>,
+        stripe: u16,
     ) {
-        let load = CoRunnerLoad::from_plan_at(&self.hw, plan, arrival);
-        let slo = slo.map(|slo| SloProfile::from_plan(&self.hw, plan, slo));
+        let load = CoRunnerLoad::from_plan_striped(&self.hw, plan, arrival, stripe);
+        let slo = slo.map(|slo| SloProfile::from_plan_striped(&self.hw, plan, slo, stripe));
         self.live_mix.upsert(token, load, slo);
+    }
+
+    /// The default device-channel stripe for a session without an SLO
+    /// placement: round-robin by session token, so a uniform fleet spreads
+    /// across the device's channels instead of piling its (byte-identical)
+    /// request stream onto whichever channel its signatures hash to.
+    /// Always zero on a single-channel device — plain sessions there are
+    /// bit-identical to the pre-topology server.
+    fn default_stripe(&self, token: u64) -> u16 {
+        (token % self.scheduler.topology().channel_count() as u64) as u16
     }
 
     /// A view of the live registry mix — the one input every contended
@@ -868,6 +926,7 @@ impl StiServer {
             batch: BatchPolicy::Off,
             backpressure: BackpressureMode::Off,
             plan_sharing: PreloadPolicy::PerSession,
+            topology: DeviceTopology::single(),
         }
     }
 
@@ -894,7 +953,8 @@ impl StiServer {
     ) -> Result<Session, PipelineError> {
         let (plan, preload) = self.inner.resolve(target, preload_budget)?;
         let token = self.inner.next_session_token.fetch_add(1, Ordering::SeqCst);
-        self.inner.register_load(token, &plan, SimTime::ZERO, None);
+        let stripe = self.inner.default_stripe(token);
+        self.inner.register_load(token, &plan, SimTime::ZERO, None, stripe);
         self.inner.open_sessions.fetch_add(1, Ordering::SeqCst);
         Ok(Session {
             inner: self.inner.clone(),
@@ -907,6 +967,7 @@ impl StiServer {
             slo: None,
             serving: None,
             realloc_bytes: 0,
+            stripe,
             gate_memo: Mutex::new(None),
         })
     }
@@ -933,7 +994,8 @@ impl StiServer {
         Ok((0..count)
             .map(|_| {
                 let token = self.inner.next_session_token.fetch_add(1, Ordering::SeqCst);
-                self.inner.register_load(token, &plan, SimTime::ZERO, None);
+                let stripe = self.inner.default_stripe(token);
+                self.inner.register_load(token, &plan, SimTime::ZERO, None, stripe);
                 self.inner.open_sessions.fetch_add(1, Ordering::SeqCst);
                 Session {
                     inner: self.inner.clone(),
@@ -946,6 +1008,7 @@ impl StiServer {
                     slo: None,
                     serving: None,
                     realloc_bytes: 0,
+                    stripe,
                     gate_memo: Mutex::new(None),
                 }
             })
@@ -1060,7 +1123,7 @@ impl StiServer {
         // its own buffer, shared per placement.
         let (plan, preload) = inner.resolve_serving(&served, preload_budget)?;
         let token = inner.next_session_token.fetch_add(1, Ordering::SeqCst);
-        inner.register_load(token, &plan, arrival, Some(slo));
+        inner.register_load(token, &plan, arrival, Some(slo), served.stripe);
         inner.ins.admitted_sessions.incr();
         inner.ins.preload_bytes_reallocated.add(served.preload_bytes_reallocated);
         inner.obs.lock().span(
@@ -1084,6 +1147,7 @@ impl StiServer {
             slo: Some(slo),
             serving: Some(served.clone()),
             realloc_bytes: served.preload_bytes_reallocated,
+            stripe: served.stripe,
             gate_memo: Mutex::new(None),
         })
     }
@@ -1143,6 +1207,21 @@ impl StiServer {
     /// queue contents.
     pub fn drive_io(&self) -> usize {
         self.inner.scheduler.drive_queued()
+    }
+
+    /// [`StiServer::drive_io`] restricted to one device channel
+    /// ([`IoScheduler::drive_queued_on`]): the event-driven executor hosts
+    /// one flash [`Component`](sti_device::engine::Component) per device
+    /// channel, each servicing only the requests placed on its own
+    /// channel.
+    pub fn drive_io_on(&self, device_channel: u16) -> usize {
+        self.inner.scheduler.drive_queued_on(device_channel)
+    }
+
+    /// The simulated flash topology this server's scheduler places
+    /// requests onto.
+    pub fn device_topology(&self) -> DeviceTopology {
+        self.inner.scheduler.topology()
     }
 
     /// Number of distinct knob combinations currently planned.
@@ -1205,9 +1284,10 @@ impl StiServer {
     ///   recurrence as [`StiServer::contention_report`]), plus one
     ///   `gate.admit` / `gate.delay` / `gate.shed` event per gate decision
     ///   carrying the deciding [`GateReason`] digest and dominant lane.
-    /// * [`TrackKind::Flash`] — the contended channel's `flash.wait` /
-    ///   `flash.service` / `flash.depth` timeline from a canonical replay
-    ///   of the dispatch log.
+    /// * [`TrackKind::Flash`] — one track per *device channel*: each
+    ///   channel's `flash.wait` / `flash.service` / `flash.depth` timeline
+    ///   from a canonical replay of the dispatch log (a single track on
+    ///   the default single-channel topology).
     ///
     /// Scheduler channel ids are assigned racily under the threaded
     /// executor, so dispatch events are first remapped onto stable
@@ -1242,15 +1322,21 @@ impl StiServer {
             }
         }
         events.sort_by_key(|e| (e.arrival, e.channel));
-        let queue = IoScheduler::sim_from_events(&events, inner.flash, inner.dram).run();
-        let ring =
-            ObsSink::ring((queue.completions.len() * 4 + 64) * std::mem::size_of::<SpanEvent>());
-        queue.emit_spans(&ring, 0);
+        let report = IoScheduler::topology_sim_from_events(
+            &events,
+            inner.flash,
+            inner.dram,
+            inner.scheduler.topology(),
+        )
+        .run();
+        let completions = report.completions();
+        let ring = ObsSink::ring((completions.len() * 4 + 64) * std::mem::size_of::<SpanEvent>());
+        report.emit_spans(&ring);
         let (mut spans, _) = ring.drain();
         // Session-track engagement intervals: the same per-session issue
         // clock as the contention report, joined on stable ids.
         let mut per_engagement: HashMap<u64, Vec<sti_device::CompletedJob>> = HashMap::new();
-        for job in &queue.completions {
+        for job in &completions {
             per_engagement.entry(job.engagement).or_default().push(*job);
         }
         let mut session_clock: HashMap<u64, SimTime> = HashMap::new();
@@ -1357,10 +1443,16 @@ impl StiServer {
     pub fn contention_report(&self) -> ContentionReport {
         let inner = &*self.inner;
         let events = inner.scheduler.flash_events();
-        let queue = IoScheduler::sim_from_events(&events, inner.flash, inner.dram).run();
+        let report = IoScheduler::topology_sim_from_events(
+            &events,
+            inner.flash,
+            inner.dram,
+            inner.scheduler.topology(),
+        )
+        .run();
         let mut per_channel: HashMap<u64, Vec<sti_device::CompletedJob>> = HashMap::new();
-        for job in &queue.completions {
-            per_channel.entry(job.engagement).or_default().push(*job);
+        for job in report.completions() {
+            per_channel.entry(job.engagement).or_default().push(job);
         }
         let log = inner.engagement_log.lock();
         // Per-session issue clock: a session issues its next engagement
@@ -1412,9 +1504,9 @@ impl StiServer {
         gate.sort_by_key(|d| d.session);
         ContentionReport {
             engagements,
-            flash_busy: queue.busy,
-            queue_makespan: queue.makespan,
-            max_queue_depth: queue.max_depth,
+            flash_busy: report.busy(),
+            queue_makespan: report.makespan(),
+            max_queue_depth: report.max_depth(),
             batched_dispatches,
             flash_bytes_saved,
             mean_batch_occupancy,
@@ -1500,6 +1592,12 @@ pub struct Session {
     /// [`ServingStats::preload_bytes_reallocated`], so a retarget replaces
     /// rather than re-adds it.
     realloc_bytes: u64,
+    /// Device-channel stripe offset of this session's shard placement
+    /// (the SLO search's placement choice, [`ServingPlan::stripe`]; zero
+    /// for raw-target sessions and on single-channel devices). Folded into
+    /// registered job signatures and into the IO lane the session's
+    /// engagements stream through.
+    stripe: u16,
     /// The last backpressure-gate decision, keyed by a digest of the gate's
     /// inputs (candidate arrival, external backlog, open-load registry):
     /// decisions are a pure function of those, so repeat engagements
@@ -1603,7 +1701,7 @@ impl Session {
     /// uncontended (deterministic) track is unaffected.
     pub fn set_arrival(&mut self, arrival: SimTime) {
         self.arrival = arrival;
-        self.inner.register_load(self.token, &self.plan, arrival, self.slo);
+        self.inner.register_load(self.token, &self.plan, arrival, self.slo, self.stripe);
     }
 
     /// Retargets the session: resolves the plan for the new `T` through the
@@ -1620,7 +1718,8 @@ impl Session {
         self.preload = preload;
         self.slo = None;
         self.serving = None;
-        self.inner.register_load(self.token, &self.plan, self.arrival, None);
+        self.stripe = self.inner.default_stripe(self.token);
+        self.inner.register_load(self.token, &self.plan, self.arrival, None, self.stripe);
         Ok(())
     }
 
@@ -1638,7 +1737,8 @@ impl Session {
         self.preload = preload;
         self.slo = None;
         self.serving = None;
-        self.inner.register_load(self.token, &self.plan, self.arrival, None);
+        self.stripe = self.inner.default_stripe(self.token);
+        self.inner.register_load(self.token, &self.plan, self.arrival, None, self.stripe);
         Ok(())
     }
 
@@ -1703,8 +1803,9 @@ impl Session {
         self.plan = plan;
         self.preload = preload;
         self.slo = Some(slo);
+        self.stripe = served.stripe;
         self.serving = Some(served);
-        inner.register_load(self.token, &self.plan, self.arrival, Some(slo));
+        inner.register_load(self.token, &self.plan, self.arrival, Some(slo), self.stripe);
         Ok(())
     }
 
@@ -1907,7 +2008,8 @@ impl Session {
         // gate's snapshot, so no gate can observe the channel unowned.
         let channel = {
             let mut active = inner.active_channels.lock();
-            let channel = inner.scheduler.channel_at(self.arrival + gate_delay);
+            let channel =
+                inner.scheduler.channel_striped_at(self.arrival + gate_delay, self.stripe);
             active.insert(channel.id(), self.token);
             channel
         };

@@ -42,8 +42,9 @@ pub use io_plan::{
     plan_io, plan_io_greedy_only, plan_two_stage, replan_with_preload, IoPlanInputs,
 };
 pub use mix::{
-    digest_from_parts, mix_token, plan_for_slo_mix, reallocate_preload_for_mix, GateOutcome,
-    GatePolicy, MixLaneSummary, MixSession, PreloadPolicy, ServingMix, SloProfile,
+    digest_from_parts, digest_with_topology, mix_token, plan_for_slo_mix,
+    reallocate_preload_for_mix, GateOutcome, GatePolicy, MixLaneSummary, MixSession, PreloadPolicy,
+    ServingMix, SloProfile,
 };
 pub use plan::{ExecutionPlan, PlannedLayer, SubmodelShape};
 pub use schedule::{simulate_pipeline, LayerTiming, SchedulePrediction};

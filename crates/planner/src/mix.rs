@@ -49,6 +49,22 @@
 //! wins, so batched co-residents shift their preload budget onto un-shared
 //! layers — and admit at tighter SLOs — exactly when the mix says it pays.
 //!
+//! # Device-channel placement
+//!
+//! The mix carries the [`DeviceTopology`] predictions simulate
+//! ([`ServingMix::with_topology`]). On the default single-channel shape
+//! every code path below is bit-identical to the pre-topology planner; on
+//! `C > 1` the prediction core routes each job to its device channel by
+//! `DeviceTopology::channel_for` over the job's placement-adjusted
+//! signature (lane stripes are folded into sigs at load construction —
+//! [`CoRunnerLoad::from_plan_striped`] — mirroring the IO scheduler's
+//! backlog fold), the delay search drains per channel, and
+//! [`plan_for_slo_mix`] ranks the candidate's stripe offsets as a
+//! placement axis beside the `|S|` placements. A "channel" here is always
+//! a *device channel* (hardware lane of the flash package); an
+//! engagement's request stream into the scheduler is an *IO lane*
+//! (`IoChannel` / `ChannelBacklog` in `sti-storage`).
+//!
 //! # Fleet-scale incrementality
 //!
 //! A serving fleet makes the mix big and the per-decision budget small, so
@@ -83,7 +99,9 @@ use std::collections::HashSet;
 use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
-use sti_device::{FlashJob, FlashQueueSim, HwProfile, SimTime};
+use sti_device::{
+    CompletedJob, DeviceTopology, FlashJob, FlashQueueSim, HwProfile, SimTime, TopologyQueueSim,
+};
 use sti_quant::Bitwidth;
 use sti_storage::{BacklogSnapshot, LayerRequest};
 use sti_transformer::ShardId;
@@ -113,7 +131,26 @@ pub struct SloProfile {
 impl SloProfile {
     /// Builds the gate profile of one engagement of `plan` under `slo`.
     pub fn from_plan(hw: &HwProfile, plan: &ExecutionPlan, slo: SimTime) -> Self {
-        Self { jobs: layer_io_jobs(hw, plan), comp: hw.t_comp(plan.shape.width), slo }
+        Self::from_plan_striped(hw, plan, slo, 0)
+    }
+
+    /// [`SloProfile::from_plan`] placed on device-channel stripe `stripe`:
+    /// job signatures carry the placement fold, so the gate replays this
+    /// session's traffic on the channels its plan striped it across (see
+    /// [`CoRunnerLoad::from_plan_striped`]). Stripe 0 is the identity.
+    pub fn from_plan_striped(
+        hw: &HwProfile,
+        plan: &ExecutionPlan,
+        slo: SimTime,
+        stripe: u16,
+    ) -> Self {
+        let mut jobs = layer_io_jobs(hw, plan);
+        if stripe != 0 {
+            for job in jobs.iter_mut() {
+                *job = job.map(|j| j.striped(stripe));
+            }
+        }
+        Self { jobs, comp: hw.t_comp(plan.shape.width), slo }
     }
 
     fn load_at(&self, arrival: SimTime) -> EngagementLoad {
@@ -221,6 +258,9 @@ pub struct ServingMix {
     sessions: Vec<MixSession>,
     backlog: BacklogSnapshot,
     sharing: IoSharing,
+    /// The device topology predictions simulate: per-channel lanes under
+    /// `C > 1`, the legacy single-channel queue (bit-identical) otherwise.
+    topology: DeviceTopology,
     /// Rolling fold of per-session sub-digests (see [`ServingMix::digest`]):
     /// a wrapping sum of finalized sub-digests, updated O(1) by
     /// [`ServingMix::push_session`] / [`ServingMix::upsert_session`] /
@@ -232,7 +272,13 @@ pub struct ServingMix {
 impl ServingMix {
     /// An empty mix under the given sharing mode.
     pub fn new(sharing: IoSharing) -> Self {
-        Self { sessions: Vec::new(), backlog: BacklogSnapshot::default(), sharing, session_fold: 0 }
+        Self {
+            sessions: Vec::new(),
+            backlog: BacklogSnapshot::default(),
+            sharing,
+            topology: DeviceTopology::single(),
+            session_fold: 0,
+        }
     }
 
     /// A mix of anonymous co-runner loads (tokens are their indices) — the
@@ -258,6 +304,22 @@ impl ServingMix {
     pub fn with_backlog(mut self, snapshot: BacklogSnapshot) -> Self {
         self.backlog = snapshot;
         self
+    }
+
+    /// Attaches the device topology predictions simulate. The default
+    /// (and `C = 1` in general) reproduces the legacy single-channel
+    /// predictions bit-identically; under `C > 1` every lane's jobs route
+    /// to per-channel queues through `DeviceTopology::channel_for` over
+    /// their placement-adjusted signatures.
+    #[must_use]
+    pub fn with_topology(mut self, topology: DeviceTopology) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// The device topology predictions simulate.
+    pub fn topology(&self) -> DeviceTopology {
+        self.topology
     }
 
     /// Appends an open session. Callers push in registration (token) order;
@@ -346,7 +408,10 @@ impl ServingMix {
     /// (`digest_with(b) == clone().with_backlog(b).digest()` by
     /// construction).
     pub fn digest_with(&self, backlog: &BacklogSnapshot) -> u64 {
-        digest_from_parts(self.sharing, backlog, self.sessions.len() as u64, self.session_fold)
+        digest_with_topology(
+            digest_from_parts(self.sharing, backlog, self.sessions.len() as u64, self.session_fold),
+            self.topology,
+        )
     }
 
     /// The rolling per-session fold behind [`ServingMix::digest`] — a
@@ -371,13 +436,22 @@ impl ServingMix {
     ) -> ServingMix {
         let mut sessions: Vec<MixSession> = Vec::new();
         let mut session_fold = 0u64;
+        let mut topology = DeviceTopology::single();
         for part in parts {
             debug_assert!(part.backlog.channels.is_empty(), "shards carry no backlog");
             session_fold = session_fold.wrapping_add(part.session_fold);
             sessions.extend(part.sessions.iter().cloned());
+            // Shards of one registry share one device topology.
+            topology = part.topology;
         }
         sessions.sort_unstable_by_key(|s| s.token);
-        ServingMix { sessions, backlog: BacklogSnapshot::default(), sharing, session_fold }
+        ServingMix {
+            sessions,
+            backlog: BacklogSnapshot::default(),
+            sharing,
+            topology,
+            session_fold,
+        }
     }
 
     /// The raw lane set of the mix: external backlog lanes first (at their
@@ -403,7 +477,7 @@ impl ServingMix {
     /// This is the **single** prediction core — admission, the gate, and
     /// the delay search are all views over it.
     pub fn predict(&self, load: &EngagementLoad) -> SimTime {
-        predict_over_lanes(&self.raw_lanes(), load, self.sharing)
+        predict_over_lanes(&self.raw_lanes(), load, self.sharing, self.topology)
     }
 
     /// Searches the smallest arrival delay (up to `max_delay`) at which the
@@ -421,7 +495,7 @@ impl ServingMix {
         slo: SimTime,
         max_delay: SimTime,
     ) -> Result<(SimTime, SimTime), SimTime> {
-        min_delay_over_lanes(&self.raw_lanes(), load, self.sharing, slo, max_delay)
+        min_delay_over_lanes(&self.raw_lanes(), load, self.sharing, self.topology, slo, max_delay)
     }
 
     /// Content signatures every in-window participant of the mix streams:
@@ -586,8 +660,15 @@ impl ServingMix {
                     }
                     Some(profile) => {
                         let first = self.lanes_for(&base, &decided, &order[end..], arrival);
-                        let outcome =
-                            decide(&mut arena, &first, profile, arrival, self.sharing, policy);
+                        let outcome = decide(
+                            &mut arena,
+                            &first,
+                            profile,
+                            arrival,
+                            self.sharing,
+                            self.topology,
+                            policy,
+                        );
                         outcomes.push((s.token, Some(outcome)));
                         if !outcome.shed {
                             decided.push(Lane {
@@ -656,6 +737,7 @@ impl ServingMix {
                             &lanes,
                             &profile.load_at(arrival),
                             self.sharing,
+                            self.topology,
                             profile.slo,
                             max,
                         ) {
@@ -753,6 +835,21 @@ pub fn digest_from_parts(
     h.finish()
 }
 
+/// Folds the device topology into a mix digest. The legacy single-channel,
+/// bus-free shape is the identity — every digest minted before topologies
+/// existed (and every `C = 1` deployment today) is bit-identical — while
+/// multi-channel shapes rehash, so plans and gate decisions made under
+/// different placements never collide in the memo tables. The sharded
+/// registry applies the same fold over [`digest_from_parts`].
+pub fn digest_with_topology(digest: u64, topology: DeviceTopology) -> u64 {
+    if topology.is_single() {
+        return digest;
+    }
+    let mut h = DefaultHasher::new();
+    (digest, topology.channel_count(), topology.bus_us_per_job()).hash(&mut h);
+    h.finish()
+}
+
 /// The hash-splitting finalizer for registry shard selection: shards by
 /// token must decorrelate from the monotone token sequence a server
 /// assigns, so the sharded registry routes `token` to shard
@@ -804,18 +901,20 @@ struct LaneArena {
 /// One initial-pass gate decision for a profile at an arrival. Co-arrival
 /// re-gating is the walk's fixed-point sweep, not this function's job
 /// (queue mode only; see [`ServingMix::gate`]).
+#[allow(clippy::too_many_arguments)]
 fn decide(
     arena: &mut LaneArena,
     first: &[Lane],
     profile: &SloProfile,
     arrival: SimTime,
     sharing: IoSharing,
+    topology: DeviceTopology,
     policy: GatePolicy,
 ) -> GateOutcome {
     let load = profile.load_at(arrival);
     match policy {
         GatePolicy::Shed => {
-            let predicted = predict_over_lanes_in(arena, first, &load, sharing);
+            let predicted = predict_over_lanes_in(arena, first, &load, sharing, topology);
             GateOutcome {
                 predicted,
                 delay: SimTime::ZERO,
@@ -824,7 +923,8 @@ fn decide(
             }
         }
         GatePolicy::Queue(max) => {
-            match min_delay_over_lanes_in(arena, first, &load, sharing, profile.slo, max) {
+            match min_delay_over_lanes_in(arena, first, &load, sharing, topology, profile.slo, max)
+            {
                 Err(predicted) => {
                     GateOutcome { predicted, delay: SimTime::ZERO, shed: true, re_gated: false }
                 }
@@ -846,8 +946,58 @@ fn decide(
 /// member's cursor is raised to the batch arrival (the job exists only once
 /// its last member has arrived), mirroring the scheduler's
 /// effective-arrival discipline so per-lane FIFO survives the replay.
-fn predict_over_lanes(lanes: &[Lane], load: &EngagementLoad, sharing: IoSharing) -> SimTime {
-    predict_over_lanes_in(&mut LaneArena::default(), lanes, load, sharing)
+fn predict_over_lanes(
+    lanes: &[Lane],
+    load: &EngagementLoad,
+    sharing: IoSharing,
+    topology: DeviceTopology,
+) -> SimTime {
+    predict_over_lanes_in(&mut LaneArena::default(), lanes, load, sharing, topology)
+}
+
+/// The prediction core's queue, selected by topology shape: the legacy
+/// single-channel, bus-free path rides [`FlashQueueSim`] untouched — so
+/// `C = 1` predictions stay bit-identical to the pre-topology planner —
+/// while multi-channel (or bus-modeled) topologies ride
+/// [`TopologyQueueSim`], routing every grouped job to its device channel
+/// by `DeviceTopology::channel_for` over the job's placement-adjusted
+/// signature (lane stripes are already folded into the sigs, so stripe 0
+/// is the resolved placement).
+enum MixSim {
+    Single(FlashQueueSim),
+    Striped(TopologyQueueSim),
+}
+
+impl MixSim {
+    fn new(topology: DeviceTopology) -> Self {
+        if topology.is_single() {
+            MixSim::Single(FlashQueueSim::new())
+        } else {
+            MixSim::Striped(TopologyQueueSim::new(topology))
+        }
+    }
+
+    fn submit_shared(&mut self, sig: u64, job: FlashJob, extra_recipients: &[u64]) {
+        match self {
+            MixSim::Single(sim) => {
+                sim.submit_shared(job, extra_recipients);
+            }
+            MixSim::Striped(sim) => {
+                let channel = sim.topology().channel_for(sig, 0);
+                sim.submit_shared_on(channel, job, extra_recipients);
+            }
+        }
+    }
+
+    /// Serves everything and returns one engagement's completions in
+    /// submission order (arrivals are monotone per engagement, so the
+    /// merged `(arrival, seq)` order is the issue order on both paths).
+    fn completions_of(&self, engagement: u64) -> Vec<CompletedJob> {
+        match self {
+            MixSim::Single(sim) => sim.run().completions_of(engagement),
+            MixSim::Striped(sim) => sim.run().completions_of(engagement),
+        }
+    }
 }
 
 /// [`predict_over_lanes`] with caller-owned scratch (see [`LaneArena`]).
@@ -856,6 +1006,7 @@ fn predict_over_lanes_in(
     lanes: &[Lane],
     load: &EngagementLoad,
     sharing: IoSharing,
+    topology: DeviceTopology,
 ) -> SimTime {
     let LaneArena { candidate, cursors, round, group_jobs, group_members, extra } = arena;
     candidate.clear();
@@ -867,7 +1018,7 @@ fn predict_over_lanes_in(
     cursors.extend(lanes.iter().map(|l| l.arrival));
     cursors.push(load.arrival);
     let window = sharing.window();
-    let mut sim = FlashQueueSim::new();
+    let mut sim = MixSim::new(topology);
     for r in 0..rounds {
         // This round's jobs in dispatch order: lanes, then candidate.
         round.clear();
@@ -916,15 +1067,15 @@ fn predict_over_lanes_in(
             extra.clear();
             extra.extend(members[1..].iter().map(|&e| e as u64));
             sim.submit_shared(
+                group_jobs[g].sig,
                 FlashJob { engagement: members[0] as u64, arrival, service: group_jobs[g].service },
                 extra,
             );
         }
     }
-    let report = sim.run();
     let comps = vec![load.comp; load.jobs.len()];
     let has_io: Vec<bool> = load.jobs.iter().map(Option::is_some).collect();
-    let io_ends = align_io_completions(&has_io, &report.completions_of(candidate_id as u64))
+    let io_ends = align_io_completions(&has_io, &sim.completions_of(candidate_id as u64))
         .expect("the simulator served every submitted job");
     contended_makespan(load.arrival, &io_ends, &comps)
 }
@@ -946,55 +1097,75 @@ fn min_delay_over_lanes(
     lanes: &[Lane],
     load: &EngagementLoad,
     sharing: IoSharing,
+    topology: DeviceTopology,
     slo: SimTime,
     max_delay: SimTime,
 ) -> Result<(SimTime, SimTime), SimTime> {
-    min_delay_over_lanes_in(&mut LaneArena::default(), lanes, load, sharing, slo, max_delay)
+    min_delay_over_lanes_in(
+        &mut LaneArena::default(),
+        lanes,
+        load,
+        sharing,
+        topology,
+        slo,
+        max_delay,
+    )
 }
 
 /// [`min_delay_over_lanes`] with caller-owned scratch: the search probes
 /// the predictor dozens of times against the same lanes, all sharing one
 /// [`LaneArena`].
+#[allow(clippy::too_many_arguments)]
 fn min_delay_over_lanes_in(
     arena: &mut LaneArena,
     lanes: &[Lane],
     load: &EngagementLoad,
     sharing: IoSharing,
+    topology: DeviceTopology,
     slo: SimTime,
     max_delay: SimTime,
 ) -> Result<(SimTime, SimTime), SimTime> {
-    let now = predict_over_lanes_in(arena, lanes, load, sharing);
+    let now = predict_over_lanes_in(arena, lanes, load, sharing, topology);
     if now <= slo {
         return Ok((SimTime::ZERO, now));
     }
-    // Drain time of every queued job on a lane arriving by `cutoff`.
+    // Drain time of every queued job on a lane arriving by `cutoff`. On a
+    // multi-channel topology the device goes idle when its *slowest*
+    // channel does, so jobs route to their placed channels first.
     let drain_by = |cutoff: SimTime| {
-        FlashQueueSim::with_backlog(
+        let jobs =
             lanes.iter().enumerate().filter(|(_, l)| l.arrival <= cutoff).flat_map(|(e, l)| {
-                l.jobs.iter().map(move |j| FlashJob {
-                    engagement: e as u64,
-                    arrival: l.arrival,
-                    service: j.service,
+                l.jobs.iter().map(move |j| {
+                    (
+                        j.sig,
+                        FlashJob { engagement: e as u64, arrival: l.arrival, service: j.service },
+                    )
                 })
-            }),
-        )
-        .drain_time()
+            });
+        if topology.is_single() {
+            FlashQueueSim::with_backlog(jobs.map(|(_, job)| job)).drain_time()
+        } else {
+            let mut sim = TopologyQueueSim::new(topology);
+            for (sig, job) in jobs {
+                sim.submit_on(topology.channel_for(sig, 0), job);
+            }
+            sim.drain_time()
+        }
     };
     // Phase 1: monotone search against the already-arrived backlog. Early
     // lanes are `Arc`-shared clones — pointer copies, not job copies.
     let early: Vec<Lane> = lanes.iter().filter(|l| l.arrival <= load.arrival).cloned().collect();
     let cap = drain_by(load.arrival).saturating_sub(load.arrival).min(max_delay);
-    if predict_over_lanes_in(arena, &early, &load.delayed(cap), sharing) > slo {
-        return Err(predict_over_lanes_in(arena, lanes, &load.delayed(cap), sharing));
+    if predict_over_lanes_in(arena, &early, &load.delayed(cap), sharing, topology) > slo {
+        return Err(predict_over_lanes_in(arena, lanes, &load.delayed(cap), sharing, topology));
     }
     // Smallest delay in [0, cap] whose early-backlog prediction meets the
     // SLO; invariant: the early prediction at `hi` meets the SLO.
     let (mut lo, mut hi) = (0u64, cap.as_us());
     while lo < hi {
         let mid = lo + (hi - lo) / 2;
-        if predict_over_lanes_in(arena, &early, &load.delayed(SimTime::from_us(mid)), sharing)
-            <= slo
-        {
+        let probe = &load.delayed(SimTime::from_us(mid));
+        if predict_over_lanes_in(arena, &early, probe, sharing, topology) <= slo {
             hi = mid;
         } else {
             lo = mid + 1;
@@ -1003,7 +1174,8 @@ fn min_delay_over_lanes_in(
     // Phase 2: climb past any later-arriving windows the delay landed in.
     let mut delay = SimTime::from_us(hi);
     loop {
-        let predicted = predict_over_lanes_in(arena, lanes, &load.delayed(delay), sharing);
+        let predicted =
+            predict_over_lanes_in(arena, lanes, &load.delayed(delay), sharing, topology);
         if predicted <= slo {
             return Ok((delay, predicted));
         }
@@ -1093,6 +1265,19 @@ pub fn reallocate_preload_for_mix(
 /// fixed point when sharing buys nothing). The winning rung's
 /// `preload_bytes_reallocated` records how many default-prefix bytes the
 /// mix-aware placement moved or freed.
+///
+/// # The device-channel placement axis
+///
+/// On a multi-channel [`DeviceTopology`] every rung additionally ranks the
+/// candidate's *stripe offset* `0..C` — which device channels its layer
+/// requests stripe across ([`CoRunnerLoad::from_plan_striped`]) —
+/// alongside the `|S|` placements, under the same contended prediction and
+/// the same strict-improvement tie-break (lowest stripe wins ties, so
+/// `C = 1` degenerates to today's stripe-0 search bit-identically). A
+/// stripe that routes the candidate around a crowded channel admits at
+/// targets the legacy single-channel search had to reject; the winner is
+/// recorded in [`ServingPlan::stripe`] for the session to place its lane
+/// with.
 #[allow(clippy::too_many_arguments)]
 pub fn plan_for_slo_mix(
     hw: &HwProfile,
@@ -1114,23 +1299,40 @@ pub fn plan_for_slo_mix(
         widths,
         bitwidths,
         |target, default| {
-            let predict =
-                |plan: &ExecutionPlan| mix.predict(&EngagementLoad::from_plan(hw, plan, arrival));
-            let default_pred = predict(&default);
-            let mut step =
-                LadderStep { predicted: default_pred, preload_bytes_reallocated: 0, plan: default };
-            if policy == PreloadPolicy::SharingAware {
-                let sigs = mix.streamed_sigs_in_window(arrival);
-                if !sigs.is_empty() {
+            let shared = (policy == PreloadPolicy::SharingAware)
+                .then(|| mix.streamed_sigs_in_window(arrival))
+                .filter(|sigs| !sigs.is_empty());
+            let mut best: Option<LadderStep> = None;
+            for stripe in 0..mix.topology().channel_count() {
+                let predict = |plan: &ExecutionPlan| {
+                    mix.predict(&EngagementLoad::from_plan_striped(hw, plan, arrival, stripe))
+                };
+                let mut step = LadderStep {
+                    predicted: predict(&default),
+                    preload_bytes_reallocated: 0,
+                    stripe,
+                    plan: default.clone(),
+                };
+                if let Some(sigs) = &shared {
+                    // The mix's signatures carry their lanes' placement
+                    // folds; un-shift by the candidate's stripe so the
+                    // raw-sig coverage test only matches layers a
+                    // co-resident streams *on the same device channel*.
+                    let local: HashSet<u64> = if stripe == 0 {
+                        sigs.clone()
+                    } else {
+                        sigs.iter().map(|s| s.wrapping_sub(stripe as u64)).collect()
+                    };
                     let default_preload_bytes: u64 =
                         step.plan.preload.iter().map(|&(_, bw)| hw.shard_bytes(bw)).sum();
-                    if let Some((alt, freed)) = reallocate_preload_for_mix(hw, &step.plan, &sigs) {
+                    if let Some((alt, freed)) = reallocate_preload_for_mix(hw, &step.plan, &local) {
                         let p = predict(&alt);
                         if p < step.predicted {
                             step = LadderStep {
                                 plan: alt,
                                 predicted: p,
                                 preload_bytes_reallocated: freed,
+                                stripe,
                             };
                         }
                     }
@@ -1142,12 +1344,16 @@ pub fn plan_for_slo_mix(
                                 plan: zero,
                                 predicted: p,
                                 preload_bytes_reallocated: default_preload_bytes,
+                                stripe,
                             };
                         }
                     }
                 }
+                if best.as_ref().is_none_or(|b| step.predicted < b.predicted) {
+                    best = Some(step);
+                }
             }
-            step
+            best.expect("a topology has at least one channel")
         },
     )
 }

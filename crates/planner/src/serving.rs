@@ -100,6 +100,18 @@ pub struct LayerIoJob {
     pub service: SimTime,
 }
 
+impl LayerIoJob {
+    /// The same bytes placed through a session's device-channel stripe:
+    /// the signature is shifted by the stripe offset, mirroring the IO
+    /// scheduler's placement fold, so
+    /// `DeviceTopology::channel_for(sig, stripe)` equals
+    /// `channel_for(striped sig, 0)` and two jobs batch only when both
+    /// their bytes *and* their placement agree. Stripe 0 is the identity.
+    pub fn striped(self, stripe: u16) -> Self {
+        Self { sig: self.sig.wrapping_add(stripe as u64), service: self.service }
+    }
+}
+
 /// Per-layer IO jobs of a plan: `Some` for layers that stream, `None` for
 /// layers fully covered by the preload buffer. The signature identifies the
 /// exact bytes read, so equal signatures across plans mean batchable jobs.
@@ -150,7 +162,27 @@ impl CoRunnerLoad {
     /// [`CoRunnerLoad::from_plan`] with an explicit arrival offset (a trace
     /// file's `arrival_us`, or a session's `set_arrival`).
     pub fn from_plan_at(hw: &HwProfile, plan: &ExecutionPlan, arrival: SimTime) -> Self {
-        Self { jobs: layer_io_jobs(hw, plan).into_iter().flatten().collect(), arrival }
+        Self::from_plan_striped(hw, plan, arrival, 0)
+    }
+
+    /// [`CoRunnerLoad::from_plan_at`] placed on device-channel stripe
+    /// `stripe`: every job signature carries the placement fold
+    /// ([`LayerIoJob::striped`]), so the contended predictors route — and
+    /// batch — this load exactly where the IO scheduler's placement would.
+    pub fn from_plan_striped(
+        hw: &HwProfile,
+        plan: &ExecutionPlan,
+        arrival: SimTime,
+        stripe: u16,
+    ) -> Self {
+        Self {
+            jobs: layer_io_jobs(hw, plan)
+                .into_iter()
+                .flatten()
+                .map(|j| j.striped(stripe))
+                .collect(),
+            arrival,
+        }
     }
 
     /// Order-sensitive digest of a co-runner mix, for memo keys: two
@@ -187,6 +219,23 @@ impl EngagementLoad {
     /// `arrival`.
     pub fn from_plan(hw: &HwProfile, plan: &ExecutionPlan, arrival: SimTime) -> Self {
         Self { jobs: layer_io_jobs(hw, plan), comp: hw.t_comp(plan.shape.width), arrival }
+    }
+
+    /// [`EngagementLoad::from_plan`] placed on device-channel stripe
+    /// `stripe` (see [`CoRunnerLoad::from_plan_striped`]).
+    pub fn from_plan_striped(
+        hw: &HwProfile,
+        plan: &ExecutionPlan,
+        arrival: SimTime,
+        stripe: u16,
+    ) -> Self {
+        let mut load = Self::from_plan(hw, plan, arrival);
+        if stripe != 0 {
+            for job in load.jobs.iter_mut() {
+                *job = job.map(|j| j.striped(stripe));
+            }
+        }
+        load
     }
 
     /// The same engagement submitted `delay` later.
@@ -357,6 +406,12 @@ pub struct ServingPlan {
     /// when riding the mix's batches beat preloading). Zero for
     /// per-session searches and whenever the default placement won.
     pub preload_bytes_reallocated: u64,
+    /// The device-channel stripe offset the search placed the session on:
+    /// the session's layer requests route to channels through
+    /// `DeviceTopology::channel_for(sig, stripe)`. Always zero on a
+    /// single-channel topology; under `C > 1` the mix-aware search ranks
+    /// every stripe as a placement axis and keeps the best.
+    pub stripe: u16,
 }
 
 /// Target-latency search ladder, as fractions of the SLO in per-mille.
@@ -384,7 +439,7 @@ pub fn plan_for_slo(
 ) -> ServingPlan {
     search_ladder(hw, importance, slo, co_runners, preload_bytes, widths, bitwidths, |_, plan| {
         let predicted = predict_contended_latency(hw, &plan, co_runners);
-        LadderStep { predicted, preload_bytes_reallocated: 0, plan }
+        LadderStep { predicted, preload_bytes_reallocated: 0, stripe: 0, plan }
     })
 }
 
@@ -429,6 +484,9 @@ pub(crate) struct LadderStep {
     pub(crate) plan: ExecutionPlan,
     pub(crate) predicted: SimTime,
     pub(crate) preload_bytes_reallocated: u64,
+    /// Device-channel stripe the rung placed the candidate on (always 0
+    /// for single-channel searches).
+    pub(crate) stripe: u16,
 }
 
 /// The shared ladder walk of every SLO search: plan each descending target
@@ -465,6 +523,7 @@ pub(crate) fn search_ladder(
             predicted_contended: step.predicted,
             meets_slo: step.predicted <= slo,
             preload_bytes_reallocated: step.preload_bytes_reallocated,
+            stripe: step.stripe,
         };
         if candidate.meets_slo {
             return candidate;

@@ -3,16 +3,27 @@
 //!
 //! The seed's [`IoWorker`](crate::loader::IoWorker) owned the flash for a
 //! single engagement. A serving runtime has N concurrent engagements, each
-//! streaming its layers in order, all sharing one flash queue. The
+//! streaming its layers in order, all sharing one flash device. The
 //! [`IoScheduler`] generalizes the worker into a pool:
 //!
-//! - every engagement opens an [`IoChannel`]; requests on a channel are
-//!   serviced **FIFO** (AIB planning requires arrival order = execution
-//!   order, paper §5.4);
-//! - across channels the scheduler dispatches **round-robin**, one layer
+//! - every engagement opens an [`IoChannel`] — its **engagement IO lane**
+//!   into the scheduler; requests on a lane are serviced **FIFO** (AIB
+//!   planning requires arrival order = execution order, paper §5.4);
+//! - across lanes the scheduler dispatches **round-robin**, one layer
 //!   request per turn, so no engagement can starve another;
 //! - an optional shared [`ShardCache`] absorbs redundant reads across
 //!   engagements executing overlapping submodels.
+//!
+//! **Two kinds of "channel".** An [`IoChannel`] (and a [`ChannelBacklog`]
+//! entry) is an engagement IO *lane*: one engagement's request stream,
+//! identified by the `channel`/engagement id on events and reports. A
+//! **device channel** is a hardware lane of the flash package, named by
+//! [`DeviceTopology`]: placement maps each
+//! request to the device channel
+//! `DeviceTopology::channel_for(content_sig, lane_stripe)`, where the
+//! lane's *stripe* offset is fixed at [`IoScheduler::channel_striped_at`]
+//! time. Under the default single-channel topology every request lands on
+//! device channel 0 and the scheduler behaves exactly as before.
 //!
 //! Simulated time is kept on **two tracks**:
 //!
@@ -23,26 +34,31 @@
 //!   tests). Aggregates land in [`IoSchedulerStats`].
 //! - **Contended track.** The scheduler additionally records its dispatch
 //!   sequence as [`FlashDispatchEvent`]s — one per serviced flash job, with
-//!   the channel's simulated arrival time and byte/cache-hit accounting.
-//!   [`IoScheduler::contention_sim`] replays that sequence through the
-//!   discrete-event [`FlashQueueSim`] of `sti-device`, yielding the
-//!   start/completion times each request *would* have seen on the single
-//!   contended flash channel. Passing a DRAM-speed [`FlashModel`] charges
-//!   cache-resident bytes at DRAM service time instead of flash — the
-//!   opt-in residency mode for capacity planning. The contended track never
-//!   feeds back into execution results; it exists for serving reports, the
-//!   SLO planner, and admission control.
+//!   the lane's simulated arrival time, the device channel placement put it
+//!   on, and byte/cache-hit accounting. [`IoScheduler::topology_sim`]
+//!   replays that sequence through the engine-hosted
+//!   [`TopologyQueueSim`] of `sti-device`
+//!   (and [`IoScheduler::contention_sim`] through the legacy single-channel
+//!   [`FlashQueueSim`]), yielding the start/completion times each request
+//!   *would* have seen on the contended device. Passing a DRAM-speed
+//!   [`FlashModel`] charges cache-resident bytes at DRAM service time
+//!   instead of flash — the opt-in residency mode for capacity planning.
+//!   The contended track never feeds back into execution results; it exists
+//!   for serving reports, the SLO planner, and admission control.
 //!
 //! **Shared-IO batching** (see [`crate::batcher`]): under an enabled
 //! [`BatchPolicy`], a dispatch may coalesce byte-identical head-of-queue
-//! requests from other channels whose arrivals fall inside the policy
-//! window. The flash services the group as **one** job; every member
-//! channel receives a bit-identical [`LoadedLayer`] (blobs are shared
-//! `Arc`s) in its own FIFO position, the uncontended track still charges
-//! each engagement its own device-model delay (sharing must not perturb
-//! deterministic results), and the contended track records one event with
-//! the member list so the replay charges the bytes once. The difference —
-//! what co-residency saved — is ledgered in [`BatchStats`].
+//! requests from other lanes whose arrivals fall inside the policy window
+//! — *and*, under a multi-channel topology, whose placement resolves to
+//! the **same device channel** (two lanes striping the same bytes onto
+//! different channels issue two reads; there is no cross-channel fan-out).
+//! The flash services the group as **one** job; every member lane receives
+//! a bit-identical [`LoadedLayer`] (blobs are shared `Arc`s) in its own
+//! FIFO position, the uncontended track still charges each engagement its
+//! own device-model delay (sharing must not perturb deterministic
+//! results), and the contended track records one event with the member
+//! list so the replay charges the bytes once. The difference — what
+//! co-residency saved — is ledgered in [`BatchStats`].
 //!
 //! Failure policy: lock poisoning is recovered (worker critical sections
 //! never leave the state half-mutated), and shutdown — including a worker
@@ -53,7 +69,7 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
-use sti_device::{FlashJob, FlashModel, FlashQueueSim, SimTime};
+use sti_device::{DeviceTopology, FlashJob, FlashModel, FlashQueueSim, SimTime, TopologyQueueSim};
 use sti_obs::{
     Counter, Gauge, Histogram, MetricsRegistry, MetricsSnapshot, ObsSink, SpanArgs, SpanEvent,
     TrackKind,
@@ -96,8 +112,12 @@ pub struct IoSchedulerStats {
 pub struct FlashDispatchEvent {
     /// Dispatch sequence number (the order requests reached the flash).
     pub seq: u64,
-    /// The channel (engagement) that led the dispatch.
+    /// The engagement IO lane that led the dispatch.
     pub channel: u64,
+    /// The device channel placement resolved the request onto
+    /// (`DeviceTopology::channel_for(content_sig, lane_stripe)`; always 0
+    /// under the single-channel topology).
+    pub device_channel: u16,
     /// The job's simulated arrival time: the leader's effective arrival,
     /// raised to the latest member's for a batched dispatch (the job can
     /// only exist once every member has arrived).
@@ -124,9 +144,13 @@ impl FlashDispatchEvent {
 /// One queued (not yet dispatched) request in a [`BacklogSnapshot`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct QueuedIo {
-    /// Content signature of the request
-    /// ([`LayerRequest::content_sig`]) — equal signatures read identical
-    /// bytes and could share one flash job under an enabled batch policy.
+    /// Placement-adjusted content signature of the request
+    /// ([`LayerRequest::content_sig`] plus the lane's stripe offset) —
+    /// equal signatures read identical bytes *and* resolve to the same
+    /// device channel (`channel_for(sig, 0)`), so they could share one
+    /// flash job under an enabled batch policy. Zero-stripe lanes (the
+    /// only kind under a single-channel topology) report the raw content
+    /// signature.
     pub sig: u64,
     /// Serialized bytes the request will read (0 when a size lookup fails;
     /// the request itself will surface that error at dispatch).
@@ -189,17 +213,22 @@ struct ChannelState {
     /// arrivals are non-decreasing and the `(arrival, seq)` replay order
     /// preserves per-channel FIFO.
     effective_arrival: SimTime,
+    /// The lane's stripe offset: placement resolves each request to device
+    /// channel `channel_for(content_sig, stripe)`. Always 0 under the
+    /// single-channel topology.
+    stripe: u16,
     inflight: bool,
     closed: bool,
 }
 
 impl ChannelState {
-    fn new(arrival: SimTime) -> Self {
+    fn new(arrival: SimTime, stripe: u16) -> Self {
         Self {
             pending: VecDeque::new(),
             completed: VecDeque::new(),
             arrival,
             effective_arrival: arrival,
+            stripe,
             inflight: false,
             closed: false,
         }
@@ -262,12 +291,49 @@ impl IoInstruments {
     }
 }
 
+/// Per-device-channel instruments (`io.channel.<c>.*`), resolved at spawn.
+/// Only created under a multi-channel topology so single-channel metric
+/// snapshots stay exactly as they always were.
+struct DeviceChannelInstruments {
+    /// `io.channel.<c>.busy_us` — device-model service time dispatched on
+    /// the channel (charged once per batched job, like the replay).
+    busy_us: Counter,
+    /// `io.channel.<c>.queued_bytes` — serialized bytes dispatched on the
+    /// channel (charged once per batched job).
+    queued_bytes: Counter,
+    /// `io.channel.<c>.batch_fanout` — peak fan-out of a batched dispatch
+    /// placed on the channel.
+    batch_fanout: Gauge,
+}
+
+impl DeviceChannelInstruments {
+    fn resolve(registry: &MetricsRegistry, c: u16) -> Self {
+        // Instrument names are `&'static str`; device-channel names are
+        // minted once per spawn (bounded by the topology's channel count).
+        let name = |suffix: &str| -> &'static str {
+            Box::leak(format!("io.channel.{c}.{suffix}").into_boxed_str())
+        };
+        Self {
+            busy_us: registry.counter(name("busy_us")),
+            queued_bytes: registry.counter(name("queued_bytes")),
+            batch_fanout: registry.gauge(name("batch_fanout")),
+        }
+    }
+}
+
 struct Shared {
     source: Arc<dyn ShardSource>,
     cache: Option<Arc<ShardCache>>,
     flash: FlashModel,
     throttle_scale: f64,
     policy: BatchPolicy,
+    /// The device's contended-path shape. Placement and replay routing are
+    /// pure functions of it; [`DeviceTopology::single`] reproduces the
+    /// legacy one-channel behaviour bit-identically.
+    topology: DeviceTopology,
+    /// `io.channel.<c>.*` instruments, one per device channel — empty
+    /// under the single-channel topology.
+    per_channel: Vec<DeviceChannelInstruments>,
     state: Mutex<SchedState>,
     /// Signals workers that work arrived or shutdown began.
     work_cv: Condvar,
@@ -343,16 +409,55 @@ impl IoScheduler {
         cache: Option<Arc<ShardCache>>,
         policy: BatchPolicy,
     ) -> Self {
+        Self::spawn_topology(
+            source,
+            flash,
+            workers,
+            throttle_scale,
+            cache,
+            policy,
+            DeviceTopology::single(),
+        )
+    }
+
+    /// Spawns the scheduler over an explicit [`DeviceTopology`]: placement
+    /// resolves every request to a device channel, batching only coalesces
+    /// same-channel placements, and the contended track records each
+    /// dispatch's device channel for the [`IoScheduler::topology_sim`]
+    /// replay. [`DeviceTopology::single`] reproduces
+    /// [`IoScheduler::spawn_batched`] bit-identically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero or `throttle_scale` is outside `[0, 10]`.
+    pub fn spawn_topology(
+        source: Arc<dyn ShardSource>,
+        flash: FlashModel,
+        workers: usize,
+        throttle_scale: f64,
+        cache: Option<Arc<ShardCache>>,
+        policy: BatchPolicy,
+        topology: DeviceTopology,
+    ) -> Self {
         assert!(workers > 0, "scheduler needs at least one worker");
         assert!((0.0..=10.0).contains(&throttle_scale), "throttle scale must be within [0, 10]");
         let registry = MetricsRegistry::new();
         let instruments = IoInstruments::resolve(&registry);
+        let per_channel = if topology.channel_count() > 1 {
+            (0..topology.channel_count())
+                .map(|c| DeviceChannelInstruments::resolve(&registry, c))
+                .collect()
+        } else {
+            Vec::new()
+        };
         let shared = Arc::new(Shared {
             source,
             cache,
             flash,
             throttle_scale,
             policy,
+            topology,
+            per_channel,
             state: Mutex::new(SchedState::default()),
             work_cv: Condvar::new(),
             done_cv: Condvar::new(),
@@ -381,13 +486,28 @@ impl IoScheduler {
 
     /// Opens a channel whose engagement arrives at `arrival` on the
     /// simulated timeline — the arrival the contended track replays its
-    /// requests at. The uncontended track is unaffected.
+    /// requests at. The uncontended track is unaffected. The lane stripes
+    /// at offset 0 (the only placement under a single-channel topology).
     pub fn channel_at(&self, arrival: SimTime) -> IoChannel {
+        self.channel_striped_at(arrival, 0)
+    }
+
+    /// Opens a lane with an explicit stripe offset: each of its requests
+    /// is placed on device channel `channel_for(content_sig, stripe)`.
+    /// The stripe is normalized modulo the channel count, so under a
+    /// single-channel topology every lane stripes at 0.
+    pub fn channel_striped_at(&self, arrival: SimTime, stripe: u16) -> IoChannel {
+        let stripe = stripe % self.shared.topology.channel_count();
         let mut state = self.shared.lock_state();
         let id = state.next_channel_id;
         state.next_channel_id += 1;
-        state.channels.insert(id, ChannelState::new(arrival));
+        state.channels.insert(id, ChannelState::new(arrival, stripe));
         IoChannel { shared: self.shared.clone(), id }
+    }
+
+    /// The device topology this scheduler places requests onto.
+    pub fn topology(&self) -> DeviceTopology {
+        self.shared.topology
     }
 
     /// Aggregate accounting so far, reconstructed from the scheduler's
@@ -461,6 +581,21 @@ impl IoScheduler {
     /// requests then surface [`StorageError::SchedulerShutdown`] through
     /// their channels instead).
     pub fn drive_queued(&self) -> usize {
+        self.drive(None)
+    }
+
+    /// [`IoScheduler::drive_queued`] restricted to one device channel:
+    /// services every dispatchable request whose placement resolves to
+    /// `device_channel`, leaving other channels' work queued. An
+    /// event-driven host registers one flash component per device channel
+    /// and ticks each channel's dispatcher independently — under the
+    /// single-channel topology `drive_queued_on(0)` is exactly
+    /// [`IoScheduler::drive_queued`].
+    pub fn drive_queued_on(&self, device_channel: u16) -> usize {
+        self.drive(Some(device_channel))
+    }
+
+    fn drive(&self, only: Option<u16>) -> usize {
         let mut serviced = 0;
         loop {
             let dispatch = {
@@ -468,7 +603,7 @@ impl IoScheduler {
                 if state.shutdown {
                     break;
                 }
-                match pick_next(&mut state, self.shared.policy) {
+                match pick_next_on(&mut state, self.shared.policy, self.shared.topology, only) {
                     Some(pick) => pick,
                     None => break,
                 }
@@ -492,7 +627,7 @@ impl IoScheduler {
         // Under the lock: clone only queue structure (ids, arrivals,
         // pending requests), pre-sized to the channel count so the hold
         // never reallocates. Size lookups run after release.
-        let pending: Vec<(u64, SimTime, SimTime, bool, Vec<LayerRequest>)> = {
+        let pending: Vec<(u64, SimTime, SimTime, bool, u16, Vec<LayerRequest>)> = {
             let state = self.shared.lock_state();
             let mut channels = Vec::with_capacity(state.channels.len());
             channels.extend(state.channels.iter().filter(|(_, c)| !c.closed && c.has_work()).map(
@@ -502,6 +637,7 @@ impl IoScheduler {
                         c.arrival,
                         c.effective_arrival,
                         c.inflight,
+                        c.stripe,
                         c.pending.iter().cloned().collect::<Vec<_>>(),
                     )
                 },
@@ -511,7 +647,7 @@ impl IoScheduler {
         };
         let channels = pending
             .into_iter()
-            .map(|(channel, arrival, effective_arrival, inflight, requests)| {
+            .map(|(channel, arrival, effective_arrival, inflight, stripe, requests)| {
                 let queued = requests
                     .iter()
                     .map(|req| {
@@ -528,7 +664,17 @@ impl IoScheduler {
                         } else {
                             SimTime::ZERO
                         };
-                        QueuedIo { sig: req.content_sig(), bytes, service }
+                        // Fold the lane's stripe into the reported
+                        // signature: equality then means "identical bytes
+                        // on the same device channel" — the batchability
+                        // identity under placement — and `channel_for(sig,
+                        // 0)` recovers the request's device channel.
+                        // Zero-stripe lanes report the raw signature.
+                        QueuedIo {
+                            sig: req.content_sig().wrapping_add(stripe as u64),
+                            bytes,
+                            service,
+                        }
                     })
                     .collect();
                 ChannelBacklog { channel, arrival, effective_arrival, inflight, queued }
@@ -572,17 +718,51 @@ impl IoScheduler {
     ) -> FlashQueueSim {
         let mut sim = FlashQueueSim::new();
         for e in events {
-            let service = match dram {
-                Some(d) if e.hit_bytes > 0 => {
-                    let miss = e.bytes - e.hit_bytes;
-                    let flash_part =
-                        if miss > 0 { flash.request_delay(miss) } else { SimTime::ZERO };
-                    flash_part + d.request_delay(e.hit_bytes)
-                }
-                _ => e.io_delay,
-            };
             sim.submit_shared(
-                FlashJob { engagement: e.channel, arrival: e.arrival, service },
+                FlashJob {
+                    engagement: e.channel,
+                    arrival: e.arrival,
+                    service: contended_service(e, flash, dram),
+                },
+                &e.members,
+            );
+        }
+        sim
+    }
+
+    /// Builds the engine-hosted multi-channel simulation of every request
+    /// dispatched so far, routed by each event's recorded device channel.
+    /// Under the single-channel topology the report is bit-identical to
+    /// [`IoScheduler::contention_sim`]'s.
+    pub fn topology_sim(&self, dram: Option<FlashModel>) -> TopologyQueueSim {
+        Self::topology_sim_from_events(
+            &self.flash_events(),
+            self.shared.flash,
+            dram,
+            self.shared.topology,
+        )
+    }
+
+    /// Builds the topology simulation from an explicit event list (what
+    /// [`IoScheduler::topology_sim`] does with the live log). Events are
+    /// routed by [`FlashDispatchEvent::device_channel`], normalized modulo
+    /// the topology's channel count so a mismatched topology still yields
+    /// a total routing.
+    pub fn topology_sim_from_events(
+        events: &[FlashDispatchEvent],
+        flash: FlashModel,
+        dram: Option<FlashModel>,
+        topology: DeviceTopology,
+    ) -> TopologyQueueSim {
+        let mut sim = TopologyQueueSim::new(topology);
+        for e in events {
+            sim.submit_shared_on(
+                e.device_channel % topology.channel_count(),
+                FlashJob {
+                    engagement: e.channel,
+                    arrival: e.arrival,
+                    service: contended_service(e, flash, dram),
+                },
                 &e.members,
             );
         }
@@ -726,7 +906,7 @@ fn worker_loop(shared: &Shared) {
             let mut state = shared.lock_state();
             loop {
                 if !state.paused {
-                    if let Some(pick) = pick_next(&mut state, shared.policy) {
+                    if let Some(pick) = pick_next(&mut state, shared.policy, shared.topology) {
                         break pick;
                     }
                 }
@@ -745,7 +925,7 @@ fn worker_loop(shared: &Shared) {
 /// members). Shared by the worker pool and the inline
 /// [`IoScheduler::drive_queued`] path, so both account identically.
 fn run_dispatch(shared: &Shared, dispatch: Dispatch) {
-    let Dispatch { channel_id, req, depth, seq, arrival, members } = dispatch;
+    let Dispatch { channel_id, req, depth, seq, arrival, device_channel, members } = dispatch;
 
     let result = service(shared, &req);
 
@@ -776,6 +956,11 @@ fn run_dispatch(shared: &Shared, dispatch: Dispatch) {
             }
             ins.request_bytes.record(loaded.bytes);
             ins.service_us.record(loaded.io_delay.as_us());
+            if let Some(dci) = shared.per_channel.get(device_channel as usize) {
+                dci.busy_us.add(loaded.io_delay.as_us());
+                dci.queued_bytes.add(loaded.bytes);
+                dci.batch_fanout.observe_peak(fanout as u64);
+            }
             {
                 let sink = shared.obs.lock().unwrap_or_else(|e| e.into_inner()).clone();
                 if sink.enabled() {
@@ -800,6 +985,7 @@ fn run_dispatch(shared: &Shared, dispatch: Dispatch) {
             state.events.push(FlashDispatchEvent {
                 seq,
                 channel: channel_id,
+                device_channel,
                 arrival,
                 bytes: loaded.bytes,
                 hit_bytes,
@@ -883,14 +1069,35 @@ struct Dispatch {
     /// The job's contended-track arrival (leader's effective arrival,
     /// raised to the latest batch member's).
     arrival: SimTime,
+    /// The device channel placement resolved the leader's request onto
+    /// (members joined only if their placement agreed).
+    device_channel: u16,
     members: Vec<(u64, LayerRequest)>,
+}
+
+/// Picks the next request round-robin across every device channel
+/// ([`pick_next_on`] with no restriction).
+fn pick_next(
+    state: &mut SchedState,
+    policy: BatchPolicy,
+    topology: DeviceTopology,
+) -> Option<Dispatch> {
+    pick_next_on(state, policy, topology, None)
 }
 
 /// Picks the next request round-robin, skipping closed channels and
 /// channels whose previous request is still in flight (FIFO per channel).
 /// Under an enabled batch policy, other channels' byte-identical
-/// head-of-queue requests within the arrival window join the dispatch.
-fn pick_next(state: &mut SchedState, policy: BatchPolicy) -> Option<Dispatch> {
+/// head-of-queue requests within the arrival window join the dispatch —
+/// if their placement resolves to the same device channel. With `only`
+/// set, lanes whose head resolves to a different device channel keep
+/// their turn-queue position for that channel's own dispatcher.
+fn pick_next_on(
+    state: &mut SchedState,
+    policy: BatchPolicy,
+    topology: DeviceTopology,
+    only: Option<u16>,
+) -> Option<Dispatch> {
     let depth = state.channels.values().filter(|c| !c.closed && c.has_work()).count();
     for _ in 0..state.turn_queue.len() {
         let id = state.turn_queue.pop_front()?;
@@ -905,6 +1112,15 @@ fn pick_next(state: &mut SchedState, policy: BatchPolicy) -> Option<Dispatch> {
             // Its turn comes again once the in-flight request lands.
             continue;
         }
+        let Some(head) = channel.pending.front() else { continue };
+        let device_channel = topology.channel_for(head.content_sig(), channel.stripe);
+        if only.is_some_and(|dc| dc != device_channel) {
+            // Another device channel's head: requeue the lane for that
+            // channel's dispatcher and keep looking.
+            state.turn_queue.push_back(id);
+            continue;
+        }
+        let channel = state.channels.get_mut(&id).expect("lane checked above");
         if let Some(req) = channel.pending.pop_front() {
             channel.inflight = true;
             let leader_arrival = channel.arrival;
@@ -915,7 +1131,10 @@ fn pick_next(state: &mut SchedState, policy: BatchPolicy) -> Option<Dispatch> {
             let mut members: Vec<(u64, LayerRequest)> = Vec::new();
             if policy.is_enabled() {
                 // Candidates in channel-id order so fan-out composition is
-                // deterministic once the queues are.
+                // deterministic once the queues are. Byte-identical heads
+                // only join when their placement lands them on the same
+                // device channel — a different stripe means a separate
+                // read on a separate channel.
                 let mut candidates: Vec<u64> = state
                     .channels
                     .iter()
@@ -925,6 +1144,8 @@ fn pick_next(state: &mut SchedState, policy: BatchPolicy) -> Option<Dispatch> {
                             && !c.inflight
                             && c.pending.front().is_some_and(|head| {
                                 batchable(policy, &req, leader_arrival, head, c.arrival)
+                                    && topology.channel_for(head.content_sig(), c.stripe)
+                                        == device_channel
                             })
                     })
                     .map(|(&cid, _)| cid)
@@ -956,11 +1177,30 @@ fn pick_next(state: &mut SchedState, policy: BatchPolicy) -> Option<Dispatch> {
                 depth,
                 seq,
                 arrival: batch_arrival,
+                device_channel,
                 members,
             });
         }
     }
     None
+}
+
+/// The contended-track service time of one dispatch event: the recorded
+/// device-model delay, or — under the opt-in DRAM-residency mode — its
+/// cache-resident bytes re-priced at the DRAM-speed model.
+fn contended_service(
+    e: &FlashDispatchEvent,
+    flash: FlashModel,
+    dram: Option<FlashModel>,
+) -> SimTime {
+    match dram {
+        Some(d) if e.hit_bytes > 0 => {
+            let miss = e.bytes - e.hit_bytes;
+            let flash_part = if miss > 0 { flash.request_delay(miss) } else { SimTime::ZERO };
+            flash_part + d.request_delay(e.hit_bytes)
+        }
+        _ => e.io_delay,
+    }
 }
 
 /// Services one request against the source (through the cache when
@@ -1449,6 +1689,124 @@ mod tests {
         a.recv().unwrap();
         let drained = sched.backlog_snapshot();
         assert_eq!(drained.queued_requests(), 0);
+        sched.shutdown();
+    }
+
+    /// Spawns a paused single-worker scheduler over `topology`.
+    fn paused_topology_sched(policy: BatchPolicy, topology: DeviceTopology) -> IoScheduler {
+        let (store, _, flash) = fixture(0);
+        let sched = IoScheduler::spawn_topology(store, flash, 1, 0.0, None, policy, topology);
+        sched.pause_dispatch();
+        sched
+    }
+
+    #[test]
+    fn striped_lanes_route_dispatches_across_device_channels() {
+        let topo = DeviceTopology::with_channels(4);
+        let sched = paused_topology_sched(BatchPolicy::Off, topo);
+        let a = sched.channel_striped_at(SimTime::ZERO, 0);
+        let b = sched.channel_striped_at(SimTime::ZERO, 1);
+        a.request(request(0, 0)).unwrap();
+        b.request(request(0, 0)).unwrap();
+        sched.resume_dispatch();
+        a.recv().unwrap();
+        b.recv().unwrap();
+        let events = sched.flash_events();
+        assert_eq!(events.len(), 2);
+        let sig = request(0, 0).content_sig();
+        assert_eq!(events[0].device_channel, topo.channel_for(sig, 0));
+        assert_eq!(events[1].device_channel, topo.channel_for(sig, 1));
+        assert_ne!(events[0].device_channel, events[1].device_channel);
+        // The replay overlaps the two reads instead of queueing them.
+        let report = sched.topology_sim(None).run();
+        for lane in [a.id(), b.id()] {
+            assert_eq!(report.completions_of(lane)[0].queue_delay(), SimTime::ZERO);
+        }
+        // Per-device-channel instruments saw one dispatch each.
+        let snap = sched.metrics_snapshot();
+        let busy: Vec<u64> = (0..4)
+            .filter_map(|c| snap.counters.get(&format!("io.channel.{c}.busy_us")))
+            .copied()
+            .collect();
+        assert_eq!(busy.len(), 4, "every device channel has instruments");
+        assert_eq!(busy.iter().filter(|&&v| v > 0).count(), 2);
+        sched.shutdown();
+    }
+
+    #[test]
+    fn batching_requires_same_device_channel_placement() {
+        let topo = DeviceTopology::with_channels(4);
+        let sched = paused_topology_sched(BatchPolicy::from_window_us(1_000), topo);
+        let same_a = sched.channel_striped_at(SimTime::ZERO, 0);
+        let same_b = sched.channel_striped_at(SimTime::ZERO, 0);
+        let elsewhere = sched.channel_striped_at(SimTime::ZERO, 1);
+        for ch in [&same_a, &same_b, &elsewhere] {
+            ch.request(request(0, 0)).unwrap();
+        }
+        sched.resume_dispatch();
+        for ch in [&same_a, &same_b, &elsewhere] {
+            ch.recv().unwrap();
+        }
+        let stats = sched.stats();
+        assert_eq!(stats.batch.batched_dispatches, 1, "only the co-placed pair coalesces");
+        assert_eq!(stats.batch.max_fanout, 2);
+        let events = sched.flash_events();
+        assert_eq!(events.len(), 2);
+        let batch = events.iter().find(|e| e.fanout() == 2).unwrap();
+        let solo = events.iter().find(|e| e.fanout() == 1).unwrap();
+        assert_ne!(batch.device_channel, solo.device_channel);
+        sched.shutdown();
+    }
+
+    #[test]
+    fn drive_queued_on_services_one_device_channel_at_a_time() {
+        let topo = DeviceTopology::with_channels(2);
+        let sched = paused_topology_sched(BatchPolicy::Off, topo);
+        let a = sched.channel_striped_at(SimTime::ZERO, 0);
+        let b = sched.channel_striped_at(SimTime::ZERO, 1);
+        a.request(request(0, 0)).unwrap();
+        b.request(request(0, 0)).unwrap();
+        let sig = request(0, 0).content_sig();
+        let on_a = topo.channel_for(sig, 0);
+        assert_eq!(sched.drive_queued_on(on_a), 1, "only lane a's head is placed here");
+        assert_eq!(sched.queued_requests(), 1, "lane b's request stays queued");
+        a.recv().unwrap();
+        assert_eq!(sched.drive_queued_on(topo.channel_for(sig, 1)), 1);
+        b.recv().unwrap();
+        sched.shutdown();
+    }
+
+    #[test]
+    fn single_channel_topology_reproduces_the_legacy_scheduler_bitwise() {
+        let (store, _, flash) = fixture(0);
+        let sched = IoScheduler::spawn_topology(
+            store,
+            flash,
+            1,
+            0.0,
+            None,
+            BatchPolicy::from_window_us(1_000),
+            DeviceTopology::single(),
+        );
+        sched.pause_dispatch();
+        let a = sched.channel_at(SimTime::ZERO);
+        let b = sched.channel_at(SimTime::from_us(200));
+        for layer in 0..2u16 {
+            a.request(request(layer, 0)).unwrap();
+            b.request(request(layer, 0)).unwrap();
+        }
+        sched.resume_dispatch();
+        for _ in 0..2 {
+            a.recv().unwrap();
+            b.recv().unwrap();
+        }
+        assert!(sched.flash_events().iter().all(|e| e.device_channel == 0));
+        let legacy = sched.contention_sim(None).run();
+        let topo = sched.topology_sim(None).run();
+        assert_eq!(*topo.single(), legacy, "C = 1 replay is bit-identical");
+        // Single-channel schedulers mint no per-channel instruments.
+        let snap = sched.metrics_snapshot();
+        assert!(snap.counters.keys().all(|n| !n.starts_with("io.channel.")));
         sched.shutdown();
     }
 

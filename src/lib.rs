@@ -65,6 +65,34 @@
 //! # Ok::<(), sti::prelude::PipelineError>(())
 //! ```
 //!
+//! ## Device topology and placement-aware planning
+//!
+//! The simulated flash device is a [`prelude::DeviceTopology`]: `C`
+//! independent *device channels* — per-channel FIFO queues with tiered
+//! service times (flash, or the opt-in DRAM-residency tier for
+//! cache-resident bytes) — behind an optional shared host bus. Every
+//! contended-track consumer runs on the same model, hosted as components
+//! of the `sti-core::engine` simulation core
+//! ([`prelude::TopologyQueueSim`]): the post-replay contention report,
+//! `ServingMix::predict`/`min_delay` (admission and the gate simulate
+//! per-channel lanes against per-device-channel backlog), and the SLO
+//! search. Placement is a *stripe*: each session's request signatures are
+//! offset by its stripe and hashed to a channel
+//! (`DeviceTopology::channel_for`), so byte-identical requests from two
+//! sessions coalesce into one batched flash job only when placed on the
+//! **same** device channel. Plain sessions stripe round-robin by session
+//! token; SLO sessions get a placement axis in `plan_for_slo_mix` —
+//! which channels a candidate's layers stripe across is searched
+//! alongside `(T, |S|)`, prefix sharing, and realloc — so an admission
+//! that fails on one channel can succeed by striping across four
+//! (`tests/serving_device.rs` pins exactly that, plus per-channel
+//! busy-time conservation and FIFO). `C = 1` (the default) has no
+//! placement freedom and reproduces the legacy single-channel runtime
+//! bit-identically on every shipped fixture; `sti serve --channels N`
+//! sets the topology everywhere, and per-device-channel span tracks and
+//! `io.channel.<c>.*` metrics make each channel's busy time, queued
+//! bytes, and batch fan-out observable.
+//!
 //! ## Fleet mode and the perf ledger
 //!
 //! The serving runtime scales past "dozens of sessions" by making every
@@ -94,9 +122,13 @@
 //! `gate_p99_us` give the tail from a log₂-bucket histogram.
 //! `tests/serving_fleet.rs` pins the incremental digest equal to a
 //! from-scratch rehash under arbitrary register/retarget/drop/backlog
-//! interleavings. Re-running `--bench-out` against an existing ledger
-//! *merges* by `(exec_mode, fleet points)` instead of clobbering, so
-//! threaded and event sweeps accumulate in one file.
+//! interleavings. Each entry is stamped with its executor and device
+//! `channels`, and carries `contended_eps` — replay engagements per
+//! *simulated* second on the contended track, the column that scales
+//! with the channel count. Re-running `--bench-out` against an existing
+//! ledger *merges* by `(exec_mode, channels, fleet points)` instead of
+//! clobbering, so threaded/event and per-topology sweeps accumulate in
+//! one file.
 //!
 //! ## Deterministic observability (`sti-obs`)
 //!

@@ -238,7 +238,8 @@ fn fleet_sweep_reports_a_well_formed_ledger() {
         ..Default::default()
     };
     for exec in [ExecMode::Threaded, ExecMode::Event] {
-        let fleet = FleetConfig { sizes: vec![8, 32], slo_sessions: 2, decisions: 24, exec };
+        let fleet =
+            FleetConfig { sizes: vec![8, 32], slo_sessions: 2, decisions: 24, exec, channels: 1 };
         let points = fleet_sweep(&ctx, &cfg, &fleet).unwrap();
         assert_eq!(points.len(), 2);
         assert_eq!(points[0].sessions, 10);
@@ -259,6 +260,7 @@ fn fleet_sweep_reports_a_well_formed_ledger() {
         assert!(json.contains("\"sessions\": 34"), "{json}");
         assert!(json.contains("\"gate_mean_us\""), "{json}");
         assert!(json.contains(&format!("\"exec_mode\": \"{}\"", exec.label())), "{json}");
+        assert!(json.contains("\"channels\": 1"), "{json}");
         assert!(json.contains("\"engagements_per_sec\""), "{json}");
         assert!(json.contains("\"heap_ops\""), "{json}");
     }

@@ -45,8 +45,9 @@ fn bench_backpressure_replay(c: &mut Criterion) {
         ] {
             let cfg = gate_cfg(mode);
             let trace = bursty_trace(&ctx, &cfg, burst);
-            // One untimed replay to report the simulated economics.
-            let report = replay_concurrent(&build_server(&ctx, &cfg), &trace).expect("replay");
+            // One untimed replay (on the default event executor) to report
+            // the simulated economics.
+            let report = replay_event(&build_server(&ctx, &cfg), &trace).expect("replay");
             let gated = report.contention.gate.len().max(1) as f64;
             eprintln!(
                 "serving_backpressure: burst {burst:>2} gate {name:<5} -> contended p99 {}, \
@@ -58,7 +59,7 @@ fn bench_backpressure_replay(c: &mut Criterion) {
                 report.contention.slo_hit_rate(),
             );
             group.bench_with_input(BenchmarkId::new(name, burst), &burst, |b, _| {
-                b.iter(|| replay_concurrent(&build_server(&ctx, &cfg), &trace).expect("replay"))
+                b.iter(|| replay_event(&build_server(&ctx, &cfg), &trace).expect("replay"))
             });
         }
     }

@@ -32,8 +32,9 @@ fn bench_batched_replay(c: &mut Criterion) {
     for window_us in [0u64, 100, 1_000, 10_000] {
         let cfg = cfg_with_window(window_us);
         let trace = ServingTrace::synthetic(&ctx, &cfg, 8, 2);
-        // One untimed replay to report the simulated economics per window.
-        let report = replay_concurrent(&build_server(&ctx, &cfg), &trace).expect("replay");
+        // One untimed replay (on the default event executor) to report the
+        // simulated economics per window.
+        let report = replay_event(&build_server(&ctx, &cfg), &trace).expect("replay");
         eprintln!(
             "serving_batching: window {:>6}µs -> {} flash bytes saved, occupancy {:.2}, \
              contended p50 {}",
@@ -43,7 +44,7 @@ fn bench_batched_replay(c: &mut Criterion) {
             report.contention.latency_percentile(0.5),
         );
         group.bench_with_input(BenchmarkId::from_parameter(window_us), &window_us, |b, _| {
-            b.iter(|| replay_concurrent(&build_server(&ctx, &cfg), &trace).expect("replay"))
+            b.iter(|| replay_event(&build_server(&ctx, &cfg), &trace).expect("replay"))
         });
     }
     group.finish();

@@ -2,7 +2,8 @@
 //! grow, against one shared `StiServer` (plan cache, shard cache, and IO
 //! scheduler all shared). The single-session point doubles as the
 //! regression baseline for plain engine-style inference through the server
-//! path.
+//! path. Replays run on the discrete-event engine — the default executor
+//! everywhere now — so the numbers track the path serving actually ships.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use sti::prelude::*;
@@ -31,7 +32,7 @@ fn bench_concurrent_sessions(c: &mut Criterion) {
         let server = build_server(&ctx, &cfg);
         group.throughput(Throughput::Elements(trace.total_engagements() as u64));
         group.bench_with_input(BenchmarkId::from_parameter(sessions), &trace, |b, trace| {
-            b.iter(|| replay_concurrent(&server, trace).expect("replay succeeds"))
+            b.iter(|| replay_event(&server, trace).expect("replay succeeds"))
         });
     }
     group.finish();

@@ -50,8 +50,16 @@ pub fn usage() -> String {
      \x20             [--exec threaded|event]  executor for the replay (and the fleet's\n\
      \x20                                  engagement phase): threaded = one OS thread per\n\
      \x20                                  client, event = the discrete-event engine on one\n\
-     \x20                                  thread (bit-identical outcomes); the fleet sweep\n\
-     \x20                                  defaults to event, plain replay to threaded\n\
+     \x20                                  thread (bit-identical outcomes); both the plain\n\
+     \x20                                  replay and the fleet sweep default to event\n\
+     \x20             [--prefetch off|markov]  next-engagement speculation: markov learns\n\
+     \x20                                  per-client engagement transitions and pre-warms\n\
+     \x20                                  the shard cache's staging pool with background-\n\
+     \x20                                  class flash jobs during idle windows; demand\n\
+     \x20                                  always preempts speculation, and outcomes, gate\n\
+     \x20                                  decisions, and SLO verdicts are bit-identical\n\
+     \x20                                  to --prefetch off\n\
+     \x20             [--prefetch-budget-kb 64]  staging-pool byte budget for speculation\n\
      \x20             [--trace-out spans.json]  write the replay's virtual-clock span\n\
      \x20                                  stream as Chrome-trace JSON (open in Perfetto or\n\
      \x20                                  about:tracing); clocked on *simulated* time, so\n\
@@ -64,7 +72,7 @@ pub fn usage() -> String {
      \x20                                  histogram percentiles)\n\
      \x20             [--bench-out BENCH_serving.json]  merge the fleet sweep into the perf\n\
      \x20                                  ledger: the entry with the same exec_mode,\n\
-     \x20                                  channels, and sizes is replaced, new\n\
+     \x20                                  channels, prefetch, and sizes is replaced, new\n\
      \x20                                  configurations append\n"
         .to_string()
 }
@@ -273,7 +281,24 @@ fn cmd_serve(args: &Args) -> Result<String, ArgError> {
     let backpressure =
         backpressure_mode(args.get_or("backpressure", "off"), args.get_u64("max-queue-ms", 100)?)?;
     let plan_sharing = plan_sharing_mode(args.get_or("plan-sharing", "off"))?;
-    let exec = exec_mode(args.get_or("exec", "threaded"))?;
+    // The deterministic event engine is the primary executor for plain
+    // replays too (one OS thread, N clients); --exec threaded keeps the
+    // thread-per-client path available.
+    let exec = exec_mode(args.get_or("exec", "event"))?;
+    let prefetch_name = args.get_or("prefetch", "off").to_lowercase();
+    let prefetch_mode = PrefetchMode::parse(&prefetch_name)
+        .ok_or_else(|| ArgError(format!("unknown prefetch mode '{prefetch_name}' (off|markov)")))?;
+    let prefetch_budget_kb = args.get_u64("prefetch-budget-kb", 64)?;
+    const MAX_PREFETCH_KB: u64 = u64::MAX >> 10;
+    if prefetch_budget_kb > MAX_PREFETCH_KB {
+        return Err(ArgError(format!(
+            "--prefetch-budget-kb {prefetch_budget_kb} overflows (max {MAX_PREFETCH_KB})"
+        )));
+    }
+    let prefetch = match prefetch_mode {
+        PrefetchMode::Off => PrefetchConfig::default(),
+        PrefetchMode::Markov => PrefetchConfig::markov(prefetch_budget_kb << 10),
+    };
     let channels_raw = args.get_u64("channels", 1)?.max(1);
     let channels = u16::try_from(channels_raw)
         .map_err(|_| ArgError(format!("--channels {channels_raw} exceeds {}", u16::MAX)))?;
@@ -290,6 +315,7 @@ fn cmd_serve(args: &Args) -> Result<String, ArgError> {
         backpressure,
         plan_sharing,
         channels,
+        prefetch,
     };
     let model_cfg = match args.get_or("model", "bert") {
         "tiny" => ModelConfig::tiny(), // CI smoke scale
@@ -371,9 +397,9 @@ fn cmd_serve(args: &Args) -> Result<String, ArgError> {
         }
         if let Some(path) = args.get("bench-out") {
             // Merge into the existing ledger instead of clobbering it: an
-            // entry with the same (exec_mode, channels, sessions column)
-            // is replaced in place, anything else appends — history
-            // survives.
+            // entry with the same (exec_mode, channels, prefetch, sessions
+            // column) is replaced in place, anything else appends —
+            // history survives.
             let existing = std::fs::read_to_string(path).unwrap_or_default();
             let merged = merge_fleet_ledger(&existing, &json);
             std::fs::write(path, &merged)
@@ -479,6 +505,22 @@ fn cmd_serve(args: &Args) -> Result<String, ArgError> {
             contention.preload_bytes_reallocated,
         ),
     };
+    let prefetch_line = match &concurrent.prefetch {
+        None => "off".to_string(),
+        Some(p) => format!(
+            "{} budget {prefetch_budget_kb}KiB: prefetch hit rate {:.1}% — {} plans, \
+             {} speculative jobs, {} B staged from flash, {} B pinned, \
+             {} B served to later misses, {} evictions",
+            p.mode.label(),
+            p.pool.hit_rate() * 100.0,
+            p.model.plans,
+            p.jobs,
+            p.speculated_bytes,
+            p.pinned_bytes,
+            p.pool.hit_bytes,
+            p.pool.evictions,
+        ),
+    };
     // Structured gate reasons: which co-runner lane the delayed/shed
     // decisions blame, and the backlog volume the predictions priced.
     let gated: Vec<&GateDecision> =
@@ -527,6 +569,7 @@ fn cmd_serve(args: &Args) -> Result<String, ArgError> {
          \x20 batching      {}\n\
          \x20 backpressure  {}\n\
          \x20 plan-sharing  {}\n\
+         \x20 prefetch      {}\n\
          \x20 gate reasons  {}\n\
          \x20 contended     p50 {} | p95 {} | max {} service-onward; mean initial queueing {}; {}\n\
          \x20 determinism   {} outcomes {} sequential replay\n",
@@ -556,6 +599,7 @@ fn cmd_serve(args: &Args) -> Result<String, ArgError> {
         batching_line,
         backpressure_line,
         plan_sharing_line,
+        prefetch_line,
         gate_reason_line,
         contention.latency_percentile(0.5),
         contention.latency_percentile(0.95),
@@ -702,6 +746,47 @@ mod tests {
         assert!(report.contains("backpressure  shed:"), "{report}");
         assert!(!report.contains("backpressure  shed: 0 shed"), "the burst must shed: {report}");
         assert!(report.contains("exactly reproduce"), "{report}");
+    }
+
+    #[test]
+    fn serve_reports_prefetch_hits_on_a_recurrent_trace() {
+        let args = Args::parse([
+            "serve",
+            "--task",
+            "sst2",
+            "--model",
+            "tiny",
+            "--trace",
+            "../../examples/traces/recurrent.json",
+            "--prefetch",
+            "markov",
+            "--shard-cache-kb",
+            "1",
+        ])
+        .unwrap();
+        let report = dispatch(&args).unwrap();
+        assert!(report.contains("prefetch      markov"), "{report}");
+        assert!(report.contains("prefetch hit rate"), "{report}");
+        assert!(
+            !report.contains("prefetch hit rate 0.0%"),
+            "the recurrent trace must produce staging-pool hits: {report}"
+        );
+        assert!(report.contains("exactly reproduce"), "{report}");
+        // The same trace with prefetch off reports the fenced-off default.
+        let args = Args::parse([
+            "serve",
+            "--task",
+            "sst2",
+            "--model",
+            "tiny",
+            "--trace",
+            "../../examples/traces/recurrent.json",
+            "--shard-cache-kb",
+            "1",
+        ])
+        .unwrap();
+        let off = dispatch(&args).unwrap();
+        assert!(off.contains("prefetch      off"), "{off}");
     }
 
     #[test]

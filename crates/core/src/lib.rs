@@ -86,9 +86,9 @@ pub mod trace_file;
 pub use baselines::Baseline;
 pub use runner::{run_experiment, Experiment, RunResult, TaskContext};
 pub use serving::{
-    build_server, fleet_report_json, fleet_sweep, merge_fleet_ledger, replay_concurrent,
-    replay_event, replay_sequential, ClientTrace, EngagementOutcome, ExecMode, FleetConfig,
-    FleetPoint, ServeConfig, ServeReport, ServingTrace,
+    build_server, contended_p50_us, fleet_report_json, fleet_sweep, merge_fleet_ledger,
+    replay_concurrent, replay_event, replay_sequential, ClientTrace, EngagementOutcome, ExecMode,
+    FleetConfig, FleetPoint, ServeConfig, ServeReport, ServingTrace,
 };
 /// The discrete-event executor now lives beside the device models it
 /// simulates (`sti_device::engine`); this alias keeps `sti_core::engine`
@@ -104,9 +104,9 @@ pub mod prelude {
     pub use crate::gold::gold_accuracy;
     pub use crate::runner::{run_experiment, Experiment, RunResult, TaskContext};
     pub use crate::serving::{
-        build_server, fleet_report_json, fleet_sweep, merge_fleet_ledger, replay_concurrent,
-        replay_event, replay_sequential, ClientTrace, EngagementOutcome, ExecMode, FleetConfig,
-        FleetPoint, ServeConfig, ServeReport, ServingTrace,
+        build_server, contended_p50_us, fleet_report_json, fleet_sweep, merge_fleet_ledger,
+        replay_concurrent, replay_event, replay_sequential, ClientTrace, EngagementOutcome,
+        ExecMode, FleetConfig, FleetPoint, ServeConfig, ServeReport, ServingTrace,
     };
     pub use crate::trace_file::{load_trace, parse_trace, TraceFileError};
     pub use sti_device::{
@@ -120,8 +120,8 @@ pub mod prelude {
     };
     pub use sti_pipeline::{
         AdmissionMode, BackpressureMode, ContentionReport, EngagementContention, GateDecision,
-        GateReason, Inference, PipelineError, PipelineExecutor, PreloadBuffer, ServingStats,
-        Session, StiEngine, StiServer,
+        GateReason, Inference, PipelineError, PipelineExecutor, PrefetchContention, PrefetchReport,
+        PreloadBuffer, ServingStats, Session, StiEngine, StiServer,
     };
     pub use sti_planner::compute_plan::DYNABERT_WIDTHS;
     pub use sti_planner::{
@@ -129,10 +129,11 @@ pub mod prelude {
         plan_for_slo_mix, plan_io, plan_two_stage, predict_contended_latency,
         predict_contended_latency_against, predict_contended_latency_at,
         predict_engagement_latency, profile_importance, reallocate_preload_for_mix,
-        replan_with_preload, CoRunnerLoad, EngagementLoad, ExecutionPlan, GateOutcome, GatePolicy,
-        ImportanceProfile, IoSharing, LayerIoJob, MixLaneSummary, MixSession, PlanCache,
-        PlanCacheStats, PlanKey, PreloadPolicy, ServingMix, ServingPlan, ServingPlanCache,
-        ServingPlanKey, SloProfile, SubmodelShape,
+        replan_with_preload, CoRunnerLoad, EngagementKey, EngagementLoad, ExecutionPlan,
+        GateOutcome, GatePolicy, ImportanceProfile, IoSharing, LayerIoJob, MixLaneSummary,
+        MixSession, PlanCache, PlanCacheStats, PlanKey, PrefetchConfig, PrefetchMode, PrefetchPlan,
+        PrefetcherStats, PreloadPolicy, ServingMix, ServingPlan, ServingPlanCache, ServingPlanKey,
+        SloProfile, SubmodelShape,
     };
     pub use sti_quant::{Bitwidth, QuantConfig, QuantizedBlob};
     pub use sti_storage::{

@@ -32,9 +32,9 @@ use sti_device::{DeviceProfile, HwProfile, SimTime};
 use sti_obs::{Histogram, MetricsSnapshot, SpanEvent};
 use sti_pipeline::{
     AdmissionMode, BackpressureMode, ContentionReport, PendingEngagement, PipelineError,
-    ServingStats, Session, StiServer,
+    PrefetchReport, ServingStats, Session, StiServer,
 };
-use sti_planner::{PlanCacheStats, PreloadPolicy};
+use sti_planner::{PlanCacheStats, PrefetchConfig, PrefetchMode, PreloadPolicy};
 use sti_storage::{BatchPolicy, IoSchedulerStats, ShardCacheStats};
 
 use crate::engine::{Component, ComponentId, Engine, System};
@@ -100,6 +100,13 @@ pub struct ServeConfig {
     /// legacy single-channel device, bit-identical to before the knob
     /// existed.
     pub channels: u16,
+    /// Next-engagement prefetcher ([`sti_planner::prefetch`]): off by
+    /// default; [`PrefetchConfig::markov`] predicts each client's next
+    /// engagement at completion and pre-warms the shard cache's staging
+    /// pool with background-class flash jobs. Strictly fenced: demand
+    /// preempts speculation and per-engagement outcomes, gate decisions,
+    /// and SLO verdicts are bit-identical to the prefetch-off run.
+    pub prefetch: PrefetchConfig,
 }
 
 impl Default for ServeConfig {
@@ -117,6 +124,7 @@ impl Default for ServeConfig {
             backpressure: BackpressureMode::Off,
             plan_sharing: PreloadPolicy::PerSession,
             channels: 1,
+            prefetch: PrefetchConfig::default(),
         }
     }
 }
@@ -138,6 +146,13 @@ pub struct ClientTrace {
     /// arrival, and shared-IO batching coalesces only clients arriving
     /// within the batch window of each other.
     pub arrival: SimTime,
+    /// Simulated think time between this client's engagements (from a
+    /// trace file's `idle_us`; zero when unspecified). Contended-track
+    /// only: the n-th engagement issues no earlier than `arrival + n·idle`
+    /// on the flash timeline, opening idle device windows that a
+    /// configured prefetcher fills with speculative stages. Zero keeps
+    /// the legacy back-to-back issue schedule bit-identical.
+    pub idle: SimTime,
     /// Token sequences to classify, in submission order.
     pub engagements: Vec<Vec<u32>>,
 }
@@ -167,6 +182,7 @@ impl ServingTrace {
                 preload_bytes: cfg.preload_bytes,
                 slo: cfg.slo,
                 arrival: SimTime::ZERO,
+                idle: SimTime::ZERO,
                 engagements: (0..engagements)
                     .map(|e| examples[(c * engagements + e) % examples.len()].tokens.clone())
                     .collect(),
@@ -230,6 +246,10 @@ pub struct ServeReport {
     /// Merged instrument snapshot across the serving path (`serving.*`,
     /// `gate.*`, `io.*`; event replays add `engine.*`).
     pub metrics: MetricsSnapshot,
+    /// Prefetcher counters after the replay (`None` with prefetch off):
+    /// model stats, staging-pool hit accounting, speculative dispatch
+    /// totals.
+    pub prefetch: Option<PrefetchReport>,
 }
 
 impl ServeReport {
@@ -260,6 +280,7 @@ pub fn build_server(ctx: &TaskContext, cfg: &ServeConfig) -> StiServer {
         .backpressure(cfg.backpressure)
         .plan_sharing(cfg.plan_sharing)
         .channels(cfg.channels.max(1))
+        .prefetch(cfg.prefetch)
         .build()
 }
 
@@ -283,6 +304,7 @@ fn open_sessions(
             match opened {
                 Ok(mut session) => {
                     session.set_arrival(client.arrival);
+                    session.set_issue_gap(client.idle);
                     Ok(Some(session))
                 }
                 Err(PipelineError::AdmissionRejected { .. }) => Ok(None),
@@ -390,6 +412,7 @@ fn report(
         heap_ops: 0,
         spans: server.trace_spans(),
         metrics: server.metrics_snapshot(),
+        prefetch: server.prefetch_report(),
     }
 }
 
@@ -445,6 +468,12 @@ pub fn replay_event(
         flash: ComponentId,
         /// Device channels on the simulated flash (one component each).
         channels: usize,
+        /// Whether completions need a follow-up flash wake: the server's
+        /// prefetcher submits speculative jobs from `infer_complete`, and
+        /// a client with nothing left to issue would otherwise leave them
+        /// queued. False (prefetch off) keeps the legacy event schedule
+        /// bit-identical.
+        spec_wake: bool,
         /// First error in engine order; halts the run.
         error: Option<PipelineError>,
     }
@@ -489,6 +518,17 @@ pub fn replay_event(
                         loaded_bytes: inf.outcome.loaded_bytes,
                     }),
                     Err(e) => return fail(sys, e),
+                }
+                // The completion may have queued speculative prefetch
+                // stages; wake the flash components so they drain even
+                // when this client has nothing left to issue. Demand
+                // still wins every pick, and with prefetch off the wake
+                // is skipped so the legacy schedule is untouched.
+                if sys.ctx.spec_wake {
+                    let (flash, channels) = (sys.ctx.flash, sys.ctx.channels);
+                    for c in 0..channels {
+                        sys.wake(flash + c, now);
+                    }
                 }
             }
             // ...then issues its next engagement at the same instant. Shed
@@ -609,6 +649,7 @@ pub fn replay_event(
         waiting: Vec::new(),
         flash,
         channels,
+        spec_wake: server.prefetch_enabled(),
         error: None,
     };
     let engine_report = engine.run(&mut ctx);
@@ -710,6 +751,17 @@ pub struct FleetPoint {
     pub contended_eps: f64,
     /// Event-engine heap operations in the replay phase (0 for threaded).
     pub heap_ops: u64,
+    /// Prefetch mode the point's server ran (stamped on the ledger
+    /// record; [`PrefetchMode::Off`] is the legacy schedule).
+    pub prefetch: PrefetchMode,
+    /// Fraction of staged prefetch bytes a later demand miss consumed
+    /// (0 with prefetch off or nothing staged).
+    pub prefetch_hit_rate: f64,
+    /// KiB the replay's speculation read from flash during idle windows.
+    pub prefetch_speculated_kb: u64,
+    /// Median contended per-engagement latency in µs over the replay
+    /// phase — the column a working prefetcher moves.
+    pub contended_p50_us: f64,
 }
 
 /// Sweeps synthetic fleets of [`FleetConfig::sizes`] open sessions and
@@ -834,6 +886,7 @@ pub fn fleet_sweep(
         };
         let contended_secs = replay.contention.queue_makespan.as_us() as f64 / 1e6;
         let contended_eps = trace.total_engagements() as f64 / contended_secs.max(1e-9);
+        let pf = replay.prefetch;
 
         points.push(FleetPoint {
             sessions: n + fleet.slo_sessions,
@@ -852,6 +905,10 @@ pub fn fleet_sweep(
             engagements_per_sec: replay.engagements_per_sec(),
             contended_eps,
             heap_ops: replay.heap_ops,
+            prefetch: pf.as_ref().map_or(PrefetchMode::Off, |p| p.mode),
+            prefetch_hit_rate: pf.as_ref().map_or(0.0, |p| p.pool.hit_rate()),
+            prefetch_speculated_kb: pf.as_ref().map_or(0, |p| p.speculated_bytes >> 10),
+            contended_p50_us: contended_p50_us(&replay.contention),
         });
 
         // Seeded-permutation teardown: sessions close in a shuffled order,
@@ -875,6 +932,19 @@ pub fn fleet_sweep(
     Ok(points)
 }
 
+/// Median contended per-engagement latency in µs from a contention
+/// report (0 when the report carries no engagements). Lower-median
+/// convention: the element at index `(n - 1) / 2` of the sorted
+/// latencies, so the value is always one an engagement actually paid.
+pub fn contended_p50_us(contention: &ContentionReport) -> f64 {
+    let mut us: Vec<u64> = contention.engagements.iter().map(|e| e.contended.as_us()).collect();
+    if us.is_empty() {
+        return 0.0;
+    }
+    us.sort_unstable();
+    us[(us.len() - 1) / 2] as f64
+}
+
 /// Tiny xorshift64* stream for the teardown permutation — seeded, so the
 /// sweep is replayable; no external RNG dependency.
 struct FleetRng(u64);
@@ -895,27 +965,32 @@ fn fleet_rng(n: u64) -> FleetRng {
 }
 
 /// Renders a fleet sweep as one `BENCH_serving.json` perf-ledger entry
-/// (schema v4): `{"bench": "serving_fleet", "unit": "us", "exec_mode":
-/// ..., "channels": ..., "sweep": [...]}` with one record per point
-/// carrying `sessions`, `open_total_us`, `admission_mean_us`,
-/// `gate_cold_us`, `gate_mean_us`, the bucketed gate tail
-/// (`gate_p50_us`/`gate_p90_us`/`gate_p99_us`), `gate_decisions`,
+/// (schema v5): `{"bench": "serving_fleet", "unit": "us", "exec_mode":
+/// ..., "channels": ..., "prefetch": ..., "sweep": [...]}` with one
+/// record per point carrying `sessions`, `open_total_us`,
+/// `admission_mean_us`, `gate_cold_us`, `gate_mean_us`, the bucketed gate
+/// tail (`gate_p50_us`/`gate_p90_us`/`gate_p99_us`), `gate_decisions`,
 /// `decisions_per_sec`, `digest_mean_us`, `engagements_per_sec`,
-/// `contended_eps`, and `heap_ops`. `channels` (v4) is the device-channel
-/// count the sweep's servers simulated (entries predating it were all
-/// single-channel) and `contended_eps` (v4) is the replay's simulated
-/// contended throughput — the column that scales with `channels`. The
-/// ledger file itself is a JSON *array* of such entries — one per
-/// executor/topology/registry configuration — merged across PRs by
-/// [`merge_fleet_ledger`] so regressions diff against history.
+/// `contended_eps`, `heap_ops`, and the v5 prefetch columns
+/// (`contended_p50_us`, `prefetch_hit_rate`, `prefetch_speculated_kb`).
+/// `channels` (v4) is the device-channel count the sweep's servers
+/// simulated (entries predating it were all single-channel),
+/// `contended_eps` (v4) is the replay's simulated contended throughput,
+/// and `prefetch` (v5) is the speculation mode the servers ran (entries
+/// predating it all ran without one). The ledger file itself is a JSON
+/// *array* of such entries — one per executor/topology/prefetch
+/// configuration — merged across PRs by [`merge_fleet_ledger`] so
+/// regressions diff against history.
 pub fn fleet_report_json(points: &[FleetPoint]) -> String {
     let us = |d: Duration| format!("{:.3}", d.as_secs_f64() * 1e6);
     let exec = points.first().map_or(ExecMode::Threaded, |p| p.exec);
     let channels = points.first().map_or(1, |p| p.channels);
+    let prefetch = points.first().map_or(PrefetchMode::Off, |p| p.prefetch);
     let mut out = format!(
-        "{{\n  \"bench\": \"serving_fleet\",\n  \"unit\": \"us\",\n  \"exec_mode\": \"{}\",\n  \"channels\": {},\n  \"sweep\": [\n",
+        "{{\n  \"bench\": \"serving_fleet\",\n  \"unit\": \"us\",\n  \"exec_mode\": \"{}\",\n  \"channels\": {},\n  \"prefetch\": \"{}\",\n  \"sweep\": [\n",
         exec.label(),
-        channels
+        channels,
+        prefetch.label()
     );
     for (i, p) in points.iter().enumerate() {
         out.push_str(&format!(
@@ -927,7 +1002,9 @@ pub fn fleet_report_json(points: &[FleetPoint]) -> String {
                 "\"gate_decisions\": {}, ",
                 "\"decisions_per_sec\": {:.1}, \"digest_mean_us\": {}, ",
                 "\"engagements_per_sec\": {:.1}, \"contended_eps\": {:.1}, ",
-                "\"heap_ops\": {}}}{}\n"
+                "\"heap_ops\": {}, \"contended_p50_us\": {:.1}, ",
+                "\"prefetch_hit_rate\": {:.4}, ",
+                "\"prefetch_speculated_kb\": {}}}{}\n"
             ),
             p.sessions,
             us(p.open_wall),
@@ -943,6 +1020,9 @@ pub fn fleet_report_json(points: &[FleetPoint]) -> String {
             p.engagements_per_sec,
             p.contended_eps,
             p.heap_ops,
+            p.contended_p50_us,
+            p.prefetch_hit_rate,
+            p.prefetch_speculated_kb,
             if i + 1 < points.len() { "," } else { "" },
         ));
     }
@@ -995,18 +1075,23 @@ fn split_ledger_entries(s: &str) -> Vec<String> {
 /// A ledger entry's identity: its executor (`"threaded"` when the field
 /// is absent — entries predating the `exec_mode` column were all
 /// threaded), its device-channel count (`1` when absent — entries
-/// predating the `channels` column were all single-channel), and its
-/// swept `sessions` column.
-fn ledger_entry_key(entry: &str) -> (String, u64, Vec<u64>) {
-    let exec = entry
-        .find("\"exec_mode\"")
-        .and_then(|i| {
-            let rest = &entry[i + "\"exec_mode\"".len()..];
+/// predating the `channels` column were all single-channel), its
+/// prefetch mode (`"off"` when absent — entries predating the
+/// `prefetch` column ran without speculation), and its swept `sessions`
+/// column.
+fn ledger_entry_key(entry: &str) -> (String, u64, String, Vec<u64>) {
+    let quoted = |field: &str| {
+        entry.find(field).and_then(|i| {
+            let rest = &entry[i + field.len()..];
             let start = rest.find('"')? + 1;
             let end = rest[start..].find('"')? + start;
             Some(rest[start..end].to_string())
         })
-        .unwrap_or_else(|| "threaded".to_string());
+    };
+    let exec = quoted("\"exec_mode\"").unwrap_or_else(|| "threaded".to_string());
+    // The exact-quoted probe never matches the sweep records'
+    // `prefetch_hit_rate` / `prefetch_speculated_kb` columns.
+    let prefetch = quoted("\"prefetch\"").unwrap_or_else(|| "off".to_string());
     let channels = entry
         .find("\"channels\"")
         .and_then(|i| {
@@ -1025,16 +1110,17 @@ fn ledger_entry_key(entry: &str) -> (String, u64, Vec<u64>) {
         }
         rest = tail;
     }
-    (exec, channels, sessions)
+    (exec, channels, prefetch, sessions)
 }
 
 /// Merges freshly-rendered [`fleet_report_json`] entries into an existing
 /// `BENCH_serving.json` array **without clobbering history**: an entry
-/// whose `(exec_mode, channels, sessions column)` matches an existing one
-/// replaces it in place (same configuration re-measured), anything else
-/// appends. Entries written before the `exec_mode` column count as
-/// `"threaded"`; entries written before the `channels` column count as
-/// single-channel. Pass an empty or missing file as `existing: ""`.
+/// whose `(exec_mode, channels, prefetch, sessions column)` matches an
+/// existing one replaces it in place (same configuration re-measured),
+/// anything else appends. Entries written before the `exec_mode` column
+/// count as `"threaded"`, before the `channels` column as single-channel,
+/// and before the `prefetch` column as `"off"`. Pass an empty or missing
+/// file as `existing: ""`.
 pub fn merge_fleet_ledger(existing: &str, entry: &str) -> String {
     let mut entries = split_ledger_entries(existing);
     for fresh in split_ledger_entries(entry) {
@@ -1258,6 +1344,44 @@ mod tests {
         assert_eq!(merged.matches("serving_fleet").count(), 2);
         assert!(!merged.contains("0.1"), "the pre-channels entry was replaced");
         assert!(merged.contains("0.2") && merged.contains("0.3"));
+    }
+
+    #[test]
+    fn fleet_ledger_merge_keys_on_prefetch_mode_too() {
+        // v5: the prefetch mode is part of an entry's identity, and
+        // pre-`prefetch` entries count as "off". The sweep records' own
+        // prefetch_* columns must not confuse the key probe.
+        let existing = concat!(
+            "[\n",
+            "{\n  \"bench\": \"serving_fleet\",\n  \"exec_mode\": \"event\",\n",
+            "  \"sweep\": [\n    {\"sessions\": 104, \"gate_mean_us\": 0.1, ",
+            "\"prefetch_hit_rate\": 0.0000, \"prefetch_speculated_kb\": 0}\n  ]\n}\n",
+            "]\n"
+        );
+        // Same executor and sessions, markov speculation: a new
+        // configuration — appends.
+        let markov = concat!(
+            "{\n  \"bench\": \"serving_fleet\",\n  \"exec_mode\": \"event\",\n",
+            "  \"prefetch\": \"markov\",\n",
+            "  \"sweep\": [\n    {\"sessions\": 104, \"gate_mean_us\": 0.2, ",
+            "\"prefetch_hit_rate\": 0.7500, \"prefetch_speculated_kb\": 64}\n  ]\n}\n"
+        );
+        let grown = merge_fleet_ledger(existing, markov);
+        assert_eq!(grown.matches("serving_fleet").count(), 2);
+        assert!(grown.contains("0.1") && grown.contains("0.2"));
+        // An explicit `"prefetch": "off"` entry shares the legacy
+        // identity and replaces it in place; the markov entry survives a
+        // re-merge of itself byte-identically (round-trip).
+        let off = concat!(
+            "{\n  \"bench\": \"serving_fleet\",\n  \"exec_mode\": \"event\",\n",
+            "  \"prefetch\": \"off\",\n",
+            "  \"sweep\": [\n    {\"sessions\": 104, \"gate_mean_us\": 0.3}\n  ]\n}\n"
+        );
+        let merged = merge_fleet_ledger(&grown, off);
+        assert_eq!(merged.matches("serving_fleet").count(), 2);
+        assert!(!merged.contains("0.1"), "the pre-prefetch entry was replaced");
+        assert!(merged.contains("0.2") && merged.contains("0.3"));
+        assert_eq!(merge_fleet_ledger(&merged, markov), merged, "v5 re-merge is a no-op");
     }
 
     #[test]

@@ -21,10 +21,12 @@
 //! `engagements` is required; `target_ms` (default 200), `preload_kb`
 //! (default 16), `slo_ms` (default: none — the client is a plain
 //! target-latency session, not SLO-admitted; `0` and `null` also mean
-//! none), and `arrival_us` (default 0
+//! none), `arrival_us` (default 0
 //! — the client's arrival offset on the simulated timeline, which the
 //! contended track replays and shared-IO batching compares against the
-//! batch window) are optional. An example lives at
+//! batch window), and `idle_us` (default 0 — simulated think time
+//! between the client's engagements, opening idle flash windows that a
+//! configured prefetcher fills) are optional. An example lives at
 //! `examples/traces/smoke.json`.
 //!
 //! The offline vendor stub for `serde` has no-op derives, so this module
@@ -367,6 +369,12 @@ fn client_from_json(index: usize, json: &Json) -> Result<ClientTrace, TraceFileE
         }
         None => 0,
     };
+    // Think time between the client's engagements; zero (the default)
+    // keeps the legacy back-to-back issue schedule.
+    let idle_us = match json.field("idle_us") {
+        Some(v) => v.as_bounded_num(&format!("clients[{index}].idle_us"), MAX_ARRIVAL_US, "µs")?,
+        None => 0,
+    };
     let engagements_json = json.field("engagements").ok_or_else(|| {
         TraceFileError::Schema(format!("clients[{index}] is missing \"engagements\""))
     })?;
@@ -404,6 +412,7 @@ fn client_from_json(index: usize, json: &Json) -> Result<ClientTrace, TraceFileE
         preload_bytes: preload_kb << 10,
         slo,
         arrival: SimTime::from_us(arrival_us),
+        idle: SimTime::from_us(idle_us),
         engagements,
     })
 }
@@ -451,7 +460,7 @@ mod tests {
             r#"{
                 "clients": [
                     { "target_ms": 300, "preload_kb": 8, "slo_ms": 450, "arrival_us": 150,
-                      "engagements": [[101, 7, 23], [45, 45]] },
+                      "idle_us": 2000, "engagements": [[101, 7, 23], [45, 45]] },
                     { "engagements": [[9]] }
                 ]
             }"#,
@@ -464,12 +473,14 @@ mod tests {
         assert_eq!(c0.preload_bytes, 8 << 10);
         assert_eq!(c0.slo, Some(SimTime::from_ms(450)));
         assert_eq!(c0.arrival, SimTime::from_us(150));
+        assert_eq!(c0.idle, SimTime::from_us(2000));
         assert_eq!(c0.engagements[0], vec![101, 7, 23]);
         let c1 = &trace.clients[1];
         assert_eq!(c1.target, SimTime::from_ms(200), "defaults apply");
         assert_eq!(c1.preload_bytes, 16 << 10);
         assert_eq!(c1.slo, None);
         assert_eq!(c1.arrival, SimTime::ZERO, "unspecified arrival is time zero");
+        assert_eq!(c1.idle, SimTime::ZERO, "unspecified idle is back-to-back");
     }
 
     #[test]

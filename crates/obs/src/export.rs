@@ -106,6 +106,7 @@ fn track_key(e: &SpanEvent) -> (u8, u64) {
         TrackKind::Flash => 2,
         TrackKind::Engine => 3,
         TrackKind::Host => 4,
+        TrackKind::Prefetch => 5,
     };
     (order, e.track)
 }

@@ -29,6 +29,12 @@ pub enum TrackKind {
     /// Schedule-dependent by nature, so excluded from deterministic
     /// exports.
     Host,
+    /// Speculative prefetch staging: per-device-channel windows where
+    /// background flash jobs pre-warm the shard cache. Whether a staged
+    /// shard was flash-loaded or pinned depends on cache residency at
+    /// execution time (host scheduling), so excluded from deterministic
+    /// exports.
+    Prefetch,
 }
 
 impl TrackKind {
@@ -38,7 +44,7 @@ impl TrackKind {
     /// and [`Host`](Self::Host) tracks are not — they describe *how* a
     /// particular executor ran, not *what* the simulation computed.
     pub fn deterministic(self) -> bool {
-        !matches!(self, TrackKind::Engine | TrackKind::Host)
+        !matches!(self, TrackKind::Engine | TrackKind::Host | TrackKind::Prefetch)
     }
 
     /// Stable label used in exports and track sorting.
@@ -49,6 +55,7 @@ impl TrackKind {
             TrackKind::Flash => "flash",
             TrackKind::Engine => "engine",
             TrackKind::Host => "host",
+            TrackKind::Prefetch => "prefetch",
         }
     }
 
@@ -60,6 +67,7 @@ impl TrackKind {
             TrackKind::Flash => 2,
             TrackKind::Engine => 3,
             TrackKind::Host => 4,
+            TrackKind::Prefetch => 5,
         }
     }
 }
@@ -386,5 +394,6 @@ mod tests {
         assert!(TrackKind::Flash.deterministic());
         assert!(!TrackKind::Engine.deterministic());
         assert!(!TrackKind::Host.deterministic());
+        assert!(!TrackKind::Prefetch.deterministic());
     }
 }

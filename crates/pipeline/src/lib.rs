@@ -48,5 +48,6 @@ pub use executor::{ExecutionOutcome, PipelineExecutor};
 pub use registry::ShardedRegistry;
 pub use server::{
     AdmissionMode, BackpressureMode, ContentionReport, EngagementContention, GateDecision,
-    GateReason, PendingEngagement, ServingStats, Session, StiServer, StiServerBuilder,
+    GateReason, PendingEngagement, PrefetchContention, PrefetchReport, ServingStats, Session,
+    StiServer, StiServerBuilder,
 };

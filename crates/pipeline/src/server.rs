@@ -94,7 +94,7 @@
 //! simulated flash serves it. `C = 1` (the default) reproduces the legacy
 //! single-channel server bit-identically.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -110,6 +110,10 @@ use sti_planner::mix::{
     plan_for_slo_mix, GateOutcome, GatePolicy, MixLaneSummary, PreloadPolicy, ServingMix,
     SloProfile,
 };
+use sti_planner::prefetch::{
+    EngagementKey as PrefetchKey, KeyId, PrefetchConfig, PrefetchMode, PrefetchPlan, Prefetcher,
+    PrefetcherStats,
+};
 use sti_planner::serving::{ServingPlan, ServingPlanCache, ServingPlanKey};
 use sti_planner::{
     align_io_completions, contended_makespan, plan_two_stage, CoRunnerLoad, ExecutionPlan,
@@ -118,9 +122,10 @@ use sti_planner::{
 use sti_quant::Bitwidth;
 use sti_storage::{
     BacklogSnapshot, BatchPolicy, CachedSource, FlashDispatchEvent, IoChannel, IoScheduler,
-    IoSchedulerStats, ShardCache, ShardCacheStats, ShardKey, ShardSource,
+    IoSchedulerStats, LayerRequest, PrefetchPoolStats, ShardCache, ShardCacheStats, ShardKey,
+    ShardSource, SpeculativeJob,
 };
-use sti_transformer::Model;
+use sti_transformer::{Model, ShardId};
 
 use crate::buffers::PreloadBuffer;
 use crate::engine::{GenerationOutcome, Inference};
@@ -215,6 +220,15 @@ pub struct GateReason {
     /// for the contention the prediction saw. `None` when the session had
     /// the mix to itself.
     pub dominant_lane: Option<(u64, SimTime)>,
+    /// Speculative prefetch bytes queued behind the scheduler when the
+    /// decision was shaped — labelled separately from
+    /// [`GateReason::backlog_bytes`] so a blame line never attributes a
+    /// delay or shed to background speculation. A reporting label only:
+    /// the gate walk, the mix digest, and the contended prediction never
+    /// read it (speculative jobs are excluded from demand backlog
+    /// snapshots), so `shed`/`delay`/`predicted` are bit-identical with
+    /// the prefetcher on or off. Always zero with prefetch off.
+    pub speculative_bytes: u64,
 }
 
 /// Admission and engagement counters.
@@ -325,6 +339,54 @@ pub struct ContentionReport {
     /// off layers in-window co-residents already stream, summed over
     /// admitted SLO sessions ([`ServingStats::preload_bytes_reallocated`]).
     pub preload_bytes_reallocated: u64,
+    /// Speculative prefetch IO priced into the idle windows of the demand
+    /// replay above (`None` with the prefetcher off). Speculation is
+    /// strictly fenced — demand completions are computed first, from the
+    /// demand dispatch log alone — so this block can only *add* background
+    /// rows, never move a demand latency.
+    pub prefetch: Option<PrefetchContention>,
+}
+
+/// Speculative prefetch IO on the contended track, priced honestly into
+/// the idle windows of the demand replay: each background job occupies
+/// real simulated channel time, but only time the demand timeline left
+/// idle — a job preempted by demand work resumes in the next gap.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrefetchContention {
+    /// Speculative flash jobs dispatched.
+    pub jobs: u64,
+    /// Bytes the speculation read from flash (cold stages).
+    pub speculated_bytes: u64,
+    /// Bytes pinned from already-resident blobs at zero flash cost.
+    pub pinned_bytes: u64,
+    /// Simulated channel time the speculative jobs occupied (all of it
+    /// inside demand-idle windows).
+    pub busy: SimTime,
+    /// Speculative jobs that demand work pushed around: delayed past
+    /// their arrival or split across idle windows. Demand never waits for
+    /// speculation — preemption only ever runs this direction.
+    pub preempted: u64,
+    /// Completion time of the last speculative job on its channel.
+    pub makespan: SimTime,
+}
+
+/// The prefetcher's end-to-end report surface: the Markov model's
+/// counters, the staging pool's hit accounting, and the speculative
+/// dispatch totals ([`StiServer::prefetch_report`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrefetchReport {
+    /// The configured mode.
+    pub mode: PrefetchMode,
+    /// Markov-model counters (observations, plans, rejections, feedback).
+    pub model: PrefetcherStats,
+    /// Staging-pool counters (staged/pinned/hit bytes, evictions).
+    pub pool: PrefetchPoolStats,
+    /// Speculative flash jobs dispatched so far.
+    pub jobs: u64,
+    /// Bytes speculatively read from flash.
+    pub speculated_bytes: u64,
+    /// Bytes pinned from resident blobs at zero flash cost.
+    pub pinned_bytes: u64,
 }
 
 impl ContentionReport {
@@ -373,6 +435,72 @@ impl ContentionReport {
     }
 }
 
+/// Prices the recorded speculative dispatches into the **idle windows** of
+/// an already-computed demand replay: per device channel, a speculative
+/// job accumulates service time only while the demand timeline is idle —
+/// any demand busy interval overlapping its window pushes it out (counted
+/// in `preempted`), never the other way around. Demand completions are
+/// inputs here, so speculation cannot move a demand latency by
+/// construction; what it *costs* (channel time, flash bytes) is still
+/// charged for real.
+fn price_speculation(
+    spec: &[FlashDispatchEvent],
+    demand: &sti_device::TopologyReport,
+) -> PrefetchContention {
+    let mut out = PrefetchContention::default();
+    let mut per_dc: BTreeMap<u16, Vec<&FlashDispatchEvent>> = BTreeMap::new();
+    for e in spec {
+        per_dc.entry(e.device_channel).or_default().push(e);
+    }
+    for (dc, mut jobs) in per_dc {
+        jobs.sort_by_key(|e| (e.arrival, e.seq));
+        let mut intervals: Vec<(SimTime, SimTime)> = demand
+            .channels
+            .get(dc as usize)
+            .map(|c| c.completions.iter().map(|j| (j.start, j.completion)).collect())
+            .unwrap_or_default();
+        intervals.sort_unstable();
+        // The channel serves its speculative queue FIFO in the gaps, so a
+        // job starts no earlier than the previous one finished.
+        let mut cursor = SimTime::ZERO;
+        for e in jobs {
+            let service = e.io_delay;
+            let earliest = cursor.max(e.arrival);
+            let mut t = earliest;
+            let mut rem = service;
+            let mut cut = false;
+            for &(s, end) in &intervals {
+                if end <= t || rem == SimTime::ZERO {
+                    continue;
+                }
+                if s >= t + rem {
+                    break;
+                }
+                // Demand occupies part of the window: run `t..s` (if any),
+                // then yield until the demand interval ends.
+                if s > t {
+                    rem = rem.saturating_sub(s.saturating_sub(t));
+                }
+                t = end;
+                cut = true;
+            }
+            let finish = t + rem;
+            out.jobs += 1;
+            out.speculated_bytes += e.bytes;
+            out.pinned_bytes += e.hit_bytes;
+            out.busy += service;
+            if cut || finish > earliest + service {
+                out.preempted += 1;
+            }
+            if finish > out.makespan {
+                out.makespan = finish;
+            }
+            cursor = finish;
+        }
+    }
+    out
+}
+
 /// What one engagement contributed to the contended track: enough to replay
 /// its pipeline recurrence against the simulated queue.
 struct EngagementRecord {
@@ -409,6 +537,7 @@ pub struct StiServerBuilder {
     backpressure: BackpressureMode,
     plan_sharing: PreloadPolicy,
     topology: DeviceTopology,
+    prefetch: PrefetchConfig,
 }
 
 impl StiServerBuilder {
@@ -533,11 +662,30 @@ impl StiServerBuilder {
         self
     }
 
+    /// Markov next-engagement prefetching (default
+    /// [`PrefetchMode::Off`]): at each engagement completion the server
+    /// observes the session's `(model, knob-set)` key in a per-client
+    /// Markov chain, and when an edge clears the confidence floor it
+    /// emits a budgeted [`PrefetchPlan`] — speculative background flash
+    /// jobs that warm the predicted next engagement's streamed working
+    /// set into the shard cache's staging pool during idle device-channel
+    /// windows. Speculation is priced honestly on the contended track and
+    /// strictly fenced off the demand path: demand dispatches always
+    /// preempt it, gate decisions never read it, and a wrong prediction
+    /// costs wasted bytes, never an SLO miss.
+    pub fn prefetch(mut self, cfg: PrefetchConfig) -> Self {
+        self.prefetch = cfg;
+        self
+    }
+
     /// Starts the IO scheduler and returns the ready server. No planning
     /// happens yet — plans and preload buffers materialize lazily, once per
     /// knob combination, when sessions open.
     pub fn build(self) -> StiServer {
         let shard_cache = Arc::new(ShardCache::new(self.shard_cache_bytes));
+        if self.prefetch.enabled() {
+            shard_cache.enable_prefetch_pool(self.prefetch.budget_bytes);
+        }
         let cached_source: Arc<dyn ShardSource> =
             Arc::new(CachedSource::new(self.source.clone(), shard_cache.clone()));
         let scheduler = IoScheduler::spawn_topology(
@@ -596,8 +744,38 @@ impl StiServerBuilder {
                 obs: Mutex::new(ObsSink::Null),
                 engagement_log: Mutex::new(Vec::new()),
                 gate_log: Mutex::new(Vec::new()),
+                prefetch: self.prefetch.enabled().then(|| PrefetchState::new(self.prefetch)),
             }),
         }
+    }
+}
+
+/// The server-side prefetch runtime: the shared Markov model plus the
+/// key-to-working-set registry that turns a predicted [`KeyId`] back into
+/// the concrete plan/preload/stripe to stage.
+struct PrefetchState {
+    cfg: PrefetchConfig,
+    /// The Markov model. Observations are serialized through this lock;
+    /// under the event executor completions arrive in deterministic
+    /// simulated order, so the prediction stream is deterministic too.
+    model: Mutex<Prefetcher>,
+    /// What to materialize when a key is predicted, registered the first
+    /// time the key is *observed* — a prediction always names a key some
+    /// session has already run, so the lookup cannot miss in practice.
+    targets: Mutex<HashMap<KeyId, PrefetchTarget>>,
+}
+
+/// The resolved working set behind one engagement key.
+#[derive(Clone)]
+struct PrefetchTarget {
+    plan: Arc<ExecutionPlan>,
+    preload: Arc<PreloadBuffer>,
+    stripe: u16,
+}
+
+impl PrefetchState {
+    fn new(cfg: PrefetchConfig) -> Self {
+        Self { cfg, model: Mutex::new(Prefetcher::new(cfg)), targets: Mutex::new(HashMap::new()) }
     }
 }
 
@@ -739,6 +917,9 @@ struct ServerInner {
     engagement_log: Mutex<Vec<EngagementRecord>>,
     /// Backpressure-gate decisions, one per gated engagement.
     gate_log: Mutex<Vec<GateDecision>>,
+    /// The Markov prefetch runtime (`None` with prefetch off — the
+    /// completion path then pays a single branch).
+    prefetch: Option<PrefetchState>,
 }
 
 impl ServerInner {
@@ -927,6 +1108,7 @@ impl StiServer {
             backpressure: BackpressureMode::Off,
             plan_sharing: PreloadPolicy::PerSession,
             topology: DeviceTopology::single(),
+            prefetch: PrefetchConfig::default(),
         }
     }
 
@@ -969,6 +1151,8 @@ impl StiServer {
             realloc_bytes: 0,
             stripe,
             gate_memo: Mutex::new(None),
+            issue_gap: SimTime::ZERO,
+            engagement_seq: AtomicU64::new(0),
         })
     }
 
@@ -1010,6 +1194,8 @@ impl StiServer {
                     realloc_bytes: 0,
                     stripe,
                     gate_memo: Mutex::new(None),
+                    issue_gap: SimTime::ZERO,
+                    engagement_seq: AtomicU64::new(0),
                 }
             })
             .collect())
@@ -1149,6 +1335,8 @@ impl StiServer {
             realloc_bytes: served.preload_bytes_reallocated,
             stripe: served.stripe,
             gate_memo: Mutex::new(None),
+            issue_gap: SimTime::ZERO,
+            engagement_seq: AtomicU64::new(0),
         })
     }
 
@@ -1250,6 +1438,20 @@ impl StiServer {
     /// the server's `serving.*`/`gate.*` registry folded with the IO
     /// scheduler's `io.*` registry (disjoint prefixes, lossless merge).
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        // `prefetch.*` gauges materialize lazily, at snapshot time, and
+        // only when the prefetcher runs — an off-mode server exports no
+        // prefetch series at all.
+        if self.inner.prefetch.is_some() {
+            let pool = self.inner.shard_cache.prefetch_stats();
+            let spec = self.inner.scheduler.speculative_events();
+            let registry = &self.inner.registry;
+            registry.gauge("prefetch.hit_bytes").set(pool.hit_bytes);
+            registry
+                .gauge("prefetch.speculated_bytes")
+                .set(spec.iter().map(|e| e.bytes).sum::<u64>());
+            registry.gauge("prefetch.evictions").set(pool.evictions);
+            registry.gauge("prefetch.hit_rate_pct").set((pool.hit_rate() * 100.0).round() as u64);
+        }
         let mut snap = self.inner.registry.snapshot();
         snap.merge(&self.inner.scheduler.metrics_snapshot());
         snap
@@ -1395,6 +1597,28 @@ impl StiServer {
             };
             spans.push(span.with_args(args));
         }
+        // Speculative staging windows, one track per device channel.
+        // Whether a staged shard was flash-loaded or pinned depends on
+        // cache residency at execution time, so the track is outside the
+        // determinism contract ([`TrackKind::Prefetch`]) and deterministic
+        // exports drop it.
+        for e in inner.scheduler.speculative_events() {
+            spans.push(
+                SpanEvent::complete(
+                    TrackKind::Prefetch,
+                    e.device_channel as u64,
+                    "prefetch.stage",
+                    e.arrival.as_us(),
+                    (e.arrival + e.io_delay).as_us(),
+                )
+                .with_args(
+                    SpanArgs::new()
+                        .with("session", e.channel)
+                        .with("bytes", e.bytes)
+                        .with("pinned_bytes", e.hit_bytes),
+                ),
+            );
+        }
         // Live-sink color (admission markers, host-track dispatch spans).
         let (live, _) = inner.obs.lock().drain();
         spans.extend(live);
@@ -1502,6 +1726,13 @@ impl StiServer {
         // already chronological and a stable sort preserves it.
         let mut gate = inner.gate_log.lock().clone();
         gate.sort_by_key(|d| d.session);
+        // Speculation is priced strictly after (and against) the demand
+        // replay above: background jobs fill the idle windows the demand
+        // timeline left on each device channel.
+        let prefetch = inner
+            .prefetch
+            .as_ref()
+            .map(|_| price_speculation(&inner.scheduler.speculative_events(), &report));
         ContentionReport {
             engagements,
             flash_busy: report.busy(),
@@ -1512,6 +1743,7 @@ impl StiServer {
             mean_batch_occupancy,
             gate,
             preload_bytes_reallocated: inner.ins.preload_bytes_reallocated.get(),
+            prefetch,
         }
     }
 
@@ -1521,8 +1753,34 @@ impl StiServer {
     /// and all counters are untouched.
     pub fn reset_contention_log(&self) {
         self.inner.scheduler.clear_flash_events();
+        self.inner.scheduler.clear_speculative_events();
         self.inner.engagement_log.lock().clear();
         self.inner.gate_log.lock().clear();
+    }
+
+    /// Whether this server runs a next-engagement prefetcher. Cheap (no
+    /// locks) — event-driven hosts use it to decide whether completions
+    /// need a follow-up flash wake for speculative work.
+    pub fn prefetch_enabled(&self) -> bool {
+        self.inner.prefetch.is_some()
+    }
+
+    /// The prefetcher's end-to-end counters (`None` with prefetch off):
+    /// the Markov model's observation/plan/feedback stats, the staging
+    /// pool's hit accounting, and the speculative dispatch totals. The
+    /// headline number is `report.pool.hit_rate()` — the fraction of
+    /// staged bytes a later demand miss actually consumed.
+    pub fn prefetch_report(&self) -> Option<PrefetchReport> {
+        let pf = self.inner.prefetch.as_ref()?;
+        let spec = self.inner.scheduler.speculative_events();
+        Some(PrefetchReport {
+            mode: pf.cfg.mode,
+            model: pf.model.lock().stats(),
+            pool: self.inner.shard_cache.prefetch_stats(),
+            jobs: spec.len() as u64,
+            speculated_bytes: spec.iter().map(|e| e.bytes).sum(),
+            pinned_bytes: spec.iter().map(|e| e.hit_bytes).sum(),
+        })
     }
 
     /// The infer-time backpressure policy this server runs.
@@ -1603,6 +1861,12 @@ pub struct Session {
     /// decisions are a pure function of those, so repeat engagements
     /// against an unchanged mix skip the queue simulations.
     gate_memo: Mutex<Option<(u64, GateDecision)>>,
+    /// Idle gap between this session's successive engagements on the
+    /// simulated timeline (see [`Session::set_issue_gap`]; zero — the
+    /// legacy back-to-back issue clock — by default).
+    issue_gap: SimTime,
+    /// Engagements issued so far — the multiplier on `issue_gap`.
+    engagement_seq: AtomicU64,
 }
 
 impl Drop for Session {
@@ -1645,7 +1909,10 @@ pub struct PendingEngagement {
     /// (false = fully preloaded), so the complete half receives exactly
     /// what was requested.
     has_request: Vec<bool>,
-    gate_delay: SimTime,
+    /// The engagement's effective issue time: session arrival advanced by
+    /// the per-engagement issue gap, plus the gate delay — the tick its
+    /// scheduler channel opened at.
+    issue: SimTime,
     tokens: Vec<u32>,
     _active: ActiveGuard,
     _channel: ChannelGuard,
@@ -1702,6 +1969,21 @@ impl Session {
     pub fn set_arrival(&mut self, arrival: SimTime) {
         self.arrival = arrival;
         self.inner.register_load(self.token, &self.plan, arrival, self.slo, self.stripe);
+    }
+
+    /// Sets the idle gap between this session's successive engagements on
+    /// the simulated timeline — typically from a trace file's `idle_us`.
+    /// The `n`-th engagement's scheduler channel then opens at
+    /// `arrival + n · gap` (plus any gate delay) instead of at the bare
+    /// session arrival, so the contended replay sees the per-channel idle
+    /// windows a think-time workload really has — the windows speculative
+    /// prefetch jobs run in. Contended track only: the registry entry
+    /// (and with it every admission and gate decision) still prices the
+    /// session at its arrival, and the uncontended results are untouched.
+    /// Zero (the default) reproduces the legacy back-to-back issue clock
+    /// bit-identically.
+    pub fn set_issue_gap(&mut self, gap: SimTime) {
+        self.issue_gap = gap;
     }
 
     /// Retargets the session: resolves the plan for the new `T` through the
@@ -1898,6 +2180,12 @@ impl Session {
         summary: MixLaneSummary,
         digest: u64,
     ) -> GateDecision {
+        // The walk prices demand lanes only; the serving layer stamps the
+        // speculative in-flight label in after the fact, so a report can
+        // show speculation separately from the demand backlog that
+        // actually drove the decision.
+        let mut summary = summary;
+        summary.speculative_bytes = self.inner.scheduler.speculative_backlog_bytes();
         GateDecision {
             session: self.token,
             arrival: self.arrival,
@@ -1914,6 +2202,9 @@ impl Session {
                 dominant_lane: summary
                     .dominant_excluding(self.token)
                     .map(|(token, us)| (token, SimTime::from_us(us))),
+                // Advisory label, sampled when the decision is shaped (a
+                // memoized decision keeps the label it was shaped with).
+                speculative_bytes: summary.speculative_bytes,
             },
         }
     }
@@ -2002,14 +2293,19 @@ impl Session {
         let active_guard = ActiveGuard(self.inner.clone());
         inner.ins.peak_engagements.observe_peak(active as u64);
 
+        // The engagement's position on the session's think-time clock:
+        // arrival + n · issue_gap (zero gap — every engagement at the
+        // session arrival — is the legacy clock, bit-identically).
+        let seq = self.engagement_seq.fetch_add(1, Ordering::SeqCst);
+        let base = self.arrival + SimTime::from_us(self.issue_gap.as_us().saturating_mul(seq));
+        let issue = base + gate_delay;
         // Mark the channel as session-owned so a concurrent gate prices
         // this session from the registry, not from the live queue too. The
         // creation and the marking share one critical section with the
         // gate's snapshot, so no gate can observe the channel unowned.
         let channel = {
             let mut active = inner.active_channels.lock();
-            let channel =
-                inner.scheduler.channel_striped_at(self.arrival + gate_delay, self.stripe);
+            let channel = inner.scheduler.channel_striped_at(issue, self.stripe);
             active.insert(channel.id(), self.token);
             channel
         };
@@ -2019,7 +2315,7 @@ impl Session {
         Ok(PendingEngagement {
             channel,
             has_request,
-            gate_delay,
+            issue,
             tokens: tokens.to_vec(),
             _active: active_guard,
             _channel: channel_guard,
@@ -2054,12 +2350,19 @@ impl Session {
             channel: pending.channel.id(),
             session: self.token,
             slo: self.slo,
-            issue: self.arrival + pending.gate_delay,
+            issue: pending.issue,
             layer_has_io,
             comp: inner.hw.t_comp(self.plan.shape.width),
             uncontended: outcome.timeline.makespan,
         });
         inner.ins.engagements.incr();
+
+        // Feed the prefetcher *after* both accounting tracks have their
+        // records: the observation (and any speculation it triggers) is
+        // invisible to this engagement's own outcome by construction.
+        if let Some(pf) = &inner.prefetch {
+            self.prefetch_observe(pf, pending.issue + outcome.timeline.makespan);
+        }
 
         Ok(Inference {
             class: outcome.class,
@@ -2067,6 +2370,81 @@ impl Session {
             submodel: self.plan.shape,
             outcome,
         })
+    }
+
+    /// Observes one engagement completion in the Markov model and, when a
+    /// prediction clears the confidence floor, materializes it into
+    /// speculative background jobs. `now` is the engagement's completion
+    /// on the simulated timeline — the tick the speculation becomes
+    /// available to run (and the arrival its contended pricing uses).
+    fn prefetch_observe(&self, pf: &PrefetchState, now: SimTime) {
+        let key = PrefetchKey {
+            target_us: self.target.as_us(),
+            preload_bytes: self.preload_budget,
+            slo_us: self.slo.map_or(0, |s| s.as_us()),
+            stripe: self.stripe,
+        };
+        let plan = {
+            let mut model = pf.model.lock();
+            let id = model.intern(key);
+            pf.targets.lock().entry(id).or_insert_with(|| PrefetchTarget {
+                plan: self.plan.clone(),
+                preload: self.preload.clone(),
+                stripe: self.stripe,
+            });
+            model.observe(self.token, id, now)
+        };
+        let Some(plan) = plan else { return };
+        let Some(target) = pf.targets.lock().get(&plan.predicted).cloned() else { return };
+        self.submit_speculation(&plan, &target);
+    }
+
+    /// Turns an emitted [`PrefetchPlan`] into speculative scheduler jobs:
+    /// the predicted engagement's *streamed* working set (planned shards
+    /// not covered by its preload buffer), grouped onto the device
+    /// channels its layer requests would really route to, byte-capped at
+    /// the plan budget. Jobs enter the scheduler's background lane —
+    /// demand dispatches always go first — and their flash reads land in
+    /// the staging pool, never the demand event log.
+    fn submit_speculation(&self, plan: &PrefetchPlan, target: &PrefetchTarget) {
+        let inner = &*self.inner;
+        let topology = inner.scheduler.topology();
+        let mut budget = plan.budget_bytes;
+        let mut jobs: BTreeMap<u16, (Vec<ShardKey>, u64)> = BTreeMap::new();
+        'layers: for pl in &target.plan.layers {
+            let items: Vec<(u16, Bitwidth)> = pl
+                .items()
+                .filter(|&(slice, _)| !target.preload.contains(ShardId::new(pl.layer, slice)))
+                .collect();
+            if items.is_empty() {
+                continue;
+            }
+            let sig = LayerRequest { layer: pl.layer, items: items.clone() }.content_sig();
+            let dc = topology.channel_for(sig, target.stripe);
+            for (slice, bw) in items {
+                let key = ShardKey::new(ShardId::new(pl.layer, slice), bw);
+                let bytes = match inner.cached_source.size_bytes(key) {
+                    Ok(bytes) if bytes > 0 => bytes,
+                    _ => continue,
+                };
+                if bytes > budget {
+                    break 'layers;
+                }
+                budget -= bytes;
+                let entry = jobs.entry(dc).or_default();
+                entry.0.push(key);
+                entry.1 += bytes;
+            }
+        }
+        for (dc, (keys, bytes)) in jobs {
+            inner.scheduler.submit_speculative(SpeculativeJob {
+                session: plan.client,
+                device_channel: dc,
+                arrival: plan.emitted_at,
+                bytes,
+                keys,
+            });
+        }
     }
 
     fn executor(&self) -> PipelineExecutor<'_> {
@@ -2166,6 +2544,97 @@ mod tests {
         assert!(!Arc::ptr_eq(&a.plan, &b.plan));
         assert!(b.plan().shape.shard_count() >= a.plan().shape.shard_count());
         assert_eq!(srv.cached_plans(), 2);
+    }
+
+    /// A server with a deliberately tiny main shard cache (so demand
+    /// misses recur) and the Markov prefetcher on.
+    fn prefetch_server() -> StiServer {
+        let cfg = ModelConfig::tiny();
+        let task = Task::build(TaskKind::Sst2, cfg.clone(), 4, 4);
+        let dev = DeviceProfile::odroid_n2();
+        let hw = HwProfile::measure(&dev, &cfg, &QuantConfig::default());
+        let source =
+            Arc::new(MemStore::build(task.model(), &Bitwidth::ALL, &QuantConfig::default()));
+        let importance = ImportanceProfile::from_scores(
+            cfg.layers,
+            cfg.heads,
+            (0..cfg.total_shards()).map(|i| 0.5 + (i % 5) as f64 * 0.01).collect(),
+            0.45,
+        );
+        StiServer::builder(task.model().clone(), source, hw, dev.flash, importance)
+            .target(SimTime::from_ms(300))
+            .preload_budget(0)
+            .widths(&[2, 4])
+            .shard_cache_bytes(1 << 10)
+            .prefetch(PrefetchConfig::markov(1 << 20))
+            .build()
+    }
+
+    #[test]
+    fn prefetch_report_is_none_with_prefetch_off() {
+        let srv = server();
+        assert!(srv.prefetch_report().is_none());
+        let s = srv.session().unwrap();
+        s.infer(&[1, 2, 3]).unwrap();
+        assert!(srv.contention_report().prefetch.is_none());
+    }
+
+    #[test]
+    fn markov_prefetch_stages_the_predicted_working_set_and_serves_later_misses() {
+        let srv = prefetch_server();
+        let mut s = srv.session().unwrap();
+        s.set_issue_gap(SimTime::from_ms(50));
+        s.infer(&[1, 2, 3]).unwrap();
+        // The second completion creates the self-recurrence edge and emits
+        // a plan; the speculative job runs once the demand queue drains.
+        s.infer(&[1, 2, 3]).unwrap();
+        let mut tries = 0;
+        while srv.prefetch_report().unwrap().jobs == 0 && tries < 400 {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            tries += 1;
+        }
+        let report = srv.prefetch_report().unwrap();
+        assert!(report.model.plans >= 1, "a self-recurrent session must emit a plan");
+        assert!(report.jobs >= 1, "the plan must materialize into speculative jobs");
+        assert!(
+            report.speculated_bytes + report.pinned_bytes > 0,
+            "speculation must stage or pin something"
+        );
+        // The next engagement's demand misses promote staged blobs out of
+        // the pool instead of re-reading flash.
+        s.infer(&[1, 2, 3]).unwrap();
+        let pool = srv.prefetch_report().unwrap().pool;
+        assert!(pool.hits > 0, "staged shards must serve the next engagement's misses");
+        assert!(pool.hit_bytes > 0);
+        // Contended pricing exists, charges the speculative service time,
+        // and the speculative label never leaks into demand aggregates.
+        let contention = srv.contention_report();
+        let spec = contention.prefetch.expect("prefetch pricing present when enabled");
+        // The third completion may have emitted (and run) another plan by
+        // now; the priced jobs can only grow past the harvested count.
+        assert!(spec.jobs >= report.jobs);
+        assert!(spec.busy > SimTime::ZERO || spec.speculated_bytes == 0);
+    }
+
+    #[test]
+    fn issue_gap_spreads_engagement_issues_without_touching_results() {
+        let srv = server();
+        let gapped = srv.session().unwrap();
+        let plain = srv.session().unwrap();
+        let mut g = gapped;
+        g.set_issue_gap(SimTime::from_ms(500));
+        let a = g.infer(&[5, 6]).unwrap();
+        let b = g.infer(&[5, 6]).unwrap();
+        let c = plain.infer(&[5, 6]).unwrap();
+        assert_eq!(a.class, b.class);
+        assert_eq!(a.class, c.class, "the issue gap is contended-track only");
+        let report = srv.contention_report();
+        let issues: Vec<SimTime> =
+            report.engagements.iter().filter(|e| e.session == g.token()).map(|e| e.issue).collect();
+        assert_eq!(issues.len(), 2);
+        // The gap exceeds the first engagement's contended completion, so
+        // the second issue lands exactly one gap after the first.
+        assert_eq!(issues[1], issues[0] + SimTime::from_ms(500));
     }
 
     #[test]

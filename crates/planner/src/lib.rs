@@ -30,6 +30,7 @@ pub mod importance;
 pub mod io_plan;
 pub mod mix;
 pub mod plan;
+pub mod prefetch;
 pub mod preload;
 pub mod schedule;
 pub mod serving;
@@ -47,6 +48,10 @@ pub use mix::{
     ServingMix, SloProfile,
 };
 pub use plan::{ExecutionPlan, PlannedLayer, SubmodelShape};
+pub use prefetch::{
+    EngagementKey, KeyId, MarkovEdge, PrefetchConfig, PrefetchMode, PrefetchPlan, Prefetcher,
+    PrefetcherStats,
+};
 pub use schedule::{simulate_pipeline, LayerTiming, SchedulePrediction};
 pub use serving::{
     align_io_completions, contended_makespan, layer_io_jobs, min_queue_delay, plan_for_slo,

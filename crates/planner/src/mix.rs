@@ -231,8 +231,16 @@ struct Lane {
 pub struct MixLaneSummary {
     /// Channels in the external backlog with queued or in-flight work.
     pub backlog_channels: usize,
-    /// Serialized bytes queued in the external backlog.
+    /// Serialized bytes queued in the external backlog (demand class only;
+    /// speculative prefetch bytes are labelled apart in
+    /// [`MixLaneSummary::speculative_bytes`]).
     pub backlog_bytes: u64,
+    /// Estimated bytes of queued background-class speculative (prefetch)
+    /// jobs at decision time. Reporting-only: the gate walk, the digest,
+    /// and the contended prediction never read it — speculation is fenced
+    /// out of demand pricing, and this label keeps blame lines honest about
+    /// which class owns the bytes. Zero when prefetch is off.
+    pub speculative_bytes: u64,
     /// Open sessions in the mix.
     pub sessions: usize,
     /// The two heaviest co-runner lanes as `(token, total service µs)`,
@@ -547,6 +555,9 @@ impl ServingMix {
         MixLaneSummary {
             backlog_channels: self.backlog.channels.len(),
             backlog_bytes: self.backlog.queued_bytes(),
+            // The mix models demand lanes only; the serving layer stamps
+            // the speculative label in after the walk.
+            speculative_bytes: 0,
             sessions: self.sessions.len(),
             heaviest,
         }

@@ -13,6 +13,20 @@
 //! loaded-byte accounting are computed from the request alone, so execution
 //! outcomes stay bit-identical whether the cache is cold, warm, or shared
 //! with other sessions — the determinism the serving tests pin down.
+//!
+//! ## The prefetch staging pool
+//!
+//! When the serving prefetcher is on, speculatively loaded blobs do **not**
+//! enter the main cache — they land in a bounded side pool
+//! ([`ShardCache::enable_prefetch_pool`]) with its own byte budget and LRU
+//! order. The demand path consults the pool only on a main-cache miss
+//! ([`ShardCache::get_or_load_tracked`] takes the staged blob and promotes
+//! it via the normal `insert`), so the main cache sees exactly the same
+//! mutation sequence it would without prefetch: speculation can never evict
+//! or reorder demand-resident state, which is what keeps prefetch fenced
+//! off from the determinism contract. A promoted blob counts as *resident*
+//! for the contended track's DRAM-residency pricing — that residency is the
+//! entire payoff of a correct prediction.
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
@@ -47,11 +61,103 @@ impl ShardCacheStats {
     }
 }
 
+/// Counters describing the prefetch staging pool (all zero when the pool
+/// was never enabled).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrefetchPoolStats {
+    /// Bytes flash-loaded into the pool by speculative jobs.
+    pub staged_flash_bytes: u64,
+    /// Bytes cloned ("pinned") from the main cache at zero flash cost.
+    pub pinned_bytes: u64,
+    /// Staged bytes a later demand miss actually consumed.
+    pub hit_bytes: u64,
+    /// Demand misses served from the pool (promote events).
+    pub hits: u64,
+    /// Staged blobs evicted by the pool's own LRU before being used.
+    pub evictions: u64,
+    /// Bytes currently staged.
+    pub resident_bytes: u64,
+}
+
+impl PrefetchPoolStats {
+    /// Fraction of staged bytes that a demand miss later consumed.
+    pub fn hit_rate(&self) -> f64 {
+        let staged = self.staged_flash_bytes + self.pinned_bytes;
+        if staged == 0 {
+            0.0
+        } else {
+            self.hit_bytes as f64 / staged as f64
+        }
+    }
+}
+
 #[derive(Debug)]
 struct CacheEntry {
     blob: QuantizedBlob,
     bytes: u64,
     last_used: u64,
+}
+
+/// The speculative side pool: same LRU shape as the main cache, but its own
+/// budget and counters, and entries leave by demand *take* (promote) rather
+/// than lookup.
+#[derive(Debug)]
+struct PoolInner {
+    budget: u64,
+    map: HashMap<ShardKey, CacheEntry>,
+    recency: BTreeMap<u64, ShardKey>,
+    used: u64,
+    tick: u64,
+    stats: PrefetchPoolStats,
+}
+
+impl PoolInner {
+    fn new(budget: u64) -> Self {
+        Self {
+            budget,
+            map: HashMap::new(),
+            recency: BTreeMap::new(),
+            used: 0,
+            tick: 0,
+            stats: PrefetchPoolStats::default(),
+        }
+    }
+
+    fn contains(&self, key: ShardKey) -> bool {
+        self.map.contains_key(&key)
+    }
+
+    fn admit(&mut self, key: ShardKey, blob: &QuantizedBlob) -> bool {
+        let bytes = blob.byte_size() as u64;
+        if bytes > self.budget {
+            return false;
+        }
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some(old) = self.map.remove(&key) {
+            self.recency.remove(&old.last_used);
+            self.used -= old.bytes;
+        }
+        while self.used + bytes > self.budget {
+            let (_, victim) = self.recency.pop_first().expect("used > 0 implies a staged entry");
+            let evicted = self.map.remove(&victim).expect("victim is staged");
+            self.used -= evicted.bytes;
+            self.stats.evictions += 1;
+        }
+        self.used += bytes;
+        self.recency.insert(tick, key);
+        self.map.insert(key, CacheEntry { blob: blob.clone(), bytes, last_used: tick });
+        true
+    }
+
+    fn take(&mut self, key: ShardKey) -> Option<QuantizedBlob> {
+        let entry = self.map.remove(&key)?;
+        self.recency.remove(&entry.last_used);
+        self.used -= entry.bytes;
+        self.stats.hits += 1;
+        self.stats.hit_bytes += entry.bytes;
+        Some(entry.blob)
+    }
 }
 
 #[derive(Debug, Default)]
@@ -71,13 +177,17 @@ struct CacheInner {
 pub struct ShardCache {
     capacity: u64,
     inner: Mutex<CacheInner>,
+    /// Prefetch staging pool; `None` until enabled. Guarded separately from
+    /// `inner` (never held together) so the demand path's lock behaviour is
+    /// unchanged when prefetch is off.
+    pool: Mutex<Option<PoolInner>>,
 }
 
 impl ShardCache {
     /// Creates a cache with the given byte budget. A budget of zero disables
     /// caching (every lookup misses, nothing is admitted).
     pub fn new(capacity: u64) -> Self {
-        Self { capacity, inner: Mutex::new(CacheInner::default()) }
+        Self { capacity, inner: Mutex::new(CacheInner::default()), pool: Mutex::new(None) }
     }
 
     /// The configured byte budget.
@@ -198,9 +308,99 @@ impl ShardCache {
         if let Some(blob) = self.get(key) {
             return Ok((blob, true));
         }
+        // Main-cache miss: a staged prefetch can serve it. The blob is
+        // promoted through the normal `insert`, so the main cache mutates
+        // exactly as it would have after `source.load` — but the bytes are
+        // already resident, which is what the contended track's residency
+        // flag records.
+        if let Some(blob) = self.take_prefetched(key) {
+            self.insert(key, &blob);
+            return Ok((blob, true));
+        }
         let blob = source.load(key)?;
         self.insert(key, &blob);
         Ok((blob, false))
+    }
+
+    /// Enables the prefetch staging pool with its own byte budget (idempotent;
+    /// re-enabling resets the pool).
+    pub fn enable_prefetch_pool(&self, budget: u64) {
+        *self.pool.lock() = Some(PoolInner::new(budget));
+    }
+
+    /// Whether the staging pool exists.
+    pub fn prefetch_pool_enabled(&self) -> bool {
+        self.pool.lock().is_some()
+    }
+
+    /// Staging-pool counters (zero when the pool was never enabled).
+    pub fn prefetch_stats(&self) -> PrefetchPoolStats {
+        let pool = self.pool.lock();
+        match pool.as_ref() {
+            Some(p) => PrefetchPoolStats { resident_bytes: p.used, ..p.stats },
+            None => PrefetchPoolStats::default(),
+        }
+    }
+
+    /// Stages one shard for a predicted engagement and reports what it cost:
+    /// `(flash_bytes, pinned_bytes)`. Pool-resident shards cost nothing;
+    /// main-cache-resident shards are cloned into the pool "pinned" (zero
+    /// flash bytes — the pool copy survives a later demand eviction); cold
+    /// shards are read from `source` and charged as flash bytes. The
+    /// main-cache probe is a pure peek: no recency refresh, no hit/miss
+    /// counting, so demand-visible cache state is untouched.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the backing source's error on a cold load. The pool must
+    /// be enabled; calls before [`ShardCache::enable_prefetch_pool`] stage
+    /// nothing and return `(0, 0)`.
+    pub fn prefetch_load(
+        &self,
+        source: &dyn ShardSource,
+        key: ShardKey,
+    ) -> Result<(u64, u64), StorageError> {
+        {
+            let pool = self.pool.lock();
+            match pool.as_ref() {
+                Some(p) if !p.contains(key) => {}
+                // Already staged, or pool disabled: nothing to do.
+                _ => return Ok((0, 0)),
+            }
+        }
+        let pinned = self.peek(key);
+        let (blob, flash_bytes) = match pinned {
+            Some(blob) => (blob, 0),
+            None => {
+                let blob = source.load(key)?;
+                let bytes = blob.byte_size() as u64;
+                (blob, bytes)
+            }
+        };
+        let mut pool = self.pool.lock();
+        let Some(p) = pool.as_mut() else { return Ok((0, 0)) };
+        let bytes = blob.byte_size() as u64;
+        if !p.admit(key, &blob) {
+            return Ok((0, 0));
+        }
+        if flash_bytes > 0 {
+            p.stats.staged_flash_bytes += flash_bytes;
+            Ok((flash_bytes, 0))
+        } else {
+            p.stats.pinned_bytes += bytes;
+            Ok((0, bytes))
+        }
+    }
+
+    /// Looks a blob up without touching recency or the hit/miss counters —
+    /// the speculative path's residency probe.
+    fn peek(&self, key: ShardKey) -> Option<QuantizedBlob> {
+        self.inner.lock().map.get(&key).map(|e| e.blob.clone())
+    }
+
+    /// Removes a staged blob for demand promotion, counting the hit.
+    fn take_prefetched(&self, key: ShardKey) -> Option<QuantizedBlob> {
+        self.pool.lock().as_mut()?.take(key)
     }
 }
 
@@ -341,6 +541,72 @@ mod tests {
         // Second load hits.
         cached.load(k).unwrap();
         assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn prefetch_pool_stages_cold_shards_and_promotes_on_demand_miss() {
+        let store = store();
+        let cache = ShardCache::new(1 << 20);
+        cache.enable_prefetch_pool(1 << 20);
+        let k = key(0, 0, Bitwidth::B2);
+        let (flash, pinned) = cache.prefetch_load(&*store, k).unwrap();
+        assert!(flash > 0);
+        assert_eq!(pinned, 0);
+        // Staging again is free.
+        assert_eq!(cache.prefetch_load(&*store, k).unwrap(), (0, 0));
+        // Main cache untouched by speculation.
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats(), ShardCacheStats::default());
+        // Demand miss promotes: resident flag set, pool drained, hit counted.
+        let (_, resident) = cache.get_or_load_tracked(&*store, k).unwrap();
+        assert!(resident, "staged blob counts as resident");
+        let ps = cache.prefetch_stats();
+        assert_eq!(ps.hits, 1);
+        assert_eq!(ps.hit_bytes, flash);
+        assert_eq!(ps.resident_bytes, 0);
+        // The promote went through the normal insert path.
+        assert_eq!(cache.len(), 1);
+        // Off-run parity: the miss was still counted as a miss.
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn prefetch_pins_main_resident_shards_at_zero_flash_cost() {
+        let store = store();
+        let cache = ShardCache::new(1 << 20);
+        cache.enable_prefetch_pool(1 << 20);
+        let k = key(0, 1, Bitwidth::B2);
+        cache.get_or_load(&*store, k).unwrap();
+        let before = cache.stats();
+        let (flash, pinned) = cache.prefetch_load(&*store, k).unwrap();
+        assert_eq!(flash, 0);
+        assert!(pinned > 0);
+        // The peek left demand-visible counters alone.
+        assert_eq!(cache.stats(), before);
+    }
+
+    #[test]
+    fn prefetch_pool_respects_its_own_budget() {
+        let store = store();
+        let first = store.load(key(0, 0, Bitwidth::B2)).unwrap().byte_size() as u64;
+        let second = store.load(key(0, 1, Bitwidth::B2)).unwrap().byte_size() as u64;
+        // Room for either alone but not both together.
+        let budget = first + second - 1;
+        let cache = ShardCache::new(1 << 20);
+        cache.enable_prefetch_pool(budget);
+        cache.prefetch_load(&*store, key(0, 0, Bitwidth::B2)).unwrap();
+        cache.prefetch_load(&*store, key(0, 1, Bitwidth::B2)).unwrap();
+        let ps = cache.prefetch_stats();
+        assert!(ps.evictions >= 1, "second stage evicts the first");
+        assert!(ps.resident_bytes <= budget);
+    }
+
+    #[test]
+    fn disabled_pool_stages_nothing() {
+        let store = store();
+        let cache = ShardCache::new(1 << 20);
+        assert_eq!(cache.prefetch_load(&*store, key(0, 0, Bitwidth::B2)).unwrap(), (0, 0));
+        assert_eq!(cache.prefetch_stats(), PrefetchPoolStats::default());
     }
 
     #[test]

@@ -40,12 +40,12 @@ pub mod scheduler;
 pub mod store;
 
 pub use batcher::{BatchPolicy, BatchStats};
-pub use cache::{CachedSource, ShardCache, ShardCacheStats};
+pub use cache::{CachedSource, PrefetchPoolStats, ShardCache, ShardCacheStats};
 pub use error::StorageError;
 pub use loader::{IoWorker, LayerRequest, LoadedLayer};
 pub use memstore::MemStore;
 pub use scheduler::{
     BacklogSnapshot, ChannelBacklog, FlashDispatchEvent, IoChannel, IoScheduler, IoSchedulerStats,
-    QueuedIo,
+    QueuedIo, SpeculativeJob,
 };
 pub use store::{ShardKey, ShardSource, ShardStore};

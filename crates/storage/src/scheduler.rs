@@ -141,6 +141,27 @@ impl FlashDispatchEvent {
     }
 }
 
+/// A background-class prefetch job: stage `keys` into the shard cache's
+/// prefetch pool on behalf of a predicted next engagement. Speculative jobs
+/// are **fenced off** from demand traffic — a worker only picks one when no
+/// demand request is dispatchable for its lane filter, so a wrong
+/// prediction costs staged bytes, never a demand request's place in line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpeculativeJob {
+    /// The session token the prediction was made for (the `channel` id its
+    /// speculative event is logged under).
+    pub session: u64,
+    /// The device channel whose idle windows the job may use.
+    pub device_channel: u16,
+    /// Simulated submission time (the triggering engagement's completion).
+    pub arrival: SimTime,
+    /// Estimated serialized bytes of `keys` (backlog labelling; the event
+    /// records what was actually flash-loaded).
+    pub bytes: u64,
+    /// The shards to stage.
+    pub keys: Vec<ShardKey>,
+}
+
 /// One queued (not yet dispatched) request in a [`BacklogSnapshot`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct QueuedIo {
@@ -193,11 +214,16 @@ pub struct BacklogSnapshot {
 
 impl BacklogSnapshot {
     /// Total queued (not yet dispatched) requests across all channels.
+    /// Speculative jobs are **not** counted — a snapshot covers demand
+    /// lanes only, so backlog blame never attributes prefetch work to
+    /// demand traffic ([`IoScheduler::speculative_backlog_bytes`] labels
+    /// the speculative class separately).
     pub fn queued_requests(&self) -> usize {
         self.channels.iter().map(|c| c.queued.len()).sum()
     }
 
-    /// Total serialized bytes queued across all channels.
+    /// Total serialized bytes queued across all channels (demand only; see
+    /// [`IoScheduler::speculative_backlog_bytes`]).
     pub fn queued_bytes(&self) -> u64 {
         self.channels.iter().flat_map(|c| &c.queued).map(|q| q.bytes).sum()
     }
@@ -249,6 +275,20 @@ struct SchedState {
     dispatch_seq: u64,
     /// Dispatch-order record of every serviced request (contended track).
     events: Vec<FlashDispatchEvent>,
+    /// Queued speculative (prefetch) jobs, FIFO. Strictly lower priority
+    /// than every demand lane: picked only when no demand request is
+    /// dispatchable for the picker's device-channel filter.
+    spec: VecDeque<SpeculativeJob>,
+    /// Speculative dispatch numbering — deliberately separate from
+    /// `dispatch_seq` so demand events are bit-identical with and without
+    /// prefetch.
+    spec_seq: u64,
+    /// Record of serviced speculative jobs, kept apart from the demand
+    /// `events` log: demand replays, batching counters, and backlog digests
+    /// never see them. `bytes` is what was flash-loaded into the prefetch
+    /// pool, `hit_bytes` re-purposed as bytes *pinned* from the main cache
+    /// at zero flash cost, `members` always empty.
+    spec_events: Vec<FlashDispatchEvent>,
     /// While set, workers park instead of dispatching (quiesce support:
     /// queue work deterministically, then release it in one burst).
     paused: bool,
@@ -598,20 +638,66 @@ impl IoScheduler {
     fn drive(&self, only: Option<u16>) -> usize {
         let mut serviced = 0;
         loop {
-            let dispatch = {
+            let pick = {
                 let mut state = self.shared.lock_state();
                 if state.shutdown {
                     break;
                 }
-                match pick_next_on(&mut state, self.shared.policy, self.shared.topology, only) {
+                match pick_any(&mut state, self.shared.policy, self.shared.topology, only) {
                     Some(pick) => pick,
                     None => break,
                 }
             };
-            run_dispatch(&self.shared, dispatch);
+            match pick {
+                Pick::Demand(dispatch) => run_dispatch(&self.shared, dispatch),
+                Pick::Spec(job) => run_spec_dispatch(&self.shared, job),
+            }
             serviced += 1;
         }
         serviced
+    }
+
+    /// Submits a background-class prefetch job. It dispatches only when no
+    /// demand request is dispatchable on its device channel (demand always
+    /// preempts queued speculation), stages its shards into the shard
+    /// cache's prefetch pool, and logs a speculative event — never a demand
+    /// event. A no-op after shutdown.
+    pub fn submit_speculative(&self, job: SpeculativeJob) {
+        let mut state = self.shared.lock_state();
+        if state.shutdown {
+            return;
+        }
+        state.spec.push_back(job);
+        drop(state);
+        self.shared.work_cv.notify_one();
+    }
+
+    /// Speculative jobs queued and not yet serviced.
+    pub fn queued_speculative(&self) -> usize {
+        self.shared.lock_state().spec.len()
+    }
+
+    /// Estimated bytes of queued speculative jobs — the background-class
+    /// backlog, labelled apart from [`IoScheduler::backlog_snapshot`]'s
+    /// demand lanes so gate blame and contended predictions never charge
+    /// prefetch work to demand traffic. Always zero when prefetch is off.
+    pub fn speculative_backlog_bytes(&self) -> u64 {
+        self.shared.lock_state().spec.iter().map(|job| job.bytes).sum()
+    }
+
+    /// The speculative event log so far, in dispatch order (see the
+    /// field notes on [`SpeculativeJob`]: `bytes` = flash-loaded into the
+    /// pool, `hit_bytes` = pinned from the main cache).
+    pub fn speculative_events(&self) -> Vec<FlashDispatchEvent> {
+        let state = self.shared.lock_state();
+        let mut events = state.spec_events.clone();
+        events.sort_by_key(|e| e.seq);
+        events
+    }
+
+    /// Drops the speculative event log (numbering continues).
+    pub fn clear_speculative_events(&self) {
+        self.shared.lock_state().spec_events.clear();
     }
 
     /// Snapshots the live flash queue: every open channel's queued requests
@@ -902,11 +988,11 @@ fn worker_loop(shared: &Shared) {
     }
     let _guard = PanicGuard(shared);
     loop {
-        let dispatch = {
+        let pick = {
             let mut state = shared.lock_state();
             loop {
                 if !state.paused {
-                    if let Some(pick) = pick_next(&mut state, shared.policy, shared.topology) {
+                    if let Some(pick) = pick_any(&mut state, shared.policy, shared.topology, None) {
                         break pick;
                     }
                 }
@@ -916,8 +1002,48 @@ fn worker_loop(shared: &Shared) {
                 state = shared.work_cv.wait(state).unwrap_or_else(|e| e.into_inner());
             }
         };
-        run_dispatch(shared, dispatch);
+        match pick {
+            Pick::Demand(dispatch) => run_dispatch(shared, dispatch),
+            Pick::Spec(job) => run_spec_dispatch(shared, job),
+        }
     }
+}
+
+/// Stages one speculative job's shards into the shard cache's prefetch
+/// pool and logs the speculative event. Nothing here touches demand
+/// state: no demand queue, no demand event, no `io.*` counters — a wrong
+/// prediction's entire footprint is pool bytes and the speculative log.
+/// Load errors are swallowed (speculation may not fail an engagement).
+fn run_spec_dispatch(shared: &Shared, job: SpeculativeJob) {
+    let mut flash_bytes = 0u64;
+    let mut pinned_bytes = 0u64;
+    if let Some(cache) = &shared.cache {
+        for &key in &job.keys {
+            if let Ok((flash, pinned)) = cache.prefetch_load(&*shared.source, key) {
+                flash_bytes += flash;
+                pinned_bytes += pinned;
+            }
+        }
+    }
+    let io_delay =
+        if flash_bytes > 0 { shared.flash.request_delay(flash_bytes) } else { SimTime::ZERO };
+    let mut state = shared.lock_state();
+    if flash_bytes > 0 || pinned_bytes > 0 {
+        let seq = state.spec_seq;
+        state.spec_seq += 1;
+        state.spec_events.push(FlashDispatchEvent {
+            seq,
+            channel: job.session,
+            device_channel: job.device_channel,
+            arrival: job.arrival,
+            bytes: flash_bytes,
+            hit_bytes: pinned_bytes,
+            io_delay,
+            members: Vec::new(),
+        });
+    }
+    drop(state);
+    shared.work_cv.notify_one();
 }
 
 /// Services one picked dispatch to completion: the storage load, the
@@ -1075,14 +1201,34 @@ struct Dispatch {
     members: Vec<(u64, LayerRequest)>,
 }
 
-/// Picks the next request round-robin across every device channel
-/// ([`pick_next_on`] with no restriction).
-fn pick_next(
+/// What a scheduler worker picked: a demand dispatch, or — only when no
+/// demand request was dispatchable for the lane filter — a speculative
+/// prefetch job. The ordering of the two arms *is* the fencing rule.
+enum Pick {
+    Demand(Dispatch),
+    Spec(SpeculativeJob),
+}
+
+/// Demand-first pick: any dispatchable demand request wins; a speculative
+/// job is only handed out when the demand pick comes up empty for the
+/// filter, so speculation runs strictly in idle windows.
+fn pick_any(
     state: &mut SchedState,
     policy: BatchPolicy,
     topology: DeviceTopology,
-) -> Option<Dispatch> {
-    pick_next_on(state, policy, topology, None)
+    only: Option<u16>,
+) -> Option<Pick> {
+    if let Some(dispatch) = pick_next_on(state, policy, topology, only) {
+        return Some(Pick::Demand(dispatch));
+    }
+    pick_spec(state, only).map(Pick::Spec)
+}
+
+/// Pops the first queued speculative job whose device channel matches the
+/// filter (FIFO within the speculative class).
+fn pick_spec(state: &mut SchedState, only: Option<u16>) -> Option<SpeculativeJob> {
+    let idx = state.spec.iter().position(|job| only.is_none_or(|dc| dc == job.device_channel))?;
+    state.spec.remove(idx)
 }
 
 /// Picks the next request round-robin, skipping closed channels and
@@ -1820,6 +1966,104 @@ mod tests {
         sched.resume_dispatch();
         assert!(ch.recv().is_ok());
         assert_eq!(sched.queued_requests(), 0);
+        sched.shutdown();
+    }
+
+    fn spec_key(layer: u16, slice: u16) -> ShardKey {
+        ShardKey::new(ShardId::new(layer, slice), Bitwidth::B2)
+    }
+
+    fn spec_job(keys: Vec<ShardKey>) -> SpeculativeJob {
+        SpeculativeJob {
+            session: 42,
+            device_channel: 0,
+            arrival: SimTime::from_ms(1),
+            bytes: 1 << 10,
+            keys,
+        }
+    }
+
+    #[test]
+    fn speculative_job_stages_into_pool_without_touching_demand_state() {
+        let (store, cache, flash) = fixture(1 << 20);
+        let cache = cache.unwrap();
+        cache.enable_prefetch_pool(1 << 20);
+        let sched = IoScheduler::spawn(store, flash, 1, 0.0, Some(cache.clone()));
+        sched.pause_dispatch();
+        sched.submit_speculative(spec_job(vec![spec_key(0, 0)]));
+        assert_eq!(sched.queued_speculative(), 1);
+        assert_eq!(sched.speculative_backlog_bytes(), 1 << 10);
+        assert_eq!(sched.drive_queued(), 1);
+        // The stage landed in the pool; the demand log, demand counters,
+        // and main cache saw nothing.
+        let spec = sched.speculative_events();
+        assert_eq!(spec.len(), 1);
+        assert!(spec[0].bytes > 0, "cold shard was flash-loaded");
+        assert_eq!(spec[0].hit_bytes, 0, "nothing was pinned");
+        assert_eq!(spec[0].channel, 42);
+        assert!(sched.flash_events().is_empty());
+        assert_eq!(sched.stats().requests, 0);
+        assert!(cache.is_empty());
+        assert!(cache.prefetch_stats().staged_flash_bytes > 0);
+        assert_eq!(sched.queued_speculative(), 0);
+        assert_eq!(sched.speculative_backlog_bytes(), 0);
+        sched.shutdown();
+    }
+
+    #[test]
+    fn demand_always_dispatches_before_queued_speculation() {
+        let (store, cache, flash) = fixture(1 << 20);
+        let cache = cache.unwrap();
+        cache.enable_prefetch_pool(1 << 20);
+        let sched = IoScheduler::spawn(store, flash, 1, 0.0, Some(cache.clone()));
+        sched.pause_dispatch();
+        // Speculation submitted *first*, demand for the same shard second.
+        sched.submit_speculative(spec_job(vec![spec_key(0, 0)]));
+        let ch = sched.channel();
+        ch.request(request(0, 0)).unwrap();
+        sched.drive_queued();
+        ch.recv().unwrap();
+        // Demand won the race: it flash-loaded the shard into the main
+        // cache, so the later speculative dispatch found it resident and
+        // *pinned* it instead of reading flash.
+        let spec = sched.speculative_events();
+        assert_eq!(spec.len(), 1);
+        assert_eq!(spec[0].bytes, 0, "no speculative flash read");
+        assert!(spec[0].hit_bytes > 0, "shard was pinned from the main cache");
+        assert_eq!(cache.prefetch_stats().staged_flash_bytes, 0);
+        sched.shutdown();
+    }
+
+    #[test]
+    fn speculative_stage_serves_a_later_demand_miss_as_resident() {
+        let (store, cache, flash) = fixture(1 << 20);
+        let cache = cache.unwrap();
+        cache.enable_prefetch_pool(1 << 20);
+        let sched = IoScheduler::spawn(store, flash, 1, 0.0, Some(cache.clone()));
+        sched.pause_dispatch();
+        sched.submit_speculative(spec_job(vec![spec_key(0, 0)]));
+        sched.drive_queued();
+        // The prediction comes true: the demand request's bytes are
+        // resident on the contended track.
+        let ch = sched.channel();
+        ch.request(request(0, 0)).unwrap();
+        sched.drive_queued();
+        ch.recv().unwrap();
+        let events = sched.flash_events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].hit_bytes, events[0].bytes, "promoted stage counts as resident");
+        assert!(cache.prefetch_stats().hit_bytes > 0);
+        sched.shutdown();
+    }
+
+    #[test]
+    fn speculation_without_a_cache_is_a_silent_no_op() {
+        let (store, _, flash) = fixture(0);
+        let sched = IoScheduler::spawn(store, flash, 1, 0.0, None);
+        sched.pause_dispatch();
+        sched.submit_speculative(spec_job(vec![spec_key(0, 0)]));
+        sched.drive_queued();
+        assert!(sched.speculative_events().is_empty());
         sched.shutdown();
     }
 }

@@ -93,6 +93,33 @@
 //! `io.channel.<c>.*` metrics make each channel's busy time, queued
 //! bytes, and batch fan-out observable.
 //!
+//! ## Markov next-engagement prefetching
+//!
+//! Recurrent clients telegraph their future: the same `(target, |S|, SLO,
+//! stripe)` engagement keeps coming back after a think-time gap. With
+//! `sti serve --prefetch markov` (off by default) the server learns that
+//! recurrence online — each completion feeds a per-client chain of
+//! interned [`prelude::EngagementKey`]s whose pairwise `MarkovEdge`s
+//! carry follow/break confidence, inter-arrival gap statistics, and a
+//! TTL'd rejection cache — and emits a budgeted `PrefetchPlan`
+//! (`--prefetch-budget-kb`, confidence floor) naming the predicted next
+//! working set. The executor stages those shards into a bounded
+//! **staging pool** beside the `ShardCache` as *background-class* flash
+//! jobs: `IoScheduler` dispatches them only when no demand IO is
+//! runnable, and the contended track prices them into the **idle
+//! windows** the demand replay left on each device channel — real
+//! channel time and real flash bytes, but demand completions are inputs
+//! to that pricing, so speculation cannot move a demand latency by
+//! construction. A later demand miss takes the staged blob out of the
+//! pool (with `dram_residency` on, at DRAM speed on the contended
+//! track); a wrong prediction costs only the wasted bytes and silences
+//! its edge. The fence is pinned by `tests/serving_prefetch.rs`:
+//! outcomes, contended rows, gate decisions, and SLO verdicts are
+//! bit-identical to the prefetch-off run (the gate's
+//! `GateReason::speculative_bytes` is an advisory label the walk never
+//! reads), and the serve report + `prefetch.*` metrics/span track show
+//! the hit rate, speculated bytes, and evictions.
+//!
 //! ## Fleet mode and the perf ledger
 //!
 //! The serving runtime scales past "dozens of sessions" by making every
@@ -125,10 +152,12 @@
 //! interleavings. Each entry is stamped with its executor and device
 //! `channels`, and carries `contended_eps` — replay engagements per
 //! *simulated* second on the contended track, the column that scales
-//! with the channel count. Re-running `--bench-out` against an existing
-//! ledger *merges* by `(exec_mode, channels, fleet points)` instead of
-//! clobbering, so threaded/event and per-topology sweeps accumulate in
-//! one file.
+//! with the channel count, plus the prefetcher's `prefetch_hit_rate`,
+//! `prefetch_speculated_kb`, and `contended_p50_us` columns. Re-running
+//! `--bench-out` against an existing ledger *merges* by `(exec_mode,
+//! channels, prefetch, fleet points)` instead of clobbering, so
+//! threaded/event, per-topology, and prefetch-on/off sweeps accumulate
+//! in one file.
 //!
 //! ## Deterministic observability (`sti-obs`)
 //!

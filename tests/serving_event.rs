@@ -248,6 +248,7 @@ proptest! {
                     preload_bytes: 0,
                     slo: slo.then(|| SimTime::from_ms(30_000)),
                     arrival: SimTime::from_us(arrival_us),
+                    idle: SimTime::ZERO,
                     engagements: (0..engagements)
                         .map(|e| vec![7 + i as u32, 3 + e as u32])
                         .collect(),

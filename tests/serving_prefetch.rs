@@ -1,0 +1,200 @@
+//! Fencing contracts of the Markov next-engagement prefetcher.
+//!
+//! 1. **Speculation never touches the demand path.** A proptest replays
+//!    random traces with `--prefetch markov` and `--prefetch off` and pins
+//!    the demand side bit-identical: per-engagement outcomes, contended
+//!    rows, gate decisions (modulo the advisory `speculative_bytes`
+//!    label, which is zero with prefetch off by construction), admission
+//!    rejections, and the serving counters.
+//! 2. **Correct predictions pay.** On the shipped recurrent fixture the
+//!    staging pool serves real bytes to later demand misses, and with
+//!    DRAM-residency accounting the contended p50 is no worse than the
+//!    prefetch-off replay while the SLO hit rate never drops.
+//! 3. **Determinism.** Two event replays of the recurrent fixture with the
+//!    prefetcher on are fully identical — outcomes, the whole contention
+//!    report including the speculative pricing block, and the engine's
+//!    heap-op count. The threaded executor agrees with the event engine on
+//!    the entire demand side.
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use sti::prelude::*;
+use sti::TaskContext;
+
+fn ctx() -> &'static TaskContext {
+    static CTX: OnceLock<TaskContext> = OnceLock::new();
+    CTX.get_or_init(|| TaskContext::with_config(TaskKind::Sst2, ModelConfig::tiny()))
+}
+
+/// Zero preload and a tiny main cache: every engagement streams and
+/// recurrence cannot hide in main-cache residency — the regime where the
+/// staging pool is the only thing that can help (and where speculative
+/// pollution would show up immediately if the fence leaked).
+fn serve_config(markov: bool, dram: bool, backpressure: BackpressureMode) -> ServeConfig {
+    ServeConfig {
+        target: SimTime::from_ms(300),
+        preload_bytes: 0,
+        shard_cache_bytes: 1 << 10,
+        dram_residency: dram,
+        backpressure,
+        prefetch: if markov { PrefetchConfig::markov(64 << 10) } else { PrefetchConfig::default() },
+        ..Default::default()
+    }
+}
+
+/// Gate decisions with the advisory speculative-backlog label cleared —
+/// the one field allowed to differ between prefetch-on and prefetch-off
+/// runs (it is zero with prefetch off by construction, and the gate walk
+/// never reads it).
+fn sans_speculative_label(gate: &[GateDecision]) -> Vec<GateDecision> {
+    gate.iter()
+        .map(|d| {
+            let mut d = *d;
+            d.reason.speculative_bytes = 0;
+            d
+        })
+        .collect()
+}
+
+#[test]
+fn recurrent_fixture_prefetch_pays_without_hurting_the_demand_track() {
+    let trace = load_trace("examples/traces/recurrent.json").expect("shipped fixture parses");
+    let dram = true; // so pool hits re-price on the contended track
+    let off_cfg = serve_config(false, dram, BackpressureMode::Off);
+    let on_cfg = serve_config(true, dram, BackpressureMode::Off);
+    let off = replay_event(&build_server(ctx(), &off_cfg), &trace).unwrap();
+    let on = replay_event(&build_server(ctx(), &on_cfg), &trace).unwrap();
+
+    // Speculation actually happened and served later demand misses.
+    assert!(off.prefetch.is_none(), "prefetch off reports no prefetch block");
+    let report = on.prefetch.as_ref().expect("markov replay carries a prefetch report");
+    assert!(report.model.plans > 0, "the recurrent fixture must emit plans");
+    assert!(report.jobs > 0, "plans must materialize into speculative jobs");
+    assert!(report.pool.hit_bytes > 0, "staged bytes must serve later demand misses");
+    assert!(report.pool.hit_rate() > 0.0);
+    let spec = on.contention.prefetch.expect("speculation is priced on the contended track");
+    assert!(spec.speculated_bytes + spec.pinned_bytes > 0);
+
+    // The fence: uncontended outcomes are bit-identical, and the priced
+    // contended track can only improve — staged bytes are DRAM-resident
+    // at dispatch, never a new obligation in front of demand.
+    assert_eq!(on.outcomes, off.outcomes, "speculation must not move a demand outcome");
+    assert_eq!(on.rejected_clients, off.rejected_clients);
+    assert!(
+        contended_p50_us(&on.contention) < contended_p50_us(&off.contention),
+        "staged-then-hit bytes re-price at DRAM speed, so the recurrent \
+         fixture's contended p50 must strictly improve: {} >= {}",
+        contended_p50_us(&on.contention),
+        contended_p50_us(&off.contention)
+    );
+    assert!(on.contention.slo_hit_rate() >= off.contention.slo_hit_rate());
+}
+
+#[test]
+fn recurrent_fixture_event_replay_is_deterministic_run_twice() {
+    let trace = load_trace("examples/traces/recurrent.json").expect("shipped fixture parses");
+    let cfg = serve_config(true, true, BackpressureMode::Off);
+    let a = replay_event(&build_server(ctx(), &cfg), &trace).unwrap();
+    let b = replay_event(&build_server(ctx(), &cfg), &trace).unwrap();
+    assert_eq!(a.outcomes, b.outcomes);
+    assert_eq!(a.contention, b.contention, "speculative pricing is deterministic too");
+    assert_eq!(a.prefetch, b.prefetch);
+    assert_eq!(a.heap_ops, b.heap_ops, "the engine schedule itself is reproducible");
+}
+
+#[test]
+fn recurrent_fixture_event_matches_threaded_on_the_demand_side() {
+    let trace = load_trace("examples/traces/recurrent.json").expect("shipped fixture parses");
+    // DRAM residency off: contended pricing is independent of *when* the
+    // background executor stages bytes, so the two executors must agree on
+    // the whole demand side even though their speculative timing differs.
+    let cfg = serve_config(true, false, BackpressureMode::Off);
+    let event = replay_event(&build_server(ctx(), &cfg), &trace).unwrap();
+    let threaded = replay_concurrent(&build_server(ctx(), &cfg), &trace).unwrap();
+    assert_eq!(event.outcomes, threaded.outcomes);
+    assert_eq!(event.rejected_clients, threaded.rejected_clients);
+    // Record order and scheduler lane ids follow execution order —
+    // wall-clock on the threaded path, simulated time on the event loop —
+    // so compare the per-engagement economics keyed by (session, issue).
+    let rows = |r: &ServeReport| {
+        let mut rows: Vec<_> = r
+            .contention
+            .engagements
+            .iter()
+            .map(|e| (e.session, e.issue, e.uncontended, e.contended, e.initial_queueing, e.slo))
+            .collect();
+        rows.sort_by_key(|r| (r.0, r.1));
+        rows
+    };
+    assert_eq!(rows(&event), rows(&threaded));
+    assert_eq!(
+        sans_speculative_label(&event.contention.gate),
+        sans_speculative_label(&threaded.contention.gate),
+        "gate decisions agree modulo the wall-clock-sampled speculation label"
+    );
+    assert!(event.prefetch.is_some(), "both executors run the prefetcher");
+    assert!(threaded.prefetch.is_some());
+}
+
+proptest! {
+    /// Random traces, gated and idle-gapped: enabling the prefetcher never
+    /// changes anything the demand path reports — outcomes, contended
+    /// rows, gate decisions, rejections, counters — only adds the priced
+    /// speculation block.
+    #[test]
+    fn markov_prefetch_is_fenced_off_the_demand_path(
+        clients in proptest::collection::vec(
+            (0u64..2_500, 1usize..4, any::<bool>(), any::<bool>()),
+            1..4,
+        ),
+        queue_mode in any::<bool>(),
+    ) {
+        let trace = ServingTrace {
+            clients: clients
+                .iter()
+                .enumerate()
+                .map(|(i, &(arrival_us, engagements, slo, idle))| ClientTrace {
+                    target: SimTime::from_ms(300),
+                    preload_bytes: 0,
+                    slo: slo.then(|| SimTime::from_ms(30_000)),
+                    arrival: SimTime::from_us(arrival_us),
+                    idle: if idle { SimTime::from_ms(5) } else { SimTime::ZERO },
+                    engagements: (0..engagements)
+                        .map(|e| vec![7 + i as u32, 3 + e as u32])
+                        .collect(),
+                })
+                .collect(),
+        };
+        let mode = if queue_mode {
+            BackpressureMode::Queue(SimTime::from_ms(2_000))
+        } else {
+            BackpressureMode::Shed
+        };
+        // DRAM residency off: the contended track prices every byte at
+        // flash speed regardless of cache state, so the fenced demand side
+        // must be *bit-identical*, not merely no worse.
+        let off = replay_event(&build_server(ctx(), &serve_config(false, false, mode)), &trace)
+            .unwrap();
+        let on = replay_event(&build_server(ctx(), &serve_config(true, false, mode)), &trace)
+            .unwrap();
+        prop_assert_eq!(&on.outcomes, &off.outcomes);
+        prop_assert_eq!(&on.rejected_clients, &off.rejected_clients);
+        prop_assert_eq!(&on.contention.engagements, &off.contention.engagements);
+        prop_assert_eq!(on.contention.flash_busy, off.contention.flash_busy);
+        prop_assert_eq!(on.serving_stats, off.serving_stats);
+        // Prefetch off never stamps a speculative label, so the off gate
+        // log doubles as its own normalized form.
+        prop_assert_eq!(
+            sans_speculative_label(&on.contention.gate),
+            off.contention.gate.clone()
+        );
+        prop_assert_eq!(
+            on.contention.slo_hit_rate(),
+            off.contention.slo_hit_rate(),
+            "a wrong prediction may waste bytes but never an SLO"
+        );
+        prop_assert!(off.prefetch.is_none());
+        prop_assert!(on.prefetch.is_some());
+    }
+}
